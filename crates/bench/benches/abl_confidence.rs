@@ -1,0 +1,20 @@
+//! Ablation: JRS confidence threshold sweep (§3.5.5 — "an accurate
+//! confidence estimator is essential to maximize the benefits of wish
+//! branches").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wishbranch_bench::{paper_config, register_kernel};
+use wishbranch_core::confidence_threshold_sweep;
+
+fn bench(c: &mut Criterion) {
+    let points = confidence_threshold_sweep(&paper_config(), &[2, 5, 9, 13, 15]);
+    println!("\nAblation: JRS threshold vs avg wish-jjl exec time (normalized to normal)");
+    println!("{:>10} {:>14}", "threshold", "avg exec time");
+    for p in &points {
+        println!("{:>10} {:>14.3}", p.param, p.avg_normalized);
+    }
+    register_kernel(c, "abl_confidence");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

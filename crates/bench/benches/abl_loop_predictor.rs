@@ -1,0 +1,20 @@
+//! Ablation: the specialized wish-loop predictor extension (§3.2): biasing
+//! the trip prediction upward converts early exits (flushes) into late
+//! exits (predicated NOP iterations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wishbranch_bench::{paper_config, register_kernel};
+use wishbranch_core::loop_predictor_comparison;
+
+fn bench(c: &mut Criterion) {
+    let cmp = loop_predictor_comparison(&paper_config(), 2);
+    println!("\nAblation: specialized wish-loop predictor (bias +2) vs hybrid-only");
+    println!("{:<28} {:>12} {:>12}", "", "hybrid-only", "biased trip");
+    println!("{:<28} {:>12} {:>12}", "early exits (flush)", cmp.early_unbiased, cmp.early_biased);
+    println!("{:<28} {:>12} {:>12}", "late exits (no flush)", cmp.late_unbiased, cmp.late_biased);
+    println!("{:<28} {:>12} {:>12}", "total cycles", cmp.cycles_unbiased, cmp.cycles_biased);
+    register_kernel(c, "abl_loop_predictor");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

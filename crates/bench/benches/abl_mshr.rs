@@ -1,0 +1,20 @@
+//! Ablation: MSHR count (outstanding-miss limit). The Table 2 machine has
+//! effectively unbounded MLP; finite MSHRs shift the balance between
+//! branch prediction (which needs MLP to hide flushes) and predication.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wishbranch_bench::{paper_config, register_kernel};
+use wishbranch_core::mshr_sweep;
+
+fn bench(c: &mut Criterion) {
+    let points = mshr_sweep(&paper_config(), &[0, 32, 8, 2]);
+    println!("\nAblation: MSHRs vs avg wish-jjl exec time (normalized; 0 = unlimited)");
+    println!("{:>8} {:>14}", "MSHRs", "avg exec time");
+    for p in &points {
+        println!("{:>8} {:>14.3}", p.param, p.avg_normalized);
+    }
+    register_kernel(c, "abl_mshr");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Extension: the §3.6/§7 input-dependence-aware compiler. The adaptive
+//! binary trains on inputs A and C; every binary is then evaluated on all
+//! three inputs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wishbranch_bench::{paper_config, register_kernel};
+use wishbranch_core::{figure_adaptive, Table};
+
+fn bench(c: &mut Criterion) {
+    let fig = figure_adaptive(&paper_config());
+    println!("\n{}", Table::from(&fig));
+    register_kernel(c, "ext_adaptive");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

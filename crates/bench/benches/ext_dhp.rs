@@ -1,0 +1,15 @@
+//! Extension: dynamic hammock predication (the paper's §6.1 related work)
+//! as a hardware-only baseline against wish branches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wishbranch_bench::{paper_config, register_kernel};
+use wishbranch_core::{figure_dhp, Table};
+
+fn bench(c: &mut Criterion) {
+    let fig = figure_dhp(&paper_config());
+    println!("\n{}", Table::from(&fig));
+    register_kernel(c, "ext_dhp");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Extension: predicate prediction (the paper's §6.1 related work) as a
+//! baseline against wish branches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wishbranch_bench::{paper_config, register_kernel};
+use wishbranch_core::{figure_predicate_prediction, Table};
+
+fn bench(c: &mut Criterion) {
+    let fig = figure_predicate_prediction(&paper_config());
+    println!("\n{}", Table::from(&fig));
+    register_kernel(c, "ext_predpred");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

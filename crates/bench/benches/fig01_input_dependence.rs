@@ -1,0 +1,15 @@
+//! Regenerates Fig. 1: BASE-DEF execution time vs input set, normalized to
+//! the normal-branch binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wishbranch_bench::{paper_config, register_kernel};
+use wishbranch_core::{figure1, Table};
+
+fn bench(c: &mut Criterion) {
+    let fig = figure1(&paper_config());
+    println!("\n{}", Table::from(&fig));
+    register_kernel(c, "fig01");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates Fig. 2: predication overhead under ideal knobs (NO-DEPEND,
+//! NO-DEPEND+NO-FETCH) and perfect conditional branch prediction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wishbranch_bench::{paper_config, register_kernel};
+use wishbranch_core::{figure2, Table};
+
+fn bench(c: &mut Criterion) {
+    let fig = figure2(&paper_config());
+    println!("\n{}", Table::from(&fig));
+    register_kernel(c, "fig02");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates Fig. 10: wish jump/join binaries vs the predicated
+//! baselines, with real and perfect confidence estimation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wishbranch_bench::{paper_config, register_kernel};
+use wishbranch_core::{figure10, Table};
+
+fn bench(c: &mut Criterion) {
+    let fig = figure10(&paper_config());
+    println!("\n{}", Table::from(&fig));
+    register_kernel(c, "fig10");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

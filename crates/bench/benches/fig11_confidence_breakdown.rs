@@ -1,0 +1,15 @@
+//! Regenerates Fig. 11: dynamic wish jumps/joins per 1M retired µops,
+//! classified by confidence estimate and prediction correctness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wishbranch_bench::{paper_config, register_kernel};
+use wishbranch_core::{fig11_table, figure11};
+
+fn bench(c: &mut Criterion) {
+    let rows = figure11(&paper_config());
+    println!("\n{}", fig11_table(&rows));
+    register_kernel(c, "fig11");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

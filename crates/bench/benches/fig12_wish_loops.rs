@@ -1,0 +1,15 @@
+//! Regenerates Fig. 12: wish jump/join/loop binaries vs all baselines —
+//! the paper's headline result (14.2% over normal branches).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wishbranch_bench::{paper_config, register_kernel};
+use wishbranch_core::{figure12, Table};
+
+fn bench(c: &mut Criterion) {
+    let fig = figure12(&paper_config());
+    println!("\n{}", Table::from(&fig));
+    register_kernel(c, "fig12");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates Fig. 13: dynamic wish loops per 1M retired µops by
+//! confidence and early/late/no-exit class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wishbranch_bench::{paper_config, register_kernel};
+use wishbranch_core::{fig13_table, figure13};
+
+fn bench(c: &mut Criterion) {
+    let rows = figure13(&paper_config());
+    println!("\n{}", fig13_table(&rows));
+    register_kernel(c, "fig13");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

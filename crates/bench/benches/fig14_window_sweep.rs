@@ -1,0 +1,14 @@
+//! Regenerates Fig. 14: the instruction-window sweep (128/256/512).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wishbranch_bench::{paper_config, register_kernel};
+use wishbranch_core::{figure14, sweep_table};
+
+fn bench(c: &mut Criterion) {
+    let rows = figure14(&paper_config());
+    println!("\n{}", sweep_table("Fig.14: instruction window sweep", "window", &rows));
+    register_kernel(c, "fig14");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates Fig. 15: the pipeline-depth sweep (10/20/30) at a
+//! 256-entry window.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wishbranch_bench::{paper_config, register_kernel};
+use wishbranch_core::{figure15, sweep_table};
+
+fn bench(c: &mut Criterion) {
+    let rows = figure15(&paper_config());
+    println!("\n{}", sweep_table("Fig.15: pipeline depth sweep", "depth", &rows));
+    register_kernel(c, "fig15");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates Fig. 16: wish branches on a machine that implements
+//! predication with the select-µop mechanism.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wishbranch_bench::{paper_config, register_kernel};
+use wishbranch_core::{figure16, Table};
+
+fn bench(c: &mut Criterion) {
+    let fig = figure16(&paper_config());
+    println!("\n{}", Table::from(&fig));
+    register_kernel(c, "fig16");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Pure Criterion microbenchmarks of the substrate components: predictor,
+//! confidence estimator, cache, and end-to-end simulator throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use wishbranch_bpred::{HybridConfig, HybridPredictor, JrsConfidence, JrsConfig};
+use wishbranch_mem::{Cache, CacheConfig};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("hybrid_predict_update", |b| {
+        b.iter_batched(
+            || HybridPredictor::new(HybridConfig::default()),
+            |mut bp| {
+                for pc in 0..1000u32 {
+                    let (dir, tok) = bp.predict(pc);
+                    bp.on_fetch_branch(dir);
+                    bp.update(pc, &tok, pc % 3 == 0);
+                }
+                bp.stats().lookups
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("jrs_estimate_update", |b| {
+        b.iter_batched(
+            || JrsConfidence::new(JrsConfig::default()),
+            |mut jrs| {
+                for pc in 0..1000u32 {
+                    let _ = jrs.estimate(pc, u64::from(pc) >> 2);
+                    jrs.update(pc, u64::from(pc) >> 2, pc % 7 != 0);
+                }
+                jrs.stats().lookups
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("cache_access_stream", |b| {
+        b.iter_batched(
+            || {
+                Cache::new(CacheConfig {
+                    size_bytes: 64 * 1024,
+                    ways: 4,
+                    line_bytes: 64,
+                    latency: 2,
+                })
+            },
+            |mut cache| {
+                let mut hits = 0u64;
+                for i in 0..4096u64 {
+                    if cache.access(i.wrapping_mul(0x9e37_79b9) % (1 << 20)) {
+                        hits += 1;
+                    }
+                }
+                hits
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    wishbranch_bench::register_kernel(c, "perf");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

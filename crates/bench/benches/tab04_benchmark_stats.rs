@@ -1,0 +1,14 @@
+//! Regenerates Table 4: simulated benchmark characteristics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wishbranch_bench::{paper_config, register_kernel};
+use wishbranch_core::{table4, table4_table};
+
+fn bench(c: &mut Criterion) {
+    let rows = table4(&paper_config());
+    println!("\n{}", table4_table(&rows));
+    register_kernel(c, "tab04");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

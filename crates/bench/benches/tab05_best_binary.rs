@@ -1,0 +1,15 @@
+//! Regenerates Table 5: wish jump/join/loop binary vs the per-benchmark
+//! best binaries (an unrealistically strong baseline, as the paper notes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wishbranch_bench::{paper_config, register_kernel};
+use wishbranch_core::{table5, table5_table};
+
+fn bench(c: &mut Criterion) {
+    let rows = table5(&paper_config());
+    println!("\n{}", table5_table(&rows));
+    register_kernel(c, "tab05");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

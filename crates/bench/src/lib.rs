@@ -1,0 +1,50 @@
+//! # wishbranch-bench
+//!
+//! Criterion benches that regenerate every table and figure of the paper's
+//! evaluation. Each bench in `benches/` does two things:
+//!
+//! 1. regenerates its table/figure at full scale and prints it (this is the
+//!    reproduction artifact recorded in `EXPERIMENTS.md`);
+//! 2. registers a Criterion measurement over a scaled-down kernel so
+//!    `cargo bench` also tracks simulator performance regressions.
+//!
+//! Scale is controlled with the `WISHBRANCH_SCALE` environment variable
+//! (default 4000 outer iterations per benchmark).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use criterion::Criterion;
+use wishbranch_compiler::BinaryVariant;
+use wishbranch_core::{compile_variant, simulate, ExperimentConfig};
+use wishbranch_workloads::{twolf, InputSet};
+
+/// Full-regeneration scale (outer iterations per benchmark).
+#[must_use]
+pub fn paper_scale() -> i32 {
+    std::env::var("WISHBRANCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4000)
+}
+
+/// The experiment configuration used by all figure benches.
+#[must_use]
+pub fn paper_config() -> ExperimentConfig {
+    ExperimentConfig::paper(paper_scale())
+}
+
+/// Registers the standard Criterion measurement: one small wish-branch
+/// simulation (twolf kernel, 300 iterations) so every bench also times the
+/// simulator.
+pub fn register_kernel(c: &mut Criterion, group: &str) {
+    let ec = ExperimentConfig::paper(300);
+    let bench = twolf(300);
+    let bin = compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, &ec);
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.bench_function("sim_twolf300_wish_jjl", |b| {
+        b.iter(|| simulate(&bin.program, &bench, InputSet::B, &ec.machine).stats.cycles)
+    });
+    g.finish();
+}

@@ -1,0 +1,271 @@
+//! The JRS confidence estimator (Jacobsen, Rotenberg, Smith [13]),
+//! modified with tags as described in §3.5.5 / Table 2 of the paper:
+//! "1KB, tagged (4-way), 16-bit history JRS estimator".
+
+use crate::counters::SatCounter;
+
+/// The confidence assigned to a branch prediction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConfidenceLevel {
+    /// The prediction is trusted: use normal branch prediction.
+    High,
+    /// The prediction is not trusted: fall back to predicated execution.
+    Low,
+}
+
+impl ConfidenceLevel {
+    /// Whether this is [`ConfidenceLevel::High`].
+    #[must_use]
+    pub fn is_high(self) -> bool {
+        matches!(self, ConfidenceLevel::High)
+    }
+}
+
+/// Configuration of the [`JrsConfidence`] estimator.
+///
+/// The default models the paper's 1 KB budget: 64 sets × 4 ways = 256
+/// entries, each holding an 8-bit tag and a 4-bit resetting miss distance
+/// counter, indexed by `pc ⊕ history`. The paper's table lists a 16-bit
+/// history; because wish branches make the *presence* of other wish
+/// branches in the history mode-dependent, long histories fragment the
+/// context space and the estimator never converges on easy branches — the
+/// default here folds 4 history bits into the index instead (see the
+/// `abl_confidence` bench for the sweep).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct JrsConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Width of the miss distance counter in bits.
+    pub counter_bits: u32,
+    /// Counter value at or above which the prediction is high confidence.
+    pub threshold: u8,
+    /// Branch-history bits XOR-folded into the index.
+    pub hist_bits: u32,
+}
+
+impl Default for JrsConfig {
+    fn default() -> Self {
+        JrsConfig {
+            sets: 64,
+            ways: 4,
+            counter_bits: 4,
+            threshold: 13,
+            hist_bits: 4,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    tag: u32,
+    mdc: SatCounter,
+    lru: u64,
+}
+
+/// Counters exposed by [`JrsConfidence::stats`].
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct JrsStats {
+    /// Estimates requested.
+    pub lookups: u64,
+    /// Estimates that found no matching entry (reported low confidence).
+    pub tag_misses: u64,
+    /// Estimates reported high confidence.
+    pub high: u64,
+}
+
+/// Tagged set-associative JRS estimator with resetting counters.
+///
+/// Semantics: each entry holds a *miss distance counter* that increments on
+/// every correct prediction of the branch and resets to zero on a
+/// misprediction. A prediction is deemed high confidence when the counter
+/// has reached [`JrsConfig::threshold`] — i.e. the branch has been predicted
+/// correctly at least `threshold` consecutive times in this history context.
+/// A tag miss reports low confidence (unknown branches are not trusted).
+#[derive(Clone, Debug)]
+pub struct JrsConfidence {
+    cfg: JrsConfig,
+    sets: Vec<Vec<Entry>>,
+    hist_mask: u64,
+    tick: u64,
+    stats: JrsStats,
+}
+
+impl JrsConfidence {
+    /// Creates an empty estimator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `threshold` exceeds the
+    /// counter's maximum.
+    #[must_use]
+    pub fn new(cfg: JrsConfig) -> JrsConfidence {
+        assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
+        let max = ((1u16 << cfg.counter_bits) - 1) as u8;
+        assert!(
+            cfg.threshold <= max,
+            "threshold {} exceeds counter max {max}",
+            cfg.threshold
+        );
+        JrsConfidence {
+            cfg,
+            sets: vec![Vec::with_capacity(cfg.ways); cfg.sets],
+            hist_mask: (1u64 << cfg.hist_bits) - 1,
+            tick: 0,
+            stats: JrsStats::default(),
+        }
+    }
+
+    fn index_tag(&self, pc: u32, ghr: u64) -> (usize, u32) {
+        let hashed = u64::from(pc) ^ (ghr & self.hist_mask);
+        let set = (hashed as usize) & (self.cfg.sets - 1);
+        let tag = (hashed >> self.cfg.sets.trailing_zeros()) as u32;
+        (set, tag)
+    }
+
+    /// Estimates the confidence of the prediction for the branch at `pc`
+    /// under branch history `ghr`.
+    pub fn estimate(&mut self, pc: u32, ghr: u64) -> ConfidenceLevel {
+        self.stats.lookups += 1;
+        self.tick += 1;
+        let tick = self.tick;
+        let threshold = self.cfg.threshold;
+        let (set, tag) = self.index_tag(pc, ghr);
+        for e in &mut self.sets[set] {
+            if e.tag == tag {
+                e.lru = tick;
+                return if e.mdc.value() >= threshold {
+                    self.stats.high += 1;
+                    ConfidenceLevel::High
+                } else {
+                    ConfidenceLevel::Low
+                };
+            }
+        }
+        self.stats.tag_misses += 1;
+        ConfidenceLevel::Low
+    }
+
+    /// Trains the estimator with the resolved outcome: `correct` is whether
+    /// the direction prediction for this branch was right. Allocates an
+    /// entry on a tag miss (evicting LRU).
+    pub fn update(&mut self, pc: u32, ghr: u64, correct: bool) {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.cfg.ways;
+        let counter_bits = self.cfg.counter_bits;
+        let (set, tag) = self.index_tag(pc, ghr);
+        let set_vec = &mut self.sets[set];
+        if let Some(e) = set_vec.iter_mut().find(|e| e.tag == tag) {
+            if correct {
+                e.mdc.inc();
+            } else {
+                e.mdc.reset();
+            }
+            e.lru = tick;
+            return;
+        }
+        let mut mdc = SatCounter::new(counter_bits, 0);
+        if correct {
+            mdc.inc();
+        }
+        let fresh = Entry { tag, mdc, lru: tick };
+        if set_vec.len() < ways {
+            set_vec.push(fresh);
+        } else {
+            let victim = set_vec
+                .iter_mut()
+                .min_by_key(|e| e.lru)
+                .expect("set is non-empty");
+            *victim = fresh;
+        }
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> JrsStats {
+        self.stats
+    }
+
+    /// The configured high-confidence threshold.
+    #[must_use]
+    pub fn threshold(&self) -> u8 {
+        self.cfg.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(threshold: u8) -> JrsConfidence {
+        JrsConfidence::new(JrsConfig {
+            sets: 8,
+            ways: 2,
+            counter_bits: 4,
+            threshold,
+            hist_bits: 4,
+        })
+    }
+
+    #[test]
+    fn unknown_branch_is_low_confidence() {
+        let mut c = small(4);
+        assert_eq!(c.estimate(10, 0), ConfidenceLevel::Low);
+        assert_eq!(c.stats().tag_misses, 1);
+    }
+
+    #[test]
+    fn confidence_builds_with_correct_streak() {
+        let mut c = small(4);
+        for _ in 0..3 {
+            c.update(10, 0, true);
+            assert_eq!(c.estimate(10, 0), ConfidenceLevel::Low);
+        }
+        c.update(10, 0, true);
+        assert_eq!(c.estimate(10, 0), ConfidenceLevel::High);
+    }
+
+    #[test]
+    fn misprediction_resets_to_low() {
+        let mut c = small(2);
+        c.update(10, 0, true);
+        c.update(10, 0, true);
+        assert!(c.estimate(10, 0).is_high());
+        c.update(10, 0, false);
+        assert_eq!(c.estimate(10, 0), ConfidenceLevel::Low);
+    }
+
+    #[test]
+    fn history_contexts_are_separate() {
+        let mut c = small(1);
+        c.update(10, 0b0001, true);
+        assert!(c.estimate(10, 0b0001).is_high());
+        assert_eq!(c.estimate(10, 0b0010), ConfidenceLevel::Low);
+    }
+
+    #[test]
+    fn lru_eviction_forgets_oldest() {
+        let mut c = small(1);
+        // Fill one set with 2 ways, then insert a third conflicting entry.
+        // With hist XOR folding, pick pcs mapping to the same set: pc=0,8,16
+        // with ghr=0 all hit set 0 (8 sets).
+        c.update(0, 0, true);
+        c.update(8, 0, true);
+        assert!(c.estimate(0, 0).is_high()); // touch 0
+        c.update(16, 0, true); // evicts 8
+        assert_eq!(c.estimate(8, 0), ConfidenceLevel::Low);
+        assert!(c.estimate(16, 0).is_high());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds counter max")]
+    fn threshold_above_counter_max_rejected() {
+        let _ = JrsConfidence::new(JrsConfig {
+            counter_bits: 2,
+            threshold: 4,
+            ..JrsConfig::default()
+        });
+    }
+}

@@ -1,0 +1,153 @@
+//! Saturating counters, the workhorse of every table-based predictor.
+
+/// An n-bit saturating counter (n ≤ 8).
+///
+/// Used as a 2-bit bimodal counter in the direction predictors and selector,
+/// and as a wider resetting "miss distance counter" in the JRS confidence
+/// estimator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SatCounter {
+    value: u8,
+    max: u8,
+}
+
+impl SatCounter {
+    /// Creates a counter with `bits` width starting at `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 8, or if `initial` exceeds the
+    /// maximum representable value.
+    #[must_use]
+    pub fn new(bits: u32, initial: u8) -> SatCounter {
+        assert!((1..=8).contains(&bits), "counter width must be 1..=8 bits");
+        let max = ((1u16 << bits) - 1) as u8;
+        assert!(initial <= max, "initial value {initial} exceeds max {max}");
+        SatCounter {
+            value: initial,
+            max,
+        }
+    }
+
+    /// A 2-bit counter initialized to weakly-taken (2), the usual bimodal
+    /// starting point.
+    #[must_use]
+    pub fn bimodal() -> SatCounter {
+        SatCounter::new(2, 2)
+    }
+
+    /// Current value.
+    #[inline]
+    #[must_use]
+    pub fn value(self) -> u8 {
+        self.value
+    }
+
+    /// Maximum (saturated) value.
+    #[inline]
+    #[must_use]
+    pub fn max(self) -> u8 {
+        self.max
+    }
+
+    /// Saturating increment.
+    #[inline]
+    pub fn inc(&mut self) {
+        if self.value < self.max {
+            self.value += 1;
+        }
+    }
+
+    /// Saturating decrement.
+    #[inline]
+    pub fn dec(&mut self) {
+        if self.value > 0 {
+            self.value -= 1;
+        }
+    }
+
+    /// Resets to zero (JRS resetting-counter behaviour on a misprediction).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// Interprets the counter as a taken/not-taken prediction (MSB set).
+    #[inline]
+    #[must_use]
+    pub fn predict_taken(self) -> bool {
+        self.value > self.max / 2
+    }
+
+    /// Moves the counter toward `taken` (increment if taken, else decrement).
+    #[inline]
+    pub fn train(&mut self, taken: bool) {
+        if taken {
+            self.inc();
+        } else {
+            self.dec();
+        }
+    }
+
+    /// Whether the counter is saturated at its maximum.
+    #[inline]
+    #[must_use]
+    pub fn is_saturated(self) -> bool {
+        self.value == self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bimodal_starts_weakly_taken() {
+        let c = SatCounter::bimodal();
+        assert!(c.predict_taken());
+        assert_eq!(c.value(), 2);
+        assert_eq!(c.max(), 3);
+    }
+
+    #[test]
+    fn saturation_at_both_ends() {
+        let mut c = SatCounter::new(2, 3);
+        c.inc();
+        assert_eq!(c.value(), 3);
+        c.dec();
+        c.dec();
+        c.dec();
+        c.dec();
+        assert_eq!(c.value(), 0);
+        assert!(!c.predict_taken());
+    }
+
+    #[test]
+    fn train_and_hysteresis() {
+        let mut c = SatCounter::bimodal();
+        c.train(false); // 1
+        assert!(!c.predict_taken());
+        c.train(true); // 2
+        assert!(c.predict_taken());
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut c = SatCounter::new(4, 9);
+        c.reset();
+        assert_eq!(c.value(), 0);
+        assert_eq!(c.max(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_rejected() {
+        let _ = SatCounter::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max")]
+    fn oversized_initial_rejected() {
+        let _ = SatCounter::new(2, 4);
+    }
+}

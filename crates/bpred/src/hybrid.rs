@@ -1,0 +1,294 @@
+//! The gshare/PAs hybrid direction predictor of Table 2.
+
+use crate::counters::SatCounter;
+
+/// Configuration of the [`HybridPredictor`]. Defaults follow Table 2 of the
+/// paper: 64K-entry gshare, 64K-entry PAs, 64K-entry selector.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HybridConfig {
+    /// Entries in the gshare pattern history table (power of two).
+    pub gshare_entries: usize,
+    /// Global history bits used by gshare.
+    pub gshare_hist_bits: u32,
+    /// Per-address local-history registers (power of two).
+    pub pas_local_entries: usize,
+    /// Local history bits per register.
+    pub pas_hist_bits: u32,
+    /// Entries in the PAs pattern history table (power of two).
+    pub pas_pht_entries: usize,
+    /// Entries in the selector table (power of two).
+    pub selector_entries: usize,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            gshare_entries: 64 * 1024,
+            gshare_hist_bits: 16,
+            pas_local_entries: 4096,
+            pas_hist_bits: 10,
+            pas_pht_entries: 64 * 1024,
+            selector_entries: 64 * 1024,
+        }
+    }
+}
+
+/// Aggregate direction-prediction statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct BpStats {
+    /// Total predictions requested.
+    pub lookups: u64,
+    /// Updates where the recorded prediction was wrong.
+    pub mispredicts: u64,
+    /// Total updates applied.
+    pub updates: u64,
+}
+
+/// Prediction token: the history state a prediction was made with, handed
+/// back at update time so tables are trained with the right indices even if
+/// intervening speculation perturbed the live history registers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HybridToken {
+    /// Global history register value at prediction time.
+    pub ghr: u64,
+    /// Local history register value at prediction time.
+    pub local: u16,
+    /// What gshare predicted.
+    pub gshare_taken: bool,
+    /// What PAs predicted.
+    pub pas_taken: bool,
+    /// The overall (selected) prediction.
+    pub taken: bool,
+}
+
+/// A gshare (McFarling \[21\]) / PAs (Yeh & Patt \[32\]) hybrid with a
+/// selector table, as in Table 2.
+///
+/// The global history register is updated *speculatively* by the fetch
+/// engine via [`HybridPredictor::on_fetch_branch`], checkpointed per branch
+/// with [`HybridPredictor::ghr`], and restored on a pipeline flush with
+/// [`HybridPredictor::restore_ghr`]. Local histories are updated
+/// non-speculatively at resolution.
+#[derive(Clone, Debug)]
+pub struct HybridPredictor {
+    cfg: HybridConfig,
+    gshare_pht: Vec<SatCounter>,
+    pas_hist: Vec<u16>,
+    pas_pht: Vec<SatCounter>,
+    selector: Vec<SatCounter>,
+    ghr: u64,
+    stats: BpStats,
+}
+
+fn assert_pow2(n: usize, what: &str) {
+    assert!(n.is_power_of_two(), "{what} must be a power of two, got {n}");
+}
+
+impl HybridPredictor {
+    /// Creates a predictor with all counters at their weakly-taken initial
+    /// state and empty histories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any table size in `cfg` is not a power of two.
+    #[must_use]
+    pub fn new(cfg: HybridConfig) -> HybridPredictor {
+        assert_pow2(cfg.gshare_entries, "gshare_entries");
+        assert_pow2(cfg.pas_local_entries, "pas_local_entries");
+        assert_pow2(cfg.pas_pht_entries, "pas_pht_entries");
+        assert_pow2(cfg.selector_entries, "selector_entries");
+        assert!(cfg.pas_hist_bits <= 16, "local history limited to 16 bits");
+        HybridPredictor {
+            cfg,
+            gshare_pht: vec![SatCounter::bimodal(); cfg.gshare_entries],
+            pas_hist: vec![0; cfg.pas_local_entries],
+            pas_pht: vec![SatCounter::bimodal(); cfg.pas_pht_entries],
+            selector: vec![SatCounter::bimodal(); cfg.selector_entries],
+            ghr: 0,
+            stats: BpStats::default(),
+        }
+    }
+
+    fn gshare_index(&self, pc: u32, ghr: u64) -> usize {
+        let hist_mask = (1u64 << self.cfg.gshare_hist_bits) - 1;
+        ((u64::from(pc) ^ (ghr & hist_mask)) as usize) & (self.cfg.gshare_entries - 1)
+    }
+
+    fn pas_hist_index(&self, pc: u32) -> usize {
+        (pc as usize) & (self.cfg.pas_local_entries - 1)
+    }
+
+    fn pas_pht_index(&self, pc: u32, local: u16) -> usize {
+        let hist = usize::from(local) & ((1 << self.cfg.pas_hist_bits) - 1);
+        (((pc as usize) << self.cfg.pas_hist_bits) | hist) & (self.cfg.pas_pht_entries - 1)
+    }
+
+    fn selector_index(&self, pc: u32) -> usize {
+        (pc as usize) & (self.cfg.selector_entries - 1)
+    }
+
+    /// Predicts the direction of the conditional branch at µop index `pc`,
+    /// returning the prediction and the token to hand back to
+    /// [`HybridPredictor::update`].
+    pub fn predict(&mut self, pc: u32) -> (bool, HybridToken) {
+        self.stats.lookups += 1;
+        let ghr = self.ghr;
+        let gshare_taken = self.gshare_pht[self.gshare_index(pc, ghr)].predict_taken();
+        let local = self.pas_hist[self.pas_hist_index(pc)];
+        let pas_taken = self.pas_pht[self.pas_pht_index(pc, local)].predict_taken();
+        // Selector counter: high half selects PAs, low half selects gshare.
+        let use_pas = self.selector[self.selector_index(pc)].predict_taken();
+        let taken = if use_pas { pas_taken } else { gshare_taken };
+        (
+            taken,
+            HybridToken {
+                ghr,
+                local,
+                gshare_taken,
+                pas_taken,
+                taken,
+            },
+        )
+    }
+
+    /// Speculatively shifts a predicted conditional-branch outcome into the
+    /// global history register (called by fetch for every predicted
+    /// conditional branch).
+    pub fn on_fetch_branch(&mut self, taken: bool) {
+        self.ghr = (self.ghr << 1) | u64::from(taken);
+    }
+
+    /// Current global history register, for checkpointing at a branch.
+    #[must_use]
+    pub fn ghr(&self) -> u64 {
+        self.ghr
+    }
+
+    /// Restores the global history register after a pipeline flush. The
+    /// caller passes the checkpoint taken at the mispredicted branch plus
+    /// the branch's now-known outcome, which is shifted in.
+    pub fn restore_ghr(&mut self, checkpoint: u64, resolved_taken: bool) {
+        self.ghr = (checkpoint << 1) | u64::from(resolved_taken);
+    }
+
+    /// Sets the global history register to an exact checkpoint (flush
+    /// recovery for branches that never entered the history, e.g. returns
+    /// and indirect jumps).
+    pub fn set_ghr(&mut self, value: u64) {
+        self.ghr = value;
+    }
+
+    /// Trains all tables with the resolved outcome of the branch at `pc`
+    /// whose prediction produced `token`.
+    pub fn update(&mut self, pc: u32, token: &HybridToken, taken: bool) {
+        self.stats.updates += 1;
+        if token.taken != taken {
+            self.stats.mispredicts += 1;
+        }
+        let gidx = self.gshare_index(pc, token.ghr);
+        self.gshare_pht[gidx].train(taken);
+        let pidx = self.pas_pht_index(pc, token.local);
+        self.pas_pht[pidx].train(taken);
+        // Selector trains toward whichever component was right (only when
+        // they disagree, per McFarling).
+        if token.gshare_taken != token.pas_taken {
+            let sidx = self.selector_index(pc);
+            self.selector[sidx].train(token.pas_taken == taken);
+        }
+        // Non-speculative local history update.
+        let hidx = self.pas_hist_index(pc);
+        let mask = ((1u32 << self.cfg.pas_hist_bits) - 1) as u16;
+        self.pas_hist[hidx] = ((self.pas_hist[hidx] << 1) | u16::from(taken)) & mask;
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> BpStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> HybridPredictor {
+        HybridPredictor::new(HybridConfig {
+            gshare_entries: 256,
+            gshare_hist_bits: 8,
+            pas_local_entries: 64,
+            pas_hist_bits: 6,
+            pas_pht_entries: 256,
+            selector_entries: 64,
+        })
+    }
+
+    #[test]
+    fn learns_always_taken_branch() {
+        let mut bp = small();
+        for _ in 0..8 {
+            let (_, tok) = bp.predict(100);
+            bp.on_fetch_branch(tok.taken);
+            bp.update(100, &tok, true);
+        }
+        let (pred, _) = bp.predict(100);
+        assert!(pred);
+        assert_eq!(bp.stats().lookups, 9);
+    }
+
+    #[test]
+    fn learns_alternating_pattern_via_history() {
+        let mut bp = small();
+        let mut outcome = false;
+        // Train an alternating T/N/T/N branch; history-based components must
+        // learn it essentially perfectly after warmup.
+        let mut late_mispredicts = 0;
+        for i in 0..400 {
+            outcome = !outcome;
+            let (pred, tok) = bp.predict(7);
+            bp.on_fetch_branch(pred);
+            if i >= 200 && pred != outcome {
+                late_mispredicts += 1;
+            }
+            bp.update(7, &tok, outcome);
+        }
+        assert_eq!(
+            late_mispredicts, 0,
+            "alternating pattern should be perfectly predicted after warmup"
+        );
+    }
+
+    #[test]
+    fn ghr_checkpoint_restore() {
+        let mut bp = small();
+        let cp = bp.ghr();
+        bp.on_fetch_branch(true);
+        bp.on_fetch_branch(true);
+        assert_ne!(bp.ghr(), cp);
+        bp.restore_ghr(cp, false);
+        assert_eq!(bp.ghr(), cp << 1);
+    }
+
+    #[test]
+    fn mispredict_counting() {
+        let mut bp = small();
+        let (_, tok) = bp.predict(1);
+        // Force a wrong recorded prediction.
+        let wrong = HybridToken {
+            taken: !tok.taken,
+            ..tok
+        };
+        bp.update(1, &wrong, tok.taken);
+        assert_eq!(bp.stats().mispredicts, 1);
+        assert_eq!(bp.stats().updates, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_rejected() {
+        let _ = HybridPredictor::new(HybridConfig {
+            gshare_entries: 100,
+            ..HybridConfig::default()
+        });
+    }
+}

@@ -1,0 +1,53 @@
+//! # wishbranch-bpred
+//!
+//! Branch-direction predictors, target predictors, and the confidence
+//! estimator used by the wish-branches reproduction.
+//!
+//! The baseline front end of the paper (Table 2) uses:
+//!
+//! * a 64K-entry gshare / 64K-entry PAs hybrid with a 64K-entry selector
+//!   ([`HybridPredictor`]) — deliberately large and accurate so wish-branch
+//!   gains are not inflated;
+//! * a 4K-entry branch target buffer extended with wish-branch type bits
+//!   ([`Btb`]);
+//! * a 64-entry return address stack ([`ReturnAddressStack`]);
+//! * a 64K-entry indirect target cache ([`IndirectTargetCache`]);
+//! * a 1 KB tagged 4-way JRS confidence estimator with 16-bit history
+//!   ([`JrsConfidence`]) dedicated to wish branches (§3.5.5).
+//!
+//! Predictions are pure lookups that return a *token* capturing the history
+//! the prediction was made with; the caller hands the token back at update
+//! time. This keeps speculative-history repair explicit in the simulator:
+//! the global history register is checkpointed per branch and restored on a
+//! pipeline flush.
+//!
+//! # Example
+//!
+//! ```
+//! use wishbranch_bpred::{HybridPredictor, HybridConfig};
+//!
+//! let mut bp = HybridPredictor::new(HybridConfig::default());
+//! let (pred, token) = bp.predict(0x40);
+//! bp.on_fetch_branch(pred);              // speculative global-history update
+//! bp.update(0x40, &token, true);         // at branch resolution
+//! assert!(bp.stats().lookups >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod btb;
+mod confidence;
+mod counters;
+mod hybrid;
+mod indirect;
+mod loop_pred;
+mod ras;
+
+pub use btb::{Btb, BtbConfig, BtbEntry, BtbKind};
+pub use confidence::{ConfidenceLevel, JrsConfidence, JrsConfig};
+pub use counters::SatCounter;
+pub use hybrid::{BpStats, HybridConfig, HybridPredictor, HybridToken};
+pub use indirect::{IndirectConfig, IndirectTargetCache};
+pub use loop_pred::{LoopPredConfig, LoopPredictor, LoopToken};
+pub use ras::{RasCheckpoint, ReturnAddressStack};

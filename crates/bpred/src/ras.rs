@@ -1,0 +1,141 @@
+//! Return address stack with whole-stack checkpointing for flush recovery.
+
+/// Number of entries in the baseline RAS (Table 2).
+pub const RAS_ENTRIES: usize = 64;
+
+/// A snapshot of the RAS taken at a branch, restored on a pipeline flush.
+///
+/// The stack is small (64 × 4 bytes), so a full copy per in-flight branch is
+/// the simplest correct recovery mechanism; commercial designs approximate
+/// this with top-of-stack repair, which can corrupt deep stacks — we model
+/// the ideal repair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RasCheckpoint {
+    stack: [u32; RAS_ENTRIES],
+    top: usize,
+    depth: usize,
+}
+
+/// A circular return address stack (64 entries, Table 2) used by fetch to
+/// predict `ret` targets.
+#[derive(Clone, Copy, Debug)]
+pub struct ReturnAddressStack {
+    stack: [u32; RAS_ENTRIES],
+    /// Index one past the most recently pushed entry (mod RAS_ENTRIES).
+    top: usize,
+    /// Number of live entries (saturates at RAS_ENTRIES as old frames are
+    /// overwritten).
+    depth: usize,
+}
+
+impl Default for ReturnAddressStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReturnAddressStack {
+    /// Creates an empty stack.
+    #[must_use]
+    pub fn new() -> ReturnAddressStack {
+        ReturnAddressStack {
+            stack: [0; RAS_ENTRIES],
+            top: 0,
+            depth: 0,
+        }
+    }
+
+    /// Pushes a return address (on fetching a call).
+    pub fn push(&mut self, return_addr: u32) {
+        self.stack[self.top] = return_addr;
+        self.top = (self.top + 1) % RAS_ENTRIES;
+        self.depth = (self.depth + 1).min(RAS_ENTRIES);
+    }
+
+    /// Pops the predicted return address (on fetching a `ret`). Returns
+    /// `None` when the stack has underflowed, in which case fetch falls back
+    /// to the indirect target cache.
+    pub fn pop(&mut self) -> Option<u32> {
+        if self.depth == 0 {
+            return None;
+        }
+        self.top = (self.top + RAS_ENTRIES - 1) % RAS_ENTRIES;
+        self.depth -= 1;
+        Some(self.stack[self.top])
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Takes a checkpoint for flush recovery.
+    #[must_use]
+    pub fn checkpoint(&self) -> RasCheckpoint {
+        RasCheckpoint {
+            stack: self.stack,
+            top: self.top,
+            depth: self.depth,
+        }
+    }
+
+    /// Restores a previously taken checkpoint.
+    pub fn restore(&mut self, cp: &RasCheckpoint) {
+        self.stack = cp.stack;
+        self.top = cp.top;
+        self.depth = cp.depth;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_lifo() {
+        let mut ras = ReturnAddressStack::new();
+        ras.push(10);
+        ras.push(20);
+        assert_eq!(ras.pop(), Some(20));
+        assert_eq!(ras.pop(), Some(10));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn overflow_wraps_and_keeps_newest() {
+        let mut ras = ReturnAddressStack::new();
+        for i in 0..(RAS_ENTRIES as u32 + 4) {
+            ras.push(i);
+        }
+        assert_eq!(ras.depth(), RAS_ENTRIES);
+        // Newest entries pop first.
+        assert_eq!(ras.pop(), Some(RAS_ENTRIES as u32 + 3));
+        assert_eq!(ras.pop(), Some(RAS_ENTRIES as u32 + 2));
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrip() {
+        let mut ras = ReturnAddressStack::new();
+        ras.push(1);
+        ras.push(2);
+        let cp = ras.checkpoint();
+        ras.push(3);
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        ras.restore(&cp);
+        assert_eq!(ras.depth(), 2);
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), Some(1));
+    }
+
+    #[test]
+    fn underflow_after_restore_of_empty() {
+        let ras0 = ReturnAddressStack::new();
+        let cp = ras0.checkpoint();
+        let mut ras = ReturnAddressStack::new();
+        ras.push(5);
+        ras.restore(&cp);
+        assert_eq!(ras.pop(), None);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests over the predictor suite: reference-model equivalence for
+//! the JRS resetting counters, RAS checkpointing under arbitrary
+//! interleavings, and hybrid-predictor determinism/accuracy bounds.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use wishbranch_bpred::{
+    ConfidenceLevel, HybridConfig, HybridPredictor, JrsConfidence, JrsConfig,
+    ReturnAddressStack,
+};
+
+proptest! {
+    /// Single branch, no conflicts: the tagged JRS must behave exactly like
+    /// one resetting saturating counter with a threshold.
+    #[test]
+    fn jrs_matches_streak_model(outcomes in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let cfg = JrsConfig {
+            sets: 16,
+            ways: 2,
+            counter_bits: 4,
+            threshold: 5,
+            hist_bits: 0, // single context for the model
+        };
+        let mut jrs = JrsConfidence::new(cfg);
+        let mut streak: u64 = 0;
+        let mut seen = false;
+        for correct in outcomes {
+            let expect = if !seen {
+                ConfidenceLevel::Low // tag miss
+            } else if streak >= 5 {
+                ConfidenceLevel::High
+            } else {
+                ConfidenceLevel::Low
+            };
+            prop_assert_eq!(jrs.estimate(77, 0), expect, "streak={}", streak);
+            jrs.update(77, 0, correct);
+            seen = true;
+            streak = if correct { (streak + 1).min(15) } else { 0 };
+        }
+    }
+
+    /// Arbitrary push/pop/checkpoint/restore interleavings: a restored RAS
+    /// must behave exactly as it did at checkpoint time.
+    #[test]
+    fn ras_checkpoint_is_exact(ops in proptest::collection::vec(0u8..4, 1..100)) {
+        let mut ras = ReturnAddressStack::new();
+        let mut model: Vec<u32> = Vec::new();
+        let mut next = 1u32;
+        let mut checkpoint = None;
+        for op in ops {
+            match op {
+                0 => {
+                    ras.push(next);
+                    model.push(next);
+                    if model.len() > 64 {
+                        model.remove(0);
+                    }
+                    next += 1;
+                }
+                1 => {
+                    prop_assert_eq!(ras.pop(), model.pop());
+                }
+                2 => checkpoint = Some((ras.checkpoint(), model.clone())),
+                _ => {
+                    if let Some((cp, m)) = &checkpoint {
+                        ras.restore(cp);
+                        model = m.clone();
+                    }
+                }
+            }
+        }
+        // Drain both and compare.
+        while let Some(expect) = model.pop() {
+            prop_assert_eq!(ras.pop(), Some(expect));
+        }
+        prop_assert_eq!(ras.pop(), None);
+    }
+
+    /// The hybrid predictor is deterministic: identical stimulus → identical
+    /// predictions and state.
+    #[test]
+    fn hybrid_is_deterministic(
+        branches in proptest::collection::vec((0u32..64, any::<bool>()), 1..300)
+    ) {
+        let cfg = HybridConfig {
+            gshare_entries: 1024,
+            gshare_hist_bits: 8,
+            pas_local_entries: 64,
+            pas_hist_bits: 6,
+            pas_pht_entries: 1024,
+            selector_entries: 256,
+        };
+        let run = || {
+            let mut bp = HybridPredictor::new(cfg);
+            let mut trace = Vec::new();
+            for &(pc, taken) in &branches {
+                let (dir, tok) = bp.predict(pc);
+                bp.on_fetch_branch(dir);
+                bp.update(pc, &tok, taken);
+                trace.push(dir);
+            }
+            (trace, bp.stats())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+/// The hybrid must learn a set of strongly biased static branches to high
+/// accuracy — a functional floor, not a microbenchmark.
+#[test]
+fn hybrid_learns_biased_branches() {
+    let mut bp = HybridPredictor::new(HybridConfig::default());
+    let mut outcomes: HashMap<u32, bool> = HashMap::new();
+    for pc in 0..32u32 {
+        outcomes.insert(pc * 16, pc % 2 == 0);
+    }
+    let mut late_wrong = 0;
+    let mut late_total = 0;
+    for round in 0..200 {
+        for (&pc, &taken) in &outcomes {
+            let (dir, tok) = bp.predict(pc);
+            bp.on_fetch_branch(dir);
+            if round > 50 {
+                late_total += 1;
+                if dir != taken {
+                    late_wrong += 1;
+                }
+            }
+            bp.update(pc, &tok, taken);
+        }
+    }
+    assert!(
+        (late_wrong as f64) < 0.01 * late_total as f64,
+        "static branches must be near-perfectly predicted: {late_wrong}/{late_total}"
+    );
+}

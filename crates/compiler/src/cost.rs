@@ -1,0 +1,120 @@
+//! The compile-time cost-benefit model of §4.2.1 (Equations 4.1–4.3).
+
+use crate::CompileOptions;
+use wishbranch_ir::BranchSiteProfile;
+
+/// The two execution-time estimates compared by Equation 4.3.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RegionCost {
+    /// Eq. 4.1: estimated time of the normal-branch code,
+    /// `exec_T·P(T) + exec_N·P(N) + penalty·P(misprediction)`.
+    pub exec_normal: f64,
+    /// Eq. 4.2: estimated time of the predicated code.
+    pub exec_pred: f64,
+}
+
+impl RegionCost {
+    /// Eq. 4.3: whether the predicated code is estimated faster.
+    #[must_use]
+    pub fn favors_predication(&self) -> bool {
+        self.exec_pred < self.exec_normal
+    }
+}
+
+/// Evaluates the cost model for an if-convertible region.
+///
+/// `taken_len` / `fall_len` are the µop counts of the taken-side and
+/// fall-through-side arms; `pred_overhead` is the number of extra µops
+/// predication adds (the `cmp2` upgrade plus any `pand`s). Execution times
+/// are estimated as µop count divided by [`CompileOptions::est_ipc`] — the
+/// paper's "dependency height and resource usage analysis" distilled to a
+/// throughput model.
+#[must_use]
+pub fn region_cost(
+    prof: &BranchSiteProfile,
+    taken_len: usize,
+    fall_len: usize,
+    pred_overhead: usize,
+    opts: &CompileOptions,
+) -> RegionCost {
+    let t = prof.p_taken();
+    let n = 1.0 - t;
+    let exec_t = taken_len as f64 / opts.est_ipc;
+    let exec_n = fall_len as f64 / opts.est_ipc;
+    let exec_normal =
+        exec_t * t + exec_n * n + opts.mispredict_penalty * prof.p_mispredict();
+    let exec_pred = (taken_len + fall_len + pred_overhead) as f64 / opts.est_ipc;
+    RegionCost {
+        exec_normal,
+        exec_pred,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prof(taken: u64, not_taken: u64, misp: u64) -> BranchSiteProfile {
+        BranchSiteProfile {
+            taken,
+            not_taken,
+            est_mispredicts: misp,
+        }
+    }
+
+    #[test]
+    fn hard_to_predict_branch_favors_predication() {
+        // 50/50 branch mispredicted 40% of the time, small arms.
+        let c = region_cost(&prof(50, 50, 40), 6, 6, 2, &CompileOptions::default());
+        assert!(c.favors_predication(), "{c:?}");
+    }
+
+    #[test]
+    fn well_predicted_branch_keeps_branching() {
+        // Easy branch: ~0% mispredictions, symmetric arms.
+        let c = region_cost(&prof(99, 1, 1), 8, 8, 2, &CompileOptions::default());
+        assert!(!c.favors_predication(), "{c:?}");
+    }
+
+    #[test]
+    fn huge_arms_resist_predication_even_when_hard() {
+        // 10% mispredict rate but predication doubles a 100-µop path.
+        let c = region_cost(&prof(50, 50, 10), 100, 100, 2, &CompileOptions::default());
+        assert!(!c.favors_predication(), "{c:?}");
+    }
+
+    #[test]
+    fn never_executed_region_is_not_predicated() {
+        let c = region_cost(&prof(0, 0, 0), 4, 4, 2, &CompileOptions::default());
+        assert!(!c.favors_predication(), "{c:?}");
+    }
+
+    #[test]
+    fn crossover_moves_with_penalty() {
+        // Same branch, shallow vs deep pipeline: deep pipeline tips the
+        // decision toward predication (the paper's Fig. 15 intuition).
+        let p = prof(55, 45, 15);
+        let shallow = region_cost(
+            &p,
+            8,
+            8,
+            2,
+            &CompileOptions {
+                mispredict_penalty: 5.0,
+                ..CompileOptions::default()
+            },
+        );
+        let deep = region_cost(
+            &p,
+            8,
+            8,
+            2,
+            &CompileOptions {
+                mispredict_penalty: 30.0,
+                ..CompileOptions::default()
+            },
+        );
+        assert!(!shallow.favors_predication());
+        assert!(deep.favors_predication());
+    }
+}

@@ -1,0 +1,529 @@
+//! If-conversion and wish jump/join generation (§3.1, §4.2).
+
+use crate::mir::{alloc_pred_pair, guard_insns, preds_used, MBlock, MCondSrc, MFunc, MInsn, MTerm};
+use crate::{BinaryVariant, CompileOptions, CompileReport};
+use std::collections::HashSet;
+use crate::mir::SiteStats;
+use wishbranch_ir::BranchSiteProfile;
+use wishbranch_isa::{Insn, WishType};
+
+/// What to do with an if-convertible region.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Action {
+    Keep,
+    Predicate,
+    Wish,
+}
+
+/// The shape of a convertible region rooted at block `a`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Shape {
+    /// `if cond goto T else F; T→J; F→J` with distinct T, F.
+    Diamond { taken: usize, fall: usize, join: usize },
+    /// `if cond goto J else F; F→J` — the Fig. 3 hammock.
+    TriangleSkip { fall: usize, join: usize },
+    /// `if cond goto T else J; T→J`.
+    TriangleTaken { taken: usize, join: usize },
+}
+
+fn classify(mf: &MFunc, a: usize, preds: &[Vec<usize>], opts: &CompileOptions) -> Option<Shape> {
+    let MTerm::Cond {
+        src: MCondSrc::IrCond(_),
+        taken,
+        fall,
+        ..
+    } = mf.blocks[a].term
+    else {
+        return None;
+    };
+    // Forward hammocks only: loop latches are never if-converted (§2.2 —
+    // backward branches cannot be eliminated by predication).
+    if taken <= a || fall <= a || taken == fall {
+        return None;
+    }
+    let arm_ok = |b: usize| {
+        let blk = &mf.blocks[b];
+        !blk.dead
+            && blk.is_straight()
+            && preds[b] == [a]
+            && blk.len() <= opts.max_predicated_side
+    };
+    let jump_target = |b: usize| match mf.blocks[b].term {
+        MTerm::Jump(j) => Some(j),
+        _ => None,
+    };
+    // Diamond.
+    if arm_ok(taken) && arm_ok(fall) {
+        if let (Some(j1), Some(j2)) = (jump_target(taken), jump_target(fall)) {
+            if j1 == j2 && j1 != taken && j1 != fall && j1 != a {
+                return Some(Shape::Diamond {
+                    taken,
+                    fall,
+                    join: j1,
+                });
+            }
+        }
+    }
+    // Triangle with the taken edge skipping the fall-through arm.
+    if arm_ok(fall) && jump_target(fall) == Some(taken) {
+        return Some(Shape::TriangleSkip { fall, join: taken });
+    }
+    // Triangle with the fall edge skipping the taken arm.
+    if arm_ok(taken) && jump_target(taken) == Some(fall) {
+        return Some(Shape::TriangleTaken { taken, join: fall });
+    }
+    None
+}
+
+fn decide(
+    variant: BinaryVariant,
+    prof: &SiteStats,
+    taken_len: usize,
+    fall_len: usize,
+    guarded_len: usize,
+    overhead: usize,
+    opts: &CompileOptions,
+) -> Action {
+    match variant {
+        BinaryVariant::NormalBranch => Action::Keep,
+        BinaryVariant::BaseDef => {
+            let cost =
+                crate::cost::region_cost(&prof.combined, taken_len, fall_len, overhead, opts);
+            if cost.favors_predication() {
+                Action::Predicate
+            } else {
+                Action::Keep
+            }
+        }
+        BinaryVariant::BaseMax => Action::Predicate,
+        BinaryVariant::WishJumpJoin | BinaryVariant::WishJumpJoinLoop => {
+            // §4.2.2: short regions are better off plainly predicated (the
+            // wish branch itself costs at least one extra instruction);
+            // larger ones become wish jumps/joins.
+            if guarded_len > opts.wish_jump_threshold {
+                Action::Wish
+            } else {
+                Action::Predicate
+            }
+        }
+        BinaryVariant::WishAdaptive => {
+            // §3.6: a wish branch is only worth its instruction overhead if
+            // the branch is *ever* hard enough to want predication — i.e.
+            // its worst-case profile misprediction estimate clears a floor.
+            // Branches that stay easy across all training inputs keep their
+            // normal-branch form and pay nothing; hard-or-input-dependent
+            // large regions become wish branches (the hardware adapts per
+            // input at run time); the rest fall back to the Eq. 4.3 cost
+            // model.
+            let hard_floor = 3.0 * opts.input_dependence_threshold;
+            if guarded_len > opts.wish_jump_threshold && prof.misp_max > hard_floor {
+                return Action::Wish;
+            }
+            let cost =
+                crate::cost::region_cost(&prof.combined, taken_len, fall_len, overhead, opts);
+            if cost.favors_predication() {
+                Action::Predicate
+            } else {
+                Action::Keep
+            }
+        }
+    }
+}
+
+/// Extra µops predication adds: the cmp→cmp2 upgrade plus two `pand`s per
+/// nested predicate definition.
+fn pred_overhead(arms: &[&MBlock]) -> usize {
+    1 + arms
+        .iter()
+        .flat_map(|b| b.insns.iter())
+        .filter(|m| m.as_op().is_some_and(|i| i.def_preds()[0].is_some()))
+        .count()
+        * 2
+}
+
+/// Runs if-conversion / wish jump-join conversion over one function until no
+/// more regions convert.
+pub(crate) fn run(
+    mf: &mut MFunc,
+    variant: BinaryVariant,
+    opts: &CompileOptions,
+    report: &mut CompileReport,
+) {
+    let mut kept: HashSet<usize> = HashSet::new();
+    'outer: loop {
+        crate::mir::thread_jumps(mf);
+        let preds = mf.predecessors();
+        for a in 0..mf.blocks.len() {
+            if mf.blocks[a].dead || kept.contains(&a) {
+                continue;
+            }
+            let Some(shape) = classify(mf, a, &preds, opts) else {
+                continue;
+            };
+            let MTerm::Cond {
+                src: MCondSrc::IrCond(cond),
+                prof,
+                ..
+            } = mf.blocks[a].term
+            else {
+                continue;
+            };
+            let (tlen, flen, guarded_len, arm_ids): (usize, usize, usize, Vec<usize>) = match shape
+            {
+                Shape::Diamond { taken, fall, .. } => (
+                    mf.blocks[taken].len(),
+                    mf.blocks[fall].len(),
+                    mf.blocks[taken].len() + mf.blocks[fall].len(),
+                    vec![taken, fall],
+                ),
+                Shape::TriangleSkip { fall, .. } => {
+                    (0, mf.blocks[fall].len(), mf.blocks[fall].len(), vec![fall])
+                }
+                Shape::TriangleTaken { taken, .. } => (
+                    mf.blocks[taken].len(),
+                    0,
+                    mf.blocks[taken].len(),
+                    vec![taken],
+                ),
+            };
+            let arms: Vec<&MBlock> = arm_ids.iter().map(|&i| &mf.blocks[i]).collect();
+            let overhead = pred_overhead(&arms);
+            let action = decide(variant, &prof, tlen, flen, guarded_len, overhead, opts);
+            if action == Action::Keep {
+                kept.insert(a);
+                report.regions_kept += 1;
+                continue;
+            }
+            // Allocate the predicate pair, avoiding everything live in the
+            // region.
+            let mut used = preds_used(&mf.blocks[a].insns);
+            for &arm in &arm_ids {
+                used |= preds_used(&mf.blocks[arm].insns);
+            }
+            let Some((pt, pf)) = alloc_pred_pair(used) else {
+                kept.insert(a);
+                report.regions_kept += 1;
+                continue;
+            };
+            let cmp2 = MInsn::Op(Insn::cmp2(cond.op, pt, pf, cond.lhs, cond.rhs));
+
+            match action {
+                Action::Predicate => {
+                    report.regions_predicated += 1;
+                    let (join, pieces): (usize, Vec<Vec<MInsn>>) = match shape {
+                        Shape::Diamond { taken, fall, join } => (
+                            join,
+                            vec![
+                                guard_insns(&mf.blocks[fall].insns, pf),
+                                guard_insns(&mf.blocks[taken].insns, pt),
+                            ],
+                        ),
+                        Shape::TriangleSkip { fall, join } => {
+                            (join, vec![guard_insns(&mf.blocks[fall].insns, pf)])
+                        }
+                        Shape::TriangleTaken { taken, join } => {
+                            (join, vec![guard_insns(&mf.blocks[taken].insns, pt)])
+                        }
+                    };
+                    let a_blk = &mut mf.blocks[a];
+                    a_blk.insns.push(cmp2);
+                    for piece in pieces {
+                        a_blk.insns.extend(piece);
+                    }
+                    a_blk.term = MTerm::Jump(join);
+                    for arm in arm_ids {
+                        mf.blocks[arm].dead = true;
+                    }
+                }
+                Action::Wish => {
+                    report.regions_wish += 1;
+                    let join_prof = SiteStats {
+                        combined: BranchSiteProfile {
+                            taken: prof.combined.not_taken,
+                            not_taken: prof.combined.taken,
+                            est_mispredicts: prof.combined.est_mispredicts,
+                        },
+                        misp_spread: prof.misp_spread,
+                        misp_max: prof.misp_max,
+                    };
+                    match shape {
+                        Shape::Diamond { taken, fall, join } => {
+                            mf.blocks[a].insns.push(cmp2);
+                            mf.blocks[a].term = MTerm::Cond {
+                                src: MCondSrc::Pred(pt),
+                                taken,
+                                fall,
+                                wish: Some(WishType::Jump),
+                                prof,
+                            };
+                            let guarded = guard_insns(&mf.blocks[fall].insns, pf);
+                            mf.blocks[fall].insns = guarded;
+                            mf.blocks[fall].term = MTerm::Cond {
+                                src: MCondSrc::Pred(pf),
+                                taken: join,
+                                fall: taken,
+                                wish: Some(WishType::Join),
+                                prof: join_prof,
+                            };
+                            let guarded = guard_insns(&mf.blocks[taken].insns, pt);
+                            mf.blocks[taken].insns = guarded;
+                            // taken arm keeps its Jump(join) terminator.
+                        }
+                        Shape::TriangleSkip { fall, join } => {
+                            mf.blocks[a].insns.push(cmp2);
+                            mf.blocks[a].term = MTerm::Cond {
+                                src: MCondSrc::Pred(pt),
+                                taken: join,
+                                fall,
+                                wish: Some(WishType::Jump),
+                                prof,
+                            };
+                            let guarded = guard_insns(&mf.blocks[fall].insns, pf);
+                            mf.blocks[fall].insns = guarded;
+                        }
+                        Shape::TriangleTaken { taken, join } => {
+                            // The wish jump must skip the guarded arm, so it
+                            // branches on the *complement* predicate.
+                            mf.blocks[a].insns.push(cmp2);
+                            mf.blocks[a].term = MTerm::Cond {
+                                src: MCondSrc::Pred(pf),
+                                taken: join,
+                                fall: taken,
+                                wish: Some(WishType::Jump),
+                                prof: join_prof,
+                            };
+                            let guarded = guard_insns(&mf.blocks[taken].insns, pt);
+                            mf.blocks[taken].insns = guarded;
+                        }
+                    }
+                    // Wish regions are terminal: their arms now end in wish
+                    // joins / stay branch targets, so they can't be arms of
+                    // an enclosing conversion. Nothing else to do.
+                }
+                Action::Keep => unreachable!(),
+            }
+            continue 'outer; // predecessors changed; restart the scan
+        }
+        break;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wishbranch_ir::{FuncId, FunctionBuilder, Interpreter, Module};
+    use wishbranch_isa::{CmpOp, Gpr, Operand, PredReg};
+
+    /// if (r1 < 5) r2 = 1 else r2 = 2; r3 = r2.
+    fn diamond_module() -> Module {
+        let (r1, r2, r3) = (Gpr::new(1), Gpr::new(2), Gpr::new(3));
+        let mut f = FunctionBuilder::new("main");
+        let e = f.entry_block();
+        let el = f.new_block();
+        let t = f.new_block();
+        let j = f.new_block();
+        f.select(e);
+        f.movi(r1, 3);
+        f.branch(CmpOp::Lt, r1, Operand::imm(5), t, el);
+        f.select(el);
+        f.movi(r2, 2);
+        f.jump(j);
+        f.select(t);
+        f.movi(r2, 1);
+        f.jump(j);
+        f.select(j);
+        f.mov(r3, r2);
+        f.halt();
+        Module::new(vec![f.build()], 0).unwrap()
+    }
+
+    fn lower(m: &Module) -> MFunc {
+        let prof = Interpreter::new().run(m, 10_000).unwrap().profile;
+        crate::mir::lower_function(FuncId(0), &m.funcs()[0], &crate::mir::bundle_profiles(std::slice::from_ref(&prof)))
+    }
+
+    #[test]
+    fn base_max_predicates_diamond() {
+        let m = diamond_module();
+        let mut mf = lower(&m);
+        let mut report = CompileReport::default();
+        run(
+            &mut mf,
+            BinaryVariant::BaseMax,
+            &CompileOptions::default(),
+            &mut report,
+        );
+        assert_eq!(report.regions_predicated, 1);
+        assert!(mf.blocks[1].dead && mf.blocks[2].dead);
+        assert!(matches!(mf.blocks[0].term, MTerm::Jump(3)));
+        // Entry block now holds: movi, cmp2, guarded else, guarded then.
+        let ops: Vec<&Insn> = mf.blocks[0].insns.iter().filter_map(|m| m.as_op()).collect();
+        assert_eq!(ops.len(), 4);
+        assert!(ops[2].guard.is_some() && ops[3].guard.is_some());
+        assert_ne!(ops[2].guard, ops[3].guard);
+    }
+
+    #[test]
+    fn wish_variant_generates_jump_and_join() {
+        // Make the arms big enough to clear the N=5 threshold.
+        let (r1, r2) = (Gpr::new(1), Gpr::new(2));
+        let mut f = FunctionBuilder::new("main");
+        let e = f.entry_block();
+        let el = f.new_block();
+        let t = f.new_block();
+        let j = f.new_block();
+        f.select(e);
+        f.movi(r1, 3);
+        f.branch(CmpOp::Lt, r1, Operand::imm(5), t, el);
+        f.select(el);
+        for _ in 0..4 {
+            f.movi(r2, 2);
+        }
+        f.jump(j);
+        f.select(t);
+        for _ in 0..4 {
+            f.movi(r2, 1);
+        }
+        f.jump(j);
+        f.select(j);
+        f.halt();
+        let m = Module::new(vec![f.build()], 0).unwrap();
+        let mut mf = lower(&m);
+        let mut report = CompileReport::default();
+        run(
+            &mut mf,
+            BinaryVariant::WishJumpJoin,
+            &CompileOptions::default(),
+            &mut report,
+        );
+        assert_eq!(report.regions_wish, 1);
+        assert!(matches!(
+            mf.blocks[0].term,
+            MTerm::Cond {
+                wish: Some(WishType::Jump),
+                ..
+            }
+        ));
+        assert!(matches!(
+            mf.blocks[1].term,
+            MTerm::Cond {
+                wish: Some(WishType::Join),
+                taken: 3,
+                fall: 2,
+                ..
+            }
+        ));
+        // Both arms fully guarded.
+        assert!(mf.blocks[1]
+            .insns
+            .iter()
+            .all(|m| m.as_op().unwrap().guard == Some(PredReg::new(2))));
+        assert!(mf.blocks[2]
+            .insns
+            .iter()
+            .all(|m| m.as_op().unwrap().guard == Some(PredReg::new(1))));
+    }
+
+    #[test]
+    fn wish_variant_predicates_small_region() {
+        let m = diamond_module(); // 1-µop arms, under the N=5 threshold
+        let mut mf = lower(&m);
+        let mut report = CompileReport::default();
+        run(
+            &mut mf,
+            BinaryVariant::WishJumpJoin,
+            &CompileOptions::default(),
+            &mut report,
+        );
+        assert_eq!(report.regions_wish, 0);
+        assert_eq!(report.regions_predicated, 1);
+    }
+
+    #[test]
+    fn normal_variant_converts_nothing() {
+        let m = diamond_module();
+        let mut mf = lower(&m);
+        let mut report = CompileReport::default();
+        run(
+            &mut mf,
+            BinaryVariant::NormalBranch,
+            &CompileOptions::default(),
+            &mut report,
+        );
+        assert_eq!(report.regions_predicated + report.regions_wish, 0);
+    }
+
+    #[test]
+    fn nested_diamonds_convert_inside_out() {
+        // if (r1<5) { if (r2<3) r3=1 else r3=2 } else r3=4
+        let (r1, r2, r3) = (Gpr::new(1), Gpr::new(2), Gpr::new(3));
+        let mut f = FunctionBuilder::new("main");
+        let e = f.entry_block();
+        let outer_else = f.new_block();
+        let inner = f.new_block();
+        let inner_else = f.new_block();
+        let inner_then = f.new_block();
+        let inner_join = f.new_block();
+        let j = f.new_block();
+        f.select(e);
+        f.movi(r1, 3);
+        f.movi(r2, 1);
+        f.branch(CmpOp::Lt, r1, Operand::imm(5), inner, outer_else);
+        f.select(outer_else);
+        f.movi(r3, 4);
+        f.jump(j);
+        f.select(inner);
+        f.branch(CmpOp::Lt, r2, Operand::imm(3), inner_then, inner_else);
+        f.select(inner_else);
+        f.movi(r3, 2);
+        f.jump(inner_join);
+        f.select(inner_then);
+        f.movi(r3, 1);
+        f.jump(inner_join);
+        f.select(inner_join);
+        f.jump(j);
+        f.select(j);
+        f.halt();
+        let m = Module::new(vec![f.build()], 0).unwrap();
+        let mut mf = lower(&m);
+        let mut report = CompileReport::default();
+        run(
+            &mut mf,
+            BinaryVariant::BaseMax,
+            &CompileOptions::default(),
+            &mut report,
+        );
+        // Inner diamond first, then the outer triangle/diamond collapses too.
+        assert_eq!(report.regions_predicated, 2);
+        // Everything ends up in the entry block, which jumps to the join.
+        assert!(matches!(mf.blocks[0].term, MTerm::Jump(6)));
+    }
+
+    #[test]
+    fn loop_latch_is_never_converted() {
+        let r1 = Gpr::new(1);
+        let mut f = FunctionBuilder::new("main");
+        let e = f.entry_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.select(e);
+        f.movi(r1, 0);
+        f.jump(body);
+        f.select(body);
+        f.alu(wishbranch_isa::AluOp::Add, r1, r1, Operand::imm(1));
+        f.branch(CmpOp::Lt, r1, Operand::imm(10), body, exit);
+        f.select(exit);
+        f.halt();
+        let m = Module::new(vec![f.build()], 0).unwrap();
+        let mut mf = lower(&m);
+        let mut report = CompileReport::default();
+        run(
+            &mut mf,
+            BinaryVariant::BaseMax,
+            &CompileOptions::default(),
+            &mut report,
+        );
+        assert_eq!(report.regions_predicated, 0);
+        assert!(matches!(mf.blocks[1].term, MTerm::Cond { .. }));
+    }
+}

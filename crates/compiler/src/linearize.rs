@@ -1,0 +1,258 @@
+//! Block layout and emission of the final flat program image.
+
+use crate::mir::{MCondSrc, MFunc, MInsn, MTerm};
+use wishbranch_ir::FuncId;
+use wishbranch_isa::{BranchKind, Insn, PredReg, Program, ProgramBuilder};
+
+/// Scratch predicate used to materialize unconverted branch conditions.
+/// Program-order correctness makes reuse safe (the out-of-order core renames
+/// predicates like any other register).
+const SCRATCH_PRED: PredReg = PredReg::new(1);
+
+/// Chooses an emission order for the live blocks of `mf`: greedy
+/// fall-through chains from the entry, so that a conditional branch's
+/// not-taken successor is physically next whenever possible. Wish jumps and
+/// joins *require* this (their low-confidence mode falls through into the
+/// predicated arm), and the chains are always realizable for converted
+/// regions because their arms are single-predecessor.
+fn layout(mf: &MFunc) -> Vec<usize> {
+    let n = mf.blocks.len();
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut start = Some(0);
+    while let Some(s) = start {
+        let mut cur = Some(s);
+        while let Some(c) = cur {
+            if visited[c] || mf.blocks[c].dead {
+                break;
+            }
+            visited[c] = true;
+            order.push(c);
+            cur = match mf.blocks[c].term {
+                MTerm::Jump(t) if !visited[t] && !mf.blocks[t].dead => Some(t),
+                MTerm::Cond { fall, .. } if !visited[fall] && !mf.blocks[fall].dead => Some(fall),
+                MTerm::Cond { taken, .. } if !visited[taken] && !mf.blocks[taken].dead => {
+                    Some(taken)
+                }
+                _ => None,
+            };
+        }
+        start = (0..n).find(|&b| !visited[b] && !mf.blocks[b].dead);
+    }
+    order
+}
+
+/// Emits all functions (main first) into one flat [`Program`].
+pub(crate) fn linearize(mfuncs: &[MFunc], main: FuncId) -> Program {
+    let mut b = ProgramBuilder::new();
+
+    // Emission order: main first, then the rest.
+    let mut func_order: Vec<usize> = vec![main.0 as usize];
+    func_order.extend((0..mfuncs.len()).filter(|&i| i != main.0 as usize));
+
+    // One label per (function, block).
+    let labels: Vec<Vec<_>> = mfuncs
+        .iter()
+        .map(|mf| {
+            (0..mf.blocks.len())
+                .map(|bi| b.label(format!("{}.bb{}", mf.name, bi)))
+                .collect()
+        })
+        .collect();
+
+    for &fi in &func_order {
+        let mf = &mfuncs[fi];
+        let order = layout(mf);
+        for (pos, &blk_idx) in order.iter().enumerate() {
+            b.bind(labels[fi][blk_idx]);
+            let blk = &mf.blocks[blk_idx];
+            for m in &blk.insns {
+                match m {
+                    MInsn::Op(insn) => b.push(*insn),
+                    MInsn::CallFunc(callee) => {
+                        // A function's entry block is its block 0, which the
+                        // layout always emits first.
+                        b.push_call(labels[callee.0 as usize][0]);
+                    }
+                }
+            }
+            let next = order.get(pos + 1).copied();
+            match blk.term {
+                MTerm::Jump(t) => {
+                    if next != Some(t) {
+                        b.push_jump(labels[fi][t]);
+                    }
+                }
+                MTerm::Cond {
+                    src,
+                    taken,
+                    fall,
+                    wish,
+                    ..
+                } => {
+                    let pred = match src {
+                        MCondSrc::IrCond(c) => {
+                            b.push(Insn::cmp(c.op, SCRATCH_PRED, c.lhs, c.rhs));
+                            SCRATCH_PRED
+                        }
+                        MCondSrc::Pred(p) => p,
+                    };
+                    b.push_cond_branch(pred, true, labels[fi][taken], wish);
+                    if next != Some(fall) {
+                        // Wish jumps/joins rely on falling through into the
+                        // predicated arm in low-confidence mode; the layout
+                        // guarantees that because region arms have a single
+                        // predecessor. Wish loops don't: their not-taken
+                        // path may need an explicit jump to the exit block.
+                        assert!(
+                            !matches!(wish, Some(wishbranch_isa::WishType::Jump | wishbranch_isa::WishType::Join)),
+                            "wish jump/join fall-through must be physically next"
+                        );
+                        b.push_jump(labels[fi][fall]);
+                    }
+                }
+                MTerm::Ret => b.push(Insn::branch(BranchKind::Ret, 0)),
+                MTerm::Halt => b.push(Insn::halt()),
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mir::lower_function;
+    use wishbranch_ir::{FunctionBuilder, Interpreter, Module};
+    use wishbranch_isa::{CmpOp, Gpr, InsnKind, Operand, WishType};
+
+    #[test]
+    fn straight_line_emits_no_redundant_jumps() {
+        let mut f = FunctionBuilder::new("main");
+        let e = f.entry_block();
+        let x = f.new_block();
+        f.select(e);
+        f.movi(Gpr::new(1), 1);
+        f.jump(x);
+        f.select(x);
+        f.halt();
+        let m = Module::new(vec![f.build()], 0).unwrap();
+        let prof = Interpreter::new().run(&m, 100).unwrap().profile;
+        let mf = lower_function(FuncId(0), &m.funcs()[0], &crate::mir::bundle_profiles(std::slice::from_ref(&prof)));
+        let p = linearize(&[mf], FuncId(0));
+        // movi + halt only: the jump to the physically-next block vanishes.
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn branch_fallthrough_is_physically_next() {
+        let mut f = FunctionBuilder::new("main");
+        let e = f.entry_block();
+        let t = f.new_block();
+        let fall = f.new_block();
+        f.select(e);
+        f.branch(CmpOp::Eq, Gpr::new(1), Operand::imm(0), t, fall);
+        f.select(fall);
+        f.movi(Gpr::new(2), 1);
+        f.halt();
+        f.select(t);
+        f.movi(Gpr::new(2), 2);
+        f.halt();
+        let m = Module::new(vec![f.build()], 0).unwrap();
+        let prof = Interpreter::new().run(&m, 100).unwrap().profile;
+        let mf = lower_function(FuncId(0), &m.funcs()[0], &crate::mir::bundle_profiles(std::slice::from_ref(&prof)));
+        let p = linearize(&[mf], FuncId(0));
+        // cmp, br → movi(fall) halt, movi(taken) halt. Branch target is the
+        // taken block at index 4.
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.insn(1).direct_target(), Some(4));
+        assert!(matches!(p.insn(0).kind, InsnKind::Cmp { .. }));
+    }
+
+    #[test]
+    fn calls_resolve_to_function_entries() {
+        let mut callee = FunctionBuilder::new("callee");
+        let e = callee.entry_block();
+        callee.select(e);
+        callee.movi(Gpr::new(5), 9);
+        callee.ret();
+        let mut main = FunctionBuilder::new("main");
+        let e = main.entry_block();
+        main.select(e);
+        main.call(wishbranch_ir::FuncId(1));
+        main.halt();
+        let m = Module::new(vec![main.build(), callee.build()], 0).unwrap();
+        let prof = Interpreter::new().run(&m, 100).unwrap().profile;
+        let mfs: Vec<_> = m
+            .funcs()
+            .iter()
+            .enumerate()
+            .map(|(i, f)| lower_function(FuncId(i as u32), f, &crate::mir::bundle_profiles(std::slice::from_ref(&prof))))
+            .collect();
+        let p = linearize(&mfs, FuncId(0));
+        // main: call, halt; callee: movi, ret.
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.insn(0).direct_target(), Some(2));
+        assert!(matches!(
+            p.insn(3).kind,
+            InsnKind::Branch {
+                kind: BranchKind::Ret,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn wish_jump_join_layout_matches_fig3c() {
+        // Build via the full pipeline to check physical ordering A,B,C,JOIN.
+        let (r1, r2) = (Gpr::new(1), Gpr::new(2));
+        let mut f = FunctionBuilder::new("main");
+        let e = f.entry_block();
+        let el = f.new_block();
+        let t = f.new_block();
+        let j = f.new_block();
+        f.select(e);
+        f.movi(r1, 3);
+        f.branch(CmpOp::Lt, r1, Operand::imm(5), t, el);
+        f.select(el);
+        for _ in 0..4 {
+            f.movi(r2, 2);
+        }
+        f.jump(j);
+        f.select(t);
+        for _ in 0..4 {
+            f.movi(r2, 1);
+        }
+        f.jump(j);
+        f.select(j);
+        f.halt();
+        let m = Module::new(vec![f.build()], 0).unwrap();
+        let prof = Interpreter::new().run(&m, 100).unwrap().profile;
+        let bin = crate::compile(
+            &m,
+            &prof,
+            crate::BinaryVariant::WishJumpJoin,
+            &crate::CompileOptions::default(),
+        );
+        let p = &bin.program;
+        let wish_jump = p
+            .insns()
+            .iter()
+            .position(|i| i.wish == Some(WishType::Jump))
+            .expect("has a wish jump");
+        let wish_join = p
+            .insns()
+            .iter()
+            .position(|i| i.wish == Some(WishType::Join))
+            .expect("has a wish join");
+        assert!(wish_jump < wish_join);
+        // The jump targets the taken arm, which starts right after the join.
+        assert_eq!(
+            p.insn(wish_jump as u32).direct_target(),
+            Some(wish_join as u32 + 1)
+        );
+        // The join targets the final halt block.
+        let join_target = p.insn(wish_join as u32).direct_target().unwrap();
+        assert!(matches!(p.insn(join_target).kind, InsnKind::Halt));
+    }
+}

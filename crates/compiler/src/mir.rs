@@ -1,0 +1,405 @@
+//! Machine IR: a CFG whose straight-line instructions are already µops, on
+//! which if-conversion and wish-branch conversion operate.
+
+use std::collections::HashMap;
+use wishbranch_ir::{BlockId, BodyInsn, BranchSiteProfile, Cond, FuncId, Function, Profile, Terminator};
+use wishbranch_isa::{Insn, PredReg, WishType};
+
+/// Per-branch-site statistics combined across one or more training
+/// profiles. `misp_spread` measures input dependence (§3.6): how much the
+/// estimated misprediction rate varies between training inputs.
+#[derive(Clone, Copy, PartialEq, Default, Debug)]
+pub struct SiteStats {
+    /// Counts summed over all training profiles.
+    pub combined: BranchSiteProfile,
+    /// max − min of the per-profile misprediction estimates.
+    pub misp_spread: f64,
+    /// Worst (largest) per-profile misprediction estimate.
+    pub misp_max: f64,
+}
+
+/// All branch sites of a module, combined across training profiles.
+pub type ProfileBundle = HashMap<(FuncId, BlockId), SiteStats>;
+
+/// Combines training profiles into per-site statistics.
+#[must_use]
+pub fn bundle_profiles(profiles: &[Profile]) -> ProfileBundle {
+    let mut out: ProfileBundle = HashMap::new();
+    let mut rates: HashMap<(FuncId, BlockId), (f64, f64)> = HashMap::new();
+    for p in profiles {
+        for (&site, prof) in p {
+            let s = out.entry(site).or_default();
+            s.combined.taken += prof.taken;
+            s.combined.not_taken += prof.not_taken;
+            s.combined.est_mispredicts += prof.est_mispredicts;
+            let r = prof.p_mispredict();
+            let e = rates.entry(site).or_insert((r, r));
+            e.0 = e.0.min(r);
+            e.1 = e.1.max(r);
+        }
+    }
+    for (site, (lo, hi)) in rates {
+        if let Some(s) = out.get_mut(&site) {
+            s.misp_spread = hi - lo;
+            s.misp_max = hi;
+        }
+    }
+    out
+}
+
+/// A straight-line MIR instruction: either a real µop or a call placeholder
+/// (resolved to a `call` µop at linearization, when function addresses are
+/// known).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum MInsn {
+    /// An ordinary (non-control) µop; may be guarded.
+    Op(Insn),
+    /// Call to another function.
+    CallFunc(FuncId),
+}
+
+impl MInsn {
+    pub(crate) fn as_op(&self) -> Option<&Insn> {
+        match self {
+            MInsn::Op(i) => Some(i),
+            MInsn::CallFunc(_) => None,
+        }
+    }
+}
+
+/// The source of a conditional branch's predicate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum MCondSrc {
+    /// Unmaterialized IR condition: the linearizer emits a scratch `cmp`.
+    IrCond(Cond),
+    /// A predicate register already computed inside the block (conversion
+    /// emitted a `cmp2`).
+    Pred(PredReg),
+}
+
+/// Block terminator.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub(crate) enum MTerm {
+    Jump(usize),
+    Cond {
+        src: MCondSrc,
+        taken: usize,
+        fall: usize,
+        wish: Option<WishType>,
+        prof: SiteStats,
+    },
+    Ret,
+    Halt,
+}
+
+/// A MIR basic block.
+#[derive(Clone, Debug)]
+pub(crate) struct MBlock {
+    pub insns: Vec<MInsn>,
+    pub term: MTerm,
+    pub dead: bool,
+}
+
+impl MBlock {
+    /// Whether the block is a plain straight-line block (ends in an
+    /// unconditional jump and performs no calls) — the requirement for being
+    /// a predicated-region arm.
+    pub(crate) fn is_straight(&self) -> bool {
+        matches!(self.term, MTerm::Jump(_))
+            && self.insns.iter().all(|i| matches!(i, MInsn::Op(_)))
+    }
+
+    /// Number of µops in the block body.
+    pub(crate) fn len(&self) -> usize {
+        self.insns.len()
+    }
+}
+
+/// A MIR function.
+#[derive(Clone, Debug)]
+pub(crate) struct MFunc {
+    pub name: String,
+    pub blocks: Vec<MBlock>,
+}
+
+impl MFunc {
+    /// Predecessor lists over live blocks.
+    pub(crate) fn predecessors(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (i, b) in self.blocks.iter().enumerate() {
+            if b.dead {
+                continue;
+            }
+            match b.term {
+                MTerm::Jump(t) => preds[t].push(i),
+                MTerm::Cond { taken, fall, .. } => {
+                    preds[taken].push(i);
+                    preds[fall].push(i);
+                }
+                MTerm::Ret | MTerm::Halt => {}
+            }
+        }
+        preds
+    }
+}
+
+/// Lowers one IR function to MIR (1:1 blocks, branch conditions left
+/// unmaterialized).
+pub(crate) fn lower_function(fid: FuncId, func: &Function, bundle: &ProfileBundle) -> MFunc {
+    let blocks = func
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(bi, block)| {
+            let insns = block
+                .insns
+                .iter()
+                .map(|insn| match *insn {
+                    BodyInsn::Alu {
+                        op,
+                        dst,
+                        src1,
+                        src2,
+                    } => MInsn::Op(Insn::alu(op, dst, src1, src2)),
+                    BodyInsn::MovImm { dst, imm } => MInsn::Op(Insn::mov_imm(dst, imm)),
+                    BodyInsn::Load { dst, base, offset } => {
+                        MInsn::Op(Insn::load(dst, base, offset))
+                    }
+                    BodyInsn::Store { src, base, offset } => {
+                        MInsn::Op(Insn::store(src, base, offset))
+                    }
+                    BodyInsn::Call { func } => MInsn::CallFunc(func),
+                })
+                .collect();
+            let term = match block.term {
+                Terminator::Jump(b) => MTerm::Jump(b.0 as usize),
+                Terminator::Branch { cond, taken, fall } => MTerm::Cond {
+                    src: MCondSrc::IrCond(cond),
+                    taken: taken.0 as usize,
+                    fall: fall.0 as usize,
+                    wish: None,
+                    prof: bundle
+                        .get(&(fid, BlockId(bi as u32)))
+                        .copied()
+                        .unwrap_or_default(),
+                },
+                Terminator::Return => MTerm::Ret,
+                Terminator::Halt => MTerm::Halt,
+            };
+            MBlock {
+                insns,
+                term,
+                dead: false,
+            }
+        })
+        .collect();
+    MFunc {
+        name: func.name.clone(),
+        blocks,
+    }
+}
+
+/// Redirects every CFG edge that targets an *empty forwarding block* (no
+/// instructions, unconditional jump) to that block's final destination, so
+/// that collapsed inner regions do not hide outer hammock shapes. Runs to
+/// fixpoint; cycles of empty blocks are left untouched (hop limit).
+pub(crate) fn thread_jumps(mf: &mut MFunc) {
+    let resolve = |blocks: &[MBlock], mut t: usize| -> usize {
+        let mut hops = 0;
+        while hops < blocks.len() {
+            let b = &blocks[t];
+            if b.dead || !b.insns.is_empty() {
+                break;
+            }
+            let MTerm::Jump(next) = b.term else { break };
+            if next == t {
+                break;
+            }
+            t = next;
+            hops += 1;
+        }
+        t
+    };
+    for i in 0..mf.blocks.len() {
+        if mf.blocks[i].dead {
+            continue;
+        }
+        match mf.blocks[i].term {
+            MTerm::Jump(t) => {
+                let r = resolve(&mf.blocks, t);
+                mf.blocks[i].term = MTerm::Jump(r);
+            }
+            MTerm::Cond {
+                src,
+                taken,
+                fall,
+                wish,
+                prof,
+            } => {
+                let rt = resolve(&mf.blocks, taken);
+                let rf = resolve(&mf.blocks, fall);
+                mf.blocks[i].term = MTerm::Cond {
+                    src,
+                    taken: rt,
+                    fall: rf,
+                    wish,
+                    prof,
+                };
+            }
+            MTerm::Ret | MTerm::Halt => {}
+        }
+    }
+    // Remove now-unreachable empty forwarders.
+    let preds = mf.predecessors();
+    for (block, block_preds) in mf.blocks.iter_mut().zip(&preds).skip(1) {
+        if !block.dead
+            && block.insns.is_empty()
+            && block_preds.is_empty()
+            && matches!(block.term, MTerm::Jump(_))
+        {
+            block.dead = true;
+        }
+    }
+}
+
+/// Guards a region arm with predicate `p`, following the nested-composition
+/// rule:
+///
+/// * instructions that *define* predicates (inner `cmp2`s and the `pand`s
+///   from deeper nesting) are left as-is, and each defined predicate `q` is
+///   immediately re-ANDed with `p` (`pand q = q, p`), so every inner guard
+///   becomes false whenever the enclosing guard is false;
+/// * instructions that already carry a guard keep it (it has just been
+///   corrected by the re-ANDing);
+/// * plain instructions are guarded with `p` directly.
+pub(crate) fn guard_insns(insns: &[MInsn], p: PredReg) -> Vec<MInsn> {
+    let mut out = Vec::with_capacity(insns.len() + 4);
+    for m in insns {
+        let MInsn::Op(insn) = m else {
+            unreachable!("regions with calls are never converted");
+        };
+        let defs = insn.def_preds();
+        if defs[0].is_some() {
+            out.push(MInsn::Op(*insn));
+            for q in defs.into_iter().flatten() {
+                out.push(MInsn::Op(Insn::new(wishbranch_isa::InsnKind::PredRR {
+                    op: wishbranch_isa::PredOp::And,
+                    dst: q,
+                    src1: q,
+                    src2: p,
+                })));
+            }
+        } else if insn.guard.is_some() {
+            out.push(MInsn::Op(*insn));
+        } else {
+            out.push(MInsn::Op(insn.guarded(p)));
+        }
+    }
+    out
+}
+
+/// Collects every predicate register referenced (guard, source, or
+/// destination) in the given instruction sequence.
+pub(crate) fn preds_used(insns: &[MInsn]) -> u16 {
+    let mut mask = 0u16;
+    let mut add = |p: PredReg| mask |= 1 << p.index();
+    for m in insns {
+        if let MInsn::Op(i) = m {
+            if let Some(g) = i.guard {
+                add(g);
+            }
+            for p in i.def_preds().into_iter().flatten() {
+                add(p);
+            }
+            for p in i.pred_srcs().into_iter().flatten() {
+                add(p);
+            }
+        }
+    }
+    mask
+}
+
+/// Picks a free (pT, pF) pair among p1..p14 not present in `used_mask`
+/// (p0 is hardwired, p15 is reserved for wish loops).
+pub(crate) fn alloc_pred_pair(used_mask: u16) -> Option<(PredReg, PredReg)> {
+    let mut free = (1u8..=14).filter(|i| used_mask & (1 << i) == 0);
+    let t = free.next()?;
+    let f = free.next()?;
+    Some((PredReg::new(t), PredReg::new(f)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wishbranch_isa::{AluOp, CmpOp, Gpr, Operand};
+
+    fn op(i: Insn) -> MInsn {
+        MInsn::Op(i)
+    }
+
+    #[test]
+    fn guard_plain_insns() {
+        let p1 = PredReg::new(1);
+        let insns = vec![op(Insn::mov_imm(Gpr::new(2), 7))];
+        let g = guard_insns(&insns, p1);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].as_op().unwrap().guard, Some(p1));
+    }
+
+    #[test]
+    fn guard_nested_pred_defs_get_reanded() {
+        let (p1, p2, p3) = (PredReg::new(1), PredReg::new(2), PredReg::new(3));
+        // An inner converted region: cmp2 p1,p2 = r1<r2 ; (p1) r3 = 1 ; (p2) r3 = 2
+        let insns = vec![
+            op(Insn::cmp2(CmpOp::Lt, p1, p2, Gpr::new(1), Operand::reg(2))),
+            op(Insn::mov_imm(Gpr::new(3), 1).guarded(p1)),
+            op(Insn::mov_imm(Gpr::new(3), 2).guarded(p2)),
+        ];
+        let g = guard_insns(&insns, p3);
+        // cmp2 + two pands + the two guarded movs unchanged.
+        assert_eq!(g.len(), 5);
+        assert!(g[0].as_op().unwrap().guard.is_none());
+        let pand1 = g[1].as_op().unwrap();
+        assert_eq!(pand1.def_pred(), Some(p1));
+        assert_eq!(pand1.pred_srcs(), [Some(p1), Some(p3)]);
+        assert_eq!(g[3].as_op().unwrap().guard, Some(p1));
+        assert_eq!(g[4].as_op().unwrap().guard, Some(p2));
+    }
+
+    #[test]
+    fn pred_allocation_avoids_used() {
+        let used = preds_used(&[op(Insn::cmp2(
+            CmpOp::Eq,
+            PredReg::new(1),
+            PredReg::new(2),
+            Gpr::new(1),
+            Operand::imm(0),
+        ))]);
+        let (t, f) = alloc_pred_pair(used).unwrap();
+        assert_eq!(t, PredReg::new(3));
+        assert_eq!(f, PredReg::new(4));
+    }
+
+    #[test]
+    fn pred_allocation_exhaustion() {
+        // All of p1..p14 used → no pair available.
+        assert!(alloc_pred_pair(0b0111_1111_1111_1110).is_none());
+    }
+
+    #[test]
+    fn straightness() {
+        let b = MBlock {
+            insns: vec![op(Insn::mov_imm(Gpr::new(1), 1))],
+            term: MTerm::Jump(0),
+            dead: false,
+        };
+        assert!(b.is_straight());
+        let with_call = MBlock {
+            insns: vec![MInsn::CallFunc(FuncId(0))],
+            term: MTerm::Jump(0),
+            dead: false,
+        };
+        assert!(!with_call.is_straight());
+        let _ = AluOp::Add;
+    }
+}

@@ -1,0 +1,196 @@
+//! Wish-loop conversion (§3.2, Fig. 4): predicating the bodies of small
+//! innermost loops while keeping the backward branch as a `wish.loop`.
+
+use crate::mir::{guard_insns, preds_used, MBlock, MCondSrc, MFunc, MInsn, MTerm};
+use crate::{CompileOptions, CompileReport};
+use wishbranch_isa::{Insn, PredReg, WishType};
+
+/// The predicate register reserved for loop predication. If-conversion only
+/// allocates from p1..p14, so p15 is always free for the (innermost,
+/// non-nested — §3.5.4) wish loop.
+pub(crate) const LOOP_PRED: PredReg = PredReg::new(15);
+
+/// Converts eligible loops in `mf` to wish loops.
+///
+/// Eligibility (the compiler heuristics of §4.2.2, plus the structural
+/// conditions implied by Fig. 4):
+///
+/// * the loop is a single-block self-loop (`bN: … ; if cond goto bN`),
+///   which after if-conversion covers any innermost loop whose body was a
+///   collapsible hammock; multi-block loops keep their normal backward
+///   branch;
+/// * the body contains no calls and does not touch the reserved loop
+///   predicate;
+/// * the body has fewer than L µops (`wish_loop_body_max`).
+pub(crate) fn run(mf: &mut MFunc, opts: &CompileOptions, report: &mut CompileReport) {
+    for b in 1..mf.blocks.len() {
+        if mf.blocks[b].dead {
+            continue;
+        }
+        let MTerm::Cond {
+            src: MCondSrc::IrCond(cond),
+            taken,
+            fall,
+            wish: None,
+            prof,
+        } = mf.blocks[b].term
+        else {
+            continue;
+        };
+        if taken != b || fall == b {
+            continue; // not a self-loop latch
+        }
+        let blk = &mf.blocks[b];
+        if !blk.insns.iter().all(|m| matches!(m, MInsn::Op(_))) {
+            continue; // calls in the body
+        }
+        if blk.len() >= opts.wish_loop_body_max {
+            continue;
+        }
+        if preds_used(&blk.insns) & (1 << LOOP_PRED.index()) != 0 {
+            continue; // body already uses p15 (cannot happen today; defensive)
+        }
+
+        // Insert `pset p15 = 1` on every entry edge (Fig. 4b's loop-header
+        // `mov p1, 1`).
+        let preds = mf.predecessors();
+        let pset = MInsn::Op(Insn::pred_set(LOOP_PRED, true));
+        for &p in &preds[b] {
+            if p == b {
+                continue;
+            }
+            if matches!(mf.blocks[p].term, MTerm::Jump(_)) {
+                mf.blocks[p].insns.push(pset);
+            } else {
+                // Conditional entry edge: interpose a preheader block.
+                let h = mf.blocks.len();
+                mf.blocks.push(MBlock {
+                    insns: vec![pset],
+                    term: MTerm::Jump(b),
+                    dead: false,
+                });
+                match &mut mf.blocks[p].term {
+                    MTerm::Cond { taken, fall, .. } => {
+                        if *taken == b {
+                            *taken = h;
+                        }
+                        if *fall == b {
+                            *fall = h;
+                        }
+                    }
+                    _ => unreachable!("terminator has no successors"),
+                }
+            }
+        }
+
+        // Predicate the body (Fig. 4b): every µop guarded by p15, nested
+        // predicate definitions re-ANDed, and the loop condition computed
+        // under the guard into the guard: `(p15) cmp p15 = cond`.
+        let body = guard_insns(&mf.blocks[b].insns, LOOP_PRED);
+        let blk = &mut mf.blocks[b];
+        blk.insns = body;
+        blk.insns.push(MInsn::Op(
+            Insn::cmp(cond.op, LOOP_PRED, cond.lhs, cond.rhs).guarded(LOOP_PRED),
+        ));
+        blk.term = MTerm::Cond {
+            src: MCondSrc::Pred(LOOP_PRED),
+            taken: b,
+            fall,
+            wish: Some(WishType::Loop),
+            prof,
+        };
+        report.loops_wish += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mir::lower_function;
+    use wishbranch_ir::{FuncId, FunctionBuilder, Interpreter, Module};
+    use wishbranch_isa::{AluOp, CmpOp, Gpr, Operand};
+
+    fn loop_module(body_len: usize) -> Module {
+        let r1 = Gpr::new(1);
+        let r2 = Gpr::new(2);
+        let mut f = FunctionBuilder::new("main");
+        let e = f.entry_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.select(e);
+        f.movi(r1, 0);
+        f.jump(body);
+        f.select(body);
+        for _ in 0..body_len {
+            f.alu(AluOp::Add, r2, r2, Operand::imm(1));
+        }
+        f.alu(AluOp::Add, r1, r1, Operand::imm(1));
+        f.branch(CmpOp::Lt, r1, Operand::imm(10), body, exit);
+        f.select(exit);
+        f.halt();
+        Module::new(vec![f.build()], 0).unwrap()
+    }
+
+    fn convert(m: &Module) -> (MFunc, CompileReport) {
+        let prof = Interpreter::new().run(m, 100_000).unwrap().profile;
+        let mut mf = lower_function(FuncId(0), &m.funcs()[0], &crate::mir::bundle_profiles(std::slice::from_ref(&prof)));
+        let mut report = CompileReport::default();
+        run(&mut mf, &CompileOptions::default(), &mut report);
+        (mf, report)
+    }
+
+    #[test]
+    fn small_loop_becomes_wish_loop() {
+        let (mf, report) = convert(&loop_module(3));
+        assert_eq!(report.loops_wish, 1);
+        let MTerm::Cond { src, wish, .. } = mf.blocks[1].term else {
+            panic!("latch should stay conditional");
+        };
+        assert_eq!(wish, Some(WishType::Loop));
+        assert_eq!(src, MCondSrc::Pred(LOOP_PRED));
+        // All body µops guarded; last is the guarded cmp into p15.
+        let last = mf.blocks[1].insns.last().unwrap().as_op().unwrap();
+        assert_eq!(last.guard, Some(LOOP_PRED));
+        assert_eq!(last.def_pred(), Some(LOOP_PRED));
+        // Entry edge got the pset.
+        let entry_last = mf.blocks[0].insns.last().unwrap().as_op().unwrap();
+        assert_eq!(entry_last.def_pred(), Some(LOOP_PRED));
+    }
+
+    #[test]
+    fn big_loop_body_is_left_alone() {
+        let (mf, report) = convert(&loop_module(40));
+        assert_eq!(report.loops_wish, 0);
+        assert!(matches!(
+            mf.blocks[1].term,
+            MTerm::Cond { wish: None, .. }
+        ));
+    }
+
+    #[test]
+    fn conditional_entry_edge_gets_preheader() {
+        // Entry branches directly into the loop: if (r3<1) goto body else exit.
+        let r1 = Gpr::new(1);
+        let mut f = FunctionBuilder::new("main");
+        let e = f.entry_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.select(e);
+        f.branch(CmpOp::Lt, Gpr::new(3), Operand::imm(1), body, exit);
+        f.select(body);
+        f.alu(AluOp::Add, r1, r1, Operand::imm(1));
+        f.branch(CmpOp::Lt, r1, Operand::imm(5), body, exit);
+        f.select(exit);
+        f.halt();
+        let m = Module::new(vec![f.build()], 0).unwrap();
+        let (mf, report) = convert(&m);
+        assert_eq!(report.loops_wish, 1);
+        // A preheader block was appended and entry's taken edge points at it.
+        assert_eq!(mf.blocks.len(), 4);
+        let MTerm::Cond { taken, .. } = mf.blocks[0].term else {
+            panic!()
+        };
+        assert_eq!(taken, 3);
+        assert!(matches!(mf.blocks[3].term, MTerm::Jump(1)));
+    }
+}

@@ -1,0 +1,122 @@
+//! The §3.6 input-dependence-aware compiler: decisions must reflect
+//! misprediction spread across training profiles, and the produced binary
+//! must stay architecturally exact.
+
+use wishbranch_compiler::{compile_adaptive, CompileOptions};
+use wishbranch_ir::{FunctionBuilder, Interpreter, Module, Profile};
+use wishbranch_isa::exec::Machine;
+use wishbranch_isa::{AluOp, CmpOp, Gpr, Operand};
+
+fn r(i: u8) -> Gpr {
+    Gpr::new(i)
+}
+
+/// A loop over a hammock whose condition depends on memory: profiles with
+/// different memory contents see different branch behaviour.
+fn module() -> Module {
+    let mut f = FunctionBuilder::new("main");
+    let e = f.entry_block();
+    let body = f.new_block();
+    let t = f.new_block();
+    let el = f.new_block();
+    let j = f.new_block();
+    let exit = f.new_block();
+    f.select(e);
+    f.movi(r(19), 0x1000);
+    f.movi(r(20), 0);
+    f.jump(body);
+    f.select(body);
+    f.alu(AluOp::And, r(2), r(20), Operand::imm(255));
+    f.alu(AluOp::Shl, r(2), r(2), Operand::imm(3));
+    f.alu(AluOp::Add, r(2), r(2), Operand::Reg(r(19)));
+    f.load(r(6), r(2), 0);
+    f.branch(CmpOp::Ge, r(6), Operand::imm(0), t, el);
+    f.select(el);
+    for _ in 0..4 {
+        f.alu(AluOp::Sub, r(8), r(8), Operand::imm(1));
+    }
+    f.jump(j);
+    f.select(t);
+    for _ in 0..4 {
+        f.alu(AluOp::Add, r(9), r(9), Operand::imm(1));
+    }
+    f.jump(j);
+    f.select(j);
+    f.alu(AluOp::Add, r(20), r(20), Operand::imm(1));
+    f.branch(CmpOp::Lt, r(20), Operand::imm(2000), body, exit);
+    f.select(exit);
+    f.store(r(8), r(19), 8192);
+    f.store(r(9), r(19), 8200);
+    f.halt();
+    Module::new(vec![f.build()], 0).unwrap()
+}
+
+fn profile_with(values: impl Fn(u64) -> i64) -> Profile {
+    let mut i = Interpreter::new();
+    for k in 0..256u64 {
+        i.mem.insert(0x1000 + k * 8, values(k));
+    }
+    i.run(&module(), 10_000_000).unwrap().profile
+}
+
+#[test]
+fn input_dependent_branch_becomes_wish() {
+    // Profile 1: always taken; profile 2: coin flip → large spread.
+    let easy = profile_with(|_| 100);
+    let hard = profile_with(|k| {
+        if k.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(29) & 0x800 == 0 { 100 } else { -100 }
+    });
+    let bin = compile_adaptive(&module(), &[easy, hard], &CompileOptions::default());
+    assert_eq!(bin.report.regions_wish, 1, "{:?}", bin.report);
+    assert!(bin.program.static_stats().wish_jumps >= 1);
+}
+
+#[test]
+fn stably_easy_branch_stays_a_branch() {
+    let easy1 = profile_with(|_| 100);
+    let easy2 = profile_with(|_| 80);
+    let bin = compile_adaptive(&module(), &[easy1, easy2], &CompileOptions::default());
+    assert_eq!(bin.report.regions_wish, 0, "{:?}", bin.report);
+    assert_eq!(bin.report.regions_predicated, 0, "{:?}", bin.report);
+    assert!(bin.report.regions_kept >= 1);
+    assert_eq!(bin.program.static_stats().wish_jumps, 0);
+}
+
+#[test]
+fn stably_hard_large_region_becomes_wish_not_plain_predication() {
+    let hash = |k: u64, seed: u64| k.wrapping_mul(0x9e37_79b9_7f4a_7c15 ^ seed).rotate_left(29) & 0x800;
+    let hard1 = profile_with(move |k| if hash(k, 1) == 0 { 100 } else { -100 });
+    let hard2 = profile_with(move |k| if hash(k, 99) == 0 { 100 } else { -100 });
+    let bin = compile_adaptive(&module(), &[hard1, hard2], &CompileOptions::default());
+    // Stable hardness + large arms: wish code (as good as predication,
+    // safer off-profile).
+    assert_eq!(bin.report.regions_wish, 1, "{:?}", bin.report);
+}
+
+#[test]
+fn adaptive_binary_is_architecturally_exact() {
+    let easy = profile_with(|_| 100);
+    let hard = profile_with(|k| if k % 3 == 0 { 100 } else { -100 });
+    let bin = compile_adaptive(&module(), &[easy, hard], &CompileOptions::default());
+    // Run with a third, unseen input.
+    let run = |prog: &wishbranch_isa::Program| {
+        let mut m = Machine::new();
+        for k in 0..256u64 {
+            m.mem.insert(0x1000 + k * 8, (k as i64 % 7) - 3);
+        }
+        m.run(prog, 50_000_000).unwrap().mem
+    };
+    let normal = compile_adaptive(&module(), &[], &CompileOptions::default());
+    assert_eq!(run(&bin.program), run(&normal.program));
+}
+
+#[test]
+fn single_profile_adaptive_has_zero_spread() {
+    let hard = profile_with(|k| {
+        if k.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(29) & 0x800 == 0 { 100 } else { -100 }
+    });
+    // With one profile the spread is zero; the decision falls back to the
+    // cost model (hard branch, large arms → wish).
+    let bin = compile_adaptive(&module(), std::slice::from_ref(&hard), &CompileOptions::default());
+    assert!(bin.report.regions_wish + bin.report.regions_predicated >= 1);
+}

@@ -1,0 +1,81 @@
+//! Compiler stress: deeply nested hammocks exhaust the predicate-pair
+//! allocator; the compiler must degrade gracefully (keep the branch) and
+//! stay architecturally exact.
+
+use wishbranch_compiler::{compile, BinaryVariant, CompileOptions};
+use wishbranch_ir::{FunctionBuilder, Interpreter, Module};
+use wishbranch_isa::exec::Machine;
+use wishbranch_isa::{AluOp, CmpOp, Gpr, Operand};
+
+fn r(i: u8) -> Gpr {
+    Gpr::new(i)
+}
+
+/// Builds `depth` nested if/else diamonds, each conditioning on a different
+/// register bit.
+fn nested(depth: u8) -> Module {
+    let mut f = FunctionBuilder::new("main");
+    let e = f.entry_block();
+    f.select(e);
+    f.movi(r(1), 0b1010_1010);
+    f.movi(r(3), 0);
+    fn emit(f: &mut FunctionBuilder, level: u8, depth: u8) {
+        if level == depth {
+            f.alu(AluOp::Add, r(3), r(3), Operand::imm(1));
+            return;
+        }
+        let t = f.new_block();
+        let el = f.new_block();
+        let j = f.new_block();
+        f.alu(AluOp::Shr, r(2), r(1), Operand::imm(i32::from(level)));
+        f.alu(AluOp::And, r(2), r(2), Operand::imm(1));
+        f.branch(CmpOp::Eq, r(2), Operand::imm(1), t, el);
+        f.select(el);
+        f.alu(AluOp::Add, r(3), r(3), Operand::imm(10));
+        emit(f, level + 1, depth);
+        f.jump(j);
+        f.select(t);
+        f.alu(AluOp::Sub, r(3), r(3), Operand::imm(3));
+        emit(f, level + 1, depth);
+        f.jump(j);
+        f.select(j);
+    }
+    emit(&mut f, 0, depth);
+    f.store(r(3), r(1), 0x1000);
+    f.halt();
+    Module::new(vec![f.build()], 0).unwrap()
+}
+
+#[test]
+fn deep_nesting_compiles_and_stays_exact() {
+    for depth in [2u8, 5, 8, 10] {
+        let m = nested(depth);
+        let mut interp = Interpreter::new();
+        let reference = interp.run(&m, 10_000_000).unwrap();
+        for variant in [BinaryVariant::BaseMax, BinaryVariant::WishJumpJoinLoop] {
+            let bin = compile(&m, &reference.profile, variant, &CompileOptions::default());
+            let mut machine = Machine::new();
+            let res = machine.run(&bin.program, 50_000_000).unwrap();
+            assert_eq!(
+                res.mem, reference.mem,
+                "depth {depth} {variant}: diverged\n{}",
+                bin.program
+            );
+        }
+    }
+}
+
+#[test]
+fn pred_exhaustion_keeps_branches_instead_of_breaking() {
+    // Depth 10 needs 20 predicate registers if fully merged — more than the
+    // 14 available. The compiler must keep some branches.
+    let m = nested(10);
+    let profile = Interpreter::new().run(&m, 10_000_000).unwrap().profile;
+    let bin = compile(&m, &profile, BinaryVariant::BaseMax, &CompileOptions::default());
+    assert!(
+        bin.report.regions_kept > 0 || bin.program.static_stats().cond_branches > 1,
+        "deep nests must leave residual branches: {:?}",
+        bin.report
+    );
+    assert!(bin.report.regions_predicated > 0, "but shallow levels convert");
+}

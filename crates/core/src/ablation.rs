@@ -1,0 +1,138 @@
+//! Ablation studies on the design choices DESIGN.md calls out: confidence
+//! estimator threshold, and the compiler's wish-conversion thresholds
+//! (§4.2.2's untuned N and L).
+
+use crate::experiment::{compile_variant, simulate, ExperimentConfig};
+use wishbranch_compiler::BinaryVariant;
+use wishbranch_workloads::suite;
+
+/// One ablation measurement: a parameter value and the resulting average
+/// normalized execution time of the wish jump/join/loop binary.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AblationPoint {
+    /// The swept parameter value.
+    pub param: u64,
+    /// Average wish-jjl execution time normalized to the normal binary.
+    pub avg_normalized: f64,
+}
+
+fn average_wjl_normalized(ec: &ExperimentConfig) -> f64 {
+    let input = ec.train_input;
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for bench in suite(ec.scale) {
+        let normal = compile_variant(&bench, BinaryVariant::NormalBranch, ec);
+        let base = simulate(&normal.program, &bench, input, &ec.machine).stats.cycles;
+        let wjl = compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, ec);
+        let c = simulate(&wjl.program, &bench, input, &ec.machine).stats.cycles;
+        sum += c as f64 / base as f64;
+        n += 1;
+    }
+    sum / n as f64
+}
+
+/// Sweeps the JRS confidence threshold (§3.5.5: "an accurate confidence
+/// estimator is essential"). Low thresholds trust the predictor too much
+/// (high-confidence mispredictions flush); high thresholds predicate too
+/// much (overhead without benefit).
+#[must_use]
+pub fn confidence_threshold_sweep(ec: &ExperimentConfig, thresholds: &[u8]) -> Vec<AblationPoint> {
+    thresholds
+        .iter()
+        .map(|&th| {
+            let mut ec = ec.clone();
+            ec.machine.jrs.threshold = th;
+            AblationPoint {
+                param: u64::from(th),
+                avg_normalized: average_wjl_normalized(&ec),
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the number of MSHRs (outstanding memory misses): bounding MLP
+/// magnifies predication's serialization pathologies (mcf) and shrinks the
+/// normal binary's ability to hide flush latency. `0` = unlimited.
+#[must_use]
+pub fn mshr_sweep(ec: &ExperimentConfig, mshrs: &[usize]) -> Vec<AblationPoint> {
+    mshrs
+        .iter()
+        .map(|&m| {
+            let mut ec = ec.clone();
+            ec.machine.mem.max_outstanding_misses = m;
+            AblationPoint {
+                param: m as u64,
+                avg_normalized: average_wjl_normalized(&ec),
+            }
+        })
+        .collect()
+}
+
+/// Sweeps §4.2.2's N: the fall-through size above which a convertible
+/// region becomes a wish jump/join instead of plain predicated code. The
+/// paper uses N = 5 without tuning.
+#[must_use]
+pub fn wish_threshold_sweep(ec: &ExperimentConfig, ns: &[usize]) -> Vec<AblationPoint> {
+    ns.iter()
+        .map(|&n| {
+            let mut ec = ec.clone();
+            ec.compile.wish_jump_threshold = n;
+            AblationPoint {
+                param: n as u64,
+                avg_normalized: average_wjl_normalized(&ec),
+            }
+        })
+        .collect()
+}
+
+/// Compares wish-loop outcome classes with and without overestimation bias
+/// in the trip predictor — the paper's §3.2 suggestion that a specialized
+/// wish-loop predictor "can be biased to overestimate the iteration count
+/// … to make the late-exit case more common than the early-exit case".
+#[derive(Clone, PartialEq, Debug)]
+pub struct LoopPredictorComparison {
+    /// Early exits (flushes) without the specialized predictor.
+    pub early_unbiased: u64,
+    /// Late exits (no flush) without the specialized predictor.
+    pub late_unbiased: u64,
+    /// Early exits with the biased trip predictor.
+    pub early_biased: u64,
+    /// Late exits with the biased trip predictor.
+    pub late_biased: u64,
+    /// Total cycles without the specialized predictor.
+    pub cycles_unbiased: u64,
+    /// Total cycles with the biased trip predictor.
+    pub cycles_biased: u64,
+}
+
+/// Runs the loop-heavy benchmarks with and without a biased specialized
+/// wish-loop predictor and aggregates the early/late exit classes.
+#[must_use]
+pub fn loop_predictor_comparison(ec: &ExperimentConfig, bias: u32) -> LoopPredictorComparison {
+    let input = ec.train_input;
+    let mut out = LoopPredictorComparison {
+        early_unbiased: 0,
+        late_unbiased: 0,
+        early_biased: 0,
+        late_biased: 0,
+        cycles_unbiased: 0,
+        cycles_biased: 0,
+    };
+    for bench in suite(ec.scale) {
+        let wjl = compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, ec);
+        let plain = simulate(&wjl.program, &bench, input, &ec.machine).stats;
+        let mut machine = ec.machine.clone();
+        machine.wish_loop_predictor = Some(wishbranch_bpred::LoopPredConfig {
+            bias,
+            ..wishbranch_bpred::LoopPredConfig::default()
+        });
+        let biased = simulate(&wjl.program, &bench, input, &machine).stats;
+        out.early_unbiased += plain.loop_early_exits;
+        out.late_unbiased += plain.loop_late_exits;
+        out.early_biased += biased.loop_early_exits;
+        out.late_biased += biased.loop_late_exits;
+        out.cycles_unbiased += plain.cycles;
+        out.cycles_biased += biased.cycles;
+    }
+    out
+}

@@ -1,0 +1,216 @@
+//! Profile → compile → simulate → verify, the spine of every experiment.
+
+use wishbranch_compiler::{compile, BinaryVariant, CompileOptions, CompiledBinary};
+use wishbranch_ir::{Interpreter, Profile};
+use wishbranch_isa::exec::Machine;
+use wishbranch_isa::Program;
+use wishbranch_uarch::{MachineConfig, SimResult, Simulator};
+use wishbranch_workloads::{Benchmark, InputSet};
+
+/// Everything an experiment needs to know.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Workload scale (outer iterations) used when the caller builds the
+    /// suite; kept here for reporting.
+    pub scale: i32,
+    /// The simulated machine (Table 2 defaults).
+    pub machine: MachineConfig,
+    /// Compiler heuristics (§4.2 defaults).
+    pub compile: CompileOptions,
+    /// Input set the compiler profiles on. The paper's compiler sees only
+    /// a training profile; running other inputs exposes the compile-time /
+    /// run-time mismatch that motivates wish branches (Fig. 1).
+    pub train_input: InputSet,
+}
+
+impl ExperimentConfig {
+    /// Paper-fidelity configuration at the given workload scale.
+    #[must_use]
+    pub fn paper(scale: i32) -> ExperimentConfig {
+        ExperimentConfig {
+            scale,
+            machine: MachineConfig::default(),
+            compile: CompileOptions::default(),
+            train_input: InputSet::B,
+        }
+    }
+
+    /// A scaled-down machine (shallower pipeline, smaller window) for fast
+    /// debug-build tests and doctests. Keeps all mechanisms active.
+    #[must_use]
+    pub fn quick(scale: i32) -> ExperimentConfig {
+        let machine = MachineConfig {
+            pipeline_depth: 10,
+            rob_size: 64,
+            ..MachineConfig::default()
+        };
+        ExperimentConfig {
+            scale,
+            machine,
+            compile: CompileOptions::default(),
+            train_input: InputSet::B,
+        }
+    }
+}
+
+/// One simulated binary run, with everything needed for the figures.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The simulation result (stats + final architectural state).
+    pub sim: SimResult,
+    /// The compiler's report for this binary.
+    pub report: wishbranch_compiler::CompileReport,
+    /// Static program statistics (sizes, wish-branch counts).
+    pub static_stats: wishbranch_isa::StaticStats,
+}
+
+/// Profiles `bench` on the given input with the IR interpreter.
+#[must_use]
+pub fn profile_on(bench: &Benchmark, input: InputSet) -> Profile {
+    let mut interp = Interpreter::new();
+    for (a, v) in (bench.input_fn)(input) {
+        interp.mem.insert(a, v);
+    }
+    interp
+        .run(&bench.module, u64::MAX / 2)
+        .unwrap_or_else(|e| panic!("{}: profiling run failed: {e}", bench.name))
+        .profile
+}
+
+/// Compiles `bench` into the requested Table 3 variant, profiling on the
+/// experiment's training input.
+#[must_use]
+pub fn compile_variant(
+    bench: &Benchmark,
+    variant: BinaryVariant,
+    ec: &ExperimentConfig,
+) -> CompiledBinary {
+    let profile = profile_on(bench, ec.train_input);
+    compile(&bench.module, &profile, variant, &ec.compile)
+}
+
+/// Compiles the input-dependence-aware extension binary
+/// ([`BinaryVariant::WishAdaptive`]): the compiler profiles on *several*
+/// training inputs and uses the misprediction spread across them as the
+/// §3.6 "input data set dependence" signal.
+#[must_use]
+pub fn compile_adaptive_variant(
+    bench: &Benchmark,
+    train_inputs: &[InputSet],
+    ec: &ExperimentConfig,
+) -> CompiledBinary {
+    let profiles: Vec<_> = train_inputs.iter().map(|&i| profile_on(bench, i)).collect();
+    wishbranch_compiler::compile_adaptive(&bench.module, &profiles, &ec.compile)
+}
+
+/// Simulates `program` on `machine` with the benchmark's input set, and
+/// verifies the retired state against the functional reference machine.
+///
+/// # Panics
+///
+/// Panics if the simulation exceeds its cycle budget or — which would be a
+/// simulator bug — retires a different architectural state than the
+/// functional reference.
+#[must_use]
+pub fn simulate(
+    program: &Program,
+    bench: &Benchmark,
+    input: InputSet,
+    machine: &MachineConfig,
+) -> SimResult {
+    let inputs = (bench.input_fn)(input);
+    let mut sim = Simulator::new(program, machine.clone());
+    for &(a, v) in &inputs {
+        sim.preload_mem(a, v);
+    }
+    let result = sim
+        .run()
+        .unwrap_or_else(|e| panic!("{} {input}: simulation failed: {e}", bench.name));
+
+    // Always-on architectural verification (cheap next to the cycle sim).
+    let mut reference = Machine::new();
+    for &(a, v) in &inputs {
+        reference.mem.insert(a, v);
+    }
+    let expect = reference
+        .run(program, u64::MAX / 2)
+        .unwrap_or_else(|e| panic!("{} {input}: reference run failed: {e}", bench.name));
+    assert_eq!(
+        result.final_mem, expect.mem,
+        "{} {input}: simulator diverged from the functional reference",
+        bench.name
+    );
+    result
+}
+
+/// Profile (on the training input), compile, simulate (on `input`), verify.
+#[must_use]
+pub fn run_binary(
+    bench: &Benchmark,
+    variant: BinaryVariant,
+    input: InputSet,
+    ec: &ExperimentConfig,
+) -> RunOutcome {
+    let bin = compile_variant(bench, variant, ec);
+    let sim = simulate(&bin.program, bench, input, &ec.machine);
+    RunOutcome {
+        sim,
+        report: bin.report,
+        static_stats: bin.program.static_stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wishbranch_workloads::suite;
+
+    #[test]
+    fn every_benchmark_compiles_to_every_variant_and_verifies() {
+        let ec = ExperimentConfig::quick(30);
+        for bench in suite(30) {
+            for variant in BinaryVariant::ALL {
+                let out = run_binary(&bench, variant, InputSet::B, &ec);
+                assert!(
+                    out.sim.stats.retired_uops > 100,
+                    "{} {variant}: did too little work",
+                    bench.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wish_binaries_contain_wish_branches() {
+        let ec = ExperimentConfig::quick(30);
+        for bench in suite(30) {
+            let jj = compile_variant(&bench, BinaryVariant::WishJumpJoin, &ec);
+            let jjl = compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, &ec);
+            let s_jj = jj.program.static_stats();
+            let s_jjl = jjl.program.static_stats();
+            assert!(
+                s_jjl.wish_branches >= s_jj.wish_branches,
+                "{}: adding loops can only add wish branches",
+                bench.name
+            );
+            assert_eq!(s_jj.wish_loops, 0, "{}: jj binary has no wish loops", bench.name);
+            let normal = compile_variant(&bench, BinaryVariant::NormalBranch, &ec);
+            assert_eq!(normal.program.static_stats().wish_branches, 0);
+        }
+    }
+
+    #[test]
+    fn suite_has_wish_loops_somewhere() {
+        let ec = ExperimentConfig::quick(30);
+        let total: usize = suite(30)
+            .iter()
+            .map(|b| {
+                compile_variant(b, BinaryVariant::WishJumpJoinLoop, &ec)
+                    .program
+                    .static_stats()
+                    .wish_loops
+            })
+            .sum();
+        assert!(total >= 4, "suite must exercise wish loops, got {total}");
+    }
+}

@@ -1,0 +1,508 @@
+//! Regeneration of every figure in the paper's evaluation (§5).
+//!
+//! Each function returns typed rows; the `wishbranch-bench` crate prints
+//! them in the paper's format. Execution times are normalized to the
+//! normal-branch binary on the same machine and input, exactly as in the
+//! paper ("all execution time results are normalized to the execution time
+//! of the normal branch binaries", §4.2).
+
+use crate::experiment::{compile_variant, simulate, ExperimentConfig};
+use wishbranch_compiler::BinaryVariant;
+use wishbranch_uarch::MachineConfig;
+use wishbranch_workloads::{suite, Benchmark, InputSet};
+
+/// One benchmark's normalized execution times across a figure's series.
+#[derive(Clone, PartialEq, Debug)]
+pub struct NormalizedRow {
+    /// Benchmark name, or `AVG` / `AVGnomcf`.
+    pub name: String,
+    /// One normalized execution time per series.
+    pub values: Vec<f64>,
+}
+
+/// A whole bar-chart figure: series labels plus per-benchmark rows, with
+/// `AVG` and `AVGnomcf` appended (the paper reports both because mcf skews
+/// the mean, §2.2 footnote 2).
+#[derive(Clone, PartialEq, Debug)]
+pub struct FigureData {
+    /// Figure title.
+    pub title: String,
+    /// Series (bar) labels.
+    pub series: Vec<String>,
+    /// Per-benchmark rows plus the two average rows.
+    pub rows: Vec<NormalizedRow>,
+}
+
+/// Fig. 1 rows: BASE-DEF execution time normalized to the normal binary,
+/// per input set.
+pub type Fig1Row = NormalizedRow;
+
+/// Fig. 2 rows.
+pub type Fig2Row = NormalizedRow;
+
+/// Appends AVG and AVGnomcf rows.
+fn append_averages(rows: &mut Vec<NormalizedRow>) {
+    let series = rows.first().map_or(0, |r| r.values.len());
+    let mut avg = vec![0.0; series];
+    let mut avg_nomcf = vec![0.0; series];
+    let mut n_nomcf = 0usize;
+    for row in rows.iter() {
+        for (k, v) in row.values.iter().enumerate() {
+            avg[k] += v;
+            if row.name != "mcf" {
+                avg_nomcf[k] += v;
+            }
+        }
+        if row.name != "mcf" {
+            n_nomcf += 1;
+        }
+    }
+    let n = rows.len();
+    rows.push(NormalizedRow {
+        name: "AVG".into(),
+        values: avg.into_iter().map(|v| v / n as f64).collect(),
+    });
+    rows.push(NormalizedRow {
+        name: "AVGnomcf".into(),
+        values: avg_nomcf.into_iter().map(|v| v / n_nomcf as f64).collect(),
+    });
+}
+
+fn cycles(bench: &Benchmark, variant: BinaryVariant, input: InputSet, ec: &ExperimentConfig, machine: &MachineConfig) -> u64 {
+    let bin = compile_variant(bench, variant, ec);
+    simulate(&bin.program, bench, input, machine).stats.cycles
+}
+
+/// **Fig. 1** — execution time of the BASE-DEF predicated binary normalized
+/// to the normal-branch binary, per input set A/B/C. The compiler profiles
+/// on the training input only; the spread across inputs is the paper's
+/// motivation ("the performance of predicated execution is highly dependent
+/// on the run-time input set").
+#[must_use]
+pub fn figure1(ec: &ExperimentConfig) -> FigureData {
+    let mut rows = Vec::new();
+    for bench in suite(ec.scale) {
+        let normal = compile_variant(&bench, BinaryVariant::NormalBranch, ec);
+        let def = compile_variant(&bench, BinaryVariant::BaseDef, ec);
+        let mut values = Vec::new();
+        for input in InputSet::ALL {
+            let n = simulate(&normal.program, &bench, input, &ec.machine).stats.cycles;
+            let p = simulate(&def.program, &bench, input, &ec.machine).stats.cycles;
+            values.push(p as f64 / n as f64);
+        }
+        rows.push(NormalizedRow {
+            name: bench.name.into(),
+            values,
+        });
+    }
+    append_averages(&mut rows);
+    FigureData {
+        title: "Fig.1: BASE-DEF exec time normalized to normal branches, per input".into(),
+        series: InputSet::ALL.iter().map(|s| s.label().into()).collect(),
+        rows,
+    }
+}
+
+/// **Fig. 2** — where predication's overhead goes: BASE-MAX as-is, with
+/// predicate dependencies ideally removed (NO-DEPEND), with useless
+/// instructions also removed (NO-DEPEND + NO-FETCH), and the normal binary
+/// under perfect conditional branch prediction (PERFECT-CBP).
+#[must_use]
+pub fn figure2(ec: &ExperimentConfig) -> FigureData {
+    let input = ec.train_input;
+    let mut rows = Vec::new();
+    for bench in suite(ec.scale) {
+        let baseline = cycles(&bench, BinaryVariant::NormalBranch, input, ec, &ec.machine);
+        let base_max = cycles(&bench, BinaryVariant::BaseMax, input, ec, &ec.machine);
+
+        let mut m = ec.machine.clone();
+        m.oracles.no_pred_dependencies = true;
+        let no_dep = cycles(&bench, BinaryVariant::BaseMax, input, ec, &m);
+
+        m.oracles.no_false_predicate_fetch = true;
+        let no_dep_no_fetch = cycles(&bench, BinaryVariant::BaseMax, input, ec, &m);
+
+        let mut m = ec.machine.clone();
+        m.oracles.perfect_branch_prediction = true;
+        let perfect_cbp = cycles(&bench, BinaryVariant::NormalBranch, input, ec, &m);
+
+        rows.push(NormalizedRow {
+            name: bench.name.into(),
+            values: [base_max, no_dep, no_dep_no_fetch, perfect_cbp]
+                .iter()
+                .map(|&c| c as f64 / baseline as f64)
+                .collect(),
+        });
+    }
+    append_averages(&mut rows);
+    FigureData {
+        title: "Fig.2: predication overhead ideally eliminated (normalized exec time)".into(),
+        series: vec![
+            "BASE-MAX".into(),
+            "NO-DEPEND".into(),
+            "NO-DEPEND+NO-FETCH".into(),
+            "PERFECT-CBP".into(),
+        ],
+        rows,
+    }
+}
+
+fn comparison_figure(
+    ec: &ExperimentConfig,
+    title: &str,
+    machine: &MachineConfig,
+    variants: &[(&str, BinaryVariant, bool /* perfect confidence */)],
+) -> FigureData {
+    let input = ec.train_input;
+    let mut rows = Vec::new();
+    for bench in suite(ec.scale) {
+        let baseline = cycles(&bench, BinaryVariant::NormalBranch, input, ec, machine);
+        let mut values = Vec::new();
+        for &(_, variant, perfect_conf) in variants {
+            let mut m = machine.clone();
+            m.oracles.perfect_confidence = perfect_conf;
+            values.push(cycles(&bench, variant, input, ec, &m) as f64 / baseline as f64);
+        }
+        rows.push(NormalizedRow {
+            name: bench.name.into(),
+            values,
+        });
+    }
+    append_averages(&mut rows);
+    FigureData {
+        title: title.into(),
+        series: variants.iter().map(|&(l, _, _)| l.into()).collect(),
+        rows,
+    }
+}
+
+/// **Fig. 10** — wish jump/join binaries vs the predicated baselines, with
+/// the real and a perfect confidence estimator.
+#[must_use]
+pub fn figure10(ec: &ExperimentConfig) -> FigureData {
+    comparison_figure(
+        ec,
+        "Fig.10: performance of wish jump/join binaries (normalized exec time)",
+        &ec.machine,
+        &[
+            ("BASE-DEF", BinaryVariant::BaseDef, false),
+            ("BASE-MAX", BinaryVariant::BaseMax, false),
+            ("wish-jj (real-conf)", BinaryVariant::WishJumpJoin, false),
+            ("wish-jj (perf-conf)", BinaryVariant::WishJumpJoin, true),
+        ],
+    )
+}
+
+/// **Fig. 12** — adds wish loops.
+#[must_use]
+pub fn figure12(ec: &ExperimentConfig) -> FigureData {
+    comparison_figure(
+        ec,
+        "Fig.12: performance of wish jump/join/loop binaries (normalized exec time)",
+        &ec.machine,
+        &[
+            ("BASE-DEF", BinaryVariant::BaseDef, false),
+            ("BASE-MAX", BinaryVariant::BaseMax, false),
+            ("wish-jj (real-conf)", BinaryVariant::WishJumpJoin, false),
+            ("wish-jjl (real-conf)", BinaryVariant::WishJumpJoinLoop, false),
+            ("wish-jjl (perf-conf)", BinaryVariant::WishJumpJoinLoop, true),
+        ],
+    )
+}
+
+/// **Fig. 16** — the Fig. 12 comparison on a machine using the select-µop
+/// mechanism instead of C-style conditional expressions (§5.3.3).
+#[must_use]
+pub fn figure16(ec: &ExperimentConfig) -> FigureData {
+    let mut machine = ec.machine.clone();
+    machine.pred_mechanism = wishbranch_uarch::PredMechanism::SelectUop;
+    comparison_figure(
+        ec,
+        "Fig.16: wish branches on a select-µop machine (normalized exec time)",
+        &machine,
+        &[
+            ("BASE-DEF", BinaryVariant::BaseDef, false),
+            ("BASE-MAX", BinaryVariant::BaseMax, false),
+            ("wish-jj (real-conf)", BinaryVariant::WishJumpJoin, false),
+            ("wish-jjl (real-conf)", BinaryVariant::WishJumpJoinLoop, false),
+            ("wish-jjl (perf-conf)", BinaryVariant::WishJumpJoinLoop, true),
+        ],
+    )
+}
+
+/// One Fig. 11 bar pair: dynamic wish jumps/joins per 1M retired µops,
+/// classified by confidence estimate × prediction correctness.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Fig11Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Low-confidence, would have been mispredicted (flush avoided).
+    pub low_mispredicted: f64,
+    /// Low-confidence, would have been predicted correctly (pure overhead).
+    pub low_correct: f64,
+    /// High-confidence, mispredicted (flush).
+    pub high_mispredicted: f64,
+    /// High-confidence, correct (overhead avoided).
+    pub high_correct: f64,
+}
+
+/// **Fig. 11** — the confidence-estimate breakdown for wish jumps + joins
+/// in the wish jump/join binary.
+#[must_use]
+pub fn figure11(ec: &ExperimentConfig) -> Vec<Fig11Row> {
+    let input = ec.train_input;
+    suite(ec.scale)
+        .iter()
+        .map(|bench| {
+            let bin = compile_variant(bench, BinaryVariant::WishJumpJoin, ec);
+            let stats = simulate(&bin.program, bench, input, &ec.machine).stats;
+            let j = stats.wish_jumps;
+            let o = stats.wish_joins;
+            Fig11Row {
+                name: bench.name.into(),
+                low_mispredicted: stats.per_million_uops(j.low_mispredicted + o.low_mispredicted),
+                low_correct: stats.per_million_uops(j.low_correct + o.low_correct),
+                high_mispredicted: stats
+                    .per_million_uops(j.high_mispredicted + o.high_mispredicted),
+                high_correct: stats.per_million_uops(j.high_correct + o.high_correct),
+            }
+        })
+        .collect()
+}
+
+/// One Fig. 13 bar pair: dynamic wish loops per 1M retired µops, with the
+/// low-confidence mispredictions split into early/late/no-exit (§3.2).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Fig13Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Low-confidence, no-exit mispredictions (flush).
+    pub low_no_exit: f64,
+    /// Low-confidence, late-exit mispredictions (the winning case).
+    pub low_late_exit: f64,
+    /// Low-confidence, early-exit mispredictions (flush).
+    pub low_early_exit: f64,
+    /// Low-confidence, correctly predicted.
+    pub low_correct: f64,
+    /// High-confidence, mispredicted.
+    pub high_mispredicted: f64,
+    /// High-confidence, correct.
+    pub high_correct: f64,
+}
+
+/// **Fig. 13** — the wish-loop breakdown in the wish jump/join/loop binary.
+#[must_use]
+pub fn figure13(ec: &ExperimentConfig) -> Vec<Fig13Row> {
+    let input = ec.train_input;
+    suite(ec.scale)
+        .iter()
+        .map(|bench| {
+            let bin = compile_variant(bench, BinaryVariant::WishJumpJoinLoop, ec);
+            let stats = simulate(&bin.program, bench, input, &ec.machine).stats;
+            let l = stats.wish_loops;
+            Fig13Row {
+                name: bench.name.into(),
+                low_no_exit: stats.per_million_uops(stats.loop_no_exits),
+                low_late_exit: stats.per_million_uops(stats.loop_late_exits),
+                low_early_exit: stats.per_million_uops(stats.loop_early_exits),
+                low_correct: stats.per_million_uops(l.low_correct),
+                high_mispredicted: stats.per_million_uops(l.high_mispredicted),
+                high_correct: stats.per_million_uops(l.high_correct),
+            }
+        })
+        .collect()
+}
+
+/// One point of a machine-parameter sweep (Figs. 14/15): average normalized
+/// execution times at one parameter value.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SweepRow {
+    /// The swept parameter value (window entries or pipeline depth).
+    pub param: u64,
+    /// Series labels.
+    pub series: Vec<String>,
+    /// Average over all benchmarks.
+    pub avg: Vec<f64>,
+    /// Average excluding mcf.
+    pub avg_nomcf: Vec<f64>,
+}
+
+fn sweep(ec: &ExperimentConfig, machines: Vec<(u64, MachineConfig)>) -> Vec<SweepRow> {
+    let variants: [(&str, BinaryVariant, bool); 4] = [
+        ("BASE-DEF", BinaryVariant::BaseDef, false),
+        ("BASE-MAX", BinaryVariant::BaseMax, false),
+        ("wish-jjl (real-conf)", BinaryVariant::WishJumpJoinLoop, false),
+        ("wish-jjl (perf-conf)", BinaryVariant::WishJumpJoinLoop, true),
+    ];
+    machines
+        .into_iter()
+        .map(|(param, machine)| {
+            let fig = comparison_figure(ec, "", &machine, &variants);
+            let avg = fig
+                .rows
+                .iter()
+                .find(|r| r.name == "AVG")
+                .expect("averages appended")
+                .values
+                .clone();
+            let avg_nomcf = fig
+                .rows
+                .iter()
+                .find(|r| r.name == "AVGnomcf")
+                .expect("averages appended")
+                .values
+                .clone();
+            SweepRow {
+                param,
+                series: fig.series,
+                avg,
+                avg_nomcf,
+            }
+        })
+        .collect()
+}
+
+/// **Fig. 14** — instruction-window sweep (128/256/512 entries).
+#[must_use]
+pub fn figure14(ec: &ExperimentConfig) -> Vec<SweepRow> {
+    sweep(
+        ec,
+        [128usize, 256, 512]
+            .into_iter()
+            .map(|w| (w as u64, ec.machine.clone().with_window(w)))
+            .collect(),
+    )
+}
+
+/// **Fig. 15** — pipeline-depth sweep (10/20/30 stages) at a 256-entry
+/// window, as in the paper.
+#[must_use]
+pub fn figure15(ec: &ExperimentConfig) -> Vec<SweepRow> {
+    sweep(
+        ec,
+        [10u64, 20, 30]
+            .into_iter()
+            .map(|d| (d, ec.machine.clone().with_window(256).with_depth(d)))
+            .collect(),
+    )
+}
+
+/// **Extension** — the §3.6/§7 input-dependence-aware compiler
+/// ([`wishbranch_compiler::compile_adaptive`]) vs the paper's wish
+/// jump/join/loop binary, evaluated across *all three* input sets. The
+/// adaptive compiler trains on inputs A and C; the fixed heuristics train
+/// on the experiment's training input as usual.
+#[must_use]
+pub fn figure_adaptive(ec: &ExperimentConfig) -> FigureData {
+    let train = [InputSet::A, InputSet::C];
+    let mut rows = Vec::new();
+    for bench in suite(ec.scale) {
+        let normal = compile_variant(&bench, BinaryVariant::NormalBranch, ec);
+        let wjl = compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, ec);
+        let adaptive = crate::experiment::compile_adaptive_variant(&bench, &train, ec);
+        let mut values = Vec::new();
+        for input in InputSet::ALL {
+            let base = simulate(&normal.program, &bench, input, &ec.machine).stats.cycles as f64;
+            values.push(simulate(&wjl.program, &bench, input, &ec.machine).stats.cycles as f64 / base);
+            values.push(
+                simulate(&adaptive.program, &bench, input, &ec.machine).stats.cycles as f64 / base,
+            );
+        }
+        rows.push(NormalizedRow {
+            name: bench.name.into(),
+            values,
+        });
+    }
+    append_averages(&mut rows);
+    FigureData {
+        title: "Extension: input-dependence-aware compiler (wish-jjl vs wish-adaptive, per input)"
+            .into(),
+        series: InputSet::ALL
+            .iter()
+            .flat_map(|i| {
+                [
+                    format!("wish-jjl @{}", i.label()),
+                    format!("adaptive @{}", i.label()),
+                ]
+            })
+            .collect(),
+        rows,
+    }
+}
+
+/// **Extension** — dynamic hammock predication (Klauser et al., §6.1 of the
+/// paper) as a hardware-only baseline: the *normal-branch* binary on a DHP
+/// machine, against the wish jump/join/loop binary on the wish machine.
+/// The paper argues wish branches beat DHP because the compiler converts
+/// complex regions and loops that fetch-time hardware cannot; the wish rows
+/// should therefore win wherever loops or large regions matter.
+#[must_use]
+pub fn figure_dhp(ec: &ExperimentConfig) -> FigureData {
+    let input = ec.train_input;
+    let mut rows = Vec::new();
+    for bench in suite(ec.scale) {
+        let normal = compile_variant(&bench, BinaryVariant::NormalBranch, ec);
+        let wjl = compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, ec);
+        let base = simulate(&normal.program, &bench, input, &ec.machine).stats.cycles as f64;
+        let mut dhp_machine = ec.machine.clone();
+        dhp_machine.dhp_enabled = true;
+        let dhp_stats = simulate(&normal.program, &bench, input, &dhp_machine).stats;
+        let wish = simulate(&wjl.program, &bench, input, &ec.machine).stats.cycles as f64;
+        rows.push(NormalizedRow {
+            name: bench.name.into(),
+            values: vec![
+                dhp_stats.cycles as f64 / base,
+                wish / base,
+                dhp_stats.dhp_predications as f64,
+            ],
+        });
+    }
+    append_averages(&mut rows);
+    FigureData {
+        title: "Extension: dynamic hammock predication (normal binary + DHP HW) vs wish branches"
+            .into(),
+        series: vec![
+            "DHP (exec time)".into(),
+            "wish-jjl (exec time)".into(),
+            "DHP predications (count)".into(),
+        ],
+        rows,
+    }
+}
+
+/// **Extension** — predicate prediction (Chuang & Calder, §6.1 of the
+/// paper) as a baseline: the BASE-MAX binary with every predicate value
+/// predicted (and verified) in hardware, vs wish branches. Predicate
+/// prediction removes predication's execution delay but still fetches the
+/// useless instructions and flushes on hard predicates — the two costs
+/// wish branches avoid.
+#[must_use]
+pub fn figure_predicate_prediction(ec: &ExperimentConfig) -> FigureData {
+    let input = ec.train_input;
+    let mut rows = Vec::new();
+    for bench in suite(ec.scale) {
+        let normal = compile_variant(&bench, BinaryVariant::NormalBranch, ec);
+        let max = compile_variant(&bench, BinaryVariant::BaseMax, ec);
+        let wjl = compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, ec);
+        let base = simulate(&normal.program, &bench, input, &ec.machine).stats.cycles as f64;
+        let plain = simulate(&max.program, &bench, input, &ec.machine).stats.cycles as f64;
+        let mut pp_machine = ec.machine.clone();
+        pp_machine.predicate_prediction = true;
+        let pp = simulate(&max.program, &bench, input, &pp_machine).stats.cycles as f64;
+        let wish = simulate(&wjl.program, &bench, input, &ec.machine).stats.cycles as f64;
+        rows.push(NormalizedRow {
+            name: bench.name.into(),
+            values: vec![plain / base, pp / base, wish / base],
+        });
+    }
+    append_averages(&mut rows);
+    FigureData {
+        title: "Extension: predicate prediction (BASE-MAX + pred-pred HW) vs wish branches".into(),
+        series: vec![
+            "BASE-MAX".into(),
+            "BASE-MAX + pred-pred".into(),
+            "wish-jjl".into(),
+        ],
+        rows,
+    }
+}

@@ -1,0 +1,58 @@
+//! # wishbranch-core
+//!
+//! The top-level experiment API of the wish-branches reproduction: profile
+//! a workload, compile it into any of the paper's five binary variants,
+//! simulate it on the configured machine, and regenerate every table and
+//! figure of the paper's evaluation (§5).
+//!
+//! The crate ties together:
+//!
+//! * [`wishbranch_workloads`] — the nine SPEC-INT-2000-like benchmarks with
+//!   input sets A/B/C;
+//! * [`wishbranch_compiler`] — the Table 3 binary variants;
+//! * [`wishbranch_uarch`] — the Table 2 out-of-order machine with
+//!   wish-branch hardware.
+//!
+//! Every simulation is verified on the fly: the cycle simulator's retired
+//! memory image must match the functional reference machine's, so a figure
+//! can never silently come from a architecturally-broken run.
+//!
+//! # Example
+//!
+//! ```
+//! use wishbranch_core::{ExperimentConfig, run_binary};
+//! use wishbranch_compiler::BinaryVariant;
+//! use wishbranch_workloads::{gzip, InputSet};
+//!
+//! let ec = ExperimentConfig::quick(60); // tiny scale for doctests
+//! let bench = gzip(60);
+//! let normal = run_binary(&bench, BinaryVariant::NormalBranch, InputSet::B, &ec);
+//! let wish = run_binary(&bench, BinaryVariant::WishJumpJoinLoop, InputSet::B, &ec);
+//! assert!(normal.sim.stats.cycles > 0 && wish.sim.stats.cycles > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ablation;
+mod experiment;
+mod figures;
+mod render;
+mod tables;
+
+pub use ablation::{
+    confidence_threshold_sweep, loop_predictor_comparison, mshr_sweep, wish_threshold_sweep,
+    AblationPoint,
+    LoopPredictorComparison,
+};
+pub use experiment::{
+    compile_adaptive_variant, compile_variant, profile_on, run_binary, simulate,
+    ExperimentConfig, RunOutcome,
+};
+pub use figures::{
+    figure1, figure10, figure11, figure12, figure13, figure14, figure15, figure16, figure2,
+    figure_adaptive, figure_dhp, figure_predicate_prediction,
+    Fig11Row, Fig13Row, Fig1Row, Fig2Row, FigureData, NormalizedRow, SweepRow,
+};
+pub use render::{bar_chart, fig11_table, fig13_table, sweep_table, table4_table, table5_table, Table};
+pub use tables::{table4, table5, Table4Row, Table5Row};

@@ -1,0 +1,135 @@
+//! Regeneration of Tables 4 and 5.
+
+use crate::experiment::{compile_variant, simulate, ExperimentConfig};
+use wishbranch_compiler::BinaryVariant;
+use wishbranch_workloads::suite;
+
+/// One row of Table 4: benchmark characteristics for the normal-branch and
+/// wish jump/join/loop binaries.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Table4Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Dynamic retired µops (normal binary).
+    pub dynamic_uops: u64,
+    /// Static conditional branches (normal binary).
+    pub static_branches: usize,
+    /// Dynamic retired conditional branches (normal binary).
+    pub dynamic_branches: u64,
+    /// Mispredicted branches per 1000 retired µops (normal binary).
+    pub mispredicts_per_kuop: f64,
+    /// Retired µops per cycle (normal binary).
+    pub upc: f64,
+    /// Static wish branches in the wish jump/join/loop binary.
+    pub static_wish: usize,
+    /// … of which wish loops (%).
+    pub static_wish_loop_pct: f64,
+    /// Dynamic retired wish branches in the wish jump/join/loop binary.
+    pub dynamic_wish: u64,
+    /// … of which wish loops (%).
+    pub dynamic_wish_loop_pct: f64,
+}
+
+/// **Table 4** — simulated benchmark characteristics.
+#[must_use]
+pub fn table4(ec: &ExperimentConfig) -> Vec<Table4Row> {
+    let input = ec.train_input;
+    suite(ec.scale)
+        .iter()
+        .map(|bench| {
+            let normal = compile_variant(bench, BinaryVariant::NormalBranch, ec);
+            let nstats = simulate(&normal.program, bench, input, &ec.machine).stats;
+            let wjl = compile_variant(bench, BinaryVariant::WishJumpJoinLoop, ec);
+            let wstatic = wjl.program.static_stats();
+            let wstats = simulate(&wjl.program, bench, input, &ec.machine).stats;
+            let dyn_wish = wstats.wish_branches_total();
+            Table4Row {
+                name: bench.name.into(),
+                dynamic_uops: nstats.retired_uops,
+                static_branches: normal.program.static_stats().cond_branches,
+                dynamic_branches: nstats.retired_cond_branches,
+                mispredicts_per_kuop: nstats.mispredicts_per_kuop(),
+                upc: nstats.upc(),
+                static_wish: wstatic.wish_branches,
+                static_wish_loop_pct: if wstatic.wish_branches == 0 {
+                    0.0
+                } else {
+                    wstatic.wish_loops as f64 * 100.0 / wstatic.wish_branches as f64
+                },
+                dynamic_wish: dyn_wish,
+                dynamic_wish_loop_pct: if dyn_wish == 0 {
+                    0.0
+                } else {
+                    wstats.wish_loops.total() as f64 * 100.0 / dyn_wish as f64
+                },
+            }
+        })
+        .collect()
+}
+
+/// One row of Table 5: execution-time reduction of the wish
+/// jump/join/loop binary over the best competing binaries.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Table5Row {
+    /// Benchmark name.
+    pub name: String,
+    /// % reduction vs the normal-branch binary.
+    pub vs_normal_pct: f64,
+    /// % reduction vs the best predicated binary for this benchmark.
+    pub vs_best_predicated_pct: f64,
+    /// Which predicated binary was best (`DEF`/`MAX`).
+    pub best_predicated: &'static str,
+    /// % reduction vs the best non-wish binary for this benchmark.
+    pub vs_best_pct: f64,
+    /// Which non-wish binary was best (`DEF`/`MAX`/`BR`).
+    pub best: &'static str,
+}
+
+/// **Table 5** — wish jump/join/loop binary vs per-benchmark best binaries.
+/// The paper stresses this comparison is *unrealistically generous to the
+/// baseline*: it assumes the compiler could know at compile time which
+/// binary wins at run time.
+#[must_use]
+pub fn table5(ec: &ExperimentConfig) -> Vec<Table5Row> {
+    let input = ec.train_input;
+    let mut rows: Vec<Table5Row> = suite(ec.scale)
+        .iter()
+        .map(|bench| {
+            let run = |v| {
+                let bin = compile_variant(bench, v, ec);
+                simulate(&bin.program, bench, input, &ec.machine).stats.cycles
+            };
+            let normal = run(BinaryVariant::NormalBranch);
+            let def = run(BinaryVariant::BaseDef);
+            let max = run(BinaryVariant::BaseMax);
+            let wjl = run(BinaryVariant::WishJumpJoinLoop);
+
+            let (best_pred, best_pred_label) = if def <= max { (def, "DEF") } else { (max, "MAX") };
+            let (best, best_label) = if normal < best_pred {
+                (normal, "BR")
+            } else {
+                (best_pred, best_pred_label)
+            };
+            let pct = |base: u64| (base as f64 - wjl as f64) * 100.0 / base as f64;
+            Table5Row {
+                name: bench.name.into(),
+                vs_normal_pct: pct(normal),
+                vs_best_predicated_pct: pct(best_pred),
+                best_predicated: best_pred_label,
+                vs_best_pct: pct(best),
+                best: best_label,
+            }
+        })
+        .collect();
+    // AVG row (arithmetic mean of the reductions, as in the paper).
+    let n = rows.len() as f64;
+    rows.push(Table5Row {
+        name: "AVG".into(),
+        vs_normal_pct: rows.iter().map(|r| r.vs_normal_pct).sum::<f64>() / n,
+        vs_best_predicated_pct: rows.iter().map(|r| r.vs_best_predicated_pct).sum::<f64>() / n,
+        best_predicated: "-",
+        vs_best_pct: rows.iter().map(|r| r.vs_best_pct).sum::<f64>() / n,
+        best: "-",
+    });
+    rows
+}

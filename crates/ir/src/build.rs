@@ -1,0 +1,194 @@
+//! Ergonomic construction of IR functions for the workload crate.
+
+use crate::module::{Block, BlockId, BodyInsn, Cond, FuncId, Function, Terminator};
+use wishbranch_isa::{AluOp, CmpOp, Gpr, Operand};
+
+/// Builds one [`Function`] block by block.
+///
+/// Blocks are created with [`FunctionBuilder::new_block`], selected with
+/// [`FunctionBuilder::select`], filled with instruction helpers, and closed
+/// with a terminator helper. Blocks should be created in program order so
+/// that loop back-edges target earlier blocks (the convention the compiler's
+/// loop detector relies on).
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    blocks: Vec<Option<Block>>,
+    pending: Vec<Vec<BodyInsn>>,
+    current: Option<BlockId>,
+}
+
+impl FunctionBuilder {
+    /// Starts a function with an (unselected) entry block `bb0`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> FunctionBuilder {
+        FunctionBuilder {
+            name: name.into(),
+            blocks: vec![None],
+            pending: vec![Vec::new()],
+            current: None,
+        }
+    }
+
+    /// The entry block id (`bb0`).
+    #[must_use]
+    pub fn entry_block(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Creates a new, empty block and returns its id.
+    pub fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(None);
+        self.pending.push(Vec::new());
+        id
+    }
+
+    /// Makes `block` the insertion point for subsequent instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block was already terminated.
+    pub fn select(&mut self, block: BlockId) {
+        assert!(
+            self.blocks[block.0 as usize].is_none(),
+            "{block} already terminated"
+        );
+        self.current = Some(block);
+    }
+
+    fn cur(&mut self) -> &mut Vec<BodyInsn> {
+        let c = self.current.expect("no block selected");
+        &mut self.pending[c.0 as usize]
+    }
+
+    /// Appends `dst = src1 <op> src2`.
+    pub fn alu(&mut self, op: AluOp, dst: Gpr, src1: Gpr, src2: Operand) {
+        self.cur().push(BodyInsn::Alu {
+            op,
+            dst,
+            src1,
+            src2,
+        });
+    }
+
+    /// Appends `dst = imm`.
+    pub fn movi(&mut self, dst: Gpr, imm: i64) {
+        self.cur().push(BodyInsn::MovImm { dst, imm });
+    }
+
+    /// Appends `dst = src` (as `add dst = src, 0`).
+    pub fn mov(&mut self, dst: Gpr, src: Gpr) {
+        self.alu(AluOp::Add, dst, src, Operand::imm(0));
+    }
+
+    /// Appends `dst = mem[base + offset]`.
+    pub fn load(&mut self, dst: Gpr, base: Gpr, offset: i32) {
+        self.cur().push(BodyInsn::Load { dst, base, offset });
+    }
+
+    /// Appends `mem[base + offset] = src`.
+    pub fn store(&mut self, src: Gpr, base: Gpr, offset: i32) {
+        self.cur().push(BodyInsn::Store { src, base, offset });
+    }
+
+    /// Appends a call to function `func`.
+    pub fn call(&mut self, func: FuncId) {
+        self.cur().push(BodyInsn::Call { func });
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        let c = self.current.take().expect("no block selected");
+        let insns = std::mem::take(&mut self.pending[c.0 as usize]);
+        self.blocks[c.0 as usize] = Some(Block { insns, term });
+    }
+
+    /// Ends the current block with an unconditional jump.
+    pub fn jump(&mut self, to: BlockId) {
+        self.terminate(Terminator::Jump(to));
+    }
+
+    /// Ends the current block with `if (lhs op rhs) goto taken else fall`.
+    pub fn branch(&mut self, op: CmpOp, lhs: Gpr, rhs: Operand, taken: BlockId, fall: BlockId) {
+        self.terminate(Terminator::Branch {
+            cond: Cond { op, lhs, rhs },
+            taken,
+            fall,
+        });
+    }
+
+    /// Ends the current block with `return`.
+    pub fn ret(&mut self) {
+        self.terminate(Terminator::Return);
+    }
+
+    /// Ends the current block with `halt`.
+    pub fn halt(&mut self) {
+        self.terminate(Terminator::Halt);
+    }
+
+    /// Finishes the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any created block was never terminated.
+    #[must_use]
+    pub fn build(self) -> Function {
+        let blocks = self
+            .blocks
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| b.unwrap_or_else(|| panic!("bb{i} was never terminated")))
+            .collect();
+        Function {
+            name: self.name,
+            blocks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Module;
+
+    #[test]
+    fn builds_a_loop() {
+        let r1 = Gpr::new(1);
+        let mut f = FunctionBuilder::new("main");
+        let entry = f.entry_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.select(entry);
+        f.movi(r1, 0);
+        f.jump(body);
+        f.select(body);
+        f.alu(AluOp::Add, r1, r1, Operand::imm(1));
+        f.branch(CmpOp::Lt, r1, Operand::imm(10), body, exit);
+        f.select(exit);
+        f.halt();
+        let func = f.build();
+        assert_eq!(func.blocks.len(), 3);
+        assert!(func.is_backward_edge(body, body));
+        assert!(Module::new(vec![func], 0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "never terminated")]
+    fn unterminated_block_panics() {
+        let mut f = FunctionBuilder::new("main");
+        let _ = f.new_block();
+        f.select(f.entry_block());
+        f.halt();
+        let _ = f.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn reselecting_terminated_block_panics() {
+        let mut f = FunctionBuilder::new("main");
+        f.select(f.entry_block());
+        f.halt();
+        f.select(BlockId(0));
+    }
+}

@@ -1,0 +1,395 @@
+//! Reference interpreter and profiler for IR modules.
+
+use crate::module::{BlockId, BodyInsn, FuncId, Module, Terminator};
+use std::collections::{BTreeMap, HashMap};
+use std::error::Error;
+use std::fmt;
+use wishbranch_isa::{Gpr, NUM_GPRS};
+
+/// Per-branch-site profile collected during interpretation.
+///
+/// Besides raw edge counts, the profiler runs a small embedded gshare
+/// predictor and records its mispredictions; this is the "estimated branch
+/// misprediction rate" input to the compiler's cost model (§4.2.1). The
+/// compiler never sees run-time hardware state — only this profile, exactly
+/// like the ORC compiler's profile-guided heuristics.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct BranchSiteProfile {
+    /// Times the branch was taken.
+    pub taken: u64,
+    /// Times it fell through.
+    pub not_taken: u64,
+    /// Mispredictions by the profiler's embedded predictor.
+    pub est_mispredicts: u64,
+}
+
+impl BranchSiteProfile {
+    /// Total executions.
+    #[must_use]
+    pub fn executions(&self) -> u64 {
+        self.taken + self.not_taken
+    }
+
+    /// Probability the branch is taken (0 when never executed).
+    #[must_use]
+    pub fn p_taken(&self) -> f64 {
+        let n = self.executions();
+        if n == 0 {
+            0.0
+        } else {
+            self.taken as f64 / n as f64
+        }
+    }
+
+    /// Estimated misprediction probability (0 when never executed).
+    #[must_use]
+    pub fn p_mispredict(&self) -> f64 {
+        let n = self.executions();
+        if n == 0 {
+            0.0
+        } else {
+            self.est_mispredicts as f64 / n as f64
+        }
+    }
+}
+
+/// Whole-program profile keyed by branch site.
+pub type Profile = HashMap<(FuncId, BlockId), BranchSiteProfile>;
+
+/// Errors from [`Interpreter::run`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunError {
+    /// The step budget was exhausted before `halt`.
+    StepLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// Call nesting exceeded the interpreter's limit.
+    CallDepthExceeded,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::StepLimitExceeded { limit } => {
+                write!(f, "program did not halt within {limit} IR steps")
+            }
+            RunError::CallDepthExceeded => write!(f, "call depth limit exceeded"),
+        }
+    }
+}
+
+impl Error for RunError {}
+
+/// The architectural outcome of a run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RunResult {
+    /// Dynamic IR instructions executed (bodies + terminators).
+    pub steps: u64,
+    /// Final register file.
+    pub regs: [i64; NUM_GPRS],
+    /// Final data memory (sorted for deterministic comparison).
+    pub mem: BTreeMap<u64, i64>,
+    /// Branch profile collected along the way.
+    pub profile: Profile,
+}
+
+impl RunResult {
+    /// FNV-1a digest of the final memory image, for quick equivalence
+    /// assertions in tests.
+    #[must_use]
+    pub fn mem_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (k, v) in &self.mem {
+            for b in k.to_le_bytes().into_iter().chain(v.to_le_bytes()) {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+const CALL_DEPTH_LIMIT: usize = 64;
+const PROFILER_PHT_BITS: u32 = 12;
+
+/// Executes IR modules directly, with architectural semantics identical to
+/// the compiled µop programs (the test suite enforces this).
+///
+/// Memory is a sparse map of 64-bit addresses to 64-bit values; the
+/// interpreter and the µop machine both index memory by exact address, so
+/// programs that use 8-byte strides behave identically in both.
+#[derive(Clone, Debug)]
+pub struct Interpreter {
+    /// Register file; pre-set before [`Interpreter::run`] to pass inputs.
+    pub regs: [i64; NUM_GPRS],
+    /// Data memory; pre-populate before [`Interpreter::run`] with input
+    /// arrays.
+    pub mem: HashMap<u64, i64>,
+    // Embedded profiler predictor state.
+    pht: Vec<u8>,
+    ghr: u64,
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interpreter {
+    /// Creates an interpreter with zeroed registers and empty memory.
+    #[must_use]
+    pub fn new() -> Interpreter {
+        Interpreter {
+            regs: [0; NUM_GPRS],
+            mem: HashMap::new(),
+            pht: vec![2; 1 << PROFILER_PHT_BITS],
+            ghr: 0,
+        }
+    }
+
+    fn reg(&self, r: Gpr) -> i64 {
+        self.regs[r.index()]
+    }
+
+    fn operand(&self, op: wishbranch_isa::Operand) -> i64 {
+        match op {
+            wishbranch_isa::Operand::Reg(r) => self.reg(r),
+            wishbranch_isa::Operand::Imm(i) => i64::from(i),
+        }
+    }
+
+    fn profile_predict(&mut self, site: u64, taken: bool) -> bool {
+        let idx = ((site ^ self.ghr) as usize) & (self.pht.len() - 1);
+        let pred = self.pht[idx] >= 2;
+        if taken {
+            if self.pht[idx] < 3 {
+                self.pht[idx] += 1;
+            }
+        } else if self.pht[idx] > 0 {
+            self.pht[idx] -= 1;
+        }
+        self.ghr = (self.ghr << 1) | u64::from(taken);
+        pred != taken
+    }
+
+    /// Runs the module to `halt`, returning the architectural outcome and
+    /// profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::StepLimitExceeded`] if `max_steps` IR
+    /// instructions execute without halting, or
+    /// [`RunError::CallDepthExceeded`] on runaway recursion.
+    pub fn run(&mut self, module: &Module, max_steps: u64) -> Result<RunResult, RunError> {
+        let mut steps: u64 = 0;
+        let mut profile: Profile = HashMap::new();
+        self.exec_func(module, module.main(), max_steps, &mut steps, &mut profile, 0)?;
+        Ok(RunResult {
+            steps,
+            regs: self.regs,
+            mem: self.mem.iter().map(|(&k, &v)| (k, v)).collect(),
+            profile,
+        })
+    }
+
+    fn exec_func(
+        &mut self,
+        module: &Module,
+        fid: FuncId,
+        max_steps: u64,
+        steps: &mut u64,
+        profile: &mut Profile,
+        depth: usize,
+    ) -> Result<(), RunError> {
+        if depth >= CALL_DEPTH_LIMIT {
+            return Err(RunError::CallDepthExceeded);
+        }
+        let func = module.func(fid);
+        let mut bid = BlockId(0);
+        loop {
+            let block = func.block(bid);
+            for insn in &block.insns {
+                *steps += 1;
+                if *steps > max_steps {
+                    return Err(RunError::StepLimitExceeded { limit: max_steps });
+                }
+                match *insn {
+                    BodyInsn::Alu {
+                        op,
+                        dst,
+                        src1,
+                        src2,
+                    } => {
+                        let v = op.apply(self.reg(src1), self.operand(src2));
+                        self.regs[dst.index()] = v;
+                    }
+                    BodyInsn::MovImm { dst, imm } => self.regs[dst.index()] = imm,
+                    BodyInsn::Load { dst, base, offset } => {
+                        let addr = (self.reg(base)).wrapping_add(i64::from(offset)) as u64;
+                        self.regs[dst.index()] = self.mem.get(&addr).copied().unwrap_or(0);
+                    }
+                    BodyInsn::Store { src, base, offset } => {
+                        let addr = (self.reg(base)).wrapping_add(i64::from(offset)) as u64;
+                        self.mem.insert(addr, self.reg(src));
+                    }
+                    BodyInsn::Call { func: callee } => {
+                        self.exec_func(module, callee, max_steps, steps, profile, depth + 1)?;
+                    }
+                }
+            }
+            *steps += 1;
+            if *steps > max_steps {
+                return Err(RunError::StepLimitExceeded { limit: max_steps });
+            }
+            match block.term {
+                Terminator::Jump(next) => bid = next,
+                Terminator::Branch { cond, taken, fall } => {
+                    let is_taken = cond.op.apply(self.reg(cond.lhs), self.operand(cond.rhs));
+                    let site = (u64::from(fid.0) << 32) | u64::from(bid.0);
+                    let mispredicted = self.profile_predict(site, is_taken);
+                    let entry = profile.entry((fid, bid)).or_default();
+                    if is_taken {
+                        entry.taken += 1;
+                    } else {
+                        entry.not_taken += 1;
+                    }
+                    if mispredicted {
+                        entry.est_mispredicts += 1;
+                    }
+                    bid = if is_taken { taken } else { fall };
+                }
+                Terminator::Return | Terminator::Halt => return Ok(()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::FunctionBuilder;
+    use wishbranch_isa::{AluOp, CmpOp, Operand};
+
+    fn r(i: u8) -> Gpr {
+        Gpr::new(i)
+    }
+
+    /// sum = Σ_{i=0}^{9} i, stored to mem[1000].
+    fn sum_module() -> Module {
+        let mut f = FunctionBuilder::new("main");
+        let entry = f.entry_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.select(entry);
+        f.movi(r(1), 0); // i
+        f.movi(r(2), 0); // sum
+        f.movi(r(3), 1000); // &out
+        f.jump(body);
+        f.select(body);
+        f.alu(AluOp::Add, r(2), r(2), Operand::reg(1));
+        f.alu(AluOp::Add, r(1), r(1), Operand::imm(1));
+        f.branch(CmpOp::Lt, r(1), Operand::imm(10), body, exit);
+        f.select(exit);
+        f.store(r(2), r(3), 0);
+        f.halt();
+        Module::new(vec![f.build()], 0).unwrap()
+    }
+
+    #[test]
+    fn sum_loop_executes_correctly() {
+        let mut i = Interpreter::new();
+        let res = i.run(&sum_module(), 10_000).unwrap();
+        assert_eq!(res.mem.get(&1000), Some(&45));
+        assert_eq!(res.regs[1], 10);
+    }
+
+    #[test]
+    fn profile_counts_loop_branch() {
+        let mut i = Interpreter::new();
+        let res = i.run(&sum_module(), 10_000).unwrap();
+        let p = res.profile[&(FuncId(0), BlockId(1))];
+        assert_eq!(p.taken, 9);
+        assert_eq!(p.not_taken, 1);
+        assert!((p.p_taken() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        let mut f = FunctionBuilder::new("main");
+        let e = f.entry_block();
+        f.select(e);
+        f.jump(e); // infinite loop
+        let m = Module::new(vec![f.build()], 0).unwrap();
+        let mut i = Interpreter::new();
+        assert!(matches!(
+            i.run(&m, 100),
+            Err(RunError::StepLimitExceeded { limit: 100 })
+        ));
+    }
+
+    #[test]
+    fn call_executes_callee() {
+        // f1 doubles r1; main calls it twice.
+        let mut callee = FunctionBuilder::new("double");
+        let e = callee.entry_block();
+        callee.select(e);
+        callee.alu(AluOp::Mul, r(1), r(1), Operand::imm(2));
+        callee.ret();
+
+        let mut main = FunctionBuilder::new("main");
+        let e = main.entry_block();
+        main.select(e);
+        main.movi(r(1), 3);
+        main.call(FuncId(1));
+        main.call(FuncId(1));
+        main.halt();
+
+        let m = Module::new(vec![main.build(), callee.build()], 0).unwrap();
+        let mut i = Interpreter::new();
+        let res = i.run(&m, 1000).unwrap();
+        assert_eq!(res.regs[1], 12);
+    }
+
+    #[test]
+    fn recursion_depth_limited() {
+        let mut f0 = FunctionBuilder::new("main");
+        let e = f0.entry_block();
+        f0.select(e);
+        f0.call(FuncId(1));
+        f0.halt();
+        let mut f1 = FunctionBuilder::new("rec");
+        let e = f1.entry_block();
+        f1.select(e);
+        f1.call(FuncId(1));
+        f1.ret();
+        let m = Module::new(vec![f0.build(), f1.build()], 0).unwrap();
+        let mut i = Interpreter::new();
+        assert_eq!(i.run(&m, 1 << 30), Err(RunError::CallDepthExceeded));
+    }
+
+    #[test]
+    fn mem_digest_distinguishes_states() {
+        let mut a = Interpreter::new();
+        let ra = a.run(&sum_module(), 10_000).unwrap();
+        let mut b = Interpreter::new();
+        b.mem.insert(1000, 7); // overwritten by the program
+        let rb = b.run(&sum_module(), 10_000).unwrap();
+        assert_eq!(ra.mem_digest(), rb.mem_digest());
+        let mut c = Interpreter::new();
+        c.mem.insert(2000, 7); // survives
+        let rc = c.run(&sum_module(), 10_000).unwrap();
+        assert_ne!(ra.mem_digest(), rc.mem_digest());
+    }
+
+    #[test]
+    fn predictable_branch_has_low_estimated_mispredict_rate() {
+        let mut i = Interpreter::new();
+        let res = i.run(&sum_module(), 10_000).unwrap();
+        let p = res.profile[&(FuncId(0), BlockId(1))];
+        // 10-iteration loop executed once: the embedded predictor can only
+        // be wrong a couple of times.
+        assert!(p.est_mispredicts <= 3);
+    }
+}

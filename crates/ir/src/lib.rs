@@ -1,0 +1,61 @@
+//! # wishbranch-ir
+//!
+//! A small control-flow-graph intermediate representation, standing in for
+//! the source-level view the ORC compiler has in the paper.
+//!
+//! Workload programs (crate `wishbranch-workloads`) are written in this IR;
+//! the compiler (crate `wishbranch-compiler`) lowers it to µops in the five
+//! binary variants of the paper's Table 3 (normal branches, BASE-DEF,
+//! BASE-MAX, wish jump/join, wish jump/join/loop).
+//!
+//! The IR deliberately uses *architectural* registers ([`wishbranch_isa::Gpr`])
+//! rather than SSA virtual registers: the interesting compilation problem in
+//! this reproduction is if-conversion and wish-branch generation, not
+//! register allocation. Predicate registers are invisible at the IR level —
+//! they are allocated by if-conversion.
+//!
+//! The crate also provides a reference [`Interpreter`] that executes modules
+//! directly. It serves two purposes:
+//!
+//! 1. **profiling** — edge counts feed the compiler's cost model
+//!    (Equations 4.1–4.3 of the paper);
+//! 2. **oracle** — the cycle simulator's retired architectural state must
+//!    match the interpreter's final state for every binary variant, which is
+//!    the backbone of the test suite.
+//!
+//! # Example
+//!
+//! ```
+//! use wishbranch_ir::{FunctionBuilder, Module, Interpreter, Cond};
+//! use wishbranch_isa::{AluOp, CmpOp, Gpr, Operand};
+//!
+//! let r1 = Gpr::new(1);
+//! let mut f = FunctionBuilder::new("main");
+//! let entry = f.entry_block();
+//! let done = f.new_block();
+//! f.select(entry);
+//! f.movi(r1, 41);
+//! f.alu(AluOp::Add, r1, r1, Operand::imm(1));
+//! f.jump(done);
+//! f.select(done);
+//! f.halt();
+//! let module = Module::new(vec![f.build()], 0).unwrap();
+//!
+//! let mut interp = Interpreter::new();
+//! let result = interp.run(&module, 1_000).unwrap();
+//! assert_eq!(result.regs[1], 42);
+//! # let _ = Cond { op: CmpOp::Eq, lhs: r1, rhs: Operand::imm(0) };
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod build;
+mod interp;
+mod module;
+
+pub use build::FunctionBuilder;
+pub use interp::{BranchSiteProfile, Interpreter, Profile, RunError, RunResult};
+pub use module::{
+    BlockId, BodyInsn, Block, Cond, FuncId, Function, Module, Terminator, ValidationError,
+};

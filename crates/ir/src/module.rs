@@ -1,0 +1,417 @@
+//! IR data types: modules, functions, blocks, instructions, terminators.
+
+use std::error::Error;
+use std::fmt;
+use wishbranch_isa::{AluOp, CmpOp, Gpr, Operand};
+
+/// Index of a function within a [`Module`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FuncId(pub u32);
+
+/// Index of a basic block within a [`Function`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A branch condition: `lhs <op> rhs` over general-purpose registers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Cond {
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Left operand register.
+    pub lhs: Gpr,
+    /// Right operand (register or immediate).
+    pub rhs: Operand,
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op.mnemonic(), self.rhs)
+    }
+}
+
+/// A straight-line (non-control) IR instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BodyInsn {
+    /// `dst = src1 <op> src2`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        dst: Gpr,
+        /// First source.
+        src1: Gpr,
+        /// Second source.
+        src2: Operand,
+    },
+    /// `dst = imm`.
+    MovImm {
+        /// Destination register.
+        dst: Gpr,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// `dst = mem[base + offset]`.
+    Load {
+        /// Destination register.
+        dst: Gpr,
+        /// Base address register.
+        base: Gpr,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// `mem[base + offset] = src`.
+    Store {
+        /// Source data register.
+        src: Gpr,
+        /// Base address register.
+        base: Gpr,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Call another function in the module. Registers are caller/callee
+    /// shared (the IR has no frames); conventions are up to the program.
+    Call {
+        /// Callee.
+        func: FuncId,
+    },
+}
+
+impl fmt::Display for BodyInsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BodyInsn::Alu {
+                op,
+                dst,
+                src1,
+                src2,
+            } => write!(f, "{dst} = {} {src1}, {src2}", op.mnemonic()),
+            BodyInsn::MovImm { dst, imm } => write!(f, "{dst} = {imm}"),
+            BodyInsn::Load { dst, base, offset } => write!(f, "{dst} = load [{base}{offset:+}]"),
+            BodyInsn::Store { src, base, offset } => write!(f, "store [{base}{offset:+}] = {src}"),
+            BodyInsn::Call { func } => write!(f, "call f{}", func.0),
+        }
+    }
+}
+
+/// How a basic block ends.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Terminator {
+    /// Unconditional transfer.
+    Jump(BlockId),
+    /// Two-way conditional transfer: `if cond goto taken else goto fall`.
+    Branch {
+        /// The condition.
+        cond: Cond,
+        /// Successor when the condition holds.
+        taken: BlockId,
+        /// Successor when it does not.
+        fall: BlockId,
+    },
+    /// Return from the current function (invalid in `main`).
+    Return,
+    /// Stop the program (valid only in `main`).
+    Halt,
+}
+
+impl Terminator {
+    /// The block's successors, in (taken, fall) order for branches.
+    #[must_use]
+    pub fn successors(&self) -> Vec<BlockId> {
+        match *self {
+            Terminator::Jump(b) => vec![b],
+            Terminator::Branch { taken, fall, .. } => vec![taken, fall],
+            Terminator::Return | Terminator::Halt => vec![],
+        }
+    }
+}
+
+/// A basic block: straight-line body plus terminator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Block {
+    /// Straight-line instructions.
+    pub insns: Vec<BodyInsn>,
+    /// Control-flow exit.
+    pub term: Terminator,
+}
+
+/// A function: a CFG of basic blocks. Block 0 is the entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Function {
+    /// Debug name.
+    pub name: String,
+    /// Basic blocks; `BlockId(i)` indexes this vector.
+    pub blocks: Vec<Block>,
+}
+
+impl Function {
+    /// The block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Predecessor lists for every block.
+    #[must_use]
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (i, b) in self.blocks.iter().enumerate() {
+            for s in b.term.successors() {
+                preds[s.0 as usize].push(BlockId(i as u32));
+            }
+        }
+        preds
+    }
+
+    /// Whether the edge `from → to` is a *backward* edge under the block
+    /// ordering convention (workload builders emit blocks in program order,
+    /// so loop latches always target earlier blocks). Used by the compiler
+    /// to find loop branches.
+    #[must_use]
+    pub fn is_backward_edge(&self, from: BlockId, to: BlockId) -> bool {
+        to <= from
+    }
+}
+
+/// Structural problems detected by [`Module::new`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ValidationError {
+    /// A terminator referenced a block outside its function.
+    BadBlockRef {
+        /// Function containing the bad reference.
+        func: FuncId,
+        /// Block whose terminator is bad.
+        block: BlockId,
+    },
+    /// A call referenced a nonexistent function.
+    BadFuncRef {
+        /// Function containing the call.
+        func: FuncId,
+    },
+    /// `main` contains a `Return`, or a non-main function contains `Halt`.
+    WrongTerminator {
+        /// Offending function.
+        func: FuncId,
+        /// Offending block.
+        block: BlockId,
+    },
+    /// The module's `main` index is out of range.
+    BadMain,
+    /// A function has no blocks.
+    EmptyFunction {
+        /// Offending function.
+        func: FuncId,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::BadBlockRef { func, block } => {
+                write!(f, "function f{} block {block} references a nonexistent block", func.0)
+            }
+            ValidationError::BadFuncRef { func } => {
+                write!(f, "function f{} calls a nonexistent function", func.0)
+            }
+            ValidationError::WrongTerminator { func, block } => {
+                write!(f, "function f{} block {block} has a terminator invalid for its role", func.0)
+            }
+            ValidationError::BadMain => write!(f, "main function index out of range"),
+            ValidationError::EmptyFunction { func } => write!(f, "function f{} has no blocks", func.0),
+        }
+    }
+}
+
+impl Error for ValidationError {}
+
+/// A whole program: functions plus the index of `main`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Module {
+    funcs: Vec<Function>,
+    main: FuncId,
+}
+
+impl Module {
+    /// Creates and validates a module.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidationError`] describing the first structural problem
+    /// found (dangling block/function references, wrong terminators, empty
+    /// functions).
+    pub fn new(funcs: Vec<Function>, main: u32) -> Result<Module, ValidationError> {
+        if (main as usize) >= funcs.len() {
+            return Err(ValidationError::BadMain);
+        }
+        let nfuncs = funcs.len();
+        for (fi, func) in funcs.iter().enumerate() {
+            let fid = FuncId(fi as u32);
+            if func.blocks.is_empty() {
+                return Err(ValidationError::EmptyFunction { func: fid });
+            }
+            for (bi, block) in func.blocks.iter().enumerate() {
+                let bid = BlockId(bi as u32);
+                for s in block.term.successors() {
+                    if (s.0 as usize) >= func.blocks.len() {
+                        return Err(ValidationError::BadBlockRef { func: fid, block: bid });
+                    }
+                }
+                let is_main = fi as u32 == main;
+                match block.term {
+                    Terminator::Return if is_main => {
+                        return Err(ValidationError::WrongTerminator { func: fid, block: bid })
+                    }
+                    Terminator::Halt if !is_main => {
+                        return Err(ValidationError::WrongTerminator { func: fid, block: bid })
+                    }
+                    _ => {}
+                }
+                for insn in &block.insns {
+                    if let BodyInsn::Call { func: callee } = insn {
+                        if (callee.0 as usize) >= nfuncs {
+                            return Err(ValidationError::BadFuncRef { func: fid });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Module {
+            funcs,
+            main: FuncId(main),
+        })
+    }
+
+    /// All functions.
+    #[must_use]
+    pub fn funcs(&self) -> &[Function] {
+        &self.funcs
+    }
+
+    /// The function with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// The entry function.
+    #[must_use]
+    pub fn main(&self) -> FuncId {
+        self.main
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (fi, func) in self.funcs.iter().enumerate() {
+            writeln!(f, "fn f{} \"{}\":", fi, func.name)?;
+            for (bi, block) in func.blocks.iter().enumerate() {
+                writeln!(f, "  bb{bi}:")?;
+                for insn in &block.insns {
+                    writeln!(f, "    {insn}")?;
+                }
+                match block.term {
+                    Terminator::Jump(b) => writeln!(f, "    jump {b}")?,
+                    Terminator::Branch { cond, taken, fall } => {
+                        writeln!(f, "    if {cond} goto {taken} else {fall}")?
+                    }
+                    Terminator::Return => writeln!(f, "    return")?,
+                    Terminator::Halt => writeln!(f, "    halt")?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_block(term: Terminator) -> Block {
+        Block {
+            insns: vec![],
+            term,
+        }
+    }
+
+    #[test]
+    fn validation_catches_dangling_block() {
+        let f = Function {
+            name: "main".into(),
+            blocks: vec![trivial_block(Terminator::Jump(BlockId(5)))],
+        };
+        assert!(matches!(
+            Module::new(vec![f], 0),
+            Err(ValidationError::BadBlockRef { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_catches_return_in_main() {
+        let f = Function {
+            name: "main".into(),
+            blocks: vec![trivial_block(Terminator::Return)],
+        };
+        assert!(matches!(
+            Module::new(vec![f], 0),
+            Err(ValidationError::WrongTerminator { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_catches_bad_call() {
+        let f = Function {
+            name: "main".into(),
+            blocks: vec![Block {
+                insns: vec![BodyInsn::Call { func: FuncId(3) }],
+                term: Terminator::Halt,
+            }],
+        };
+        assert!(matches!(
+            Module::new(vec![f], 0),
+            Err(ValidationError::BadFuncRef { .. })
+        ));
+    }
+
+    #[test]
+    fn predecessors_and_backward_edges() {
+        use wishbranch_isa::{CmpOp, Gpr, Operand};
+        let cond = Cond {
+            op: CmpOp::Lt,
+            lhs: Gpr::new(1),
+            rhs: Operand::imm(10),
+        };
+        // bb0 -> bb1; bb1 -> (bb1 taken | bb2 fall): a self-loop latch.
+        let f = Function {
+            name: "main".into(),
+            blocks: vec![
+                trivial_block(Terminator::Jump(BlockId(1))),
+                trivial_block(Terminator::Branch {
+                    cond,
+                    taken: BlockId(1),
+                    fall: BlockId(2),
+                }),
+                trivial_block(Terminator::Halt),
+            ],
+        };
+        let preds = f.predecessors();
+        assert_eq!(preds[1], vec![BlockId(0), BlockId(1)]);
+        assert!(f.is_backward_edge(BlockId(1), BlockId(1)));
+        assert!(!f.is_backward_edge(BlockId(1), BlockId(2)));
+        let m = Module::new(vec![f], 0).unwrap();
+        assert!(m.to_string().contains("if r1 lt 10 goto bb1 else bb2"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests on the IR interpreter: determinism, profile accounting,
+//! and agreement between interpreter-visible state and program structure.
+
+use proptest::prelude::*;
+use wishbranch_ir::{FunctionBuilder, Interpreter, Module};
+use wishbranch_isa::{AluOp, CmpOp, Gpr, Operand};
+
+fn r(i: u8) -> Gpr {
+    Gpr::new(i)
+}
+
+/// A small structured program: counted loop with a data-dependent hammock.
+fn program(trip: i32, threshold: i32) -> Module {
+    let mut f = FunctionBuilder::new("main");
+    let e = f.entry_block();
+    let body = f.new_block();
+    let t = f.new_block();
+    let el = f.new_block();
+    let j = f.new_block();
+    let exit = f.new_block();
+    f.select(e);
+    f.movi(r(1), 0);
+    f.movi(r(2), 0);
+    f.jump(body);
+    f.select(body);
+    f.alu(AluOp::Mul, r(3), r(1), Operand::imm(37));
+    f.alu(AluOp::And, r(3), r(3), Operand::imm(63));
+    f.branch(CmpOp::Lt, r(3), Operand::imm(threshold), t, el);
+    f.select(el);
+    f.alu(AluOp::Sub, r(2), r(2), Operand::imm(1));
+    f.jump(j);
+    f.select(t);
+    f.alu(AluOp::Add, r(2), r(2), Operand::imm(2));
+    f.jump(j);
+    f.select(j);
+    f.alu(AluOp::Add, r(1), r(1), Operand::imm(1));
+    f.branch(CmpOp::Lt, r(1), Operand::imm(trip), body, exit);
+    f.select(exit);
+    f.halt();
+    Module::new(vec![f.build()], 0).unwrap()
+}
+
+proptest! {
+    #[test]
+    fn interpreter_is_deterministic(trip in 1i32..200, th in 0i32..64) {
+        let m = program(trip, th);
+        let a = Interpreter::new().run(&m, 1_000_000).unwrap();
+        let b = Interpreter::new().run(&m, 1_000_000).unwrap();
+        prop_assert_eq!(a.regs, b.regs);
+        prop_assert_eq!(&a.mem, &b.mem);
+        prop_assert_eq!(a.steps, b.steps);
+        prop_assert_eq!(a.mem_digest(), b.mem_digest());
+    }
+
+    #[test]
+    fn profile_edge_counts_match_structure(trip in 1i32..200, th in 0i32..64) {
+        let m = program(trip, th);
+        let res = Interpreter::new().run(&m, 1_000_000).unwrap();
+        // The loop latch executes exactly `trip` times, taken `trip - 1`.
+        let latch = res
+            .profile
+            .iter()
+            .find(|((_, b), _)| b.0 == 4)
+            .map(|(_, p)| *p)
+            .expect("latch profiled");
+        prop_assert_eq!(latch.executions(), trip as u64);
+        prop_assert_eq!(latch.taken, trip as u64 - 1);
+        // The hammock executes exactly `trip` times and its two directions
+        // partition it.
+        let hammock = res
+            .profile
+            .iter()
+            .find(|((_, b), _)| b.0 == 1)
+            .map(|(_, p)| *p)
+            .expect("hammock profiled");
+        prop_assert_eq!(hammock.taken + hammock.not_taken, trip as u64);
+        // Estimated mispredictions can never exceed executions.
+        prop_assert!(hammock.est_mispredicts <= hammock.executions());
+    }
+
+    #[test]
+    fn register_result_matches_closed_form(trip in 1i32..200, th in 0i32..64) {
+        let m = program(trip, th);
+        let res = Interpreter::new().run(&m, 1_000_000).unwrap();
+        let mut expect = 0i64;
+        for i in 0..trip {
+            let v = (i as i64 * 37) & 63;
+            expect += if v < i64::from(th) { 2 } else { -1 };
+        }
+        prop_assert_eq!(res.regs[2], expect);
+        prop_assert_eq!(res.regs[1], i64::from(trip));
+    }
+}

@@ -1,0 +1,518 @@
+//! A small assembler for the µop ISA, accepting exactly the syntax the
+//! disassembler ([`crate::Insn`]'s `Display`) produces, plus labels.
+//!
+//! This closes the tooling loop: programs can be written (or machine-
+//! edited) as text, and any disassembled program re-assembles to the same
+//! image — a property the test suite enforces.
+//!
+//! # Syntax
+//!
+//! One instruction per line; `;` starts a comment; `NAME:` on its own line
+//! binds a label usable as a branch target (absolute µop indices are also
+//! accepted). Examples:
+//!
+//! ```text
+//! ; Fig. 3c, by hand
+//!        cmp.ge p1, p2 = r6, 0
+//!        wish.jump p1, TARGET
+//!        (p2) add r8 = r8, 1
+//!        wish.join p2, JOIN
+//! TARGET:
+//!        (p1) sub r9 = r9, 1
+//! JOIN:
+//!        halt
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use wishbranch_isa::asm::assemble;
+//!
+//! let program = assemble("
+//!     movi r1 = 41
+//!     add r1 = r1, 1
+//!     halt
+//! ").unwrap();
+//! assert_eq!(program.len(), 3);
+//! ```
+
+use crate::insn::{AluOp, BranchKind, CmpOp, Insn, InsnKind, Operand, PredOp, WishType};
+use crate::program::{Label, Program, ProgramBuilder};
+use crate::regs::{Gpr, PredReg, NUM_GPRS, NUM_PREDS};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// An assembly error, with the 1-based source line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_gpr(tok: &str, line: usize) -> Result<Gpr, AsmError> {
+    let idx: usize = tok
+        .strip_prefix('r')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(line, format!("expected a GPR, got `{tok}`")))?;
+    if idx >= NUM_GPRS {
+        return Err(err(line, format!("GPR index out of range: `{tok}`")));
+    }
+    Ok(Gpr::new(idx as u8))
+}
+
+fn parse_pred(tok: &str, line: usize) -> Result<PredReg, AsmError> {
+    let idx: usize = tok
+        .strip_prefix('p')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(line, format!("expected a predicate register, got `{tok}`")))?;
+    if idx >= NUM_PREDS {
+        return Err(err(line, format!("predicate index out of range: `{tok}`")));
+    }
+    Ok(PredReg::new(idx as u8))
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, AsmError> {
+    if tok.starts_with('r') {
+        return Ok(Operand::Reg(parse_gpr(tok, line)?));
+    }
+    tok.parse::<i32>()
+        .map(Operand::Imm)
+        .map_err(|_| err(line, format!("expected a register or immediate, got `{tok}`")))
+}
+
+fn alu_op(mn: &str) -> Option<AluOp> {
+    Some(match mn {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        "mul" => AluOp::Mul,
+        "div" => AluOp::Div,
+        _ => return None,
+    })
+}
+
+fn cmp_op(mn: &str) -> Option<CmpOp> {
+    Some(match mn {
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "lt" => CmpOp::Lt,
+        "le" => CmpOp::Le,
+        "gt" => CmpOp::Gt,
+        "ge" => CmpOp::Ge,
+        _ => return None,
+    })
+}
+
+fn pred_op(mn: &str) -> Option<PredOp> {
+    Some(match mn {
+        "pand" => PredOp::And,
+        "por" => PredOp::Or,
+        "pxor" => PredOp::Xor,
+        _ => return None,
+    })
+}
+
+/// A branch target: a label name or an absolute index.
+enum Target {
+    Label(String),
+    Abs(u32),
+}
+
+fn parse_target(tok: &str) -> Target {
+    match tok.parse::<u32>() {
+        Ok(n) => Target::Abs(n),
+        Err(_) => Target::Label(tok.to_string()),
+    }
+}
+
+/// Splits `a = b, c` shapes around `=` and commas, normalizing whitespace.
+fn split_assign(rest: &str, line: usize) -> Result<(Vec<&str>, Vec<&str>), AsmError> {
+    let (lhs, rhs) = rest
+        .split_once('=')
+        .ok_or_else(|| err(line, format!("expected `=` in `{rest}`")))?;
+    let l: Vec<&str> = lhs.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let r: Vec<&str> = rhs.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    Ok((l, r))
+}
+
+/// Assembles a text program into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line on any syntax problem,
+/// out-of-range register, unknown mnemonic, or undefined label.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::new();
+    let mut labels: HashMap<String, Label> = HashMap::new();
+    let mut pending: Vec<(usize, Insn, Target, Option<WishType>)> = Vec::new();
+
+    // First pass: parse everything, creating labels lazily; branches are
+    // pushed through the builder's fixup machinery.
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.split(';').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        // Label binding.
+        if let Some(name) = text.strip_suffix(':') {
+            let name = name.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                return Err(err(line, format!("bad label `{text}`")));
+            }
+            let l = match labels.get(name) {
+                Some(&l) => l,
+                None => {
+                    let l = b.label(name);
+                    labels.insert(name.to_string(), l);
+                    l
+                }
+            };
+            b.bind(l);
+            continue;
+        }
+
+        // Optional guard `(pN)`.
+        let (guard, text) = if let Some(rest) = text.strip_prefix('(') {
+            let (g, rest) = rest
+                .split_once(')')
+                .ok_or_else(|| err(line, "unterminated guard"))?;
+            (Some(parse_pred(g.trim(), line)?), rest.trim())
+        } else {
+            (None, text)
+        };
+
+        let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+            Some((m, r)) => (m.trim(), r.trim()),
+            None => (text, ""),
+        };
+
+        let mut push = |insn: Insn| {
+            let insn = match guard {
+                Some(g) => insn.guarded(g),
+                None => insn,
+            };
+            b.push(insn);
+        };
+
+        match mnemonic {
+            m if alu_op(m).is_some() => {
+                let op = alu_op(m).expect("checked");
+                let (l, r) = split_assign(rest, line)?;
+                if l.len() != 1 || r.len() != 2 {
+                    return Err(err(line, format!("`{m}` needs `dst = src1, src2`")));
+                }
+                push(Insn::alu(
+                    op,
+                    parse_gpr(l[0], line)?,
+                    parse_gpr(r[0], line)?,
+                    parse_operand(r[1], line)?,
+                ));
+            }
+            "movi" => {
+                let (l, r) = split_assign(rest, line)?;
+                if l.len() != 1 || r.len() != 1 {
+                    return Err(err(line, "`movi` needs `dst = imm`"));
+                }
+                let imm: i64 = r[0]
+                    .parse()
+                    .map_err(|_| err(line, format!("bad immediate `{}`", r[0])))?;
+                push(Insn::mov_imm(parse_gpr(l[0], line)?, imm));
+            }
+            m if m.starts_with("cmp.") => {
+                let op = cmp_op(&m[4..])
+                    .ok_or_else(|| err(line, format!("unknown comparison `{m}`")))?;
+                let (l, r) = split_assign(rest, line)?;
+                if r.len() != 2 {
+                    return Err(err(line, "`cmp` needs two sources"));
+                }
+                let src1 = parse_gpr(r[0], line)?;
+                let src2 = parse_operand(r[1], line)?;
+                match l.as_slice() {
+                    [d] => push(Insn::cmp(op, parse_pred(d, line)?, src1, src2)),
+                    [dt, df] => {
+                        let (dt, df) = (parse_pred(dt, line)?, parse_pred(df, line)?);
+                        if dt == df {
+                            return Err(err(line, "cmp2 destinations must differ"));
+                        }
+                        push(Insn::cmp2(op, dt, df, src1, src2));
+                    }
+                    _ => return Err(err(line, "`cmp` needs one or two destinations")),
+                }
+            }
+            m if pred_op(m).is_some() => {
+                let op = pred_op(m).expect("checked");
+                let (l, r) = split_assign(rest, line)?;
+                if l.len() != 1 || r.len() != 2 {
+                    return Err(err(line, format!("`{m}` needs `dst = src1, src2`")));
+                }
+                push(Insn::new(InsnKind::PredRR {
+                    op,
+                    dst: parse_pred(l[0], line)?,
+                    src1: parse_pred(r[0], line)?,
+                    src2: parse_pred(r[1], line)?,
+                }));
+            }
+            "pnot" => {
+                let (l, r) = split_assign(rest, line)?;
+                if l.len() != 1 || r.len() != 1 {
+                    return Err(err(line, "`pnot` needs `dst = src`"));
+                }
+                push(Insn::pred_not(parse_pred(l[0], line)?, parse_pred(r[0], line)?));
+            }
+            "pset" => {
+                let (l, r) = split_assign(rest, line)?;
+                if l.len() != 1 || r.len() != 1 {
+                    return Err(err(line, "`pset` needs `dst = 0|1`"));
+                }
+                let v = match r[0] {
+                    "0" => false,
+                    "1" => true,
+                    other => return Err(err(line, format!("bad pset value `{other}`"))),
+                };
+                push(Insn::pred_set(parse_pred(l[0], line)?, v));
+            }
+            "ld" => {
+                // ld rD = [rB+off]
+                let (l, r) = split_assign(rest, line)?;
+                if l.len() != 1 || r.len() != 1 {
+                    return Err(err(line, "`ld` needs `dst = [base+off]`"));
+                }
+                let (base, off) = parse_mem(r[0], line)?;
+                push(Insn::load(parse_gpr(l[0], line)?, base, off));
+            }
+            "st" => {
+                // st [rB+off] = rS
+                let (l, r) = split_assign(rest, line)?;
+                if l.len() != 1 || r.len() != 1 {
+                    return Err(err(line, "`st` needs `[base+off] = src`"));
+                }
+                let (base, off) = parse_mem(l[0], line)?;
+                push(Insn::store(parse_gpr(r[0], line)?, base, off));
+            }
+            "br" | "wish.jump" | "wish.join" | "wish.loop" => {
+                let wish = match mnemonic {
+                    "wish.jump" => Some(WishType::Jump),
+                    "wish.join" => Some(WishType::Join),
+                    "wish.loop" => Some(WishType::Loop),
+                    _ => None,
+                };
+                let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
+                if parts.len() != 2 {
+                    return Err(err(line, format!("`{mnemonic}` needs `pred, target`")));
+                }
+                let (sense, ptok) = match parts[0].strip_prefix('!') {
+                    Some(p) => (false, p),
+                    None => (true, parts[0]),
+                };
+                let pred = parse_pred(ptok, line)?;
+                let insn = Insn::branch(BranchKind::Cond { pred, sense }, 0);
+                if guard.is_some() {
+                    return Err(err(line, "guards on branches are not supported"));
+                }
+                pending.push((b.here() as usize, insn, parse_target(parts[1]), wish));
+                // Placeholder; patched by the builder below.
+                push_pending(&mut b, &mut labels, &mut pending)?;
+            }
+            "br.uncond" | "call" => {
+                if guard.is_some() {
+                    return Err(err(line, "guards on branches are not supported"));
+                }
+                let kind = if mnemonic == "call" {
+                    BranchKind::Call
+                } else {
+                    BranchKind::Uncond
+                };
+                pending.push((
+                    b.here() as usize,
+                    Insn::branch(kind, 0),
+                    parse_target(rest.trim()),
+                    None,
+                ));
+                push_pending(&mut b, &mut labels, &mut pending)?;
+            }
+            "ret" => push(Insn::branch(BranchKind::Ret, 0)),
+            "jmp" => {
+                let reg = parse_gpr(rest.trim(), line)?;
+                push(Insn::branch(BranchKind::Indirect { target: reg }, 0));
+            }
+            "halt" => push(Insn::halt()),
+            "nop" => push(Insn::new(InsnKind::Nop)),
+            other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+        }
+    }
+    // The builder panics on unbound labels; convert that into an error by
+    // pre-checking (ProgramBuilder has no fallible build).
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || b.build())).map_err(|_| AsmError {
+        line: 0,
+        message: "undefined label or invalid branch target".into(),
+    })
+}
+
+fn parse_mem(tok: &str, line: usize) -> Result<(Gpr, i32), AsmError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected `[base±off]`, got `{tok}`")))?;
+    let split_at = inner
+        .char_indices()
+        .skip(1)
+        .find(|&(_, c)| c == '+' || c == '-')
+        .map(|(i, _)| i);
+    let (base, off) = match split_at {
+        Some(i) => (&inner[..i], &inner[i..]),
+        None => (inner, "+0"),
+    };
+    let offset: i32 = off
+        .parse()
+        .map_err(|_| err(line, format!("bad offset `{off}`")))?;
+    Ok((parse_gpr(base.trim(), line)?, offset))
+}
+
+/// Pushes the most recently queued branch through the builder, wiring label
+/// targets through the builder's fixups.
+fn push_pending(
+    b: &mut ProgramBuilder,
+    labels: &mut HashMap<String, Label>,
+    pending: &mut Vec<(usize, Insn, Target, Option<WishType>)>,
+) -> Result<(), AsmError> {
+    let (_, mut insn, target, wish) = pending.pop().expect("just pushed");
+    insn.wish = wish;
+    match target {
+        Target::Abs(t) => {
+            if let InsnKind::Branch { target, .. } = &mut insn.kind {
+                *target = t;
+            }
+            b.push(insn);
+        }
+        Target::Label(name) => {
+            let l = match labels.get(&name) {
+                Some(&l) => l,
+                None => {
+                    let l = b.label(&name);
+                    labels.insert(name, l);
+                    l
+                }
+            };
+            b.push_branch_to(insn, l);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Machine;
+
+    #[test]
+    fn assembles_and_runs_fig3c() {
+        let prog = assemble(
+            "
+            ; Fig. 3c by hand
+                movi r6 = -3
+                cmp.ge p1, p2 = r6, 0
+                wish.jump p1, TARGET
+                (p2) add r8 = r8, 1
+                wish.join p2, JOIN
+            TARGET:
+                (p1) sub r9 = r9, 1
+            JOIN:
+                halt
+            ",
+        )
+        .expect("assembles");
+        assert_eq!(prog.static_stats().wish_branches, 2);
+        let res = Machine::new().run(&prog, 100).unwrap();
+        assert_eq!(res.regs[8], 1); // else arm ran
+        assert_eq!(res.regs[9], 0); // then arm was a NOP
+    }
+
+    #[test]
+    fn memory_and_loop_syntax() {
+        let prog = assemble(
+            "
+                movi r1 = 4096
+                movi r2 = 0
+            LOOP:
+                add r2 = r2, 1
+                st [r1+8] = r2
+                cmp.lt p1 = r2, 3
+                br p1, LOOP
+                ld r3 = [r1+8]
+                halt
+            ",
+        )
+        .unwrap();
+        let res = Machine::new().run(&prog, 1000).unwrap();
+        assert_eq!(res.regs[3], 3);
+        assert_eq!(res.mem.get(&4104), Some(&3));
+    }
+
+    #[test]
+    fn negated_branch_sense() {
+        let prog = assemble(
+            "
+                cmp.eq p1 = r0, 1   ; false
+                br !p1, SKIP
+                movi r2 = 99
+            SKIP:
+                halt
+            ",
+        )
+        .unwrap();
+        let res = Machine::new().run(&prog, 100).unwrap();
+        assert_eq!(res.regs[2], 0, "negated branch must be taken");
+    }
+
+    #[test]
+    fn error_reporting_points_at_the_line() {
+        let e = assemble("movi r1 = 1\nbogus r2\nhalt").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+        let e = assemble("ld r1 = r2").unwrap_err();
+        assert!(e.message.contains("[base"));
+        let e = assemble("br p1, NOWHERE\nhalt").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+    }
+
+    #[test]
+    fn calls_ret_and_indirect() {
+        let prog = assemble(
+            "
+                call F
+                movi r5 = 1
+                halt
+            F:
+                movi r4 = 7
+                ret
+            ",
+        )
+        .unwrap();
+        let res = Machine::new().run(&prog, 100).unwrap();
+        assert_eq!(res.regs[4], 7);
+        assert_eq!(res.regs[5], 1);
+    }
+}

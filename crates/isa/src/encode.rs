@@ -1,0 +1,641 @@
+//! 64-bit binary word encoding of µops.
+//!
+//! Mirrors the wish-branch instruction format the paper sketches in Fig. 7:
+//! a branch encodes `OPCODE | btype | wtype | target offset | p`. We extend
+//! the same header (opcode, guard predicate, `btype`/`wtype` hint bits) to
+//! every µop so whole programs round-trip through a flat `u64` image.
+//!
+//! Word layout (bit 63 = MSB):
+//!
+//! ```text
+//! [63:58] opcode        [57] guard present   [56:53] guard predicate
+//! [52]    btype (wish)  [51:50] wtype (0 jump, 1 join, 2 loop)
+//! [49:44] field A (dst gpr / store data / pred dst)
+//! [43:38] field B (src1 / base / pred src)
+//! [37]    flag   (src2-is-imm / branch sense / pset value)
+//! [36:31] field C (src2 register)
+//! [30:0]  imm    (signed 31-bit immediate / offset / branch target)
+//! MovImm only: [43:0] 44-bit signed immediate
+//! ```
+//!
+//! A decoder that does not understand wish branches can pass
+//! `ignore_wish_hints = true` to [`decode_with_options`] and will see plain
+//! conditional branches — demonstrating the paper's backward-compatibility
+//! claim (§3.4).
+
+use crate::insn::{AluOp, BranchKind, CmpOp, Insn, InsnKind, Operand, PredOp, WishType};
+use crate::regs::{Gpr, PredReg, NUM_GPRS, NUM_PREDS};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by [`decode`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// The opcode field does not name a defined operation.
+    BadOpcode(u8),
+    /// The `wtype` field held the reserved value 3.
+    BadWishType,
+    /// A register field exceeded the architectural register count.
+    BadRegister(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "undefined opcode {op}"),
+            DecodeError::BadWishType => write!(f, "reserved wish type encoding"),
+            DecodeError::BadRegister(r) => write!(f, "register field {r} out of range"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Errors produced by [`encode`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EncodeError {
+    /// Immediate/offset does not fit the 31-bit signed field.
+    ImmOutOfRange(i64),
+    /// MovImm immediate does not fit the 44-bit signed field.
+    MovImmOutOfRange(i64),
+    /// Branch target does not fit the 31-bit field.
+    TargetOutOfRange(u32),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange(v) => write!(f, "immediate {v} does not fit 31 bits"),
+            EncodeError::MovImmOutOfRange(v) => write!(f, "immediate {v} does not fit 44 bits"),
+            EncodeError::TargetOutOfRange(t) => write!(f, "branch target {t} does not fit 31 bits"),
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+const OP_NOP: u8 = 0;
+const OP_HALT: u8 = 1;
+const OP_ALU_BASE: u8 = 2; // ..=10, one per AluOp
+const OP_MOVIMM: u8 = 11;
+const OP_CMP_BASE: u8 = 12; // ..=17, one per CmpOp
+const OP_PRR_BASE: u8 = 18; // ..=20, one per PredOp
+const OP_PNOT: u8 = 21;
+const OP_PSET: u8 = 22;
+const OP_LOAD: u8 = 23;
+const OP_STORE: u8 = 24;
+const OP_CMP2_BASE: u8 = 30; // ..=35, one per CmpOp
+const OP_BR_COND: u8 = 25;
+const OP_BR_UNCOND: u8 = 26;
+const OP_CALL: u8 = 27;
+const OP_RET: u8 = 28;
+const OP_INDIRECT: u8 = 29;
+
+const IMM_BITS: u32 = 31;
+const MOVIMM_BITS: u32 = 44;
+/// `cmp2` steals imm[30:27] for its second destination, leaving a 27-bit
+/// signed immediate.
+const CMP2_IMM_BITS: u32 = 27;
+
+fn alu_index(op: AluOp) -> u8 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::And => 2,
+        AluOp::Or => 3,
+        AluOp::Xor => 4,
+        AluOp::Shl => 5,
+        AluOp::Shr => 6,
+        AluOp::Mul => 7,
+        AluOp::Div => 8,
+    }
+}
+
+fn alu_from_index(i: u8) -> Option<AluOp> {
+    Some(match i {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::And,
+        3 => AluOp::Or,
+        4 => AluOp::Xor,
+        5 => AluOp::Shl,
+        6 => AluOp::Shr,
+        7 => AluOp::Mul,
+        8 => AluOp::Div,
+        _ => return None,
+    })
+}
+
+fn cmp_index(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    }
+}
+
+fn cmp_from_index(i: u8) -> Option<CmpOp> {
+    Some(match i {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        5 => CmpOp::Ge,
+        _ => return None,
+    })
+}
+
+fn prr_index(op: PredOp) -> u8 {
+    match op {
+        PredOp::And => 0,
+        PredOp::Or => 1,
+        PredOp::Xor => 2,
+    }
+}
+
+fn prr_from_index(i: u8) -> Option<PredOp> {
+    Some(match i {
+        0 => PredOp::And,
+        1 => PredOp::Or,
+        2 => PredOp::Xor,
+        _ => return None,
+    })
+}
+
+struct Fields {
+    opcode: u8,
+    a: u8,
+    b: u8,
+    c: u8,
+    flag: bool,
+    imm: i64,
+}
+
+impl Fields {
+    fn new(opcode: u8) -> Fields {
+        Fields {
+            opcode,
+            a: 0,
+            b: 0,
+            c: 0,
+            flag: false,
+            imm: 0,
+        }
+    }
+}
+
+fn check_imm(v: i64) -> Result<i64, EncodeError> {
+    let min = -(1i64 << (IMM_BITS - 1));
+    let max = (1i64 << (IMM_BITS - 1)) - 1;
+    if v < min || v > max {
+        Err(EncodeError::ImmOutOfRange(v))
+    } else {
+        Ok(v)
+    }
+}
+
+fn operand_fields(src2: Operand, f: &mut Fields) -> Result<(), EncodeError> {
+    match src2 {
+        Operand::Reg(r) => {
+            f.flag = false;
+            f.c = r.index() as u8;
+        }
+        Operand::Imm(i) => {
+            f.flag = true;
+            f.imm = check_imm(i64::from(i))?;
+        }
+    }
+    Ok(())
+}
+
+/// Encodes a µop into its 64-bit binary word.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] when an immediate, offset, or branch target does
+/// not fit its field.
+pub fn encode(insn: &Insn) -> Result<u64, EncodeError> {
+    let f = match insn.kind {
+        InsnKind::Nop => Fields::new(OP_NOP),
+        InsnKind::Halt => Fields::new(OP_HALT),
+        InsnKind::Alu {
+            op,
+            dst,
+            src1,
+            src2,
+        } => {
+            let mut f = Fields::new(OP_ALU_BASE + alu_index(op));
+            f.a = dst.index() as u8;
+            f.b = src1.index() as u8;
+            operand_fields(src2, &mut f)?;
+            f
+        }
+        InsnKind::MovImm { dst, imm } => {
+            let min = -(1i64 << (MOVIMM_BITS - 1));
+            let max = (1i64 << (MOVIMM_BITS - 1)) - 1;
+            if imm < min || imm > max {
+                return Err(EncodeError::MovImmOutOfRange(imm));
+            }
+            let mut f = Fields::new(OP_MOVIMM);
+            f.a = dst.index() as u8;
+            f.imm = imm;
+            f
+        }
+        InsnKind::Cmp {
+            op,
+            dst,
+            src1,
+            src2,
+        } => {
+            let mut f = Fields::new(OP_CMP_BASE + cmp_index(op));
+            f.a = dst.index() as u8;
+            f.b = src1.index() as u8;
+            operand_fields(src2, &mut f)?;
+            f
+        }
+        InsnKind::Cmp2 {
+            op,
+            dst_t,
+            dst_f,
+            src1,
+            src2,
+        } => {
+            let mut f = Fields::new(OP_CMP2_BASE + cmp_index(op));
+            f.a = dst_t.index() as u8;
+            f.b = src1.index() as u8;
+            match src2 {
+                Operand::Reg(r) => {
+                    f.flag = false;
+                    f.c = r.index() as u8;
+                }
+                Operand::Imm(i) => {
+                    let v = i64::from(i);
+                    let min = -(1i64 << (CMP2_IMM_BITS - 1));
+                    let max = (1i64 << (CMP2_IMM_BITS - 1)) - 1;
+                    if v < min || v > max {
+                        return Err(EncodeError::ImmOutOfRange(v));
+                    }
+                    f.flag = true;
+                    f.imm = v & ((1i64 << CMP2_IMM_BITS) - 1);
+                }
+            }
+            f.imm |= i64::from(dst_f.index() as u8) << CMP2_IMM_BITS;
+            f
+        }
+        InsnKind::PredRR {
+            op,
+            dst,
+            src1,
+            src2,
+        } => {
+            let mut f = Fields::new(OP_PRR_BASE + prr_index(op));
+            f.a = dst.index() as u8;
+            f.b = src1.index() as u8;
+            f.c = src2.index() as u8;
+            f
+        }
+        InsnKind::PredNot { dst, src } => {
+            let mut f = Fields::new(OP_PNOT);
+            f.a = dst.index() as u8;
+            f.b = src.index() as u8;
+            f
+        }
+        InsnKind::PredSet { dst, value } => {
+            let mut f = Fields::new(OP_PSET);
+            f.a = dst.index() as u8;
+            f.flag = value;
+            f
+        }
+        InsnKind::Load { dst, base, offset } => {
+            let mut f = Fields::new(OP_LOAD);
+            f.a = dst.index() as u8;
+            f.b = base.index() as u8;
+            f.imm = check_imm(i64::from(offset))?;
+            f
+        }
+        InsnKind::Store { src, base, offset } => {
+            let mut f = Fields::new(OP_STORE);
+            f.a = src.index() as u8;
+            f.b = base.index() as u8;
+            f.imm = check_imm(i64::from(offset))?;
+            f
+        }
+        InsnKind::Branch { kind, target } => {
+            if target >= (1 << IMM_BITS) {
+                return Err(EncodeError::TargetOutOfRange(target));
+            }
+            match kind {
+                BranchKind::Cond { pred, sense } => {
+                    let mut f = Fields::new(OP_BR_COND);
+                    f.a = pred.index() as u8;
+                    f.flag = sense;
+                    f.imm = i64::from(target);
+                    f
+                }
+                BranchKind::Uncond => {
+                    let mut f = Fields::new(OP_BR_UNCOND);
+                    f.imm = i64::from(target);
+                    f
+                }
+                BranchKind::Call => {
+                    let mut f = Fields::new(OP_CALL);
+                    f.imm = i64::from(target);
+                    f
+                }
+                BranchKind::Ret => Fields::new(OP_RET),
+                BranchKind::Indirect { target: reg } => {
+                    let mut f = Fields::new(OP_INDIRECT);
+                    f.b = reg.index() as u8;
+                    f
+                }
+            }
+        }
+    };
+
+    // Common header.
+    let mut word: u64 = u64::from(f.opcode) << 58;
+    if let Some(g) = insn.guard {
+        word |= 1 << 57;
+        word |= (g.index() as u64) << 53;
+    }
+    if let Some(w) = insn.wish {
+        word |= 1 << 52;
+        let wt = match w {
+            WishType::Jump => 0u64,
+            WishType::Join => 1,
+            WishType::Loop => 2,
+        };
+        word |= wt << 50;
+    }
+    word |= u64::from(f.a) << 44;
+    if f.opcode == OP_MOVIMM {
+        word |= (f.imm as u64) & ((1u64 << MOVIMM_BITS) - 1);
+    } else {
+        word |= u64::from(f.b) << 38;
+        word |= u64::from(f.flag) << 37;
+        word |= u64::from(f.c) << 31;
+        word |= (f.imm as u64) & ((1u64 << IMM_BITS) - 1);
+    }
+    Ok(word)
+}
+
+fn sign_extend(v: u64, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    ((v << shift) as i64) >> shift
+}
+
+fn gpr(field: u8) -> Result<Gpr, DecodeError> {
+    if (field as usize) < NUM_GPRS {
+        Ok(Gpr::new(field))
+    } else {
+        Err(DecodeError::BadRegister(field))
+    }
+}
+
+fn pred(field: u8) -> Result<PredReg, DecodeError> {
+    if (field as usize) < NUM_PREDS {
+        Ok(PredReg::new(field))
+    } else {
+        Err(DecodeError::BadRegister(field))
+    }
+}
+
+/// Decodes a 64-bit word into a µop.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for undefined opcodes, reserved wish types, or
+/// out-of-range register fields.
+pub fn decode(word: u64) -> Result<Insn, DecodeError> {
+    decode_with_options(word, false)
+}
+
+/// Decodes a 64-bit word, optionally ignoring the wish hint bits.
+///
+/// Passing `ignore_wish_hints = true` models a processor without wish-branch
+/// support running a wish binary: hint bits are dropped and wish branches
+/// decode as normal conditional branches (paper §3.4).
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for undefined opcodes, reserved wish types (only
+/// when hints are honoured), or out-of-range register fields.
+pub fn decode_with_options(word: u64, ignore_wish_hints: bool) -> Result<Insn, DecodeError> {
+    let opcode = ((word >> 58) & 0x3f) as u8;
+    let guard = if (word >> 57) & 1 == 1 {
+        Some(pred(((word >> 53) & 0xf) as u8)?)
+    } else {
+        None
+    };
+    let wish = if !ignore_wish_hints && (word >> 52) & 1 == 1 {
+        Some(match (word >> 50) & 0x3 {
+            0 => WishType::Jump,
+            1 => WishType::Join,
+            2 => WishType::Loop,
+            _ => return Err(DecodeError::BadWishType),
+        })
+    } else {
+        None
+    };
+    let a = ((word >> 44) & 0x3f) as u8;
+    let b = ((word >> 38) & 0x3f) as u8;
+    let flag = (word >> 37) & 1 == 1;
+    let c = ((word >> 31) & 0x3f) as u8;
+    let imm = sign_extend(word & ((1u64 << IMM_BITS) - 1), IMM_BITS);
+    // Branch targets occupy the same field but are *unsigned* µop indices.
+    let utarget = (word & ((1u64 << IMM_BITS) - 1)) as u32;
+
+    let src2 = |flag: bool, c: u8, imm: i64| -> Result<Operand, DecodeError> {
+        if flag {
+            Ok(Operand::Imm(imm as i32))
+        } else {
+            Ok(Operand::Reg(gpr(c)?))
+        }
+    };
+
+    let kind = match opcode {
+        OP_NOP => InsnKind::Nop,
+        OP_HALT => InsnKind::Halt,
+        op if (OP_ALU_BASE..OP_ALU_BASE + 9).contains(&op) => InsnKind::Alu {
+            op: alu_from_index(op - OP_ALU_BASE).ok_or(DecodeError::BadOpcode(op))?,
+            dst: gpr(a)?,
+            src1: gpr(b)?,
+            src2: src2(flag, c, imm)?,
+        },
+        OP_MOVIMM => InsnKind::MovImm {
+            dst: gpr(a)?,
+            imm: sign_extend(word & ((1u64 << MOVIMM_BITS) - 1), MOVIMM_BITS),
+        },
+        op if (OP_CMP_BASE..OP_CMP_BASE + 6).contains(&op) => InsnKind::Cmp {
+            op: cmp_from_index(op - OP_CMP_BASE).ok_or(DecodeError::BadOpcode(op))?,
+            dst: pred(a)?,
+            src1: gpr(b)?,
+            src2: src2(flag, c, imm)?,
+        },
+        op if (OP_CMP2_BASE..OP_CMP2_BASE + 6).contains(&op) => {
+            let raw_imm = word & ((1u64 << IMM_BITS) - 1);
+            let dst_f = pred(((raw_imm >> CMP2_IMM_BITS) & 0xf) as u8)?;
+            let imm27 = sign_extend(raw_imm & ((1u64 << CMP2_IMM_BITS) - 1), CMP2_IMM_BITS);
+            InsnKind::Cmp2 {
+                op: cmp_from_index(op - OP_CMP2_BASE).ok_or(DecodeError::BadOpcode(op))?,
+                dst_t: pred(a)?,
+                dst_f,
+                src1: gpr(b)?,
+                src2: if flag {
+                    Operand::Imm(imm27 as i32)
+                } else {
+                    Operand::Reg(gpr(c)?)
+                },
+            }
+        }
+        op if (OP_PRR_BASE..OP_PRR_BASE + 3).contains(&op) => InsnKind::PredRR {
+            op: prr_from_index(op - OP_PRR_BASE).ok_or(DecodeError::BadOpcode(op))?,
+            dst: pred(a)?,
+            src1: pred(b)?,
+            src2: pred(c)?,
+        },
+        OP_PNOT => InsnKind::PredNot {
+            dst: pred(a)?,
+            src: pred(b)?,
+        },
+        OP_PSET => InsnKind::PredSet {
+            dst: pred(a)?,
+            value: flag,
+        },
+        OP_LOAD => InsnKind::Load {
+            dst: gpr(a)?,
+            base: gpr(b)?,
+            offset: imm as i32,
+        },
+        OP_STORE => InsnKind::Store {
+            src: gpr(a)?,
+            base: gpr(b)?,
+            offset: imm as i32,
+        },
+        OP_BR_COND => InsnKind::Branch {
+            kind: BranchKind::Cond {
+                pred: pred(a)?,
+                sense: flag,
+            },
+            target: utarget,
+        },
+        OP_BR_UNCOND => InsnKind::Branch {
+            kind: BranchKind::Uncond,
+            target: utarget,
+        },
+        OP_CALL => InsnKind::Branch {
+            kind: BranchKind::Call,
+            target: utarget,
+        },
+        OP_RET => InsnKind::Branch {
+            kind: BranchKind::Ret,
+            target: 0,
+        },
+        OP_INDIRECT => InsnKind::Branch {
+            kind: BranchKind::Indirect { target: gpr(b)? },
+            target: 0,
+        },
+        op => return Err(DecodeError::BadOpcode(op)),
+    };
+
+    // A wish hint on anything but a conditional branch is silently dropped,
+    // matching "hint bits" semantics.
+    let wish = if matches!(
+        kind,
+        InsnKind::Branch {
+            kind: BranchKind::Cond { .. },
+            ..
+        }
+    ) {
+        wish
+    } else {
+        None
+    };
+
+    Ok(Insn { guard, kind, wish })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Insn, PredReg};
+
+    fn roundtrip(i: Insn) {
+        let w = encode(&i).expect("encode");
+        let back = decode(w).expect("decode");
+        assert_eq!(i, back, "round-trip failed for {i}");
+    }
+
+    #[test]
+    fn roundtrip_representative_insns() {
+        let r = Gpr::new;
+        let p = PredReg::new;
+        roundtrip(Insn::alu(AluOp::Add, r(3), r(1), Operand::reg(2)).guarded(p(1)));
+        roundtrip(Insn::alu(AluOp::Div, r(63), r(62), Operand::imm(-1000)));
+        roundtrip(Insn::mov_imm(r(5), -(1i64 << 43)));
+        roundtrip(Insn::mov_imm(r(5), (1i64 << 43) - 1));
+        roundtrip(Insn::cmp(CmpOp::Ge, p(15), r(0), Operand::imm(i32::from(i16::MAX))));
+        roundtrip(Insn::cmp2(CmpOp::Lt, p(1), p(2), r(3), Operand::imm(-12345)));
+        roundtrip(Insn::cmp2(CmpOp::Eq, p(15), p(14), r(63), Operand::reg(62)).guarded(p(3)));
+        roundtrip(Insn::new(InsnKind::PredRR {
+            op: PredOp::Xor,
+            dst: p(1),
+            src1: p(2),
+            src2: p(3),
+        }));
+        roundtrip(Insn::pred_not(p(4), p(5)).guarded(p(6)));
+        roundtrip(Insn::pred_set(p(7), true));
+        roundtrip(Insn::load(r(10), r(11), -64).guarded(p(2)));
+        roundtrip(Insn::store(r(10), r(11), 4096));
+        roundtrip(Insn::branch(BranchKind::cond(p(3), false), 123).with_wish(WishType::Loop));
+        roundtrip(Insn::branch(BranchKind::Uncond, 0));
+        roundtrip(Insn::branch(BranchKind::Call, 99).guarded(p(1)));
+        roundtrip(Insn::branch(BranchKind::Ret, 0));
+        roundtrip(Insn::branch(BranchKind::Indirect { target: r(9) }, 0));
+        roundtrip(Insn::halt());
+        roundtrip(Insn::new(InsnKind::Nop));
+    }
+
+    #[test]
+    fn encode_rejects_oversized_fields() {
+        assert!(matches!(
+            encode(&Insn::mov_imm(Gpr::new(1), 1i64 << 43)),
+            Err(EncodeError::MovImmOutOfRange(_))
+        ));
+        assert!(matches!(
+            encode(&Insn::branch(BranchKind::Uncond, u32::MAX)),
+            Err(EncodeError::TargetOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_bad_opcode() {
+        let word = 0x3fu64 << 58;
+        assert!(matches!(decode(word), Err(DecodeError::BadOpcode(0x3f))));
+    }
+
+    #[test]
+    fn wish_hints_can_be_ignored_for_backward_compat() {
+        let wb = Insn::branch(BranchKind::cond(PredReg::new(2), true), 17).with_wish(WishType::Jump);
+        let w = encode(&wb).unwrap();
+        let legacy = decode_with_options(w, true).unwrap();
+        assert!(!legacy.is_wish_branch());
+        assert!(legacy.is_conditional_branch());
+        assert_eq!(legacy.direct_target(), Some(17));
+    }
+
+    #[test]
+    fn sign_extension_of_offsets() {
+        let i = Insn::load(Gpr::new(1), Gpr::new(2), -1);
+        let w = encode(&i).unwrap();
+        let back = decode(w).unwrap();
+        match back.kind {
+            InsnKind::Load { offset, .. } => assert_eq!(offset, -1),
+            _ => panic!("wrong kind"),
+        }
+    }
+}

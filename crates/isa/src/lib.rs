@@ -1,0 +1,60 @@
+//! # wishbranch-isa
+//!
+//! The µop instruction set architecture used throughout the wish-branches
+//! reproduction.
+//!
+//! The paper (Kim, Mutlu, Stark, Patt, MICRO-38 2005) evaluates wish branches
+//! on IA-64 binaries translated into "generic RISC" µops (§4.1). This crate
+//! defines that generic RISC µop ISA directly:
+//!
+//! * 64 general-purpose registers ([`Gpr`]) and 16 one-bit predicate
+//!   registers ([`PredReg`]), with `p0` hardwired to TRUE;
+//! * every instruction carries an optional *qualifying (guard) predicate*
+//!   ([`Insn::guard`]) — IA-64 style full predication;
+//! * conditional branches may carry a *wish hint* ([`WishType`]) marking them
+//!   as `wish.jump`, `wish.join` or `wish.loop` (Fig. 7 of the paper);
+//! * a 64-bit binary word encoding ([`encode`]) mirroring the paper's
+//!   instruction-format sketch, so that "new binaries containing wish
+//!   branches run correctly on existing processors" can be demonstrated by
+//!   decoding with the hint bits ignored.
+//!
+//! # Example
+//!
+//! ```
+//! use wishbranch_isa::{Insn, AluOp, Operand, Gpr, PredReg, WishType, BranchKind};
+//!
+//! // (p1) r3 = r1 + r2
+//! let add = Insn::alu(AluOp::Add, Gpr::new(3), Gpr::new(1), Operand::reg(2))
+//!     .guarded(PredReg::new(1));
+//! assert_eq!(add.to_string(), "(p1) add r3 = r1, r2");
+//!
+//! // wish.jump p1, 42
+//! let wj = Insn::branch(BranchKind::cond(PredReg::new(1), true), 42)
+//!     .with_wish(WishType::Jump);
+//! assert!(wj.is_wish_branch());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod encode;
+pub mod exec;
+mod insn;
+mod program;
+mod regs;
+
+pub use insn::{AluOp, BranchKind, CmpOp, Insn, InsnKind, Operand, PredOp, WishType};
+pub use program::{Label, Program, ProgramBuilder, StaticStats, Symbol};
+pub use regs::{Gpr, PredReg, NUM_GPRS, NUM_PREDS};
+
+/// Size of one encoded µop in bytes; used to map µop indices to instruction
+/// addresses for the I-cache model.
+pub const INSN_BYTES: u64 = 8;
+
+/// Converts a µop index within a [`Program`] to its instruction-fetch address.
+#[inline]
+#[must_use]
+pub fn insn_addr(index: u32) -> u64 {
+    u64::from(index) * INSN_BYTES
+}

@@ -1,0 +1,144 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// Number of general-purpose registers in the ISA.
+pub const NUM_GPRS: usize = 64;
+/// Number of one-bit predicate registers in the ISA.
+pub const NUM_PREDS: usize = 16;
+
+/// A general-purpose register name (`r0` … `r63`).
+///
+/// Unlike many RISC ISAs, `r0` is an ordinary register (IA-64's `r0` quirk is
+/// irrelevant here). By software convention used by the compiler crate,
+/// `r63` is the stack pointer and `r62` the link register.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gpr(u8);
+
+impl Gpr {
+    /// Stack-pointer register by software convention.
+    pub const SP: Gpr = Gpr(63);
+    /// Link register (call return address) by software convention.
+    pub const LINK: Gpr = Gpr(62);
+
+    /// Creates a register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_GPRS`.
+    #[inline]
+    #[must_use]
+    pub const fn new(index: u8) -> Self {
+        assert!((index as usize) < NUM_GPRS, "GPR index out of range");
+        Gpr(index)
+    }
+
+    /// The register's index, in `0..NUM_GPRS`.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A one-bit predicate register name (`p0` … `p15`).
+///
+/// `p0` is hardwired TRUE, exactly as in IA-64: writes to it are ignored and
+/// reads always return TRUE. Guarding an instruction with `p0` is equivalent
+/// to not guarding it at all.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PredReg(u8);
+
+impl PredReg {
+    /// The hardwired-TRUE predicate register `p0`.
+    pub const TRUE: PredReg = PredReg(0);
+
+    /// Creates a predicate register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_PREDS`.
+    #[inline]
+    #[must_use]
+    pub const fn new(index: u8) -> Self {
+        assert!((index as usize) < NUM_PREDS, "predicate register index out of range");
+        PredReg(index)
+    }
+
+    /// The register's index, in `0..NUM_PREDS`.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired-TRUE register `p0`.
+    #[inline]
+    #[must_use]
+    pub fn is_hardwired_true(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for PredReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Debug for PredReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpr_display_and_index() {
+        let r = Gpr::new(17);
+        assert_eq!(r.to_string(), "r17");
+        assert_eq!(r.index(), 17);
+        assert_eq!(Gpr::SP.index(), 63);
+        assert_eq!(Gpr::LINK.index(), 62);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gpr_out_of_range_panics() {
+        let _ = Gpr::new(64);
+    }
+
+    #[test]
+    fn pred_hardwired_true() {
+        assert!(PredReg::TRUE.is_hardwired_true());
+        assert!(!PredReg::new(1).is_hardwired_true());
+        assert_eq!(PredReg::new(3).to_string(), "p3");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pred_out_of_range_panics() {
+        let _ = PredReg::new(16);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Gpr::new(2) < Gpr::new(10));
+        assert!(PredReg::new(1) < PredReg::new(2));
+    }
+}

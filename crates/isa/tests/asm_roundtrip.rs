@@ -1,0 +1,77 @@
+//! Disassembly → assembly round trip: any compiled/constructed program's
+//! textual form re-assembles to the identical image.
+
+use wishbranch_isa::asm::assemble;
+use wishbranch_isa::{
+    AluOp, BranchKind, CmpOp, Gpr, Insn, InsnKind, Operand, PredOp, PredReg, Program, WishType,
+};
+
+/// Renders a program in assembler-accepted syntax (plain disassembly with
+/// absolute branch targets).
+fn disasm(p: &Program) -> String {
+    p.insns()
+        .iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn roundtrip(insns: Vec<Insn>) {
+    let p = Program::from_insns(insns);
+    let text = disasm(&p);
+    let back = assemble(&text).unwrap_or_else(|e| panic!("reassembly failed: {e}\n{text}"));
+    assert_eq!(p.insns(), back.insns(), "round trip changed the program:\n{text}");
+}
+
+#[test]
+fn representative_program_roundtrips() {
+    let r = Gpr::new;
+    let p = PredReg::new;
+    roundtrip(vec![
+        Insn::mov_imm(r(1), -123456),
+        Insn::alu(AluOp::Add, r(2), r(1), Operand::reg(3)),
+        Insn::alu(AluOp::Div, r(2), r(2), Operand::imm(-7)).guarded(p(3)),
+        Insn::cmp(CmpOp::Ne, p(1), r(2), Operand::imm(0)),
+        Insn::cmp2(CmpOp::Lt, p(2), p(3), r(1), Operand::reg(2)),
+        Insn::new(InsnKind::PredRR {
+            op: PredOp::Xor,
+            dst: p(4),
+            src1: p(1),
+            src2: p(2),
+        }),
+        Insn::pred_not(p(5), p(4)),
+        Insn::pred_set(p(6), true),
+        Insn::load(r(4), r(5), -16).guarded(p(2)),
+        Insn::store(r(4), r(5), 24),
+        Insn::branch(BranchKind::cond(p(1), true), 0).with_wish(WishType::Loop),
+        Insn::branch(BranchKind::cond(p(2), false), 13),
+        Insn::branch(BranchKind::Uncond, 13),
+        Insn::branch(BranchKind::Call, 13),
+        Insn::branch(BranchKind::Ret, 0),
+        Insn::branch(BranchKind::Indirect { target: r(9) }, 0),
+        Insn::halt(),
+        Insn::new(InsnKind::Nop),
+    ]);
+}
+
+#[test]
+fn compiled_workload_binaries_roundtrip() {
+    use wishbranch_compiler::{compile, BinaryVariant, CompileOptions};
+    use wishbranch_core::profile_on;
+    use wishbranch_workloads::{suite, InputSet};
+    for bench in suite(20) {
+        let profile = profile_on(&bench, InputSet::B);
+        for variant in [BinaryVariant::NormalBranch, BinaryVariant::WishJumpJoinLoop] {
+            let bin = compile(&bench.module, &profile, variant, &CompileOptions::default());
+            let text = disasm(&bin.program);
+            let back = assemble(&text)
+                .unwrap_or_else(|e| panic!("{} {variant}: {e}", bench.name));
+            assert_eq!(
+                bin.program.insns(),
+                back.insns(),
+                "{} {variant}: round trip changed the binary",
+                bench.name
+            );
+        }
+    }
+}

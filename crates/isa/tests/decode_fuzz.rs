@@ -1,0 +1,32 @@
+//! Decode robustness: arbitrary 64-bit words must either decode cleanly or
+//! return a typed error — never panic — and everything that decodes must
+//! re-encode to a word that decodes to the same instruction (canonical
+//! round trip).
+
+use proptest::prelude::*;
+use wishbranch_isa::encode::{decode, encode};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn decode_never_panics(word in any::<u64>()) {
+        let _ = decode(word);
+    }
+
+    #[test]
+    fn decoded_insns_reencode_canonically(word in any::<u64>()) {
+        if let Ok(insn) = decode(word) {
+            let reencoded = encode(&insn).expect("decoded instructions must re-encode");
+            let again = decode(reencoded).expect("re-encoded word must decode");
+            prop_assert_eq!(insn, again);
+        }
+    }
+
+    #[test]
+    fn display_of_decoded_is_nonempty(word in any::<u64>()) {
+        if let Ok(insn) = decode(word) {
+            prop_assert!(!insn.to_string().is_empty());
+        }
+    }
+}

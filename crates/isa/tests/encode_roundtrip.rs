@@ -1,0 +1,159 @@
+//! Property tests: every constructible µop round-trips through the binary
+//! encoding, and decoding with hints ignored only ever strips wish bits.
+
+use proptest::prelude::*;
+use wishbranch_isa::encode::{decode, decode_with_options, encode};
+use wishbranch_isa::{
+    AluOp, BranchKind, CmpOp, Gpr, Insn, InsnKind, Operand, PredOp, PredReg, WishType,
+};
+
+fn arb_gpr() -> impl Strategy<Value = Gpr> {
+    (0u8..64).prop_map(Gpr::new)
+}
+
+fn arb_pred() -> impl Strategy<Value = PredReg> {
+    (0u8..16).prop_map(PredReg::new)
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+    ]
+}
+
+fn arb_cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        arb_gpr().prop_map(Operand::Reg),
+        // Immediates must fit the 31-bit signed field.
+        (-(1i32 << 30)..(1i32 << 30) - 1).prop_map(Operand::Imm),
+    ]
+}
+
+fn arb_target() -> impl Strategy<Value = u32> {
+    0u32..(1 << 30)
+}
+
+fn arb_kind() -> impl Strategy<Value = InsnKind> {
+    prop_oneof![
+        (arb_alu_op(), arb_gpr(), arb_gpr(), arb_operand()).prop_map(|(op, dst, src1, src2)| {
+            InsnKind::Alu {
+                op,
+                dst,
+                src1,
+                src2,
+            }
+        }),
+        (arb_gpr(), -(1i64 << 43)..(1i64 << 43) - 1)
+            .prop_map(|(dst, imm)| InsnKind::MovImm { dst, imm }),
+        (arb_cmp_op(), arb_pred(), arb_gpr(), arb_operand()).prop_map(|(op, dst, src1, src2)| {
+            InsnKind::Cmp {
+                op,
+                dst,
+                src1,
+                src2,
+            }
+        }),
+        (arb_cmp_op(), arb_pred(), arb_pred(), arb_gpr(), arb_gpr(), -(1i32 << 26)..(1i32 << 26) - 1, any::<bool>())
+            .prop_filter("cmp2 dests must differ", |(_, t, f, ..)| t != f)
+            .prop_map(|(op, dst_t, dst_f, src1, reg2, imm, use_imm)| InsnKind::Cmp2 {
+                op,
+                dst_t,
+                dst_f,
+                src1,
+                src2: if use_imm { Operand::Imm(imm) } else { Operand::Reg(reg2) },
+            }),
+        (arb_pred(), arb_pred(), arb_pred()).prop_map(|(dst, src1, src2)| InsnKind::PredRR {
+            op: PredOp::And,
+            dst,
+            src1,
+            src2,
+        }),
+        (arb_pred(), arb_pred()).prop_map(|(dst, src)| InsnKind::PredNot { dst, src }),
+        (arb_pred(), any::<bool>()).prop_map(|(dst, value)| InsnKind::PredSet { dst, value }),
+        (arb_gpr(), arb_gpr(), -(1i32 << 20)..(1i32 << 20))
+            .prop_map(|(dst, base, offset)| InsnKind::Load { dst, base, offset }),
+        (arb_gpr(), arb_gpr(), -(1i32 << 20)..(1i32 << 20))
+            .prop_map(|(src, base, offset)| InsnKind::Store { src, base, offset }),
+        (arb_pred(), any::<bool>(), arb_target()).prop_map(|(pred, sense, target)| {
+            InsnKind::Branch {
+                kind: BranchKind::Cond { pred, sense },
+                target,
+            }
+        }),
+        arb_target().prop_map(|t| InsnKind::Branch {
+            kind: BranchKind::Uncond,
+            target: t,
+        }),
+        arb_target().prop_map(|t| InsnKind::Branch {
+            kind: BranchKind::Call,
+            target: t,
+        }),
+        Just(InsnKind::Branch {
+            kind: BranchKind::Ret,
+            target: 0,
+        }),
+        arb_gpr().prop_map(|r| InsnKind::Branch {
+            kind: BranchKind::Indirect { target: r },
+            target: 0,
+        }),
+        Just(InsnKind::Halt),
+        Just(InsnKind::Nop),
+    ]
+}
+
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    (arb_kind(), proptest::option::of(arb_pred()), 0u8..4).prop_map(|(kind, guard, wish_sel)| {
+        let mut insn = Insn { guard, kind, wish: None };
+        if insn.is_conditional_branch() {
+            insn.wish = match wish_sel {
+                0 => None,
+                1 => Some(WishType::Jump),
+                2 => Some(WishType::Join),
+                _ => Some(WishType::Loop),
+            };
+        }
+        insn
+    })
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(insn in arb_insn()) {
+        let word = encode(&insn).expect("arbitrary insn should encode");
+        let back = decode(word).expect("encoded insn should decode");
+        prop_assert_eq!(insn, back);
+    }
+
+    #[test]
+    fn hint_ignoring_decode_strips_only_wish_bits(insn in arb_insn()) {
+        let word = encode(&insn).expect("encode");
+        let legacy = decode_with_options(word, true).expect("decode");
+        let mut expected = insn;
+        expected.wish = None;
+        prop_assert_eq!(expected, legacy);
+    }
+
+    #[test]
+    fn disassembly_is_never_empty(insn in arb_insn()) {
+        prop_assert!(!insn.to_string().is_empty());
+    }
+}

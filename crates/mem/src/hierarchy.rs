@@ -1,0 +1,258 @@
+//! The two-level hierarchy of Table 2 glued together as a latency model.
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+
+/// Configuration of the full memory hierarchy. Defaults are Table 2's.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemConfig {
+    /// Instruction cache geometry.
+    pub icache: CacheConfig,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Unified L2 geometry.
+    pub l2: CacheConfig,
+    /// Minimum main-memory latency in cycles.
+    pub memory_latency: u64,
+    /// Maximum outstanding memory-level misses (MSHRs). `0` = unlimited —
+    /// the paper's table does not bound MLP, so unlimited is the default;
+    /// finite values queue excess misses behind the oldest outstanding one
+    /// (see the `abl_mshr` study).
+    pub max_outstanding_misses: usize,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            icache: CacheConfig {
+                size_bytes: 64 * 1024,
+                ways: 4,
+                line_bytes: 64,
+                latency: 2,
+            },
+            l1d: CacheConfig {
+                size_bytes: 64 * 1024,
+                ways: 4,
+                line_bytes: 64,
+                latency: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 1024 * 1024,
+                ways: 8,
+                line_bytes: 64,
+                latency: 6,
+            },
+            memory_latency: 300,
+            max_outstanding_misses: 0,
+        }
+    }
+}
+
+/// I-cache + L1D + unified L2 + memory, as a pure latency model.
+///
+/// An access returns the total cycles until data is available:
+/// L1 hit → L1 latency; L1 miss, L2 hit → L1 + L2; both miss → L1 + L2 +
+/// memory latency. Fills are immediate (no MSHRs); see DESIGN.md.
+#[derive(Clone, Debug)]
+pub struct MemoryHierarchy {
+    icache: Cache,
+    l1d: Cache,
+    l2: Cache,
+    memory_latency: u64,
+    max_outstanding: usize,
+    /// Completion times of in-flight memory-level misses (kept sorted by
+    /// construction: each new miss completes no earlier than the previous
+    /// when the MSHRs are saturated).
+    outstanding: Vec<u64>,
+}
+
+impl MemoryHierarchy {
+    /// Creates an empty (cold) hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cache geometry in `cfg` is inconsistent.
+    #[must_use]
+    pub fn new(cfg: MemConfig) -> MemoryHierarchy {
+        MemoryHierarchy {
+            icache: Cache::new(cfg.icache),
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+            memory_latency: cfg.memory_latency,
+            max_outstanding: cfg.max_outstanding_misses,
+            outstanding: Vec::new(),
+        }
+    }
+
+    /// Accounts one memory-level miss issued at `now`, returning its
+    /// effective latency after MSHR queueing.
+    fn memory_miss(&mut self, now: u64) -> u64 {
+        if self.max_outstanding == 0 {
+            return self.memory_latency;
+        }
+        self.outstanding.retain(|&t| t > now);
+        let start = if self.outstanding.len() >= self.max_outstanding {
+            // Oldest outstanding miss must complete before this one can
+            // allocate an MSHR.
+            let k = self.outstanding.len() + 1 - self.max_outstanding;
+            self.outstanding[k - 1].max(now)
+        } else {
+            now
+        };
+        let done = start + self.memory_latency;
+        self.outstanding.push(done);
+        self.outstanding.sort_unstable();
+        done - now
+    }
+
+    /// Instruction fetch of the line containing `addr`; returns latency in
+    /// cycles. `now` is the current cycle, used for MSHR accounting.
+    pub fn fetch_access_at(&mut self, addr: u64, now: u64) -> u64 {
+        let mut lat = self.icache.latency();
+        if !self.icache.access(addr) {
+            lat += self.l2.latency();
+            if !self.l2.access(addr) {
+                lat += self.memory_miss(now + lat);
+            }
+        }
+        lat
+    }
+
+    /// [`MemoryHierarchy::fetch_access_at`] without MSHR accounting (kept
+    /// for callers with no notion of time).
+    pub fn fetch_access(&mut self, addr: u64) -> u64 {
+        self.fetch_access_at(addr, 0)
+    }
+
+    /// Data access (load or store — write-allocate makes them identical for
+    /// timing); returns latency in cycles. `now` is the current cycle.
+    pub fn data_access_at(&mut self, addr: u64, _is_write: bool, now: u64) -> u64 {
+        let mut lat = self.l1d.latency();
+        if !self.l1d.access(addr) {
+            lat += self.l2.latency();
+            if !self.l2.access(addr) {
+                lat += self.memory_miss(now + lat);
+            }
+        }
+        lat
+    }
+
+    /// [`MemoryHierarchy::data_access_at`] without MSHR accounting.
+    pub fn data_access(&mut self, addr: u64, is_write: bool) -> u64 {
+        self.data_access_at(addr, is_write, 0)
+    }
+
+    /// Wrong-path data access: computes the latency the access *would* see
+    /// but does not install lines anywhere (no pollution).
+    pub fn data_probe(&mut self, addr: u64) -> u64 {
+        let mut lat = self.l1d.latency();
+        if !self.l1d.probe(addr) {
+            lat += self.l2.latency();
+            if !self.l2.probe(addr) {
+                lat += self.memory_latency;
+            }
+        }
+        lat
+    }
+
+    /// Statistics for (icache, l1d, l2).
+    #[must_use]
+    pub fn stats(&self) -> (CacheStats, CacheStats, CacheStats) {
+        (self.icache.stats(), self.l1d.stats(), self.l2.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_composition() {
+        let mut m = MemoryHierarchy::new(MemConfig::default());
+        // Cold: L1 miss + L2 miss + memory.
+        assert_eq!(m.data_access(0x4000, false), 2 + 6 + 300);
+        // Warm L1.
+        assert_eq!(m.data_access(0x4000, false), 2);
+    }
+
+    #[test]
+    fn l2_catches_l1_evictions() {
+        // Tiny L1 (1 set × 1 way), big L2.
+        let cfg = MemConfig {
+            l1d: CacheConfig {
+                size_bytes: 64,
+                ways: 1,
+                line_bytes: 64,
+                latency: 2,
+            },
+            ..MemConfig::default()
+        };
+        let mut m = MemoryHierarchy::new(cfg);
+        m.data_access(0x0, false); // miss both
+        m.data_access(0x40, false); // evicts 0x0 from L1, fills L2
+        // 0x0: L1 miss, L2 hit.
+        assert_eq!(m.data_access(0x0, false), 2 + 6);
+    }
+
+    #[test]
+    fn fetch_and_data_share_l2() {
+        let mut m = MemoryHierarchy::new(MemConfig::default());
+        m.fetch_access(0x8000); // fills L2 line
+        // Data access to same line: L1D miss but L2 hit.
+        assert_eq!(m.data_access(0x8000, false), 2 + 6);
+    }
+
+    #[test]
+    fn probe_never_pollutes() {
+        let mut m = MemoryHierarchy::new(MemConfig::default());
+        assert_eq!(m.data_probe(0xA000), 2 + 6 + 300);
+        // Still cold afterwards.
+        assert_eq!(m.data_access(0xA000, false), 2 + 6 + 300);
+    }
+}
+
+#[cfg(test)]
+mod mshr_tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_mshrs_overlap_everything() {
+        let mut m = MemoryHierarchy::new(MemConfig::default());
+        for k in 0..8u64 {
+            assert_eq!(m.data_access_at(0x10_0000 + k * 4096, false, 0), 308);
+        }
+    }
+
+    #[test]
+    fn finite_mshrs_queue_excess_misses() {
+        let cfg = MemConfig {
+            max_outstanding_misses: 2,
+            ..MemConfig::default()
+        };
+        let mut m = MemoryHierarchy::new(cfg);
+        // Three simultaneous misses: the third queues behind the first.
+        let a = m.data_access_at(0x10_0000, false, 0);
+        let b = m.data_access_at(0x20_0000, false, 0);
+        let c = m.data_access_at(0x30_0000, false, 0);
+        assert_eq!(a, 308);
+        assert_eq!(b, 308);
+        assert!(c > 308 + 290, "third miss must wait for an MSHR: {c}");
+        // Once time passes, MSHRs free up.
+        let d = m.data_access_at(0x40_0000, false, 2000);
+        assert_eq!(d, 308);
+    }
+
+    #[test]
+    fn mshr_queue_drains_in_order() {
+        let cfg = MemConfig {
+            max_outstanding_misses: 1,
+            ..MemConfig::default()
+        };
+        let mut m = MemoryHierarchy::new(cfg);
+        let a = m.data_access_at(0x10_0000, false, 0);
+        let b = m.data_access_at(0x20_0000, false, 0);
+        let c = m.data_access_at(0x30_0000, false, 0);
+        // Fully serialized: each waits for the previous.
+        assert_eq!(a, 308);
+        assert!(b >= 300 + 300 && c >= b + 290, "serial misses: {a} {b} {c}");
+    }
+}

@@ -1,0 +1,37 @@
+//! # wishbranch-mem
+//!
+//! The cache/memory timing model of the baseline machine (Table 2 of the
+//! paper):
+//!
+//! * 64 KB, 4-way, 2-cycle I-cache;
+//! * 64 KB, 4-way, 2-cycle L1 data cache;
+//! * 1 MB, 8-way, 6-cycle unified L2;
+//! * 300-cycle minimum memory latency;
+//! * 64 B lines, LRU replacement everywhere.
+//!
+//! The model is a *latency* model: an access returns the number of cycles
+//! until its data is available, and fills happen immediately. Bank
+//! conflicts, MSHR occupancy and bus contention are not modelled (see
+//! DESIGN.md); the 4:1 core-to-memory frequency ratio and 32 banks of the
+//! paper's table are folded into the flat 300-cycle memory latency.
+//!
+//! # Example
+//!
+//! ```
+//! use wishbranch_mem::{MemoryHierarchy, MemConfig};
+//!
+//! let mut mem = MemoryHierarchy::new(MemConfig::default());
+//! let cold = mem.data_access(0x1000, false);
+//! let warm = mem.data_access(0x1008, false); // same 64B line
+//! assert!(cold > warm);
+//! assert_eq!(warm, 2); // L1 hit
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod hierarchy;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use hierarchy::{MemConfig, MemoryHierarchy};

@@ -1,0 +1,149 @@
+//! Machine configuration (Table 2 defaults).
+
+use wishbranch_bpred::{BtbConfig, HybridConfig, JrsConfig, LoopPredConfig};
+use wishbranch_mem::MemConfig;
+
+/// How the out-of-order core handles predicated instructions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PredMechanism {
+    /// C-style conditional expressions (§2.1): a guarded µop reads
+    /// {guard, sources, old destination} and always writes its destination.
+    /// One µop, four register sources.
+    CStyle,
+    /// The select-µop mechanism (Wang et al., §5.3.3): decode splits a
+    /// guarded µop into an unguarded compute µop (which may execute before
+    /// the predicate is ready) and a `select` µop merging the result with
+    /// the old destination under the predicate. Two µops.
+    SelectUop,
+}
+
+/// Idealization knobs used by the paper's oracle experiments.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct OracleConfig {
+    /// PERFECT-CBP (Fig. 2): every branch is predicted perfectly; no
+    /// flushes ever happen.
+    pub perfect_branch_prediction: bool,
+    /// Perfect confidence estimation (Figs. 10/12/16): a wish branch is
+    /// high confidence exactly when the predictor is about to be right.
+    pub perfect_confidence: bool,
+    /// NO-DEPEND (Fig. 2): predication-induced dependencies (guard and
+    /// old-destination) are resolved instantly with oracle values.
+    pub no_pred_dependencies: bool,
+    /// NO-FETCH (Fig. 2): µops whose guard is FALSE consume no fetch,
+    /// window, or execution bandwidth at all.
+    pub no_false_predicate_fetch: bool,
+}
+
+/// Full machine configuration. Defaults reproduce Table 2 of the paper.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Fetch width in µops/cycle (Table 2: 8).
+    pub fetch_width: usize,
+    /// Maximum conditional branches fetched per cycle (Table 2: 3).
+    pub max_cond_branches_per_cycle: usize,
+    /// Reorder buffer entries (Table 2: 512).
+    pub rob_size: usize,
+    /// Issue/execute width in µops/cycle (Table 2: 8).
+    pub issue_width: usize,
+    /// Retire width in µops/cycle (Table 2: 8).
+    pub retire_width: usize,
+    /// Front-end pipeline depth in cycles from fetch to rename/dispatch.
+    /// This is what makes the minimum branch misprediction penalty
+    /// (Table 2: 30 cycles).
+    pub pipeline_depth: u64,
+    /// Extra fetch bubble charged when a predicted-taken branch misses the
+    /// BTB and the target is only available after decode.
+    pub btb_miss_penalty: u64,
+    /// Cache hierarchy configuration.
+    pub mem: MemConfig,
+    /// Hybrid direction-predictor configuration.
+    pub bpred: HybridConfig,
+    /// BTB configuration.
+    pub btb: BtbConfig,
+    /// JRS confidence estimator configuration.
+    pub jrs: JrsConfig,
+    /// Predication handling mechanism.
+    pub pred_mechanism: PredMechanism,
+    /// Whether the wish-branch hardware is present. When `false`, wish
+    /// hints are ignored and wish branches behave as normal conditional
+    /// branches (§3.4's backward compatibility).
+    pub wish_enabled: bool,
+    /// Oracle idealizations.
+    pub oracles: OracleConfig,
+    /// Predicate prediction (Chuang & Calder, the paper's §6.1 related
+    /// work): every predicate-defining µop's result is predicted at fetch
+    /// with a per-PC two-bit counter; consumers execute immediately with
+    /// the predicted value, and a wrong prediction flushes the pipeline
+    /// when the definition executes. The paper argues this removes
+    /// predication's *execution* delay but — unlike wish branches — cannot
+    /// remove the fetch of useless predicated instructions, and loses on
+    /// hard-to-predict predicates.
+    pub predicate_prediction: bool,
+    /// Dynamic hammock predication (Klauser et al., the paper's §6.1
+    /// hardware-only alternative): when enabled, a *normal* conditional
+    /// branch with a low-confidence prediction whose fall-through region is
+    /// a simple branch-free hammock (skip-triangle or diamond) is predicated
+    /// in hardware — both arms are fetched with injected guards and the
+    /// branch never flushes. Wish hints are unaffected; DHP only applies to
+    /// branches without them. Modeled on the C-style machine.
+    pub dhp_enabled: bool,
+    /// Largest arm (in µops) DHP will predicate.
+    pub dhp_max_block: u32,
+    /// Optional specialized wish-loop predictor (§3.2's extension): when
+    /// set, wish loops are predicted by a trip-count predictor — which can
+    /// be biased to overestimate so mispredictions fall into the cheap
+    /// late-exit class — falling back to the hybrid when unconfident.
+    pub wish_loop_predictor: Option<LoopPredConfig>,
+    /// Safety valve: abort after this many cycles.
+    pub max_cycles: u64,
+    /// Integer multiply latency.
+    pub mul_latency: u64,
+    /// Integer divide latency.
+    pub div_latency: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            fetch_width: 8,
+            max_cond_branches_per_cycle: 3,
+            rob_size: 512,
+            issue_width: 8,
+            retire_width: 8,
+            pipeline_depth: 30,
+            btb_miss_penalty: 2,
+            mem: MemConfig::default(),
+            bpred: HybridConfig::default(),
+            btb: BtbConfig::default(),
+            jrs: JrsConfig::default(),
+            pred_mechanism: PredMechanism::CStyle,
+            wish_enabled: true,
+            oracles: OracleConfig::default(),
+            predicate_prediction: false,
+            dhp_enabled: false,
+            dhp_max_block: 16,
+            wish_loop_predictor: None,
+            max_cycles: 2_000_000_000,
+            mul_latency: 3,
+            div_latency: 12,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// The default machine with a different instruction window (ROB) size —
+    /// the Fig. 14 sweep.
+    #[must_use]
+    pub fn with_window(mut self, rob: usize) -> Self {
+        self.rob_size = rob;
+        self
+    }
+
+    /// The default machine with a different pipeline depth — the Fig. 15
+    /// sweep.
+    #[must_use]
+    pub fn with_depth(mut self, depth: u64) -> Self {
+        self.pipeline_depth = depth;
+        self
+    }
+}

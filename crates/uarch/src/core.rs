@@ -1,0 +1,1627 @@
+//! The cycle-level out-of-order core.
+//!
+//! Per-cycle stage order: retire → branch resolution → issue/execute →
+//! dispatch/rename → fetch. Fetch runs the speculative emulator
+//! ([`crate::emu::SpecEmulator`]) along the predicted path; branch
+//! resolution compares the predicted direction with the architectural one
+//! and flushes (or, for wish branches in low-confidence mode, deliberately
+//! does not flush) per §3.5.4 of the paper.
+
+use crate::config::{MachineConfig, OracleConfig, PredMechanism};
+use crate::emu::{SpecEmulator, StepInfo};
+use crate::stats::{LoopExitClass, SimStats, WishClassCounts};
+use std::collections::{HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+use wishbranch_bpred::{
+    Btb, BtbEntry, BtbKind, HybridPredictor, HybridToken, IndirectConfig, IndirectTargetCache,
+    JrsConfidence, LoopPredictor, LoopToken, RasCheckpoint, ReturnAddressStack,
+};
+use wishbranch_isa::{
+    insn_addr, BranchKind, Gpr, Insn, InsnKind, PredReg, Program, WishType, NUM_GPRS, NUM_PREDS,
+};
+use wishbranch_mem::MemoryHierarchy;
+
+/// Errors from [`Simulator::run`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// The cycle budget was exhausted before `halt` retired.
+    CycleLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CycleLimitExceeded { limit } => {
+                write!(f, "program did not retire halt within {limit} cycles")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Outcome of a simulation.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// All statistics.
+    pub stats: SimStats,
+    /// Final (retired) general registers.
+    pub final_regs: [i64; NUM_GPRS],
+    /// Final (retired) predicate registers.
+    pub final_preds: [bool; NUM_PREDS],
+    /// Final (retired) memory, sorted.
+    pub final_mem: std::collections::BTreeMap<u64, i64>,
+}
+
+/// Dynamic-hammock-predication fetch state: which region is currently
+/// being fetched under an injected guard.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum DhpState {
+    Off,
+    /// Guarding the fall-through arm. At `until`, either stop (triangle) or
+    /// redirect into the taken arm (`then` = (taken_start, taken_until,
+    /// skip_to-after-taken)).
+    GuardFall {
+        pred: PredReg,
+        negated: bool,
+        /// Architectural value of `pred` when the branch was fetched (the
+        /// renamed condition real hardware would hold).
+        cond: bool,
+        until: u32,
+        then: Option<(u32, u32, Option<u32>)>,
+    },
+    /// Guarding the taken arm under the complement; at `until`, optionally
+    /// skip the arm's trailing unconditional jump back to `skip_to`.
+    GuardTaken {
+        pred: PredReg,
+        negated: bool,
+        /// See [`DhpState::GuardFall::cond`].
+        cond: bool,
+        until: u32,
+        skip_to: Option<u32>,
+    },
+}
+
+/// Front-end mode of Fig. 8.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Mode {
+    Normal,
+    HighConf,
+    /// Low-confidence mode. For wish jumps/joins, `exit_target` is the
+    /// target of the branch that caused entry (fetching it exits the mode);
+    /// for wish loops, `loop_pc` identifies the loop being predicated.
+    LowConf {
+        exit_target: Option<u32>,
+        loop_pc: Option<u32>,
+    },
+}
+
+/// Branch metadata captured at fetch.
+#[derive(Clone, Copy, Debug)]
+struct BrMeta {
+    /// Direction fetch followed (conditional branches).
+    predicted_taken: bool,
+    /// pc fetch continued at.
+    predicted_next: u32,
+    /// Hybrid predictor token (conditional branches, non-oracle).
+    bp_token: Option<HybridToken>,
+    /// What the direction predictor said before any wish-branch forcing.
+    predictor_said_taken: bool,
+    /// GHR before this branch's speculative update.
+    ghr_checkpoint: u64,
+    /// GHR value used to index the confidence estimator.
+    conf_ghr: u64,
+    /// RAS state after this branch's own push/pop.
+    ras_checkpoint: RasCheckpoint,
+    /// Confidence estimate for wish branches (None = not a wish branch or
+    /// hardware disabled).
+    conf_high: Option<bool>,
+    /// Mode the front end was in when this branch was fetched (§3.5.4
+    /// footnote: recovery checks the mode at fetch, not at resolution).
+    fetch_mode: Mode,
+    /// Specialized wish-loop predictor token, when that predictor is
+    /// enabled and produced this prediction.
+    loop_token: Option<LoopToken>,
+    /// This branch was dynamically hammock-predicated (DHP): both arms are
+    /// in the pipeline under hardware guards, so it never flushes.
+    dhp: bool,
+}
+
+/// One fetched µop.
+#[derive(Clone, Copy, Debug)]
+struct FetchedUop {
+    seq: u64,
+    pc: u32,
+    insn: Insn,
+    info: StepInfo,
+    fetch_cycle: u64,
+    br: Option<BrMeta>,
+    /// Guard value supplied by the predicate-dependency-elimination buffer
+    /// (§3.5.3), if any.
+    guard_pred_elim: Option<bool>,
+    /// Hardware-injected guard from dynamic hammock predication:
+    /// `(register, negated)`.
+    hw_guard: Option<(PredReg, bool)>,
+    /// Predicate prediction (Chuang & Calder baseline): the value this
+    /// predicate-defining µop was predicted to produce (first destination).
+    pred_check: Option<bool>,
+}
+
+/// Role of a ROB entry under the select-µop mechanism.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Role {
+    /// The whole architectural µop (C-style, or unguarded).
+    Whole,
+    /// Select-µop expansion: the unguarded compute part.
+    Compute,
+    /// Select-µop expansion: the select merging under the predicate.
+    Select,
+}
+
+#[derive(Clone, Debug)]
+struct RobEntry {
+    id: u64,
+    f: FetchedUop,
+    role: Role,
+    deps: Vec<u64>,
+    issued: bool,
+    done: bool,
+    ready_cycle: u64,
+    resolved: bool,
+    /// Filled at resolution for mispredicted low-confidence wish loops.
+    loop_class: Option<LoopExitClass>,
+    /// The branch mispredicted (recorded at resolution, consumed at retire).
+    mispredicted: bool,
+}
+
+/// The simulator. Create with [`Simulator::new`], optionally preload state
+/// via [`Simulator::preload_mem`]/[`Simulator::preload_reg`], then
+/// [`Simulator::run`].
+pub struct Simulator<'p> {
+    program: &'p Program,
+    cfg: MachineConfig,
+    cycle: u64,
+    emu: SpecEmulator,
+    mem: MemoryHierarchy,
+    bp: HybridPredictor,
+    btb: Btb,
+    ras: ReturnAddressStack,
+    itc: IndirectTargetCache,
+    jrs: JrsConfidence,
+    loop_pred: Option<LoopPredictor>,
+    // Fetch state.
+    fetch_pc: u32,
+    fetch_stall_until: u64,
+    fetch_blocked: bool,
+    fetch_line: Option<u64>,
+    mode: Mode,
+    /// §3.5.3 buffer: predicate register → predicted value.
+    pred_elim: HashMap<u8, bool>,
+    /// Decode-time cmp2 pairing: reg → complement partner.
+    cmp2_partner: HashMap<u8, u8>,
+    /// §3.5.4 buffer: static wish-loop pc → (last predicted direction, seq).
+    loop_last_pred: HashMap<u32, (bool, u64)>,
+    dhp: DhpState,
+    /// Per-PC two-bit counters for the predicate-prediction baseline.
+    pred_value_pht: HashMap<u32, u8>,
+    /// The confidence estimator's own history register: resolved outcomes
+    /// of retired wish branches. Using non-speculative outcome history
+    /// (rather than the fetch-direction GHR, which contains forced
+    /// not-taken bits) keeps confidence contexts stable — our "modified
+    /// JRS" (§3.5.5).
+    conf_history: u64,
+    next_seq: u64,
+    next_rob_id: u64,
+    fe_queue: VecDeque<FetchedUop>,
+    rob: VecDeque<RobEntry>,
+    gpr_prod: [Option<u64>; NUM_GPRS],
+    pred_prod: [Option<u64>; NUM_PREDS],
+    stats: SimStats,
+    halted: bool,
+    trace: Option<Vec<crate::trace::TraceEvent>>,
+}
+
+impl<'p> Simulator<'p> {
+    /// Creates a simulator over `program` with cold predictors and caches.
+    #[must_use]
+    pub fn new(program: &'p Program, cfg: MachineConfig) -> Simulator<'p> {
+        let mem = MemoryHierarchy::new(cfg.mem);
+        let bp = HybridPredictor::new(cfg.bpred);
+        let btb = Btb::new(cfg.btb);
+        let jrs = JrsConfidence::new(cfg.jrs);
+        let loop_pred = cfg.wish_loop_predictor.map(LoopPredictor::new);
+        Simulator {
+            fetch_pc: program.entry(),
+            program,
+            cycle: 0,
+            emu: SpecEmulator::new(),
+            mem,
+            bp,
+            btb,
+            ras: ReturnAddressStack::new(),
+            itc: IndirectTargetCache::new(IndirectConfig::default()),
+            jrs,
+            loop_pred,
+            fetch_stall_until: 0,
+            fetch_blocked: false,
+            fetch_line: None,
+            mode: Mode::Normal,
+            pred_elim: HashMap::new(),
+            cmp2_partner: HashMap::new(),
+            loop_last_pred: HashMap::new(),
+            dhp: DhpState::Off,
+            pred_value_pht: HashMap::new(),
+            conf_history: 0,
+            next_seq: 1,
+            next_rob_id: 1,
+            fe_queue: VecDeque::new(),
+            rob: VecDeque::new(),
+            gpr_prod: [None; NUM_GPRS],
+            pred_prod: [None; NUM_PREDS],
+            stats: SimStats::default(),
+            halted: false,
+            trace: None,
+            cfg,
+        }
+    }
+
+    /// Enables pipeline event tracing (see [`crate::trace`]). Call before
+    /// [`Simulator::run`]; collect the events with
+    /// [`Simulator::take_trace`]. Tracing does not change timing.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Takes the collected trace (empty if tracing was never enabled).
+    pub fn take_trace(&mut self) -> Vec<crate::trace::TraceEvent> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    fn trace_event(
+        &mut self,
+        kind: crate::trace::TraceKind,
+        seq: u64,
+        pc: u32,
+        insn: &Insn,
+        extra: u64,
+    ) {
+        let cycle = self.cycle;
+        if let Some(t) = self.trace.as_mut() {
+            t.push(crate::trace::TraceEvent {
+                cycle,
+                kind,
+                seq,
+                pc,
+                disasm: insn.to_string(),
+                extra,
+            });
+        }
+    }
+
+    /// Preloads a data-memory word (program input).
+    pub fn preload_mem(&mut self, addr: u64, value: i64) {
+        self.emu.mem.insert(addr, value);
+    }
+
+    /// Preloads a general register (program input).
+    pub fn preload_reg(&mut self, reg: Gpr, value: i64) {
+        self.emu.regs[reg.index()] = value;
+    }
+
+    /// Runs to `halt` retirement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CycleLimitExceeded`] if the configured cycle
+    /// budget runs out (runaway program or configuration bug).
+    pub fn run(&mut self) -> Result<SimResult, SimError> {
+        while !self.halted {
+            if self.cycle >= self.cfg.max_cycles {
+                return Err(SimError::CycleLimitExceeded {
+                    limit: self.cfg.max_cycles,
+                });
+            }
+            // Resolve completions first so a branch that finished executing
+            // this cycle can retire this cycle (otherwise every branch that
+            // reaches the ROB head right after completing would lose a
+            // cycle, throttling retirement in window-full phases).
+            self.resolve_branches();
+            let retired_before = self.stats.retired_uops;
+            self.retire();
+            if self.stats.retired_uops == retired_before {
+                self.stats.retire_idle_cycles += 1;
+            }
+            if self.halted {
+                break;
+            }
+            self.issue();
+            let rob_before = self.rob.len();
+            self.dispatch();
+            if self.rob.len() == rob_before {
+                self.stats.dispatch_idle_cycles += 1;
+            }
+            let fetched_before = self.stats.fetched_uops;
+            self.fetch();
+            if self.stats.fetched_uops == fetched_before {
+                self.stats.fetch_idle_cycles += 1;
+            }
+            self.cycle += 1;
+        }
+        self.stats.cycles = self.cycle;
+        let (ic, l1, l2) = self.mem.stats();
+        self.stats.icache = ic;
+        self.stats.l1d = l1;
+        self.stats.l2 = l2;
+        Ok(SimResult {
+            stats: self.stats.clone(),
+            final_regs: self.emu.regs,
+            final_preds: self.emu.preds,
+            final_mem: self.emu.mem.iter().map(|(&k, &v)| (k, v)).collect(),
+        })
+    }
+
+    // ----------------------------------------------------------------- retire
+
+    fn retire(&mut self) {
+        let mut retired = 0;
+        while retired < self.cfg.retire_width {
+            let Some(head) = self.rob.front() else { break };
+            if !head.done || head.ready_cycle > self.cycle {
+                break;
+            }
+            if head.f.insn.is_branch() && !head.resolved {
+                break;
+            }
+            let entry = self.rob.pop_front().expect("checked non-empty");
+            retired += 1;
+            self.retire_entry(&entry);
+            if self.halted {
+                return;
+            }
+        }
+    }
+
+    fn retire_entry(&mut self, e: &RobEntry) {
+        if self.trace.is_some() {
+            self.trace_event(crate::trace::TraceKind::Retire, e.f.seq, e.f.pc, &e.f.insn, 0);
+        }
+        self.stats.retired_uops += 1;
+        if e.role == Role::Select {
+            self.stats.retired_select_uops += 1;
+        }
+        if e.role != Role::Compute
+            && !e.f.info.guard_true
+            && (e.f.insn.guard.is_some() || e.f.hw_guard.is_some())
+        {
+            self.stats.retired_guard_false += 1;
+        }
+        // Clear rename-map references to this entry.
+        for m in self.gpr_prod.iter_mut() {
+            if *m == Some(e.id) {
+                *m = None;
+            }
+        }
+        for m in self.pred_prod.iter_mut() {
+            if *m == Some(e.id) {
+                *m = None;
+            }
+        }
+        self.emu.commit_through(e.f.seq);
+
+        if let InsnKind::Halt = e.f.insn.kind {
+            self.halted = true;
+            return;
+        }
+
+        // Predicate-prediction training.
+        if e.f.pred_check.is_some() {
+            self.stats.pred_value_predictions += 1;
+            if let Some(actual) = e.f.info.pred_values[0] {
+                let c = self.pred_value_pht.entry(e.f.pc).or_insert(2);
+                if actual {
+                    *c = (*c + 1).min(3);
+                } else {
+                    *c = c.saturating_sub(1);
+                }
+            }
+        }
+
+        // Branch bookkeeping & trainer updates happen at retirement.
+        if e.role != Role::Whole || !e.f.insn.is_branch() {
+            return;
+        }
+        let Some(br) = e.f.br else { return };
+        let insn = e.f.insn;
+        match insn.kind {
+            InsnKind::Branch {
+                kind: BranchKind::Cond { .. },
+                ..
+            } => {
+                self.stats.retired_cond_branches += 1;
+                let actual = e.f.info.actual_taken;
+                if let Some(token) = br.bp_token {
+                    self.bp.update(e.f.pc, &token, actual);
+                }
+                if e.mispredicted {
+                    self.stats.retired_mispredicted += 1;
+                }
+                if let Some(conf_high) = br.conf_high {
+                    // Dedicated confidence estimator training (wish
+                    // branches, and DHP-eligible branches when DHP is on):
+                    // "correct" means the *predictor* (not the forced
+                    // direction) would have been right.
+                    let predictor_correct = br.predictor_said_taken == actual;
+                    if !self.cfg.oracles.perfect_confidence {
+                        self.jrs.update(e.f.pc, br.conf_ghr, predictor_correct);
+                    }
+                    self.conf_history = (self.conf_history << 1) | u64::from(actual);
+                    let counts: Option<&mut WishClassCounts> = match insn.wish {
+                        Some(WishType::Jump) => Some(&mut self.stats.wish_jumps),
+                        Some(WishType::Join) => Some(&mut self.stats.wish_joins),
+                        Some(WishType::Loop) => Some(&mut self.stats.wish_loops),
+                        None => None, // DHP branch
+                    };
+                    if let Some(counts) = counts {
+                        match (conf_high, predictor_correct) {
+                            (true, true) => counts.high_correct += 1,
+                            (true, false) => counts.high_mispredicted += 1,
+                            (false, true) => counts.low_correct += 1,
+                            (false, false) => counts.low_mispredicted += 1,
+                        }
+                    }
+                    match e.loop_class {
+                        Some(LoopExitClass::EarlyExit) => self.stats.loop_early_exits += 1,
+                        Some(LoopExitClass::LateExit) => self.stats.loop_late_exits += 1,
+                        Some(LoopExitClass::NoExit) => self.stats.loop_no_exits += 1,
+                        None => {}
+                    }
+                }
+                if insn.wish == Some(WishType::Loop) {
+                    if let (Some(lp), Some(ltok)) = (self.loop_pred.as_mut(), br.loop_token) {
+                        lp.update(e.f.pc, &ltok, actual);
+                    }
+                }
+                // Drop the front-end loop buffer entry once the loop branch
+                // retires ("fetched but not yet retired", §3.5.4).
+                if insn.wish == Some(WishType::Loop) {
+                    if let Some(&(_, seq)) = self.loop_last_pred.get(&e.f.pc) {
+                        if seq == e.f.seq {
+                            self.loop_last_pred.remove(&e.f.pc);
+                        }
+                    }
+                }
+            }
+            InsnKind::Branch {
+                kind: BranchKind::Indirect { .. },
+                ..
+            } => {
+                self.itc
+                    .update(e.f.pc, br.ghr_checkpoint, e.f.info.actual_next);
+                if e.mispredicted {
+                    self.stats.retired_mispredicted += 1;
+                }
+            }
+            _ => {
+                if e.mispredicted {
+                    self.stats.retired_mispredicted += 1;
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- resolution
+
+    fn resolve_branches(&mut self) {
+        // Oldest-first; a flush truncates everything younger, so the scan
+        // restarts after each flush.
+        'outer: loop {
+            for idx in 0..self.rob.len() {
+                let e = &self.rob[idx];
+                if e.resolved
+                    || !e.done
+                    || e.ready_cycle > self.cycle
+                    || e.role != Role::Whole
+                    || !(e.f.insn.is_branch() || e.f.pred_check.is_some())
+                {
+                    continue;
+                }
+                let flushed = if e.f.pred_check.is_some() {
+                    self.resolve_pred_check(idx)
+                } else {
+                    self.resolve_one(idx)
+                };
+                if flushed {
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+    }
+
+    /// Verifies a predicted predicate definition; returns whether it
+    /// flushed (the definition itself is correct — only its consumers used
+    /// the predicted value, so fetch resumes right after it).
+    fn resolve_pred_check(&mut self, idx: usize) -> bool {
+        let e = &mut self.rob[idx];
+        e.resolved = true;
+        let predicted = e.f.pred_check.expect("caller checked");
+        // Guard-false definitions keep their old value; treat as correct
+        // (consumers of the old value waited on the older producer).
+        let Some(actual) = e.f.info.pred_values[0] else {
+            return false;
+        };
+        if actual == predicted {
+            return false;
+        }
+        e.mispredicted = true;
+        self.stats.pred_value_mispredictions += 1;
+        self.stats.flushes += 1;
+        let resume = e.f.pc + 1;
+        self.flush_after(idx, resume);
+        true
+    }
+
+    /// Resolves the branch at ROB index `idx`; returns whether it flushed.
+    fn resolve_one(&mut self, idx: usize) -> bool {
+        let e = &mut self.rob[idx];
+        e.resolved = true;
+        let br = e.f.br.expect("branches always carry metadata");
+        let actual_next = e.f.info.actual_next;
+        let mispredicted = br.predicted_next != actual_next;
+        e.mispredicted = mispredicted;
+        if !mispredicted {
+            return false;
+        }
+        let insn = e.f.insn;
+        let is_wish = insn.is_wish_branch() && self.cfg.wish_enabled;
+        let fetched_low_conf = matches!(br.fetch_mode, Mode::LowConf { .. });
+
+        // DHP branches never flush: both arms are in the pipeline under
+        // injected guards, so the fetched path is architecturally complete
+        // either way.
+        if br.dhp {
+            self.stats.flushes_avoided += 1;
+            self.stats.dhp_flushes_avoided += 1;
+            return false;
+        }
+        // §3.5.4: decide whether this misprediction flushes.
+        let mut flush = true;
+        if is_wish && fetched_low_conf {
+            match insn.wish.expect("is_wish") {
+                WishType::Jump | WishType::Join => {
+                    // Low-confidence wish jumps/joins never flush: both
+                    // paths are predicated, the fetched fall-through path is
+                    // architecturally complete.
+                    flush = false;
+                }
+                WishType::Loop => {
+                    let actual_taken = e.f.info.actual_taken;
+                    if actual_taken {
+                        // Early-exit: the front end left the loop too soon.
+                        e.loop_class = Some(LoopExitClass::EarlyExit);
+                    } else {
+                        // Over-iteration: late-exit vs no-exit via the
+                        // front-end last-prediction buffer.
+                        let last = self.loop_last_pred.get(&e.f.pc).copied();
+                        match last {
+                            Some((false, _)) => {
+                                e.loop_class = Some(LoopExitClass::LateExit);
+                                flush = false;
+                            }
+                            _ => {
+                                e.loop_class = Some(LoopExitClass::NoExit);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !flush {
+            self.stats.flushes_avoided += 1;
+            return false;
+        }
+        self.stats.flushes += 1;
+        self.flush_after(idx, actual_next);
+        true
+    }
+
+    fn flush_after(&mut self, idx: usize, resume_pc: u32) {
+        let e = &self.rob[idx];
+        let seq = e.f.seq;
+        let flush_pc = e.f.pc;
+        let br = e.f.br.expect("flush source is a branch");
+        let is_cond = e.f.insn.is_conditional_branch();
+        let actual_taken = e.f.info.actual_taken;
+
+        // Squash younger ROB entries and the whole front-end queue.
+        let squashed_rob = self.rob.len() - (idx + 1);
+        self.rob.truncate(idx + 1);
+        let squashed_total = squashed_rob as u64 + self.fe_queue.len() as u64;
+        self.stats.squashed_uops += squashed_total;
+        self.fe_queue.clear();
+        if self.trace.is_some() {
+            let (seq, pc, insn) = {
+                let e = &self.rob[idx];
+                (e.f.seq, e.f.pc, e.f.insn)
+            };
+            self.trace_event(crate::trace::TraceKind::Flush, seq, pc, &insn, squashed_total);
+        }
+        // Keep ROB ids contiguous (dep lookups index by id − front.id):
+        // squashed ids are recycled — nothing can reference them, since
+        // surviving entries only depend on older ids and the rename maps
+        // are rebuilt below.
+        self.next_rob_id = self.rob.back().map_or(self.next_rob_id, |e| e.id + 1);
+
+        // Rebuild rename maps from the surviving entries.
+        self.gpr_prod = [None; NUM_GPRS];
+        self.pred_prod = [None; NUM_PREDS];
+        let entries: Vec<(u64, Insn, Role, bool)> = self
+            .rob
+            .iter()
+            .map(|e| (e.id, e.f.insn, e.role, e.f.insn.is_branch()))
+            .collect();
+        for (id, insn, role, _) in entries {
+            if role == Role::Compute {
+                continue; // temps are invisible to the rename map
+            }
+            if let Some(d) = insn.def_gpr() {
+                self.gpr_prod[d.index()] = Some(id);
+            }
+            for p in insn.def_preds().into_iter().flatten() {
+                if !p.is_hardwired_true() {
+                    self.pred_prod[p.index()] = Some(id);
+                }
+            }
+        }
+
+        // Roll the speculative world back to just after the branch.
+        self.emu.rollback_after(seq);
+        self.ras.restore(&br.ras_checkpoint);
+        if is_cond {
+            self.bp.restore_ghr(br.ghr_checkpoint, actual_taken);
+        } else {
+            // Non-conditional branches never entered the GHR.
+            self.bp.set_ghr(br.ghr_checkpoint);
+        }
+        // Invalidate speculative front-end structures (§3.5.3: the buffer
+        // is reset on a branch misprediction).
+        self.pred_elim.clear();
+        self.cmp2_partner.clear();
+        self.mode = Mode::Normal;
+        self.dhp = DhpState::Off;
+        self.loop_last_pred.retain(|_, &mut (_, s)| s <= seq);
+        if let (Some(lp), Some(ltok)) = (self.loop_pred.as_mut(), br.loop_token) {
+            lp.repair(flush_pc, &ltok, actual_taken);
+        }
+
+        // Redirect fetch.
+        self.fetch_pc = resume_pc;
+        self.fetch_blocked = false;
+        self.fetch_line = None;
+        self.fetch_stall_until = self.cycle + 1;
+    }
+
+    // -------------------------------------------------------------- issue
+
+    fn dep_ready(&self, dep: u64) -> bool {
+        let Some(front) = self.rob.front() else {
+            return true;
+        };
+        if dep < front.id {
+            return true; // producer retired
+        }
+        let idx = (dep - front.id) as usize;
+        match self.rob.get(idx) {
+            Some(p) => p.done && p.ready_cycle <= self.cycle,
+            None => true,
+        }
+    }
+
+    fn issue(&mut self) {
+        // One pass to find the oldest not-yet-executed store (for
+        // conservative load/store ordering).
+        let mut oldest_pending_store: Option<u64> = None;
+        for e in &self.rob {
+            if e.f.insn.is_mem()
+                && matches!(e.f.insn.kind, InsnKind::Store { .. })
+                && !(e.done && e.ready_cycle <= self.cycle)
+            {
+                oldest_pending_store = Some(e.id);
+                break;
+            }
+        }
+
+        let mut issued = 0;
+        for idx in 0..self.rob.len() {
+            if issued >= self.cfg.issue_width {
+                break;
+            }
+            let e = &self.rob[idx];
+            if e.issued {
+                continue;
+            }
+            if !e.deps.iter().all(|&d| self.dep_ready(d)) {
+                continue;
+            }
+            let is_load = matches!(e.f.insn.kind, InsnKind::Load { .. });
+            if is_load {
+                if let Some(limit) = oldest_pending_store {
+                    if e.id > limit {
+                        continue; // wait for older stores to execute
+                    }
+                }
+            }
+            let lat = self.exec_latency(idx);
+            if self.trace.is_some() {
+                let (seq, pc, insn) = {
+                    let e = &self.rob[idx];
+                    (e.f.seq, e.f.pc, e.f.insn)
+                };
+                self.trace_event(crate::trace::TraceKind::Issue, seq, pc, &insn, self.cycle + lat);
+            }
+            let e = &mut self.rob[idx];
+            e.issued = true;
+            e.done = true;
+            e.ready_cycle = self.cycle + lat;
+            issued += 1;
+        }
+    }
+
+    fn exec_latency(&mut self, idx: usize) -> u64 {
+        let e = &self.rob[idx];
+        let guard_true = e.f.info.guard_true;
+        let role = e.role;
+        match e.f.insn.kind {
+            InsnKind::Alu { op, .. } => match op {
+                wishbranch_isa::AluOp::Mul => self.cfg.mul_latency,
+                wishbranch_isa::AluOp::Div => self.cfg.div_latency,
+                _ => 1,
+            },
+            InsnKind::Load { .. } => {
+                // C-style guard-false loads are register moves; the
+                // select-µop compute part always accesses the cache.
+                let accesses_mem = match role {
+                    Role::Whole => guard_true,
+                    Role::Compute => true,
+                    Role::Select => false,
+                };
+                if accesses_mem {
+                    if let Some(addr) = e.f.info.mem_addr {
+                        return 1 + self.mem.data_access_at(addr, false, self.cycle);
+                    }
+                }
+                1
+            }
+            InsnKind::Store { .. } => {
+                if guard_true && role != Role::Select {
+                    if let Some(addr) = e.f.info.mem_addr {
+                        self.mem.data_access_at(addr, true, self.cycle);
+                    }
+                }
+                1
+            }
+            _ => 1,
+        }
+    }
+
+    // ----------------------------------------------------------- dispatch
+
+    fn dispatch(&mut self) {
+        let mut dispatched = 0;
+        while dispatched < self.cfg.issue_width {
+            let Some(front) = self.fe_queue.front() else { break };
+            if front.fetch_cycle + self.cfg.pipeline_depth > self.cycle {
+                break;
+            }
+            let needed = self.rob_slots_needed(front);
+            if self.rob.len() + needed > self.cfg.rob_size {
+                break;
+            }
+            let f = self.fe_queue.pop_front().expect("checked non-empty");
+            self.rename_into_rob(f);
+            dispatched += needed;
+        }
+    }
+
+    fn rob_slots_needed(&self, f: &FetchedUop) -> usize {
+        if self.cfg.pred_mechanism == PredMechanism::SelectUop
+            && f.insn.guard.is_some()
+            && f.guard_pred_elim.is_none()
+            && !f.insn.is_branch()
+            && (f.insn.def_gpr().is_some() || f.insn.def_preds()[0].is_some())
+        {
+            2
+        } else {
+            1
+        }
+    }
+
+    fn push_rob(&mut self, f: FetchedUop, role: Role, deps: Vec<u64>) -> u64 {
+        if self.trace.is_some() {
+            self.trace_event(crate::trace::TraceKind::Dispatch, f.seq, f.pc, &f.insn, 0);
+        }
+        let id = self.next_rob_id;
+        self.next_rob_id += 1;
+        self.rob.push_back(RobEntry {
+            id,
+            f,
+            role,
+            deps,
+            issued: false,
+            done: false,
+            ready_cycle: 0,
+            resolved: false,
+            loop_class: None,
+            mispredicted: false,
+        });
+        id
+    }
+
+    fn guard_dep(&self, f: &FetchedUop, oracles: &OracleConfig) -> GuardPlan {
+        let Some(g) = f.insn.guard else {
+            return GuardPlan::None;
+        };
+        if oracles.no_pred_dependencies {
+            return GuardPlan::Known(f.info.guard_true);
+        }
+        if let Some(v) = f.guard_pred_elim {
+            return GuardPlan::Known(v);
+        }
+        match self.pred_prod[g.index()] {
+            Some(id) => {
+                // Predicate-prediction baseline: if the producer's value was
+                // predicted at fetch, consumers run with the predicted value
+                // instead of waiting (verified at the producer's execution).
+                if self.cfg.predicate_prediction {
+                    if let Some(front) = self.rob.front() {
+                        if id >= front.id {
+                            let idx = (id - front.id) as usize;
+                            assert!(idx < self.rob.len(), "producer id {id} front {} len {}", front.id, self.rob.len());
+                            let p = &self.rob[idx];
+                            if let Some(predicted) = p.f.pred_check {
+                                let defs = p.f.insn.def_preds();
+                                if defs[0] == Some(g) {
+                                    return GuardPlan::Known(predicted);
+                                }
+                                if defs[1] == Some(g) {
+                                    return GuardPlan::Known(!predicted);
+                                }
+                            }
+                        }
+                    }
+                }
+                GuardPlan::Wait(id)
+            }
+            None => GuardPlan::Ready,
+        }
+    }
+
+    fn rename_into_rob(&mut self, f: FetchedUop) {
+        let oracles = self.cfg.oracles;
+        let insn = f.insn;
+        let select_expand = self.rob_slots_needed(&f) == 2;
+        let guard = self.guard_dep(&f, &oracles);
+
+        // Data-source dependences (registers + predicate sources).
+        let mut src_deps: Vec<u64> = Vec::new();
+        for r in insn.gpr_srcs().into_iter().flatten() {
+            if let Some(id) = self.gpr_prod[r.index()] {
+                src_deps.push(id);
+            }
+        }
+        for p in insn.pred_srcs().into_iter().flatten() {
+            // §3.5.3: the elimination buffer satisfies predicate *data*
+            // sources of non-branch µops too (e.g. the re-ANDing `pand`s in
+            // predicated arms) — but never a branch's own condition, which
+            // must still be verified.
+            let eliminated = !insn.is_branch()
+                && self.pred_elim_active()
+                && self.pred_elim.contains_key(&(p.index() as u8));
+            if oracles.no_pred_dependencies && !insn.is_branch() {
+                continue;
+            }
+            if eliminated {
+                continue;
+            }
+            if let Some(id) = self.pred_prod[p.index()] {
+                src_deps.push(id);
+            }
+        }
+
+        // Hardware-injected (DHP) guard dependence.
+        let mut hw_guard_deps: Vec<u64> = Vec::new();
+        if let Some((p, _)) = f.hw_guard {
+            if !oracles.no_pred_dependencies {
+                if let Some(id) = self.pred_prod[p.index()] {
+                    hw_guard_deps.push(id);
+                }
+            }
+        }
+
+        // Old-destination dependences (C-style reads the old value).
+        let mut old_dest_deps: Vec<u64> = Vec::new();
+        if (insn.guard.is_some() || f.hw_guard.is_some()) && !oracles.no_pred_dependencies {
+            if let Some(d) = insn.def_gpr() {
+                if let Some(id) = self.gpr_prod[d.index()] {
+                    old_dest_deps.push(id);
+                }
+            }
+            for p in insn.def_preds().into_iter().flatten() {
+                if let Some(id) = self.pred_prod[p.index()] {
+                    old_dest_deps.push(id);
+                }
+            }
+        }
+
+        // A µop whose guard is *known* false at rename (oracle knob or the
+        // §3.5.3 elimination buffer) is a pure NOP: it must not become the
+        // rename-map producer of its destinations, or consumers would see
+        // the old value re-timestamped as fresh (breaking — or worse,
+        // artificially shortening — accumulator dependence chains).
+        let known_false = matches!(guard, GuardPlan::Known(false));
+        let update_maps = |sim: &mut Self, id: u64| {
+            if known_false {
+                return;
+            }
+            if let Some(d) = insn.def_gpr() {
+                sim.gpr_prod[d.index()] = Some(id);
+            }
+            for p in insn.def_preds().into_iter().flatten() {
+                if !p.is_hardwired_true() {
+                    sim.pred_prod[p.index()] = Some(id);
+                }
+            }
+        };
+
+        if select_expand {
+            // Compute part: sources only, no guard, no old destination.
+            let compute_id = self.push_rob(f, Role::Compute, src_deps);
+            // Select part: compute result + guard + old destination.
+            let mut deps = vec![compute_id];
+            match guard {
+                GuardPlan::Wait(id) => deps.push(id),
+                GuardPlan::None | GuardPlan::Ready | GuardPlan::Known(_) => {}
+            }
+            deps.extend(old_dest_deps);
+            deps.dedup();
+            let select_id = self.push_rob(f, Role::Select, deps);
+            update_maps(self, select_id);
+            return;
+        }
+
+        // C-style single µop (or a non-expandable guarded store/branch).
+        let mut deps = hw_guard_deps;
+        match guard {
+            GuardPlan::Wait(id) => {
+                deps.push(id);
+                deps.extend(src_deps);
+                deps.extend(old_dest_deps);
+            }
+            GuardPlan::Known(true) => deps.extend(src_deps),
+            GuardPlan::Known(false) => {
+                if !oracles.no_pred_dependencies {
+                    deps.extend(old_dest_deps);
+                }
+            }
+            GuardPlan::None | GuardPlan::Ready => {
+                deps.extend(src_deps);
+                deps.extend(old_dest_deps);
+                if matches!(guard, GuardPlan::Ready) {
+                    // guard value architecturally ready (producer retired)
+                }
+            }
+        }
+        deps.sort_unstable();
+        deps.dedup();
+        let id = self.push_rob(f, Role::Whole, deps);
+        update_maps(self, id);
+    }
+
+    fn pred_elim_active(&self) -> bool {
+        matches!(self.mode, Mode::HighConf) && !self.pred_elim.is_empty()
+    }
+
+    // -------------------------------------------------------------- fetch
+
+    fn fetch(&mut self) {
+        if self.fetch_blocked || self.cycle < self.fetch_stall_until {
+            return;
+        }
+        let queue_cap = self.cfg.fetch_width * (self.cfg.pipeline_depth as usize + 2);
+        let mut budget = self.cfg.fetch_width;
+        let mut cond_budget = self.cfg.max_cond_branches_per_cycle;
+        while budget > 0 && self.fe_queue.len() < queue_cap {
+            // Mode exit on reaching the low-confidence region's join target.
+            if let Mode::LowConf {
+                exit_target: Some(t),
+                ..
+            } = self.mode
+            {
+                if self.fetch_pc == t {
+                    self.mode = Mode::Normal;
+                }
+            }
+            let Some(&insn) = self.program.get(self.fetch_pc) else {
+                // Wrong-path fetch escaped the image; wait for the flush.
+                self.fetch_blocked = true;
+                return;
+            };
+            // I-cache.
+            let addr = insn_addr(self.fetch_pc);
+            let line = addr / self.cfg.mem.icache.line_bytes as u64;
+            if self.fetch_line != Some(line) {
+                let lat = self.mem.fetch_access_at(addr, self.cycle);
+                self.fetch_line = Some(line);
+                if lat > self.cfg.mem.icache.latency {
+                    self.fetch_stall_until = self.cycle + lat;
+                    return;
+                }
+            }
+
+            let pc = self.fetch_pc;
+            // Dynamic hammock predication: advance the guard-injection
+            // state machine before fetching this µop.
+            match self.dhp {
+                DhpState::GuardFall {
+                    pred,
+                    negated,
+                    cond,
+                    until,
+                    then,
+                } => {
+                    if pc >= until {
+                        match then {
+                            Some((taken_start, taken_until, skip_to)) => {
+                                // Redirect into the taken arm under the
+                                // complement guard.
+                                self.fetch_pc = taken_start;
+                                self.dhp = DhpState::GuardTaken {
+                                    pred,
+                                    negated: !negated,
+                                    cond,
+                                    until: taken_until,
+                                    skip_to,
+                                };
+                                continue;
+                            }
+                            None => self.dhp = DhpState::Off,
+                        }
+                    }
+                }
+                DhpState::GuardTaken { until, skip_to, .. } => {
+                    if pc >= until {
+                        self.dhp = DhpState::Off;
+                        if let Some(j) = skip_to {
+                            // Hardware squashes the arm's trailing jump and
+                            // resumes at the join.
+                            self.fetch_pc = j;
+                            continue;
+                        }
+                    }
+                }
+                DhpState::Off => {}
+            }
+            if insn.is_conditional_branch() {
+                if cond_budget == 0 {
+                    return; // next cycle
+                }
+                cond_budget -= 1;
+            }
+            let fetched = self.fetch_one(pc, insn);
+            budget -= 1;
+            let taken_redirect = fetched.info.followed_next != pc + 1;
+            let halted_here = matches!(insn.kind, InsnKind::Halt);
+            self.fetch_pc = fetched.info.followed_next;
+
+            // NO-FETCH oracle: guard-false µops vanish before taking any
+            // bandwidth (they also don't count against the fetch budget).
+            let skip = self.cfg.oracles.no_false_predicate_fetch
+                && !fetched.info.guard_true
+                && insn.guard.is_some()
+                && !insn.is_branch();
+            if skip {
+                budget += 1;
+                self.stats.fetched_uops += 1;
+                continue;
+            }
+            self.stats.fetched_uops += 1;
+            self.fe_queue.push_back(fetched);
+
+            if halted_here {
+                self.fetch_blocked = true;
+                return;
+            }
+            if taken_redirect {
+                // Fetch ends at the first taken branch (Table 2).
+                return;
+            }
+        }
+    }
+
+    /// Processes one µop at fetch: predictions, wish-branch mode logic,
+    /// speculative emulation, front-end table updates.
+    fn fetch_one(&mut self, pc: u32, insn: Insn) -> FetchedUop {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+
+        // Predicate-dependency elimination lookup (before this µop's own
+        // writes invalidate entries).
+        let guard_pred_elim = match insn.guard {
+            Some(g) if self.pred_elim_active() && !insn.is_branch() => {
+                self.pred_elim.get(&(g.index() as u8)).copied()
+            }
+            _ => None,
+        };
+
+        #[allow(unused_mut)]
+        let mut br_meta: Option<BrMeta> = None;
+        let mut forced_next: Option<u32> = None;
+
+        if let InsnKind::Branch { kind, target } = insn.kind {
+            let ghr_checkpoint = self.bp.ghr();
+            let fetch_mode = self.mode;
+            let mut meta = BrMeta {
+                predicted_taken: false,
+                predicted_next: pc + 1,
+                bp_token: None,
+                predictor_said_taken: false,
+                ghr_checkpoint,
+                conf_ghr: ghr_checkpoint,
+                ras_checkpoint: self.ras.checkpoint(),
+                conf_high: None,
+                fetch_mode,
+                loop_token: None,
+                dhp: false,
+            };
+            match kind {
+                BranchKind::Cond { .. } => {
+                    let (dir, token) = self.predict_cond(pc, &insn, &mut meta);
+                    meta.predicted_taken = dir;
+                    meta.bp_token = token;
+                    meta.predicted_next = if dir { target } else { pc + 1 };
+                    self.bp.on_fetch_branch(dir);
+                    self.btb_note(pc, BtbKind::Cond, target, insn.wish, dir);
+                }
+                BranchKind::Uncond => {
+                    meta.predicted_taken = true;
+                    meta.predicted_next = target;
+                    self.btb_note(pc, BtbKind::Uncond, target, None, true);
+                }
+                BranchKind::Call => {
+                    meta.predicted_taken = true;
+                    meta.predicted_next = target;
+                    self.ras.push(pc + 1);
+                    meta.ras_checkpoint = self.ras.checkpoint();
+                    self.btb_note(pc, BtbKind::Call, target, None, true);
+                }
+                BranchKind::Ret => {
+                    let predicted = self
+                        .ras
+                        .pop()
+                        .or_else(|| self.itc.predict(pc, self.bp.ghr()))
+                        .unwrap_or(0);
+                    meta.predicted_taken = true;
+                    meta.predicted_next = predicted;
+                    meta.ras_checkpoint = self.ras.checkpoint();
+                    self.btb_note(pc, BtbKind::Ret, predicted, None, true);
+                }
+                BranchKind::Indirect { .. } => {
+                    let predicted = self.itc.predict(pc, self.bp.ghr()).unwrap_or(pc + 1);
+                    meta.predicted_taken = true;
+                    meta.predicted_next = predicted;
+                    self.btb_note(pc, BtbKind::Indirect, predicted, None, true);
+                }
+            }
+            if self.cfg.oracles.perfect_branch_prediction {
+                // PERFECT-CBP: override everything with the oracle.
+                let actual = self.emu.peek_cond(&insn);
+                match kind {
+                    BranchKind::Cond { .. } => {
+                        let t = actual.expect("cond branch peeks");
+                        meta.predicted_taken = t;
+                        meta.predicted_next = if t { target } else { pc + 1 };
+                        meta.bp_token = None;
+                        meta.conf_high = None;
+                    }
+                    _ => {
+                        // Target oracles for ret/indirect.
+                        meta.predicted_next = self.peek_target(&insn, pc);
+                    }
+                }
+            }
+            forced_next = Some(meta.predicted_next);
+            br_meta = Some(meta);
+        }
+
+        // DHP: non-control µops inside an active region carry the injected
+        // guard (register for dependence tracking, captured value for the
+        // architectural decision).
+        let (hw_guard, hw_guard_ok) = if insn.is_branch() {
+            (None, None)
+        } else {
+            match self.dhp {
+                DhpState::GuardFall {
+                    pred,
+                    negated,
+                    cond,
+                    ..
+                }
+                | DhpState::GuardTaken {
+                    pred,
+                    negated,
+                    cond,
+                    ..
+                } => (Some((pred, negated)), Some(cond ^ negated)),
+                DhpState::Off => (None, None),
+            }
+        };
+        // Predicate prediction (Chuang & Calder baseline): predict the
+        // value every predicate-defining µop will produce, and checkpoint
+        // for the flush its verification may trigger.
+        let mut pred_check = None;
+        if self.cfg.predicate_prediction
+            && insn.def_preds()[0].is_some()
+            && br_meta.is_none()
+        {
+            let counter = *self.pred_value_pht.entry(pc).or_insert(2);
+            pred_check = Some(counter >= 2);
+            br_meta = Some(BrMeta {
+                predicted_taken: false,
+                predicted_next: pc + 1,
+                bp_token: None,
+                predictor_said_taken: false,
+                ghr_checkpoint: self.bp.ghr(),
+                conf_ghr: self.conf_history,
+                ras_checkpoint: self.ras.checkpoint(),
+                conf_high: None,
+                fetch_mode: self.mode,
+                loop_token: None,
+                dhp: false,
+            });
+        }
+
+        let info = self.emu.exec(seq, pc, &insn, forced_next, hw_guard_ok);
+
+        // Front-end table maintenance after the µop is "decoded".
+        self.note_pred_writes(&insn);
+
+        if self.trace.is_some() {
+            self.trace_event(crate::trace::TraceKind::Fetch, seq, pc, &insn, 0);
+        }
+        FetchedUop {
+            seq,
+            pc,
+            insn,
+            info,
+            fetch_cycle: self.cycle,
+            br: br_meta,
+            guard_pred_elim,
+            hw_guard,
+            pred_check,
+        }
+    }
+
+    /// Oracle target of a control µop (for PERFECT-CBP on ret/indirect).
+    fn peek_target(&self, insn: &Insn, pc: u32) -> u32 {
+        match insn.kind {
+            InsnKind::Branch { kind, target } => match kind {
+                BranchKind::Ret => self.emu.regs[Gpr::LINK.index()] as u32,
+                BranchKind::Indirect { target: r } => self.emu.regs[r.index()] as u32,
+                _ => target,
+            },
+            _ => pc + 1,
+        }
+    }
+
+    /// Direction prediction for a conditional branch, including all wish
+    /// branch mode logic (§3.1, §3.2, Table 1, Fig. 8).
+    fn predict_cond(
+        &mut self,
+        pc: u32,
+        insn: &Insn,
+        meta: &mut BrMeta,
+    ) -> (bool, Option<HybridToken>) {
+        let (mut bp_dir, token) = self.bp.predict(pc);
+        meta.predictor_said_taken = bp_dir;
+        meta.conf_ghr = self.conf_history;
+        let wish = insn.wish.filter(|_| self.cfg.wish_enabled);
+        let Some(wtype) = wish else {
+            // Dynamic hammock predication for plain conditional branches:
+            // on a low-confidence prediction of an eligible hammock, force
+            // not-taken, inject guards, and never flush.
+            if self.cfg.dhp_enabled && self.dhp == DhpState::Off {
+                if let Some(plan) = self.dhp_region(pc, insn) {
+                    let low = if self.cfg.oracles.perfect_confidence {
+                        let actual = self.emu.peek_cond(insn).expect("cond branch");
+                        bp_dir != actual
+                    } else {
+                        !self.jrs.estimate(pc, self.conf_history).is_high()
+                    };
+                    meta.conf_high = Some(!low);
+                    if low {
+                        meta.dhp = true;
+                        self.dhp = plan;
+                        self.stats.dhp_predications += 1;
+                        return (false, Some(token));
+                    }
+                }
+            }
+            return (bp_dir, Some(token));
+        };
+        // Specialized wish-loop predictor (§3.2 extension): overrides the
+        // hybrid's direction when it has a confident trip prediction.
+        if wtype == WishType::Loop {
+            if let Some(lp) = self.loop_pred.as_mut() {
+                let (pred, ltok) = lp.fetch_predict(pc);
+                meta.loop_token = Some(ltok);
+                if let Some(dir) = pred {
+                    bp_dir = dir;
+                    meta.predictor_said_taken = dir;
+                }
+            }
+        }
+
+        // Track the front-end last-prediction buffer for wish loops before
+        // the direction is finalized below.
+        let mut final_dir = bp_dir;
+
+        match self.mode {
+            Mode::LowConf {
+                exit_target,
+                loop_pc,
+            } => {
+                match wtype {
+                    WishType::Jump | WishType::Join => {
+                        // Fig. 8 has no LowConf→HighConf edge: while in
+                        // low-confidence mode every wish jump/join is
+                        // forced not-taken (Table 1).
+                        final_dir = false;
+                        meta.conf_high = Some(false);
+                        // A jump fetched in low-conf mode starts its own
+                        // region; keep the earlier exit target if any,
+                        // otherwise adopt this branch's.
+                        if exit_target.is_none() {
+                            if let Some(t) = insn.direct_target() {
+                                self.mode = Mode::LowConf {
+                                    exit_target: Some(t),
+                                    loop_pc,
+                                };
+                            }
+                        }
+                    }
+                    WishType::Loop => {
+                        // Predicate not predicted; direction still comes
+                        // from the predictor.
+                        meta.conf_high = Some(false);
+                        if loop_pc == Some(pc) && !final_dir {
+                            // "wish loop is exited" (Fig. 8).
+                            self.mode = Mode::Normal;
+                        }
+                    }
+                }
+                // The branch operates under low-confidence mode (§3.5.4:
+                // recovery checks the mode the branch was fetched *under*).
+                meta.fetch_mode = Mode::LowConf {
+                    exit_target,
+                    loop_pc,
+                };
+            }
+            Mode::Normal | Mode::HighConf => {
+                let high = if self.cfg.oracles.perfect_confidence {
+                    let actual = self.emu.peek_cond(insn).expect("cond branch");
+                    bp_dir == actual
+                } else {
+                    self.jrs.estimate(pc, meta.conf_ghr).is_high()
+                };
+                meta.conf_high = Some(high);
+                if high {
+                    self.mode = Mode::HighConf;
+                    self.install_pred_elim(insn, bp_dir);
+                } else {
+                    match wtype {
+                        WishType::Jump | WishType::Join => {
+                            final_dir = false;
+                            self.mode = Mode::LowConf {
+                                exit_target: insn.direct_target(),
+                                loop_pc: None,
+                            };
+                        }
+                        WishType::Loop => {
+                            self.mode = Mode::LowConf {
+                                exit_target: None,
+                                loop_pc: Some(pc),
+                            };
+                        }
+                    }
+                }
+                // A branch that causes a mode transition operates under the
+                // mode it causes: a low-confidence estimate means this very
+                // branch is executed in predicated fashion and must not
+                // flush (§3.1).
+                meta.fetch_mode = self.mode;
+            }
+        }
+        if wtype == WishType::Loop {
+            self.loop_last_pred.insert(pc, (final_dir, self.next_seq - 1));
+            if matches!(self.mode, Mode::HighConf) && !final_dir {
+                // Predicted loop exit in high-confidence mode: the loop is
+                // done (Fig. 8's "wish loop is exited").
+                self.mode = Mode::Normal;
+            }
+        }
+        (final_dir, Some(token))
+    }
+
+    /// Installs the §3.5.3 predicate prediction for a high-confidence wish
+    /// branch: the branch's own condition register gets the predicted
+    /// value, and (via the decode-time cmp2 pairing table) its complement
+    /// partner gets the inverse.
+    fn install_pred_elim(&mut self, insn: &Insn, predicted_dir: bool) {
+        let InsnKind::Branch {
+            kind: BranchKind::Cond { pred, sense },
+            ..
+        } = insn.kind
+        else {
+            return;
+        };
+        let value = if sense { predicted_dir } else { !predicted_dir };
+        self.pred_elim.insert(pred.index() as u8, value);
+        if let Some(&partner) = self.cmp2_partner.get(&(pred.index() as u8)) {
+            self.pred_elim.insert(partner, !value);
+        }
+    }
+
+    /// Decode-time predicate bookkeeping: cmp2 pairings, and invalidation
+    /// of elimination-buffer entries when their register is redefined
+    /// (§3.5.3).
+    fn note_pred_writes(&mut self, insn: &Insn) {
+        if let InsnKind::Cmp2 { dst_t, dst_f, .. } = insn.kind {
+            self.cmp2_partner
+                .insert(dst_t.index() as u8, dst_f.index() as u8);
+            self.cmp2_partner
+                .insert(dst_f.index() as u8, dst_t.index() as u8);
+        }
+        for p in insn.def_preds().into_iter().flatten() {
+            self.pred_elim.remove(&(p.index() as u8));
+            if !matches!(insn.kind, InsnKind::Cmp2 { .. }) {
+                self.cmp2_partner.remove(&(p.index() as u8));
+            }
+        }
+        if matches!(self.mode, Mode::HighConf) && self.pred_elim.is_empty() {
+            self.mode = Mode::Normal;
+        }
+    }
+
+    /// Checks whether the branch at `pc` guards a DHP-eligible hammock and
+    /// returns the guard-injection plan. Eligibility: forward branch, arms
+    /// within `dhp_max_block` µops, arms free of control flow (hardware
+    /// cannot re-converge across nested branches). Three layouts are
+    /// recognized, matching what compilers actually emit:
+    ///
+    /// 1. skip-triangle — `br → J; B…; J:` (guard B);
+    /// 2. contiguous diamond — `br → T; B…; jmp J; T: C…; J:`;
+    /// 3. far-taken diamond — `br → T; B…; J: …  T: C…; jmp J` (the taken
+    ///    arm laid out out-of-line, jumping back to the join).
+    fn dhp_region(&self, pc: u32, insn: &Insn) -> Option<DhpState> {
+        let InsnKind::Branch {
+            kind: BranchKind::Cond { pred, sense },
+            target,
+        } = insn.kind
+        else {
+            return None;
+        };
+        let max = self.cfg.dhp_max_block;
+        let straight = |lo: u32, hi: u32| {
+            lo <= hi
+                && hi - lo <= max
+                && (lo..hi).all(|i| {
+                    self.program
+                        .get(i)
+                        .is_some_and(|x| !x.is_branch() && !matches!(x.kind, InsnKind::Halt))
+                })
+        };
+        if target <= pc + 1 {
+            return None;
+        }
+        // The fall-through arm executes when the branch is NOT taken:
+        // guard value = !(pred == sense)  ⇒  (pred, negated = sense).
+        // Capture the condition register's architectural value now — the
+        // guarded arms may redefine the register itself.
+        let cond = self.emu.preds[pred.index()];
+        // Layout 2: contiguous diamond (trailing jump inside the region).
+        if target >= 2 && target - (pc + 1) >= 2 {
+            if let Some(last) = self.program.get(target - 1) {
+                if let InsnKind::Branch {
+                    kind: BranchKind::Uncond,
+                    target: join,
+                } = last.kind
+                {
+                    if join > target
+                        && straight(pc + 1, target - 1)
+                        && straight(target, join)
+                    {
+                        return Some(DhpState::GuardFall {
+                            pred,
+                            negated: sense,
+                            cond,
+                            until: target - 1,
+                            then: Some((target, join, None)),
+                        });
+                    }
+                }
+            }
+        }
+        // Layout 3: far-taken diamond. Scan the taken arm for its trailing
+        // jump back into the fall-through region.
+        let mut k = target;
+        while k - target <= max {
+            let Some(x) = self.program.get(k) else { break };
+            if let InsnKind::Branch { kind, target: join } = x.kind {
+                if matches!(kind, BranchKind::Uncond)
+                    && join > pc
+                    && join <= target
+                    && straight(pc + 1, join)
+                    && straight(target, k)
+                {
+                    return Some(DhpState::GuardFall {
+                        pred,
+                        negated: sense,
+                        cond,
+                        until: join,
+                        then: Some((target, k, Some(join))),
+                    });
+                }
+                break;
+            }
+            if matches!(x.kind, InsnKind::Halt) {
+                break;
+            }
+            k += 1;
+        }
+        // Layout 1: skip-triangle.
+        if straight(pc + 1, target) {
+            return Some(DhpState::GuardFall {
+                pred,
+                negated: sense,
+                cond,
+                until: target,
+                then: None,
+            });
+        }
+        None
+    }
+
+    fn btb_note(
+        &mut self,
+        pc: u32,
+        kind: BtbKind,
+        target: u32,
+        wish: Option<WishType>,
+        redirects: bool,
+    ) {
+        let hit = self.btb.lookup(pc).is_some();
+        if !hit {
+            self.btb.install(pc, BtbEntry { target, kind, wish });
+            if redirects {
+                // Target only known after decode: charge a fetch bubble.
+                self.fetch_stall_until = self.cycle + self.cfg.btb_miss_penalty;
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum GuardPlan {
+    /// Unguarded.
+    None,
+    /// Guarded; producer already retired (value architecturally ready).
+    Ready,
+    /// Guarded; wait on this ROB producer.
+    Wait(u64),
+    /// Guarded; value known at rename (oracle or §3.5.3 elimination).
+    Known(bool),
+}

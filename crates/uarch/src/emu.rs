@@ -1,0 +1,361 @@
+//! The speculative front-end emulator: architectural state along the
+//! *fetched* path, with an undo log for pipeline flushes.
+
+use std::collections::HashMap;
+use wishbranch_isa::{BranchKind, Gpr, Insn, InsnKind, PredReg, NUM_GPRS, NUM_PREDS};
+
+/// What one fetched µop did, as seen by the emulator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct StepInfo {
+    /// Value the qualifying predicate read (TRUE for unguarded µops).
+    pub guard_true: bool,
+    /// For conditional branches: the architecturally correct direction
+    /// (predicate-implied). Meaningless otherwise.
+    pub actual_taken: bool,
+    /// For control µops: the architecturally correct next pc.
+    pub actual_next: u32,
+    /// The pc the emulator actually followed (fetch's choice).
+    pub followed_next: u32,
+    /// Data address touched, if this is a load/store with a TRUE guard.
+    pub mem_addr: Option<u64>,
+    /// Whether this is a store whose guard was TRUE (will commit).
+    pub is_store: bool,
+    /// The µop halts the program.
+    pub halted: bool,
+    /// Values written to predicate registers (for `cmp2`, `[t, f]`).
+    pub pred_values: [Option<bool>; 2],
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Undo {
+    Reg(u8, i64),
+    Pred(u8, bool),
+    Mem(u64, Option<i64>),
+    Nothing,
+}
+
+/// Architectural state along the fetched path. Every fetched µop is
+/// executed here at fetch time; a flush unwinds to the offending branch.
+#[derive(Clone, Debug)]
+pub(crate) struct SpecEmulator {
+    pub regs: [i64; NUM_GPRS],
+    pub preds: [bool; NUM_PREDS],
+    pub mem: HashMap<u64, i64>,
+    /// (sequence number, undo record) per executed µop, in order.
+    log: Vec<(u64, Undo)>,
+}
+
+impl SpecEmulator {
+    pub(crate) fn new() -> SpecEmulator {
+        let mut preds = [false; NUM_PREDS];
+        preds[0] = true;
+        SpecEmulator {
+            regs: [0; NUM_GPRS],
+            preds,
+            mem: HashMap::new(),
+            log: Vec::new(),
+        }
+    }
+
+    fn reg(&self, r: Gpr) -> i64 {
+        self.regs[r.index()]
+    }
+
+    fn operand(&self, op: wishbranch_isa::Operand) -> i64 {
+        match op {
+            wishbranch_isa::Operand::Reg(r) => self.reg(r),
+            wishbranch_isa::Operand::Imm(i) => i64::from(i),
+        }
+    }
+
+    fn write_reg(&mut self, seq: u64, r: Gpr, v: i64) {
+        self.log.push((seq, Undo::Reg(r.index() as u8, self.regs[r.index()])));
+        self.regs[r.index()] = v;
+    }
+
+    fn write_pred(&mut self, seq: u64, p: PredReg, v: bool) {
+        if p.is_hardwired_true() {
+            self.log.push((seq, Undo::Nothing));
+            return;
+        }
+        self.log.push((seq, Undo::Pred(p.index() as u8, self.preds[p.index()])));
+        self.preds[p.index()] = v;
+    }
+
+    fn write_mem(&mut self, seq: u64, addr: u64, v: i64) {
+        let old = self.mem.insert(addr, v);
+        self.log.push((seq, Undo::Mem(addr, old)));
+    }
+
+    /// Peeks the direction a conditional branch would take right now
+    /// (used by the perfect-confidence oracle at fetch).
+    pub(crate) fn peek_cond(&self, insn: &Insn) -> Option<bool> {
+        match insn.kind {
+            InsnKind::Branch {
+                kind: BranchKind::Cond { pred, sense },
+                ..
+            } => Some(self.preds[pred.index()] == sense),
+            _ => None,
+        }
+    }
+
+    /// Executes the µop at `pc` with sequence number `seq`. For control
+    /// µops, `forced_next` is the pc fetch decided to go to (from the
+    /// predictors / wish-branch rules); the emulator follows it but reports
+    /// the architecturally correct next pc so the core can detect the
+    /// misprediction at branch-execute time.
+    pub(crate) fn exec(
+        &mut self,
+        seq: u64,
+        pc: u32,
+        insn: &Insn,
+        forced_next: Option<u32>,
+        hw_guard_ok: Option<bool>,
+    ) -> StepInfo {
+        // A hardware-injected guard (dynamic hammock predication) composes
+        // with any architectural guard. Its value was captured when the
+        // predicated branch was fetched — hardware holds the *renamed*
+        // condition, so later redefinitions of the register in the guarded
+        // arms must not affect it.
+        let guard_true =
+            hw_guard_ok.unwrap_or(true) && insn.guard.is_none_or(|g| self.preds[g.index()]);
+        let fall = pc + 1;
+        let mut info = StepInfo {
+            guard_true,
+            actual_taken: false,
+            actual_next: fall,
+            followed_next: fall,
+            mem_addr: None,
+            is_store: false,
+            halted: false,
+            pred_values: [None, None],
+        };
+        if !guard_true {
+            // Architectural NOP (C-style: the old destination value is kept).
+            self.log.push((seq, Undo::Nothing));
+            info.followed_next = forced_next.unwrap_or(fall);
+            // A guard-false branch architecturally falls through.
+            info.actual_next = fall;
+            return info;
+        }
+        match insn.kind {
+            InsnKind::Alu {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
+                let v = op.apply(self.reg(src1), self.operand(src2));
+                self.write_reg(seq, dst, v);
+            }
+            InsnKind::MovImm { dst, imm } => self.write_reg(seq, dst, imm),
+            InsnKind::Cmp {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
+                let v = op.apply(self.reg(src1), self.operand(src2));
+                self.write_pred(seq, dst, v);
+                info.pred_values[0] = Some(v);
+            }
+            InsnKind::Cmp2 {
+                op,
+                dst_t,
+                dst_f,
+                src1,
+                src2,
+            } => {
+                let v = op.apply(self.reg(src1), self.operand(src2));
+                // Two undo records for one seq — both unwound together.
+                self.write_pred(seq, dst_t, v);
+                self.write_pred(seq, dst_f, !v);
+                info.pred_values = [Some(v), Some(!v)];
+            }
+            InsnKind::PredRR {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
+                let v = op.apply(self.preds[src1.index()], self.preds[src2.index()]);
+                self.write_pred(seq, dst, v);
+                info.pred_values[0] = Some(v);
+            }
+            InsnKind::PredNot { dst, src } => {
+                let v = !self.preds[src.index()];
+                self.write_pred(seq, dst, v);
+                info.pred_values[0] = Some(v);
+            }
+            InsnKind::PredSet { dst, value } => {
+                self.write_pred(seq, dst, value);
+                info.pred_values[0] = Some(value);
+            }
+            InsnKind::Load { dst, base, offset } => {
+                let addr = self.reg(base).wrapping_add(i64::from(offset)) as u64;
+                let v = self.mem.get(&addr).copied().unwrap_or(0);
+                self.write_reg(seq, dst, v);
+                info.mem_addr = Some(addr);
+            }
+            InsnKind::Store { src, base, offset } => {
+                let addr = self.reg(base).wrapping_add(i64::from(offset)) as u64;
+                let v = self.reg(src);
+                self.write_mem(seq, addr, v);
+                info.mem_addr = Some(addr);
+                info.is_store = true;
+            }
+            InsnKind::Branch { kind, target } => {
+                match kind {
+                    BranchKind::Cond { pred, sense } => {
+                        info.actual_taken = self.preds[pred.index()] == sense;
+                        info.actual_next = if info.actual_taken { target } else { fall };
+                        self.log.push((seq, Undo::Nothing));
+                    }
+                    BranchKind::Uncond => {
+                        info.actual_next = target;
+                        self.log.push((seq, Undo::Nothing));
+                    }
+                    BranchKind::Call => {
+                        self.write_reg(seq, Gpr::LINK, i64::from(fall));
+                        info.actual_next = target;
+                    }
+                    BranchKind::Ret => {
+                        info.actual_next = self.reg(Gpr::LINK) as u32;
+                        self.log.push((seq, Undo::Nothing));
+                    }
+                    BranchKind::Indirect { target: reg } => {
+                        info.actual_next = self.reg(reg) as u32;
+                        self.log.push((seq, Undo::Nothing));
+                    }
+                }
+                info.followed_next = forced_next.unwrap_or(info.actual_next);
+                return info;
+            }
+            InsnKind::Halt => {
+                info.halted = true;
+                self.log.push((seq, Undo::Nothing));
+            }
+            InsnKind::Nop => self.log.push((seq, Undo::Nothing)),
+        }
+        info.followed_next = forced_next.unwrap_or(fall);
+        info
+    }
+
+    /// Unwinds every µop with sequence number strictly greater than
+    /// `keep_seq`, restoring the state right after `keep_seq` executed.
+    pub(crate) fn rollback_after(&mut self, keep_seq: u64) {
+        while let Some(&(seq, _)) = self.log.last() {
+            if seq <= keep_seq {
+                break;
+            }
+            let (_, undo) = self.log.pop().expect("checked non-empty");
+            match undo {
+                Undo::Reg(i, old) => self.regs[i as usize] = old,
+                Undo::Pred(i, old) => self.preds[i as usize] = old,
+                Undo::Mem(addr, Some(old)) => {
+                    self.mem.insert(addr, old);
+                }
+                Undo::Mem(addr, None) => {
+                    self.mem.remove(&addr);
+                }
+                Undo::Nothing => {}
+            }
+        }
+    }
+
+    /// Drops undo records for µops with sequence ≤ `seq` (they have
+    /// retired and can never be rolled back). Keeps the log bounded.
+    pub(crate) fn commit_through(&mut self, seq: u64) {
+        // The log is ordered by seq; find the first entry to keep.
+        let keep_from = self.log.partition_point(|&(s, _)| s <= seq);
+        self.log.drain(..keep_from);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wishbranch_isa::{AluOp, CmpOp, Operand};
+
+    fn r(i: u8) -> Gpr {
+        Gpr::new(i)
+    }
+    fn p(i: u8) -> PredReg {
+        PredReg::new(i)
+    }
+
+    #[test]
+    fn exec_and_rollback_registers() {
+        let mut e = SpecEmulator::new();
+        e.exec(1, 0, &Insn::mov_imm(r(1), 10), None, None);
+        e.exec(2, 1, &Insn::alu(AluOp::Add, r(1), r(1), Operand::imm(5)), None, None);
+        assert_eq!(e.regs[1], 15);
+        e.rollback_after(1);
+        assert_eq!(e.regs[1], 10);
+        e.rollback_after(0);
+        assert_eq!(e.regs[1], 0);
+    }
+
+    #[test]
+    fn rollback_memory_insert_and_overwrite() {
+        let mut e = SpecEmulator::new();
+        e.regs[2] = 0x100;
+        e.exec(1, 0, &Insn::mov_imm(r(3), 7), None, None);
+        e.exec(2, 1, &Insn::store(r(3), r(2), 0), None, None);
+        assert_eq!(e.mem.get(&0x100), Some(&7));
+        e.exec(3, 2, &Insn::mov_imm(r(3), 9), None, None);
+        e.exec(4, 3, &Insn::store(r(3), r(2), 0), None, None);
+        assert_eq!(e.mem.get(&0x100), Some(&9));
+        e.rollback_after(2);
+        assert_eq!(e.mem.get(&0x100), Some(&7));
+        e.rollback_after(1);
+        assert_eq!(e.mem.get(&0x100), None);
+    }
+
+    #[test]
+    fn forced_branch_direction_reports_actual() {
+        let mut e = SpecEmulator::new();
+        e.exec(1, 0, &Insn::mov_imm(r(1), 1), None, None);
+        e.exec(2, 1, &Insn::cmp(CmpOp::Eq, p(1), r(1), Operand::imm(1)), None, None);
+        let br = Insn::branch(BranchKind::cond(p(1), true), 50);
+        // Fetch forces fall-through although the branch is actually taken.
+        let info = e.exec(3, 2, &br, Some(3), None);
+        assert!(info.actual_taken);
+        assert_eq!(info.actual_next, 50);
+        assert_eq!(info.followed_next, 3);
+    }
+
+    #[test]
+    fn guard_false_is_nop_and_reports() {
+        let mut e = SpecEmulator::new();
+        let i = Insn::mov_imm(r(1), 42).guarded(p(2)); // p2 = false
+        let info = e.exec(1, 0, &i, None, None);
+        assert!(!info.guard_true);
+        assert_eq!(e.regs[1], 0);
+        e.rollback_after(0); // must not underflow or corrupt
+        assert_eq!(e.regs[1], 0);
+    }
+
+    #[test]
+    fn cmp2_rolls_back_both_predicates() {
+        let mut e = SpecEmulator::new();
+        e.exec(1, 0, &Insn::cmp2(CmpOp::Eq, p(1), p(2), r(0), Operand::imm(0)), None, None);
+        assert!(e.preds[1]);
+        assert!(!e.preds[2]);
+        e.rollback_after(0);
+        assert!(!e.preds[1]);
+        assert!(!e.preds[2]);
+    }
+
+    #[test]
+    fn commit_bounds_the_log() {
+        let mut e = SpecEmulator::new();
+        for s in 1..=100 {
+            e.exec(s, 0, &Insn::mov_imm(r(1), s as i64), None, None);
+        }
+        e.commit_through(90);
+        assert!(e.log.len() <= 10);
+        e.rollback_after(95);
+        assert_eq!(e.regs[1], 95);
+    }
+}

@@ -1,0 +1,136 @@
+//! Simulation statistics, shaped to regenerate the paper's figures.
+
+use wishbranch_mem::CacheStats;
+
+/// Counts for one wish-branch class (Fig. 11 / Fig. 13 bars).
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct WishClassCounts {
+    /// Estimated high confidence, prediction was correct.
+    pub high_correct: u64,
+    /// Estimated high confidence, prediction was wrong (pipeline flush).
+    pub high_mispredicted: u64,
+    /// Estimated low confidence, prediction would have been correct
+    /// (pure predication overhead).
+    pub low_correct: u64,
+    /// Estimated low confidence, prediction would have been wrong
+    /// (a flush was avoided).
+    pub low_mispredicted: u64,
+}
+
+impl WishClassCounts {
+    /// Total dynamic wish branches of this kind.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.high_correct + self.high_mispredicted + self.low_correct + self.low_mispredicted
+    }
+}
+
+/// How a mispredicted low-confidence wish loop resolved (§3.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LoopExitClass {
+    /// Fewer iterations fetched than needed: flush.
+    EarlyExit,
+    /// A few extra iterations fetched, front end already out: no flush —
+    /// the case where wish loops win.
+    LateExit,
+    /// Front end still spinning in the loop: flush.
+    NoExit,
+}
+
+/// Aggregate counters for one simulation.
+#[derive(Clone, PartialEq, Default, Debug)]
+pub struct SimStats {
+    /// Total cycles to retire the program.
+    pub cycles: u64,
+    /// Retired µops (including guard-false NOPs and select µops).
+    pub retired_uops: u64,
+    /// Retired µops whose guard read FALSE (predication overhead #1).
+    pub retired_guard_false: u64,
+    /// Extra select µops retired (select-µop mechanism overhead).
+    pub retired_select_uops: u64,
+    /// Retired conditional branches (wish or normal).
+    pub retired_cond_branches: u64,
+    /// Pipeline flushes due to branch mispredictions.
+    pub flushes: u64,
+    /// Mispredicted retired conditional branches (including non-flushing
+    /// low-confidence wish branches).
+    pub retired_mispredicted: u64,
+    /// Flushes avoided by low-confidence wish jumps/joins and late-exit
+    /// wish loops.
+    pub flushes_avoided: u64,
+    /// Total µops fetched (both paths).
+    pub fetched_uops: u64,
+    /// Cycles in which fetch delivered no µop (stall, redirect, I-miss,
+    /// queue full, or blocked).
+    pub fetch_idle_cycles: u64,
+    /// Cycles in which dispatch moved nothing into the ROB.
+    pub dispatch_idle_cycles: u64,
+    /// Cycles in which nothing retired.
+    pub retire_idle_cycles: u64,
+    /// Wrong-path µops squashed.
+    pub squashed_uops: u64,
+    /// Branches dynamically hammock-predicated (DHP extension).
+    pub dhp_predications: u64,
+    /// Flushes avoided by DHP (subset of `flushes_avoided`).
+    pub dhp_flushes_avoided: u64,
+    /// Predicate-value predictions made (predicate-prediction baseline).
+    pub pred_value_predictions: u64,
+    /// Predicate-value mispredictions (each one flushes).
+    pub pred_value_mispredictions: u64,
+    /// Wish jump dynamics by confidence class (retired only).
+    pub wish_jumps: WishClassCounts,
+    /// Wish join dynamics by confidence class (retired only).
+    pub wish_joins: WishClassCounts,
+    /// Wish loop dynamics by confidence class (retired only).
+    pub wish_loops: WishClassCounts,
+    /// Mispredicted low-confidence wish loops by exit class.
+    pub loop_early_exits: u64,
+    /// Late-exit count (the winning case).
+    pub loop_late_exits: u64,
+    /// No-exit count.
+    pub loop_no_exits: u64,
+    /// I-cache statistics.
+    pub icache: CacheStats,
+    /// L1 data cache statistics.
+    pub l1d: CacheStats,
+    /// L2 statistics.
+    pub l2: CacheStats,
+}
+
+impl SimStats {
+    /// Retired µops per cycle.
+    #[must_use]
+    pub fn upc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired_uops as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mispredicted branches per 1000 retired µops (Table 4's metric).
+    #[must_use]
+    pub fn mispredicts_per_kuop(&self) -> f64 {
+        if self.retired_uops == 0 {
+            0.0
+        } else {
+            self.retired_mispredicted as f64 * 1000.0 / self.retired_uops as f64
+        }
+    }
+
+    /// Dynamic wish branches of all kinds (retired).
+    #[must_use]
+    pub fn wish_branches_total(&self) -> u64 {
+        self.wish_jumps.total() + self.wish_joins.total() + self.wish_loops.total()
+    }
+
+    /// Scales a count to "per one million retired µops" (Figs. 11/13).
+    #[must_use]
+    pub fn per_million_uops(&self, count: u64) -> f64 {
+        if self.retired_uops == 0 {
+            0.0
+        } else {
+            count as f64 * 1.0e6 / self.retired_uops as f64
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Optional pipeline event tracing (off by default): every fetch,
+//! dispatch, issue, retirement, squash and flush as a typed event stream —
+//! the debugging view ("pipeview") every out-of-order simulator needs.
+
+use std::fmt;
+
+/// What happened to a µop (or the pipeline) at a given cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceKind {
+    /// The µop was fetched (and executed by the speculative emulator).
+    Fetch,
+    /// The µop was renamed into the ROB.
+    Dispatch,
+    /// The µop was selected for execution; completes at the event's
+    /// `extra` cycle.
+    Issue,
+    /// The µop retired.
+    Retire,
+    /// A pipeline flush was triggered by this µop; `extra` is the number
+    /// of squashed µops.
+    Flush,
+}
+
+/// One pipeline event.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Cycle the event happened.
+    pub cycle: u64,
+    /// Event type.
+    pub kind: TraceKind,
+    /// The µop's fetch sequence number.
+    pub seq: u64,
+    /// The µop's program counter.
+    pub pc: u32,
+    /// Disassembly of the µop.
+    pub disasm: String,
+    /// Event-specific extra datum (completion cycle for `Issue`, squash
+    /// count for `Flush`, 0 otherwise).
+    pub extra: u64,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = match self.kind {
+            TraceKind::Fetch => "F",
+            TraceKind::Dispatch => "D",
+            TraceKind::Issue => "I",
+            TraceKind::Retire => "R",
+            TraceKind::Flush => "X",
+        };
+        write!(
+            f,
+            "{:>8} {k} seq={:<6} pc={:<5} {}",
+            self.cycle, self.seq, self.pc, self.disasm
+        )?;
+        match self.kind {
+            TraceKind::Issue => write!(f, "  (done @{})", self.extra),
+            TraceKind::Flush => write!(f, "  (squashed {})", self.extra),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Renders a trace as one line per event.
+#[must_use]
+pub fn render_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_string());
+        out.push('\n');
+    }
+    out
+}

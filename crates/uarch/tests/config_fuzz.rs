@@ -1,0 +1,192 @@
+//! Configuration fuzzing: the architectural result must be identical to
+//! the functional reference under *any* machine configuration — narrow
+//! fetch, tiny windows, shallow or deep pipes, tiny caches, finite MSHRs,
+//! either predication mechanism, and any combination of the wish/DHP/
+//! predicate-prediction hardware. Timing knobs must never change what the
+//! program computes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wishbranch_compiler::{compile, BinaryVariant, CompileOptions};
+use wishbranch_ir::{FunctionBuilder, Interpreter, Module};
+use wishbranch_isa::exec::Machine;
+use wishbranch_isa::{AluOp, CmpOp, Gpr, Operand};
+use wishbranch_mem::CacheConfig;
+use wishbranch_uarch::{MachineConfig, PredMechanism, Simulator};
+
+const DATA_BASE: i64 = 0x1000;
+
+fn r(i: u8) -> Gpr {
+    Gpr::new(i)
+}
+
+/// Structured random program (hammocks + loops + memory ops), small enough
+/// to simulate on pathological machines.
+fn random_module(seed: u64) -> Module {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut f = FunctionBuilder::new("main");
+    let entry = f.entry_block();
+    f.select(entry);
+    f.movi(r(19), DATA_BASE);
+    for i in 1..9 {
+        f.load(r(i), r(19), i32::from(i) * 8);
+    }
+    let mut counter = 0u8;
+    emit_region(&mut f, &mut rng, 2, &mut counter);
+    for i in 1..9 {
+        f.store(r(i), r(19), 256 + i32::from(i) * 8);
+    }
+    f.halt();
+    Module::new(vec![f.build()], 0).unwrap()
+}
+
+fn emit_region(f: &mut FunctionBuilder, rng: &mut StdRng, depth: u32, counter: &mut u8) {
+    for _ in 0..rng.gen_range(1..4) {
+        match rng.gen_range(0..10) {
+            0..=2 if depth > 0 => {
+                let lhs = r(rng.gen_range(1..9));
+                let op = [CmpOp::Lt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne][rng.gen_range(0..4)];
+                let (t, el, j) = (f.new_block(), f.new_block(), f.new_block());
+                f.branch(op, lhs, Operand::imm(rng.gen_range(-5..6)), t, el);
+                f.select(el);
+                emit_region(f, rng, depth - 1, counter);
+                f.jump(j);
+                f.select(t);
+                emit_region(f, rng, depth - 1, counter);
+                f.jump(j);
+                f.select(j);
+            }
+            3..=4 if depth > 0 && *counter < 28 => {
+                let c = r(20 + *counter);
+                *counter += 1;
+                let (body, exit) = (f.new_block(), f.new_block());
+                f.movi(c, 0);
+                f.jump(body);
+                f.select(body);
+                for _ in 0..rng.gen_range(1..3) {
+                    emit_straight(f, rng);
+                }
+                f.alu(AluOp::Add, c, c, Operand::imm(1));
+                f.branch(CmpOp::Lt, c, Operand::imm(rng.gen_range(1..5)), body, exit);
+                f.select(exit);
+            }
+            _ => emit_straight(f, rng),
+        }
+    }
+}
+
+fn emit_straight(f: &mut FunctionBuilder, rng: &mut StdRng) {
+    match rng.gen_range(0..4) {
+        0 => {
+            let (d, s) = (r(rng.gen_range(1..9)), r(rng.gen_range(1..9)));
+            let op = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::Mul][rng.gen_range(0..4)];
+            f.alu(op, d, s, Operand::Imm(rng.gen_range(-7..8)));
+        }
+        1 => f.movi(r(rng.gen_range(1..9)), rng.gen_range(-99..99)),
+        2 => f.store(r(rng.gen_range(1..9)), r(19), rng.gen_range(0..16) * 8),
+        _ => f.load(r(rng.gen_range(1..9)), r(19), rng.gen_range(0..16) * 8),
+    }
+}
+
+/// A random but valid machine configuration.
+fn random_config(seed: u64) -> MachineConfig {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+    let mut cfg = MachineConfig::default();
+    cfg.fetch_width = [2, 4, 8][rng.gen_range(0..3)];
+    cfg.max_cond_branches_per_cycle = [1, 2, 3][rng.gen_range(0..3)];
+    cfg.rob_size = [16, 48, 128, 512][rng.gen_range(0..4)];
+    cfg.issue_width = [2, 4, 8][rng.gen_range(0..3)];
+    cfg.retire_width = cfg.issue_width;
+    cfg.pipeline_depth = [3, 10, 30][rng.gen_range(0..3)];
+    cfg.pred_mechanism = if rng.gen_bool(0.5) {
+        PredMechanism::CStyle
+    } else {
+        PredMechanism::SelectUop
+    };
+    cfg.wish_enabled = rng.gen_bool(0.8);
+    cfg.dhp_enabled = rng.gen_bool(0.5);
+    cfg.predicate_prediction = rng.gen_bool(0.5);
+    cfg.mem.max_outstanding_misses = [0, 1, 4][rng.gen_range(0..3)];
+    if rng.gen_bool(0.5) {
+        // Tiny caches: stress miss paths.
+        cfg.mem.icache = CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+            latency: 2,
+        };
+        cfg.mem.l1d = CacheConfig {
+            size_bytes: 256,
+            ways: 1,
+            line_bytes: 64,
+            latency: 2,
+        };
+        cfg.mem.l2 = CacheConfig {
+            size_bytes: 2048,
+            ways: 2,
+            line_bytes: 64,
+            latency: 6,
+        };
+    }
+    if rng.gen_bool(0.3) {
+        cfg.wish_loop_predictor = Some(wishbranch_bpred::LoopPredConfig {
+            bias: rng.gen_range(0..3),
+            ..wishbranch_bpred::LoopPredConfig::default()
+        });
+    }
+    cfg.max_cycles = 50_000_000;
+    cfg
+}
+
+#[test]
+fn any_config_preserves_architecture() {
+    for seed in 0..48u64 {
+        let module = random_module(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+        let mem: Vec<(u64, i64)> = (0..40)
+            .map(|i| (DATA_BASE as u64 + i * 8, rng.gen_range(-50..50)))
+            .collect();
+        let mut interp = Interpreter::new();
+        for &(a, v) in &mem {
+            interp.mem.insert(a, v);
+        }
+        let profile = interp.run(&module, 10_000_000).unwrap().profile;
+        for variant in [
+            BinaryVariant::NormalBranch,
+            BinaryVariant::BaseMax,
+            BinaryVariant::WishJumpJoinLoop,
+        ] {
+            let bin = compile(&module, &profile, variant, &CompileOptions::default());
+            let mut reference = Machine::new();
+            for &(a, v) in &mem {
+                reference.mem.insert(a, v);
+            }
+            let expect = reference.run(&bin.program, u64::MAX / 2).unwrap();
+            for cfg_seed in 0..4u64 {
+                let cfg = random_config(seed * 31 + cfg_seed);
+                let summary = format!(
+                    "seed {seed} {variant} cfg{cfg_seed}: fw={} rob={} depth={} mech={:?} wish={} dhp={} pp={} mshr={}",
+                    cfg.fetch_width,
+                    cfg.rob_size,
+                    cfg.pipeline_depth,
+                    cfg.pred_mechanism,
+                    cfg.wish_enabled,
+                    cfg.dhp_enabled,
+                    cfg.predicate_prediction,
+                    cfg.mem.max_outstanding_misses,
+                );
+                let mut sim = Simulator::new(&bin.program, cfg);
+                for &(a, v) in &mem {
+                    sim.preload_mem(a, v);
+                }
+                let res = sim.run().unwrap_or_else(|e| panic!("{summary}: {e}"));
+                assert_eq!(res.final_mem, expect.mem, "{summary}: memory diverged");
+                assert_eq!(
+                    res.final_regs[1..10],
+                    expect.regs[1..10],
+                    "{summary}: registers diverged"
+                );
+            }
+        }
+    }
+}

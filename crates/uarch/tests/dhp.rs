@@ -1,0 +1,224 @@
+//! Dynamic hammock predication (Klauser et al., the paper's §6.1
+//! hardware-only alternative): correctness, flush elimination on eligible
+//! hammocks, and its limitation relative to wish branches (no loops, no
+//! complex regions).
+
+use wishbranch_compiler::{compile, BinaryVariant, CompileOptions};
+use wishbranch_ir::{FunctionBuilder, Interpreter, Module};
+use wishbranch_isa::exec::Machine;
+use wishbranch_isa::{AluOp, CmpOp, Gpr, Operand, Program};
+use wishbranch_uarch::{MachineConfig, SimResult, Simulator};
+
+const DATA: i64 = 0x1000;
+const N: i32 = 3000;
+
+fn r(i: u8) -> Gpr {
+    Gpr::new(i)
+}
+
+/// Coin-flip diamond driven by a register PRNG — DHP-eligible (branch-free
+/// arms of 4 µops each).
+fn hammock_module() -> Module {
+    let mut f = FunctionBuilder::new("main");
+    let e = f.entry_block();
+    let body = f.new_block();
+    let t = f.new_block();
+    let el = f.new_block();
+    let j = f.new_block();
+    let exit = f.new_block();
+    f.select(e);
+    f.movi(r(19), DATA);
+    f.movi(r(16), 0xACE1);
+    f.movi(r(20), 0);
+    f.jump(body);
+    f.select(body);
+    f.alu(AluOp::Shl, r(3), r(16), Operand::imm(13));
+    f.alu(AluOp::Xor, r(16), r(16), Operand::reg(3));
+    f.alu(AluOp::Shr, r(3), r(16), Operand::imm(7));
+    f.alu(AluOp::Xor, r(16), r(16), Operand::reg(3));
+    f.alu(AluOp::And, r(7), r(16), Operand::imm(1));
+    f.branch(CmpOp::Eq, r(7), Operand::imm(1), t, el);
+    f.select(el);
+    for k in 0..4 {
+        f.alu(AluOp::Add, r(8 + k), r(8 + k), Operand::imm(1));
+    }
+    f.jump(j);
+    f.select(t);
+    for k in 0..4 {
+        f.alu(AluOp::Sub, r(8 + k), r(8 + k), Operand::imm(2));
+    }
+    f.jump(j);
+    f.select(j);
+    f.alu(AluOp::Add, r(20), r(20), Operand::imm(1));
+    f.branch(CmpOp::Lt, r(20), Operand::imm(N), body, exit);
+    f.select(exit);
+    for k in 0..4 {
+        f.store(r(8 + k), r(19), i32::from(k) * 8);
+    }
+    f.halt();
+    Module::new(vec![f.build()], 0).unwrap()
+}
+
+fn normal_binary(m: &Module) -> Program {
+    let prof = Interpreter::new().run(m, 50_000_000).unwrap().profile;
+    compile(m, &prof, BinaryVariant::NormalBranch, &CompileOptions::default()).program
+}
+
+fn run(program: &Program, dhp: bool) -> SimResult {
+    let cfg = MachineConfig {
+        dhp_enabled: dhp,
+        ..MachineConfig::default()
+    };
+    let mut sim = Simulator::new(program, cfg);
+    let res = sim.run().expect("halts");
+    // Architectural verification against the functional machine.
+    let mut m = Machine::new();
+    let expect = m.run(program, u64::MAX / 2).expect("halts");
+    assert_eq!(res.final_mem, expect.mem, "DHP changed the architecture");
+    res
+}
+
+#[test]
+fn dhp_eliminates_flushes_on_eligible_hammocks() {
+    let prog = normal_binary(&hammock_module());
+    let plain = run(&prog, false);
+    let dhp = run(&prog, true);
+    assert!(
+        plain.stats.flushes > (N as u64) / 4,
+        "coin flip must flush the plain machine: {}",
+        plain.stats.flushes
+    );
+    assert!(dhp.stats.dhp_predications > (N as u64) / 2, "{:?}", dhp.stats);
+    assert!(
+        dhp.stats.flushes < plain.stats.flushes / 4,
+        "DHP must remove most flushes: {} vs {}",
+        dhp.stats.flushes,
+        plain.stats.flushes
+    );
+    assert!(
+        dhp.stats.cycles < plain.stats.cycles,
+        "DHP must be faster on hard hammocks: {} vs {}",
+        dhp.stats.cycles,
+        plain.stats.cycles
+    );
+    // The predicated arms retire as guard-false NOPs.
+    assert!(dhp.stats.retired_guard_false > 0);
+}
+
+#[test]
+fn dhp_cannot_help_loops_but_wish_loops_can() {
+    // A variable-trip inner loop: DHP (forward hammocks only) must leave
+    // its flushes in place, while the wish binary removes them — the
+    // paper's §6.1 distinction.
+    let mut f = FunctionBuilder::new("main");
+    let e = f.entry_block();
+    let outer = f.new_block();
+    let inner = f.new_block();
+    let iexit = f.new_block();
+    let exit = f.new_block();
+    f.select(e);
+    f.movi(r(19), DATA);
+    f.movi(r(16), 0xBEEF);
+    f.movi(r(20), 0);
+    f.jump(outer);
+    f.select(outer);
+    f.alu(AluOp::Shl, r(3), r(16), Operand::imm(13));
+    f.alu(AluOp::Xor, r(16), r(16), Operand::reg(3));
+    f.alu(AluOp::Shr, r(3), r(16), Operand::imm(7));
+    f.alu(AluOp::Xor, r(16), r(16), Operand::reg(3));
+    f.alu(AluOp::And, r(4), r(16), Operand::imm(3));
+    f.alu(AluOp::Add, r(4), r(4), Operand::imm(1));
+    f.movi(r(21), 0);
+    f.jump(inner);
+    f.select(inner);
+    f.alu(AluOp::Add, r(9), r(9), Operand::reg(21));
+    f.alu(AluOp::Add, r(21), r(21), Operand::imm(1));
+    f.branch(CmpOp::Lt, r(21), Operand::reg(r(4).index() as u8), inner, iexit);
+    f.select(iexit);
+    f.alu(AluOp::Add, r(20), r(20), Operand::imm(1));
+    f.branch(CmpOp::Lt, r(20), Operand::imm(N), outer, exit);
+    f.select(exit);
+    f.store(r(9), r(19), 0);
+    f.halt();
+    let m = Module::new(vec![f.build()], 0).unwrap();
+
+    let prog = normal_binary(&m);
+    let plain = run(&prog, false);
+    let dhp = run(&prog, true);
+    assert_eq!(
+        dhp.stats.dhp_predications, 0,
+        "backward branches are not DHP-eligible"
+    );
+    assert!(dhp.stats.flushes + 50 > plain.stats.flushes, "DHP can't help loops");
+
+    // Wish loops, by contrast, convert many of those flushes to late exits.
+    let prof = Interpreter::new().run(&m, 50_000_000).unwrap().profile;
+    let wjl = compile(&m, &prof, BinaryVariant::WishJumpJoinLoop, &CompileOptions::default());
+    let mut sim = Simulator::new(&wjl.program, MachineConfig::default());
+    let wish = sim.run().expect("halts");
+    assert!(
+        wish.stats.flushes < plain.stats.flushes,
+        "wish loops must beat plain prediction where DHP cannot: {} vs {}",
+        wish.stats.flushes,
+        plain.stats.flushes
+    );
+}
+
+#[test]
+fn dhp_ignores_hammocks_with_branchy_arms() {
+    // An arm containing a call is not eligible.
+    use wishbranch_ir::FuncId;
+    let mut h = FunctionBuilder::new("h");
+    let he = h.entry_block();
+    h.select(he);
+    h.alu(AluOp::Add, r(10), r(10), Operand::imm(1));
+    h.ret();
+    let mut f = FunctionBuilder::new("main");
+    let e = f.entry_block();
+    let body = f.new_block();
+    let t = f.new_block();
+    let el = f.new_block();
+    let j = f.new_block();
+    let exit = f.new_block();
+    f.select(e);
+    f.movi(r(16), 0x1234);
+    f.movi(r(20), 0);
+    f.jump(body);
+    f.select(body);
+    f.alu(AluOp::Shl, r(3), r(16), Operand::imm(13));
+    f.alu(AluOp::Xor, r(16), r(16), Operand::reg(3));
+    f.alu(AluOp::And, r(7), r(16), Operand::imm(1));
+    f.branch(CmpOp::Eq, r(7), Operand::imm(1), t, el);
+    f.select(el);
+    f.call(FuncId(1));
+    f.jump(j);
+    f.select(t);
+    f.alu(AluOp::Sub, r(9), r(9), Operand::imm(1));
+    f.jump(j);
+    f.select(j);
+    f.alu(AluOp::Add, r(20), r(20), Operand::imm(1));
+    f.branch(CmpOp::Lt, r(20), Operand::imm(500), body, exit);
+    f.select(exit);
+    f.halt();
+    let m = Module::new(vec![f.build(), h.build()], 0).unwrap();
+    let dhp = run(&normal_binary(&m), true);
+    assert_eq!(dhp.stats.dhp_predications, 0, "call in arm disqualifies DHP");
+}
+
+#[test]
+fn dhp_on_wish_binary_leaves_wish_branches_alone() {
+    let m = hammock_module();
+    let prof = Interpreter::new().run(&m, 50_000_000).unwrap().profile;
+    let wjl = compile(&m, &prof, BinaryVariant::WishJumpJoinLoop, &CompileOptions::default());
+    let cfg = MachineConfig {
+        dhp_enabled: true,
+        ..MachineConfig::default()
+    };
+    let mut sim = Simulator::new(&wjl.program, cfg);
+    let res = sim.run().expect("halts");
+    // All conversions happen through the wish mechanism; DHP finds no
+    // eligible plain hammocks (arms are already predicated/guarded under
+    // wish branches, whose hints exclude them from DHP).
+    assert!(res.stats.wish_branches_total() > 0);
+    assert_eq!(res.stats.dhp_predications, 0);
+}

@@ -1,0 +1,184 @@
+//! The predicate-prediction baseline (Chuang & Calder, §6.1): predicted
+//! predicates break predication's execution-delay overhead, wrong
+//! predictions flush, and — the paper's argument — the useless predicated
+//! instructions are still fetched, unlike with wish branches.
+
+use wishbranch_compiler::{compile, BinaryVariant, CompileOptions};
+use wishbranch_ir::{FunctionBuilder, Interpreter, Module};
+use wishbranch_isa::exec::Machine;
+use wishbranch_isa::{AluOp, CmpOp, Gpr, Operand, Program};
+use wishbranch_uarch::{MachineConfig, SimResult, Simulator};
+
+const DATA: i64 = 0x1000;
+const N: i32 = 2500;
+
+fn r(i: u8) -> Gpr {
+    Gpr::new(i)
+}
+
+/// mcf-style kernel: an easy guard feeding a serialized (old-destination
+/// chained) guarded load — the case predicate prediction was invented for.
+fn serialization_module(hard: bool) -> Module {
+    let mut f = FunctionBuilder::new("main");
+    let e = f.entry_block();
+    let body = f.new_block();
+    let t = f.new_block();
+    let el = f.new_block();
+    let j = f.new_block();
+    let exit = f.new_block();
+    f.select(e);
+    f.movi(r(19), DATA);
+    f.movi(r(16), 0x77777);
+    f.movi(r(20), 0);
+    f.jump(body);
+    f.select(body);
+    f.alu(AluOp::And, r(2), r(20), Operand::imm(2047));
+    f.alu(AluOp::Shl, r(2), r(2), Operand::imm(3));
+    f.alu(AluOp::Add, r(2), r(2), Operand::reg(19));
+    f.load(r(6), r(2), 0);
+    if hard {
+        // xorshift noise makes the predicate a coin flip.
+        f.alu(AluOp::Shl, r(3), r(16), Operand::imm(13));
+        f.alu(AluOp::Xor, r(16), r(16), Operand::reg(3));
+        f.alu(AluOp::Shr, r(3), r(16), Operand::imm(7));
+        f.alu(AluOp::Xor, r(16), r(16), Operand::reg(3));
+        f.alu(AluOp::And, r(3), r(16), Operand::imm(1));
+        f.alu(AluOp::Add, r(6), r(6), Operand::reg(3));
+        f.branch(CmpOp::Eq, r(3), Operand::imm(1), t, el);
+    } else {
+        f.branch(CmpOp::Ge, r(6), Operand::imm(0), t, el);
+    }
+    f.select(el);
+    for k in 0..6 {
+        f.alu(AluOp::Sub, r(8 + k), r(8 + k), Operand::imm(1));
+    }
+    f.jump(j);
+    f.select(t);
+    // The critical guarded load: chained through r8's old destination.
+    f.alu(AluOp::And, r(5), r(6), Operand::imm(2047));
+    f.alu(AluOp::Shl, r(5), r(5), Operand::imm(3));
+    f.alu(AluOp::Add, r(5), r(5), Operand::reg(19));
+    f.load(r(8), r(5), 2048 * 8);
+    f.alu(AluOp::Add, r(9), r(9), Operand::reg(8));
+    f.alu(AluOp::Add, r(10), r(10), Operand::imm(1));
+    f.jump(j);
+    f.select(j);
+    f.alu(AluOp::Add, r(20), r(20), Operand::imm(1));
+    f.branch(CmpOp::Lt, r(20), Operand::imm(N), body, exit);
+    f.select(exit);
+    f.store(r(9), r(19), 65536);
+    f.halt();
+    Module::new(vec![f.build()], 0).unwrap()
+}
+
+fn inputs() -> Vec<(u64, i64)> {
+    (0..4096u64)
+        .map(|k| {
+            let h = k.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 17;
+            (DATA as u64 + k * 8, (h & 0x3ff) as i64)
+        })
+        .collect()
+}
+
+fn base_max(m: &Module) -> Program {
+    let mut interp = Interpreter::new();
+    for (a, v) in inputs() {
+        interp.mem.insert(a, v);
+    }
+    let prof = interp.run(m, 100_000_000).unwrap().profile;
+    compile(m, &prof, BinaryVariant::BaseMax, &CompileOptions::default()).program
+}
+
+fn run(program: &Program, predpred: bool) -> SimResult {
+    let cfg = MachineConfig {
+        predicate_prediction: predpred,
+        ..MachineConfig::default()
+    };
+    let mut sim = Simulator::new(program, cfg);
+    for (a, v) in inputs() {
+        sim.preload_mem(a, v);
+    }
+    let res = sim.run().expect("halts");
+    let mut m = Machine::new();
+    for (a, v) in inputs() {
+        m.mem.insert(a, v);
+    }
+    let expect = m.run(program, u64::MAX / 2).expect("halts");
+    assert_eq!(res.final_mem, expect.mem, "predicate prediction broke the architecture");
+    res
+}
+
+#[test]
+fn predicate_prediction_recovers_serialization_on_easy_predicates() {
+    let prog = base_max(&serialization_module(false));
+    let plain = run(&prog, false);
+    let predicted = run(&prog, true);
+    assert!(predicted.stats.pred_value_predictions > 0);
+    assert!(
+        predicted.stats.cycles as f64 <= plain.stats.cycles as f64 * 0.98,
+        "predicting an easy predicate must break the old-destination chain: {} vs {}",
+        predicted.stats.cycles,
+        plain.stats.cycles
+    );
+    // Easy predicate: almost no verification flushes.
+    assert!(
+        predicted.stats.pred_value_mispredictions * 50
+            < predicted.stats.pred_value_predictions,
+        "{} mispredictions of {}",
+        predicted.stats.pred_value_mispredictions,
+        predicted.stats.pred_value_predictions
+    );
+}
+
+#[test]
+fn predicate_prediction_flushes_on_hard_predicates() {
+    let prog = base_max(&serialization_module(true));
+    let plain = run(&prog, false);
+    let predicted = run(&prog, true);
+    // Coin-flip predicates: every other prediction is wrong, and each wrong
+    // one flushes — the cost the paper says wish branches avoid.
+    assert!(
+        predicted.stats.pred_value_mispredictions > (N as u64) / 5,
+        "hard predicates must mispredict: {:?}",
+        predicted.stats.pred_value_mispredictions
+    );
+    assert!(
+        predicted.stats.flushes > plain.stats.flushes,
+        "those mispredictions flush: {} vs {}",
+        predicted.stats.flushes,
+        plain.stats.flushes
+    );
+}
+
+#[test]
+fn predicate_prediction_still_fetches_useless_instructions() {
+    // Even with perfect-looking predicates, the predicated binary fetches
+    // both arms — wish branches in high-confidence mode do not. (The
+    // paper's key distinction from predicate prediction.)
+    let m = serialization_module(false);
+    let prog = base_max(&m);
+    let predicted = run(&prog, true);
+    assert!(
+        predicted.stats.retired_guard_false > (N as u64) * 5,
+        "predicate prediction cannot remove useless fetches: {}",
+        predicted.stats.retired_guard_false
+    );
+
+    let mut interp = Interpreter::new();
+    for (a, v) in inputs() {
+        interp.mem.insert(a, v);
+    }
+    let prof = interp.run(&m, 100_000_000).unwrap().profile;
+    let wjl = compile(&m, &prof, BinaryVariant::WishJumpJoinLoop, &CompileOptions::default());
+    let mut sim = Simulator::new(&wjl.program, MachineConfig::default());
+    for (a, v) in inputs() {
+        sim.preload_mem(a, v);
+    }
+    let wish = sim.run().expect("halts");
+    assert!(
+        wish.stats.retired_guard_false < predicted.stats.retired_guard_false / 2,
+        "wish high-confidence mode skips what predicate prediction must fetch: {} vs {}",
+        wish.stats.retired_guard_false,
+        predicted.stats.retired_guard_false
+    );
+}

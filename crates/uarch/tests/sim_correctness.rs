@@ -1,0 +1,334 @@
+//! The cycle simulator's retired architectural state must match the
+//! functional reference ([`wishbranch_isa::exec::Machine`]) for every
+//! compiled binary variant, every predication mechanism, and every oracle
+//! knob — timing machinery must never change architecture.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wishbranch_compiler::{compile, BinaryVariant, CompileOptions};
+use wishbranch_ir::{FunctionBuilder, Interpreter, Module};
+use wishbranch_isa::exec::Machine;
+use wishbranch_isa::{AluOp, CmpOp, Gpr, Operand, Program};
+use wishbranch_uarch::{MachineConfig, OracleConfig, PredMechanism, Simulator};
+
+const DATA_BASE: i64 = 0x1000;
+
+fn r(i: u8) -> Gpr {
+    Gpr::new(i)
+}
+
+/// Small machine so tests run fast in debug builds.
+fn small_config() -> MachineConfig {
+    MachineConfig {
+        pipeline_depth: 10,
+        rob_size: 64,
+        max_cycles: 20_000_000,
+        ..MachineConfig::default()
+    }
+}
+
+fn run_sim(
+    program: &Program,
+    cfg: MachineConfig,
+    init_mem: &[(u64, i64)],
+) -> wishbranch_uarch::SimResult {
+    let mut sim = Simulator::new(program, cfg);
+    for &(a, v) in init_mem {
+        sim.preload_mem(a, v);
+    }
+    sim.run().expect("simulation should halt")
+}
+
+fn run_ref(program: &Program, init_mem: &[(u64, i64)]) -> wishbranch_isa::exec::ExecResult {
+    let mut m = Machine::new();
+    for &(a, v) in init_mem {
+        m.mem.insert(a, v);
+    }
+    m.run(program, 100_000_000).expect("reference halts")
+}
+
+fn assert_arch_match(program: &Program, cfg: MachineConfig, init_mem: &[(u64, i64)], what: &str) {
+    let reference = run_ref(program, init_mem);
+    let sim = run_sim(program, cfg, init_mem);
+    assert_eq!(sim.final_mem, reference.mem, "{what}: memory diverged");
+    for reg in 1..10 {
+        assert_eq!(
+            sim.final_regs[reg], reference.regs[reg],
+            "{what}: r{reg} diverged"
+        );
+    }
+    assert_eq!(
+        sim.stats.retired_uops, reference.steps,
+        "{what}: retired µop count diverged (select expansion counts extra, \
+         so this is only checked for C-style whole-µop machines)"
+    );
+}
+
+/// Structured random programs — same generator family as the compiler's
+/// equivalence tests, kept small enough for the cycle simulator in debug
+/// builds.
+fn random_module(seed: u64) -> Module {
+    let mut f = FunctionBuilder::new("main");
+    let entry = f.entry_block();
+    f.select(entry);
+    f.movi(r(19), DATA_BASE);
+    for i in 1..9 {
+        f.load(r(i), r(19), i32::from(i) * 8);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next_counter = 0u8;
+    gen_region(&mut f, &mut rng, 2, &mut next_counter);
+    for i in 1..9 {
+        f.store(r(i), r(19), 128 + i32::from(i) * 8);
+    }
+    f.halt();
+    Module::new(vec![f.build()], 0).unwrap()
+}
+
+fn gen_region(f: &mut FunctionBuilder, rng: &mut StdRng, depth: u32, next_counter: &mut u8) {
+    for _ in 0..rng.gen_range(1..4) {
+        let c = rng.gen_range(0..10);
+        if depth > 0 && c < 3 {
+            // if/else
+            let lhs = r(rng.gen_range(1..9));
+            let op = [CmpOp::Lt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne][rng.gen_range(0..4)];
+            let then_b = f.new_block();
+            let else_b = f.new_block();
+            let join = f.new_block();
+            f.branch(op, lhs, Operand::imm(rng.gen_range(-5..6)), then_b, else_b);
+            f.select(else_b);
+            gen_region(f, rng, depth - 1, next_counter);
+            f.jump(join);
+            f.select(then_b);
+            gen_region(f, rng, depth - 1, next_counter);
+            f.jump(join);
+            f.select(join);
+        } else if depth > 0 && c < 5 && *next_counter < 28 {
+            // counted loop
+            let counter = r(20 + *next_counter);
+            *next_counter += 1;
+            let trip = rng.gen_range(1..6);
+            let body = f.new_block();
+            let exit = f.new_block();
+            f.movi(counter, 0);
+            f.jump(body);
+            f.select(body);
+            for _ in 0..rng.gen_range(1..4) {
+                emit_straight(f, rng);
+            }
+            f.alu(AluOp::Add, counter, counter, Operand::imm(1));
+            f.branch(CmpOp::Lt, counter, Operand::imm(trip), body, exit);
+            f.select(exit);
+        } else {
+            emit_straight(f, rng);
+        }
+    }
+}
+
+fn emit_straight(f: &mut FunctionBuilder, rng: &mut StdRng) {
+    match rng.gen_range(0..4) {
+        0 => {
+            let (d, s) = (r(rng.gen_range(1..9)), r(rng.gen_range(1..9)));
+            let op = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::Mul][rng.gen_range(0..4)];
+            f.alu(op, d, s, Operand::Imm(rng.gen_range(-7..8)));
+        }
+        1 => f.movi(r(rng.gen_range(1..9)), rng.gen_range(-100..100)),
+        2 => f.store(r(rng.gen_range(1..9)), r(19), rng.gen_range(0..16) * 8),
+        _ => f.load(r(rng.gen_range(1..9)), r(19), rng.gen_range(0..16) * 8),
+    }
+}
+
+fn init_mem(seed: u64) -> Vec<(u64, i64)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+    (0..32)
+        .map(|i| (DATA_BASE as u64 + i * 8, rng.gen_range(-50..50)))
+        .collect()
+}
+
+#[test]
+fn all_variants_cstyle_match_reference() {
+    for seed in 0..12 {
+        let module = random_module(seed);
+        let profile = {
+            let mut i = Interpreter::new();
+            for &(a, v) in &init_mem(seed) {
+                i.mem.insert(a, v);
+            }
+            i.run(&module, 10_000_000).unwrap().profile
+        };
+        for variant in BinaryVariant::ALL_WITH_EXTENSIONS {
+            let bin = compile(&module, &profile, variant, &CompileOptions::default());
+            assert_arch_match(
+                &bin.program,
+                small_config(),
+                &init_mem(seed),
+                &format!("seed {seed} variant {variant}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn select_uop_mechanism_matches_reference() {
+    for seed in [1u64, 4, 7] {
+        let module = random_module(seed);
+        let profile = Interpreter::new().run(&module, 10_000_000).unwrap().profile;
+        for variant in [BinaryVariant::BaseMax, BinaryVariant::WishJumpJoinLoop] {
+            let bin = compile(&module, &profile, variant, &CompileOptions::default());
+            let mut cfg = small_config();
+            cfg.pred_mechanism = PredMechanism::SelectUop;
+            let reference = run_ref(&bin.program, &init_mem(seed));
+            let sim = run_sim(&bin.program, cfg, &init_mem(seed));
+            assert_eq!(sim.final_mem, reference.mem, "seed {seed} {variant}");
+            // µop counts differ (select expansion), but never by less.
+            assert!(sim.stats.retired_uops >= reference.steps);
+        }
+    }
+}
+
+#[test]
+fn oracle_knobs_preserve_architecture() {
+    let module = random_module(3);
+    let profile = Interpreter::new().run(&module, 10_000_000).unwrap().profile;
+    let bin = compile(&module, &profile, BinaryVariant::BaseMax, &CompileOptions::default());
+    let oracles = [
+        OracleConfig {
+            perfect_branch_prediction: true,
+            ..OracleConfig::default()
+        },
+        OracleConfig {
+            no_pred_dependencies: true,
+            ..OracleConfig::default()
+        },
+        OracleConfig {
+            no_pred_dependencies: true,
+            no_false_predicate_fetch: true,
+            ..OracleConfig::default()
+        },
+        OracleConfig {
+            perfect_confidence: true,
+            ..OracleConfig::default()
+        },
+    ];
+    let reference = run_ref(&bin.program, &init_mem(3));
+    for (i, o) in oracles.into_iter().enumerate() {
+        let mut cfg = small_config();
+        cfg.oracles = o;
+        let sim = run_sim(&bin.program, cfg, &init_mem(3));
+        assert_eq!(sim.final_mem, reference.mem, "oracle {i}");
+    }
+}
+
+#[test]
+fn perfect_branch_prediction_never_flushes() {
+    let module = random_module(5);
+    let profile = Interpreter::new().run(&module, 10_000_000).unwrap().profile;
+    let bin = compile(
+        &module,
+        &profile,
+        BinaryVariant::NormalBranch,
+        &CompileOptions::default(),
+    );
+    let mut cfg = small_config();
+    cfg.oracles.perfect_branch_prediction = true;
+    let sim = run_sim(&bin.program, cfg, &init_mem(5));
+    assert_eq!(sim.stats.flushes, 0);
+    assert_eq!(sim.stats.squashed_uops, 0);
+}
+
+/// A loop over a data-dependent hammock — guaranteed guard-false NOPs under
+/// BASE-MAX.
+fn hammock_loop_module() -> Module {
+    let mut f = FunctionBuilder::new("main");
+    let e = f.entry_block();
+    let body = f.new_block();
+    let then_b = f.new_block();
+    let else_b = f.new_block();
+    let join = f.new_block();
+    let exit = f.new_block();
+    f.select(e);
+    f.movi(r(19), DATA_BASE);
+    f.movi(r(20), 0);
+    f.jump(body);
+    f.select(body);
+    f.alu(AluOp::And, r(2), r(20), Operand::imm(7));
+    f.alu(AluOp::Shl, r(3), r(2), Operand::imm(3));
+    f.alu(AluOp::Add, r(3), r(3), Operand::reg(19));
+    f.load(r(4), r(3), 0);
+    f.branch(CmpOp::Ge, r(4), Operand::imm(0), then_b, else_b);
+    f.select(else_b);
+    f.alu(AluOp::Sub, r(5), r(5), Operand::reg(4));
+    f.alu(AluOp::Xor, r(5), r(5), Operand::imm(3));
+    f.jump(join);
+    f.select(then_b);
+    f.alu(AluOp::Add, r(5), r(5), Operand::reg(4));
+    f.alu(AluOp::Mul, r(5), r(5), Operand::imm(3));
+    f.jump(join);
+    f.select(join);
+    f.alu(AluOp::Add, r(20), r(20), Operand::imm(1));
+    f.branch(CmpOp::Lt, r(20), Operand::imm(200), body, exit);
+    f.select(exit);
+    f.store(r(5), r(19), 512);
+    f.halt();
+    Module::new(vec![f.build()], 0).unwrap()
+}
+
+#[test]
+fn no_fetch_oracle_removes_guard_false_uops() {
+    let module = hammock_loop_module();
+    let profile = Interpreter::new().run(&module, 10_000_000).unwrap().profile;
+    let bin = compile(&module, &profile, BinaryVariant::BaseMax, &CompileOptions::default());
+
+    let plain = run_sim(&bin.program, small_config(), &init_mem(6));
+    let mut cfg = small_config();
+    cfg.oracles.no_false_predicate_fetch = true;
+    cfg.oracles.no_pred_dependencies = true;
+    let ideal = run_sim(&bin.program, cfg, &init_mem(6));
+    assert!(
+        bin.report.regions_predicated > 0,
+        "BASE-MAX must predicate the hammock"
+    );
+    assert!(plain.stats.retired_guard_false > 0, "predicated code has NOPs");
+    assert_eq!(ideal.stats.retired_guard_false, 0);
+    assert!(ideal.stats.retired_uops < plain.stats.retired_uops);
+    assert!(
+        ideal.stats.cycles <= plain.stats.cycles,
+        "removing all predication overhead cannot hurt: {} vs {}",
+        ideal.stats.cycles,
+        plain.stats.cycles
+    );
+    // Architecture unchanged.
+    assert_eq!(ideal.final_mem, plain.final_mem);
+}
+
+#[test]
+fn wish_hardware_disabled_still_correct() {
+    // §3.4 backward compatibility: a wish binary on a machine without wish
+    // support behaves like normal branches.
+    let module = random_module(8);
+    let profile = Interpreter::new().run(&module, 10_000_000).unwrap().profile;
+    let bin = compile(
+        &module,
+        &profile,
+        BinaryVariant::WishJumpJoinLoop,
+        &CompileOptions::default(),
+    );
+    let mut cfg = small_config();
+    cfg.wish_enabled = false;
+    assert_arch_match(&bin.program, cfg, &init_mem(8), "wish disabled");
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let module = random_module(9);
+    let profile = Interpreter::new().run(&module, 10_000_000).unwrap().profile;
+    let bin = compile(
+        &module,
+        &profile,
+        BinaryVariant::WishJumpJoinLoop,
+        &CompileOptions::default(),
+    );
+    let a = run_sim(&bin.program, small_config(), &init_mem(9));
+    let b = run_sim(&bin.program, small_config(), &init_mem(9));
+    assert_eq!(a.stats, b.stats);
+}

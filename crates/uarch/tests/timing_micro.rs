@@ -1,0 +1,262 @@
+//! Focused timing microtests: each isolates one latency mechanism of the
+//! Table 2 machine and checks its first-order cycle cost.
+
+use wishbranch_isa::{AluOp, Gpr, Insn, Operand, Program};
+use wishbranch_uarch::{MachineConfig, Simulator};
+
+fn r(i: u8) -> Gpr {
+    Gpr::new(i)
+}
+
+/// Table 2 machine with an ideal memory system (all latencies collapse to
+/// the L1 hit time) — isolates core timing from cold-cache effects.
+fn ideal_mem_cfg() -> MachineConfig {
+    let mut cfg = MachineConfig::default();
+    cfg.mem.memory_latency = 0;
+    cfg.mem.l2.latency = 0;
+    cfg
+}
+
+fn run(program: &Program, cfg: MachineConfig, mem: &[(u64, i64)]) -> wishbranch_uarch::SimResult {
+    let mut sim = Simulator::new(program, cfg);
+    for &(a, v) in mem {
+        sim.preload_mem(a, v);
+    }
+    sim.run().expect("halts")
+}
+
+#[test]
+fn serial_dependence_chain_costs_one_cycle_per_link() {
+    // 64 chained adds: cycles must grow by ~1 per added link beyond the
+    // pipeline fill.
+    let build = |links: usize| {
+        let mut insns = vec![Insn::mov_imm(r(1), 0)];
+        for _ in 0..links {
+            insns.push(Insn::alu(AluOp::Add, r(1), r(1), Operand::imm(1)));
+        }
+        insns.push(Insn::halt());
+        Program::from_insns(insns)
+    };
+    let cfg = ideal_mem_cfg();
+    let short = run(&build(32), cfg.clone(), &[]).stats.cycles;
+    let long = run(&build(96), cfg, &[]).stats.cycles;
+    let delta = long - short;
+    assert!(
+        (60..=76).contains(&delta),
+        "64 extra chain links must cost ~64 cycles, got {delta}"
+    );
+}
+
+#[test]
+fn independent_ops_run_at_issue_width() {
+    // 256 independent adds over 8 registers: ~8 per cycle.
+    let mut insns = Vec::new();
+    for i in 0..8u8 {
+        insns.push(Insn::mov_imm(r(1 + i), 0));
+    }
+    for k in 0u16..256 {
+        let d = r(1 + (k % 8) as u8);
+        insns.push(Insn::alu(AluOp::Add, d, d, Operand::imm(1)));
+    }
+    insns.push(Insn::halt());
+    let res = run(&Program::from_insns(insns), ideal_mem_cfg(), &[]);
+    // 8 chains of 32 links each → ≥32 cycles of execution; fetch supplies
+    // 8/cycle → the whole thing retires within the fill + ~60 cycles.
+    let exec_cycles = res.stats.cycles - MachineConfig::default().pipeline_depth;
+    assert!(
+        exec_cycles < 80,
+        "independent work must overlap: {} cycles after fill",
+        exec_cycles
+    );
+}
+
+#[test]
+fn cold_load_pays_full_hierarchy_latency() {
+    let insns = vec![
+        Insn::mov_imm(r(1), 0x10000),
+        Insn::load(r(2), r(1), 0),
+        Insn::alu(AluOp::Add, r(3), r(2), Operand::imm(1)), // dependent
+        Insn::halt(),
+    ];
+    let cfg = MachineConfig::default();
+    let cold = run(&Program::from_insns(insns.clone()), cfg.clone(), &[(0x10000, 7)]);
+    // ≥ memory latency (300) + L2 (6) + L1 (2).
+    assert!(
+        cold.stats.cycles > 300,
+        "cold miss must pay memory latency: {}",
+        cold.stats.cycles
+    );
+    assert_eq!(cold.final_regs[3], 8);
+}
+
+#[test]
+fn independent_misses_overlap_but_chased_misses_serialize() {
+    // 16 independent cold loads vs a 16-deep pointer chase over the same
+    // footprint: the chase must cost several times more (MLP vs none).
+    let mut parallel = vec![Insn::mov_imm(r(1), 0x20000)];
+    for k in 0..16u8 {
+        parallel.push(Insn::load(r(2 + (k % 8)), r(1), i32::from(k) * 512));
+    }
+    parallel.push(Insn::halt());
+    // Chase: mem[a] holds the next address.
+    let mut chase = vec![Insn::mov_imm(r(1), 0x20000)];
+    for _ in 0..16 {
+        chase.push(Insn::load(r(1), r(1), 0));
+    }
+    chase.push(Insn::halt());
+    let mem: Vec<(u64, i64)> = (0..16u64)
+        .map(|k| (0x20000 + k * 512, 0x20000 + (k as i64 + 1) * 512))
+        .collect();
+    let p = run(&Program::from_insns(parallel), MachineConfig::default(), &mem);
+    let c = run(&Program::from_insns(chase), MachineConfig::default(), &mem);
+    assert!(
+        c.stats.cycles > p.stats.cycles * 3,
+        "pointer chase must serialize: {} vs {} cycles",
+        c.stats.cycles,
+        p.stats.cycles
+    );
+}
+
+#[test]
+fn store_to_load_dependence_is_honored() {
+    // store then load of the same address: load must see the stored value,
+    // and a store with an unresolved guard blocks younger loads until it
+    // executes (conservative disambiguation).
+    let insns = vec![
+        Insn::mov_imm(r(1), 0x3000),
+        Insn::mov_imm(r(2), 42),
+        Insn::store(r(2), r(1), 0),
+        Insn::load(r(3), r(1), 0),
+        Insn::halt(),
+    ];
+    let res = run(&Program::from_insns(insns), MachineConfig::default(), &[]);
+    assert_eq!(res.final_regs[3], 42);
+    assert_eq!(res.final_mem.get(&0x3000), Some(&42));
+}
+
+#[test]
+fn deeper_pipeline_costs_more_on_flush() {
+    use wishbranch_isa::{CmpOp, PredReg, ProgramBuilder};
+    // One guaranteed-mispredicted branch (cold predictor, taken backward...
+    // use a forward taken branch fetched cold so the not-taken default wins
+    // wrongly once).
+    let build = || {
+        let mut b = ProgramBuilder::new();
+        let t = b.label("t");
+        b.push(Insn::mov_imm(r(1), 1));
+        // Condition FALSE, but a cold bimodal predictor guesses taken →
+        // guaranteed single misprediction.
+        b.push(Insn::cmp(CmpOp::Ne, PredReg::new(1), r(1), Operand::imm(1)));
+        b.push_cond_branch(PredReg::new(1), true, t, None);
+        for _ in 0..4 {
+            b.push(Insn::alu(AluOp::Add, r(2), r(2), Operand::imm(1)));
+        }
+        b.bind(t);
+        b.push(Insn::halt());
+        b.build()
+    };
+    let shallow_cfg = MachineConfig::default().with_depth(10);
+    let deep_cfg = MachineConfig::default().with_depth(30);
+    let shallow = run(&build(), shallow_cfg, &[]);
+    let deep = run(&build(), deep_cfg, &[]);
+    assert!(shallow.stats.flushes >= 1);
+    assert!(deep.stats.flushes >= 1);
+    assert!(
+        deep.stats.cycles >= shallow.stats.cycles + 15,
+        "flush on 30-deep pipe must cost ≥15 more cycles than on 10-deep: {} vs {}",
+        deep.stats.cycles,
+        shallow.stats.cycles
+    );
+}
+
+#[test]
+fn icache_misses_stall_fetch() {
+    // A program long enough to span many I-cache lines, executed twice via
+    // a loop: second pass must be much faster per iteration (warm I-cache).
+    use wishbranch_isa::{CmpOp, PredReg, ProgramBuilder};
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    let done = b.label("done");
+    b.push(Insn::mov_imm(r(1), 0));
+    b.bind(top);
+    for _ in 0..256 {
+        b.push(Insn::alu(AluOp::Add, r(2), r(2), Operand::imm(1)));
+    }
+    b.push(Insn::alu(AluOp::Add, r(1), r(1), Operand::imm(1)));
+    b.push(Insn::cmp(CmpOp::Eq, PredReg::new(1), r(1), Operand::imm(2)));
+    b.push_cond_branch(PredReg::new(1), true, done, None);
+    b.push_branch_to(Insn::branch(BranchKind::Uncond, 0), top);
+    b.bind(done);
+    b.push(Insn::halt());
+    let res = run(&b.build(), MachineConfig::default(), &[]);
+    // 256 adds / 8 per line = 32 lines; first pass misses them all into L2
+    // (6 extra cycles each at least).
+    assert!(
+        res.stats.icache.misses >= 30,
+        "first pass must miss the I-cache: {:?}",
+        res.stats.icache
+    );
+    assert!(
+        res.stats.icache.hits > res.stats.icache.misses,
+        "second pass must hit: {:?}",
+        res.stats.icache
+    );
+}
+
+use wishbranch_isa::BranchKind;
+
+#[test]
+fn dependence_chains_are_enforced_across_flushes() {
+    // Regression test: ROB ids must stay contiguous after a flush, or
+    // dependence lookups index the wrong entry and post-flush chains
+    // collapse. A mispredicting branch is followed by a 48-link serial
+    // chain every iteration; the chain length must be visible in the
+    // cycle count no matter how many flushes happen.
+    use wishbranch_isa::{CmpOp, PredReg, ProgramBuilder};
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    let t = b.label("t");
+    let j = b.label("j");
+    let done = b.label("done");
+    let iters = 200i32;
+    b.push(Insn::mov_imm(r(16), 0x5A5A));
+    b.push(Insn::mov_imm(r(20), 0));
+    b.bind(top);
+    // xorshift coin flip -> guaranteed frequent mispredicts.
+    b.push(Insn::alu(AluOp::Shl, r(3), r(16), Operand::imm(13)));
+    b.push(Insn::alu(AluOp::Xor, r(16), r(16), Operand::reg(3)));
+    b.push(Insn::alu(AluOp::Shr, r(3), r(16), Operand::imm(7)));
+    b.push(Insn::alu(AluOp::Xor, r(16), r(16), Operand::reg(3)));
+    b.push(Insn::alu(AluOp::And, r(7), r(16), Operand::imm(1)));
+    b.push(Insn::cmp(CmpOp::Eq, PredReg::new(1), r(7), Operand::imm(1)));
+    b.push_cond_branch(PredReg::new(1), true, t, None);
+    b.push(Insn::alu(AluOp::Add, r(8), r(8), Operand::imm(1)));
+    b.push_jump(j);
+    b.bind(t);
+    b.push(Insn::alu(AluOp::Sub, r(8), r(8), Operand::imm(1)));
+    b.bind(j);
+    // The serial chain: 48 dependent adds on r1.
+    for _ in 0..48 {
+        b.push(Insn::alu(AluOp::Add, r(1), r(1), Operand::imm(1)));
+    }
+    b.push(Insn::alu(AluOp::Add, r(20), r(20), Operand::imm(1)));
+    b.push(Insn::cmp(CmpOp::Lt, PredReg::new(2), r(20), Operand::imm(iters)));
+    b.push_cond_branch(PredReg::new(2), true, top, None);
+    b.bind(done);
+    b.push(Insn::halt());
+    let res = run(&b.build(), ideal_mem_cfg(), &[]);
+    assert!(
+        res.stats.flushes > 40,
+        "the branch must mispredict often: {}",
+        res.stats.flushes
+    );
+    assert_eq!(res.final_regs[1], i64::from(iters) * 48, "chain executed fully");
+    // Absolute floor: 48 chained adds per iteration = 48 cycles/iteration,
+    // regardless of flush handling.
+    assert!(
+        res.stats.cycles >= (iters as u64) * 48,
+        "serial chains must be enforced across flushes: {} cycles for {} iters",
+        res.stats.cycles,
+        iters
+    );
+}

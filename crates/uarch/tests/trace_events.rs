@@ -1,0 +1,114 @@
+//! Pipeline trace invariants: per µop, events appear in stage order with
+//! non-decreasing cycles; retirement is in program order; tracing never
+//! changes timing.
+
+use std::collections::HashMap;
+use wishbranch_isa::{AluOp, CmpOp, Gpr, Insn, Operand, PredReg, Program, ProgramBuilder};
+use wishbranch_uarch::trace::{render_trace, TraceKind};
+use wishbranch_uarch::{MachineConfig, Simulator};
+
+fn r(i: u8) -> Gpr {
+    Gpr::new(i)
+}
+
+fn looped_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    let t = b.label("t");
+    let j = b.label("j");
+    let done = b.label("done");
+    b.push(Insn::mov_imm(r(16), 0x77));
+    b.push(Insn::mov_imm(r(20), 0));
+    b.bind(top);
+    b.push(Insn::alu(AluOp::Mul, r(16), r(16), Operand::imm(75)));
+    b.push(Insn::alu(AluOp::And, r(7), r(16), Operand::imm(4)));
+    b.push(Insn::cmp(CmpOp::Eq, PredReg::new(1), r(7), Operand::imm(4)));
+    b.push_cond_branch(PredReg::new(1), true, t, None);
+    b.push(Insn::alu(AluOp::Add, r(8), r(8), Operand::imm(1)));
+    b.push_jump(j);
+    b.bind(t);
+    b.push(Insn::alu(AluOp::Sub, r(8), r(8), Operand::imm(1)));
+    b.bind(j);
+    b.push(Insn::alu(AluOp::Add, r(20), r(20), Operand::imm(1)));
+    b.push(Insn::cmp(CmpOp::Lt, PredReg::new(2), r(20), Operand::imm(150)));
+    b.push_cond_branch(PredReg::new(2), true, top, None);
+    b.bind(done);
+    b.push(Insn::halt());
+    b.build()
+}
+
+#[test]
+fn trace_respects_stage_order_and_program_order_retirement() {
+    let prog = looped_program();
+    let mut sim = Simulator::new(&prog, MachineConfig::default());
+    sim.enable_trace();
+    let res = sim.run().expect("halts");
+    let trace = sim.take_trace();
+    assert!(!trace.is_empty());
+
+    // Per-seq stage cycles.
+    let mut stages: HashMap<u64, [Option<u64>; 4]> = HashMap::new();
+    let mut last_retired_seq = 0u64;
+    let mut retires = 0u64;
+    for e in &trace {
+        let slot = match e.kind {
+            TraceKind::Fetch => 0,
+            TraceKind::Dispatch => 1,
+            TraceKind::Issue => 2,
+            TraceKind::Retire => 3,
+            TraceKind::Flush => continue,
+        };
+        stages.entry(e.seq).or_default()[slot] = Some(e.cycle);
+        if e.kind == TraceKind::Retire {
+            assert!(
+                e.seq > last_retired_seq,
+                "retirement must be in program order: {} after {}",
+                e.seq,
+                last_retired_seq
+            );
+            last_retired_seq = e.seq;
+            retires += 1;
+        }
+    }
+    assert_eq!(retires, res.stats.retired_uops, "every retirement traced");
+
+    let depth = MachineConfig::default().pipeline_depth;
+    for (seq, s) in &stages {
+        if let [Some(f), Some(d), i, rt] = s {
+            assert!(
+                d >= &(f + depth),
+                "seq {seq}: dispatch before front-end latency ({f} → {d})"
+            );
+            if let Some(i) = i {
+                assert!(i >= d, "seq {seq}: issue before dispatch");
+                if let Some(rt) = rt {
+                    assert!(rt >= i, "seq {seq}: retire before issue");
+                }
+            }
+        }
+    }
+
+    // Squashed µops are fetched but never retired.
+    let fetched = trace.iter().filter(|e| e.kind == TraceKind::Fetch).count() as u64;
+    assert_eq!(fetched, res.stats.fetched_uops);
+    assert!(fetched >= res.stats.retired_uops);
+
+    // Flush events match the flush count and carry squash counts.
+    let flushes: Vec<_> = trace.iter().filter(|e| e.kind == TraceKind::Flush).collect();
+    assert_eq!(flushes.len() as u64, res.stats.flushes);
+
+    // The renderer produces one line per event.
+    let text = render_trace(&trace[..20.min(trace.len())]);
+    assert_eq!(text.lines().count(), 20.min(trace.len()));
+}
+
+#[test]
+fn tracing_does_not_change_timing() {
+    let prog = looped_program();
+    let mut plain = Simulator::new(&prog, MachineConfig::default());
+    let a = plain.run().expect("halts");
+    let mut traced = Simulator::new(&prog, MachineConfig::default());
+    traced.enable_trace();
+    let b = traced.run().expect("halts");
+    assert_eq!(a.stats, b.stats, "tracing must be timing-neutral");
+}

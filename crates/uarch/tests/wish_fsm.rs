@@ -1,0 +1,244 @@
+//! Front-end FSM tests on hand-assembled wish code (the paper's Fig. 3c and
+//! Fig. 4b shapes, written directly in µops): Table 1's prediction rules,
+//! high/low-confidence classification, and wish-loop recovery classes.
+
+use wishbranch_isa::exec::Machine;
+use wishbranch_isa::{
+    AluOp, CmpOp, Gpr, Insn, Operand, PredReg, Program, ProgramBuilder, WishType,
+};
+use wishbranch_uarch::{MachineConfig, SimResult, Simulator};
+
+fn r(i: u8) -> Gpr {
+    Gpr::new(i)
+}
+fn p(i: u8) -> PredReg {
+    PredReg::new(i)
+}
+
+const DATA: i64 = 0x1000;
+const N: i32 = 3000;
+
+/// Hand-assembled Fig. 3c: a wish jump/join diamond inside a loop, with the
+/// condition loaded from memory.
+fn fig3c_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    let loop_top = b.label("LOOP");
+    let c_block = b.label("TARGET");
+    let join = b.label("JOIN");
+    let exit = b.label("EXIT");
+
+    b.push(Insn::mov_imm(r(19), DATA));
+    b.push(Insn::mov_imm(r(20), 0));
+    b.bind(loop_top);
+    // A: cond = data[i & 1023] >= 0
+    b.push(Insn::alu(AluOp::And, r(2), r(20), Operand::imm(1023)));
+    b.push(Insn::alu(AluOp::Shl, r(2), r(2), Operand::imm(3)));
+    b.push(Insn::alu(AluOp::Add, r(2), r(2), Operand::reg(19)));
+    b.push(Insn::load(r(6), r(2), 0));
+    b.push(Insn::cmp2(CmpOp::Ge, p(1), p(2), r(6), Operand::imm(0)));
+    b.push_cond_branch(p(1), true, c_block, Some(WishType::Jump));
+    // B: else arm, guarded by p2.
+    for k in 0..6 {
+        b.push(Insn::alu(AluOp::Add, r(8), r(8), Operand::imm(k)).guarded(p(2)));
+    }
+    b.push_cond_branch(p(2), true, join, Some(WishType::Join));
+    // C: then arm, guarded by p1.
+    b.bind(c_block);
+    for k in 0..6 {
+        b.push(Insn::alu(AluOp::Sub, r(9), r(9), Operand::imm(k)).guarded(p(1)));
+    }
+    // D: join.
+    b.bind(join);
+    b.push(Insn::alu(AluOp::Add, r(20), r(20), Operand::imm(1)));
+    b.push(Insn::cmp(CmpOp::Lt, p(3), r(20), Operand::imm(N)));
+    b.push_cond_branch(p(3), true, loop_top, None);
+    b.bind(exit);
+    b.push(Insn::store(r(8), r(19), 16384));
+    b.push(Insn::store(r(9), r(19), 16392));
+    b.push(Insn::halt());
+    b.build()
+}
+
+fn run(program: &Program, mem: &[(u64, i64)]) -> SimResult {
+    let mut sim = Simulator::new(program, MachineConfig::default());
+    for &(a, v) in mem {
+        sim.preload_mem(a, v);
+    }
+    let result = sim.run().expect("halts");
+    // Always verify architecture.
+    let mut m = Machine::new();
+    for &(a, v) in mem {
+        m.mem.insert(a, v);
+    }
+    let expect = m.run(program, u64::MAX / 2).expect("reference halts");
+    assert_eq!(result.final_mem, expect.mem, "simulator diverged");
+    result
+}
+
+/// Pseudo-random sign pattern (period ≫ predictor capacity is not needed —
+/// true data-dependence suffices because the array is re-read).
+fn random_sign_mem() -> Vec<(u64, i64)> {
+    (0..1024u64)
+        .map(|i| {
+            let h = i.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(31) ^ (i << 7);
+            (DATA as u64 + i * 8, if h & 0x8000 == 0 { 50 } else { -50 })
+        })
+        .collect()
+}
+
+fn positive_mem() -> Vec<(u64, i64)> {
+    (0..1024u64).map(|i| (DATA as u64 + i * 8, 50)).collect()
+}
+
+#[test]
+fn table1_low_conf_jump_forces_joins_not_taken() {
+    // Hard branch → jump mostly low confidence → joins are fetched on every
+    // low-conf pass and forced not-taken (Table 1, row 4).
+    let prog = fig3c_program();
+    let s = run(&prog, &random_sign_mem()).stats;
+    let jumps_low = s.wish_jumps.low_correct + s.wish_jumps.low_mispredicted;
+    let joins = s.wish_joins.total();
+    assert!(
+        jumps_low > (N as u64) * 8 / 10,
+        "coin-flip jump must be mostly low confidence: {jumps_low}"
+    );
+    // A join retires exactly when its jump was forced not-taken.
+    assert!(
+        joins >= jumps_low,
+        "every low-confidence jump must fetch its join: {joins} vs {jumps_low}"
+    );
+    // Low-confidence mode never flushes on jumps/joins.
+    assert!(
+        s.flushes < 100,
+        "low-confidence regions must not flush: {} flushes",
+        s.flushes
+    );
+    assert!(s.flushes_avoided > (N as u64) / 3);
+}
+
+#[test]
+fn high_conf_taken_jump_skips_the_join_and_the_arm() {
+    // Easy always-taken branch → high confidence, predicted taken → block B
+    // (and its join) never fetched, no guard-false NOPs from B.
+    let prog = fig3c_program();
+    let s = run(&prog, &positive_mem()).stats;
+    let jumps_high = s.wish_jumps.high_correct + s.wish_jumps.high_mispredicted;
+    assert!(
+        jumps_high > (N as u64) * 8 / 10,
+        "always-taken jump must become high confidence: {jumps_high}"
+    );
+    // Joins retire only for the residual low-confidence warmup passes.
+    assert!(
+        s.wish_joins.total() < (N as u64) / 4,
+        "high-confidence taken jumps must skip the join: {}",
+        s.wish_joins.total()
+    );
+    assert_eq!(s.wish_jumps.high_mispredicted, 0);
+    // Predicated NOPs only from warmup.
+    assert!(
+        s.retired_guard_false < (N as u64) * 6 / 4,
+        "high-confidence mode must skip useless arms: {}",
+        s.retired_guard_false
+    );
+}
+
+/// Hand-assembled Fig. 4b: a wish loop whose trip count comes from memory.
+fn fig4b_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    let outer = b.label("OUTER");
+    let wloop = b.label("WLOOP");
+    let exit = b.label("EXIT");
+
+    b.push(Insn::mov_imm(r(19), DATA));
+    b.push(Insn::mov_imm(r(20), 0));
+    b.bind(outer);
+    // trip = 1 + (data[i & 1023] & 3)
+    b.push(Insn::alu(AluOp::And, r(2), r(20), Operand::imm(1023)));
+    b.push(Insn::alu(AluOp::Shl, r(2), r(2), Operand::imm(3)));
+    b.push(Insn::alu(AluOp::Add, r(2), r(2), Operand::reg(19)));
+    b.push(Insn::load(r(4), r(2), 0));
+    b.push(Insn::alu(AluOp::And, r(4), r(4), Operand::imm(3)));
+    b.push(Insn::alu(AluOp::Add, r(4), r(4), Operand::imm(1)));
+    b.push(Insn::mov_imm(r(21), 0));
+    // Loop header: mov p15, 1 (Fig. 4b).
+    b.push(Insn::pred_set(p(15), true));
+    b.bind(wloop);
+    b.push(Insn::alu(AluOp::Add, r(9), r(9), Operand::reg(21)).guarded(p(15)));
+    b.push(Insn::alu(AluOp::Add, r(21), r(21), Operand::imm(1)).guarded(p(15)));
+    b.push(Insn::cmp(CmpOp::Lt, p(15), r(21), Operand::reg(4)).guarded(p(15)));
+    b.push_cond_branch(p(15), true, wloop, Some(WishType::Loop));
+    // Outer latch.
+    b.push(Insn::alu(AluOp::Add, r(20), r(20), Operand::imm(1)));
+    b.push(Insn::cmp(CmpOp::Lt, p(3), r(20), Operand::imm(N)));
+    b.push_cond_branch(p(3), true, outer, None);
+    b.bind(exit);
+    b.push(Insn::store(r(9), r(19), 16384));
+    b.push(Insn::halt());
+    b.build()
+}
+
+#[test]
+fn wish_loop_classes_cover_late_exits_and_stay_correct() {
+    let prog = fig4b_program();
+    // Random trips 1..=4.
+    let mem: Vec<(u64, i64)> = (0..1024u64)
+        .map(|i| {
+            let h = i.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 13;
+            (DATA as u64 + i * 8, (h & 0xff) as i64)
+        })
+        .collect();
+    let s = run(&prog, &mem).stats;
+    assert!(s.wish_loops.total() > 0, "wish loops must retire");
+    assert!(
+        s.loop_late_exits > 0,
+        "unpredictable trips must produce late exits: {s:?}"
+    );
+    // Classification is exhaustive: every mispredicted low-confidence loop
+    // is exactly one of the three classes.
+    assert_eq!(
+        s.wish_loops.low_mispredicted,
+        s.loop_early_exits + s.loop_late_exits + s.loop_no_exits,
+        "loop misprediction classes must partition low-conf mispredictions"
+    );
+}
+
+#[test]
+fn constant_trip_wish_loop_is_high_confidence_and_cheap() {
+    let prog = fig4b_program();
+    // Constant trip count 3 → the hybrid learns the TTN pattern perfectly.
+    let mem: Vec<(u64, i64)> = (0..1024u64).map(|i| (DATA as u64 + i * 8, 2)).collect();
+    let s = run(&prog, &mem).stats;
+    let high = s.wish_loops.high_correct + s.wish_loops.high_mispredicted;
+    assert!(
+        high > s.wish_loops.total() * 7 / 10,
+        "regular loop must run in high confidence: {:?}",
+        s.wish_loops
+    );
+    assert!(
+        s.flushes < 100,
+        "a perfectly regular loop should almost never flush: {}",
+        s.flushes
+    );
+}
+
+#[test]
+fn fig3c_code_runs_on_wishless_hardware() {
+    // §3.4: the same binary must execute correctly with wish support off.
+    let prog = fig3c_program();
+    let cfg = MachineConfig {
+        wish_enabled: false,
+        ..MachineConfig::default()
+    };
+    let mut sim = Simulator::new(&prog, cfg);
+    for (a, v) in random_sign_mem() {
+        sim.preload_mem(a, v);
+    }
+    let res = sim.run().expect("halts");
+    let mut m = Machine::new();
+    for (a, v) in random_sign_mem() {
+        m.mem.insert(a, v);
+    }
+    let expect = m.run(&prog, u64::MAX / 2).expect("halts");
+    assert_eq!(res.final_mem, expect.mem);
+    assert_eq!(res.stats.wish_branches_total(), 0, "no wish stats when disabled");
+}

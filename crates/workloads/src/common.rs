@@ -1,0 +1,165 @@
+//! Shared IR-emission helpers and memory-layout conventions for the
+//! benchmark programs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wishbranch_ir::FunctionBuilder;
+use wishbranch_isa::{AluOp, Gpr, Operand};
+
+/// Base address of benchmark input data.
+pub const DATA_BASE: i64 = 0x1_0000;
+/// Base address of benchmark outputs (used by equivalence tests).
+pub const OUT_BASE: i64 = 0x8_0000;
+
+/// Register conventions shared by all benchmarks.
+pub mod regs {
+    use wishbranch_isa::Gpr;
+    /// Input-data base pointer.
+    pub const DATA: Gpr = Gpr::new(19);
+    /// Output base pointer.
+    pub const OUT: Gpr = Gpr::new(18);
+    /// Secondary data pointer.
+    pub const DATA2: Gpr = Gpr::new(17);
+    /// xorshift PRNG state.
+    pub const PRNG: Gpr = Gpr::new(16);
+}
+
+/// Emits the standard prologue: base pointers and PRNG seed.
+pub fn emit_prologue(f: &mut FunctionBuilder) {
+    f.movi(regs::DATA, DATA_BASE);
+    f.movi(regs::OUT, OUT_BASE);
+    f.movi(regs::PRNG, 0x2545_F491_4F6C_DD1D_u64 as i64 & 0x7ff_ffff_ffff);
+}
+
+/// Emits one xorshift step on [`regs::PRNG`], clobbering `tmp`.
+/// Cheap (6 ALU µops) register-resident pseudo-randomness for branch
+/// conditions that must be unpredictable to the hardware.
+pub fn emit_xorshift(f: &mut FunctionBuilder, tmp: Gpr) {
+    let s = regs::PRNG;
+    f.alu(AluOp::Shl, tmp, s, Operand::imm(13));
+    f.alu(AluOp::Xor, s, s, Operand::Reg(tmp));
+    f.alu(AluOp::Shr, tmp, s, Operand::imm(7));
+    f.alu(AluOp::Xor, s, s, Operand::Reg(tmp));
+    f.alu(AluOp::Shl, tmp, s, Operand::imm(17));
+    f.alu(AluOp::Xor, s, s, Operand::Reg(tmp));
+}
+
+/// Emits `addr = DATA + ((idx & mask) << 3) + word_offset*8` into `addr`.
+pub fn emit_index(f: &mut FunctionBuilder, addr: Gpr, idx: Gpr, mask: i32, word_offset: i32) {
+    f.alu(AluOp::And, addr, idx, Operand::imm(mask));
+    f.alu(AluOp::Shl, addr, addr, Operand::imm(3));
+    f.alu(AluOp::Add, addr, addr, Operand::Reg(regs::DATA));
+    if word_offset != 0 {
+        f.alu(AluOp::Add, addr, addr, Operand::imm(word_offset * 8));
+    }
+}
+
+/// A seeded RNG for input generation, distinct per (benchmark, input set).
+#[must_use]
+pub fn input_rng(bench: &str, set_tag: u64) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ set_tag.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for b in bench.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Generates an array of `n` words at [`DATA_BASE`] where each value is
+/// drawn ±`spread` around zero with probability `p_negative` of being
+/// negative — the knob that controls hammock-branch entropy.
+#[must_use]
+pub fn signed_array(rng: &mut StdRng, n: u64, p_negative: f64, spread: i64) -> Vec<(u64, i64)> {
+    (0..n)
+        .map(|i| {
+            let v = if rng.gen_bool(p_negative) {
+                -rng.gen_range(1..=spread)
+            } else {
+                rng.gen_range(1..=spread)
+            };
+            (DATA_BASE as u64 + i * 8, v)
+        })
+        .collect()
+}
+
+/// Generates an array of `n` small non-negative values in `0..limit`
+/// (loop trip counts, match lengths, …).
+#[must_use]
+pub fn count_array(rng: &mut StdRng, n: u64, limit: i64) -> Vec<(u64, i64)> {
+    (0..n)
+        .map(|i| (DATA_BASE as u64 + i * 8, rng.gen_range(0..limit)))
+        .collect()
+}
+
+/// Generates a random cycle permutation over `n` nodes, stored as
+/// `next[i]` at `DATA_BASE + i*8` with a payload at `DATA_BASE + (n+i)*8` —
+/// the mcf-style pointer-chasing substrate. The cycle guarantees the chase
+/// visits all nodes without terminating early.
+#[must_use]
+pub fn pointer_cycle(rng: &mut StdRng, n: u64, payload_spread: i64) -> Vec<(u64, i64)> {
+    let mut order: Vec<u64> = (0..n).collect();
+    // Fisher–Yates.
+    for i in (1..n as usize).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut mem = Vec::with_capacity(2 * n as usize);
+    for k in 0..n as usize {
+        let from = order[k];
+        let to = order[(k + 1) % n as usize];
+        // next pointer: absolute address of the successor node.
+        mem.push((
+            DATA_BASE as u64 + from * 8,
+            DATA_BASE + (to as i64) * 8,
+        ));
+        // payload for node `from`.
+        mem.push((
+            DATA_BASE as u64 + (n + from) * 8,
+            rng.gen_range(-payload_spread..=payload_spread),
+        ));
+    }
+    mem
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_rng_is_deterministic_and_distinct() {
+        let a1: u64 = input_rng("gzip", 0).gen();
+        let a2: u64 = input_rng("gzip", 0).gen();
+        let b: u64 = input_rng("gzip", 1).gen();
+        let c: u64 = input_rng("vpr", 0).gen();
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_ne!(a1, c);
+    }
+
+    #[test]
+    fn pointer_cycle_visits_all_nodes() {
+        let mut rng = input_rng("t", 0);
+        let mem = pointer_cycle(&mut rng, 64, 100);
+        let next: std::collections::HashMap<u64, i64> = mem
+            .iter()
+            .filter(|(a, _)| *a < DATA_BASE as u64 + 64 * 8)
+            .copied()
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut node = DATA_BASE as u64;
+        for _ in 0..64 {
+            assert!(seen.insert(node), "cycle revisited {node:#x} early");
+            node = next[&node] as u64;
+        }
+        assert_eq!(node, DATA_BASE as u64, "must be a single cycle");
+    }
+
+    #[test]
+    fn signed_array_respects_probability() {
+        let mut rng = input_rng("t", 1);
+        let mem = signed_array(&mut rng, 1000, 0.0, 50);
+        assert!(mem.iter().all(|&(_, v)| v > 0));
+        let mem = signed_array(&mut rng, 1000, 1.0, 50);
+        assert!(mem.iter().all(|&(_, v)| v < 0));
+    }
+}

@@ -1,0 +1,52 @@
+//! The motivating experiment of the paper (Fig. 1): the same predicated
+//! binary helps on one input and hurts on another, while the wish-branch
+//! binary adapts at run time and tracks the better of the two worlds on
+//! *every* input.
+//!
+//! Run with: `cargo run --release --example adaptive_predication`
+
+use wishbranch_compiler::BinaryVariant;
+use wishbranch_core::{compile_variant, simulate, ExperimentConfig};
+use wishbranch_workloads::{bzip2, gap, mcf, InputSet};
+
+fn main() {
+    let scale = 4000;
+    let ec = ExperimentConfig::paper(scale);
+
+    println!(
+        "Execution time normalized to the normal-branch binary (lower is better).\n\
+         The compiler profiled on {} only.\n",
+        ec.train_input
+    );
+    println!(
+        "{:<10} {:>8}  {:>10} {:>10} {:>10}",
+        "benchmark", "input", "BASE-MAX", "wish-jjl", "winner"
+    );
+
+    for bench in [gap(scale), bzip2(scale), mcf(scale / 2)] {
+        let normal = compile_variant(&bench, BinaryVariant::NormalBranch, &ec);
+        let pred = compile_variant(&bench, BinaryVariant::BaseMax, &ec);
+        let wish = compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, &ec);
+        for input in InputSet::ALL {
+            let base = simulate(&normal.program, &bench, input, &ec.machine).stats.cycles as f64;
+            let p = simulate(&pred.program, &bench, input, &ec.machine).stats.cycles as f64 / base;
+            let w = simulate(&wish.program, &bench, input, &ec.machine).stats.cycles as f64 / base;
+            let winner = if w <= p.min(1.0) {
+                "wish"
+            } else if p < 1.0 {
+                "predication"
+            } else {
+                "branches"
+            };
+            println!(
+                "{:<10} {:>8}  {:>10.3} {:>10.3} {:>10}",
+                bench.name, input.label(), p, w, winner
+            );
+        }
+        println!();
+    }
+    println!(
+        "Note how BASE-MAX swings above and below 1.0 with the input while the\n\
+         wish binary stays at (or below) the better side — the paper's core claim."
+    );
+}

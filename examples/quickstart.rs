@@ -1,0 +1,46 @@
+//! Quickstart: compile one benchmark into all five binary variants of the
+//! paper's Table 3, simulate each on the Table 2 machine, and print what
+//! the wish-branch hardware did.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use wishbranch_compiler::BinaryVariant;
+use wishbranch_core::{run_binary, ExperimentConfig};
+use wishbranch_workloads::{twolf, InputSet};
+
+fn main() {
+    let scale = 4000;
+    let ec = ExperimentConfig::paper(scale);
+    let bench = twolf(scale);
+    println!("benchmark: {} — {}\n", bench.name, bench.behavior);
+    println!(
+        "{:<22} {:>10} {:>8} {:>9} {:>9} {:>10} {:>10}",
+        "binary", "cycles", "µPC", "flushes", "avoided", "wish-dyn", "guard-F"
+    );
+
+    let mut normal_cycles = None;
+    for variant in BinaryVariant::ALL {
+        let out = run_binary(&bench, variant, InputSet::B, &ec);
+        let s = &out.sim.stats;
+        if variant == BinaryVariant::NormalBranch {
+            normal_cycles = Some(s.cycles);
+        }
+        println!(
+            "{:<22} {:>10} {:>8.2} {:>9} {:>9} {:>10} {:>10}",
+            variant.label(),
+            s.cycles,
+            s.upc(),
+            s.flushes,
+            s.flushes_avoided,
+            s.wish_branches_total(),
+            s.retired_guard_false,
+        );
+    }
+    if let Some(base) = normal_cycles {
+        let wish = run_binary(&bench, BinaryVariant::WishJumpJoinLoop, InputSet::B, &ec);
+        println!(
+            "\nwish jump/join/loop binary speedup over normal branches: {:.1}%",
+            (base as f64 - wish.sim.stats.cycles as f64) * 100.0 / base as f64
+        );
+    }
+}

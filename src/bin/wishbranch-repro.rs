@@ -1,0 +1,184 @@
+//! `wishbranch-repro` — regenerate any table or figure of the paper from
+//! the command line.
+//!
+//! ```text
+//! USAGE: wishbranch-repro [--scale N] [--json] [--quick] <experiment>...
+//!        wishbranch-repro --list
+//!
+//! Experiments: fig1 fig2 fig10 fig11 fig12 fig13 fig14 fig15 fig16
+//!              tab4 tab5 adaptive dhp all
+//! ```
+
+use std::fmt::Write as _;
+use wishbranch_core::{
+    fig11_table, fig13_table, figure1, figure10, figure11, figure12, figure13, figure14,
+    figure15, figure16, figure2, figure_adaptive, figure_dhp, figure_predicate_prediction,
+    sweep_table, table4, table4_table, table5, table5_table, ExperimentConfig, FigureData,
+    SweepRow, Table,
+};
+
+const EXPERIMENTS: &[&str] = &[
+    "fig1", "fig2", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "tab4",
+    "tab5", "adaptive", "dhp", "predpred",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "USAGE: wishbranch-repro [--scale N] [--json] [--quick] <experiment>...\n\
+                wishbranch-repro --list\n\
+         experiments: {} all",
+        EXPERIMENTS.join(" ")
+    );
+    std::process::exit(2)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn figure_json(fig: &FigureData) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"title\":\"{}\",\"series\":[", json_escape(&fig.title));
+    let series: Vec<String> = fig
+        .series
+        .iter()
+        .map(|s| format!("\"{}\"", json_escape(s)))
+        .collect();
+    let _ = write!(out, "{}],\"rows\":[", series.join(","));
+    let rows: Vec<String> = fig
+        .rows
+        .iter()
+        .map(|r| {
+            let vals: Vec<String> = r.values.iter().map(|v| format!("{v:.6}")).collect();
+            format!(
+                "{{\"name\":\"{}\",\"values\":[{}]}}",
+                json_escape(&r.name),
+                vals.join(",")
+            )
+        })
+        .collect();
+    let _ = write!(out, "{}]}}", rows.join(","));
+    out
+}
+
+fn sweep_json(name: &str, rows: &[SweepRow]) -> String {
+    let mut items = Vec::new();
+    for r in rows {
+        let series: Vec<String> = r
+            .series
+            .iter()
+            .map(|s| format!("\"{}\"", json_escape(s)))
+            .collect();
+        let avg: Vec<String> = r.avg.iter().map(|v| format!("{v:.6}")).collect();
+        let nomcf: Vec<String> = r.avg_nomcf.iter().map(|v| format!("{v:.6}")).collect();
+        items.push(format!(
+            "{{\"param\":{},\"series\":[{}],\"avg\":[{}],\"avg_nomcf\":[{}]}}",
+            r.param,
+            series.join(","),
+            avg.join(","),
+            nomcf.join(",")
+        ));
+    }
+    format!("{{\"title\":\"{}\",\"points\":[{}]}}", json_escape(name), items.join(","))
+}
+
+fn table_json(t: &Table) -> String {
+    let headers: Vec<String> = t
+        .headers
+        .iter()
+        .map(|h| format!("\"{}\"", json_escape(h)))
+        .collect();
+    let rows: Vec<String> = t
+        .rows
+        .iter()
+        .map(|r| {
+            let cells: Vec<String> = r.iter().map(|c| format!("\"{}\"", json_escape(c))).collect();
+            format!("[{}]", cells.join(","))
+        })
+        .collect();
+    format!(
+        "{{\"title\":\"{}\",\"headers\":[{}],\"rows\":[{}]}}",
+        json_escape(&t.title),
+        headers.join(","),
+        rows.join(",")
+    )
+}
+
+fn main() {
+    let mut scale = 4000;
+    let mut json = false;
+    let mut quick = false;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--json" => json = true,
+            "--quick" => quick = true,
+            "--list" => {
+                println!("{} all", EXPERIMENTS.join(" "));
+                return;
+            }
+            "all" => wanted.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
+            e if EXPERIMENTS.contains(&e) => wanted.push(e.to_string()),
+            _ => usage(),
+        }
+    }
+    if wanted.is_empty() {
+        usage();
+    }
+    let ec = if quick {
+        ExperimentConfig::quick(scale.min(500))
+    } else {
+        ExperimentConfig::paper(scale)
+    };
+
+    for what in wanted {
+        match what.as_str() {
+            "fig1" => emit_figure(&figure1(&ec), json),
+            "fig2" => emit_figure(&figure2(&ec), json),
+            "fig10" => emit_figure(&figure10(&ec), json),
+            "fig11" => emit_table(&fig11_table(&figure11(&ec)), json),
+            "fig12" => emit_figure(&figure12(&ec), json),
+            "fig13" => emit_table(&fig13_table(&figure13(&ec)), json),
+            "fig14" => emit_sweep("Fig.14: instruction window sweep", "window", &figure14(&ec), json),
+            "fig15" => emit_sweep("Fig.15: pipeline depth sweep", "depth", &figure15(&ec), json),
+            "fig16" => emit_figure(&figure16(&ec), json),
+            "tab4" => emit_table(&table4_table(&table4(&ec)), json),
+            "tab5" => emit_table(&table5_table(&table5(&ec)), json),
+            "adaptive" => emit_figure(&figure_adaptive(&ec), json),
+            "dhp" => emit_figure(&figure_dhp(&ec), json),
+            "predpred" => emit_figure(&figure_predicate_prediction(&ec), json),
+            _ => unreachable!("validated above"),
+        }
+    }
+}
+
+fn emit_figure(fig: &FigureData, json: bool) {
+    if json {
+        println!("{}", figure_json(fig));
+    } else {
+        println!("{}", Table::from(fig));
+    }
+}
+
+fn emit_table(t: &Table, json: bool) {
+    if json {
+        println!("{}", table_json(t));
+    } else {
+        println!("{t}");
+    }
+}
+
+fn emit_sweep(title: &str, param: &str, rows: &[SweepRow], json: bool) {
+    if json {
+        println!("{}", sweep_json(title, rows));
+    } else {
+        println!("{}", sweep_table(title, param, rows));
+    }
+}

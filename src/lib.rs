@@ -1,0 +1,2 @@
+//! Meta-crate for the wish-branches reproduction suite.
+pub use wishbranch_core as core_api;

@@ -1,0 +1,70 @@
+//! Whole-binary encode/decode round trips: a compiled wish binary survives
+//! the 64-bit word encoding, and — the paper's §3.4 backward-compatibility
+//! claim — decodes on a "legacy" machine (hint bits ignored) into a program
+//! that still computes the same result.
+
+use wishbranch_compiler::{compile, BinaryVariant, CompileOptions};
+use wishbranch_core::profile_on;
+use wishbranch_isa::encode::{decode, decode_with_options, encode};
+use wishbranch_isa::exec::Machine;
+use wishbranch_isa::Program;
+use wishbranch_workloads::{suite, InputSet};
+
+#[test]
+fn compiled_binaries_roundtrip_through_encoding() {
+    for bench in suite(30) {
+        let profile = profile_on(&bench, InputSet::B);
+        for variant in [BinaryVariant::NormalBranch, BinaryVariant::WishJumpJoinLoop] {
+            let bin = compile(&bench.module, &profile, variant, &CompileOptions::default());
+            for (i, insn) in bin.program.insns().iter().enumerate() {
+                let word = encode(insn)
+                    .unwrap_or_else(|e| panic!("{} µop {i} ({insn}) failed to encode: {e}", bench.name));
+                let back = decode(word)
+                    .unwrap_or_else(|e| panic!("{} µop {i} failed to decode: {e}", bench.name));
+                assert_eq!(*insn, back, "{} µop {i} changed in round trip", bench.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn wish_binary_runs_correctly_with_hints_ignored() {
+    // Encode the wish binary, decode it with wish hints dropped (a CPU
+    // without wish support), and check the architectural result is
+    // unchanged.
+    for bench in suite(30) {
+        let profile = profile_on(&bench, InputSet::B);
+        let bin = compile(
+            &bench.module,
+            &profile,
+            BinaryVariant::WishJumpJoinLoop,
+            &CompileOptions::default(),
+        );
+        let legacy_insns: Vec<_> = bin
+            .program
+            .insns()
+            .iter()
+            .map(|insn| {
+                let word = encode(insn).expect("encodes");
+                decode_with_options(word, true).expect("decodes")
+            })
+            .collect();
+        let legacy = Program::from_insns(legacy_insns);
+        assert_eq!(legacy.static_stats().wish_branches, 0);
+
+        let inputs = (bench.input_fn)(InputSet::B);
+        let run = |program: &Program| {
+            let mut m = Machine::new();
+            for &(a, v) in &inputs {
+                m.mem.insert(a, v);
+            }
+            m.run(program, u64::MAX / 2).expect("halts").mem
+        };
+        assert_eq!(
+            run(&bin.program),
+            run(&legacy),
+            "{}: legacy decode changed the architecture",
+            bench.name
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Cross-crate integration tests: the paper's qualitative results must
+//! hold end-to-end (workloads → compiler → simulator → figures), at a
+//! scale small enough for debug builds.
+
+use wishbranch_compiler::BinaryVariant;
+use wishbranch_core::{figure12, figure2, run_binary, table4, table5, ExperimentConfig};
+use wishbranch_workloads::{mcf, suite, InputSet};
+
+fn quick() -> ExperimentConfig {
+    // Paper machine at reduced scale: big enough for the confidence
+    // estimator to warm up and for 30-cycle flushes to matter, small enough
+    // for debug-build CI.
+    ExperimentConfig::paper(800)
+}
+
+fn row<'a>(fig: &'a wishbranch_core::FigureData, name: &str) -> &'a [f64] {
+    &fig
+        .rows
+        .iter()
+        .find(|r| r.name == name)
+        .unwrap_or_else(|| panic!("row {name} missing"))
+        .values
+}
+
+#[test]
+fn figure2_oracle_ordering_holds() {
+    let fig = figure2(&quick());
+    // Removing overhead can only help: BASE-MAX ≥ NO-DEPEND ≥ NO-DEPEND+NO-FETCH.
+    for r in &fig.rows {
+        let (base, no_dep, no_dep_no_fetch) = (r.values[0], r.values[1], r.values[2]);
+        assert!(
+            no_dep <= base * 1.10,
+            "{}: NO-DEPEND must not exceed BASE-MAX materially ({no_dep:.3} vs {base:.3})",
+            r.name
+        );
+        // Per-benchmark, NO-FETCH can wiggle a few percent above NO-DEPEND
+        // through second-order fetch-grouping effects (removing NOPs
+        // repacks fetch groups around taken branches); the ordering is
+        // guaranteed in aggregate below.
+        assert!(
+            no_dep_no_fetch <= no_dep * 1.10,
+            "{}: NO-FETCH must not exceed NO-DEPEND materially ({no_dep_no_fetch:.3} vs {no_dep:.3})",
+            r.name
+        );
+    }
+    // Perfect branch prediction beats everything on average (the paper's
+    // 37.4% headroom argument).
+    let avg = row(&fig, "AVG");
+    assert!(avg[1] <= avg[0], "AVG: NO-DEPEND ≤ BASE-MAX: {avg:?}");
+    assert!(avg[2] <= avg[1], "AVG: NO-FETCH ≤ NO-DEPEND: {avg:?}");
+    assert!(avg[3] < 1.0, "PERFECT-CBP must beat normal branches: {avg:?}");
+    assert!(avg[3] < avg[2], "PERFECT-CBP must beat ideal predication: {avg:?}");
+}
+
+#[test]
+fn figure12_wish_branches_win_on_average() {
+    let fig = figure12(&quick());
+    let avg = row(&fig, "AVG");
+    let series: Vec<&str> = fig.series.iter().map(String::as_str).collect();
+    assert_eq!(
+        series,
+        [
+            "BASE-DEF",
+            "BASE-MAX",
+            "wish-jj (real-conf)",
+            "wish-jjl (real-conf)",
+            "wish-jjl (perf-conf)"
+        ]
+    );
+    let (base_def, base_max, wjj, wjjl, wjjl_perf) =
+        (avg[0], avg[1], avg[2], avg[3], avg[4]);
+    // The headline claims, directionally.
+    assert!(wjjl < 1.0, "wish-jjl must beat normal branches: {wjjl:.3}");
+    assert!(
+        wjjl < base_def.min(base_max),
+        "wish-jjl must beat the best predicated baseline: {wjjl:.3} vs {base_def:.3}/{base_max:.3}"
+    );
+    assert!(
+        wjjl <= wjj + 0.02,
+        "adding wish loops must not hurt: {wjjl:.3} vs {wjj:.3}"
+    );
+    assert!(
+        wjjl_perf <= wjjl + 0.01,
+        "perfect confidence must not hurt: {wjjl_perf:.3} vs {wjjl:.3}"
+    );
+}
+
+#[test]
+fn mcf_predication_pathology_and_wish_rescue() {
+    let ec = quick();
+    let bench = mcf(150);
+    let normal = run_binary(&bench, BinaryVariant::NormalBranch, InputSet::B, &ec);
+    let max = run_binary(&bench, BinaryVariant::BaseMax, InputSet::B, &ec);
+    let wjjl = run_binary(&bench, BinaryVariant::WishJumpJoinLoop, InputSet::B, &ec);
+    let n = normal.sim.stats.cycles as f64;
+    assert!(
+        max.sim.stats.cycles as f64 > n * 1.2,
+        "BASE-MAX must hurt mcf badly: {:.3}",
+        max.sim.stats.cycles as f64 / n
+    );
+    assert!(
+        (wjjl.sim.stats.cycles as f64) < max.sim.stats.cycles as f64 * 0.8,
+        "wish branches must rescue mcf: {:.3} vs {:.3}",
+        wjjl.sim.stats.cycles as f64 / n,
+        max.sim.stats.cycles as f64 / n
+    );
+}
+
+#[test]
+fn table4_is_consistent() {
+    let rows = table4(&quick());
+    assert_eq!(rows.len(), 9);
+    for r in &rows {
+        assert!(r.dynamic_uops > 1000, "{}: too little work", r.name);
+        assert!(r.static_branches > 0);
+        assert!(r.dynamic_branches > 0);
+        assert!(r.upc > 0.0 && r.upc <= 8.0, "{}: µPC out of range", r.name);
+        assert!(r.static_wish > 0, "{}: wish binary must contain wish branches", r.name);
+        assert!((0.0..=100.0).contains(&r.static_wish_loop_pct));
+        assert!((0.0..=100.0).contains(&r.dynamic_wish_loop_pct));
+        assert!(r.dynamic_wish > 0, "{}: wish branches must retire", r.name);
+    }
+    // bzip2's dynamic wish-branch mix must be loop-dominated (Table 4: 90%).
+    let bzip2 = rows.iter().find(|r| r.name == "bzip2").unwrap();
+    assert!(
+        bzip2.dynamic_wish_loop_pct > 50.0,
+        "bzip2 must be wish-loop dominated: {:.0}%",
+        bzip2.dynamic_wish_loop_pct
+    );
+}
+
+#[test]
+fn table5_average_positive_vs_normal() {
+    let rows = table5(&quick());
+    let avg = rows.iter().find(|r| r.name == "AVG").unwrap();
+    assert!(
+        avg.vs_normal_pct > 0.0,
+        "wish-jjl must reduce execution time on average: {:.1}%",
+        avg.vs_normal_pct
+    );
+    for r in &rows {
+        assert!(r.vs_best_pct <= r.vs_best_predicated_pct + 1e-9);
+        assert!(r.vs_best_pct <= r.vs_normal_pct + 1e-9);
+    }
+}
+
+#[test]
+fn every_benchmark_every_input_architecturally_verified() {
+    // `simulate` panics on architectural divergence, so completing this
+    // sweep is itself the assertion.
+    let ec = ExperimentConfig::quick(60);
+    for bench in suite(60) {
+        for input in InputSet::ALL {
+            for variant in [BinaryVariant::NormalBranch, BinaryVariant::WishJumpJoinLoop] {
+                let out = run_binary(&bench, variant, input, &ec);
+                assert!(out.sim.stats.cycles > 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn adaptive_extension_never_loses_to_wjl_on_average() {
+    use wishbranch_core::{compile_adaptive_variant, compile_variant, simulate};
+    let ec = quick();
+    let mut wjl_sum = 0.0;
+    let mut adaptive_sum = 0.0;
+    let mut n = 0.0;
+    for bench in suite(800) {
+        let normal = compile_variant(&bench, BinaryVariant::NormalBranch, &ec);
+        let wjl = compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, &ec);
+        let adaptive = compile_adaptive_variant(&bench, &[InputSet::A, InputSet::C], &ec);
+        for input in InputSet::ALL {
+            let base = simulate(&normal.program, &bench, input, &ec.machine).stats.cycles as f64;
+            wjl_sum += simulate(&wjl.program, &bench, input, &ec.machine).stats.cycles as f64 / base;
+            adaptive_sum +=
+                simulate(&adaptive.program, &bench, input, &ec.machine).stats.cycles as f64 / base;
+            n += 1.0;
+        }
+    }
+    let (wjl_avg, adaptive_avg) = (wjl_sum / n, adaptive_sum / n);
+    assert!(
+        adaptive_avg <= wjl_avg + 0.005,
+        "the §3.6 extension must not lose on average: {adaptive_avg:.3} vs {wjl_avg:.3}"
+    );
+}

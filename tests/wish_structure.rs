@@ -1,0 +1,125 @@
+//! Structural invariants of compiled wish binaries, across the whole
+//! benchmark suite: wish jumps/joins are forward branches whose
+//! low-confidence fall-through path is architecturally complete; wish
+//! loops are backward self-branches; per-benchmark wish fingerprints match
+//! the workload designs (Table 4's static mix).
+
+use wishbranch_compiler::BinaryVariant;
+use wishbranch_core::{compile_variant, ExperimentConfig};
+use wishbranch_isa::WishType;
+use wishbranch_workloads::suite;
+
+#[test]
+fn wish_branch_directions_are_structurally_sound() {
+    let ec = ExperimentConfig::quick(30);
+    for bench in suite(30) {
+        let bin = compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, &ec);
+        for (i, insn) in bin.program.insns().iter().enumerate() {
+            let Some(w) = insn.wish else { continue };
+            let target = insn
+                .direct_target()
+                .expect("wish branches are direct conditional branches");
+            match w {
+                WishType::Jump | WishType::Join => {
+                    assert!(
+                        target > i as u32,
+                        "{}: wish {w:?} at {i} must be a forward branch (target {target})",
+                        bench.name
+                    );
+                }
+                WishType::Loop => {
+                    assert!(
+                        target <= i as u32,
+                        "{}: wish loop at {i} must be backward (target {target})",
+                        bench.name
+                    );
+                }
+            }
+            assert!(
+                insn.guard.is_none(),
+                "{}: wish branches are never themselves guarded",
+                bench.name
+            );
+        }
+    }
+}
+
+#[test]
+fn per_benchmark_wish_fingerprints() {
+    // Static wish-branch mixes that define each workload (cf. Table 4).
+    let ec = ExperimentConfig::quick(30);
+    let expect_loops: &[(&str, bool)] = &[
+        ("gzip", true),
+        ("vpr", true),
+        ("mcf", false),
+        ("parser", true),
+        ("gap", false),
+        ("vortex", false),
+        ("bzip2", true),
+        ("twolf", false),
+    ];
+    for bench in suite(30) {
+        let s = compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, &ec)
+            .program
+            .static_stats();
+        if let Some(&(_, has_loops)) = expect_loops.iter().find(|(n, _)| *n == bench.name) {
+            assert_eq!(
+                s.wish_loops > 0,
+                has_loops,
+                "{}: wish-loop fingerprint mismatch ({} loops)",
+                bench.name,
+                s.wish_loops
+            );
+        }
+        // parser: loops only (DESIGN.md §8.6).
+        if bench.name == "parser" {
+            assert_eq!(s.wish_jumps + s.wish_joins, 0, "parser has only wish loops");
+        }
+        // Joins never exceed jumps (each diamond emits one of each;
+        // triangles emit jump-only).
+        assert!(
+            s.wish_joins <= s.wish_jumps,
+            "{}: joins ({}) must not exceed jumps ({})",
+            bench.name,
+            s.wish_joins,
+            s.wish_jumps
+        );
+    }
+}
+
+#[test]
+fn stats_accounting_is_coherent() {
+    use wishbranch_core::run_binary;
+    use wishbranch_workloads::InputSet;
+    let ec = ExperimentConfig::quick(60);
+    for bench in suite(60) {
+        let out = run_binary(&bench, BinaryVariant::WishJumpJoinLoop, InputSet::B, &ec);
+        let s = &out.sim.stats;
+        assert!(
+            s.fetched_uops >= s.retired_uops,
+            "{}: cannot retire more than fetched",
+            bench.name
+        );
+        assert!(
+            s.retired_guard_false <= s.retired_uops,
+            "{}: guard-false subset of retired",
+            bench.name
+        );
+        assert!(
+            s.retired_cond_branches >= s.wish_branches_total(),
+            "{}: wish branches are conditional branches",
+            bench.name
+        );
+        assert!(
+            s.retired_mispredicted <= s.retired_cond_branches + 64,
+            "{}: mispredictions bounded by branches (+ret/indirect slack)",
+            bench.name
+        );
+        assert_eq!(
+            s.wish_loops.low_mispredicted,
+            s.loop_early_exits + s.loop_late_exits + s.loop_no_exits,
+            "{}: loop classes partition low-confidence mispredictions",
+            bench.name
+        );
+    }
+}
