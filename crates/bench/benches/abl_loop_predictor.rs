@@ -3,16 +3,18 @@
 //! exits (predicated NOP iterations).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wishbranch_bench::{paper_config, register_kernel};
-use wishbranch_core::loop_predictor_comparison;
+use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::loop_predictor_comparison_on;
 
 fn bench(c: &mut Criterion) {
-    let cmp = loop_predictor_comparison(&paper_config(), 2);
+    let runner = paper_runner();
+    let cmp = loop_predictor_comparison_on(&runner, 2);
     println!("\nAblation: specialized wish-loop predictor (bias +2) vs hybrid-only");
     println!("{:<28} {:>12} {:>12}", "", "hybrid-only", "biased trip");
     println!("{:<28} {:>12} {:>12}", "early exits (flush)", cmp.early_unbiased, cmp.early_biased);
     println!("{:<28} {:>12} {:>12}", "late exits (no flush)", cmp.late_unbiased, cmp.late_biased);
     println!("{:<28} {:>12} {:>12}", "total cycles", cmp.cycles_unbiased, cmp.cycles_biased);
+    print_sweep_summary(&runner);
     register_kernel(c, "abl_loop_predictor");
 }
 

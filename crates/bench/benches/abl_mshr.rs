@@ -3,16 +3,18 @@
 //! branch prediction (which needs MLP to hide flushes) and predication.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wishbranch_bench::{paper_config, register_kernel};
-use wishbranch_core::mshr_sweep;
+use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::mshr_sweep_on;
 
 fn bench(c: &mut Criterion) {
-    let points = mshr_sweep(&paper_config(), &[0, 32, 8, 2]);
+    let runner = paper_runner();
+    let points = mshr_sweep_on(&runner, &[0, 32, 8, 2]);
     println!("\nAblation: MSHRs vs avg wish-jjl exec time (normalized; 0 = unlimited)");
     println!("{:>8} {:>14}", "MSHRs", "avg exec time");
     for p in &points {
         println!("{:>8} {:>14.3}", p.param, p.avg_normalized);
     }
+    print_sweep_summary(&runner);
     register_kernel(c, "abl_mshr");
 }
 

@@ -3,12 +3,14 @@
 //! three inputs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wishbranch_bench::{paper_config, register_kernel};
-use wishbranch_core::{figure_adaptive, Table};
+use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::{figure_adaptive_on, Table};
 
 fn bench(c: &mut Criterion) {
-    let fig = figure_adaptive(&paper_config());
+    let runner = paper_runner();
+    let fig = figure_adaptive_on(&runner);
     println!("\n{}", Table::from(&fig));
+    print_sweep_summary(&runner);
     register_kernel(c, "ext_adaptive");
 }
 

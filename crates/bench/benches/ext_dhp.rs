@@ -2,12 +2,14 @@
 //! as a hardware-only baseline against wish branches.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wishbranch_bench::{paper_config, register_kernel};
-use wishbranch_core::{figure_dhp, Table};
+use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::{figure_dhp_on, Table};
 
 fn bench(c: &mut Criterion) {
-    let fig = figure_dhp(&paper_config());
+    let runner = paper_runner();
+    let fig = figure_dhp_on(&runner);
     println!("\n{}", Table::from(&fig));
+    print_sweep_summary(&runner);
     register_kernel(c, "ext_dhp");
 }
 

@@ -2,12 +2,14 @@
 //! NO-DEPEND+NO-FETCH) and perfect conditional branch prediction.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wishbranch_bench::{paper_config, register_kernel};
-use wishbranch_core::{figure2, Table};
+use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::{figure2_on, Table};
 
 fn bench(c: &mut Criterion) {
-    let fig = figure2(&paper_config());
+    let runner = paper_runner();
+    let fig = figure2_on(&runner);
     println!("\n{}", Table::from(&fig));
+    print_sweep_summary(&runner);
     register_kernel(c, "fig02");
 }
 

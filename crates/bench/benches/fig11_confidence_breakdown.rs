@@ -2,12 +2,14 @@
 //! classified by confidence estimate and prediction correctness.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wishbranch_bench::{paper_config, register_kernel};
-use wishbranch_core::{fig11_table, figure11};
+use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::{fig11_table, figure11_on};
 
 fn bench(c: &mut Criterion) {
-    let rows = figure11(&paper_config());
+    let runner = paper_runner();
+    let rows = figure11_on(&runner);
     println!("\n{}", fig11_table(&rows));
+    print_sweep_summary(&runner);
     register_kernel(c, "fig11");
 }
 

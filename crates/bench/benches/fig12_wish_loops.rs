@@ -2,12 +2,14 @@
 //! the paper's headline result (14.2% over normal branches).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wishbranch_bench::{paper_config, register_kernel};
-use wishbranch_core::{figure12, Table};
+use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::{figure12_on, Table};
 
 fn bench(c: &mut Criterion) {
-    let fig = figure12(&paper_config());
+    let runner = paper_runner();
+    let fig = figure12_on(&runner);
     println!("\n{}", Table::from(&fig));
+    print_sweep_summary(&runner);
     register_kernel(c, "fig12");
 }
 

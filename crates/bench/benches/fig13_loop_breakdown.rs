@@ -2,12 +2,14 @@
 //! confidence and early/late/no-exit class.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wishbranch_bench::{paper_config, register_kernel};
-use wishbranch_core::{fig13_table, figure13};
+use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::{fig13_table, figure13_on};
 
 fn bench(c: &mut Criterion) {
-    let rows = figure13(&paper_config());
+    let runner = paper_runner();
+    let rows = figure13_on(&runner);
     println!("\n{}", fig13_table(&rows));
+    print_sweep_summary(&runner);
     register_kernel(c, "fig13");
 }
 

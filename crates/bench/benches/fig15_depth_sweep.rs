@@ -2,12 +2,14 @@
 //! 256-entry window.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wishbranch_bench::{paper_config, register_kernel};
-use wishbranch_core::{figure15, sweep_table};
+use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::{figure15_on, sweep_table};
 
 fn bench(c: &mut Criterion) {
-    let rows = figure15(&paper_config());
+    let runner = paper_runner();
+    let rows = figure15_on(&runner);
     println!("\n{}", sweep_table("Fig.15: pipeline depth sweep", "depth", &rows));
+    print_sweep_summary(&runner);
     register_kernel(c, "fig15");
 }
 

@@ -1,12 +1,14 @@
 //! Regenerates Table 4: simulated benchmark characteristics.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wishbranch_bench::{paper_config, register_kernel};
-use wishbranch_core::{table4, table4_table};
+use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::{table4_on, table4_table};
 
 fn bench(c: &mut Criterion) {
-    let rows = table4(&paper_config());
+    let runner = paper_runner();
+    let rows = table4_on(&runner);
     println!("\n{}", table4_table(&rows));
+    print_sweep_summary(&runner);
     register_kernel(c, "tab04");
 }
 

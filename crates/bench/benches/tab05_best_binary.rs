@@ -2,12 +2,14 @@
 //! best binaries (an unrealistically strong baseline, as the paper notes).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wishbranch_bench::{paper_config, register_kernel};
-use wishbranch_core::{table5, table5_table};
+use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::{table5_on, table5_table};
 
 fn bench(c: &mut Criterion) {
-    let rows = table5(&paper_config());
+    let runner = paper_runner();
+    let rows = table5_on(&runner);
     println!("\n{}", table5_table(&rows));
+    print_sweep_summary(&runner);
     register_kernel(c, "tab05");
 }
 

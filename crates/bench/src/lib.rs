@@ -16,7 +16,9 @@
 
 use criterion::Criterion;
 use wishbranch_compiler::BinaryVariant;
-use wishbranch_core::{compile_variant, simulate, ExperimentConfig};
+use wishbranch_core::{
+    compile_variant, simulate, sweep_summary_table, ExperimentConfig, SweepRunner,
+};
 use wishbranch_workloads::{twolf, InputSet};
 
 /// Full-regeneration scale (outer iterations per benchmark).
@@ -32,6 +34,20 @@ pub fn paper_scale() -> i32 {
 #[must_use]
 pub fn paper_config() -> ExperimentConfig {
     ExperimentConfig::paper(paper_scale())
+}
+
+/// A parallel [`SweepRunner`] over the full suite at paper scale. Worker
+/// count comes from `WISHBRANCH_WORKERS`, defaulting to the machine's
+/// available parallelism.
+#[must_use]
+pub fn paper_runner() -> SweepRunner {
+    SweepRunner::new(&paper_config())
+}
+
+/// Prints the runner's cumulative sweep summary (job count, cache hits,
+/// parallel speedup) below a figure's table.
+pub fn print_sweep_summary(runner: &SweepRunner) {
+    println!("\n{}", sweep_summary_table(&runner.summary()));
 }
 
 /// Registers the standard Criterion measurement: one small wish-branch

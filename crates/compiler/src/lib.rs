@@ -195,7 +195,7 @@ pub struct CompileReport {
 }
 
 /// A compiled binary: the program image plus the compile report.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct CompiledBinary {
     /// The µop program.
     pub program: Program,

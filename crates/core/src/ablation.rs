@@ -1,10 +1,16 @@
 //! Ablation studies on the design choices DESIGN.md calls out: confidence
 //! estimator threshold, and the compiler's wish-conversion thresholds
 //! (§4.2.2's untuned N and L).
+//!
+//! Each sweep batches *every* parameter value's jobs into one
+//! [`SweepRunner::run`] call, so the shared binaries (machine-parameter
+//! sweeps reuse the same compiled binaries at every point) come out of the
+//! cache and all points execute concurrently.
 
-use crate::experiment::{compile_variant, simulate, ExperimentConfig};
-use wishbranch_compiler::BinaryVariant;
-use wishbranch_workloads::suite;
+use crate::engine::{SweepJob, SweepRunner};
+use crate::experiment::ExperimentConfig;
+use wishbranch_compiler::{BinaryVariant, CompileOptions};
+use wishbranch_uarch::MachineConfig;
 
 /// One ablation measurement: a parameter value and the resulting average
 /// normalized execution time of the wish jump/join/loop binary.
@@ -16,19 +22,46 @@ pub struct AblationPoint {
     pub avg_normalized: f64,
 }
 
-fn average_wjl_normalized(ec: &ExperimentConfig) -> f64 {
+/// Runs `(normal, wish-jjl)` over the whole suite at every configuration
+/// point in one batch and averages the normalized execution times.
+fn wjl_points(
+    runner: &SweepRunner,
+    points: Vec<(u64, MachineConfig, CompileOptions)>,
+) -> Vec<AblationPoint> {
+    let ec = runner.config().clone();
     let input = ec.train_input;
-    let mut sum = 0.0;
-    let mut n = 0usize;
-    for bench in suite(ec.scale) {
-        let normal = compile_variant(&bench, BinaryVariant::NormalBranch, ec);
-        let base = simulate(&normal.program, &bench, input, &ec.machine).stats.cycles;
-        let wjl = compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, ec);
-        let c = simulate(&wjl.program, &bench, input, &ec.machine).stats.cycles;
-        sum += c as f64 / base as f64;
-        n += 1;
+    let nbench = runner.benches().len();
+    let mut jobs = Vec::new();
+    for (_, machine, compile) in &points {
+        for b in 0..nbench {
+            for variant in [BinaryVariant::NormalBranch, BinaryVariant::WishJumpJoinLoop] {
+                jobs.push(
+                    SweepJob::standard(b, variant, input, &ec)
+                        .with_machine(machine.clone())
+                        .with_compile(compile.clone()),
+                );
+            }
+        }
     }
-    sum / n as f64
+    let cycles: Vec<u64> = runner
+        .run(jobs)
+        .into_iter()
+        .map(|r| r.outcome.sim.stats.cycles)
+        .collect();
+    points
+        .iter()
+        .zip(cycles.chunks_exact(2 * nbench))
+        .map(|(&(param, _, _), chunk)| {
+            let sum: f64 = chunk
+                .chunks_exact(2)
+                .map(|pair| pair[1] as f64 / pair[0] as f64)
+                .sum();
+            AblationPoint {
+                param,
+                avg_normalized: sum / nbench as f64,
+            }
+        })
+        .collect()
 }
 
 /// Sweeps the JRS confidence threshold (§3.5.5: "an accurate confidence
@@ -37,17 +70,25 @@ fn average_wjl_normalized(ec: &ExperimentConfig) -> f64 {
 /// much (overhead without benefit).
 #[must_use]
 pub fn confidence_threshold_sweep(ec: &ExperimentConfig, thresholds: &[u8]) -> Vec<AblationPoint> {
-    thresholds
+    confidence_threshold_sweep_on(&SweepRunner::new(ec), thresholds)
+}
+
+/// [`confidence_threshold_sweep`] on a caller-owned runner.
+#[must_use]
+pub fn confidence_threshold_sweep_on(
+    runner: &SweepRunner,
+    thresholds: &[u8],
+) -> Vec<AblationPoint> {
+    let ec = runner.config();
+    let points = thresholds
         .iter()
         .map(|&th| {
-            let mut ec = ec.clone();
-            ec.machine.jrs.threshold = th;
-            AblationPoint {
-                param: u64::from(th),
-                avg_normalized: average_wjl_normalized(&ec),
-            }
+            let mut machine = ec.machine.clone();
+            machine.jrs.threshold = th;
+            (u64::from(th), machine, ec.compile.clone())
         })
-        .collect()
+        .collect();
+    wjl_points(runner, points)
 }
 
 /// Sweeps the number of MSHRs (outstanding memory misses): bounding MLP
@@ -55,17 +96,22 @@ pub fn confidence_threshold_sweep(ec: &ExperimentConfig, thresholds: &[u8]) -> V
 /// normal binary's ability to hide flush latency. `0` = unlimited.
 #[must_use]
 pub fn mshr_sweep(ec: &ExperimentConfig, mshrs: &[usize]) -> Vec<AblationPoint> {
-    mshrs
+    mshr_sweep_on(&SweepRunner::new(ec), mshrs)
+}
+
+/// [`mshr_sweep`] on a caller-owned runner.
+#[must_use]
+pub fn mshr_sweep_on(runner: &SweepRunner, mshrs: &[usize]) -> Vec<AblationPoint> {
+    let ec = runner.config();
+    let points = mshrs
         .iter()
         .map(|&m| {
-            let mut ec = ec.clone();
-            ec.machine.mem.max_outstanding_misses = m;
-            AblationPoint {
-                param: m as u64,
-                avg_normalized: average_wjl_normalized(&ec),
-            }
+            let mut machine = ec.machine.clone();
+            machine.mem.max_outstanding_misses = m;
+            (m as u64, machine, ec.compile.clone())
         })
-        .collect()
+        .collect();
+    wjl_points(runner, points)
 }
 
 /// Sweeps §4.2.2's N: the fall-through size above which a convertible
@@ -73,16 +119,24 @@ pub fn mshr_sweep(ec: &ExperimentConfig, mshrs: &[usize]) -> Vec<AblationPoint> 
 /// paper uses N = 5 without tuning.
 #[must_use]
 pub fn wish_threshold_sweep(ec: &ExperimentConfig, ns: &[usize]) -> Vec<AblationPoint> {
-    ns.iter()
+    wish_threshold_sweep_on(&SweepRunner::new(ec), ns)
+}
+
+/// [`wish_threshold_sweep`] on a caller-owned runner. Each N is a distinct
+/// compile-cache key, so the sweep deliberately compiles fresh binaries per
+/// point (the engine's cache keys on the full compile options).
+#[must_use]
+pub fn wish_threshold_sweep_on(runner: &SweepRunner, ns: &[usize]) -> Vec<AblationPoint> {
+    let ec = runner.config();
+    let points = ns
+        .iter()
         .map(|&n| {
-            let mut ec = ec.clone();
-            ec.compile.wish_jump_threshold = n;
-            AblationPoint {
-                param: n as u64,
-                avg_normalized: average_wjl_normalized(&ec),
-            }
+            let mut compile = ec.compile.clone();
+            compile.wish_jump_threshold = n;
+            (n as u64, ec.machine.clone(), compile)
         })
-        .collect()
+        .collect();
+    wjl_points(runner, points)
 }
 
 /// Compares wish-loop outcome classes with and without overestimation bias
@@ -109,7 +163,28 @@ pub struct LoopPredictorComparison {
 /// wish-loop predictor and aggregates the early/late exit classes.
 #[must_use]
 pub fn loop_predictor_comparison(ec: &ExperimentConfig, bias: u32) -> LoopPredictorComparison {
+    loop_predictor_comparison_on(&SweepRunner::new(ec), bias)
+}
+
+/// [`loop_predictor_comparison`] on a caller-owned runner.
+#[must_use]
+pub fn loop_predictor_comparison_on(runner: &SweepRunner, bias: u32) -> LoopPredictorComparison {
+    let ec = runner.config().clone();
     let input = ec.train_input;
+    let mut biased_machine = ec.machine.clone();
+    biased_machine.wish_loop_predictor = Some(wishbranch_bpred::LoopPredConfig {
+        bias,
+        ..wishbranch_bpred::LoopPredConfig::default()
+    });
+    let mut jobs = Vec::new();
+    for b in 0..runner.benches().len() {
+        jobs.push(SweepJob::standard(b, BinaryVariant::WishJumpJoinLoop, input, &ec));
+        jobs.push(
+            SweepJob::standard(b, BinaryVariant::WishJumpJoinLoop, input, &ec)
+                .with_machine(biased_machine.clone()),
+        );
+    }
+    let results = runner.run(jobs);
     let mut out = LoopPredictorComparison {
         early_unbiased: 0,
         late_unbiased: 0,
@@ -118,15 +193,9 @@ pub fn loop_predictor_comparison(ec: &ExperimentConfig, bias: u32) -> LoopPredic
         cycles_unbiased: 0,
         cycles_biased: 0,
     };
-    for bench in suite(ec.scale) {
-        let wjl = compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, ec);
-        let plain = simulate(&wjl.program, &bench, input, &ec.machine).stats;
-        let mut machine = ec.machine.clone();
-        machine.wish_loop_predictor = Some(wishbranch_bpred::LoopPredConfig {
-            bias,
-            ..wishbranch_bpred::LoopPredConfig::default()
-        });
-        let biased = simulate(&wjl.program, &bench, input, &machine).stats;
+    for pair in results.chunks_exact(2) {
+        let plain = &pair[0].outcome.sim.stats;
+        let biased = &pair[1].outcome.sim.stats;
         out.early_unbiased += plain.loop_early_exits;
         out.late_unbiased += plain.loop_late_exits;
         out.early_biased += biased.loop_early_exits;

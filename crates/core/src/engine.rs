@@ -1,0 +1,498 @@
+//! The parallel experiment engine: a deterministic [`SweepRunner`] that
+//! executes `(benchmark, variant, input, machine)` jobs on a scoped worker
+//! pool, backed by memoized profile and compiled-binary caches.
+//!
+//! Every figure and table of the reproduction is a sweep over such jobs,
+//! and the sweep shape is embarrassingly parallel: each job is an
+//! independent profile → compile → simulate → verify chain. Two properties
+//! make the engine safe to drop under every experiment:
+//!
+//! * **Determinism** — the IR interpreter, the compiler, and the cycle
+//!   simulator are all deterministic, and the compiler consumes profiles
+//!   only through keyed lookups (never iteration order), so a cached
+//!   profile or binary is bit-identical to a freshly computed one and
+//!   parallel results are bit-identical to serial results. The test suite
+//!   enforces this (`tests/engine_equivalence.rs`).
+//! * **Submission order** — results are returned in job-submission order
+//!   regardless of completion order, so downstream figure assembly never
+//!   observes scheduling.
+//!
+//! The caches are keyed on `(benchmark, train-inputs)` for profiles and
+//! `(benchmark, variant, train-inputs, compile-options)` for binaries, so
+//! a figure sweep compiles each distinct binary once instead of once per
+//! (input, machine) point — the Fig. 14/15 sweeps alone previously
+//! recompiled the same 54 binaries six times over.
+
+use std::collections::HashMap;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::experiment::{profile_on, simulate, ExperimentConfig, RunOutcome};
+use wishbranch_compiler::{compile, compile_adaptive, BinaryVariant, CompileOptions, CompiledBinary};
+use wishbranch_ir::Profile;
+use wishbranch_uarch::MachineConfig;
+use wishbranch_workloads::{suite, Benchmark, InputSet};
+
+/// Environment variable overriding the worker count.
+pub const WORKERS_ENV: &str = "WISHBRANCH_WORKERS";
+
+/// Which training inputs the compiler profiles on for a job.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum TrainSpec {
+    /// The paper's flow: one training profile (§4.2).
+    Single(InputSet),
+    /// The adaptive extension: several training profiles whose
+    /// misprediction spread drives the §3.6 input-dependence heuristic.
+    Multi(Vec<InputSet>),
+}
+
+/// One unit of sweep work: simulate `variant` of benchmark `bench` on
+/// `input`, on `machine`, compiled with `compile` after training on
+/// `train`.
+#[derive(Clone, Debug)]
+pub struct SweepJob {
+    /// Index of the benchmark in the runner's suite.
+    pub bench: usize,
+    /// Which Table 3 binary to build.
+    pub variant: BinaryVariant,
+    /// The run-time input set.
+    pub input: InputSet,
+    /// The training input(s) the compiler profiles on.
+    pub train: TrainSpec,
+    /// Compiler heuristics for this job.
+    pub compile: CompileOptions,
+    /// The simulated machine for this job.
+    pub machine: MachineConfig,
+}
+
+impl SweepJob {
+    /// A job with the experiment's default machine, compile options and
+    /// training input.
+    #[must_use]
+    pub fn standard(
+        bench: usize,
+        variant: BinaryVariant,
+        input: InputSet,
+        ec: &ExperimentConfig,
+    ) -> SweepJob {
+        SweepJob {
+            bench,
+            variant,
+            input,
+            train: TrainSpec::Single(ec.train_input),
+            compile: ec.compile.clone(),
+            machine: ec.machine.clone(),
+        }
+    }
+
+    /// Replaces the simulated machine.
+    #[must_use]
+    pub fn with_machine(mut self, machine: MachineConfig) -> SweepJob {
+        self.machine = machine;
+        self
+    }
+
+    /// Replaces the training spec (e.g. [`TrainSpec::Multi`] for the
+    /// adaptive compiler).
+    #[must_use]
+    pub fn with_train(mut self, train: TrainSpec) -> SweepJob {
+        self.train = train;
+        self
+    }
+
+    /// Replaces the compile options (ablation sweeps).
+    #[must_use]
+    pub fn with_compile(mut self, compile: CompileOptions) -> SweepJob {
+        self.compile = compile;
+        self
+    }
+}
+
+/// Hashable image of [`CompileOptions`]: floats are keyed by bit pattern,
+/// so any numeric difference — however small — is a distinct cache entry.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct OptionsKey {
+    wish_jump_threshold: usize,
+    wish_loop_body_max: usize,
+    mispredict_penalty: u64,
+    est_ipc: u64,
+    max_predicated_side: usize,
+    input_dependence_threshold: u64,
+}
+
+impl OptionsKey {
+    fn new(o: &CompileOptions) -> OptionsKey {
+        OptionsKey {
+            wish_jump_threshold: o.wish_jump_threshold,
+            wish_loop_body_max: o.wish_loop_body_max,
+            mispredict_penalty: o.mispredict_penalty.to_bits(),
+            est_ipc: o.est_ipc.to_bits(),
+            max_predicated_side: o.max_predicated_side,
+            input_dependence_threshold: o.input_dependence_threshold.to_bits(),
+        }
+    }
+}
+
+/// Cache key for compiled binaries.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct CompileKey {
+    bench: usize,
+    variant: BinaryVariant,
+    train: TrainSpec,
+    options: OptionsKey,
+}
+
+/// The result of one job, in submission order.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// The job that produced this result.
+    pub job: SweepJob,
+    /// Simulation outcome (stats + compile report + static stats).
+    pub outcome: RunOutcome,
+    /// Wall-clock time this job took on its worker (compile + simulate).
+    pub wall: Duration,
+    /// Whether the compiled binary came from the cache.
+    pub compile_cache_hit: bool,
+}
+
+/// Aggregate statistics over everything a [`SweepRunner`] has executed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SweepSummary {
+    /// Jobs executed.
+    pub jobs: u64,
+    /// Worker threads the pool runs.
+    pub workers: usize,
+    /// Profile cache hits.
+    pub profile_hits: u64,
+    /// Profile cache misses (profiling runs actually executed).
+    pub profile_misses: u64,
+    /// Compiled-binary cache hits.
+    pub compile_hits: u64,
+    /// Compiled-binary cache misses (compiles actually executed).
+    pub compile_misses: u64,
+    /// Sum of per-job wall-clock times (the serial cost of the work).
+    pub job_time: Duration,
+    /// End-to-end wall-clock time spent inside [`SweepRunner::run`].
+    pub wall_time: Duration,
+}
+
+impl SweepSummary {
+    /// Parallel speedup: total job time over end-to-end wall time. With
+    /// one worker this hovers around 1.0; with N busy workers it
+    /// approaches N.
+    #[must_use]
+    pub fn parallel_speedup(&self) -> f64 {
+        if self.wall_time.is_zero() {
+            return 1.0;
+        }
+        self.job_time.as_secs_f64() / self.wall_time.as_secs_f64()
+    }
+
+    /// Fraction of binary requests served from the cache.
+    #[must_use]
+    pub fn compile_hit_rate(&self) -> f64 {
+        let total = self.compile_hits + self.compile_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.compile_hits as f64 / total as f64
+    }
+}
+
+type ProfileCell = Arc<OnceLock<Arc<Profile>>>;
+type BinaryCell = Arc<OnceLock<Arc<CompiledBinary>>>;
+
+/// The parallel sweep engine. See the module docs.
+///
+/// A runner owns its benchmark suite (built once at the experiment's
+/// scale) and its caches; figures that share a runner share compiled
+/// binaries — `wishbranch-repro all` compiles each binary exactly once
+/// across every figure it regenerates.
+pub struct SweepRunner {
+    ec: ExperimentConfig,
+    benches: Vec<Benchmark>,
+    workers: usize,
+    profiles: Mutex<HashMap<(usize, InputSet), ProfileCell>>,
+    binaries: Mutex<HashMap<CompileKey, BinaryCell>>,
+    profile_hits: AtomicU64,
+    profile_misses: AtomicU64,
+    compile_hits: AtomicU64,
+    compile_misses: AtomicU64,
+    jobs_run: AtomicU64,
+    job_time_nanos: AtomicU64,
+    wall_nanos: AtomicU64,
+}
+
+/// Worker count: `WISHBRANCH_WORKERS` if set and positive, else the
+/// machine's available parallelism.
+#[must_use]
+pub fn default_workers() -> usize {
+    std::env::var(WORKERS_ENV)
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+impl SweepRunner {
+    /// A runner over the full nine-benchmark suite at the experiment's
+    /// scale, with [`default_workers`].
+    #[must_use]
+    pub fn new(ec: &ExperimentConfig) -> SweepRunner {
+        SweepRunner::with_workers(ec, default_workers())
+    }
+
+    /// A runner with an explicit worker count (`0` is clamped to 1).
+    #[must_use]
+    pub fn with_workers(ec: &ExperimentConfig, workers: usize) -> SweepRunner {
+        SweepRunner {
+            ec: ec.clone(),
+            benches: suite(ec.scale),
+            workers: workers.max(1),
+            profiles: Mutex::new(HashMap::new()),
+            binaries: Mutex::new(HashMap::new()),
+            profile_hits: AtomicU64::new(0),
+            profile_misses: AtomicU64::new(0),
+            compile_hits: AtomicU64::new(0),
+            compile_misses: AtomicU64::new(0),
+            jobs_run: AtomicU64::new(0),
+            job_time_nanos: AtomicU64::new(0),
+            wall_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// The experiment configuration the runner was built with.
+    #[must_use]
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.ec
+    }
+
+    /// The benchmark suite jobs index into.
+    #[must_use]
+    pub fn benches(&self) -> &[Benchmark] {
+        &self.benches
+    }
+
+    /// The worker-pool size.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Executes `jobs` on the worker pool and returns results **in
+    /// submission order**, regardless of completion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics (propagated from workers) if any simulation diverges from
+    /// the functional reference or exceeds its cycle budget — the same
+    /// conditions that panic the serial path.
+    #[must_use]
+    pub fn run(&self, jobs: Vec<SweepJob>) -> Vec<JobResult> {
+        let t0 = Instant::now();
+        let n = jobs.len();
+        let jobs = &jobs;
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<JobResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let workers = self.workers.min(n.max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = self.run_job(&jobs[i]);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        self.wall_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker filled every slot")
+            })
+            .collect()
+    }
+
+    /// Executes one job on the calling thread (used by the pool, and
+    /// directly useful for one-off cached runs).
+    #[must_use]
+    pub fn run_job(&self, job: &SweepJob) -> JobResult {
+        let t0 = Instant::now();
+        let (binary, compile_cache_hit) = self.binary(job);
+        let bench = &self.benches[job.bench];
+        let sim = simulate(&binary.program, bench, job.input, &job.machine);
+        let wall = t0.elapsed();
+        self.jobs_run.fetch_add(1, Ordering::Relaxed);
+        self.job_time_nanos
+            .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+        JobResult {
+            job: job.clone(),
+            outcome: RunOutcome {
+                sim,
+                report: binary.report,
+                static_stats: binary.program.static_stats(),
+            },
+            wall,
+            compile_cache_hit,
+        }
+    }
+
+    /// The memoized profile of benchmark `bench` on `input`.
+    ///
+    /// Exactly one profiling run per `(bench, input)` pair executes over
+    /// the runner's lifetime; concurrent requesters block on the first.
+    #[must_use]
+    pub fn profile(&self, bench: usize, input: InputSet) -> Arc<Profile> {
+        let cell: ProfileCell = {
+            let mut map = self.profiles.lock().expect("profile cache poisoned");
+            Arc::clone(map.entry((bench, input)).or_default())
+        };
+        let mut computed = false;
+        let profile = cell.get_or_init(|| {
+            computed = true;
+            self.profile_misses.fetch_add(1, Ordering::Relaxed);
+            Arc::new(profile_on(&self.benches[bench], input))
+        });
+        if !computed {
+            self.profile_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(profile)
+    }
+
+    /// The memoized compiled binary for a job's `(bench, variant, train,
+    /// compile-options)` key. Returns the binary and whether it was a
+    /// cache hit.
+    #[must_use]
+    pub fn binary(&self, job: &SweepJob) -> (Arc<CompiledBinary>, bool) {
+        let key = CompileKey {
+            bench: job.bench,
+            variant: job.variant,
+            train: job.train.clone(),
+            options: OptionsKey::new(&job.compile),
+        };
+        let cell: BinaryCell = {
+            let mut map = self.binaries.lock().expect("binary cache poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut computed = false;
+        let binary = cell.get_or_init(|| {
+            computed = true;
+            self.compile_misses.fetch_add(1, Ordering::Relaxed);
+            Arc::new(self.compile_uncached(job))
+        });
+        if !computed {
+            self.compile_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        (Arc::clone(binary), !computed)
+    }
+
+    fn compile_uncached(&self, job: &SweepJob) -> CompiledBinary {
+        let module = &self.benches[job.bench].module;
+        match &job.train {
+            TrainSpec::Single(input) => {
+                let profile = self.profile(job.bench, *input);
+                compile(module, &profile, job.variant, &job.compile)
+            }
+            TrainSpec::Multi(inputs) => {
+                let profiles: Vec<Profile> = inputs
+                    .iter()
+                    .map(|&i| (*self.profile(job.bench, i)).clone())
+                    .collect();
+                compile_adaptive(module, &profiles, &job.compile)
+            }
+        }
+    }
+
+    /// A snapshot of everything the runner has executed so far.
+    #[must_use]
+    pub fn summary(&self) -> SweepSummary {
+        SweepSummary {
+            jobs: self.jobs_run.load(Ordering::Relaxed),
+            workers: self.workers,
+            profile_hits: self.profile_hits.load(Ordering::Relaxed),
+            profile_misses: self.profile_misses.load(Ordering::Relaxed),
+            compile_hits: self.compile_hits.load(Ordering::Relaxed),
+            compile_misses: self.compile_misses.load(Ordering::Relaxed),
+            job_time: Duration::from_nanos(self.job_time_nanos.load(Ordering::Relaxed)),
+            wall_time: Duration::from_nanos(self.wall_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let ec = ExperimentConfig::quick(20);
+        let runner = SweepRunner::with_workers(&ec, 4);
+        // Benchmarks differ wildly in runtime, so completion order will
+        // not match submission order; the engine must reorder.
+        let jobs: Vec<SweepJob> = (0..4)
+            .flat_map(|b| {
+                InputSet::ALL
+                    .into_iter()
+                    .map(move |i| (b, i))
+            })
+            .map(|(b, i)| SweepJob::standard(b, BinaryVariant::NormalBranch, i, &ec))
+            .collect();
+        let expect: Vec<(usize, InputSet)> = jobs.iter().map(|j| (j.bench, j.input)).collect();
+        let results = runner.run(jobs);
+        let got: Vec<(usize, InputSet)> = results.iter().map(|r| (r.job.bench, r.job.input)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn caches_hit_and_count() {
+        let ec = ExperimentConfig::quick(20);
+        let runner = SweepRunner::with_workers(&ec, 2);
+        let jobs: Vec<SweepJob> = InputSet::ALL
+            .into_iter()
+            .map(|i| SweepJob::standard(0, BinaryVariant::BaseDef, i, &ec))
+            .collect();
+        let results = runner.run(jobs);
+        let summary = runner.summary();
+        // One binary serves all three inputs.
+        assert_eq!(summary.compile_misses, 1, "{summary:?}");
+        assert_eq!(summary.compile_hits, 2, "{summary:?}");
+        assert_eq!(results.iter().filter(|r| r.compile_cache_hit).count(), 2);
+        // One training profile; the compile-cache hits never re-request it.
+        assert_eq!(summary.profile_misses, 1, "{summary:?}");
+        assert_eq!(summary.profile_hits, 0, "{summary:?}");
+        // A second variant reuses the cached profile.
+        let extra = SweepJob::standard(0, BinaryVariant::BaseMax, InputSet::A, &ec);
+        let _ = runner.run_job(&extra);
+        let summary = runner.summary();
+        assert_eq!(summary.profile_misses, 1, "{summary:?}");
+        assert_eq!(summary.profile_hits, 1, "{summary:?}");
+        assert_eq!(summary.jobs, 4);
+        assert!(summary.job_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn distinct_options_and_train_inputs_do_not_alias() {
+        let ec = ExperimentConfig::quick(20);
+        let runner = SweepRunner::new(&ec);
+        let base = SweepJob::standard(1, BinaryVariant::WishJumpJoin, InputSet::B, &ec);
+        let mut tweaked_opts = ec.compile.clone();
+        tweaked_opts.wish_jump_threshold += 1;
+        let other_train = base.clone().with_train(TrainSpec::Single(InputSet::C));
+        let _ = runner.binary(&base);
+        let _ = runner.binary(&base.clone().with_compile(tweaked_opts));
+        let _ = runner.binary(&other_train);
+        assert_eq!(runner.summary().compile_misses, 3, "three distinct keys");
+    }
+}

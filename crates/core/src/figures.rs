@@ -5,11 +5,19 @@
 //! normal-branch binary on the same machine and input, exactly as in the
 //! paper ("all execution time results are normalized to the execution time
 //! of the normal branch binaries", §4.2).
+//!
+//! Every figure comes in two flavors: `figureN(ec)` builds a private
+//! [`SweepRunner`] and runs on it, while `figureN_on(&runner)` submits the
+//! figure's whole job list to a caller-owned runner in one batch — that is
+//! how `wishbranch-repro all` shares one compile cache across every figure
+//! and keeps all workers busy. Both produce bit-identical data (the
+//! engine's determinism contract).
 
-use crate::experiment::{compile_variant, simulate, ExperimentConfig};
+use crate::engine::{SweepJob, SweepRunner, TrainSpec};
+use crate::experiment::ExperimentConfig;
 use wishbranch_compiler::BinaryVariant;
 use wishbranch_uarch::MachineConfig;
-use wishbranch_workloads::{suite, Benchmark, InputSet};
+use wishbranch_workloads::InputSet;
 
 /// One benchmark's normalized execution times across a figure's series.
 #[derive(Clone, PartialEq, Debug)]
@@ -68,9 +76,14 @@ fn append_averages(rows: &mut Vec<NormalizedRow>) {
     });
 }
 
-fn cycles(bench: &Benchmark, variant: BinaryVariant, input: InputSet, ec: &ExperimentConfig, machine: &MachineConfig) -> u64 {
-    let bin = compile_variant(bench, variant, ec);
-    simulate(&bin.program, bench, input, machine).stats.cycles
+/// Runs `jobs` on the runner and returns the retired-cycle count of each,
+/// in submission order.
+fn run_cycles(runner: &SweepRunner, jobs: Vec<SweepJob>) -> Vec<u64> {
+    runner
+        .run(jobs)
+        .into_iter()
+        .map(|r| r.outcome.sim.stats.cycles)
+        .collect()
 }
 
 /// **Fig. 1** — execution time of the BASE-DEF predicated binary normalized
@@ -80,18 +93,29 @@ fn cycles(bench: &Benchmark, variant: BinaryVariant, input: InputSet, ec: &Exper
 /// on the run-time input set").
 #[must_use]
 pub fn figure1(ec: &ExperimentConfig) -> FigureData {
-    let mut rows = Vec::new();
-    for bench in suite(ec.scale) {
-        let normal = compile_variant(&bench, BinaryVariant::NormalBranch, ec);
-        let def = compile_variant(&bench, BinaryVariant::BaseDef, ec);
-        let mut values = Vec::new();
+    figure1_on(&SweepRunner::new(ec))
+}
+
+/// [`figure1`] on a caller-owned runner.
+#[must_use]
+pub fn figure1_on(runner: &SweepRunner) -> FigureData {
+    let ec = runner.config().clone();
+    let mut jobs = Vec::new();
+    for b in 0..runner.benches().len() {
         for input in InputSet::ALL {
-            let n = simulate(&normal.program, &bench, input, &ec.machine).stats.cycles;
-            let p = simulate(&def.program, &bench, input, &ec.machine).stats.cycles;
-            values.push(p as f64 / n as f64);
+            jobs.push(SweepJob::standard(b, BinaryVariant::NormalBranch, input, &ec));
+            jobs.push(SweepJob::standard(b, BinaryVariant::BaseDef, input, &ec));
         }
+    }
+    let cycles = run_cycles(runner, jobs);
+    let mut rows = Vec::new();
+    for (b, chunk) in cycles.chunks_exact(2 * InputSet::ALL.len()).enumerate() {
+        let values = chunk
+            .chunks_exact(2)
+            .map(|pair| pair[1] as f64 / pair[0] as f64)
+            .collect();
         rows.push(NormalizedRow {
-            name: bench.name.into(),
+            name: runner.benches()[b].name.into(),
             values,
         });
     }
@@ -109,26 +133,46 @@ pub fn figure1(ec: &ExperimentConfig) -> FigureData {
 /// under perfect conditional branch prediction (PERFECT-CBP).
 #[must_use]
 pub fn figure2(ec: &ExperimentConfig) -> FigureData {
+    figure2_on(&SweepRunner::new(ec))
+}
+
+/// [`figure2`] on a caller-owned runner.
+#[must_use]
+pub fn figure2_on(runner: &SweepRunner) -> FigureData {
+    let ec = runner.config().clone();
     let input = ec.train_input;
+
+    let mut no_dep = ec.machine.clone();
+    no_dep.oracles.no_pred_dependencies = true;
+    let mut no_dep_no_fetch = no_dep.clone();
+    no_dep_no_fetch.oracles.no_false_predicate_fetch = true;
+    let mut perfect_cbp = ec.machine.clone();
+    perfect_cbp.oracles.perfect_branch_prediction = true;
+
+    let mut jobs = Vec::new();
+    for b in 0..runner.benches().len() {
+        jobs.push(SweepJob::standard(b, BinaryVariant::NormalBranch, input, &ec));
+        jobs.push(SweepJob::standard(b, BinaryVariant::BaseMax, input, &ec));
+        jobs.push(
+            SweepJob::standard(b, BinaryVariant::BaseMax, input, &ec)
+                .with_machine(no_dep.clone()),
+        );
+        jobs.push(
+            SweepJob::standard(b, BinaryVariant::BaseMax, input, &ec)
+                .with_machine(no_dep_no_fetch.clone()),
+        );
+        jobs.push(
+            SweepJob::standard(b, BinaryVariant::NormalBranch, input, &ec)
+                .with_machine(perfect_cbp.clone()),
+        );
+    }
+    let cycles = run_cycles(runner, jobs);
     let mut rows = Vec::new();
-    for bench in suite(ec.scale) {
-        let baseline = cycles(&bench, BinaryVariant::NormalBranch, input, ec, &ec.machine);
-        let base_max = cycles(&bench, BinaryVariant::BaseMax, input, ec, &ec.machine);
-
-        let mut m = ec.machine.clone();
-        m.oracles.no_pred_dependencies = true;
-        let no_dep = cycles(&bench, BinaryVariant::BaseMax, input, ec, &m);
-
-        m.oracles.no_false_predicate_fetch = true;
-        let no_dep_no_fetch = cycles(&bench, BinaryVariant::BaseMax, input, ec, &m);
-
-        let mut m = ec.machine.clone();
-        m.oracles.perfect_branch_prediction = true;
-        let perfect_cbp = cycles(&bench, BinaryVariant::NormalBranch, input, ec, &m);
-
+    for (b, chunk) in cycles.chunks_exact(5).enumerate() {
+        let baseline = chunk[0];
         rows.push(NormalizedRow {
-            name: bench.name.into(),
-            values: [base_max, no_dep, no_dep_no_fetch, perfect_cbp]
+            name: runner.benches()[b].name.into(),
+            values: chunk[1..]
                 .iter()
                 .map(|&c| c as f64 / baseline as f64)
                 .collect(),
@@ -148,24 +192,35 @@ pub fn figure2(ec: &ExperimentConfig) -> FigureData {
 }
 
 fn comparison_figure(
-    ec: &ExperimentConfig,
+    runner: &SweepRunner,
     title: &str,
     machine: &MachineConfig,
     variants: &[(&str, BinaryVariant, bool /* perfect confidence */)],
 ) -> FigureData {
+    let ec = runner.config().clone();
     let input = ec.train_input;
-    let mut rows = Vec::new();
-    for bench in suite(ec.scale) {
-        let baseline = cycles(&bench, BinaryVariant::NormalBranch, input, ec, machine);
-        let mut values = Vec::new();
+    let mut jobs = Vec::new();
+    for b in 0..runner.benches().len() {
+        jobs.push(
+            SweepJob::standard(b, BinaryVariant::NormalBranch, input, &ec)
+                .with_machine(machine.clone()),
+        );
         for &(_, variant, perfect_conf) in variants {
             let mut m = machine.clone();
             m.oracles.perfect_confidence = perfect_conf;
-            values.push(cycles(&bench, variant, input, ec, &m) as f64 / baseline as f64);
+            jobs.push(SweepJob::standard(b, variant, input, &ec).with_machine(m));
         }
+    }
+    let cycles = run_cycles(runner, jobs);
+    let mut rows = Vec::new();
+    for (b, chunk) in cycles.chunks_exact(1 + variants.len()).enumerate() {
+        let baseline = chunk[0];
         rows.push(NormalizedRow {
-            name: bench.name.into(),
-            values,
+            name: runner.benches()[b].name.into(),
+            values: chunk[1..]
+                .iter()
+                .map(|&c| c as f64 / baseline as f64)
+                .collect(),
         });
     }
     append_averages(&mut rows);
@@ -180,10 +235,16 @@ fn comparison_figure(
 /// the real and a perfect confidence estimator.
 #[must_use]
 pub fn figure10(ec: &ExperimentConfig) -> FigureData {
+    figure10_on(&SweepRunner::new(ec))
+}
+
+/// [`figure10`] on a caller-owned runner.
+#[must_use]
+pub fn figure10_on(runner: &SweepRunner) -> FigureData {
     comparison_figure(
-        ec,
+        runner,
         "Fig.10: performance of wish jump/join binaries (normalized exec time)",
-        &ec.machine,
+        &runner.config().machine.clone(),
         &[
             ("BASE-DEF", BinaryVariant::BaseDef, false),
             ("BASE-MAX", BinaryVariant::BaseMax, false),
@@ -196,10 +257,16 @@ pub fn figure10(ec: &ExperimentConfig) -> FigureData {
 /// **Fig. 12** — adds wish loops.
 #[must_use]
 pub fn figure12(ec: &ExperimentConfig) -> FigureData {
+    figure12_on(&SweepRunner::new(ec))
+}
+
+/// [`figure12`] on a caller-owned runner.
+#[must_use]
+pub fn figure12_on(runner: &SweepRunner) -> FigureData {
     comparison_figure(
-        ec,
+        runner,
         "Fig.12: performance of wish jump/join/loop binaries (normalized exec time)",
-        &ec.machine,
+        &runner.config().machine.clone(),
         &[
             ("BASE-DEF", BinaryVariant::BaseDef, false),
             ("BASE-MAX", BinaryVariant::BaseMax, false),
@@ -214,10 +281,16 @@ pub fn figure12(ec: &ExperimentConfig) -> FigureData {
 /// mechanism instead of C-style conditional expressions (§5.3.3).
 #[must_use]
 pub fn figure16(ec: &ExperimentConfig) -> FigureData {
-    let mut machine = ec.machine.clone();
+    figure16_on(&SweepRunner::new(ec))
+}
+
+/// [`figure16`] on a caller-owned runner.
+#[must_use]
+pub fn figure16_on(runner: &SweepRunner) -> FigureData {
+    let mut machine = runner.config().machine.clone();
     machine.pred_mechanism = wishbranch_uarch::PredMechanism::SelectUop;
     comparison_figure(
-        ec,
+        runner,
         "Fig.16: wish branches on a select-µop machine (normalized exec time)",
         &machine,
         &[
@@ -250,16 +323,26 @@ pub struct Fig11Row {
 /// in the wish jump/join binary.
 #[must_use]
 pub fn figure11(ec: &ExperimentConfig) -> Vec<Fig11Row> {
-    let input = ec.train_input;
-    suite(ec.scale)
-        .iter()
-        .map(|bench| {
-            let bin = compile_variant(bench, BinaryVariant::WishJumpJoin, ec);
-            let stats = simulate(&bin.program, bench, input, &ec.machine).stats;
+    figure11_on(&SweepRunner::new(ec))
+}
+
+/// [`figure11`] on a caller-owned runner.
+#[must_use]
+pub fn figure11_on(runner: &SweepRunner) -> Vec<Fig11Row> {
+    let ec = runner.config().clone();
+    let jobs = (0..runner.benches().len())
+        .map(|b| SweepJob::standard(b, BinaryVariant::WishJumpJoin, ec.train_input, &ec))
+        .collect();
+    runner
+        .run(jobs)
+        .into_iter()
+        .enumerate()
+        .map(|(b, r)| {
+            let stats = r.outcome.sim.stats;
             let j = stats.wish_jumps;
             let o = stats.wish_joins;
             Fig11Row {
-                name: bench.name.into(),
+                name: runner.benches()[b].name.into(),
                 low_mispredicted: stats.per_million_uops(j.low_mispredicted + o.low_mispredicted),
                 low_correct: stats.per_million_uops(j.low_correct + o.low_correct),
                 high_mispredicted: stats
@@ -293,15 +376,25 @@ pub struct Fig13Row {
 /// **Fig. 13** — the wish-loop breakdown in the wish jump/join/loop binary.
 #[must_use]
 pub fn figure13(ec: &ExperimentConfig) -> Vec<Fig13Row> {
-    let input = ec.train_input;
-    suite(ec.scale)
-        .iter()
-        .map(|bench| {
-            let bin = compile_variant(bench, BinaryVariant::WishJumpJoinLoop, ec);
-            let stats = simulate(&bin.program, bench, input, &ec.machine).stats;
+    figure13_on(&SweepRunner::new(ec))
+}
+
+/// [`figure13`] on a caller-owned runner.
+#[must_use]
+pub fn figure13_on(runner: &SweepRunner) -> Vec<Fig13Row> {
+    let ec = runner.config().clone();
+    let jobs = (0..runner.benches().len())
+        .map(|b| SweepJob::standard(b, BinaryVariant::WishJumpJoinLoop, ec.train_input, &ec))
+        .collect();
+    runner
+        .run(jobs)
+        .into_iter()
+        .enumerate()
+        .map(|(b, r)| {
+            let stats = r.outcome.sim.stats;
             let l = stats.wish_loops;
             Fig13Row {
-                name: bench.name.into(),
+                name: runner.benches()[b].name.into(),
                 low_no_exit: stats.per_million_uops(stats.loop_no_exits),
                 low_late_exit: stats.per_million_uops(stats.loop_late_exits),
                 low_early_exit: stats.per_million_uops(stats.loop_early_exits),
@@ -327,26 +420,60 @@ pub struct SweepRow {
     pub avg_nomcf: Vec<f64>,
 }
 
-fn sweep(ec: &ExperimentConfig, machines: Vec<(u64, MachineConfig)>) -> Vec<SweepRow> {
+/// Runs the 4-variant comparison at every `(param, machine)` point as one
+/// batch, so all parameter values' jobs interleave across workers and the
+/// per-variant binaries compile once for the whole sweep.
+fn sweep(runner: &SweepRunner, machines: Vec<(u64, MachineConfig)>) -> Vec<SweepRow> {
     let variants: [(&str, BinaryVariant, bool); 4] = [
         ("BASE-DEF", BinaryVariant::BaseDef, false),
         ("BASE-MAX", BinaryVariant::BaseMax, false),
         ("wish-jjl (real-conf)", BinaryVariant::WishJumpJoinLoop, false),
         ("wish-jjl (perf-conf)", BinaryVariant::WishJumpJoinLoop, true),
     ];
+    let ec = runner.config().clone();
+    let input = ec.train_input;
+    let nbench = runner.benches().len();
+
+    let mut jobs = Vec::new();
+    for (_, machine) in &machines {
+        for b in 0..nbench {
+            jobs.push(
+                SweepJob::standard(b, BinaryVariant::NormalBranch, input, &ec)
+                    .with_machine(machine.clone()),
+            );
+            for &(_, variant, perfect_conf) in &variants {
+                let mut m = machine.clone();
+                m.oracles.perfect_confidence = perfect_conf;
+                jobs.push(SweepJob::standard(b, variant, input, &ec).with_machine(m));
+            }
+        }
+    }
+    let cycles = run_cycles(runner, jobs);
+
+    let jobs_per_point = nbench * (1 + variants.len());
     machines
-        .into_iter()
-        .map(|(param, machine)| {
-            let fig = comparison_figure(ec, "", &machine, &variants);
-            let avg = fig
-                .rows
+        .iter()
+        .zip(cycles.chunks_exact(jobs_per_point))
+        .map(|(&(param, _), point)| {
+            let mut rows = Vec::new();
+            for (b, chunk) in point.chunks_exact(1 + variants.len()).enumerate() {
+                let baseline = chunk[0];
+                rows.push(NormalizedRow {
+                    name: runner.benches()[b].name.into(),
+                    values: chunk[1..]
+                        .iter()
+                        .map(|&c| c as f64 / baseline as f64)
+                        .collect(),
+                });
+            }
+            append_averages(&mut rows);
+            let avg = rows
                 .iter()
                 .find(|r| r.name == "AVG")
                 .expect("averages appended")
                 .values
                 .clone();
-            let avg_nomcf = fig
-                .rows
+            let avg_nomcf = rows
                 .iter()
                 .find(|r| r.name == "AVGnomcf")
                 .expect("averages appended")
@@ -354,7 +481,7 @@ fn sweep(ec: &ExperimentConfig, machines: Vec<(u64, MachineConfig)>) -> Vec<Swee
                 .clone();
             SweepRow {
                 param,
-                series: fig.series,
+                series: variants.iter().map(|&(l, _, _)| l.into()).collect(),
                 avg,
                 avg_nomcf,
             }
@@ -365,26 +492,36 @@ fn sweep(ec: &ExperimentConfig, machines: Vec<(u64, MachineConfig)>) -> Vec<Swee
 /// **Fig. 14** — instruction-window sweep (128/256/512 entries).
 #[must_use]
 pub fn figure14(ec: &ExperimentConfig) -> Vec<SweepRow> {
-    sweep(
-        ec,
-        [128usize, 256, 512]
-            .into_iter()
-            .map(|w| (w as u64, ec.machine.clone().with_window(w)))
-            .collect(),
-    )
+    figure14_on(&SweepRunner::new(ec))
+}
+
+/// [`figure14`] on a caller-owned runner.
+#[must_use]
+pub fn figure14_on(runner: &SweepRunner) -> Vec<SweepRow> {
+    let ec = runner.config();
+    let machines = [128usize, 256, 512]
+        .into_iter()
+        .map(|w| (w as u64, ec.machine.clone().with_window(w)))
+        .collect();
+    sweep(runner, machines)
 }
 
 /// **Fig. 15** — pipeline-depth sweep (10/20/30 stages) at a 256-entry
 /// window, as in the paper.
 #[must_use]
 pub fn figure15(ec: &ExperimentConfig) -> Vec<SweepRow> {
-    sweep(
-        ec,
-        [10u64, 20, 30]
-            .into_iter()
-            .map(|d| (d, ec.machine.clone().with_window(256).with_depth(d)))
-            .collect(),
-    )
+    figure15_on(&SweepRunner::new(ec))
+}
+
+/// [`figure15`] on a caller-owned runner.
+#[must_use]
+pub fn figure15_on(runner: &SweepRunner) -> Vec<SweepRow> {
+    let ec = runner.config();
+    let machines = [10u64, 20, 30]
+        .into_iter()
+        .map(|d| (d, ec.machine.clone().with_window(256).with_depth(d)))
+        .collect();
+    sweep(runner, machines)
 }
 
 /// **Extension** — the §3.6/§7 input-dependence-aware compiler
@@ -394,22 +531,36 @@ pub fn figure15(ec: &ExperimentConfig) -> Vec<SweepRow> {
 /// on the experiment's training input as usual.
 #[must_use]
 pub fn figure_adaptive(ec: &ExperimentConfig) -> FigureData {
-    let train = [InputSet::A, InputSet::C];
-    let mut rows = Vec::new();
-    for bench in suite(ec.scale) {
-        let normal = compile_variant(&bench, BinaryVariant::NormalBranch, ec);
-        let wjl = compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, ec);
-        let adaptive = crate::experiment::compile_adaptive_variant(&bench, &train, ec);
-        let mut values = Vec::new();
+    figure_adaptive_on(&SweepRunner::new(ec))
+}
+
+/// [`figure_adaptive`] on a caller-owned runner.
+#[must_use]
+pub fn figure_adaptive_on(runner: &SweepRunner) -> FigureData {
+    let ec = runner.config().clone();
+    let adaptive_train = TrainSpec::Multi(vec![InputSet::A, InputSet::C]);
+    let mut jobs = Vec::new();
+    for b in 0..runner.benches().len() {
         for input in InputSet::ALL {
-            let base = simulate(&normal.program, &bench, input, &ec.machine).stats.cycles as f64;
-            values.push(simulate(&wjl.program, &bench, input, &ec.machine).stats.cycles as f64 / base);
-            values.push(
-                simulate(&adaptive.program, &bench, input, &ec.machine).stats.cycles as f64 / base,
+            jobs.push(SweepJob::standard(b, BinaryVariant::NormalBranch, input, &ec));
+            jobs.push(SweepJob::standard(b, BinaryVariant::WishJumpJoinLoop, input, &ec));
+            jobs.push(
+                SweepJob::standard(b, BinaryVariant::WishAdaptive, input, &ec)
+                    .with_train(adaptive_train.clone()),
             );
         }
+    }
+    let cycles = run_cycles(runner, jobs);
+    let mut rows = Vec::new();
+    for (b, per_bench) in cycles.chunks_exact(3 * InputSet::ALL.len()).enumerate() {
+        let mut values = Vec::new();
+        for triple in per_bench.chunks_exact(3) {
+            let base = triple[0] as f64;
+            values.push(triple[1] as f64 / base);
+            values.push(triple[2] as f64 / base);
+        }
         rows.push(NormalizedRow {
-            name: bench.name.into(),
+            name: runner.benches()[b].name.into(),
             values,
         });
     }
@@ -438,18 +589,34 @@ pub fn figure_adaptive(ec: &ExperimentConfig) -> FigureData {
 /// should therefore win wherever loops or large regions matter.
 #[must_use]
 pub fn figure_dhp(ec: &ExperimentConfig) -> FigureData {
+    figure_dhp_on(&SweepRunner::new(ec))
+}
+
+/// [`figure_dhp`] on a caller-owned runner.
+#[must_use]
+pub fn figure_dhp_on(runner: &SweepRunner) -> FigureData {
+    let ec = runner.config().clone();
     let input = ec.train_input;
+    let mut dhp_machine = ec.machine.clone();
+    dhp_machine.dhp_enabled = true;
+
+    let mut jobs = Vec::new();
+    for b in 0..runner.benches().len() {
+        jobs.push(SweepJob::standard(b, BinaryVariant::NormalBranch, input, &ec));
+        jobs.push(
+            SweepJob::standard(b, BinaryVariant::NormalBranch, input, &ec)
+                .with_machine(dhp_machine.clone()),
+        );
+        jobs.push(SweepJob::standard(b, BinaryVariant::WishJumpJoinLoop, input, &ec));
+    }
+    let results = runner.run(jobs);
     let mut rows = Vec::new();
-    for bench in suite(ec.scale) {
-        let normal = compile_variant(&bench, BinaryVariant::NormalBranch, ec);
-        let wjl = compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, ec);
-        let base = simulate(&normal.program, &bench, input, &ec.machine).stats.cycles as f64;
-        let mut dhp_machine = ec.machine.clone();
-        dhp_machine.dhp_enabled = true;
-        let dhp_stats = simulate(&normal.program, &bench, input, &dhp_machine).stats;
-        let wish = simulate(&wjl.program, &bench, input, &ec.machine).stats.cycles as f64;
+    for (b, chunk) in results.chunks_exact(3).enumerate() {
+        let base = chunk[0].outcome.sim.stats.cycles as f64;
+        let dhp_stats = &chunk[1].outcome.sim.stats;
+        let wish = chunk[2].outcome.sim.stats.cycles as f64;
         rows.push(NormalizedRow {
-            name: bench.name.into(),
+            name: runner.benches()[b].name.into(),
             values: vec![
                 dhp_stats.cycles as f64 / base,
                 wish / base,
@@ -478,21 +645,38 @@ pub fn figure_dhp(ec: &ExperimentConfig) -> FigureData {
 /// wish branches avoid.
 #[must_use]
 pub fn figure_predicate_prediction(ec: &ExperimentConfig) -> FigureData {
+    figure_predicate_prediction_on(&SweepRunner::new(ec))
+}
+
+/// [`figure_predicate_prediction`] on a caller-owned runner.
+#[must_use]
+pub fn figure_predicate_prediction_on(runner: &SweepRunner) -> FigureData {
+    let ec = runner.config().clone();
     let input = ec.train_input;
+    let mut pp_machine = ec.machine.clone();
+    pp_machine.predicate_prediction = true;
+
+    let mut jobs = Vec::new();
+    for b in 0..runner.benches().len() {
+        jobs.push(SweepJob::standard(b, BinaryVariant::NormalBranch, input, &ec));
+        jobs.push(SweepJob::standard(b, BinaryVariant::BaseMax, input, &ec));
+        jobs.push(
+            SweepJob::standard(b, BinaryVariant::BaseMax, input, &ec)
+                .with_machine(pp_machine.clone()),
+        );
+        jobs.push(SweepJob::standard(b, BinaryVariant::WishJumpJoinLoop, input, &ec));
+    }
+    let cycles = run_cycles(runner, jobs);
     let mut rows = Vec::new();
-    for bench in suite(ec.scale) {
-        let normal = compile_variant(&bench, BinaryVariant::NormalBranch, ec);
-        let max = compile_variant(&bench, BinaryVariant::BaseMax, ec);
-        let wjl = compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, ec);
-        let base = simulate(&normal.program, &bench, input, &ec.machine).stats.cycles as f64;
-        let plain = simulate(&max.program, &bench, input, &ec.machine).stats.cycles as f64;
-        let mut pp_machine = ec.machine.clone();
-        pp_machine.predicate_prediction = true;
-        let pp = simulate(&max.program, &bench, input, &pp_machine).stats.cycles as f64;
-        let wish = simulate(&wjl.program, &bench, input, &ec.machine).stats.cycles as f64;
+    for (b, chunk) in cycles.chunks_exact(4).enumerate() {
+        let base = chunk[0] as f64;
         rows.push(NormalizedRow {
-            name: bench.name.into(),
-            values: vec![plain / base, pp / base, wish / base],
+            name: runner.benches()[b].name.into(),
+            values: vec![
+                chunk[1] as f64 / base,
+                chunk[2] as f64 / base,
+                chunk[3] as f64 / base,
+            ],
         });
     }
     append_averages(&mut rows);

@@ -35,15 +35,21 @@
 #![warn(missing_docs)]
 
 mod ablation;
+mod engine;
 mod experiment;
 mod figures;
 mod render;
 mod tables;
 
 pub use ablation::{
-    confidence_threshold_sweep, loop_predictor_comparison, mshr_sweep, wish_threshold_sweep,
+    confidence_threshold_sweep, confidence_threshold_sweep_on, loop_predictor_comparison,
+    loop_predictor_comparison_on, mshr_sweep, mshr_sweep_on, wish_threshold_sweep,
+    wish_threshold_sweep_on,
     AblationPoint,
     LoopPredictorComparison,
+};
+pub use engine::{
+    default_workers, JobResult, SweepJob, SweepRunner, SweepSummary, TrainSpec, WORKERS_ENV,
 };
 pub use experiment::{
     compile_adaptive_variant, compile_variant, profile_on, run_binary, simulate,
@@ -52,7 +58,12 @@ pub use experiment::{
 pub use figures::{
     figure1, figure10, figure11, figure12, figure13, figure14, figure15, figure16, figure2,
     figure_adaptive, figure_dhp, figure_predicate_prediction,
+    figure1_on, figure10_on, figure11_on, figure12_on, figure13_on, figure14_on, figure15_on,
+    figure16_on, figure2_on, figure_adaptive_on, figure_dhp_on, figure_predicate_prediction_on,
     Fig11Row, Fig13Row, Fig1Row, Fig2Row, FigureData, NormalizedRow, SweepRow,
 };
-pub use render::{bar_chart, fig11_table, fig13_table, sweep_table, table4_table, table5_table, Table};
-pub use tables::{table4, table5, Table4Row, Table5Row};
+pub use render::{
+    bar_chart, fig11_table, fig13_table, sweep_summary_table, sweep_table, table4_table,
+    table5_table, Table,
+};
+pub use tables::{table4, table4_on, table5, table5_on, Table4Row, Table5Row};

@@ -1,5 +1,6 @@
 //! Plain-text rendering of figures and tables for the bench harness.
 
+use crate::engine::SweepSummary;
 use crate::figures::{Fig11Row, Fig13Row, FigureData, SweepRow};
 use crate::tables::{Table4Row, Table5Row};
 use std::fmt;
@@ -199,6 +200,48 @@ pub fn table5_table(rows: &[Table5Row]) -> Table {
             r.best.to_string(),
         ]);
     }
+    t
+}
+
+/// Renders a [`SweepSummary`]: job counts, cache effectiveness, and the
+/// serial-equivalent vs wall-clock time (their ratio is the parallel
+/// speedup the worker pool achieved).
+#[must_use]
+pub fn sweep_summary_table(summary: &SweepSummary) -> Table {
+    let mut t = Table::new(
+        "Sweep summary",
+        ["metric", "value"].map(String::from).to_vec(),
+    );
+    t.push_row(vec!["jobs".into(), summary.jobs.to_string()]);
+    t.push_row(vec!["workers".into(), summary.workers.to_string()]);
+    t.push_row(vec![
+        "profile cache".into(),
+        format!(
+            "{} hits / {} misses",
+            summary.profile_hits, summary.profile_misses
+        ),
+    ]);
+    t.push_row(vec![
+        "compile cache".into(),
+        format!(
+            "{} hits / {} misses ({:.0}% hit rate)",
+            summary.compile_hits,
+            summary.compile_misses,
+            summary.compile_hit_rate() * 100.0
+        ),
+    ]);
+    t.push_row(vec![
+        "job time (serial equivalent)".into(),
+        format!("{:.2}s", summary.job_time.as_secs_f64()),
+    ]);
+    t.push_row(vec![
+        "wall time".into(),
+        format!("{:.2}s", summary.wall_time.as_secs_f64()),
+    ]);
+    t.push_row(vec![
+        "parallel speedup".into(),
+        format!("{:.2}x", summary.parallel_speedup()),
+    ]);
     t
 }
 

@@ -1,8 +1,11 @@
 //! Regeneration of Tables 4 and 5.
+//!
+//! As with the figures, each table has a `_on(&SweepRunner)` variant that
+//! batches its jobs onto a shared runner.
 
-use crate::experiment::{compile_variant, simulate, ExperimentConfig};
+use crate::engine::{SweepJob, SweepRunner};
+use crate::experiment::ExperimentConfig;
 use wishbranch_compiler::BinaryVariant;
-use wishbranch_workloads::suite;
 
 /// One row of Table 4: benchmark characteristics for the normal-branch and
 /// wish jump/join/loop binaries.
@@ -33,20 +36,33 @@ pub struct Table4Row {
 /// **Table 4** — simulated benchmark characteristics.
 #[must_use]
 pub fn table4(ec: &ExperimentConfig) -> Vec<Table4Row> {
+    table4_on(&SweepRunner::new(ec))
+}
+
+/// [`table4`] on a caller-owned runner.
+#[must_use]
+pub fn table4_on(runner: &SweepRunner) -> Vec<Table4Row> {
+    let ec = runner.config().clone();
     let input = ec.train_input;
-    suite(ec.scale)
-        .iter()
-        .map(|bench| {
-            let normal = compile_variant(bench, BinaryVariant::NormalBranch, ec);
-            let nstats = simulate(&normal.program, bench, input, &ec.machine).stats;
-            let wjl = compile_variant(bench, BinaryVariant::WishJumpJoinLoop, ec);
-            let wstatic = wjl.program.static_stats();
-            let wstats = simulate(&wjl.program, bench, input, &ec.machine).stats;
+    let mut jobs = Vec::new();
+    for b in 0..runner.benches().len() {
+        jobs.push(SweepJob::standard(b, BinaryVariant::NormalBranch, input, &ec));
+        jobs.push(SweepJob::standard(b, BinaryVariant::WishJumpJoinLoop, input, &ec));
+    }
+    runner
+        .run(jobs)
+        .chunks_exact(2)
+        .enumerate()
+        .map(|(b, pair)| {
+            let nstats = &pair[0].outcome.sim.stats;
+            let nstatic = pair[0].outcome.static_stats;
+            let wstats = &pair[1].outcome.sim.stats;
+            let wstatic = pair[1].outcome.static_stats;
             let dyn_wish = wstats.wish_branches_total();
             Table4Row {
-                name: bench.name.into(),
+                name: runner.benches()[b].name.into(),
                 dynamic_uops: nstats.retired_uops,
-                static_branches: normal.program.static_stats().cond_branches,
+                static_branches: nstatic.cond_branches,
                 dynamic_branches: nstats.retired_cond_branches,
                 mispredicts_per_kuop: nstats.mispredicts_per_kuop(),
                 upc: nstats.upc(),
@@ -91,19 +107,36 @@ pub struct Table5Row {
 /// binary wins at run time.
 #[must_use]
 pub fn table5(ec: &ExperimentConfig) -> Vec<Table5Row> {
-    let input = ec.train_input;
-    let mut rows: Vec<Table5Row> = suite(ec.scale)
-        .iter()
-        .map(|bench| {
-            let run = |v| {
-                let bin = compile_variant(bench, v, ec);
-                simulate(&bin.program, bench, input, &ec.machine).stats.cycles
-            };
-            let normal = run(BinaryVariant::NormalBranch);
-            let def = run(BinaryVariant::BaseDef);
-            let max = run(BinaryVariant::BaseMax);
-            let wjl = run(BinaryVariant::WishJumpJoinLoop);
+    table5_on(&SweepRunner::new(ec))
+}
 
+/// [`table5`] on a caller-owned runner.
+#[must_use]
+pub fn table5_on(runner: &SweepRunner) -> Vec<Table5Row> {
+    let ec = runner.config().clone();
+    let input = ec.train_input;
+    let variants = [
+        BinaryVariant::NormalBranch,
+        BinaryVariant::BaseDef,
+        BinaryVariant::BaseMax,
+        BinaryVariant::WishJumpJoinLoop,
+    ];
+    let mut jobs = Vec::new();
+    for b in 0..runner.benches().len() {
+        for v in variants {
+            jobs.push(SweepJob::standard(b, v, input, &ec));
+        }
+    }
+    let cycles: Vec<u64> = runner
+        .run(jobs)
+        .into_iter()
+        .map(|r| r.outcome.sim.stats.cycles)
+        .collect();
+    let mut rows: Vec<Table5Row> = cycles
+        .chunks_exact(variants.len())
+        .enumerate()
+        .map(|(b, chunk)| {
+            let [normal, def, max, wjl] = [chunk[0], chunk[1], chunk[2], chunk[3]];
             let (best_pred, best_pred_label) = if def <= max { (def, "DEF") } else { (max, "MAX") };
             let (best, best_label) = if normal < best_pred {
                 (normal, "BR")
@@ -112,7 +145,7 @@ pub fn table5(ec: &ExperimentConfig) -> Vec<Table5Row> {
             };
             let pct = |base: u64| (base as f64 - wjl as f64) * 100.0 / base as f64;
             Table5Row {
-                name: bench.name.into(),
+                name: runner.benches()[b].name.into(),
                 vs_normal_pct: pct(normal),
                 vs_best_predicated_pct: pct(best_pred),
                 best_predicated: best_pred_label,

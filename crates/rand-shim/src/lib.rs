@@ -1,0 +1,406 @@
+//! # rand-shim
+//!
+//! A dependency-free, offline stand-in for the subset of the `rand` 0.8
+//! API this workspace uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! and the [`Rng`] methods `gen`, `gen_range` and `gen_bool`.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace cannot download the real crate. Because every workload in
+//! `wishbranch-workloads` derives its program shape and input data from a
+//! seeded `StdRng`, this shim does not merely imitate the API — it
+//! reimplements the exact `rand` 0.8 byte streams so previously recorded
+//! experiment numbers remain valid:
+//!
+//! * `StdRng` is ChaCha12 (as in `rand` 0.8 via `rand_chacha`), with the
+//!   same 4-block output buffering and `next_u64` word-pairing as
+//!   `rand_core::block::BlockRng`;
+//! * `seed_from_u64` uses `rand_core` 0.6's PCG32-based seed expansion;
+//! * `gen_range` uses `rand` 0.8.5's widening-multiply rejection sampling
+//!   (`UniformInt::sample_single_inclusive`);
+//! * `gen_bool` uses `rand` 0.8's fixed-point `Bernoulli`.
+//!
+//! Everything is deterministic for a given seed, on every platform.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core trait: a source of random `u32`/`u64` words.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable RNGs. Only `seed_from_u64` is needed by this workspace.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Creates the RNG from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates the RNG from a `u64`, expanding it with the same PCG32
+    /// stream `rand_core` 0.6 uses, so seeds produce identical state.
+    fn seed_from_u64(mut state: u64) -> Self {
+        fn pcg32(state: &mut u64) -> [u8; 4] {
+            const MUL: u64 = 6_364_136_223_846_793_005;
+            const INC: u64 = 11_634_580_027_462_260_723;
+            *state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let s = *state;
+            let xorshifted = (((s >> 18) ^ s) >> 27) as u32;
+            let rot = (s >> 59) as u32;
+            xorshifted.rotate_right(rot).to_le_bytes()
+        }
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            let x = pcg32(&mut state);
+            chunk.copy_from_slice(&x[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing convenience methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Returns a uniformly random value of a [`Standard`]-samplable type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Returns a uniform value in `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        // rand 0.8's Bernoulli: 64-bit fixed point, p == 1.0 special-cased.
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        if p == 1.0 {
+            return true;
+        }
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable uniformly over their whole domain (rand's `Standard`).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_via_u32 {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+macro_rules! standard_via_u64 {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_via_u32!(u8, i8, u16, i16, u32, i32);
+standard_via_u64!(u64, i64, usize, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8 compares a fresh u32 against its most significant bit.
+        rng.next_u32() < 0x8000_0000
+    }
+}
+
+/// Ranges that can produce a uniform sample (rand's `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $wide:ty) => {
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                sample_inclusive_helper!(self.start, self.end - 1, rng, $ty, $unsigned, $u_large, $wide)
+            }
+        }
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                sample_inclusive_helper!(lo, hi, rng, $ty, $unsigned, $u_large, $wide)
+            }
+        }
+    };
+}
+
+/// rand 0.8.5's `UniformInt::sample_single_inclusive`: widening multiply
+/// with rejection of the biased low half-product zone.
+macro_rules! sample_inclusive_helper {
+    ($low:expr, $high:expr, $rng:expr, $ty:ty, $unsigned:ty, $u_large:ty, $wide:ty) => {{
+        let low: $ty = $low;
+        let high: $ty = $high;
+        let range = (high as $unsigned).wrapping_sub(low as $unsigned).wrapping_add(1) as $u_large;
+        if range == 0 {
+            // The entire domain: one unrestricted draw.
+            <$u_large as Standard>::sample($rng) as $ty
+        } else {
+            let zone = if (<$unsigned>::MAX as u64) <= u16::MAX as u64 {
+                // Small types: compute the exact rejection zone.
+                let unsigned_max = <$u_large>::MAX;
+                let ints_to_reject = (unsigned_max - range + 1) % range;
+                unsigned_max - ints_to_reject
+            } else {
+                (range << range.leading_zeros()).wrapping_sub(1)
+            };
+            loop {
+                let v: $u_large = <$u_large as Standard>::sample($rng);
+                let full = (v as $wide).wrapping_mul(range as $wide);
+                let hi = (full >> (<$u_large>::BITS)) as $u_large;
+                let lo = full as $u_large;
+                if lo <= zone {
+                    break low.wrapping_add(hi as $ty);
+                }
+            }
+        }
+    }};
+}
+
+uniform_int_impl!(i8, u8, u32, u64);
+uniform_int_impl!(u8, u8, u32, u64);
+uniform_int_impl!(i16, u16, u32, u64);
+uniform_int_impl!(u16, u16, u32, u64);
+uniform_int_impl!(i32, u32, u32, u64);
+uniform_int_impl!(u32, u32, u32, u64);
+uniform_int_impl!(i64, u64, u64, u128);
+uniform_int_impl!(u64, u64, u64, u128);
+uniform_int_impl!(isize, usize, usize, u128);
+uniform_int_impl!(usize, usize, usize, u128);
+
+/// Named RNGs, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+/// Words buffered per refill: four 16-word ChaCha blocks, as in
+/// `rand_chacha`'s `BlockRng` usage.
+const BUF_WORDS: usize = 64;
+
+/// The standard RNG: ChaCha12, bit-compatible with `rand` 0.8's `StdRng`.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12–13).
+    counter: u64,
+    /// 64-bit stream id (state words 14–15); zero for `from_seed`.
+    stream: u64,
+    buf: [u32; BUF_WORDS],
+    index: usize,
+}
+
+impl StdRng {
+    fn chacha12_block(&self, counter: u64) -> [u32; 16] {
+        let mut x = [0u32; 16];
+        x[..4].copy_from_slice(&CONSTANTS);
+        x[4..12].copy_from_slice(&self.key);
+        x[12] = counter as u32;
+        x[13] = (counter >> 32) as u32;
+        x[14] = self.stream as u32;
+        x[15] = (self.stream >> 32) as u32;
+        let initial = x;
+
+        macro_rules! qr {
+            ($a:expr, $b:expr, $c:expr, $d:expr) => {
+                x[$a] = x[$a].wrapping_add(x[$b]);
+                x[$d] = (x[$d] ^ x[$a]).rotate_left(16);
+                x[$c] = x[$c].wrapping_add(x[$d]);
+                x[$b] = (x[$b] ^ x[$c]).rotate_left(12);
+                x[$a] = x[$a].wrapping_add(x[$b]);
+                x[$d] = (x[$d] ^ x[$a]).rotate_left(8);
+                x[$c] = x[$c].wrapping_add(x[$d]);
+                x[$b] = (x[$b] ^ x[$c]).rotate_left(7);
+            };
+        }
+        for _ in 0..6 {
+            // One double round = 2 of ChaCha12's 12 rounds.
+            qr!(0, 4, 8, 12);
+            qr!(1, 5, 9, 13);
+            qr!(2, 6, 10, 14);
+            qr!(3, 7, 11, 15);
+            qr!(0, 5, 10, 15);
+            qr!(1, 6, 11, 12);
+            qr!(2, 7, 8, 13);
+            qr!(3, 4, 9, 14);
+        }
+        for (o, i) in x.iter_mut().zip(initial) {
+            *o = o.wrapping_add(i);
+        }
+        x
+    }
+
+    /// Refills the 4-block buffer and positions the cursor at `offset`.
+    fn generate_and_set(&mut self, offset: usize) {
+        for block in 0..BUF_WORDS / 16 {
+            let words = self.chacha12_block(self.counter.wrapping_add(block as u64));
+            self.buf[block * 16..(block + 1) * 16].copy_from_slice(&words);
+        }
+        self.counter = self.counter.wrapping_add((BUF_WORDS / 16) as u64);
+        self.index = offset;
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> StdRng {
+        let mut key = [0u32; 8];
+        for (k, bytes) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(bytes.try_into().expect("4-byte chunk"));
+        }
+        StdRng {
+            key,
+            counter: 0,
+            stream: 0,
+            buf: [0; BUF_WORDS],
+            index: BUF_WORDS,
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.generate_and_set(0);
+        }
+        let v = self.buf[self.index];
+        self.index += 1;
+        v
+    }
+
+    // `rand_core::block::BlockRng::next_u64`: pair consecutive u32 words,
+    // low word first, straddling buffer refills exactly as upstream does.
+    fn next_u64(&mut self) -> u64 {
+        let i = self.index;
+        if i < BUF_WORDS - 1 {
+            self.index += 2;
+            u64::from(self.buf[i + 1]) << 32 | u64::from(self.buf[i])
+        } else if i >= BUF_WORDS {
+            self.generate_and_set(2);
+            u64::from(self.buf[1]) << 32 | u64::from(self.buf[0])
+        } else {
+            let lo = u64::from(self.buf[BUF_WORDS - 1]);
+            self.generate_and_set(1);
+            u64::from(self.buf[0]) << 32 | lo
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_bounds_and_coverage() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+        }
+        for _ in 0..1000 {
+            let v = rng.gen_range(-7i32..8);
+            assert!((-7..8).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_balance() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "p=0.5 balance: {heads}");
+    }
+
+    #[test]
+    fn mixed_u32_u64_draws_stay_deterministic_across_refills() {
+        // Exercise the BlockRng boundary cases (index == BUF_WORDS - 1).
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        for k in 0..300 {
+            if k % 3 == 0 {
+                out_a.push(u64::from(a.next_u32()));
+                out_b.push(u64::from(b.next_u32()));
+            } else {
+                out_a.push(a.next_u64());
+                out_b.push(b.next_u64());
+            }
+        }
+        assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    fn seed_expansion_matches_rand_core_pcg32_shape() {
+        // Different low-hamming-weight seeds must expand to unrelated keys.
+        let a = StdRng::seed_from_u64(0);
+        let b = StdRng::seed_from_u64(1);
+        assert_ne!(a.key, b.key);
+        assert_ne!(a.key, [0u32; 8], "seed 0 still expands to a real key");
+    }
+}

@@ -45,7 +45,7 @@ impl fmt::Display for SimError {
 impl Error for SimError {}
 
 /// Outcome of a simulation.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct SimResult {
     /// All statistics.
     pub stats: SimStats,

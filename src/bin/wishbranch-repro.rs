@@ -2,19 +2,26 @@
 //! the command line.
 //!
 //! ```text
-//! USAGE: wishbranch-repro [--scale N] [--json] [--quick] <experiment>...
+//! USAGE: wishbranch-repro [--scale N] [--workers N] [--json] [--quick] <experiment>...
 //!        wishbranch-repro --list
 //!
 //! Experiments: fig1 fig2 fig10 fig11 fig12 fig13 fig14 fig15 fig16
 //!              tab4 tab5 adaptive dhp all
 //! ```
+//!
+//! Every experiment runs through one shared [`SweepRunner`], so `all`
+//! compiles each binary exactly once across every figure and fans the
+//! simulations out over the worker pool (`--workers`, or the
+//! `WISHBRANCH_WORKERS` environment variable, defaulting to the machine's
+//! available parallelism). Text mode prints a cumulative sweep summary at
+//! the end.
 
 use std::fmt::Write as _;
 use wishbranch_core::{
-    fig11_table, fig13_table, figure1, figure10, figure11, figure12, figure13, figure14,
-    figure15, figure16, figure2, figure_adaptive, figure_dhp, figure_predicate_prediction,
-    sweep_table, table4, table4_table, table5, table5_table, ExperimentConfig, FigureData,
-    SweepRow, Table,
+    fig11_table, fig13_table, figure10_on, figure11_on, figure12_on, figure13_on, figure14_on,
+    figure15_on, figure16_on, figure1_on, figure2_on, figure_adaptive_on, figure_dhp_on,
+    figure_predicate_prediction_on, sweep_summary_table, sweep_table, table4_on, table4_table,
+    table5_on, table5_table, ExperimentConfig, FigureData, SweepRow, SweepRunner, Table,
 };
 
 const EXPERIMENTS: &[&str] = &[
@@ -24,7 +31,7 @@ const EXPERIMENTS: &[&str] = &[
 
 fn usage() -> ! {
     eprintln!(
-        "USAGE: wishbranch-repro [--scale N] [--json] [--quick] <experiment>...\n\
+        "USAGE: wishbranch-repro [--scale N] [--workers N] [--json] [--quick] <experiment>...\n\
                 wishbranch-repro --list\n\
          experiments: {} all",
         EXPERIMENTS.join(" ")
@@ -108,6 +115,7 @@ fn main() {
     let mut scale = 4000;
     let mut json = false;
     let mut quick = false;
+    let mut workers: Option<usize> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -117,6 +125,14 @@ fn main() {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
+            }
+            "--workers" => {
+                workers = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage()),
+                );
             }
             "--json" => json = true,
             "--quick" => quick = true,
@@ -137,25 +153,34 @@ fn main() {
     } else {
         ExperimentConfig::paper(scale)
     };
+    // One runner for every requested experiment: figures share the profile
+    // and compile caches, and `all` keeps the pool busy end to end.
+    let runner = match workers {
+        Some(n) => SweepRunner::with_workers(&ec, n),
+        None => SweepRunner::new(&ec),
+    };
 
     for what in wanted {
         match what.as_str() {
-            "fig1" => emit_figure(&figure1(&ec), json),
-            "fig2" => emit_figure(&figure2(&ec), json),
-            "fig10" => emit_figure(&figure10(&ec), json),
-            "fig11" => emit_table(&fig11_table(&figure11(&ec)), json),
-            "fig12" => emit_figure(&figure12(&ec), json),
-            "fig13" => emit_table(&fig13_table(&figure13(&ec)), json),
-            "fig14" => emit_sweep("Fig.14: instruction window sweep", "window", &figure14(&ec), json),
-            "fig15" => emit_sweep("Fig.15: pipeline depth sweep", "depth", &figure15(&ec), json),
-            "fig16" => emit_figure(&figure16(&ec), json),
-            "tab4" => emit_table(&table4_table(&table4(&ec)), json),
-            "tab5" => emit_table(&table5_table(&table5(&ec)), json),
-            "adaptive" => emit_figure(&figure_adaptive(&ec), json),
-            "dhp" => emit_figure(&figure_dhp(&ec), json),
-            "predpred" => emit_figure(&figure_predicate_prediction(&ec), json),
+            "fig1" => emit_figure(&figure1_on(&runner), json),
+            "fig2" => emit_figure(&figure2_on(&runner), json),
+            "fig10" => emit_figure(&figure10_on(&runner), json),
+            "fig11" => emit_table(&fig11_table(&figure11_on(&runner)), json),
+            "fig12" => emit_figure(&figure12_on(&runner), json),
+            "fig13" => emit_table(&fig13_table(&figure13_on(&runner)), json),
+            "fig14" => emit_sweep("Fig.14: instruction window sweep", "window", &figure14_on(&runner), json),
+            "fig15" => emit_sweep("Fig.15: pipeline depth sweep", "depth", &figure15_on(&runner), json),
+            "fig16" => emit_figure(&figure16_on(&runner), json),
+            "tab4" => emit_table(&table4_table(&table4_on(&runner)), json),
+            "tab5" => emit_table(&table5_table(&table5_on(&runner)), json),
+            "adaptive" => emit_figure(&figure_adaptive_on(&runner), json),
+            "dhp" => emit_figure(&figure_dhp_on(&runner), json),
+            "predpred" => emit_figure(&figure_predicate_prediction_on(&runner), json),
             _ => unreachable!("validated above"),
         }
+    }
+    if !json {
+        println!("{}", sweep_summary_table(&runner.summary()));
     }
 }
 

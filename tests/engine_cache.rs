@@ -1,0 +1,109 @@
+//! Cache-correctness properties of the sweep engine: a cache hit is
+//! structurally identical to a fresh compile, and cache keys never alias
+//! across distinct compile options or training inputs.
+
+use proptest::prelude::*;
+use wishbranch_compiler::{compile, BinaryVariant, CompileOptions};
+use wishbranch_core::{profile_on, ExperimentConfig, SweepJob, SweepRunner, TrainSpec};
+use wishbranch_workloads::{suite, InputSet};
+
+fn options_strategy() -> impl Strategy<Value = CompileOptions> {
+    (
+        0usize..=20,           // wish_jump_threshold
+        1usize..=60,           // wish_loop_body_max
+        5u32..=60,             // mispredict_penalty (integer-valued f64)
+        1u32..=6,              // est_ipc
+        10usize..=400,         // max_predicated_side
+        0u32..=10,             // input_dependence_threshold (percent)
+    )
+        .prop_map(|(n, l, penalty, ipc, side, dep)| CompileOptions {
+            wish_jump_threshold: n,
+            wish_loop_body_max: l,
+            mispredict_penalty: f64::from(penalty),
+            est_ipc: f64::from(ipc),
+            max_predicated_side: side,
+            input_dependence_threshold: f64::from(dep) / 100.0,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any compile options, the binary served from the cache on the
+    /// second request is structurally identical to a fresh, cache-free
+    /// compile with the same inputs.
+    #[test]
+    fn cache_hit_is_structurally_identical_to_fresh_compile(
+        opts in options_strategy(),
+        variant_idx in 0usize..BinaryVariant::ALL.len(),
+    ) {
+        let ec = ExperimentConfig::quick(20);
+        let variant = BinaryVariant::ALL[variant_idx];
+        let runner = SweepRunner::new(&ec);
+        let job = SweepJob::standard(0, variant, InputSet::B, &ec).with_compile(opts.clone());
+
+        let (first, first_hit) = runner.binary(&job);
+        prop_assert!(!first_hit, "first request must be a miss");
+        let (second, second_hit) = runner.binary(&job);
+        prop_assert!(second_hit, "second request must be a hit");
+
+        let bench = &suite(ec.scale)[0];
+        let profile = profile_on(bench, ec.train_input);
+        let fresh = compile(&bench.module, &profile, variant, &opts);
+        prop_assert_eq!(&*second, &fresh, "cached binary differs from fresh compile");
+        prop_assert_eq!(&*first, &fresh);
+    }
+
+    /// Distinct training inputs never share a cache entry, even when every
+    /// other part of the job is identical.
+    #[test]
+    fn distinct_train_inputs_never_alias(
+        variant_idx in 0usize..BinaryVariant::ALL.len(),
+    ) {
+        let ec = ExperimentConfig::quick(20);
+        let variant = BinaryVariant::ALL[variant_idx];
+        let runner = SweepRunner::new(&ec);
+        let base = SweepJob::standard(1, variant, InputSet::B, &ec);
+        for input in InputSet::ALL {
+            let _ = runner.binary(&base.clone().with_train(TrainSpec::Single(input)));
+        }
+        let summary = runner.summary();
+        prop_assert_eq!(summary.compile_misses, 3, "three train inputs, three compiles");
+        prop_assert_eq!(summary.compile_hits, 0);
+    }
+}
+
+#[test]
+fn single_and_multi_train_specs_never_alias() {
+    let ec = ExperimentConfig::quick(20);
+    let runner = SweepRunner::new(&ec);
+    let job = SweepJob::standard(0, BinaryVariant::WishAdaptive, InputSet::B, &ec);
+    let _ = runner.binary(&job.clone().with_train(TrainSpec::Single(InputSet::A)));
+    let _ = runner.binary(&job.clone().with_train(TrainSpec::Multi(vec![InputSet::A])));
+    let _ = runner
+        .binary(&job.clone().with_train(TrainSpec::Multi(vec![InputSet::A, InputSet::C])));
+    assert_eq!(runner.summary().compile_misses, 3, "all three keys are distinct");
+}
+
+#[test]
+fn any_option_difference_is_a_distinct_key() {
+    let ec = ExperimentConfig::quick(20);
+    let runner = SweepRunner::new(&ec);
+    let base = SweepJob::standard(0, BinaryVariant::WishJumpJoin, InputSet::B, &ec);
+    let mut seen = 0;
+    for tweak in 0..6 {
+        let mut opts = ec.compile.clone();
+        match tweak {
+            0 => opts.wish_jump_threshold += 1,
+            1 => opts.wish_loop_body_max += 1,
+            2 => opts.mispredict_penalty += 0.5,
+            3 => opts.est_ipc += 0.25,
+            4 => opts.max_predicated_side += 1,
+            _ => opts.input_dependence_threshold += 0.001,
+        }
+        let _ = runner.binary(&base.clone().with_compile(opts));
+        seen += 1;
+    }
+    let _ = runner.binary(&base); // defaults, a seventh distinct key
+    assert_eq!(runner.summary().compile_misses, seen + 1);
+}

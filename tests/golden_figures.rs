@@ -1,0 +1,87 @@
+//! Golden-figure regression: headline averages of Figs. 10 and 12 at a
+//! reduced, fully deterministic scale.
+//!
+//! EXPERIMENTS.md records the paper-scale (WISHBRANCH_SCALE=4000) headline
+//! numbers — Fig. 10 wish-jj AVGnomcf 0.918, Fig. 12 wish-jjl AVG 0.827,
+//! BASE-DEF 0.892. Simulating at that scale is minutes of work, so this
+//! test snapshots the same averages at scale 150 on the paper machine
+//! (values measured from the engine, which is bit-identical to the serial
+//! spine — see `engine_equivalence.rs`). The whole stack is deterministic,
+//! so a drift beyond the stated tolerance means a real change to the
+//! compiler, simulator, or workloads — rerun the paper-scale sweep and
+//! update both this snapshot and EXPERIMENTS.md if the change is intended.
+
+use wishbranch_core::{figure10_on, figure12_on, ExperimentConfig, FigureData, SweepRunner};
+
+const SCALE: i32 = 150;
+
+/// Tolerance on each snapshot value. Generous enough to survive benign
+/// heuristic retunes, tight enough to catch a broken mechanism (breaking
+/// wish-loop conversion moves the Fig. 12 averages by > 0.02).
+const TOL: f64 = 0.015;
+
+fn avg_row<'a>(fig: &'a FigureData, which: &str, series: &str) -> f64 {
+    let idx = fig
+        .series
+        .iter()
+        .position(|s| s == series)
+        .unwrap_or_else(|| panic!("series {series:?} missing from {:?}", fig.series));
+    fig.rows
+        .iter()
+        .find(|r| r.name == which)
+        .unwrap_or_else(|| panic!("{which} row missing"))
+        .values[idx]
+}
+
+fn assert_close(label: &str, got: f64, want: f64) {
+    assert!(
+        (got - want).abs() <= TOL,
+        "{label}: got {got:.6}, snapshot {want:.6} (tolerance ±{TOL})"
+    );
+}
+
+#[test]
+fn figure_10_and_12_headline_averages_match_snapshot() {
+    let ec = ExperimentConfig::paper(SCALE);
+    let runner = SweepRunner::new(&ec);
+    let fig10 = figure10_on(&runner);
+    let fig12 = figure12_on(&runner);
+
+    // Fig. 10 snapshot (scale 150).
+    assert_close("fig10 BASE-DEF AVG", avg_row(&fig10, "AVG", "BASE-DEF"), 1.001474);
+    assert_close(
+        "fig10 wish-jj AVGnomcf",
+        avg_row(&fig10, "AVGnomcf", "wish-jj (real-conf)"),
+        0.982445,
+    );
+    assert_close(
+        "fig10 wish-jj perf-conf AVG",
+        avg_row(&fig10, "AVG", "wish-jj (perf-conf)"),
+        0.974505,
+    );
+
+    // Fig. 12 snapshot (scale 150).
+    assert_close(
+        "fig12 wish-jjl AVG",
+        avg_row(&fig12, "AVG", "wish-jjl (real-conf)"),
+        0.943934,
+    );
+    assert_close(
+        "fig12 wish-jjl AVGnomcf",
+        avg_row(&fig12, "AVGnomcf", "wish-jjl (real-conf)"),
+        0.917767,
+    );
+
+    // The paper's qualitative headline must hold at any scale: adding wish
+    // loops beats both the predicated baseline and the jump/join binary.
+    let wjjl = avg_row(&fig12, "AVGnomcf", "wish-jjl (real-conf)");
+    assert!(
+        wjjl < avg_row(&fig12, "AVGnomcf", "BASE-DEF"),
+        "wish-jjl must beat BASE-DEF"
+    );
+    assert!(
+        wjjl < avg_row(&fig12, "AVGnomcf", "wish-jj (real-conf)"),
+        "wish loops must add benefit over jump/join alone"
+    );
+    assert!(wjjl < 1.0, "wish-jjl must beat the normal-branch binary");
+}
