@@ -3,17 +3,18 @@
 //! branches").
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
-use wishbranch_core::confidence_threshold_sweep_on;
+use wishbranch_bench::{emit_report, paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::{confidence_threshold_sweep, Report};
 
 fn bench(c: &mut Criterion) {
     let runner = paper_runner();
-    let points = confidence_threshold_sweep_on(&runner, &[2, 5, 9, 13, 15]);
-    println!("\nAblation: JRS threshold vs avg wish-jjl exec time (normalized to normal)");
-    println!("{:>10} {:>14}", "threshold", "avg exec time");
-    for p in &points {
-        println!("{:>10} {:>14.3}", p.param, p.avg_normalized);
-    }
+    let points = confidence_threshold_sweep(&runner, &[2, 5, 9, 13, 15]);
+    emit_report(&Report::ablation(
+        "abl_confidence",
+        "Ablation: JRS threshold vs avg wish-jjl exec time (normalized to normal)",
+        "threshold",
+        points,
+    ));
     print_sweep_summary(&runner);
     register_kernel(c, "abl_confidence");
 }

@@ -4,11 +4,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
-use wishbranch_core::loop_predictor_comparison_on;
+use wishbranch_core::loop_predictor_comparison;
 
 fn bench(c: &mut Criterion) {
     let runner = paper_runner();
-    let cmp = loop_predictor_comparison_on(&runner, 2);
+    let cmp = loop_predictor_comparison(&runner, 2);
     println!("\nAblation: specialized wish-loop predictor (bias +2) vs hybrid-only");
     println!("{:<28} {:>12} {:>12}", "", "hybrid-only", "biased trip");
     println!("{:<28} {:>12} {:>12}", "early exits (flush)", cmp.early_unbiased, cmp.early_biased);

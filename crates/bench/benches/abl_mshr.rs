@@ -3,17 +3,18 @@
 //! branch prediction (which needs MLP to hide flushes) and predication.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
-use wishbranch_core::mshr_sweep_on;
+use wishbranch_bench::{emit_report, paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::{mshr_sweep, Report};
 
 fn bench(c: &mut Criterion) {
     let runner = paper_runner();
-    let points = mshr_sweep_on(&runner, &[0, 32, 8, 2]);
-    println!("\nAblation: MSHRs vs avg wish-jjl exec time (normalized; 0 = unlimited)");
-    println!("{:>8} {:>14}", "MSHRs", "avg exec time");
-    for p in &points {
-        println!("{:>8} {:>14.3}", p.param, p.avg_normalized);
-    }
+    let points = mshr_sweep(&runner, &[0, 32, 8, 2]);
+    emit_report(&Report::ablation(
+        "abl_mshr",
+        "Ablation: MSHRs vs avg wish-jjl exec time (normalized; 0 = unlimited)",
+        "mshrs",
+        points,
+    ));
     print_sweep_summary(&runner);
     register_kernel(c, "abl_mshr");
 }

@@ -2,17 +2,18 @@
 //! at 5 in the paper).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
-use wishbranch_core::wish_threshold_sweep_on;
+use wishbranch_bench::{emit_report, paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::{wish_threshold_sweep, Report};
 
 fn bench(c: &mut Criterion) {
     let runner = paper_runner();
-    let points = wish_threshold_sweep_on(&runner, &[0, 3, 5, 9, 15]);
-    println!("\nAblation: wish-jump threshold N vs avg wish-jjl exec time (normalized)");
-    println!("{:>10} {:>14}", "N", "avg exec time");
-    for p in &points {
-        println!("{:>10} {:>14.3}", p.param, p.avg_normalized);
-    }
+    let points = wish_threshold_sweep(&runner, &[0, 3, 5, 9, 15]);
+    emit_report(&Report::ablation(
+        "abl_thresholds",
+        "Ablation: wish-jump threshold N vs avg wish-jjl exec time (normalized)",
+        "N",
+        points,
+    ));
     print_sweep_summary(&runner);
     register_kernel(c, "abl_thresholds");
 }

@@ -3,15 +3,14 @@
 //! three inputs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
-use wishbranch_core::{figure_adaptive_on, Table};
+use wishbranch_bench::{emit_report, paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::Experiment;
 
 fn bench(c: &mut Criterion) {
     let runner = paper_runner();
-    let fig = figure_adaptive_on(&runner);
-    println!("\n{}", Table::from(&fig));
+    emit_report(&Experiment::Adaptive.run(&runner));
     print_sweep_summary(&runner);
-    register_kernel(c, "ext_adaptive");
+    register_kernel(c, "adaptive");
 }
 
 criterion_group!(benches, bench);

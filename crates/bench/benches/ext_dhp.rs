@@ -2,15 +2,14 @@
 //! as a hardware-only baseline against wish branches.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
-use wishbranch_core::{figure_dhp_on, Table};
+use wishbranch_bench::{emit_report, paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::Experiment;
 
 fn bench(c: &mut Criterion) {
     let runner = paper_runner();
-    let fig = figure_dhp_on(&runner);
-    println!("\n{}", Table::from(&fig));
+    emit_report(&Experiment::Dhp.run(&runner));
     print_sweep_summary(&runner);
-    register_kernel(c, "ext_dhp");
+    register_kernel(c, "dhp");
 }
 
 criterion_group!(benches, bench);

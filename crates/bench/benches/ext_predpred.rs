@@ -2,15 +2,14 @@
 //! baseline against wish branches.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
-use wishbranch_core::{figure_predicate_prediction_on, Table};
+use wishbranch_bench::{emit_report, paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::Experiment;
 
 fn bench(c: &mut Criterion) {
     let runner = paper_runner();
-    let fig = figure_predicate_prediction_on(&runner);
-    println!("\n{}", Table::from(&fig));
+    emit_report(&Experiment::PredPred.run(&runner));
     print_sweep_summary(&runner);
-    register_kernel(c, "ext_predpred");
+    register_kernel(c, "predpred");
 }
 
 criterion_group!(benches, bench);

@@ -2,15 +2,14 @@
 //! NO-DEPEND+NO-FETCH) and perfect conditional branch prediction.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
-use wishbranch_core::{figure2_on, Table};
+use wishbranch_bench::{emit_report, paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::Experiment;
 
 fn bench(c: &mut Criterion) {
     let runner = paper_runner();
-    let fig = figure2_on(&runner);
-    println!("\n{}", Table::from(&fig));
+    emit_report(&Experiment::Fig2.run(&runner));
     print_sweep_summary(&runner);
-    register_kernel(c, "fig02");
+    register_kernel(c, "fig2");
 }
 
 criterion_group!(benches, bench);

@@ -2,13 +2,12 @@
 //! baselines, with real and perfect confidence estimation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
-use wishbranch_core::{figure10_on, Table};
+use wishbranch_bench::{emit_report, paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::Experiment;
 
 fn bench(c: &mut Criterion) {
     let runner = paper_runner();
-    let fig = figure10_on(&runner);
-    println!("\n{}", Table::from(&fig));
+    emit_report(&Experiment::Fig10.run(&runner));
     print_sweep_summary(&runner);
     register_kernel(c, "fig10");
 }

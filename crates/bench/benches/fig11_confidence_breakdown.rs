@@ -2,13 +2,12 @@
 //! classified by confidence estimate and prediction correctness.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
-use wishbranch_core::{fig11_table, figure11_on};
+use wishbranch_bench::{emit_report, paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::Experiment;
 
 fn bench(c: &mut Criterion) {
     let runner = paper_runner();
-    let rows = figure11_on(&runner);
-    println!("\n{}", fig11_table(&rows));
+    emit_report(&Experiment::Fig11.run(&runner));
     print_sweep_summary(&runner);
     register_kernel(c, "fig11");
 }

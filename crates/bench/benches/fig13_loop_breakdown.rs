@@ -2,13 +2,12 @@
 //! confidence and early/late/no-exit class.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
-use wishbranch_core::{fig13_table, figure13_on};
+use wishbranch_bench::{emit_report, paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::Experiment;
 
 fn bench(c: &mut Criterion) {
     let runner = paper_runner();
-    let rows = figure13_on(&runner);
-    println!("\n{}", fig13_table(&rows));
+    emit_report(&Experiment::Fig13.run(&runner));
     print_sweep_summary(&runner);
     register_kernel(c, "fig13");
 }

@@ -1,13 +1,12 @@
 //! Regenerates Fig. 14: the instruction-window sweep (128/256/512).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
-use wishbranch_core::{figure14_on, sweep_table};
+use wishbranch_bench::{emit_report, paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::Experiment;
 
 fn bench(c: &mut Criterion) {
     let runner = paper_runner();
-    let rows = figure14_on(&runner);
-    println!("\n{}", sweep_table("Fig.14: instruction window sweep", "window", &rows));
+    emit_report(&Experiment::Fig14.run(&runner));
     print_sweep_summary(&runner);
     register_kernel(c, "fig14");
 }

@@ -2,13 +2,12 @@
 //! 256-entry window.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
-use wishbranch_core::{figure15_on, sweep_table};
+use wishbranch_bench::{emit_report, paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::Experiment;
 
 fn bench(c: &mut Criterion) {
     let runner = paper_runner();
-    let rows = figure15_on(&runner);
-    println!("\n{}", sweep_table("Fig.15: pipeline depth sweep", "depth", &rows));
+    emit_report(&Experiment::Fig15.run(&runner));
     print_sweep_summary(&runner);
     register_kernel(c, "fig15");
 }

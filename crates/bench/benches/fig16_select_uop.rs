@@ -2,13 +2,12 @@
 //! predication with the select-µop mechanism.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
-use wishbranch_core::{figure16_on, Table};
+use wishbranch_bench::{emit_report, paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::Experiment;
 
 fn bench(c: &mut Criterion) {
     let runner = paper_runner();
-    let fig = figure16_on(&runner);
-    println!("\n{}", Table::from(&fig));
+    emit_report(&Experiment::Fig16.run(&runner));
     print_sweep_summary(&runner);
     register_kernel(c, "fig16");
 }

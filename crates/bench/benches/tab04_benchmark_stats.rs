@@ -1,15 +1,14 @@
 //! Regenerates Table 4: simulated benchmark characteristics.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
-use wishbranch_core::{table4_on, table4_table};
+use wishbranch_bench::{emit_report, paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::Experiment;
 
 fn bench(c: &mut Criterion) {
     let runner = paper_runner();
-    let rows = table4_on(&runner);
-    println!("\n{}", table4_table(&rows));
+    emit_report(&Experiment::Tab4.run(&runner));
     print_sweep_summary(&runner);
-    register_kernel(c, "tab04");
+    register_kernel(c, "tab4");
 }
 
 criterion_group!(benches, bench);

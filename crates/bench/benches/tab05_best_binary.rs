@@ -2,15 +2,14 @@
 //! best binaries (an unrealistically strong baseline, as the paper notes).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wishbranch_bench::{paper_runner, print_sweep_summary, register_kernel};
-use wishbranch_core::{table5_on, table5_table};
+use wishbranch_bench::{emit_report, paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::Experiment;
 
 fn bench(c: &mut Criterion) {
     let runner = paper_runner();
-    let rows = table5_on(&runner);
-    println!("\n{}", table5_table(&rows));
+    emit_report(&Experiment::Tab5.run(&runner));
     print_sweep_summary(&runner);
-    register_kernel(c, "tab05");
+    register_kernel(c, "tab5");
 }
 
 criterion_group!(benches, bench);

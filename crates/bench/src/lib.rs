@@ -17,9 +17,13 @@
 use criterion::Criterion;
 use wishbranch_compiler::BinaryVariant;
 use wishbranch_core::{
-    compile_variant, simulate, sweep_summary_table, ExperimentConfig, SweepRunner,
+    compile_variant, simulate, sweep_summary_table, ExperimentConfig, Report, SweepRunner,
 };
 use wishbranch_workloads::{twolf, InputSet};
+
+/// Environment variable naming a directory to drop machine-readable
+/// reports into (`<id>.json` + `<id>.csv` per emitted report).
+pub const REPORT_DIR_ENV: &str = "WISHBRANCH_REPORT_DIR";
 
 /// Full-regeneration scale (outer iterations per benchmark).
 #[must_use]
@@ -42,6 +46,23 @@ pub fn paper_config() -> ExperimentConfig {
 #[must_use]
 pub fn paper_runner() -> SweepRunner {
     SweepRunner::new(&paper_config())
+}
+
+/// Prints a report's rendered table and, when [`REPORT_DIR_ENV`] is set,
+/// also writes `<id>.json` and `<id>.csv` into that directory — the same
+/// files `wishbranch-repro --report-dir` produces.
+pub fn emit_report(report: &Report) {
+    println!("\n{}", report.render());
+    if let Ok(dir) = std::env::var(REPORT_DIR_ENV) {
+        let dir = std::path::Path::new(&dir);
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+        for (ext, data) in [("json", report.to_json()), ("csv", report.to_csv())] {
+            let path = dir.join(format!("{}.{ext}", report.id));
+            std::fs::write(&path, data + "\n")
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        }
+    }
 }
 
 /// Prints the runner's cumulative sweep summary (job count, cache hits,

@@ -8,7 +8,6 @@
 //! cache and all points execute concurrently.
 
 use crate::engine::{SweepJob, SweepRunner};
-use crate::experiment::ExperimentConfig;
 use wishbranch_compiler::{BinaryVariant, CompileOptions};
 use wishbranch_uarch::MachineConfig;
 
@@ -69,13 +68,7 @@ fn wjl_points(
 /// (high-confidence mispredictions flush); high thresholds predicate too
 /// much (overhead without benefit).
 #[must_use]
-pub fn confidence_threshold_sweep(ec: &ExperimentConfig, thresholds: &[u8]) -> Vec<AblationPoint> {
-    confidence_threshold_sweep_on(&SweepRunner::new(ec), thresholds)
-}
-
-/// [`confidence_threshold_sweep`] on a caller-owned runner.
-#[must_use]
-pub fn confidence_threshold_sweep_on(
+pub fn confidence_threshold_sweep(
     runner: &SweepRunner,
     thresholds: &[u8],
 ) -> Vec<AblationPoint> {
@@ -95,13 +88,7 @@ pub fn confidence_threshold_sweep_on(
 /// magnifies predication's serialization pathologies (mcf) and shrinks the
 /// normal binary's ability to hide flush latency. `0` = unlimited.
 #[must_use]
-pub fn mshr_sweep(ec: &ExperimentConfig, mshrs: &[usize]) -> Vec<AblationPoint> {
-    mshr_sweep_on(&SweepRunner::new(ec), mshrs)
-}
-
-/// [`mshr_sweep`] on a caller-owned runner.
-#[must_use]
-pub fn mshr_sweep_on(runner: &SweepRunner, mshrs: &[usize]) -> Vec<AblationPoint> {
+pub fn mshr_sweep(runner: &SweepRunner, mshrs: &[usize]) -> Vec<AblationPoint> {
     let ec = runner.config();
     let points = mshrs
         .iter()
@@ -117,16 +104,11 @@ pub fn mshr_sweep_on(runner: &SweepRunner, mshrs: &[usize]) -> Vec<AblationPoint
 /// Sweeps §4.2.2's N: the fall-through size above which a convertible
 /// region becomes a wish jump/join instead of plain predicated code. The
 /// paper uses N = 5 without tuning.
+/// Each N is a distinct compile-cache key, so the sweep deliberately
+/// compiles fresh binaries per point (the engine's cache keys on the full
+/// compile options).
 #[must_use]
-pub fn wish_threshold_sweep(ec: &ExperimentConfig, ns: &[usize]) -> Vec<AblationPoint> {
-    wish_threshold_sweep_on(&SweepRunner::new(ec), ns)
-}
-
-/// [`wish_threshold_sweep`] on a caller-owned runner. Each N is a distinct
-/// compile-cache key, so the sweep deliberately compiles fresh binaries per
-/// point (the engine's cache keys on the full compile options).
-#[must_use]
-pub fn wish_threshold_sweep_on(runner: &SweepRunner, ns: &[usize]) -> Vec<AblationPoint> {
+pub fn wish_threshold_sweep(runner: &SweepRunner, ns: &[usize]) -> Vec<AblationPoint> {
     let ec = runner.config();
     let points = ns
         .iter()
@@ -162,13 +144,7 @@ pub struct LoopPredictorComparison {
 /// Runs the loop-heavy benchmarks with and without a biased specialized
 /// wish-loop predictor and aggregates the early/late exit classes.
 #[must_use]
-pub fn loop_predictor_comparison(ec: &ExperimentConfig, bias: u32) -> LoopPredictorComparison {
-    loop_predictor_comparison_on(&SweepRunner::new(ec), bias)
-}
-
-/// [`loop_predictor_comparison`] on a caller-owned runner.
-#[must_use]
-pub fn loop_predictor_comparison_on(runner: &SweepRunner, bias: u32) -> LoopPredictorComparison {
+pub fn loop_predictor_comparison(runner: &SweepRunner, bias: u32) -> LoopPredictorComparison {
     let ec = runner.config().clone();
     let input = ec.train_input;
     let mut biased_machine = ec.machine.clone();

@@ -1,0 +1,169 @@
+//! The experiment catalog: every figure and table of the reproduction
+//! behind one stable id, runnable on a shared [`SweepRunner`] and returning
+//! a serializable [`Report`].
+//!
+//! The CLI (`wishbranch-repro`) dispatches entirely through this enum, so
+//! the set of experiment names, their titles and their payload kinds live
+//! in exactly one place.
+
+use crate::engine::SweepRunner;
+use crate::figures;
+use crate::report::{Report, ReportData};
+use crate::tables;
+
+/// One of the paper's (or the reproduction's extension) experiments.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Experiment {
+    /// Fig. 1 — the motivation: predicated code vs branches across inputs.
+    Fig1,
+    /// Fig. 2 — predication overhead breakdown.
+    Fig2,
+    /// Fig. 10 — main result, trained input.
+    Fig10,
+    /// Fig. 11 — wish jump/join dynamic class breakdown.
+    Fig11,
+    /// Fig. 12 — main result, unseen input.
+    Fig12,
+    /// Fig. 13 — wish loop dynamic class breakdown.
+    Fig13,
+    /// Fig. 14 — instruction-window sweep.
+    Fig14,
+    /// Fig. 15 — pipeline-depth sweep.
+    Fig15,
+    /// Fig. 16 — less-accurate branch predictor.
+    Fig16,
+    /// Table 4 — simulated benchmark characteristics.
+    Tab4,
+    /// Table 5 — wish-jjl vs per-benchmark best binaries.
+    Tab5,
+    /// Extension — §3.6 input-dependence-aware adaptive binary.
+    Adaptive,
+    /// Extension — dynamic hammock predication comparison (§6 related work).
+    Dhp,
+    /// Extension — predicate prediction comparison.
+    PredPred,
+}
+
+impl Experiment {
+    /// Every experiment, in presentation order.
+    pub const ALL: [Experiment; 14] = [
+        Experiment::Fig1,
+        Experiment::Fig2,
+        Experiment::Fig10,
+        Experiment::Fig11,
+        Experiment::Fig12,
+        Experiment::Fig13,
+        Experiment::Fig14,
+        Experiment::Fig15,
+        Experiment::Fig16,
+        Experiment::Tab4,
+        Experiment::Tab5,
+        Experiment::Adaptive,
+        Experiment::Dhp,
+        Experiment::PredPred,
+    ];
+
+    /// The stable id used by the CLI and as the `--report-dir` file stem.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Experiment::Fig1 => "fig1",
+            Experiment::Fig2 => "fig2",
+            Experiment::Fig10 => "fig10",
+            Experiment::Fig11 => "fig11",
+            Experiment::Fig12 => "fig12",
+            Experiment::Fig13 => "fig13",
+            Experiment::Fig14 => "fig14",
+            Experiment::Fig15 => "fig15",
+            Experiment::Fig16 => "fig16",
+            Experiment::Tab4 => "tab4",
+            Experiment::Tab5 => "tab5",
+            Experiment::Adaptive => "adaptive",
+            Experiment::Dhp => "dhp",
+            Experiment::PredPred => "predpred",
+        }
+    }
+
+    /// Looks an experiment up by its [`Experiment::id`].
+    #[must_use]
+    pub fn from_id(id: &str) -> Option<Experiment> {
+        Experiment::ALL.into_iter().find(|e| e.id() == id)
+    }
+
+    /// Runs the experiment on `runner` and wraps the result as a
+    /// [`Report`]. Figure titles come from the figure itself; the other
+    /// kinds carry fixed titles.
+    #[must_use]
+    pub fn run(self, runner: &SweepRunner) -> Report {
+        match self {
+            Experiment::Fig1 => Report::figure("fig1", figures::figure1(runner)),
+            Experiment::Fig2 => Report::figure("fig2", figures::figure2(runner)),
+            Experiment::Fig10 => Report::figure("fig10", figures::figure10(runner)),
+            Experiment::Fig11 => Report {
+                id: "fig11".into(),
+                title: "Fig.11: dynamic wish jumps/joins per 1M retired µops by class".into(),
+                data: ReportData::Confidence(figures::figure11(runner)),
+            },
+            Experiment::Fig12 => Report::figure("fig12", figures::figure12(runner)),
+            Experiment::Fig13 => Report {
+                id: "fig13".into(),
+                title: "Fig.13: dynamic wish loops per 1M retired µops by class".into(),
+                data: ReportData::LoopBreakdown(figures::figure13(runner)),
+            },
+            Experiment::Fig14 => Report {
+                id: "fig14".into(),
+                title: "Fig.14: instruction window sweep".into(),
+                data: ReportData::ParamSweep {
+                    param: "window".into(),
+                    rows: figures::figure14(runner),
+                },
+            },
+            Experiment::Fig15 => Report {
+                id: "fig15".into(),
+                title: "Fig.15: pipeline depth sweep".into(),
+                data: ReportData::ParamSweep {
+                    param: "depth".into(),
+                    rows: figures::figure15(runner),
+                },
+            },
+            Experiment::Fig16 => Report::figure("fig16", figures::figure16(runner)),
+            Experiment::Tab4 => Report {
+                id: "tab4".into(),
+                title: "Table 4: simulated benchmarks".into(),
+                data: ReportData::Benchmarks(tables::table4(runner)),
+            },
+            Experiment::Tab5 => Report {
+                id: "tab5".into(),
+                title: "Table 5: exec-time reduction of wish-jjl binary over best binaries"
+                    .into(),
+                data: ReportData::BestBinary(tables::table5(runner)),
+            },
+            Experiment::Adaptive => Report::figure("adaptive", figures::figure_adaptive(runner)),
+            Experiment::Dhp => Report::figure("dhp", figures::figure_dhp(runner)),
+            Experiment::PredPred => {
+                Report::figure("predpred", figures::figure_predicate_prediction(runner))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_and_are_unique() {
+        for e in Experiment::ALL {
+            assert_eq!(Experiment::from_id(e.id()), Some(e));
+        }
+        let mut ids: Vec<&str> = Experiment::ALL.iter().map(|e| e.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), Experiment::ALL.len());
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert_eq!(Experiment::from_id("fig99"), None);
+    }
+}

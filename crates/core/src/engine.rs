@@ -29,7 +29,9 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use crate::experiment::{profile_on, simulate, ExperimentConfig, RunOutcome};
+use crate::experiment::{
+    profile_on, simulate_unverified, verify_retired_state, ExperimentConfig, RunOutcome,
+};
 use wishbranch_compiler::{compile, compile_adaptive, BinaryVariant, CompileOptions, CompiledBinary};
 use wishbranch_ir::Profile;
 use wishbranch_uarch::MachineConfig;
@@ -151,10 +153,26 @@ pub struct JobResult {
     pub job: SweepJob,
     /// Simulation outcome (stats + compile report + static stats).
     pub outcome: RunOutcome,
-    /// Wall-clock time this job took on its worker (compile + simulate).
+    /// Wall-clock time this job took on its worker (all phases).
     pub wall: Duration,
+    /// Where this job's wall time went, phase by phase.
+    pub phases: JobPhases,
     /// Whether the compiled binary came from the cache.
     pub compile_cache_hit: bool,
+}
+
+/// Per-phase wall-clock breakdown of one job. `acquire` covers the
+/// binary-cache lookup, including any profiling and compilation it
+/// triggered (zero-ish on a cache hit); `simulate` is the cycle
+/// simulation; `verify` is the functional-reference cross-check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct JobPhases {
+    /// Binary acquisition: cache lookup + (on miss) profile + compile.
+    pub acquire: Duration,
+    /// Cycle simulation.
+    pub simulate: Duration,
+    /// Architectural verification against the functional reference.
+    pub verify: Duration,
 }
 
 /// Aggregate statistics over everything a [`SweepRunner`] has executed.
@@ -176,6 +194,14 @@ pub struct SweepSummary {
     pub job_time: Duration,
     /// End-to-end wall-clock time spent inside [`SweepRunner::run`].
     pub wall_time: Duration,
+    /// Time spent profiling (inside cache misses only).
+    pub profile_time: Duration,
+    /// Time spent compiling, excluding the profiling it triggered.
+    pub compile_time: Duration,
+    /// Time spent in the cycle simulator.
+    pub simulate_time: Duration,
+    /// Time spent verifying retired state against the reference machine.
+    pub verify_time: Duration,
 }
 
 impl SweepSummary {
@@ -223,6 +249,10 @@ pub struct SweepRunner {
     jobs_run: AtomicU64,
     job_time_nanos: AtomicU64,
     wall_nanos: AtomicU64,
+    profile_nanos: AtomicU64,
+    compile_nanos: AtomicU64,
+    simulate_nanos: AtomicU64,
+    verify_nanos: AtomicU64,
 }
 
 /// Worker count: `WISHBRANCH_WORKERS` if set and positive, else the
@@ -264,6 +294,10 @@ impl SweepRunner {
             jobs_run: AtomicU64::new(0),
             job_time_nanos: AtomicU64::new(0),
             wall_nanos: AtomicU64::new(0),
+            profile_nanos: AtomicU64::new(0),
+            compile_nanos: AtomicU64::new(0),
+            simulate_nanos: AtomicU64::new(0),
+            verify_nanos: AtomicU64::new(0),
         }
     }
 
@@ -331,12 +365,22 @@ impl SweepRunner {
     pub fn run_job(&self, job: &SweepJob) -> JobResult {
         let t0 = Instant::now();
         let (binary, compile_cache_hit) = self.binary(job);
+        let acquire = t0.elapsed();
         let bench = &self.benches[job.bench];
-        let sim = simulate(&binary.program, bench, job.input, &job.machine);
+        let t1 = Instant::now();
+        let sim = simulate_unverified(&binary.program, bench, job.input, &job.machine);
+        let simulate = t1.elapsed();
+        let t2 = Instant::now();
+        verify_retired_state(&binary.program, bench, job.input, &sim);
+        let verify = t2.elapsed();
         let wall = t0.elapsed();
         self.jobs_run.fetch_add(1, Ordering::Relaxed);
         self.job_time_nanos
             .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+        self.simulate_nanos
+            .fetch_add(simulate.as_nanos() as u64, Ordering::Relaxed);
+        self.verify_nanos
+            .fetch_add(verify.as_nanos() as u64, Ordering::Relaxed);
         JobResult {
             job: job.clone(),
             outcome: RunOutcome {
@@ -345,6 +389,11 @@ impl SweepRunner {
                 static_stats: binary.program.static_stats(),
             },
             wall,
+            phases: JobPhases {
+                acquire,
+                simulate,
+                verify,
+            },
             compile_cache_hit,
         }
     }
@@ -363,7 +412,11 @@ impl SweepRunner {
         let profile = cell.get_or_init(|| {
             computed = true;
             self.profile_misses.fetch_add(1, Ordering::Relaxed);
-            Arc::new(profile_on(&self.benches[bench], input))
+            let t0 = Instant::now();
+            let profile = Arc::new(profile_on(&self.benches[bench], input));
+            self.profile_nanos
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            profile
         });
         if !computed {
             self.profile_hits.fetch_add(1, Ordering::Relaxed);
@@ -400,17 +453,27 @@ impl SweepRunner {
 
     fn compile_uncached(&self, job: &SweepJob) -> CompiledBinary {
         let module = &self.benches[job.bench].module;
+        // Profiles are acquired first so `compile_time` measures only the
+        // compiler itself, never the profiling a cold cache triggers.
         match &job.train {
             TrainSpec::Single(input) => {
                 let profile = self.profile(job.bench, *input);
-                compile(module, &profile, job.variant, &job.compile)
+                let t0 = Instant::now();
+                let bin = compile(module, &profile, job.variant, &job.compile);
+                self.compile_nanos
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                bin
             }
             TrainSpec::Multi(inputs) => {
                 let profiles: Vec<Profile> = inputs
                     .iter()
                     .map(|&i| (*self.profile(job.bench, i)).clone())
                     .collect();
-                compile_adaptive(module, &profiles, &job.compile)
+                let t0 = Instant::now();
+                let bin = compile_adaptive(module, &profiles, &job.compile);
+                self.compile_nanos
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                bin
             }
         }
     }
@@ -427,6 +490,10 @@ impl SweepRunner {
             compile_misses: self.compile_misses.load(Ordering::Relaxed),
             job_time: Duration::from_nanos(self.job_time_nanos.load(Ordering::Relaxed)),
             wall_time: Duration::from_nanos(self.wall_nanos.load(Ordering::Relaxed)),
+            profile_time: Duration::from_nanos(self.profile_nanos.load(Ordering::Relaxed)),
+            compile_time: Duration::from_nanos(self.compile_nanos.load(Ordering::Relaxed)),
+            simulate_time: Duration::from_nanos(self.simulate_nanos.load(Ordering::Relaxed)),
+            verify_time: Duration::from_nanos(self.verify_nanos.load(Ordering::Relaxed)),
         }
     }
 }
@@ -480,6 +547,12 @@ mod tests {
         assert_eq!(summary.profile_hits, 1, "{summary:?}");
         assert_eq!(summary.jobs, 4);
         assert!(summary.job_time > Duration::ZERO);
+        // Phase timing: the cycle sim always runs, and the per-job phase
+        // breakdown can never exceed the job's own wall clock.
+        assert!(summary.simulate_time > Duration::ZERO);
+        for r in &results {
+            assert!(r.phases.acquire + r.phases.simulate + r.phases.verify <= r.wall);
+        }
     }
 
     #[test]

@@ -51,6 +51,28 @@ impl ExperimentConfig {
             train_input: InputSet::B,
         }
     }
+
+    /// Replaces the simulated machine
+    /// (`ExperimentConfig::paper(scale).with_machine(...)`).
+    #[must_use]
+    pub fn with_machine(mut self, machine: MachineConfig) -> ExperimentConfig {
+        self.machine = machine;
+        self
+    }
+
+    /// Replaces the compiler heuristics.
+    #[must_use]
+    pub fn with_compile(mut self, compile: CompileOptions) -> ExperimentConfig {
+        self.compile = compile;
+        self
+    }
+
+    /// Replaces the training input the compiler profiles on.
+    #[must_use]
+    pub fn with_train(mut self, train_input: InputSet) -> ExperimentConfig {
+        self.train_input = train_input;
+        self
+    }
 }
 
 /// One simulated binary run, with everything needed for the figures.
@@ -118,16 +140,49 @@ pub fn simulate(
     input: InputSet,
     machine: &MachineConfig,
 ) -> SimResult {
+    let result = simulate_unverified(program, bench, input, machine);
+    verify_retired_state(program, bench, input, &result);
+    result
+}
+
+/// The cycle simulation alone, without the architectural cross-check —
+/// the [`crate::SweepRunner`] uses this to time the simulate and verify
+/// phases separately. Prefer [`simulate`] unless you verify yourself.
+///
+/// # Panics
+///
+/// Panics if the simulation exceeds its cycle budget.
+#[must_use]
+pub fn simulate_unverified(
+    program: &Program,
+    bench: &Benchmark,
+    input: InputSet,
+    machine: &MachineConfig,
+) -> SimResult {
     let inputs = (bench.input_fn)(input);
     let mut sim = Simulator::new(program, machine.clone());
     for &(a, v) in &inputs {
         sim.preload_mem(a, v);
     }
-    let result = sim
-        .run()
-        .unwrap_or_else(|e| panic!("{} {input}: simulation failed: {e}", bench.name));
+    sim.run()
+        .unwrap_or_else(|e| panic!("{} {input}: simulation failed: {e}", bench.name))
+}
 
-    // Always-on architectural verification (cheap next to the cycle sim).
+/// Checks a simulation's retired memory state against the functional
+/// reference machine (always-on architectural verification — cheap next
+/// to the cycle sim).
+///
+/// # Panics
+///
+/// Panics if the reference run fails or — which would be a simulator
+/// bug — the simulator retired a different architectural state.
+pub fn verify_retired_state(
+    program: &Program,
+    bench: &Benchmark,
+    input: InputSet,
+    result: &SimResult,
+) {
+    let inputs = (bench.input_fn)(input);
     let mut reference = Machine::new();
     for &(a, v) in &inputs {
         reference.mem.insert(a, v);
@@ -140,7 +195,6 @@ pub fn simulate(
         "{} {input}: simulator diverged from the functional reference",
         bench.name
     );
-    result
 }
 
 /// Profile (on the training input), compile, simulate (on `input`), verify.
@@ -158,6 +212,44 @@ pub fn run_binary(
         report: bin.report,
         static_stats: bin.program.static_stats(),
     }
+}
+
+/// Compiles `bench` into `variant` and simulates it on `input` with the
+/// pipeview tracer enabled, returning the verified result and the typed
+/// event stream ([`wishbranch_uarch::TraceEvent`]). Tracing does not
+/// change timing, so the result matches an untraced run bit for bit.
+///
+/// [`BinaryVariant::WishAdaptive`] trains on inputs A and C (the same
+/// convention as the adaptive figure); every other variant trains on the
+/// experiment's single training input.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`simulate`].
+#[must_use]
+pub fn trace_binary(
+    bench: &Benchmark,
+    variant: BinaryVariant,
+    input: InputSet,
+    ec: &ExperimentConfig,
+) -> (SimResult, Vec<wishbranch_uarch::TraceEvent>) {
+    let bin = if variant == BinaryVariant::WishAdaptive {
+        compile_adaptive_variant(bench, &[InputSet::A, InputSet::C], ec)
+    } else {
+        compile_variant(bench, variant, ec)
+    };
+    let inputs = (bench.input_fn)(input);
+    let mut sim = Simulator::new(&bin.program, ec.machine.clone());
+    for &(a, v) in &inputs {
+        sim.preload_mem(a, v);
+    }
+    sim.enable_trace();
+    let result = sim
+        .run()
+        .unwrap_or_else(|e| panic!("{} {input}: traced simulation failed: {e}", bench.name));
+    let trace = sim.take_trace();
+    verify_retired_state(&bin.program, bench, input, &result);
+    (result, trace)
 }
 
 #[cfg(test)]

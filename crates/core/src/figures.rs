@@ -6,15 +6,14 @@
 //! paper ("all execution time results are normalized to the execution time
 //! of the normal branch binaries", §4.2).
 //!
-//! Every figure comes in two flavors: `figureN(ec)` builds a private
-//! [`SweepRunner`] and runs on it, while `figureN_on(&runner)` submits the
-//! figure's whole job list to a caller-owned runner in one batch — that is
-//! how `wishbranch-repro all` shares one compile cache across every figure
-//! and keeps all workers busy. Both produce bit-identical data (the
-//! engine's determinism contract).
+//! Every figure is a plain `fn figureN(&SweepRunner)` over a caller-owned
+//! runner: the figure submits its whole job list in one batch, so figures
+//! that share a runner share the profile/compile caches and keep every
+//! worker busy — that is how `wishbranch-repro all` compiles each binary
+//! exactly once across the entire reproduction. Results are deterministic
+//! and identical for any worker count (the engine's determinism contract).
 
 use crate::engine::{SweepJob, SweepRunner, TrainSpec};
-use crate::experiment::ExperimentConfig;
 use wishbranch_compiler::BinaryVariant;
 use wishbranch_uarch::MachineConfig;
 use wishbranch_workloads::InputSet;
@@ -92,13 +91,7 @@ fn run_cycles(runner: &SweepRunner, jobs: Vec<SweepJob>) -> Vec<u64> {
 /// motivation ("the performance of predicated execution is highly dependent
 /// on the run-time input set").
 #[must_use]
-pub fn figure1(ec: &ExperimentConfig) -> FigureData {
-    figure1_on(&SweepRunner::new(ec))
-}
-
-/// [`figure1`] on a caller-owned runner.
-#[must_use]
-pub fn figure1_on(runner: &SweepRunner) -> FigureData {
+pub fn figure1(runner: &SweepRunner) -> FigureData {
     let ec = runner.config().clone();
     let mut jobs = Vec::new();
     for b in 0..runner.benches().len() {
@@ -132,13 +125,7 @@ pub fn figure1_on(runner: &SweepRunner) -> FigureData {
 /// instructions also removed (NO-DEPEND + NO-FETCH), and the normal binary
 /// under perfect conditional branch prediction (PERFECT-CBP).
 #[must_use]
-pub fn figure2(ec: &ExperimentConfig) -> FigureData {
-    figure2_on(&SweepRunner::new(ec))
-}
-
-/// [`figure2`] on a caller-owned runner.
-#[must_use]
-pub fn figure2_on(runner: &SweepRunner) -> FigureData {
+pub fn figure2(runner: &SweepRunner) -> FigureData {
     let ec = runner.config().clone();
     let input = ec.train_input;
 
@@ -234,13 +221,7 @@ fn comparison_figure(
 /// **Fig. 10** — wish jump/join binaries vs the predicated baselines, with
 /// the real and a perfect confidence estimator.
 #[must_use]
-pub fn figure10(ec: &ExperimentConfig) -> FigureData {
-    figure10_on(&SweepRunner::new(ec))
-}
-
-/// [`figure10`] on a caller-owned runner.
-#[must_use]
-pub fn figure10_on(runner: &SweepRunner) -> FigureData {
+pub fn figure10(runner: &SweepRunner) -> FigureData {
     comparison_figure(
         runner,
         "Fig.10: performance of wish jump/join binaries (normalized exec time)",
@@ -256,13 +237,7 @@ pub fn figure10_on(runner: &SweepRunner) -> FigureData {
 
 /// **Fig. 12** — adds wish loops.
 #[must_use]
-pub fn figure12(ec: &ExperimentConfig) -> FigureData {
-    figure12_on(&SweepRunner::new(ec))
-}
-
-/// [`figure12`] on a caller-owned runner.
-#[must_use]
-pub fn figure12_on(runner: &SweepRunner) -> FigureData {
+pub fn figure12(runner: &SweepRunner) -> FigureData {
     comparison_figure(
         runner,
         "Fig.12: performance of wish jump/join/loop binaries (normalized exec time)",
@@ -280,13 +255,7 @@ pub fn figure12_on(runner: &SweepRunner) -> FigureData {
 /// **Fig. 16** — the Fig. 12 comparison on a machine using the select-µop
 /// mechanism instead of C-style conditional expressions (§5.3.3).
 #[must_use]
-pub fn figure16(ec: &ExperimentConfig) -> FigureData {
-    figure16_on(&SweepRunner::new(ec))
-}
-
-/// [`figure16`] on a caller-owned runner.
-#[must_use]
-pub fn figure16_on(runner: &SweepRunner) -> FigureData {
+pub fn figure16(runner: &SweepRunner) -> FigureData {
     let mut machine = runner.config().machine.clone();
     machine.pred_mechanism = wishbranch_uarch::PredMechanism::SelectUop;
     comparison_figure(
@@ -322,13 +291,7 @@ pub struct Fig11Row {
 /// **Fig. 11** — the confidence-estimate breakdown for wish jumps + joins
 /// in the wish jump/join binary.
 #[must_use]
-pub fn figure11(ec: &ExperimentConfig) -> Vec<Fig11Row> {
-    figure11_on(&SweepRunner::new(ec))
-}
-
-/// [`figure11`] on a caller-owned runner.
-#[must_use]
-pub fn figure11_on(runner: &SweepRunner) -> Vec<Fig11Row> {
+pub fn figure11(runner: &SweepRunner) -> Vec<Fig11Row> {
     let ec = runner.config().clone();
     let jobs = (0..runner.benches().len())
         .map(|b| SweepJob::standard(b, BinaryVariant::WishJumpJoin, ec.train_input, &ec))
@@ -375,13 +338,7 @@ pub struct Fig13Row {
 
 /// **Fig. 13** — the wish-loop breakdown in the wish jump/join/loop binary.
 #[must_use]
-pub fn figure13(ec: &ExperimentConfig) -> Vec<Fig13Row> {
-    figure13_on(&SweepRunner::new(ec))
-}
-
-/// [`figure13`] on a caller-owned runner.
-#[must_use]
-pub fn figure13_on(runner: &SweepRunner) -> Vec<Fig13Row> {
+pub fn figure13(runner: &SweepRunner) -> Vec<Fig13Row> {
     let ec = runner.config().clone();
     let jobs = (0..runner.benches().len())
         .map(|b| SweepJob::standard(b, BinaryVariant::WishJumpJoinLoop, ec.train_input, &ec))
@@ -491,13 +448,7 @@ fn sweep(runner: &SweepRunner, machines: Vec<(u64, MachineConfig)>) -> Vec<Sweep
 
 /// **Fig. 14** — instruction-window sweep (128/256/512 entries).
 #[must_use]
-pub fn figure14(ec: &ExperimentConfig) -> Vec<SweepRow> {
-    figure14_on(&SweepRunner::new(ec))
-}
-
-/// [`figure14`] on a caller-owned runner.
-#[must_use]
-pub fn figure14_on(runner: &SweepRunner) -> Vec<SweepRow> {
+pub fn figure14(runner: &SweepRunner) -> Vec<SweepRow> {
     let ec = runner.config();
     let machines = [128usize, 256, 512]
         .into_iter()
@@ -509,13 +460,7 @@ pub fn figure14_on(runner: &SweepRunner) -> Vec<SweepRow> {
 /// **Fig. 15** — pipeline-depth sweep (10/20/30 stages) at a 256-entry
 /// window, as in the paper.
 #[must_use]
-pub fn figure15(ec: &ExperimentConfig) -> Vec<SweepRow> {
-    figure15_on(&SweepRunner::new(ec))
-}
-
-/// [`figure15`] on a caller-owned runner.
-#[must_use]
-pub fn figure15_on(runner: &SweepRunner) -> Vec<SweepRow> {
+pub fn figure15(runner: &SweepRunner) -> Vec<SweepRow> {
     let ec = runner.config();
     let machines = [10u64, 20, 30]
         .into_iter()
@@ -530,13 +475,7 @@ pub fn figure15_on(runner: &SweepRunner) -> Vec<SweepRow> {
 /// adaptive compiler trains on inputs A and C; the fixed heuristics train
 /// on the experiment's training input as usual.
 #[must_use]
-pub fn figure_adaptive(ec: &ExperimentConfig) -> FigureData {
-    figure_adaptive_on(&SweepRunner::new(ec))
-}
-
-/// [`figure_adaptive`] on a caller-owned runner.
-#[must_use]
-pub fn figure_adaptive_on(runner: &SweepRunner) -> FigureData {
+pub fn figure_adaptive(runner: &SweepRunner) -> FigureData {
     let ec = runner.config().clone();
     let adaptive_train = TrainSpec::Multi(vec![InputSet::A, InputSet::C]);
     let mut jobs = Vec::new();
@@ -588,13 +527,7 @@ pub fn figure_adaptive_on(runner: &SweepRunner) -> FigureData {
 /// complex regions and loops that fetch-time hardware cannot; the wish rows
 /// should therefore win wherever loops or large regions matter.
 #[must_use]
-pub fn figure_dhp(ec: &ExperimentConfig) -> FigureData {
-    figure_dhp_on(&SweepRunner::new(ec))
-}
-
-/// [`figure_dhp`] on a caller-owned runner.
-#[must_use]
-pub fn figure_dhp_on(runner: &SweepRunner) -> FigureData {
+pub fn figure_dhp(runner: &SweepRunner) -> FigureData {
     let ec = runner.config().clone();
     let input = ec.train_input;
     let mut dhp_machine = ec.machine.clone();
@@ -644,13 +577,7 @@ pub fn figure_dhp_on(runner: &SweepRunner) -> FigureData {
 /// useless instructions and flushes on hard predicates — the two costs
 /// wish branches avoid.
 #[must_use]
-pub fn figure_predicate_prediction(ec: &ExperimentConfig) -> FigureData {
-    figure_predicate_prediction_on(&SweepRunner::new(ec))
-}
-
-/// [`figure_predicate_prediction`] on a caller-owned runner.
-#[must_use]
-pub fn figure_predicate_prediction_on(runner: &SweepRunner) -> FigureData {
+pub fn figure_predicate_prediction(runner: &SweepRunner) -> FigureData {
     let ec = runner.config().clone();
     let input = ec.train_input;
     let mut pp_machine = ec.machine.clone();

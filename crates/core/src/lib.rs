@@ -17,53 +17,70 @@
 //! memory image must match the functional reference machine's, so a figure
 //! can never silently come from a architecturally-broken run.
 //!
-//! # Example
+//! # The experiment API
+//!
+//! All experiments run through one [`SweepRunner`], which owns the
+//! memoized profile/compile caches and the worker pool. Build one, then
+//! hand it to any figure/table/ablation function — or go through the
+//! [`Experiment`] catalog, which wraps every paper experiment behind a
+//! stable id and returns a serializable [`Report`]:
 //!
 //! ```
-//! use wishbranch_core::{ExperimentConfig, run_binary};
-//! use wishbranch_compiler::BinaryVariant;
-//! use wishbranch_workloads::{gzip, InputSet};
+//! use wishbranch_core::{Experiment, ExperimentConfig, SweepRunner};
 //!
-//! let ec = ExperimentConfig::quick(60); // tiny scale for doctests
-//! let bench = gzip(60);
-//! let normal = run_binary(&bench, BinaryVariant::NormalBranch, InputSet::B, &ec);
-//! let wish = run_binary(&bench, BinaryVariant::WishJumpJoinLoop, InputSet::B, &ec);
-//! assert!(normal.sim.stats.cycles > 0 && wish.sim.stats.cycles > 0);
+//! let runner = SweepRunner::new(&ExperimentConfig::quick(60)); // tiny doctest scale
+//! let report = Experiment::Fig10.run(&runner);
+//! assert_eq!(report.id, "fig10");
+//! assert!(report.to_json().starts_with("{\"schema\":\"wishbranch.report/v1\""));
 //! ```
+//!
+//! Single-binary runs (no runner needed) go through [`run_binary`], and
+//! pipeview traces through [`trace_binary`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod ablation;
+mod catalog;
 mod engine;
 mod experiment;
 mod figures;
 mod render;
+mod report;
 mod tables;
 
 pub use ablation::{
-    confidence_threshold_sweep, confidence_threshold_sweep_on, loop_predictor_comparison,
-    loop_predictor_comparison_on, mshr_sweep, mshr_sweep_on, wish_threshold_sweep,
-    wish_threshold_sweep_on,
-    AblationPoint,
-    LoopPredictorComparison,
+    confidence_threshold_sweep, loop_predictor_comparison, mshr_sweep, wish_threshold_sweep,
+    AblationPoint, LoopPredictorComparison,
 };
+pub use catalog::Experiment;
 pub use engine::{
-    default_workers, JobResult, SweepJob, SweepRunner, SweepSummary, TrainSpec, WORKERS_ENV,
+    default_workers, JobPhases, JobResult, SweepJob, SweepRunner, SweepSummary, TrainSpec,
+    WORKERS_ENV,
 };
 pub use experiment::{
     compile_adaptive_variant, compile_variant, profile_on, run_binary, simulate,
-    ExperimentConfig, RunOutcome,
+    simulate_unverified, trace_binary, verify_retired_state, ExperimentConfig, RunOutcome,
 };
 pub use figures::{
     figure1, figure10, figure11, figure12, figure13, figure14, figure15, figure16, figure2,
-    figure_adaptive, figure_dhp, figure_predicate_prediction,
-    figure1_on, figure10_on, figure11_on, figure12_on, figure13_on, figure14_on, figure15_on,
-    figure16_on, figure2_on, figure_adaptive_on, figure_dhp_on, figure_predicate_prediction_on,
-    Fig11Row, Fig13Row, Fig1Row, Fig2Row, FigureData, NormalizedRow, SweepRow,
+    figure_adaptive, figure_dhp, figure_predicate_prediction, Fig11Row, Fig13Row, Fig1Row,
+    Fig2Row, FigureData, NormalizedRow, SweepRow,
 };
 pub use render::{
     bar_chart, fig11_table, fig13_table, sweep_summary_table, sweep_table, table4_table,
     table5_table, Table,
 };
-pub use tables::{table4, table4_on, table5, table5_on, Table4Row, Table5Row};
+pub use report::{json_escape, summary_json, Report, ReportData};
+pub use tables::{table4, table5, Table4Row, Table5Row};
+
+/// Everything most experiment drivers need, in one import:
+/// `use wishbranch_core::prelude::*;`.
+pub mod prelude {
+    pub use crate::catalog::Experiment;
+    pub use crate::engine::{SweepJob, SweepRunner, SweepSummary};
+    pub use crate::experiment::{run_binary, trace_binary, ExperimentConfig};
+    pub use crate::report::{summary_json, Report, ReportData};
+    pub use wishbranch_compiler::BinaryVariant;
+    pub use wishbranch_workloads::{suite, InputSet};
+}

@@ -242,6 +242,22 @@ pub fn sweep_summary_table(summary: &SweepSummary) -> Table {
         "parallel speedup".into(),
         format!("{:.2}x", summary.parallel_speedup()),
     ]);
+    t.push_row(vec![
+        "phase: profile".into(),
+        format!("{:.2}s", summary.profile_time.as_secs_f64()),
+    ]);
+    t.push_row(vec![
+        "phase: compile".into(),
+        format!("{:.2}s", summary.compile_time.as_secs_f64()),
+    ]);
+    t.push_row(vec![
+        "phase: simulate".into(),
+        format!("{:.2}s", summary.simulate_time.as_secs_f64()),
+    ]);
+    t.push_row(vec![
+        "phase: verify".into(),
+        format!("{:.2}s", summary.verify_time.as_secs_f64()),
+    ]);
     t
 }
 

@@ -1,10 +1,9 @@
 //! Regeneration of Tables 4 and 5.
 //!
-//! As with the figures, each table has a `_on(&SweepRunner)` variant that
-//! batches its jobs onto a shared runner.
+//! As with the figures, each table batches its jobs onto a caller-owned
+//! [`SweepRunner`].
 
 use crate::engine::{SweepJob, SweepRunner};
-use crate::experiment::ExperimentConfig;
 use wishbranch_compiler::BinaryVariant;
 
 /// One row of Table 4: benchmark characteristics for the normal-branch and
@@ -35,13 +34,7 @@ pub struct Table4Row {
 
 /// **Table 4** — simulated benchmark characteristics.
 #[must_use]
-pub fn table4(ec: &ExperimentConfig) -> Vec<Table4Row> {
-    table4_on(&SweepRunner::new(ec))
-}
-
-/// [`table4`] on a caller-owned runner.
-#[must_use]
-pub fn table4_on(runner: &SweepRunner) -> Vec<Table4Row> {
+pub fn table4(runner: &SweepRunner) -> Vec<Table4Row> {
     let ec = runner.config().clone();
     let input = ec.train_input;
     let mut jobs = Vec::new();
@@ -106,13 +99,7 @@ pub struct Table5Row {
 /// baseline*: it assumes the compiler could know at compile time which
 /// binary wins at run time.
 #[must_use]
-pub fn table5(ec: &ExperimentConfig) -> Vec<Table5Row> {
-    table5_on(&SweepRunner::new(ec))
-}
-
-/// [`table5`] on a caller-owned runner.
-#[must_use]
-pub fn table5_on(runner: &SweepRunner) -> Vec<Table5Row> {
+pub fn table5(runner: &SweepRunner) -> Vec<Table5Row> {
     let ec = runner.config().clone();
     let input = ec.train_input;
     let variants = [

@@ -9,7 +9,7 @@
 
 use crate::config::{MachineConfig, OracleConfig, PredMechanism};
 use crate::emu::{SpecEmulator, StepInfo};
-use crate::stats::{LoopExitClass, SimStats, WishClassCounts};
+use crate::stats::{HotSiteCounts, LoopExitClass, SimStats, WishClassCounts};
 use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
@@ -196,8 +196,19 @@ pub struct Simulator<'p> {
     // Fetch state.
     fetch_pc: u32,
     fetch_stall_until: u64,
+    /// Why `fetch_stall_until` was last armed (cycle accounting).
+    fetch_stall_reason: StallReason,
     fetch_blocked: bool,
     fetch_line: Option<u64>,
+    /// Cycle of the most recent pipeline flush (cycle accounting: idle
+    /// cycles inside the refill shadow are charged to `flush_recovery`).
+    last_flush_cycle: Option<u64>,
+    /// Set by `retire_entry` when a useful (non-overhead) µop retires in
+    /// the current cycle.
+    cyc_retired_useful: bool,
+    /// Set by `retire_entry` when a guard-false µop retires in the
+    /// current cycle.
+    cyc_retired_guard_false: bool,
     mode: Mode,
     /// §3.5.3 buffer: predicate register → predicted value.
     pred_elim: HashMap<u8, bool>,
@@ -247,8 +258,12 @@ impl<'p> Simulator<'p> {
             jrs,
             loop_pred,
             fetch_stall_until: 0,
+            fetch_stall_reason: StallReason::Redirect,
             fetch_blocked: false,
             fetch_line: None,
+            last_flush_cycle: None,
+            cyc_retired_useful: false,
+            cyc_retired_guard_false: false,
             mode: Mode::Normal,
             pred_elim: HashMap::new(),
             cmp2_partner: HashMap::new(),
@@ -331,11 +346,16 @@ impl<'p> Simulator<'p> {
             // cycle, throttling retirement in window-full phases).
             self.resolve_branches();
             let retired_before = self.stats.retired_uops;
+            self.cyc_retired_useful = false;
+            self.cyc_retired_guard_false = false;
             self.retire();
-            if self.stats.retired_uops == retired_before {
+            let retired_any = self.stats.retired_uops != retired_before;
+            if !retired_any {
                 self.stats.retire_idle_cycles += 1;
             }
             if self.halted {
+                // The halt-retiring iteration does not increment `cycle`,
+                // so it is deliberately left out of the accounting.
                 break;
             }
             self.issue();
@@ -348,7 +368,12 @@ impl<'p> Simulator<'p> {
             self.fetch();
             if self.stats.fetched_uops == fetched_before {
                 self.stats.fetch_idle_cycles += 1;
+                self.account_fetch_idle();
             }
+            // Attribute this cycle to exactly one cause, immediately before
+            // the cycle counter advances — this placement makes the
+            // `cycle_accounting.total() == cycles` invariant structural.
+            self.account_cycle(retired_any);
             self.cycle += 1;
         }
         self.stats.cycles = self.cycle;
@@ -362,6 +387,78 @@ impl<'p> Simulator<'p> {
             final_preds: self.emu.preds,
             final_mem: self.emu.mem.iter().map(|(&k, &v)| (k, v)).collect(),
         })
+    }
+
+    // ------------------------------------------------------ cycle accounting
+
+    /// Splits a zero-fetch cycle by cause (`SimStats::fetch_idle_*`). The
+    /// four split counters always sum to `fetch_idle_cycles`.
+    fn account_fetch_idle(&mut self) {
+        if self.fetch_blocked {
+            self.stats.fetch_idle_blocked += 1;
+        } else if self.cycle < self.fetch_stall_until {
+            match self.fetch_stall_reason {
+                StallReason::IMiss => self.stats.fetch_idle_imiss += 1,
+                StallReason::Redirect => self.stats.fetch_idle_redirect += 1,
+            }
+        } else if self.fe_queue.len() >= self.fetch_queue_cap() {
+            self.stats.fetch_idle_queue_full += 1;
+        } else {
+            // An I-miss stall armed during this cycle's own fetch attempt
+            // lands in the branch above; anything left is a same-cycle
+            // redirect bubble.
+            self.stats.fetch_idle_redirect += 1;
+        }
+    }
+
+    /// Charges the current cycle to exactly one [`CycleAccounting`]
+    /// category (top-down: what retired, else why nothing did).
+    fn account_cycle(&mut self, retired_any: bool) {
+        let acc = &mut self.stats.cycle_accounting;
+        if retired_any {
+            if self.cyc_retired_useful {
+                acc.useful_retire += 1;
+            } else if self.cyc_retired_guard_false {
+                acc.guard_false_retire += 1;
+            } else {
+                acc.select_uop_retire += 1;
+            }
+            return;
+        }
+        if !self.rob.is_empty() {
+            // Something is in flight but the head cannot retire yet.
+            if self.rob.len() >= self.cfg.rob_size {
+                acc.rob_stall += 1;
+            } else {
+                acc.exec_wait += 1;
+            }
+            return;
+        }
+        // Empty window: the front end is the bottleneck.
+        let in_flush_shadow = self
+            .last_flush_cycle
+            .is_some_and(|c| self.cycle <= c + self.cfg.pipeline_depth + 1);
+        if in_flush_shadow {
+            acc.flush_recovery += 1;
+        } else if self.cycle < self.fetch_stall_until
+            && self.fetch_stall_reason == StallReason::IMiss
+            && !self.fetch_blocked
+        {
+            acc.fetch_imiss += 1;
+        } else if !self.fe_queue.is_empty() || self.fetch_blocked {
+            acc.frontend_fill += 1;
+        } else {
+            acc.fetch_redirect += 1;
+        }
+    }
+
+    fn fetch_queue_cap(&self) -> usize {
+        self.cfg.fetch_width * (self.cfg.pipeline_depth as usize + 2)
+    }
+
+    /// Per-PC hot-site row (created on first touch).
+    fn site(&mut self, pc: u32) -> &mut HotSiteCounts {
+        self.stats.hot_sites.entry(pc).or_default()
     }
 
     // ----------------------------------------------------------------- retire
@@ -393,11 +490,16 @@ impl<'p> Simulator<'p> {
         if e.role == Role::Select {
             self.stats.retired_select_uops += 1;
         }
-        if e.role != Role::Compute
+        let guard_false = e.role != Role::Compute
             && !e.f.info.guard_true
-            && (e.f.insn.guard.is_some() || e.f.hw_guard.is_some())
-        {
+            && (e.f.insn.guard.is_some() || e.f.hw_guard.is_some());
+        if guard_false {
             self.stats.retired_guard_false += 1;
+            self.site(e.f.pc).guard_false_uops += 1;
+            self.cyc_retired_guard_false = true;
+        } else if e.role != Role::Select {
+            // Neither predication overhead nor select-µop overhead.
+            self.cyc_retired_useful = true;
         }
         // Clear rename-map references to this entry.
         for m in self.gpr_prod.iter_mut() {
@@ -558,10 +660,11 @@ impl<'p> Simulator<'p> {
             return false;
         }
         e.mispredicted = true;
+        let site_pc = e.f.pc;
         self.stats.pred_value_mispredictions += 1;
         self.stats.flushes += 1;
-        let resume = e.f.pc + 1;
-        self.flush_after(idx, resume);
+        self.site(site_pc).flushes += 1;
+        self.flush_after(idx, site_pc + 1);
         true
     }
 
@@ -577,6 +680,7 @@ impl<'p> Simulator<'p> {
             return false;
         }
         let insn = e.f.insn;
+        let site_pc = e.f.pc;
         let is_wish = insn.is_wish_branch() && self.cfg.wish_enabled;
         let fetched_low_conf = matches!(br.fetch_mode, Mode::LowConf { .. });
 
@@ -586,6 +690,7 @@ impl<'p> Simulator<'p> {
         if br.dhp {
             self.stats.flushes_avoided += 1;
             self.stats.dhp_flushes_avoided += 1;
+            self.site(site_pc).flushes_avoided += 1;
             return false;
         }
         // §3.5.4: decide whether this misprediction flushes.
@@ -622,9 +727,11 @@ impl<'p> Simulator<'p> {
         }
         if !flush {
             self.stats.flushes_avoided += 1;
+            self.site(site_pc).flushes_avoided += 1;
             return false;
         }
         self.stats.flushes += 1;
+        self.site(site_pc).flushes += 1;
         self.flush_after(idx, actual_next);
         true
     }
@@ -703,6 +810,8 @@ impl<'p> Simulator<'p> {
         self.fetch_blocked = false;
         self.fetch_line = None;
         self.fetch_stall_until = self.cycle + 1;
+        self.fetch_stall_reason = StallReason::Redirect;
+        self.last_flush_cycle = Some(self.cycle);
     }
 
     // -------------------------------------------------------------- issue
@@ -1058,6 +1167,7 @@ impl<'p> Simulator<'p> {
                 self.fetch_line = Some(line);
                 if lat > self.cfg.mem.icache.latency {
                     self.fetch_stall_until = self.cycle + lat;
+                    self.fetch_stall_reason = StallReason::IMiss;
                     return;
                 }
             }
@@ -1609,9 +1719,19 @@ impl<'p> Simulator<'p> {
             if redirects {
                 // Target only known after decode: charge a fetch bubble.
                 self.fetch_stall_until = self.cycle + self.cfg.btb_miss_penalty;
+                self.fetch_stall_reason = StallReason::Redirect;
             }
         }
     }
+}
+
+/// Why the fetch stage is stalled (`fetch_stall_until` armed).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum StallReason {
+    /// I-cache miss in flight.
+    IMiss,
+    /// Redirect bubble: post-flush resteer or BTB-miss target bubble.
+    Redirect,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

@@ -62,4 +62,5 @@ pub mod trace;
 
 pub use config::{MachineConfig, OracleConfig, PredMechanism};
 pub use core::{SimError, SimResult, Simulator};
-pub use stats::{LoopExitClass, SimStats, WishClassCounts};
+pub use stats::{CycleAccounting, HotSiteCounts, LoopExitClass, SimStats, WishClassCounts};
+pub use trace::{render_trace, TraceEvent, TraceKind};

@@ -1,5 +1,6 @@
 //! Simulation statistics, shaped to regenerate the paper's figures.
 
+use std::collections::BTreeMap;
 use wishbranch_mem::CacheStats;
 
 /// Counts for one wish-branch class (Fig. 11 / Fig. 13 bars).
@@ -37,6 +38,107 @@ pub enum LoopExitClass {
     NoExit,
 }
 
+/// Where every cycle of a run went: each simulated cycle is attributed to
+/// **exactly one** category, so `total()` equals `SimStats::cycles` — a
+/// hard invariant the test suite enforces for every benchmark × variant.
+///
+/// The attribution point is the retire stage (top-down accounting): a
+/// cycle in which µops retire is classified by *what* retired, and a cycle
+/// in which nothing retires is classified by *why* — working backwards
+/// from the ROB to the front end. This turns the paper's Eq. 4.1–4.3
+/// overhead terms and the Fig. 2 oracle deltas into direct measurements:
+///
+/// * `guard_false_retire` cycles are predication's fetch/execution
+///   overhead of useless instructions (the NO-FETCH oracle's target);
+/// * `exec_wait` contains the predicate-dependency delay (the NO-DEPEND
+///   oracle's target) along with plain data-dependency and memory stalls;
+/// * `flush_recovery` + the fetch categories are the misprediction-penalty
+///   term wish branches trade against predication overhead.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct CycleAccounting {
+    /// At least one useful µop retired (not guard-false, not a select µop).
+    pub useful_retire: u64,
+    /// µops retired, but every one of them was a guard-false predicated
+    /// µop (the retire bandwidth went entirely to predication overhead).
+    pub guard_false_retire: u64,
+    /// µops retired, but every one of them was select-µop overhead
+    /// (§5.3.3 machine only).
+    pub select_uop_retire: u64,
+    /// Nothing retired: the ROB head is still executing (data dependences,
+    /// cache misses, long-latency ops, or an unresolved branch).
+    pub exec_wait: u64,
+    /// Nothing retired and the ROB is full: the window is the bottleneck
+    /// (dispatch is blocked behind a stalled head).
+    pub rob_stall: u64,
+    /// Nothing retired, ROB empty, within the refill shadow of a pipeline
+    /// flush: the misprediction-recovery cost wish branches avoid.
+    pub flush_recovery: u64,
+    /// Nothing retired, ROB empty, fetch stalled on an I-cache miss.
+    pub fetch_imiss: u64,
+    /// Nothing retired, ROB empty, fetch redirecting (taken-branch realign
+    /// or BTB-miss bubble).
+    pub fetch_redirect: u64,
+    /// Nothing retired, ROB empty, µops in flight in the front-end queue
+    /// (initial pipeline fill or end-of-program drain).
+    pub frontend_fill: u64,
+}
+
+impl CycleAccounting {
+    /// Sum over every category. The accounting invariant is
+    /// `total() == SimStats::cycles`.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.useful_retire
+            + self.guard_false_retire
+            + self.select_uop_retire
+            + self.exec_wait
+            + self.rob_stall
+            + self.flush_recovery
+            + self.fetch_imiss
+            + self.fetch_redirect
+            + self.frontend_fill
+    }
+
+    /// `(category name, cycles)` rows in a stable order, for rendering and
+    /// machine-readable reports.
+    #[must_use]
+    pub fn rows(&self) -> [(&'static str, u64); 9] {
+        [
+            ("useful_retire", self.useful_retire),
+            ("guard_false_retire", self.guard_false_retire),
+            ("select_uop_retire", self.select_uop_retire),
+            ("exec_wait", self.exec_wait),
+            ("rob_stall", self.rob_stall),
+            ("flush_recovery", self.flush_recovery),
+            ("fetch_imiss", self.fetch_imiss),
+            ("fetch_redirect", self.fetch_redirect),
+            ("frontend_fill", self.frontend_fill),
+        ]
+    }
+}
+
+/// Per-PC counters for the hot-site table: which static branch sites cause
+/// flushes, avoid them, and pay guard-false predication overhead — the
+/// measured substrate behind Fig. 11/13-style claims.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct HotSiteCounts {
+    /// Pipeline flushes triggered at this PC.
+    pub flushes: u64,
+    /// Flushes avoided at this PC (low-confidence wish branches, late-exit
+    /// wish loops, DHP).
+    pub flushes_avoided: u64,
+    /// Guard-false µops retired at this PC.
+    pub guard_false_uops: u64,
+}
+
+impl HotSiteCounts {
+    /// Activity score used to rank hot sites.
+    #[must_use]
+    pub fn score(&self) -> u64 {
+        self.flushes + self.flushes_avoided + self.guard_false_uops
+    }
+}
+
 /// Aggregate counters for one simulation.
 #[derive(Clone, PartialEq, Default, Debug)]
 pub struct SimStats {
@@ -63,6 +165,17 @@ pub struct SimStats {
     /// Cycles in which fetch delivered no µop (stall, redirect, I-miss,
     /// queue full, or blocked).
     pub fetch_idle_cycles: u64,
+    /// Fetch-idle cycles caused by an I-cache miss in progress.
+    pub fetch_idle_imiss: u64,
+    /// Fetch-idle cycles caused by a redirect bubble (post-flush resteer,
+    /// BTB-miss target bubble, or taken-branch realign).
+    pub fetch_idle_redirect: u64,
+    /// Fetch-idle cycles caused by a full front-end queue (dispatch is the
+    /// bottleneck).
+    pub fetch_idle_queue_full: u64,
+    /// Fetch-idle cycles with fetch blocked (`halt` fetched, or wrong-path
+    /// fetch ran off the program image and is waiting for the flush).
+    pub fetch_idle_blocked: u64,
     /// Cycles in which dispatch moved nothing into the ROB.
     pub dispatch_idle_cycles: u64,
     /// Cycles in which nothing retired.
@@ -89,6 +202,11 @@ pub struct SimStats {
     pub loop_late_exits: u64,
     /// No-exit count.
     pub loop_no_exits: u64,
+    /// Single-cause attribution of every cycle (`total() == cycles`).
+    pub cycle_accounting: CycleAccounting,
+    /// Per-PC flush / flush-avoided / guard-false counters. Deterministic
+    /// (BTreeMap) so parallel and serial runs stay bit-identical.
+    pub hot_sites: BTreeMap<u32, HotSiteCounts>,
     /// I-cache statistics.
     pub icache: CacheStats,
     /// L1 data cache statistics.
@@ -132,5 +250,17 @@ impl SimStats {
         } else {
             count as f64 * 1.0e6 / self.retired_uops as f64
         }
+    }
+
+    /// The `n` most active sites of the per-PC table, ranked by
+    /// [`HotSiteCounts::score`] (ties broken by PC, so the order is
+    /// deterministic).
+    #[must_use]
+    pub fn top_sites(&self, n: usize) -> Vec<(u32, HotSiteCounts)> {
+        let mut sites: Vec<(u32, HotSiteCounts)> =
+            self.hot_sites.iter().map(|(&pc, &c)| (pc, c)).collect();
+        sites.sort_by(|a, b| b.1.score().cmp(&a.1.score()).then(a.0.cmp(&b.0)));
+        sites.truncate(n);
+        sites
     }
 }

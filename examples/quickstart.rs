@@ -4,9 +4,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use wishbranch_compiler::BinaryVariant;
-use wishbranch_core::{run_binary, ExperimentConfig};
-use wishbranch_workloads::{twolf, InputSet};
+use wishbranch_core::prelude::*;
+use wishbranch_workloads::twolf;
 
 fn main() {
     let scale = 4000;
@@ -42,5 +41,20 @@ fn main() {
             "\nwish jump/join/loop binary speedup over normal branches: {:.1}%",
             (base as f64 - wish.sim.stats.cycles as f64) * 100.0 / base as f64
         );
+        let s = &wish.sim.stats;
+        println!("\nwhere the wish-jjl cycles went (sums to 100%):");
+        for (name, v) in s.cycle_accounting.rows() {
+            println!(
+                "  {name:<20} {v:>10}  {:>5.1}%",
+                v as f64 * 100.0 / s.cycles as f64
+            );
+        }
+        println!("\nhottest branch sites (flushes / avoided / guard-false µops):");
+        for (pc, c) in s.top_sites(3) {
+            println!(
+                "  pc {pc:<6} {:>8} / {:>8} / {:>10}",
+                c.flushes, c.flushes_avoided, c.guard_false_uops
+            );
+        }
     }
 }

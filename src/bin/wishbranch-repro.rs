@@ -2,122 +2,68 @@
 //! the command line.
 //!
 //! ```text
-//! USAGE: wishbranch-repro [--scale N] [--workers N] [--json] [--quick] <experiment>...
+//! USAGE: wishbranch-repro [--scale N] [--workers N] [--json] [--quick]
+//!                         [--report-dir DIR] <experiment>...
+//!        wishbranch-repro trace <bench> <variant> [--cycles A..B] [--scale N]
 //!        wishbranch-repro --list
 //!
 //! Experiments: fig1 fig2 fig10 fig11 fig12 fig13 fig14 fig15 fig16
-//!              tab4 tab5 adaptive dhp all
+//!              tab4 tab5 adaptive dhp predpred all
 //! ```
 //!
 //! Every experiment runs through one shared [`SweepRunner`], so `all`
 //! compiles each binary exactly once across every figure and fans the
 //! simulations out over the worker pool (`--workers`, or the
 //! `WISHBRANCH_WORKERS` environment variable, defaulting to the machine's
-//! available parallelism). Text mode prints a cumulative sweep summary at
-//! the end.
+//! available parallelism).
+//!
+//! Output modes:
+//!
+//! * default — fixed-width text tables plus a cumulative sweep summary;
+//! * `--json` — one `wishbranch.report/v1` JSON object per experiment on
+//!   stdout (one per line);
+//! * `--report-dir DIR` — write `DIR/<id>.json` and `DIR/<id>.csv` per
+//!   experiment plus `DIR/summary.json` (engine + phase timing), while
+//!   still printing the chosen stdout format.
+//!
+//! `trace` compiles one benchmark into one variant (labels as printed in
+//! the figures: `normal BASE-DEF BASE-MAX wish-jj wish-jjl wish-adaptive`)
+//! and dumps the pipeview event stream, optionally windowed to a cycle
+//! range with `--cycles A..B`.
 
-use std::fmt::Write as _;
+use wishbranch_compiler::BinaryVariant;
 use wishbranch_core::{
-    fig11_table, fig13_table, figure10_on, figure11_on, figure12_on, figure13_on, figure14_on,
-    figure15_on, figure16_on, figure1_on, figure2_on, figure_adaptive_on, figure_dhp_on,
-    figure_predicate_prediction_on, sweep_summary_table, sweep_table, table4_on, table4_table,
-    table5_on, table5_table, ExperimentConfig, FigureData, SweepRow, SweepRunner, Table,
+    summary_json, sweep_summary_table, trace_binary, Experiment, ExperimentConfig, SweepRunner,
 };
-
-const EXPERIMENTS: &[&str] = &[
-    "fig1", "fig2", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "tab4",
-    "tab5", "adaptive", "dhp", "predpred",
-];
+use wishbranch_uarch::render_trace;
+use wishbranch_workloads::{suite, InputSet};
 
 fn usage() -> ! {
+    let ids: Vec<&str> = Experiment::ALL.iter().map(|e| e.id()).collect();
     eprintln!(
-        "USAGE: wishbranch-repro [--scale N] [--workers N] [--json] [--quick] <experiment>...\n\
+        "USAGE: wishbranch-repro [--scale N] [--workers N] [--json] [--quick] [--report-dir DIR] <experiment>...\n\
+                wishbranch-repro trace <bench> <variant> [--cycles A..B] [--scale N]\n\
                 wishbranch-repro --list\n\
          experiments: {} all",
-        EXPERIMENTS.join(" ")
+        ids.join(" ")
     );
     std::process::exit(2)
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-fn figure_json(fig: &FigureData) -> String {
-    let mut out = String::new();
-    let _ = write!(out, "{{\"title\":\"{}\",\"series\":[", json_escape(&fig.title));
-    let series: Vec<String> = fig
-        .series
-        .iter()
-        .map(|s| format!("\"{}\"", json_escape(s)))
-        .collect();
-    let _ = write!(out, "{}],\"rows\":[", series.join(","));
-    let rows: Vec<String> = fig
-        .rows
-        .iter()
-        .map(|r| {
-            let vals: Vec<String> = r.values.iter().map(|v| format!("{v:.6}")).collect();
-            format!(
-                "{{\"name\":\"{}\",\"values\":[{}]}}",
-                json_escape(&r.name),
-                vals.join(",")
-            )
-        })
-        .collect();
-    let _ = write!(out, "{}]}}", rows.join(","));
-    out
-}
-
-fn sweep_json(name: &str, rows: &[SweepRow]) -> String {
-    let mut items = Vec::new();
-    for r in rows {
-        let series: Vec<String> = r
-            .series
-            .iter()
-            .map(|s| format!("\"{}\"", json_escape(s)))
-            .collect();
-        let avg: Vec<String> = r.avg.iter().map(|v| format!("{v:.6}")).collect();
-        let nomcf: Vec<String> = r.avg_nomcf.iter().map(|v| format!("{v:.6}")).collect();
-        items.push(format!(
-            "{{\"param\":{},\"series\":[{}],\"avg\":[{}],\"avg_nomcf\":[{}]}}",
-            r.param,
-            series.join(","),
-            avg.join(","),
-            nomcf.join(",")
-        ));
-    }
-    format!("{{\"title\":\"{}\",\"points\":[{}]}}", json_escape(name), items.join(","))
-}
-
-fn table_json(t: &Table) -> String {
-    let headers: Vec<String> = t
-        .headers
-        .iter()
-        .map(|h| format!("\"{}\"", json_escape(h)))
-        .collect();
-    let rows: Vec<String> = t
-        .rows
-        .iter()
-        .map(|r| {
-            let cells: Vec<String> = r.iter().map(|c| format!("\"{}\"", json_escape(c))).collect();
-            format!("[{}]", cells.join(","))
-        })
-        .collect();
-    format!(
-        "{{\"title\":\"{}\",\"headers\":[{}],\"rows\":[{}]}}",
-        json_escape(&t.title),
-        headers.join(","),
-        rows.join(",")
-    )
-}
-
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace") {
+        trace_main(&args[1..]);
+        return;
+    }
+
     let mut scale = 4000;
     let mut json = false;
     let mut quick = false;
     let mut workers: Option<usize> = None;
-    let mut wanted: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
+    let mut report_dir: Option<std::path::PathBuf> = None;
+    let mut wanted: Vec<Experiment> = Vec::new();
+    let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
@@ -136,13 +82,19 @@ fn main() {
             }
             "--json" => json = true,
             "--quick" => quick = true,
+            "--report-dir" => {
+                report_dir = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
             "--list" => {
-                println!("{} all", EXPERIMENTS.join(" "));
+                let ids: Vec<&str> = Experiment::ALL.iter().map(|e| e.id()).collect();
+                println!("{} all", ids.join(" "));
                 return;
             }
-            "all" => wanted.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
-            e if EXPERIMENTS.contains(&e) => wanted.push(e.to_string()),
-            _ => usage(),
+            "all" => wanted.extend(Experiment::ALL),
+            e => match Experiment::from_id(e) {
+                Some(exp) => wanted.push(exp),
+                None => usage(),
+            },
         }
     }
     if wanted.is_empty() {
@@ -160,50 +112,113 @@ fn main() {
         None => SweepRunner::new(&ec),
     };
 
-    for what in wanted {
-        match what.as_str() {
-            "fig1" => emit_figure(&figure1_on(&runner), json),
-            "fig2" => emit_figure(&figure2_on(&runner), json),
-            "fig10" => emit_figure(&figure10_on(&runner), json),
-            "fig11" => emit_table(&fig11_table(&figure11_on(&runner)), json),
-            "fig12" => emit_figure(&figure12_on(&runner), json),
-            "fig13" => emit_table(&fig13_table(&figure13_on(&runner)), json),
-            "fig14" => emit_sweep("Fig.14: instruction window sweep", "window", &figure14_on(&runner), json),
-            "fig15" => emit_sweep("Fig.15: pipeline depth sweep", "depth", &figure15_on(&runner), json),
-            "fig16" => emit_figure(&figure16_on(&runner), json),
-            "tab4" => emit_table(&table4_table(&table4_on(&runner)), json),
-            "tab5" => emit_table(&table5_table(&table5_on(&runner)), json),
-            "adaptive" => emit_figure(&figure_adaptive_on(&runner), json),
-            "dhp" => emit_figure(&figure_dhp_on(&runner), json),
-            "predpred" => emit_figure(&figure_predicate_prediction_on(&runner), json),
-            _ => unreachable!("validated above"),
+    if let Some(dir) = &report_dir {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| fatal(&format!("cannot create {}: {e}", dir.display())));
+    }
+
+    for exp in wanted {
+        let report = exp.run(&runner);
+        if let Some(dir) = &report_dir {
+            write_file(&dir.join(format!("{}.json", report.id)), &report.to_json());
+            write_file(&dir.join(format!("{}.csv", report.id)), &report.to_csv());
+        }
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            println!("{}", report.render());
         }
     }
+    let summary = runner.summary();
+    if let Some(dir) = &report_dir {
+        write_file(&dir.join("summary.json"), &summary_json(&summary));
+    }
     if !json {
-        println!("{}", sweep_summary_table(&runner.summary()));
+        println!("{}", sweep_summary_table(&summary));
     }
 }
 
-fn emit_figure(fig: &FigureData, json: bool) {
-    if json {
-        println!("{}", figure_json(fig));
-    } else {
-        println!("{}", Table::from(fig));
+fn write_file(path: &std::path::Path, contents: &str) {
+    let mut data = contents.to_string();
+    if !data.ends_with('\n') {
+        data.push('\n');
     }
+    std::fs::write(path, data)
+        .unwrap_or_else(|e| fatal(&format!("cannot write {}: {e}", path.display())));
 }
 
-fn emit_table(t: &Table, json: bool) {
-    if json {
-        println!("{}", table_json(t));
-    } else {
-        println!("{t}");
-    }
+fn fatal(msg: &str) -> ! {
+    eprintln!("wishbranch-repro: {msg}");
+    std::process::exit(1)
 }
 
-fn emit_sweep(title: &str, param: &str, rows: &[SweepRow], json: bool) {
-    if json {
-        println!("{}", sweep_json(title, rows));
-    } else {
-        println!("{}", sweep_table(title, param, rows));
+/// `wishbranch-repro trace <bench> <variant> [--cycles A..B] [--scale N]`
+fn trace_main(args: &[String]) {
+    let mut scale = 200; // traces get long; default far below figure scale
+    let mut cycles: Option<(u64, u64)> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--cycles" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                let (a, b) = spec.split_once("..").unwrap_or_else(|| usage());
+                let lo = a.parse().ok().unwrap_or_else(|| usage());
+                let hi = b.parse().ok().unwrap_or_else(|| usage());
+                cycles = Some((lo, hi));
+            }
+            _ => positional.push(arg),
+        }
     }
+    let [bench_name, variant_name] = positional[..] else {
+        usage();
+    };
+    let benches = suite(scale);
+    let bench = benches
+        .iter()
+        .find(|b| b.name == bench_name.as_str())
+        .unwrap_or_else(|| {
+            let names: Vec<&str> = benches.iter().map(|b| b.name).collect();
+            fatal(&format!(
+                "unknown benchmark {bench_name:?}; have: {}",
+                names.join(" ")
+            ))
+        });
+    let variant = BinaryVariant::ALL_WITH_EXTENSIONS
+        .into_iter()
+        .find(|v| v.label().eq_ignore_ascii_case(variant_name))
+        .unwrap_or_else(|| {
+            let labels: Vec<&str> = BinaryVariant::ALL_WITH_EXTENSIONS
+                .iter()
+                .map(|v| v.label())
+                .collect();
+            fatal(&format!(
+                "unknown variant {variant_name:?}; have: {}",
+                labels.join(" ")
+            ))
+        });
+    let ec = ExperimentConfig::paper(scale);
+    let (result, trace) = trace_binary(bench, variant, InputSet::B, &ec);
+    let events: Vec<_> = match cycles {
+        Some((lo, hi)) => trace
+            .into_iter()
+            .filter(|e| e.cycle >= lo && e.cycle < hi)
+            .collect(),
+        None => trace,
+    };
+    print!("{}", render_trace(&events));
+    eprintln!(
+        "# {} {} scale={scale}: {} events, {} cycles, {} retired µops",
+        bench.name,
+        variant.label(),
+        events.len(),
+        result.stats.cycles,
+        result.stats.retired_uops
+    );
 }

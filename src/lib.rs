@@ -1,2 +1,10 @@
 //! Meta-crate for the wish-branches reproduction suite.
 pub use wishbranch_core as core_api;
+
+/// Everything most experiment drivers need, re-exported from
+/// [`wishbranch_core::prelude`]: `use wishbranch_suite::prelude::*;` gives
+/// you `SweepRunner`, `ExperimentConfig`, the `Experiment` catalog, the
+/// `Report` model, `BinaryVariant`, `suite` and `InputSet`.
+pub mod prelude {
+    pub use wishbranch_core::prelude::*;
+}

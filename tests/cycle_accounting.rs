@@ -1,0 +1,124 @@
+//! The cycle-accounting layer's hard invariant, suite-wide: every cycle of
+//! every simulation is attributed to exactly one cause, for every
+//! benchmark × every binary variant × several machine configurations.
+//! (Micro-level category behavior is tested in
+//! `crates/uarch/tests/cycle_accounting_micro.rs`.)
+
+use wishbranch_compiler::BinaryVariant;
+use wishbranch_core::{
+    compile_adaptive_variant, compile_variant, simulate, ExperimentConfig,
+};
+use wishbranch_uarch::{MachineConfig, PredMechanism, SimStats};
+use wishbranch_workloads::{suite, InputSet};
+
+const SCALE: i32 = 40;
+
+fn assert_identities(label: &str, s: &SimStats) {
+    assert_eq!(
+        s.cycle_accounting.total(),
+        s.cycles,
+        "{label}: cycle accounting must cover every cycle exactly once: {:?}",
+        s.cycle_accounting
+    );
+    assert_eq!(
+        s.fetch_idle_imiss + s.fetch_idle_redirect + s.fetch_idle_queue_full + s.fetch_idle_blocked,
+        s.fetch_idle_cycles,
+        "{label}: fetch-idle split must cover every fetch-idle cycle"
+    );
+    let flushes: u64 = s.hot_sites.values().map(|c| c.flushes).sum();
+    let avoided: u64 = s.hot_sites.values().map(|c| c.flushes_avoided).sum();
+    let gf: u64 = s.hot_sites.values().map(|c| c.guard_false_uops).sum();
+    assert_eq!(flushes, s.flushes, "{label}: per-site flushes must sum to the total");
+    assert_eq!(avoided, s.flushes_avoided, "{label}: per-site avoided flushes must sum");
+    assert_eq!(gf, s.retired_guard_false, "{label}: per-site guard-false µops must sum");
+    // rows() must agree with total() (it is what reports print).
+    let row_sum: u64 = s.cycle_accounting.rows().iter().map(|&(_, v)| v).sum();
+    assert_eq!(row_sum, s.cycles, "{label}: rows() must cover every cycle");
+}
+
+#[test]
+fn identity_holds_for_every_benchmark_and_variant() {
+    let ec = ExperimentConfig::quick(SCALE);
+    for bench in suite(SCALE) {
+        for variant in BinaryVariant::ALL {
+            let bin = compile_variant(&bench, variant, &ec);
+            let res = simulate(&bin.program, &bench, InputSet::B, &ec.machine);
+            assert_identities(&format!("{} {variant:?}", bench.name), &res.stats);
+        }
+    }
+}
+
+#[test]
+fn identity_holds_for_the_adaptive_extension_binary() {
+    let ec = ExperimentConfig::quick(SCALE);
+    for bench in suite(SCALE) {
+        let bin = compile_adaptive_variant(&bench, &[InputSet::A, InputSet::C], &ec);
+        for input in InputSet::ALL {
+            let res = simulate(&bin.program, &bench, input, &ec.machine);
+            assert_identities(&format!("{} adaptive {input}", bench.name), &res.stats);
+        }
+    }
+}
+
+/// The machine configurations the figures sweep over: select-µop
+/// predication, oracle knobs, dynamic hammock predication, predicate
+/// prediction and a bounded-MSHR memory system.
+fn machine_variants() -> Vec<(&'static str, MachineConfig)> {
+    let base = ExperimentConfig::quick(SCALE).machine;
+    let mut out = Vec::new();
+    let mut m = base.clone();
+    m.pred_mechanism = PredMechanism::SelectUop;
+    out.push(("select-uop", m));
+    let mut m = base.clone();
+    m.oracles.perfect_confidence = true;
+    out.push(("perfect-confidence", m));
+    let mut m = base.clone();
+    m.oracles.perfect_branch_prediction = true;
+    out.push(("perfect-cbp", m));
+    let mut m = base.clone();
+    m.dhp_enabled = true;
+    out.push(("dhp", m));
+    let mut m = base.clone();
+    m.predicate_prediction = true;
+    out.push(("predpred", m));
+    let mut m = base;
+    m.mem.max_outstanding_misses = 2;
+    out.push(("mshr2", m));
+    out
+}
+
+#[test]
+fn identity_holds_across_machine_configurations() {
+    let ec = ExperimentConfig::quick(SCALE);
+    let benches = suite(SCALE);
+    // The loop-light first and loop-heavy last benchmark, as in the
+    // engine-equivalence tests.
+    for bench in [&benches[0], &benches[benches.len() - 1]] {
+        for variant in [BinaryVariant::NormalBranch, BinaryVariant::WishJumpJoinLoop] {
+            let bin = compile_variant(bench, variant, &ec);
+            for (name, machine) in machine_variants() {
+                let res = simulate(&bin.program, bench, InputSet::B, &machine);
+                assert_identities(&format!("{} {variant:?} {name}", bench.name), &res.stats);
+            }
+        }
+    }
+}
+
+#[test]
+fn hot_sites_surface_the_flushiest_branches() {
+    let ec = ExperimentConfig::quick(SCALE);
+    let benches = suite(SCALE);
+    let bench = &benches[0];
+    let bin = compile_variant(bench, BinaryVariant::NormalBranch, &ec);
+    let res = simulate(&bin.program, bench, InputSet::B, &ec.machine);
+    assert!(res.stats.flushes > 0, "normal binary must mispredict sometimes");
+    let top = res.stats.top_sites(5);
+    assert!(!top.is_empty(), "flushes must be attributed to sites");
+    assert!(top.len() <= 5);
+    // Sorted by descending score.
+    for pair in top.windows(2) {
+        assert!(pair[0].1.score() >= pair[1].1.score());
+    }
+    // The top site carries a nonzero count of something.
+    assert!(top[0].1.score() > 0);
+}

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use wishbranch_compiler::BinaryVariant;
-use wishbranch_core::{figure12_on, run_binary, ExperimentConfig, SweepJob, SweepRunner};
+use wishbranch_core::{figure12, run_binary, ExperimentConfig, SweepJob, SweepRunner};
 use wishbranch_workloads::{suite, InputSet};
 
 /// The reduced sweep the equivalence tests run: two benchmarks (the first
@@ -88,7 +88,7 @@ fn measured_parallelism() -> f64 {
 fn quick_scale_figure_sweep_parallel_speedup_and_cache_hits() {
     let ec = ExperimentConfig::quick(60);
     let runner = SweepRunner::with_workers(&ec, 4);
-    let fig = figure12_on(&runner);
+    let fig = figure12(&runner);
     assert!(fig.rows.iter().any(|r| r.name == "AVG"));
 
     let summary = runner.summary();

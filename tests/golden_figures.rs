@@ -11,7 +11,9 @@
 //! compiler, simulator, or workloads — rerun the paper-scale sweep and
 //! update both this snapshot and EXPERIMENTS.md if the change is intended.
 
-use wishbranch_core::{figure10_on, figure12_on, ExperimentConfig, FigureData, SweepRunner};
+use wishbranch_core::{
+    Experiment, ExperimentConfig, FigureData, Report, ReportData, SweepRunner,
+};
 
 const SCALE: i32 = 150;
 
@@ -40,12 +42,32 @@ fn assert_close(label: &str, got: f64, want: f64) {
     );
 }
 
+/// Runs an experiment through the unified catalog API and unwraps the
+/// figure payload — so the golden values below also pin the
+/// `Experiment::run` → `Report` path, not just the raw figure functions.
+fn run_figure(exp: Experiment, runner: &SweepRunner) -> (Report, FigureData) {
+    let report = exp.run(runner);
+    let ReportData::Figure(fig) = report.data.clone() else {
+        panic!("{}: expected a figure payload", report.id)
+    };
+    (report, fig)
+}
+
 #[test]
 fn figure_10_and_12_headline_averages_match_snapshot() {
     let ec = ExperimentConfig::paper(SCALE);
     let runner = SweepRunner::new(&ec);
-    let fig10 = figure10_on(&runner);
-    let fig12 = figure12_on(&runner);
+    let (report10, fig10) = run_figure(Experiment::Fig10, &runner);
+    let (_, fig12) = run_figure(Experiment::Fig12, &runner);
+
+    // The report serializes the exact simulated values (six decimals).
+    assert!(
+        report10.to_json().contains(&format!(
+            "{:.6}",
+            avg_row(&fig10, "AVG", "BASE-DEF")
+        )),
+        "fig10 JSON must carry the snapshot value verbatim"
+    );
 
     // Fig. 10 snapshot (scale 150).
     assert_close("fig10 BASE-DEF AVG", avg_row(&fig10, "AVG", "BASE-DEF"), 1.001474);

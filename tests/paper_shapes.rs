@@ -3,7 +3,7 @@
 //! scale small enough for debug builds.
 
 use wishbranch_compiler::BinaryVariant;
-use wishbranch_core::{figure12, figure2, run_binary, table4, table5, ExperimentConfig};
+use wishbranch_core::{figure12, figure2, run_binary, table4, table5, ExperimentConfig, SweepRunner};
 use wishbranch_workloads::{mcf, suite, InputSet};
 
 fn quick() -> ExperimentConfig {
@@ -11,6 +11,10 @@ fn quick() -> ExperimentConfig {
     // estimator to warm up and for 30-cycle flushes to matter, small enough
     // for debug-build CI.
     ExperimentConfig::paper(800)
+}
+
+fn quick_runner() -> SweepRunner {
+    SweepRunner::new(&quick())
 }
 
 fn row<'a>(fig: &'a wishbranch_core::FigureData, name: &str) -> &'a [f64] {
@@ -24,7 +28,7 @@ fn row<'a>(fig: &'a wishbranch_core::FigureData, name: &str) -> &'a [f64] {
 
 #[test]
 fn figure2_oracle_ordering_holds() {
-    let fig = figure2(&quick());
+    let fig = figure2(&quick_runner());
     // Removing overhead can only help: BASE-MAX ≥ NO-DEPEND ≥ NO-DEPEND+NO-FETCH.
     for r in &fig.rows {
         let (base, no_dep, no_dep_no_fetch) = (r.values[0], r.values[1], r.values[2]);
@@ -54,7 +58,7 @@ fn figure2_oracle_ordering_holds() {
 
 #[test]
 fn figure12_wish_branches_win_on_average() {
-    let fig = figure12(&quick());
+    let fig = figure12(&quick_runner());
     let avg = row(&fig, "AVG");
     let series: Vec<&str> = fig.series.iter().map(String::as_str).collect();
     assert_eq!(
@@ -108,7 +112,7 @@ fn mcf_predication_pathology_and_wish_rescue() {
 
 #[test]
 fn table4_is_consistent() {
-    let rows = table4(&quick());
+    let rows = table4(&quick_runner());
     assert_eq!(rows.len(), 9);
     for r in &rows {
         assert!(r.dynamic_uops > 1000, "{}: too little work", r.name);
@@ -131,7 +135,7 @@ fn table4_is_consistent() {
 
 #[test]
 fn table5_average_positive_vs_normal() {
-    let rows = table5(&quick());
+    let rows = table5(&quick_runner());
     let avg = rows.iter().find(|r| r.name == "AVG").unwrap();
     assert!(
         avg.vs_normal_pct > 0.0,
