@@ -17,7 +17,8 @@
 use criterion::Criterion;
 use wishbranch_compiler::BinaryVariant;
 use wishbranch_core::{
-    compile_variant, simulate, sweep_summary_table, ExperimentConfig, Report, SweepRunner,
+    compile_variant, failure_table, simulate, sweep_summary_table, ExperimentConfig, Report,
+    SweepRunner,
 };
 use wishbranch_workloads::{twolf, InputSet};
 
@@ -66,9 +67,14 @@ pub fn emit_report(report: &Report) {
 }
 
 /// Prints the runner's cumulative sweep summary (job count, cache hits,
-/// parallel speedup) below a figure's table.
+/// parallel speedup) below a figure's table, plus the failure table when
+/// any job failed (failed cells render as explicit gaps in the figure).
 pub fn print_sweep_summary(runner: &SweepRunner) {
     println!("\n{}", sweep_summary_table(&runner.summary()));
+    let failures = runner.failures();
+    if !failures.is_empty() {
+        println!("\n{}", failure_table(&failures));
+    }
 }
 
 /// Registers the standard Criterion measurement: one small wish-branch
@@ -77,11 +83,17 @@ pub fn print_sweep_summary(runner: &SweepRunner) {
 pub fn register_kernel(c: &mut Criterion, group: &str) {
     let ec = ExperimentConfig::paper(300);
     let bench = twolf(300);
-    let bin = compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, &ec);
+    let bin = compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, &ec)
+        .expect("kernel compile");
     let mut g = c.benchmark_group(group);
     g.sample_size(10);
     g.bench_function("sim_twolf300_wish_jjl", |b| {
-        b.iter(|| simulate(&bin.program, &bench, InputSet::B, &ec.machine).stats.cycles)
+        b.iter(|| {
+            simulate(&bin.program, &bench, InputSet::B, &ec.machine)
+                .expect("kernel simulation")
+                .stats
+                .cycles
+        })
     });
     g.finish();
 }

@@ -71,7 +71,7 @@ impl Gen<'_> {
             0 => {
                 let (d, s) = (self.work_reg(), self.work_reg());
                 let op = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::Mul, AluOp::And]
-                    [self.rng.gen_range(0..5)];
+                    [self.rng.gen_range(0..5usize)];
                 let src2 = if self.rng.gen_bool(0.5) {
                     Operand::Reg(self.work_reg())
                 } else {
@@ -113,7 +113,7 @@ impl Gen<'_> {
 
     fn emit_if(&mut self, depth: u32) {
         let lhs = self.work_reg();
-        let op = [CmpOp::Lt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne][self.rng.gen_range(0..4)];
+        let op = [CmpOp::Lt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne][self.rng.gen_range(0..4usize)];
         let rhs = Operand::Imm(self.rng.gen_range(-5..6));
         let then_b = self.f.new_block();
         let else_b = self.f.new_block();

@@ -42,22 +42,28 @@ fn wjl_points(
             }
         }
     }
-    let cycles: Vec<u64> = runner
-        .run(jobs)
+    let cycles: Vec<Option<u64>> = runner
+        .try_run(jobs)
         .into_iter()
-        .map(|r| r.outcome.sim.stats.cycles)
+        .map(|r| r.ok().map(|r| r.outcome.sim.stats.cycles))
         .collect();
     points
         .iter()
         .zip(cycles.chunks_exact(2 * nbench))
         .map(|(&(param, _, _), chunk)| {
-            let sum: f64 = chunk
-                .chunks_exact(2)
-                .map(|pair| pair[1] as f64 / pair[0] as f64)
-                .sum();
+            // Average over the benchmarks whose (normal, wish) pair both
+            // completed; NaN (an explicit gap) if every pair failed.
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for pair in chunk.chunks_exact(2) {
+                if let (Some(normal), Some(wish)) = (pair[0], pair[1]) {
+                    sum += wish as f64 / normal as f64;
+                    n += 1;
+                }
+            }
             AblationPoint {
                 param,
-                avg_normalized: sum / nbench as f64,
+                avg_normalized: if n > 0 { sum / n as f64 } else { f64::NAN },
             }
         })
         .collect()
@@ -160,7 +166,7 @@ pub fn loop_predictor_comparison(runner: &SweepRunner, bias: u32) -> LoopPredict
                 .with_machine(biased_machine.clone()),
         );
     }
-    let results = runner.run(jobs);
+    let results = runner.try_run(jobs);
     let mut out = LoopPredictorComparison {
         early_unbiased: 0,
         late_unbiased: 0,
@@ -170,8 +176,12 @@ pub fn loop_predictor_comparison(runner: &SweepRunner, bias: u32) -> LoopPredict
         cycles_biased: 0,
     };
     for pair in results.chunks_exact(2) {
-        let plain = &pair[0].outcome.sim.stats;
-        let biased = &pair[1].outcome.sim.stats;
+        // A benchmark with a failed half is skipped: the comparison is
+        // only meaningful when both machines ran the same work.
+        let (plain, biased) = match (&pair[0], &pair[1]) {
+            (Ok(p), Ok(b)) => (&p.outcome.sim.stats, &b.outcome.sim.stats),
+            _ => continue,
+        };
         out.early_unbiased += plain.loop_early_exits;
         out.late_unbiased += plain.loop_late_exits;
         out.early_biased += biased.loop_early_exits;

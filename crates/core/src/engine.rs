@@ -4,8 +4,8 @@
 //!
 //! Every figure and table of the reproduction is a sweep over such jobs,
 //! and the sweep shape is embarrassingly parallel: each job is an
-//! independent profile → compile → simulate → verify chain. Two properties
-//! make the engine safe to drop under every experiment:
+//! independent profile → compile → simulate → verify chain. Three
+//! properties make the engine safe to drop under every experiment:
 //!
 //! * **Determinism** — the IR interpreter, the compiler, and the cycle
 //!   simulator are all deterministic, and the compiler consumes profiles
@@ -16,22 +16,40 @@
 //! * **Submission order** — results are returned in job-submission order
 //!   regardless of completion order, so downstream figure assembly never
 //!   observes scheduling.
+//! * **Fault isolation** — a job that fails (typed [`JobError`], or an
+//!   outright worker panic caught with `catch_unwind`) becomes one
+//!   [`JobFailure`] cell; every other job still completes and stays
+//!   bit-identical to a fault-free run (`tests/fault_tolerance.rs`).
+//!   Poisoned locks are recovered via [`PoisonError::into_inner`] — the
+//!   guarded data is plain results and counters, valid regardless of
+//!   where a panic landed — so one panic can never cascade into a second.
 //!
 //! The caches are keyed on `(benchmark, train-inputs)` for profiles and
 //! `(benchmark, variant, train-inputs, compile-options)` for binaries, so
 //! a figure sweep compiles each distinct binary once instead of once per
-//! (input, machine) point — the Fig. 14/15 sweeps alone previously
-//! recompiled the same 54 binaries six times over.
+//! (input, machine) point. Failures are cached exactly like successes:
+//! both are deterministic, so re-requesting a failed compile returns the
+//! same typed error without re-running it.
+//!
+//! When a journal is attached ([`SweepRunner::attach_journal`]), every
+//! completed job is appended to a JSONL file as it finishes, and — on
+//! resume — jobs whose key is already journaled are served from the
+//! journal bit-identically instead of re-running (`--resume`).
 
+use std::any::Any;
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::panic::AssertUnwindSafe;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
+use crate::error::{FaultKind, FaultPlan, JobError, JobFailure};
 use crate::experiment::{
     profile_on, simulate_unverified, verify_retired_state, ExperimentConfig, RunOutcome,
 };
+use crate::journal::{fnv1a64, JournalWriter};
 use wishbranch_compiler::{compile, compile_adaptive, BinaryVariant, CompileOptions, CompiledBinary};
 use wishbranch_ir::Profile;
 use wishbranch_uarch::MachineConfig;
@@ -39,6 +57,26 @@ use wishbranch_workloads::{suite, Benchmark, InputSet};
 
 /// Environment variable overriding the worker count.
 pub const WORKERS_ENV: &str = "WISHBRANCH_WORKERS";
+
+/// Locks a mutex, recovering the guard from a poisoned lock. Everything
+/// the engine guards (result slots, cache maps, counters, the journal) is
+/// structurally valid no matter where a worker panic landed, so poisoning
+/// carries no information here — and the whole point of panic isolation
+/// is that one panic must not cascade into a second.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Stringifies a caught panic payload for [`JobError::WorkerPanic`].
+fn panic_payload_string(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Which training inputs the compiler profiles on for a job.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -153,12 +191,17 @@ pub struct JobResult {
     pub job: SweepJob,
     /// Simulation outcome (stats + compile report + static stats).
     pub outcome: RunOutcome,
-    /// Wall-clock time this job took on its worker (all phases).
+    /// Wall-clock time this job took on its worker (all phases); zero for
+    /// a journal hit.
     pub wall: Duration,
     /// Where this job's wall time went, phase by phase.
     pub phases: JobPhases,
-    /// Whether the compiled binary came from the cache.
+    /// Whether the compiled binary came from the cache (always `true` for
+    /// a journal hit, which never touches the compiler).
     pub compile_cache_hit: bool,
+    /// Whether the whole outcome was served from an attached sweep
+    /// journal (`--resume`) instead of being executed.
+    pub journal_hit: bool,
 }
 
 /// Per-phase wall-clock breakdown of one job. `acquire` covers the
@@ -178,7 +221,7 @@ pub struct JobPhases {
 /// Aggregate statistics over everything a [`SweepRunner`] has executed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct SweepSummary {
-    /// Jobs executed.
+    /// Jobs completed successfully (including journal hits).
     pub jobs: u64,
     /// Worker threads the pool runs.
     pub workers: usize,
@@ -190,9 +233,15 @@ pub struct SweepSummary {
     pub compile_hits: u64,
     /// Compiled-binary cache misses (compiles actually executed).
     pub compile_misses: u64,
+    /// Jobs that ended in a [`JobFailure`] after all retry attempts.
+    pub failed: u64,
+    /// Extra execution attempts spent retrying retryable failures.
+    pub retries: u64,
+    /// Jobs served bit-identically from an attached sweep journal.
+    pub journal_hits: u64,
     /// Sum of per-job wall-clock times (the serial cost of the work).
     pub job_time: Duration,
-    /// End-to-end wall-clock time spent inside [`SweepRunner::run`].
+    /// End-to-end wall-clock time spent inside [`SweepRunner::try_run`].
     pub wall_time: Duration,
     /// Time spent profiling (inside cache misses only).
     pub profile_time: Duration,
@@ -227,8 +276,18 @@ impl SweepSummary {
     }
 }
 
-type ProfileCell = Arc<OnceLock<Arc<Profile>>>;
-type BinaryCell = Arc<OnceLock<Arc<CompiledBinary>>>;
+// Failures are cached exactly like successes — both are deterministic
+// (same inputs, same fault), so a cached `Err` is the same answer a rerun
+// would produce, minus the rerun.
+type ProfileCell = Arc<OnceLock<Result<Arc<Profile>, JobError>>>;
+type BinaryCell = Arc<OnceLock<Result<Arc<CompiledBinary>, JobError>>>;
+
+/// An attached sweep journal: the append handle plus the outcomes loaded
+/// for `--resume` (empty when not resuming).
+struct JournalState {
+    writer: JournalWriter,
+    resume: HashMap<u64, RunOutcome>,
+}
 
 /// The parallel sweep engine. See the module docs.
 ///
@@ -242,11 +301,25 @@ pub struct SweepRunner {
     workers: usize,
     profiles: Mutex<HashMap<(usize, InputSet), ProfileCell>>,
     binaries: Mutex<HashMap<CompileKey, BinaryCell>>,
+    /// Global submission index: every job submitted over the runner's
+    /// lifetime gets the next index, independent of worker count and
+    /// scheduling. [`FaultPlan`] indices and [`JobFailure::index`] refer
+    /// to this counter.
+    next_index: AtomicU64,
+    fault_plan: FaultPlan,
+    aborted: AtomicBool,
+    retry_limit: u32,
+    wall_budget: Option<Duration>,
+    journal: Mutex<Option<JournalState>>,
+    failures: Mutex<Vec<JobFailure>>,
     profile_hits: AtomicU64,
     profile_misses: AtomicU64,
     compile_hits: AtomicU64,
     compile_misses: AtomicU64,
     jobs_run: AtomicU64,
+    failed: AtomicU64,
+    retries: AtomicU64,
+    journal_hits: AtomicU64,
     job_time_nanos: AtomicU64,
     wall_nanos: AtomicU64,
     profile_nanos: AtomicU64,
@@ -256,18 +329,30 @@ pub struct SweepRunner {
 }
 
 /// Worker count: `WISHBRANCH_WORKERS` if set and positive, else the
-/// machine's available parallelism.
+/// machine's available parallelism. An invalid override (unparseable, or
+/// zero) is rejected with a one-line stderr warning naming the rejected
+/// value and the fallback used.
 #[must_use]
 pub fn default_workers() -> usize {
-    std::env::var(WORKERS_ENV)
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1)
-        })
+    let available = || {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+    match std::env::var(WORKERS_ENV) {
+        Ok(value) => match value.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                let fallback = available();
+                eprintln!(
+                    "warning: ignoring invalid {WORKERS_ENV}={value:?} (want a positive integer); \
+                     using {fallback} workers (available parallelism)"
+                );
+                fallback
+            }
+        },
+        Err(_) => available(),
+    }
 }
 
 impl SweepRunner {
@@ -287,11 +372,21 @@ impl SweepRunner {
             workers: workers.max(1),
             profiles: Mutex::new(HashMap::new()),
             binaries: Mutex::new(HashMap::new()),
+            next_index: AtomicU64::new(0),
+            fault_plan: FaultPlan::new(),
+            aborted: AtomicBool::new(false),
+            retry_limit: 1,
+            wall_budget: None,
+            journal: Mutex::new(None),
+            failures: Mutex::new(Vec::new()),
             profile_hits: AtomicU64::new(0),
             profile_misses: AtomicU64::new(0),
             compile_hits: AtomicU64::new(0),
             compile_misses: AtomicU64::new(0),
             jobs_run: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            journal_hits: AtomicU64::new(0),
             job_time_nanos: AtomicU64::new(0),
             wall_nanos: AtomicU64::new(0),
             profile_nanos: AtomicU64::new(0),
@@ -319,31 +414,116 @@ impl SweepRunner {
         self.workers
     }
 
-    /// Executes `jobs` on the worker pool and returns results **in
-    /// submission order**, regardless of completion order.
+    /// Installs a deterministic fault-injection plan (tests and the
+    /// `--fault-plan` CLI flag). Indices are global submission indices on
+    /// this runner.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+    }
+
+    /// Sets the bounded retry limit for retryable failures (worker panics
+    /// and budget overruns). Default 1: one retry, two attempts total.
+    pub fn set_retry_limit(&mut self, retries: u32) {
+        self.retry_limit = retries;
+    }
+
+    /// Sets a per-job wall-clock budget. The budget is checked *between*
+    /// phases and after completion — never mid-simulation, which would
+    /// break determinism — so an overrunning job still finishes its work
+    /// but reports [`JobError::WallBudgetExceeded`] instead of a result.
+    pub fn set_wall_budget(&mut self, budget: Option<Duration>) {
+        self.wall_budget = budget;
+    }
+
+    /// Attaches the sweep journal at `path`: every subsequently completed
+    /// job is appended as it finishes. With `resume`, already-journaled
+    /// outcomes are loaded first and served bit-identically as
+    /// [`JobResult::journal_hit`]s instead of re-running. Returns how many
+    /// journaled outcomes were loaded.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics (propagated from workers) if any simulation diverges from
-    /// the functional reference or exceeds its cycle budget — the same
-    /// conditions that panic the serial path.
+    /// I/O errors opening (or, when resuming, reading) the journal file.
+    /// Unparseable journal *content* is never an error — corrupt or torn
+    /// lines are skipped and their jobs simply re-run.
+    pub fn attach_journal(&self, path: &Path, resume: bool) -> std::io::Result<usize> {
+        let resume_map = if resume {
+            crate::journal::load(path)?
+        } else {
+            HashMap::new()
+        };
+        let loaded = resume_map.len();
+        let writer = JournalWriter::open(path)?;
+        *lock_unpoisoned(&self.journal) = Some(JournalState {
+            writer,
+            resume: resume_map,
+        });
+        Ok(loaded)
+    }
+
+    /// Whether a [`FaultKind::Abort`] fault has fired on this runner.
+    /// Once aborted, workers stop pulling jobs and every unstarted job
+    /// (in this and any later batch) fails with [`JobError::Aborted`] —
+    /// in-process, this models a sweep whose process was killed mid-run.
     #[must_use]
-    pub fn run(&self, jobs: Vec<SweepJob>) -> Vec<JobResult> {
+    pub fn aborted(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
+    }
+
+    /// Every [`JobFailure`] recorded over the runner's lifetime, in the
+    /// order failures were recorded.
+    #[must_use]
+    pub fn failures(&self) -> Vec<JobFailure> {
+        lock_unpoisoned(&self.failures).clone()
+    }
+
+    /// The stable journal/cache key of a job: an FNV-1a-64 fingerprint
+    /// over the benchmark name, variant, run input, training spec,
+    /// compile options (floats by bit pattern) and the full machine
+    /// configuration.
+    #[must_use]
+    pub fn job_key(&self, job: &SweepJob) -> u64 {
+        let fingerprint = format!(
+            "{}|{:?}|{:?}|{:?}|{:?}|{:?}|{}",
+            self.benches[job.bench].name,
+            job.variant,
+            job.input,
+            job.train,
+            OptionsKey::new(&job.compile),
+            job.machine,
+            self.ec.scale,
+        );
+        fnv1a64(fingerprint.as_bytes())
+    }
+
+    /// Executes `jobs` on the worker pool, returning one
+    /// `Ok(`[`JobResult`]`)` or `Err(`[`JobFailure`]`)` per job, **in
+    /// submission order** regardless of completion order. A failed job —
+    /// typed error or caught worker panic — never prevents any other job
+    /// from completing; non-failed results are bit-identical to a
+    /// fault-free run.
+    #[must_use]
+    pub fn try_run(&self, jobs: Vec<SweepJob>) -> Vec<Result<JobResult, JobFailure>> {
         let t0 = Instant::now();
         let n = jobs.len();
+        let base = self.next_index.fetch_add(n as u64, Ordering::SeqCst);
         let jobs = &jobs;
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<JobResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<Result<JobResult, JobFailure>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
         let workers = self.workers.min(n.max(1));
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    if self.aborted.load(Ordering::SeqCst) {
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    let result = self.run_job(&jobs[i]);
-                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    let outcome = self.run_indexed(&jobs[i], base + i as u64);
+                    *lock_unpoisoned(&slots[i]) = Some(outcome);
                 });
             }
         });
@@ -351,29 +531,152 @@ impl SweepRunner {
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         slots
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("worker filled every slot")
+            .enumerate()
+            .map(|(i, slot)| {
+                let filled = slot.into_inner().unwrap_or_else(PoisonError::into_inner);
+                // A slot is only left unfilled when an abort stopped the
+                // workers before this job was claimed.
+                filled.unwrap_or_else(|| {
+                    Err(self.record_failure(&jobs[i], base + i as u64, JobError::Aborted, 0))
+                })
             })
             .collect()
     }
 
-    /// Executes one job on the calling thread (used by the pool, and
-    /// directly useful for one-off cached runs).
-    #[must_use]
-    pub fn run_job(&self, job: &SweepJob) -> JobResult {
+    /// Executes `jobs` like [`try_run`](SweepRunner::try_run), but
+    /// collapses the per-job results: all results in submission order on
+    /// success, the first failure otherwise. (The remaining jobs still
+    /// ran; their failures stay visible via
+    /// [`failures`](SweepRunner::failures).)
+    ///
+    /// # Errors
+    ///
+    /// The first [`JobFailure`] in submission order, if any job failed.
+    pub fn run(&self, jobs: Vec<SweepJob>) -> Result<Vec<JobResult>, JobFailure> {
+        self.try_run(jobs).into_iter().collect()
+    }
+
+    /// Executes one job through the pool (used for one-off cached runs).
+    ///
+    /// # Errors
+    ///
+    /// The job's [`JobFailure`], if it failed.
+    pub fn run_job(&self, job: &SweepJob) -> Result<JobResult, JobFailure> {
+        self.try_run(vec![job.clone()])
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| {
+                // Structurally unreachable (one job in, one result out),
+                // but the job path must stay panic-free.
+                Err(JobFailure {
+                    job: job.clone(),
+                    index: 0,
+                    error: JobError::Aborted,
+                    attempts: 0,
+                })
+            })
+    }
+
+    /// Records a failure in the runner's failure table and returns it.
+    fn record_failure(
+        &self,
+        job: &SweepJob,
+        index: u64,
+        error: JobError,
+        attempts: u32,
+    ) -> JobFailure {
+        let failure = JobFailure {
+            job: job.clone(),
+            index,
+            error,
+            attempts,
+        };
+        self.failed.fetch_add(1, Ordering::Relaxed);
+        lock_unpoisoned(&self.failures).push(failure.clone());
+        failure
+    }
+
+    /// One job at its global submission index: journal lookup, fault
+    /// injection, panic isolation, bounded retry.
+    fn run_indexed(&self, job: &SweepJob, index: u64) -> Result<JobResult, JobFailure> {
+        let fault = self.fault_plan.fault_at(index);
+        if fault == Some(FaultKind::Abort) {
+            self.aborted.store(true, Ordering::SeqCst);
+            return Err(self.record_failure(job, index, JobError::Aborted, 0));
+        }
+        if let Some(outcome) = self.journal_lookup(job) {
+            self.jobs_run.fetch_add(1, Ordering::Relaxed);
+            self.journal_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(JobResult {
+                job: job.clone(),
+                outcome,
+                wall: Duration::ZERO,
+                phases: JobPhases::default(),
+                compile_cache_hit: true,
+                journal_hit: true,
+            });
+        }
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let caught =
+                std::panic::catch_unwind(AssertUnwindSafe(|| self.execute_job(job, fault)));
+            let result = match caught {
+                Ok(result) => result,
+                Err(payload) => Err(JobError::WorkerPanic {
+                    payload: panic_payload_string(payload),
+                }),
+            };
+            match result {
+                Ok(done) => {
+                    self.journal_append(job, &done.outcome);
+                    return Ok(done);
+                }
+                Err(error) if error.retryable() && attempts <= self.retry_limit => {
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(error) => return Err(self.record_failure(job, index, error, attempts)),
+            }
+        }
+    }
+
+    /// One execution attempt: acquire → simulate → verify, with the
+    /// injected fault (if any) applied. Injected faults produce *genuine*
+    /// failures — a real panic, a real cycle-budget overrun (tiny
+    /// `max_cycles`), a real verify divergence (corrupted retired memory)
+    /// — so the whole recovery path is exercised, not a mock of it.
+    fn execute_job(&self, job: &SweepJob, fault: Option<FaultKind>) -> Result<JobResult, JobError> {
+        if fault == Some(FaultKind::Panic) {
+            panic!("injected fault: worker panic");
+        }
         let t0 = Instant::now();
-        let (binary, compile_cache_hit) = self.binary(job);
+        let (binary, compile_cache_hit) = self.binary(job)?;
         let acquire = t0.elapsed();
         let bench = &self.benches[job.bench];
+        let starved;
+        let machine = if fault == Some(FaultKind::Budget) {
+            starved = job.machine.clone().with_max_cycles(64);
+            &starved
+        } else {
+            &job.machine
+        };
         let t1 = Instant::now();
-        let sim = simulate_unverified(&binary.program, bench, job.input, &job.machine);
+        let mut sim = simulate_unverified(&binary.program, bench, job.input, machine)?;
         let simulate = t1.elapsed();
+        if fault == Some(FaultKind::Diverge) {
+            sim.final_mem.insert(u64::MAX, i64::MIN);
+        }
         let t2 = Instant::now();
-        verify_retired_state(&binary.program, bench, job.input, &sim);
+        verify_retired_state(&binary.program, bench, job.input, &sim)?;
         let verify = t2.elapsed();
         let wall = t0.elapsed();
+        if let Some(budget) = self.wall_budget {
+            if wall > budget {
+                return Err(JobError::WallBudgetExceeded {
+                    limit_ms: budget.as_millis() as u64,
+                });
+            }
+        }
         self.jobs_run.fetch_add(1, Ordering::Relaxed);
         self.job_time_nanos
             .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
@@ -381,7 +684,7 @@ impl SweepRunner {
             .fetch_add(simulate.as_nanos() as u64, Ordering::Relaxed);
         self.verify_nanos
             .fetch_add(verify.as_nanos() as u64, Ordering::Relaxed);
-        JobResult {
+        Ok(JobResult {
             job: job.clone(),
             outcome: RunOutcome {
                 sim,
@@ -395,6 +698,39 @@ impl SweepRunner {
                 verify,
             },
             compile_cache_hit,
+            journal_hit: false,
+        })
+    }
+
+    /// The journaled outcome for a job, if a journal is attached in
+    /// resume mode and has this job's key.
+    fn journal_lookup(&self, job: &SweepJob) -> Option<RunOutcome> {
+        {
+            let guard = lock_unpoisoned(&self.journal);
+            let state = guard.as_ref()?;
+            if state.resume.is_empty() {
+                return None;
+            }
+        }
+        // Fingerprinting is outside the lock; only the map read is inside.
+        let key = self.job_key(job);
+        lock_unpoisoned(&self.journal)
+            .as_ref()
+            .and_then(|state| state.resume.get(&key).cloned())
+    }
+
+    /// Appends a completed job to the attached journal, if any. A journal
+    /// write failure degrades the journal (warn on stderr), never the
+    /// sweep.
+    fn journal_append(&self, job: &SweepJob, outcome: &RunOutcome) {
+        if lock_unpoisoned(&self.journal).is_none() {
+            return;
+        }
+        let key = self.job_key(job);
+        if let Some(state) = lock_unpoisoned(&self.journal).as_mut() {
+            if let Err(e) = state.writer.append(key, outcome) {
+                eprintln!("warning: sweep journal write failed: {e}");
+            }
         }
     }
 
@@ -402,18 +738,22 @@ impl SweepRunner {
     ///
     /// Exactly one profiling run per `(bench, input)` pair executes over
     /// the runner's lifetime; concurrent requesters block on the first.
-    #[must_use]
-    pub fn profile(&self, bench: usize, input: InputSet) -> Arc<Profile> {
+    /// A profiling failure is memoized the same way (it is deterministic).
+    ///
+    /// # Errors
+    ///
+    /// The memoized [`JobError::ProfileFault`] if profiling failed.
+    pub fn profile(&self, bench: usize, input: InputSet) -> Result<Arc<Profile>, JobError> {
         let cell: ProfileCell = {
-            let mut map = self.profiles.lock().expect("profile cache poisoned");
+            let mut map = lock_unpoisoned(&self.profiles);
             Arc::clone(map.entry((bench, input)).or_default())
         };
         let mut computed = false;
-        let profile = cell.get_or_init(|| {
+        let result = cell.get_or_init(|| {
             computed = true;
             self.profile_misses.fetch_add(1, Ordering::Relaxed);
             let t0 = Instant::now();
-            let profile = Arc::new(profile_on(&self.benches[bench], input));
+            let profile = profile_on(&self.benches[bench], input).map(Arc::new);
             self.profile_nanos
                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             profile
@@ -421,14 +761,17 @@ impl SweepRunner {
         if !computed {
             self.profile_hits.fetch_add(1, Ordering::Relaxed);
         }
-        Arc::clone(profile)
+        result.clone()
     }
 
     /// The memoized compiled binary for a job's `(bench, variant, train,
     /// compile-options)` key. Returns the binary and whether it was a
-    /// cache hit.
-    #[must_use]
-    pub fn binary(&self, job: &SweepJob) -> (Arc<CompiledBinary>, bool) {
+    /// cache hit. A compile-path failure is memoized like a success.
+    ///
+    /// # Errors
+    ///
+    /// The memoized [`JobError`] if the profile/compile path failed.
+    pub fn binary(&self, job: &SweepJob) -> Result<(Arc<CompiledBinary>, bool), JobError> {
         let key = CompileKey {
             bench: job.bench,
             variant: job.variant,
@@ -436,44 +779,44 @@ impl SweepRunner {
             options: OptionsKey::new(&job.compile),
         };
         let cell: BinaryCell = {
-            let mut map = self.binaries.lock().expect("binary cache poisoned");
+            let mut map = lock_unpoisoned(&self.binaries);
             Arc::clone(map.entry(key).or_default())
         };
         let mut computed = false;
-        let binary = cell.get_or_init(|| {
+        let result = cell.get_or_init(|| {
             computed = true;
             self.compile_misses.fetch_add(1, Ordering::Relaxed);
-            Arc::new(self.compile_uncached(job))
+            self.compile_uncached(job).map(Arc::new)
         });
         if !computed {
             self.compile_hits.fetch_add(1, Ordering::Relaxed);
         }
-        (Arc::clone(binary), !computed)
+        result.clone().map(|binary| (binary, !computed))
     }
 
-    fn compile_uncached(&self, job: &SweepJob) -> CompiledBinary {
+    fn compile_uncached(&self, job: &SweepJob) -> Result<CompiledBinary, JobError> {
         let module = &self.benches[job.bench].module;
         // Profiles are acquired first so `compile_time` measures only the
         // compiler itself, never the profiling a cold cache triggers.
         match &job.train {
             TrainSpec::Single(input) => {
-                let profile = self.profile(job.bench, *input);
+                let profile = self.profile(job.bench, *input)?;
                 let t0 = Instant::now();
                 let bin = compile(module, &profile, job.variant, &job.compile);
                 self.compile_nanos
                     .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                bin
+                Ok(bin)
             }
             TrainSpec::Multi(inputs) => {
                 let profiles: Vec<Profile> = inputs
                     .iter()
-                    .map(|&i| (*self.profile(job.bench, i)).clone())
-                    .collect();
+                    .map(|&i| self.profile(job.bench, i).map(|p| (*p).clone()))
+                    .collect::<Result<_, _>>()?;
                 let t0 = Instant::now();
                 let bin = compile_adaptive(module, &profiles, &job.compile);
                 self.compile_nanos
                     .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                bin
+                Ok(bin)
             }
         }
     }
@@ -488,6 +831,9 @@ impl SweepRunner {
             profile_misses: self.profile_misses.load(Ordering::Relaxed),
             compile_hits: self.compile_hits.load(Ordering::Relaxed),
             compile_misses: self.compile_misses.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            journal_hits: self.journal_hits.load(Ordering::Relaxed),
             job_time: Duration::from_nanos(self.job_time_nanos.load(Ordering::Relaxed)),
             wall_time: Duration::from_nanos(self.wall_nanos.load(Ordering::Relaxed)),
             profile_time: Duration::from_nanos(self.profile_nanos.load(Ordering::Relaxed)),
@@ -517,7 +863,7 @@ mod tests {
             .map(|(b, i)| SweepJob::standard(b, BinaryVariant::NormalBranch, i, &ec))
             .collect();
         let expect: Vec<(usize, InputSet)> = jobs.iter().map(|j| (j.bench, j.input)).collect();
-        let results = runner.run(jobs);
+        let results = runner.run(jobs).expect("fault-free sweep");
         let got: Vec<(usize, InputSet)> = results.iter().map(|r| (r.job.bench, r.job.input)).collect();
         assert_eq!(got, expect);
     }
@@ -530,7 +876,7 @@ mod tests {
             .into_iter()
             .map(|i| SweepJob::standard(0, BinaryVariant::BaseDef, i, &ec))
             .collect();
-        let results = runner.run(jobs);
+        let results = runner.run(jobs).expect("fault-free sweep");
         let summary = runner.summary();
         // One binary serves all three inputs.
         assert_eq!(summary.compile_misses, 1, "{summary:?}");
@@ -541,11 +887,13 @@ mod tests {
         assert_eq!(summary.profile_hits, 0, "{summary:?}");
         // A second variant reuses the cached profile.
         let extra = SweepJob::standard(0, BinaryVariant::BaseMax, InputSet::A, &ec);
-        let _ = runner.run_job(&extra);
+        let _ = runner.run_job(&extra).expect("extra job");
         let summary = runner.summary();
         assert_eq!(summary.profile_misses, 1, "{summary:?}");
         assert_eq!(summary.profile_hits, 1, "{summary:?}");
         assert_eq!(summary.jobs, 4);
+        assert_eq!(summary.failed, 0);
+        assert_eq!(summary.retries, 0);
         assert!(summary.job_time > Duration::ZERO);
         // Phase timing: the cycle sim always runs, and the per-job phase
         // breakdown can never exceed the job's own wall clock.
@@ -563,9 +911,23 @@ mod tests {
         let mut tweaked_opts = ec.compile.clone();
         tweaked_opts.wish_jump_threshold += 1;
         let other_train = base.clone().with_train(TrainSpec::Single(InputSet::C));
-        let _ = runner.binary(&base);
-        let _ = runner.binary(&base.clone().with_compile(tweaked_opts));
-        let _ = runner.binary(&other_train);
+        let _ = runner.binary(&base).expect("compile");
+        let _ = runner.binary(&base.clone().with_compile(tweaked_opts)).expect("compile");
+        let _ = runner.binary(&other_train).expect("compile");
         assert_eq!(runner.summary().compile_misses, 3, "three distinct keys");
+    }
+
+    #[test]
+    fn job_keys_distinguish_jobs_and_are_stable() {
+        let ec = ExperimentConfig::quick(20);
+        let runner = SweepRunner::new(&ec);
+        let a = SweepJob::standard(0, BinaryVariant::NormalBranch, InputSet::A, &ec);
+        let b = SweepJob::standard(0, BinaryVariant::NormalBranch, InputSet::B, &ec);
+        assert_eq!(runner.job_key(&a), runner.job_key(&a.clone()));
+        assert_ne!(runner.job_key(&a), runner.job_key(&b));
+        assert_ne!(
+            runner.job_key(&a),
+            runner.job_key(&a.clone().with_machine(ec.machine.clone().with_window(128)))
+        );
     }
 }

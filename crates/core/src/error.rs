@@ -1,0 +1,344 @@
+//! The typed failure model of the experiment layer: every way a sweep job
+//! can fail, as data instead of a panic.
+//!
+//! A job is a profile → compile → simulate → verify chain, and each stage
+//! has a distinct failure mode: the IR interpreter can fault while
+//! profiling, the cycle simulator can exhaust its cycle budget, the
+//! retired state can diverge from the functional reference, and — the
+//! catch-all — arbitrary code in a worker can panic. [`JobError`] names
+//! them all; [`SweepRunner::try_run`](crate::SweepRunner::try_run) turns
+//! each failed job into one [`JobFailure`] cell instead of a dead sweep.
+//!
+//! [`FaultPlan`] is the deterministic fault-injection hook the tests and
+//! CI drive: it maps *global job submission indices* (a runner-lifetime
+//! counter, independent of worker count and scheduling) to injected
+//! faults, so a test can make job 7 panic, job 11 blow its cycle budget,
+//! or the whole sweep abort at job 20 — reproducibly, with no wall-clock
+//! dependence.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::engine::SweepJob;
+
+/// Why one sweep job failed. Every variant is a *typed outcome*: the
+/// engine never panics on the job execution path.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum JobError {
+    /// The IR profiling interpreter faulted (including step-budget
+    /// exhaustion while gathering the training profile).
+    ProfileFault(String),
+    /// The cycle simulator faulted for a reason other than its budget
+    /// (also covers a functional-reference machine fault during verify).
+    SimFault(String),
+    /// The cycle simulator exhausted its per-job cycle budget
+    /// ([`MachineConfig::max_cycles`](wishbranch_uarch::MachineConfig)).
+    CycleBudgetExceeded {
+        /// The configured cycle limit.
+        limit: u64,
+    },
+    /// The job exceeded its per-job wall-clock budget
+    /// ([`SweepRunner::set_wall_budget`](crate::SweepRunner::set_wall_budget)).
+    /// The budget is checked after each phase, so the simulation itself is
+    /// never interrupted (determinism) — the completed result is discarded
+    /// and the overrun reported as this typed outcome.
+    WallBudgetExceeded {
+        /// The configured budget in milliseconds.
+        limit_ms: u64,
+    },
+    /// The cycle simulator retired a different architectural state than
+    /// the functional reference machine — a simulator bug (or an injected
+    /// divergence fault).
+    VerifyDivergence {
+        /// What diverged (benchmark, input, first differing address).
+        detail: String,
+    },
+    /// The worker thread panicked while executing the job; the panic was
+    /// caught and isolated to this one cell.
+    WorkerPanic {
+        /// The panic payload, stringified.
+        payload: String,
+    },
+    /// The sweep was aborted (by a [`FaultKind::Abort`] fault or a prior
+    /// abort on the same runner) before this job ran.
+    Aborted,
+}
+
+impl JobError {
+    /// Short stable discriminator, used in the failure table and
+    /// `summary.json`.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobError::ProfileFault(_) => "profile_fault",
+            JobError::SimFault(_) => "sim_fault",
+            JobError::CycleBudgetExceeded { .. } => "cycle_budget_exceeded",
+            JobError::WallBudgetExceeded { .. } => "wall_budget_exceeded",
+            JobError::VerifyDivergence { .. } => "verify_divergence",
+            JobError::WorkerPanic { .. } => "worker_panic",
+            JobError::Aborted => "aborted",
+        }
+    }
+
+    /// Whether the engine's bounded retry applies. Only worker panics and
+    /// budget overruns are considered potentially transient; a profile
+    /// fault or verify divergence is deterministic and retrying it would
+    /// only burn time.
+    #[must_use]
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            JobError::WorkerPanic { .. }
+                | JobError::CycleBudgetExceeded { .. }
+                | JobError::WallBudgetExceeded { .. }
+        )
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::ProfileFault(msg) => write!(f, "profiling run failed: {msg}"),
+            JobError::SimFault(msg) => write!(f, "simulation failed: {msg}"),
+            JobError::CycleBudgetExceeded { limit } => {
+                write!(f, "cycle budget exceeded (limit {limit})")
+            }
+            JobError::WallBudgetExceeded { limit_ms } => {
+                write!(f, "wall-clock budget exceeded (limit {limit_ms} ms)")
+            }
+            JobError::VerifyDivergence { detail } => {
+                write!(f, "retired state diverged from the functional reference: {detail}")
+            }
+            JobError::WorkerPanic { payload } => write!(f, "worker panicked: {payload}"),
+            JobError::Aborted => write!(f, "sweep aborted before this job ran"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// One failed sweep cell: which job failed, where in the submission
+/// sequence, why, and after how many attempts.
+#[derive(Clone, Debug)]
+pub struct JobFailure {
+    /// The job that failed.
+    pub job: SweepJob,
+    /// The job's global submission index on its runner.
+    pub index: u64,
+    /// The typed failure.
+    pub error: JobError,
+    /// Execution attempts made (1 = no retry; 0 = never started, e.g.
+    /// aborted).
+    pub attempts: u32,
+}
+
+impl fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "job #{} (bench {} {} {}): {} (attempts: {})",
+            self.index,
+            self.job.bench,
+            self.job.variant.label(),
+            self.job.input.label(),
+            self.error,
+            self.attempts
+        )
+    }
+}
+
+/// A deterministic fault to inject into one job.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// Panic inside the worker before the job executes (exercises
+    /// `catch_unwind` isolation and poisoned-lock recovery).
+    Panic,
+    /// Run the job with a tiny cycle budget so the simulator genuinely
+    /// returns a cycle-budget overrun.
+    Budget,
+    /// Corrupt the retired memory image before verification so the
+    /// functional cross-check genuinely reports a divergence.
+    Diverge,
+    /// Abort the whole sweep at this job, as if the process had been
+    /// killed mid-run; remaining jobs become [`JobError::Aborted`]. Used
+    /// by the kill-then-`--resume` tests.
+    Abort,
+}
+
+impl FaultKind {
+    /// The spec keyword (`panic` / `budget` / `diverge` / `abort`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Budget => "budget",
+            FaultKind::Diverge => "diverge",
+            FaultKind::Abort => "abort",
+        }
+    }
+}
+
+/// A deterministic fault-injection plan: global job submission index →
+/// fault. Seeded construction and spec parsing never consult the clock or
+/// any ambient randomness, so a plan reproduces exactly across runs,
+/// worker counts and platforms.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct FaultPlan {
+    faults: BTreeMap<u64, FaultKind>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    #[must_use]
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault at the given global job index (builder style).
+    #[must_use]
+    pub fn inject(mut self, index: u64, kind: FaultKind) -> FaultPlan {
+        self.faults.insert(index, kind);
+        self
+    }
+
+    /// `k` faults at pseudo-random indices in `0..njobs`, kinds cycling
+    /// through panic/budget/diverge, from a splitmix64 stream seeded with
+    /// `seed`. Deterministic for a given `(seed, k, njobs)`.
+    #[must_use]
+    pub fn seeded(seed: u64, k: usize, njobs: u64) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        if njobs == 0 {
+            return plan;
+        }
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let kinds = [FaultKind::Panic, FaultKind::Budget, FaultKind::Diverge];
+        let mut placed = 0usize;
+        // Bounded draw loop: k can exceed the number of distinct indices.
+        for draw in 0..k.saturating_mul(16).max(16) {
+            if placed >= k || plan.faults.len() as u64 >= njobs {
+                break;
+            }
+            let idx = next() % njobs;
+            if plan.faults.contains_key(&idx) {
+                let _ = draw;
+                continue;
+            }
+            plan.faults.insert(idx, kinds[placed % kinds.len()]);
+            placed += 1;
+        }
+        plan
+    }
+
+    /// Parses a spec like `"panic@3,diverge@7,budget@2,abort@10"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending clause on malformed input.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new();
+        for clause in spec.split(',').filter(|c| !c.trim().is_empty()) {
+            let clause = clause.trim();
+            let (kind, index) = clause
+                .split_once('@')
+                .ok_or_else(|| format!("bad fault clause {clause:?} (want kind@index)"))?;
+            let kind = match kind {
+                "panic" => FaultKind::Panic,
+                "budget" => FaultKind::Budget,
+                "diverge" => FaultKind::Diverge,
+                "abort" => FaultKind::Abort,
+                other => {
+                    return Err(format!(
+                        "unknown fault kind {other:?} (want panic|budget|diverge|abort)"
+                    ))
+                }
+            };
+            let index: u64 = index
+                .parse()
+                .map_err(|_| format!("bad fault index {index:?} in {clause:?}"))?;
+            plan.faults.insert(index, kind);
+        }
+        Ok(plan)
+    }
+
+    /// The fault injected at a global job index, if any.
+    #[must_use]
+    pub fn fault_at(&self, index: u64) -> Option<FaultKind> {
+        self.faults.get(&index).copied()
+    }
+
+    /// Number of planned faults.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The planned `(index, kind)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, FaultKind)> + '_ {
+        self.faults.iter().map(|(&i, &k)| (i, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_and_rejects_garbage() {
+        let plan = FaultPlan::parse("panic@3,diverge@7, budget@2 ,abort@10").unwrap();
+        assert_eq!(plan.fault_at(3), Some(FaultKind::Panic));
+        assert_eq!(plan.fault_at(7), Some(FaultKind::Diverge));
+        assert_eq!(plan.fault_at(2), Some(FaultKind::Budget));
+        assert_eq!(plan.fault_at(10), Some(FaultKind::Abort));
+        assert_eq!(plan.fault_at(4), None);
+        assert_eq!(plan.len(), 4);
+        assert!(FaultPlan::parse("explode@1").is_err());
+        assert!(FaultPlan::parse("panic@x").is_err());
+        assert!(FaultPlan::parse("panic").is_err());
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_bounded() {
+        let a = FaultPlan::seeded(42, 5, 100);
+        let b = FaultPlan::seeded(42, 5, 100);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert!(a.iter().all(|(i, _)| i < 100));
+        assert!(FaultPlan::seeded(7, 10, 3).len() <= 3);
+        assert!(FaultPlan::seeded(7, 0, 100).is_empty());
+        assert!(FaultPlan::seeded(7, 2, 0).is_empty());
+    }
+
+    #[test]
+    fn retryability_matches_policy() {
+        assert!(JobError::WorkerPanic { payload: "x".into() }.retryable());
+        assert!(JobError::CycleBudgetExceeded { limit: 64 }.retryable());
+        assert!(JobError::WallBudgetExceeded { limit_ms: 5 }.retryable());
+        assert!(!JobError::ProfileFault("x".into()).retryable());
+        assert!(!JobError::VerifyDivergence { detail: "x".into() }.retryable());
+        assert!(!JobError::Aborted.retryable());
+    }
+
+    #[test]
+    fn error_kinds_are_stable_strings() {
+        assert_eq!(JobError::Aborted.kind(), "aborted");
+        assert_eq!(
+            JobError::VerifyDivergence { detail: String::new() }.kind(),
+            "verify_divergence"
+        );
+        assert_eq!(JobError::SimFault(String::new()).kind(), "sim_fault");
+    }
+}

@@ -1,11 +1,23 @@
 //! Profile → compile → simulate → verify, the spine of every experiment.
+//!
+//! Every stage returns a typed [`Result`]: a profiling fault, a cycle- or
+//! step-budget overrun, or an architectural divergence is a [`JobError`]
+//! value, never a panic, so the sweep engine can isolate one bad job to
+//! one failed cell.
 
+use crate::error::JobError;
 use wishbranch_compiler::{compile, BinaryVariant, CompileOptions, CompiledBinary};
 use wishbranch_ir::{Interpreter, Profile};
 use wishbranch_isa::exec::Machine;
 use wishbranch_isa::Program;
-use wishbranch_uarch::{MachineConfig, SimResult, Simulator};
+use wishbranch_uarch::{MachineConfig, SimError, SimResult, Simulator};
 use wishbranch_workloads::{Benchmark, InputSet};
+
+/// Step budget for the IR profiling interpreter and the functional
+/// reference machine. Generous (every suite benchmark finishes in a tiny
+/// fraction of this at any scale we run) but finite, so a non-terminating
+/// workload surfaces as a typed fault instead of a hang.
+pub const DEFAULT_STEP_BUDGET: u64 = 1 << 40;
 
 /// Everything an experiment needs to know.
 #[derive(Clone, Debug)]
@@ -76,7 +88,7 @@ impl ExperimentConfig {
 }
 
 /// One simulated binary run, with everything needed for the figures.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct RunOutcome {
     /// The simulation result (stats + final architectural state).
     pub sim: SimResult,
@@ -87,131 +99,167 @@ pub struct RunOutcome {
 }
 
 /// Profiles `bench` on the given input with the IR interpreter.
-#[must_use]
-pub fn profile_on(bench: &Benchmark, input: InputSet) -> Profile {
+///
+/// # Errors
+///
+/// [`JobError::ProfileFault`] if the interpreter faults or exhausts
+/// [`DEFAULT_STEP_BUDGET`].
+pub fn profile_on(bench: &Benchmark, input: InputSet) -> Result<Profile, JobError> {
     let mut interp = Interpreter::new();
     for (a, v) in (bench.input_fn)(input) {
         interp.mem.insert(a, v);
     }
     interp
-        .run(&bench.module, u64::MAX / 2)
-        .unwrap_or_else(|e| panic!("{}: profiling run failed: {e}", bench.name))
-        .profile
+        .run(&bench.module, DEFAULT_STEP_BUDGET)
+        .map(|r| r.profile)
+        .map_err(|e| JobError::ProfileFault(format!("{}: {e}", bench.name)))
 }
 
 /// Compiles `bench` into the requested Table 3 variant, profiling on the
 /// experiment's training input.
-#[must_use]
+///
+/// # Errors
+///
+/// Propagates the [`JobError::ProfileFault`] of a failed training run.
 pub fn compile_variant(
     bench: &Benchmark,
     variant: BinaryVariant,
     ec: &ExperimentConfig,
-) -> CompiledBinary {
-    let profile = profile_on(bench, ec.train_input);
-    compile(&bench.module, &profile, variant, &ec.compile)
+) -> Result<CompiledBinary, JobError> {
+    let profile = profile_on(bench, ec.train_input)?;
+    Ok(compile(&bench.module, &profile, variant, &ec.compile))
 }
 
 /// Compiles the input-dependence-aware extension binary
 /// ([`BinaryVariant::WishAdaptive`]): the compiler profiles on *several*
 /// training inputs and uses the misprediction spread across them as the
 /// §3.6 "input data set dependence" signal.
-#[must_use]
+///
+/// # Errors
+///
+/// Propagates the [`JobError::ProfileFault`] of any failed training run.
 pub fn compile_adaptive_variant(
     bench: &Benchmark,
     train_inputs: &[InputSet],
     ec: &ExperimentConfig,
-) -> CompiledBinary {
-    let profiles: Vec<_> = train_inputs.iter().map(|&i| profile_on(bench, i)).collect();
-    wishbranch_compiler::compile_adaptive(&bench.module, &profiles, &ec.compile)
+) -> Result<CompiledBinary, JobError> {
+    let profiles: Vec<_> = train_inputs
+        .iter()
+        .map(|&i| profile_on(bench, i))
+        .collect::<Result<_, _>>()?;
+    Ok(wishbranch_compiler::compile_adaptive(&bench.module, &profiles, &ec.compile))
 }
 
 /// Simulates `program` on `machine` with the benchmark's input set, and
 /// verifies the retired state against the functional reference machine.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the simulation exceeds its cycle budget or — which would be a
-/// simulator bug — retires a different architectural state than the
-/// functional reference.
-#[must_use]
+/// [`JobError::CycleBudgetExceeded`] if the simulation exhausts the
+/// machine's cycle budget, [`JobError::VerifyDivergence`] if it retires a
+/// different architectural state than the functional reference (which
+/// would be a simulator bug).
 pub fn simulate(
     program: &Program,
     bench: &Benchmark,
     input: InputSet,
     machine: &MachineConfig,
-) -> SimResult {
-    let result = simulate_unverified(program, bench, input, machine);
-    verify_retired_state(program, bench, input, &result);
-    result
+) -> Result<SimResult, JobError> {
+    let result = simulate_unverified(program, bench, input, machine)?;
+    verify_retired_state(program, bench, input, &result)?;
+    Ok(result)
 }
 
 /// The cycle simulation alone, without the architectural cross-check —
 /// the [`crate::SweepRunner`] uses this to time the simulate and verify
 /// phases separately. Prefer [`simulate`] unless you verify yourself.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the simulation exceeds its cycle budget.
-#[must_use]
+/// [`JobError::CycleBudgetExceeded`] if the simulation exhausts the
+/// machine's cycle budget.
 pub fn simulate_unverified(
     program: &Program,
     bench: &Benchmark,
     input: InputSet,
     machine: &MachineConfig,
-) -> SimResult {
+) -> Result<SimResult, JobError> {
     let inputs = (bench.input_fn)(input);
     let mut sim = Simulator::new(program, machine.clone());
     for &(a, v) in &inputs {
         sim.preload_mem(a, v);
     }
-    sim.run()
-        .unwrap_or_else(|e| panic!("{} {input}: simulation failed: {e}", bench.name))
+    sim.run().map_err(|e| match e {
+        SimError::CycleLimitExceeded { limit } => JobError::CycleBudgetExceeded { limit },
+    })
 }
 
 /// Checks a simulation's retired memory state against the functional
 /// reference machine (always-on architectural verification — cheap next
 /// to the cycle sim).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the reference run fails or — which would be a simulator
-/// bug — the simulator retired a different architectural state.
+/// [`JobError::SimFault`] if the reference run itself fails,
+/// [`JobError::VerifyDivergence`] if the simulator retired a different
+/// architectural state — naming the first differing address.
 pub fn verify_retired_state(
     program: &Program,
     bench: &Benchmark,
     input: InputSet,
     result: &SimResult,
-) {
+) -> Result<(), JobError> {
     let inputs = (bench.input_fn)(input);
     let mut reference = Machine::new();
     for &(a, v) in &inputs {
         reference.mem.insert(a, v);
     }
     let expect = reference
-        .run(program, u64::MAX / 2)
-        .unwrap_or_else(|e| panic!("{} {input}: reference run failed: {e}", bench.name));
-    assert_eq!(
-        result.final_mem, expect.mem,
-        "{} {input}: simulator diverged from the functional reference",
-        bench.name
-    );
+        .run(program, DEFAULT_STEP_BUDGET)
+        .map_err(|e| JobError::SimFault(format!("{} {input}: reference run failed: {e}", bench.name)))?;
+    if result.final_mem == expect.mem {
+        return Ok(());
+    }
+    // Name the first differing address so the failure table is actionable.
+    let detail = result
+        .final_mem
+        .iter()
+        .map(|(&a, &v)| (a, Some(v), expect.mem.get(&a).copied()))
+        .chain(
+            expect
+                .mem
+                .iter()
+                .filter(|(a, _)| !result.final_mem.contains_key(a))
+                .map(|(&a, &v)| (a, None, Some(v))),
+        )
+        .find(|&(_, got, want)| got != want)
+        .map_or_else(
+            || "memory images differ".to_string(),
+            |(a, got, want)| format!("addr {a:#x}: simulator {got:?}, reference {want:?}"),
+        );
+    Err(JobError::VerifyDivergence {
+        detail: format!("{} {input}: {detail}", bench.name),
+    })
 }
 
 /// Profile (on the training input), compile, simulate (on `input`), verify.
-#[must_use]
+///
+/// # Errors
+///
+/// Any [`JobError`] from the profile, simulate or verify stages.
 pub fn run_binary(
     bench: &Benchmark,
     variant: BinaryVariant,
     input: InputSet,
     ec: &ExperimentConfig,
-) -> RunOutcome {
-    let bin = compile_variant(bench, variant, ec);
-    let sim = simulate(&bin.program, bench, input, &ec.machine);
-    RunOutcome {
+) -> Result<RunOutcome, JobError> {
+    let bin = compile_variant(bench, variant, ec)?;
+    let sim = simulate(&bin.program, bench, input, &ec.machine)?;
+    Ok(RunOutcome {
         sim,
         report: bin.report,
         static_stats: bin.program.static_stats(),
-    }
+    })
 }
 
 /// Compiles `bench` into `variant` and simulates it on `input` with the
@@ -223,20 +271,19 @@ pub fn run_binary(
 /// convention as the adaptive figure); every other variant trains on the
 /// experiment's single training input.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics under the same conditions as [`simulate`].
-#[must_use]
+/// Fails under the same conditions as [`simulate`].
 pub fn trace_binary(
     bench: &Benchmark,
     variant: BinaryVariant,
     input: InputSet,
     ec: &ExperimentConfig,
-) -> (SimResult, Vec<wishbranch_uarch::TraceEvent>) {
+) -> Result<(SimResult, Vec<wishbranch_uarch::TraceEvent>), JobError> {
     let bin = if variant == BinaryVariant::WishAdaptive {
-        compile_adaptive_variant(bench, &[InputSet::A, InputSet::C], ec)
+        compile_adaptive_variant(bench, &[InputSet::A, InputSet::C], ec)?
     } else {
-        compile_variant(bench, variant, ec)
+        compile_variant(bench, variant, ec)?
     };
     let inputs = (bench.input_fn)(input);
     let mut sim = Simulator::new(&bin.program, ec.machine.clone());
@@ -244,12 +291,12 @@ pub fn trace_binary(
         sim.preload_mem(a, v);
     }
     sim.enable_trace();
-    let result = sim
-        .run()
-        .unwrap_or_else(|e| panic!("{} {input}: traced simulation failed: {e}", bench.name));
+    let result = sim.run().map_err(|e| match e {
+        SimError::CycleLimitExceeded { limit } => JobError::CycleBudgetExceeded { limit },
+    })?;
     let trace = sim.take_trace();
-    verify_retired_state(&bin.program, bench, input, &result);
-    (result, trace)
+    verify_retired_state(&bin.program, bench, input, &result)?;
+    Ok((result, trace))
 }
 
 #[cfg(test)]
@@ -262,7 +309,8 @@ mod tests {
         let ec = ExperimentConfig::quick(30);
         for bench in suite(30) {
             for variant in BinaryVariant::ALL {
-                let out = run_binary(&bench, variant, InputSet::B, &ec);
+                let out = run_binary(&bench, variant, InputSet::B, &ec)
+                    .expect("quick-scale suite run must succeed");
                 assert!(
                     out.sim.stats.retired_uops > 100,
                     "{} {variant}: did too little work",
@@ -276,8 +324,9 @@ mod tests {
     fn wish_binaries_contain_wish_branches() {
         let ec = ExperimentConfig::quick(30);
         for bench in suite(30) {
-            let jj = compile_variant(&bench, BinaryVariant::WishJumpJoin, &ec);
-            let jjl = compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, &ec);
+            let jj = compile_variant(&bench, BinaryVariant::WishJumpJoin, &ec).expect("compile");
+            let jjl =
+                compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, &ec).expect("compile");
             let s_jj = jj.program.static_stats();
             let s_jjl = jjl.program.static_stats();
             assert!(
@@ -286,7 +335,8 @@ mod tests {
                 bench.name
             );
             assert_eq!(s_jj.wish_loops, 0, "{}: jj binary has no wish loops", bench.name);
-            let normal = compile_variant(&bench, BinaryVariant::NormalBranch, &ec);
+            let normal =
+                compile_variant(&bench, BinaryVariant::NormalBranch, &ec).expect("compile");
             assert_eq!(normal.program.static_stats().wish_branches, 0);
         }
     }
@@ -298,11 +348,40 @@ mod tests {
             .iter()
             .map(|b| {
                 compile_variant(b, BinaryVariant::WishJumpJoinLoop, &ec)
+                    .expect("compile")
                     .program
                     .static_stats()
                     .wish_loops
             })
             .sum();
         assert!(total >= 4, "suite must exercise wish loops, got {total}");
+    }
+
+    #[test]
+    fn tiny_cycle_budget_is_a_typed_outcome_not_a_panic() {
+        let ec = ExperimentConfig::quick(30);
+        let bench = &suite(30)[0];
+        let bin = compile_variant(bench, BinaryVariant::NormalBranch, &ec).expect("compile");
+        let starved = ec.machine.clone().with_max_cycles(8);
+        match simulate_unverified(&bin.program, bench, InputSet::B, &starved) {
+            Err(JobError::CycleBudgetExceeded { limit: 8 }) => {}
+            other => panic!("expected CycleBudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_retired_memory_is_a_verify_divergence() {
+        let ec = ExperimentConfig::quick(30);
+        let bench = &suite(30)[0];
+        let bin = compile_variant(bench, BinaryVariant::NormalBranch, &ec).expect("compile");
+        let mut sim =
+            simulate_unverified(&bin.program, bench, InputSet::B, &ec.machine).expect("sim");
+        sim.final_mem.insert(u64::MAX, i64::MIN);
+        match verify_retired_state(&bin.program, bench, InputSet::B, &sim) {
+            Err(JobError::VerifyDivergence { detail }) => {
+                assert!(detail.contains("addr"), "detail names the address: {detail}");
+            }
+            other => panic!("expected VerifyDivergence, got {other:?}"),
+        }
     }
 }

@@ -47,42 +47,66 @@ pub type Fig1Row = NormalizedRow;
 /// Fig. 2 rows.
 pub type Fig2Row = NormalizedRow;
 
-/// Appends AVG and AVGnomcf rows.
+/// Appends AVG and AVGnomcf rows. Averages are over *finite* values only,
+/// per series column: a failed cell (NaN gap) drops out of the mean
+/// instead of poisoning it. With no failures this is the plain mean.
 fn append_averages(rows: &mut Vec<NormalizedRow>) {
     let series = rows.first().map_or(0, |r| r.values.len());
-    let mut avg = vec![0.0; series];
-    let mut avg_nomcf = vec![0.0; series];
-    let mut n_nomcf = 0usize;
-    for row in rows.iter() {
-        for (k, v) in row.values.iter().enumerate() {
-            avg[k] += v;
+    let mut avg = Vec::with_capacity(series);
+    let mut avg_nomcf = Vec::with_capacity(series);
+    for k in 0..series {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        let mut sum_nomcf = 0.0;
+        let mut n_nomcf = 0usize;
+        for row in rows.iter() {
+            let v = row.values[k];
+            if !v.is_finite() {
+                continue;
+            }
+            sum += v;
+            n += 1;
             if row.name != "mcf" {
-                avg_nomcf[k] += v;
+                sum_nomcf += v;
+                n_nomcf += 1;
             }
         }
-        if row.name != "mcf" {
-            n_nomcf += 1;
-        }
+        avg.push(if n > 0 { sum / n as f64 } else { f64::NAN });
+        avg_nomcf.push(if n_nomcf > 0 {
+            sum_nomcf / n_nomcf as f64
+        } else {
+            f64::NAN
+        });
     }
-    let n = rows.len();
     rows.push(NormalizedRow {
         name: "AVG".into(),
-        values: avg.into_iter().map(|v| v / n as f64).collect(),
+        values: avg,
     });
     rows.push(NormalizedRow {
         name: "AVGnomcf".into(),
-        values: avg_nomcf.into_iter().map(|v| v / n_nomcf as f64).collect(),
+        values: avg_nomcf,
     });
 }
 
 /// Runs `jobs` on the runner and returns the retired-cycle count of each,
-/// in submission order.
-fn run_cycles(runner: &SweepRunner, jobs: Vec<SweepJob>) -> Vec<u64> {
+/// in submission order — `None` for a failed job. The failure itself stays
+/// recorded on the runner ([`SweepRunner::failures`]) for the summary's
+/// failure table; here it only needs to become a gap.
+fn run_cycles(runner: &SweepRunner, jobs: Vec<SweepJob>) -> Vec<Option<u64>> {
     runner
-        .run(jobs)
+        .try_run(jobs)
         .into_iter()
-        .map(|r| r.outcome.sim.stats.cycles)
+        .map(|r| r.ok().map(|r| r.outcome.sim.stats.cycles))
         .collect()
+}
+
+/// A normalized execution time, or NaN — the explicit-gap marker — when
+/// either side of the ratio comes from a failed job.
+fn ratio(num: Option<u64>, den: Option<u64>) -> f64 {
+    match (num, den) {
+        (Some(n), Some(d)) => n as f64 / d as f64,
+        _ => f64::NAN,
+    }
 }
 
 /// **Fig. 1** — execution time of the BASE-DEF predicated binary normalized
@@ -105,7 +129,7 @@ pub fn figure1(runner: &SweepRunner) -> FigureData {
     for (b, chunk) in cycles.chunks_exact(2 * InputSet::ALL.len()).enumerate() {
         let values = chunk
             .chunks_exact(2)
-            .map(|pair| pair[1] as f64 / pair[0] as f64)
+            .map(|pair| ratio(pair[1], pair[0]))
             .collect();
         rows.push(NormalizedRow {
             name: runner.benches()[b].name.into(),
@@ -161,7 +185,7 @@ pub fn figure2(runner: &SweepRunner) -> FigureData {
             name: runner.benches()[b].name.into(),
             values: chunk[1..]
                 .iter()
-                .map(|&c| c as f64 / baseline as f64)
+                .map(|&c| ratio(c, baseline))
                 .collect(),
         });
     }
@@ -206,7 +230,7 @@ fn comparison_figure(
             name: runner.benches()[b].name.into(),
             values: chunk[1..]
                 .iter()
-                .map(|&c| c as f64 / baseline as f64)
+                .map(|&c| ratio(c, baseline))
                 .collect(),
         });
     }
@@ -297,20 +321,34 @@ pub fn figure11(runner: &SweepRunner) -> Vec<Fig11Row> {
         .map(|b| SweepJob::standard(b, BinaryVariant::WishJumpJoin, ec.train_input, &ec))
         .collect();
     runner
-        .run(jobs)
+        .try_run(jobs)
         .into_iter()
         .enumerate()
         .map(|(b, r)| {
-            let stats = r.outcome.sim.stats;
-            let j = stats.wish_jumps;
-            let o = stats.wish_joins;
-            Fig11Row {
-                name: runner.benches()[b].name.into(),
-                low_mispredicted: stats.per_million_uops(j.low_mispredicted + o.low_mispredicted),
-                low_correct: stats.per_million_uops(j.low_correct + o.low_correct),
-                high_mispredicted: stats
-                    .per_million_uops(j.high_mispredicted + o.high_mispredicted),
-                high_correct: stats.per_million_uops(j.high_correct + o.high_correct),
+            let name: String = runner.benches()[b].name.into();
+            match r {
+                Ok(r) => {
+                    let stats = r.outcome.sim.stats;
+                    let j = stats.wish_jumps;
+                    let o = stats.wish_joins;
+                    Fig11Row {
+                        name,
+                        low_mispredicted: stats
+                            .per_million_uops(j.low_mispredicted + o.low_mispredicted),
+                        low_correct: stats.per_million_uops(j.low_correct + o.low_correct),
+                        high_mispredicted: stats
+                            .per_million_uops(j.high_mispredicted + o.high_mispredicted),
+                        high_correct: stats.per_million_uops(j.high_correct + o.high_correct),
+                    }
+                }
+                // A failed benchmark keeps its row — as an explicit gap.
+                Err(_) => Fig11Row {
+                    name,
+                    low_mispredicted: f64::NAN,
+                    low_correct: f64::NAN,
+                    high_mispredicted: f64::NAN,
+                    high_correct: f64::NAN,
+                },
             }
         })
         .collect()
@@ -344,20 +382,35 @@ pub fn figure13(runner: &SweepRunner) -> Vec<Fig13Row> {
         .map(|b| SweepJob::standard(b, BinaryVariant::WishJumpJoinLoop, ec.train_input, &ec))
         .collect();
     runner
-        .run(jobs)
+        .try_run(jobs)
         .into_iter()
         .enumerate()
         .map(|(b, r)| {
-            let stats = r.outcome.sim.stats;
-            let l = stats.wish_loops;
-            Fig13Row {
-                name: runner.benches()[b].name.into(),
-                low_no_exit: stats.per_million_uops(stats.loop_no_exits),
-                low_late_exit: stats.per_million_uops(stats.loop_late_exits),
-                low_early_exit: stats.per_million_uops(stats.loop_early_exits),
-                low_correct: stats.per_million_uops(l.low_correct),
-                high_mispredicted: stats.per_million_uops(l.high_mispredicted),
-                high_correct: stats.per_million_uops(l.high_correct),
+            let name: String = runner.benches()[b].name.into();
+            match r {
+                Ok(r) => {
+                    let stats = r.outcome.sim.stats;
+                    let l = stats.wish_loops;
+                    Fig13Row {
+                        name,
+                        low_no_exit: stats.per_million_uops(stats.loop_no_exits),
+                        low_late_exit: stats.per_million_uops(stats.loop_late_exits),
+                        low_early_exit: stats.per_million_uops(stats.loop_early_exits),
+                        low_correct: stats.per_million_uops(l.low_correct),
+                        high_mispredicted: stats.per_million_uops(l.high_mispredicted),
+                        high_correct: stats.per_million_uops(l.high_correct),
+                    }
+                }
+                // A failed benchmark keeps its row — as an explicit gap.
+                Err(_) => Fig13Row {
+                    name,
+                    low_no_exit: f64::NAN,
+                    low_late_exit: f64::NAN,
+                    low_early_exit: f64::NAN,
+                    low_correct: f64::NAN,
+                    high_mispredicted: f64::NAN,
+                    high_correct: f64::NAN,
+                },
             }
         })
         .collect()
@@ -419,7 +472,7 @@ fn sweep(runner: &SweepRunner, machines: Vec<(u64, MachineConfig)>) -> Vec<Sweep
                     name: runner.benches()[b].name.into(),
                     values: chunk[1..]
                         .iter()
-                        .map(|&c| c as f64 / baseline as f64)
+                        .map(|&c| ratio(c, baseline))
                         .collect(),
                 });
             }
@@ -494,9 +547,8 @@ pub fn figure_adaptive(runner: &SweepRunner) -> FigureData {
     for (b, per_bench) in cycles.chunks_exact(3 * InputSet::ALL.len()).enumerate() {
         let mut values = Vec::new();
         for triple in per_bench.chunks_exact(3) {
-            let base = triple[0] as f64;
-            values.push(triple[1] as f64 / base);
-            values.push(triple[2] as f64 / base);
+            values.push(ratio(triple[1], triple[0]));
+            values.push(ratio(triple[2], triple[0]));
         }
         rows.push(NormalizedRow {
             name: runner.benches()[b].name.into(),
@@ -542,19 +594,25 @@ pub fn figure_dhp(runner: &SweepRunner) -> FigureData {
         );
         jobs.push(SweepJob::standard(b, BinaryVariant::WishJumpJoinLoop, input, &ec));
     }
-    let results = runner.run(jobs);
+    let results = runner.try_run(jobs);
     let mut rows = Vec::new();
     for (b, chunk) in results.chunks_exact(3).enumerate() {
-        let base = chunk[0].outcome.sim.stats.cycles as f64;
-        let dhp_stats = &chunk[1].outcome.sim.stats;
-        let wish = chunk[2].outcome.sim.stats.cycles as f64;
+        let values = match (&chunk[0], &chunk[1], &chunk[2]) {
+            (Ok(normal), Ok(dhp), Ok(wish)) => {
+                let base = normal.outcome.sim.stats.cycles as f64;
+                let dhp_stats = &dhp.outcome.sim.stats;
+                vec![
+                    dhp_stats.cycles as f64 / base,
+                    wish.outcome.sim.stats.cycles as f64 / base,
+                    dhp_stats.dhp_predications as f64,
+                ]
+            }
+            // A failed job gaps the whole benchmark row.
+            _ => vec![f64::NAN; 3],
+        };
         rows.push(NormalizedRow {
             name: runner.benches()[b].name.into(),
-            values: vec![
-                dhp_stats.cycles as f64 / base,
-                wish / base,
-                dhp_stats.dhp_predications as f64,
-            ],
+            values,
         });
     }
     append_averages(&mut rows);
@@ -596,13 +654,12 @@ pub fn figure_predicate_prediction(runner: &SweepRunner) -> FigureData {
     let cycles = run_cycles(runner, jobs);
     let mut rows = Vec::new();
     for (b, chunk) in cycles.chunks_exact(4).enumerate() {
-        let base = chunk[0] as f64;
         rows.push(NormalizedRow {
             name: runner.benches()[b].name.into(),
             values: vec![
-                chunk[1] as f64 / base,
-                chunk[2] as f64 / base,
-                chunk[3] as f64 / base,
+                ratio(chunk[1], chunk[0]),
+                ratio(chunk[2], chunk[0]),
+                ratio(chunk[3], chunk[0]),
             ],
         });
     }

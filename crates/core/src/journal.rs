@@ -1,0 +1,543 @@
+//! The incremental sweep journal (`wishbranch.journal/v1`): a JSONL file
+//! under `--report-dir` that records every *successfully completed* job as
+//! it finishes, so an interrupted sweep can `--resume` without redoing
+//! work.
+//!
+//! ## Format
+//!
+//! One JSON object per line. The first line is a header:
+//!
+//! ```json
+//! {"schema":"wishbranch.journal/v1"}
+//! ```
+//!
+//! Every other line is one completed job:
+//!
+//! ```json
+//! {"key":1234567890123456789,"v":1,"data":[0,1,2, ...]}
+//! ```
+//!
+//! * `key` — the job's cache-key fingerprint: an FNV-1a-64 hash over the
+//!   benchmark name, binary variant, run input, training spec, compile
+//!   options (float fields by bit pattern, exactly like the engine's
+//!   compile cache key) and the full machine configuration. Two jobs
+//!   collide only if they would also share every cache key, in which case
+//!   their results are bit-identical by the engine's determinism contract.
+//! * `v` — the payload layout version (this file documents version 1).
+//! * `data` — the whole [`RunOutcome`] flattened into one integer array
+//!   (every journaled quantity is an integer: counters, registers,
+//!   predicate bits, memory words). The layout is fixed by
+//!   [`encode_outcome`]; [`decode_outcome`] validates section lengths and
+//!   rejects anything malformed.
+//!
+//! Failed jobs are deliberately **not** journaled: on resume they re-run
+//! (a transient fault heals; a deterministic one re-reports).
+//!
+//! ## Robustness
+//!
+//! The reader ignores any line it cannot parse — including the header, a
+//! half-written trailing line from a killed process, or a record whose
+//! version or section lengths do not match. A corrupt journal therefore
+//! degrades to re-running jobs, never to a failed resume.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write as _};
+use std::path::Path;
+
+use crate::experiment::RunOutcome;
+use wishbranch_compiler::CompileReport;
+use wishbranch_isa::{StaticStats, NUM_GPRS, NUM_PREDS};
+use wishbranch_mem::CacheStats;
+use wishbranch_uarch::{CycleAccounting, HotSiteCounts, SimResult, SimStats, WishClassCounts};
+
+/// Schema tag written on the journal's header line.
+pub const JOURNAL_SCHEMA: &str = "wishbranch.journal/v1";
+
+/// Payload layout version of the `data` array.
+const LAYOUT_VERSION: u64 = 1;
+
+/// FNV-1a 64-bit over a byte string — the journal's job-key hash.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn push_wish(out: &mut Vec<i128>, w: &WishClassCounts) {
+    out.extend([
+        i128::from(w.high_correct),
+        i128::from(w.high_mispredicted),
+        i128::from(w.low_correct),
+        i128::from(w.low_mispredicted),
+    ]);
+}
+
+fn push_cache(out: &mut Vec<i128>, c: &CacheStats) {
+    out.extend([i128::from(c.hits), i128::from(c.misses), i128::from(c.probes)]);
+}
+
+/// Flattens a [`RunOutcome`] into the version-1 integer layout.
+#[must_use]
+pub fn encode_outcome(o: &RunOutcome) -> Vec<i128> {
+    let s = &o.sim.stats;
+    let mut out: Vec<i128> = Vec::with_capacity(192 + 4 * s.hot_sites.len() + 2 * o.sim.final_mem.len());
+    for v in [
+        s.cycles,
+        s.retired_uops,
+        s.retired_guard_false,
+        s.retired_select_uops,
+        s.retired_cond_branches,
+        s.flushes,
+        s.retired_mispredicted,
+        s.flushes_avoided,
+        s.fetched_uops,
+        s.fetch_idle_cycles,
+        s.fetch_idle_imiss,
+        s.fetch_idle_redirect,
+        s.fetch_idle_queue_full,
+        s.fetch_idle_blocked,
+        s.dispatch_idle_cycles,
+        s.retire_idle_cycles,
+        s.squashed_uops,
+        s.dhp_predications,
+        s.dhp_flushes_avoided,
+        s.pred_value_predictions,
+        s.pred_value_mispredictions,
+    ] {
+        out.push(i128::from(v));
+    }
+    push_wish(&mut out, &s.wish_jumps);
+    push_wish(&mut out, &s.wish_joins);
+    push_wish(&mut out, &s.wish_loops);
+    out.extend([
+        i128::from(s.loop_early_exits),
+        i128::from(s.loop_late_exits),
+        i128::from(s.loop_no_exits),
+    ]);
+    let a = &s.cycle_accounting;
+    for v in [
+        a.useful_retire,
+        a.guard_false_retire,
+        a.select_uop_retire,
+        a.exec_wait,
+        a.rob_stall,
+        a.flush_recovery,
+        a.fetch_imiss,
+        a.fetch_redirect,
+        a.frontend_fill,
+    ] {
+        out.push(i128::from(v));
+    }
+    out.push(s.hot_sites.len() as i128);
+    for (&pc, h) in &s.hot_sites {
+        out.extend([
+            i128::from(pc),
+            i128::from(h.flushes),
+            i128::from(h.flushes_avoided),
+            i128::from(h.guard_false_uops),
+        ]);
+    }
+    push_cache(&mut out, &s.icache);
+    push_cache(&mut out, &s.l1d);
+    push_cache(&mut out, &s.l2);
+    out.extend(o.sim.final_regs.iter().map(|&r| i128::from(r)));
+    out.extend(o.sim.final_preds.iter().map(|&p| i128::from(p)));
+    out.push(o.sim.final_mem.len() as i128);
+    for (&addr, &val) in &o.sim.final_mem {
+        out.extend([i128::from(addr), i128::from(val)]);
+    }
+    out.extend([
+        o.report.regions_predicated as i128,
+        o.report.regions_wish as i128,
+        o.report.regions_kept as i128,
+        o.report.loops_wish as i128,
+    ]);
+    out.extend([
+        o.static_stats.insns as i128,
+        o.static_stats.cond_branches as i128,
+        o.static_stats.wish_branches as i128,
+        o.static_stats.wish_jumps as i128,
+        o.static_stats.wish_joins as i128,
+        o.static_stats.wish_loops as i128,
+        o.static_stats.guarded_insns as i128,
+    ]);
+    out
+}
+
+/// A validating cursor over the flat integer layout.
+struct Cursor<'a> {
+    data: &'a [i128],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u64(&mut self) -> Option<u64> {
+        let v = *self.data.get(self.pos)?;
+        self.pos += 1;
+        u64::try_from(v).ok()
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        let v = *self.data.get(self.pos)?;
+        self.pos += 1;
+        i64::try_from(v).ok()
+    }
+
+    fn usize(&mut self) -> Option<usize> {
+        usize::try_from(self.u64()?).ok()
+    }
+
+    fn wish(&mut self) -> Option<WishClassCounts> {
+        Some(WishClassCounts {
+            high_correct: self.u64()?,
+            high_mispredicted: self.u64()?,
+            low_correct: self.u64()?,
+            low_mispredicted: self.u64()?,
+        })
+    }
+
+    fn cache(&mut self) -> Option<CacheStats> {
+        Some(CacheStats {
+            hits: self.u64()?,
+            misses: self.u64()?,
+            probes: self.u64()?,
+        })
+    }
+}
+
+/// Rebuilds a [`RunOutcome`] from the version-1 integer layout. Returns
+/// `None` on any length or range mismatch (the caller treats the entry as
+/// absent and re-runs the job).
+#[must_use]
+pub fn decode_outcome(data: &[i128]) -> Option<RunOutcome> {
+    let mut c = Cursor { data, pos: 0 };
+    let mut s = SimStats::default();
+    s.cycles = c.u64()?;
+    s.retired_uops = c.u64()?;
+    s.retired_guard_false = c.u64()?;
+    s.retired_select_uops = c.u64()?;
+    s.retired_cond_branches = c.u64()?;
+    s.flushes = c.u64()?;
+    s.retired_mispredicted = c.u64()?;
+    s.flushes_avoided = c.u64()?;
+    s.fetched_uops = c.u64()?;
+    s.fetch_idle_cycles = c.u64()?;
+    s.fetch_idle_imiss = c.u64()?;
+    s.fetch_idle_redirect = c.u64()?;
+    s.fetch_idle_queue_full = c.u64()?;
+    s.fetch_idle_blocked = c.u64()?;
+    s.dispatch_idle_cycles = c.u64()?;
+    s.retire_idle_cycles = c.u64()?;
+    s.squashed_uops = c.u64()?;
+    s.dhp_predications = c.u64()?;
+    s.dhp_flushes_avoided = c.u64()?;
+    s.pred_value_predictions = c.u64()?;
+    s.pred_value_mispredictions = c.u64()?;
+    s.wish_jumps = c.wish()?;
+    s.wish_joins = c.wish()?;
+    s.wish_loops = c.wish()?;
+    s.loop_early_exits = c.u64()?;
+    s.loop_late_exits = c.u64()?;
+    s.loop_no_exits = c.u64()?;
+    s.cycle_accounting = CycleAccounting {
+        useful_retire: c.u64()?,
+        guard_false_retire: c.u64()?,
+        select_uop_retire: c.u64()?,
+        exec_wait: c.u64()?,
+        rob_stall: c.u64()?,
+        flush_recovery: c.u64()?,
+        fetch_imiss: c.u64()?,
+        fetch_redirect: c.u64()?,
+        frontend_fill: c.u64()?,
+    };
+    let hot = c.usize()?;
+    for _ in 0..hot {
+        let pc = u32::try_from(c.u64()?).ok()?;
+        s.hot_sites.insert(
+            pc,
+            HotSiteCounts {
+                flushes: c.u64()?,
+                flushes_avoided: c.u64()?,
+                guard_false_uops: c.u64()?,
+            },
+        );
+    }
+    s.icache = c.cache()?;
+    s.l1d = c.cache()?;
+    s.l2 = c.cache()?;
+    let mut final_regs = [0i64; NUM_GPRS];
+    for r in &mut final_regs {
+        *r = c.i64()?;
+    }
+    let mut final_preds = [false; NUM_PREDS];
+    for p in &mut final_preds {
+        *p = match c.u64()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+    }
+    let nmem = c.usize()?;
+    let mut final_mem = std::collections::BTreeMap::new();
+    for _ in 0..nmem {
+        let addr = c.u64()?;
+        let val = c.i64()?;
+        final_mem.insert(addr, val);
+    }
+    let report = CompileReport {
+        regions_predicated: c.usize()?,
+        regions_wish: c.usize()?,
+        regions_kept: c.usize()?,
+        loops_wish: c.usize()?,
+    };
+    let static_stats = StaticStats {
+        insns: c.usize()?,
+        cond_branches: c.usize()?,
+        wish_branches: c.usize()?,
+        wish_jumps: c.usize()?,
+        wish_joins: c.usize()?,
+        wish_loops: c.usize()?,
+        guarded_insns: c.usize()?,
+    };
+    if c.pos != data.len() {
+        return None; // trailing garbage: not a record this layout wrote
+    }
+    Some(RunOutcome {
+        sim: SimResult {
+            stats: s,
+            final_regs,
+            final_preds,
+            final_mem,
+        },
+        report,
+        static_stats,
+    })
+}
+
+/// Serializes one journal record line (no trailing newline).
+#[must_use]
+pub fn encode_entry(key: u64, outcome: &RunOutcome) -> String {
+    let data: Vec<String> = encode_outcome(outcome).iter().map(i128::to_string).collect();
+    format!(
+        "{{\"key\":{key},\"v\":{LAYOUT_VERSION},\"data\":[{}]}}",
+        data.join(",")
+    )
+}
+
+/// Parses one journal line. Returns `None` for the header, malformed or
+/// truncated lines, and unknown layout versions.
+#[must_use]
+pub fn decode_entry(line: &str) -> Option<(u64, RunOutcome)> {
+    let rest = line.trim().strip_prefix("{\"key\":")?;
+    let comma = rest.find(',')?;
+    let key: u64 = rest[..comma].parse().ok()?;
+    let rest = rest[comma + 1..].strip_prefix("\"v\":")?;
+    let comma = rest.find(',')?;
+    let version: u64 = rest[..comma].parse().ok()?;
+    if version != LAYOUT_VERSION {
+        return None;
+    }
+    let rest = rest[comma + 1..].strip_prefix("\"data\":[")?;
+    let rest = rest.strip_suffix("]}")?;
+    let mut data = Vec::new();
+    if !rest.is_empty() {
+        for item in rest.split(',') {
+            data.push(item.parse::<i128>().ok()?);
+        }
+    }
+    let outcome = decode_outcome(&data)?;
+    Some((key, outcome))
+}
+
+/// The journal's header line (no trailing newline).
+#[must_use]
+pub fn header_line() -> String {
+    format!("{{\"schema\":\"{JOURNAL_SCHEMA}\"}}")
+}
+
+/// Loads every parseable record from a journal file. A later record for
+/// the same key wins (duplicates can arise when a shared job ran in a
+/// previous, partially journaled sweep). A missing file is an empty map.
+///
+/// # Errors
+///
+/// Only genuine I/O failures (permission, disk) error; unparseable
+/// content is skipped, per the robustness contract above.
+pub fn load(path: &Path) -> std::io::Result<HashMap<u64, RunOutcome>> {
+    let mut map = HashMap::new();
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(map),
+        Err(e) => return Err(e),
+    };
+    for line in std::io::BufReader::new(file).lines() {
+        let line = line?;
+        if let Some((key, outcome)) = decode_entry(&line) {
+            map.insert(key, outcome);
+        }
+    }
+    Ok(map)
+}
+
+/// An append handle on a journal file; creates the file (with its header
+/// line) if absent. Each append is flushed immediately so a killed
+/// process loses at most the line being written — which the reader then
+/// skips.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: std::fs::File,
+}
+
+impl JournalWriter {
+    /// Opens (or creates) the journal at `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening or creating the file.
+    pub fn open(path: &Path) -> std::io::Result<JournalWriter> {
+        let is_new = !path.exists();
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        if is_new {
+            writeln!(file, "{}", header_line())?;
+            file.flush()?;
+        }
+        Ok(JournalWriter { file })
+    }
+
+    /// Appends one completed job and flushes.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing the line.
+    pub fn append(&mut self, key: u64, outcome: &RunOutcome) -> std::io::Result<()> {
+        writeln!(self.file, "{}", encode_entry(key, outcome))?;
+        self.file.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_outcome() -> RunOutcome {
+        let mut stats = SimStats::default();
+        stats.cycles = 12345;
+        stats.retired_uops = 678;
+        stats.wish_loops.low_mispredicted = 9;
+        stats.cycle_accounting.useful_retire = 11;
+        stats.hot_sites.insert(
+            42,
+            HotSiteCounts {
+                flushes: 1,
+                flushes_avoided: 2,
+                guard_false_uops: 3,
+            },
+        );
+        stats.l2 = CacheStats {
+            hits: 5,
+            misses: 6,
+            probes: 7,
+        };
+        let mut final_regs = [0i64; NUM_GPRS];
+        final_regs[3] = -77;
+        let mut final_preds = [false; NUM_PREDS];
+        final_preds[1] = true;
+        let mut final_mem = std::collections::BTreeMap::new();
+        final_mem.insert(0x1000, -1);
+        final_mem.insert(0x1008, 99);
+        RunOutcome {
+            sim: SimResult {
+                stats,
+                final_regs,
+                final_preds,
+                final_mem,
+            },
+            report: CompileReport {
+                regions_predicated: 1,
+                regions_wish: 2,
+                regions_kept: 3,
+                loops_wish: 4,
+            },
+            static_stats: StaticStats {
+                insns: 100,
+                cond_branches: 10,
+                wish_branches: 5,
+                wish_jumps: 2,
+                wish_joins: 2,
+                wish_loops: 1,
+                guarded_insns: 20,
+            },
+        }
+    }
+
+    #[test]
+    fn entry_round_trips_bit_identically() {
+        let outcome = sample_outcome();
+        let line = encode_entry(0xDEAD_BEEF, &outcome);
+        let (key, back) = decode_entry(&line).expect("round trip");
+        assert_eq!(key, 0xDEAD_BEEF);
+        assert_eq!(back, outcome);
+    }
+
+    #[test]
+    fn corrupt_and_foreign_lines_are_skipped() {
+        assert!(decode_entry(&header_line()).is_none());
+        assert!(decode_entry("").is_none());
+        assert!(decode_entry("{\"key\":12,\"v\":1,\"data\":[1,2,3").is_none());
+        assert!(decode_entry("{\"key\":12,\"v\":99,\"data\":[]}").is_none());
+        assert!(decode_entry("not json at all").is_none());
+        // Truncated data array: lengths no longer validate.
+        let line = encode_entry(7, &sample_outcome());
+        let cut = &line[..line.len() - 20];
+        assert!(decode_entry(cut).is_none());
+    }
+
+    #[test]
+    fn writer_appends_and_loader_takes_last_duplicate() {
+        let dir = std::env::temp_dir().join(format!("wb-journal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let mut outcome = sample_outcome();
+        {
+            let mut w = JournalWriter::open(&path).unwrap();
+            w.append(1, &outcome).unwrap();
+            outcome.sim.stats.cycles = 999;
+            w.append(1, &outcome).unwrap();
+            w.append(2, &sample_outcome()).unwrap();
+        }
+        // Simulate a kill mid-write: a torn trailing line.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"key\":3,\"v\":1,\"data\":[1,2").unwrap();
+        }
+        let map = load(&path).unwrap();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map[&1].sim.stats.cycles, 999, "last duplicate wins");
+        assert!(map.get(&3).is_none(), "torn line skipped");
+        let first = std::fs::read_to_string(&path).unwrap();
+        assert!(first.starts_with(&header_line()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_journal_is_empty() {
+        let map = load(Path::new("/nonexistent/journal.jsonl")).unwrap();
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -43,8 +43,10 @@
 mod ablation;
 mod catalog;
 mod engine;
+mod error;
 mod experiment;
 mod figures;
+pub mod journal;
 mod render;
 mod report;
 mod tables;
@@ -58,9 +60,11 @@ pub use engine::{
     default_workers, JobPhases, JobResult, SweepJob, SweepRunner, SweepSummary, TrainSpec,
     WORKERS_ENV,
 };
+pub use error::{FaultKind, FaultPlan, JobError, JobFailure};
 pub use experiment::{
     compile_adaptive_variant, compile_variant, profile_on, run_binary, simulate,
     simulate_unverified, trace_binary, verify_retired_state, ExperimentConfig, RunOutcome,
+    DEFAULT_STEP_BUDGET,
 };
 pub use figures::{
     figure1, figure10, figure11, figure12, figure13, figure14, figure15, figure16, figure2,
@@ -68,10 +72,10 @@ pub use figures::{
     Fig2Row, FigureData, NormalizedRow, SweepRow,
 };
 pub use render::{
-    bar_chart, fig11_table, fig13_table, sweep_summary_table, sweep_table, table4_table,
-    table5_table, Table,
+    bar_chart, failure_table, fig11_table, fig13_table, sweep_summary_table, sweep_table,
+    table4_table, table5_table, Table,
 };
-pub use report::{json_escape, summary_json, Report, ReportData};
+pub use report::{json_escape, summary_json, summary_json_with_failures, Report, ReportData};
 pub use tables::{table4, table5, Table4Row, Table5Row};
 
 /// Everything most experiment drivers need, in one import:
@@ -79,6 +83,7 @@ pub use tables::{table4, table5, Table4Row, Table5Row};
 pub mod prelude {
     pub use crate::catalog::Experiment;
     pub use crate::engine::{SweepJob, SweepRunner, SweepSummary};
+    pub use crate::error::{FaultKind, FaultPlan, JobError, JobFailure};
     pub use crate::experiment::{run_binary, trace_binary, ExperimentConfig};
     pub use crate::report::{summary_json, Report, ReportData};
     pub use wishbranch_compiler::BinaryVariant;

@@ -1,6 +1,7 @@
 //! Plain-text rendering of figures and tables for the bench harness.
 
 use crate::engine::SweepSummary;
+use crate::error::JobFailure;
 use crate::figures::{Fig11Row, Fig13Row, FigureData, SweepRow};
 use crate::tables::{Table4Row, Table5Row};
 use std::fmt;
@@ -69,12 +70,21 @@ impl fmt::Display for Table {
     }
 }
 
+// Non-finite values are failed cells; they render as an explicit "-" gap.
 fn f2(v: f64) -> String {
-    format!("{v:.3}")
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "-".to_string()
+    }
 }
 
 fn f1(v: f64) -> String {
-    format!("{v:.1}")
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "-".to_string()
+    }
 }
 
 impl From<&FigureData> for Table {
@@ -214,6 +224,12 @@ pub fn sweep_summary_table(summary: &SweepSummary) -> Table {
     );
     t.push_row(vec!["jobs".into(), summary.jobs.to_string()]);
     t.push_row(vec!["workers".into(), summary.workers.to_string()]);
+    t.push_row(vec!["failed".into(), summary.failed.to_string()]);
+    t.push_row(vec!["retries".into(), summary.retries.to_string()]);
+    t.push_row(vec![
+        "journal hits".into(),
+        summary.journal_hits.to_string(),
+    ]);
     t.push_row(vec![
         "profile cache".into(),
         format!(
@@ -261,6 +277,32 @@ pub fn sweep_summary_table(summary: &SweepSummary) -> Table {
     t
 }
 
+/// Renders the failure table: one row per [`JobFailure`], in the order
+/// they were recorded (see [`SweepRunner::failures`]).
+///
+/// [`SweepRunner::failures`]: crate::SweepRunner::failures
+#[must_use]
+pub fn failure_table(failures: &[JobFailure]) -> Table {
+    let mut t = Table::new(
+        "Failed jobs",
+        ["job#", "bench", "variant", "input", "kind", "attempts", "error"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for f in failures {
+        t.push_row(vec![
+            f.index.to_string(),
+            f.job.bench.to_string(),
+            f.job.variant.label().to_string(),
+            f.job.input.label().to_string(),
+            f.error.kind().to_string(),
+            f.attempts.to_string(),
+            f.error.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Renders one series of a figure as a horizontal ASCII bar chart
 /// (normalized execution times; a `|` marks 1.0 — the normal-branch
 /// baseline — so wins and losses are visible at a glance).
@@ -277,6 +319,10 @@ pub fn bar_chart(fig: &FigureData, series_idx: usize, width: usize) -> String {
     let name_w = fig.rows.iter().map(|r| r.name.len()).max().unwrap_or(4);
     for row in &fig.rows {
         let Some(&v) = row.values.get(series_idx) else { continue };
+        if !v.is_finite() {
+            out.push_str(&format!("{:<name_w$} (failed)\n", row.name));
+            continue;
+        }
         let bar_len = ((v / max) * width as f64).round() as usize;
         let one_pos = ((1.0 / max) * width as f64).round() as usize;
         let mut bar = String::new();
@@ -335,6 +381,28 @@ mod tests {
             slow_line.matches('#').count() > fast_line.matches('#').count(),
             "longer bar for larger value"
         );
+    }
+
+    #[test]
+    fn gaps_render_as_dashes_and_failure_table_lists_kinds() {
+        assert_eq!(f2(f64::NAN), "-");
+        assert_eq!(f1(f64::NAN), "-");
+        assert_eq!(f2(0.5), "0.500");
+
+        use crate::engine::SweepJob;
+        use crate::error::{JobError, JobFailure};
+        use crate::experiment::ExperimentConfig;
+        let ec = ExperimentConfig::quick(20);
+        let t = failure_table(&[JobFailure {
+            job: SweepJob::standard(1, wishbranch_compiler::BinaryVariant::BaseMax,
+                wishbranch_workloads::InputSet::C, &ec),
+            index: 3,
+            error: JobError::VerifyDivergence { detail: "addr 0x0".into() },
+            attempts: 1,
+        }]);
+        let s = t.to_string();
+        assert!(s.contains("verify_divergence"));
+        assert!(s.contains("addr 0x0"));
     }
 
     #[test]

@@ -65,8 +65,24 @@ fn csv_field(s: &str) -> String {
     }
 }
 
+/// A JSON float: six decimals, or the literal `null` for a non-finite
+/// value — the explicit-gap encoding of a failed cell (JSON has no NaN).
 fn jf(v: f64) -> String {
-    format!("{v:.6}")
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A CSV float cell: six decimals, or an empty field for a non-finite
+/// value (the CSV rendering of a failed cell's gap).
+fn cf(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        String::new()
+    }
 }
 
 fn jstr(s: &str) -> String {
@@ -320,7 +336,7 @@ impl Report {
                 push_csv_row(&mut out, &header);
                 for r in &fig.rows {
                     let mut cells = vec![r.name.clone()];
-                    cells.extend(r.values.iter().map(|&v| jf(v)));
+                    cells.extend(r.values.iter().map(|&v| cf(v)));
                     push_csv_row(&mut out, &cells);
                 }
             }
@@ -340,10 +356,10 @@ impl Report {
                         &mut out,
                         &[
                             r.name.clone(),
-                            jf(r.low_mispredicted),
-                            jf(r.low_correct),
-                            jf(r.high_mispredicted),
-                            jf(r.high_correct),
+                            cf(r.low_mispredicted),
+                            cf(r.low_correct),
+                            cf(r.high_mispredicted),
+                            cf(r.high_correct),
                         ],
                     );
                 }
@@ -366,12 +382,12 @@ impl Report {
                         &mut out,
                         &[
                             r.name.clone(),
-                            jf(r.low_no_exit),
-                            jf(r.low_late_exit),
-                            jf(r.low_early_exit),
-                            jf(r.low_correct),
-                            jf(r.high_mispredicted),
-                            jf(r.high_correct),
+                            cf(r.low_no_exit),
+                            cf(r.low_late_exit),
+                            cf(r.low_early_exit),
+                            cf(r.low_correct),
+                            cf(r.high_mispredicted),
+                            cf(r.high_correct),
                         ],
                     );
                 }
@@ -389,8 +405,8 @@ impl Report {
                 push_csv_row(&mut out, &header);
                 for r in rows {
                     let mut cells = vec![r.param.to_string()];
-                    cells.extend(r.avg.iter().map(|&v| jf(v)));
-                    cells.extend(r.avg_nomcf.iter().map(|&v| jf(v)));
+                    cells.extend(r.avg.iter().map(|&v| cf(v)));
+                    cells.extend(r.avg_nomcf.iter().map(|&v| cf(v)));
                     push_csv_row(&mut out, &cells);
                 }
             }
@@ -418,12 +434,12 @@ impl Report {
                             r.dynamic_uops.to_string(),
                             r.static_branches.to_string(),
                             r.dynamic_branches.to_string(),
-                            jf(r.mispredicts_per_kuop),
-                            jf(r.upc),
+                            cf(r.mispredicts_per_kuop),
+                            cf(r.upc),
                             r.static_wish.to_string(),
-                            jf(r.static_wish_loop_pct),
+                            cf(r.static_wish_loop_pct),
                             r.dynamic_wish.to_string(),
-                            jf(r.dynamic_wish_loop_pct),
+                            cf(r.dynamic_wish_loop_pct),
                         ],
                     );
                 }
@@ -445,10 +461,10 @@ impl Report {
                         &mut out,
                         &[
                             r.name.clone(),
-                            jf(r.vs_normal_pct),
-                            jf(r.vs_best_predicated_pct),
+                            cf(r.vs_normal_pct),
+                            cf(r.vs_best_predicated_pct),
                             r.best_predicated.to_string(),
-                            jf(r.vs_best_pct),
+                            cf(r.vs_best_pct),
                             r.best.to_string(),
                         ],
                     );
@@ -457,7 +473,7 @@ impl Report {
             ReportData::Ablation { param, points } => {
                 push_csv_row(&mut out, &[param.clone(), "avg_normalized".into()]);
                 for p in points {
-                    push_csv_row(&mut out, &[p.param.to_string(), jf(p.avg_normalized)]);
+                    push_csv_row(&mut out, &[p.param.to_string(), cf(p.avg_normalized)]);
                 }
             }
         }
@@ -495,18 +511,22 @@ fn push_csv_row(out: &mut String, cells: &[String]) {
 }
 
 /// Serializes a [`SweepSummary`] to one `wishbranch.summary/v1` JSON
-/// object: job counts, cache statistics, timing and the per-phase
-/// host-time breakdown.
+/// object: job counts (including failures, retries and journal hits),
+/// cache statistics, timing and the per-phase host-time breakdown.
 #[must_use]
 pub fn summary_json(s: &SweepSummary) -> String {
     format!(
         "{{\"schema\":\"wishbranch.summary/v1\",\"jobs\":{},\"workers\":{},\
+         \"failed\":{},\"retries\":{},\"journal_hits\":{},\
          \"profile_cache\":{{\"hits\":{},\"misses\":{}}},\
          \"compile_cache\":{{\"hits\":{},\"misses\":{}}},\
          \"job_time_s\":{},\"wall_time_s\":{},\"parallel_speedup\":{},\
          \"phase_time_s\":{{\"profile\":{},\"compile\":{},\"simulate\":{},\"verify\":{}}}}}",
         s.jobs,
         s.workers,
+        s.failed,
+        s.retries,
+        s.journal_hits,
         s.profile_hits,
         s.profile_misses,
         s.compile_hits,
@@ -519,6 +539,35 @@ pub fn summary_json(s: &SweepSummary) -> String {
         jf(s.simulate_time.as_secs_f64()),
         jf(s.verify_time.as_secs_f64()),
     )
+}
+
+/// [`summary_json`] plus the failure table: one entry per failed job with
+/// its submission index, typed kind, a short job label, the full error
+/// message, and the attempt count. The `failures` array is always present
+/// (empty on a clean sweep), so consumers get a stable schema.
+#[must_use]
+pub fn summary_json_with_failures(s: &SweepSummary, failures: &[crate::JobFailure]) -> String {
+    let mut base = summary_json(s);
+    let items: Vec<String> = failures
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"index\":{},\"kind\":{},\"job\":{},\"error\":{},\"attempts\":{}}}",
+                f.index,
+                jstr(f.error.kind()),
+                jstr(&format!(
+                    "bench{} {} @{}",
+                    f.job.bench,
+                    f.job.variant.label(),
+                    f.job.input.label()
+                )),
+                jstr(&f.error.to_string()),
+                f.attempts
+            )
+        })
+        .collect();
+    base.truncate(base.len() - 1); // strip the closing brace, then extend
+    format!("{base},\"failures\":[{}]}}", items.join(","))
 }
 
 #[cfg(test)]
@@ -587,5 +636,50 @@ mod tests {
         assert!(j.contains("\"schema\":\"wishbranch.summary/v1\""));
         assert!(j.contains("\"phase_time_s\""));
         assert!(j.contains("\"simulate\":0.000000"));
+        assert!(j.contains("\"failed\":0"));
+        assert!(j.contains("\"retries\":0"));
+        assert!(j.contains("\"journal_hits\":0"));
+    }
+
+    #[test]
+    fn failed_cells_are_explicit_gaps_in_json_and_csv() {
+        let r = Report::figure(
+            "figx",
+            FigureData {
+                title: "t".into(),
+                series: vec!["a".into(), "b".into()],
+                rows: vec![NormalizedRow {
+                    name: "gzip".into(),
+                    values: vec![f64::NAN, 0.5],
+                }],
+            },
+        );
+        assert!(r.to_json().contains("\"values\":[null,0.500000]"));
+        assert!(r.to_csv().contains("gzip,,0.500000"));
+    }
+
+    #[test]
+    fn summary_with_failures_lists_each_failure() {
+        use crate::engine::SweepJob;
+        use crate::error::{JobError, JobFailure};
+        use crate::experiment::ExperimentConfig;
+        use wishbranch_compiler::BinaryVariant;
+        use wishbranch_workloads::InputSet;
+
+        let ec = ExperimentConfig::quick(20);
+        let failure = JobFailure {
+            job: SweepJob::standard(2, BinaryVariant::BaseDef, InputSet::A, &ec),
+            index: 7,
+            error: JobError::WorkerPanic {
+                payload: "boom".into(),
+            },
+            attempts: 2,
+        };
+        let j = summary_json_with_failures(&SweepSummary::default(), &[failure]);
+        assert!(j.contains("\"failures\":[{\"index\":7,\"kind\":\"worker_panic\""));
+        assert!(j.contains("\"attempts\":2"));
+        assert!(j.ends_with("]}"));
+        let clean = summary_json_with_failures(&SweepSummary::default(), &[]);
+        assert!(clean.contains("\"failures\":[]"));
     }
 }

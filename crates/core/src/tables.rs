@@ -43,16 +43,23 @@ pub fn table4(runner: &SweepRunner) -> Vec<Table4Row> {
         jobs.push(SweepJob::standard(b, BinaryVariant::WishJumpJoinLoop, input, &ec));
     }
     runner
-        .run(jobs)
+        .try_run(jobs)
         .chunks_exact(2)
         .enumerate()
-        .map(|(b, pair)| {
-            let nstats = &pair[0].outcome.sim.stats;
-            let nstatic = pair[0].outcome.static_stats;
-            let wstats = &pair[1].outcome.sim.stats;
-            let wstatic = pair[1].outcome.static_stats;
+        // A benchmark with a failed job is dropped from the table (the
+        // failure stays in the runner's failure table); its row is all
+        // measured quantities, so there is no meaningful partial row.
+        .filter_map(|(b, pair)| {
+            let (normal, wish) = match (&pair[0], &pair[1]) {
+                (Ok(n), Ok(w)) => (n, w),
+                _ => return None,
+            };
+            let nstats = &normal.outcome.sim.stats;
+            let nstatic = normal.outcome.static_stats;
+            let wstats = &wish.outcome.sim.stats;
+            let wstatic = wish.outcome.static_stats;
             let dyn_wish = wstats.wish_branches_total();
-            Table4Row {
+            Some(Table4Row {
                 name: runner.benches()[b].name.into(),
                 dynamic_uops: nstats.retired_uops,
                 static_branches: nstatic.cond_branches,
@@ -71,7 +78,7 @@ pub fn table4(runner: &SweepRunner) -> Vec<Table4Row> {
                 } else {
                     wstats.wish_loops.total() as f64 * 100.0 / dyn_wish as f64
                 },
-            }
+            })
         })
         .collect()
 }
@@ -114,16 +121,18 @@ pub fn table5(runner: &SweepRunner) -> Vec<Table5Row> {
             jobs.push(SweepJob::standard(b, v, input, &ec));
         }
     }
-    let cycles: Vec<u64> = runner
-        .run(jobs)
+    let cycles: Vec<Option<u64>> = runner
+        .try_run(jobs)
         .into_iter()
-        .map(|r| r.outcome.sim.stats.cycles)
+        .map(|r| r.ok().map(|r| r.outcome.sim.stats.cycles))
         .collect();
     let mut rows: Vec<Table5Row> = cycles
         .chunks_exact(variants.len())
         .enumerate()
-        .map(|(b, chunk)| {
-            let [normal, def, max, wjl] = [chunk[0], chunk[1], chunk[2], chunk[3]];
+        // A benchmark with any failed variant is dropped: every column of
+        // its row is a cross-variant comparison.
+        .filter_map(|(b, chunk)| {
+            let [normal, def, max, wjl] = [chunk[0]?, chunk[1]?, chunk[2]?, chunk[3]?];
             let (best_pred, best_pred_label) = if def <= max { (def, "DEF") } else { (max, "MAX") };
             let (best, best_label) = if normal < best_pred {
                 (normal, "BR")
@@ -131,25 +140,28 @@ pub fn table5(runner: &SweepRunner) -> Vec<Table5Row> {
                 (best_pred, best_pred_label)
             };
             let pct = |base: u64| (base as f64 - wjl as f64) * 100.0 / base as f64;
-            Table5Row {
+            Some(Table5Row {
                 name: runner.benches()[b].name.into(),
                 vs_normal_pct: pct(normal),
                 vs_best_predicated_pct: pct(best_pred),
                 best_predicated: best_pred_label,
                 vs_best_pct: pct(best),
                 best: best_label,
-            }
+            })
         })
         .collect();
-    // AVG row (arithmetic mean of the reductions, as in the paper).
+    // AVG row (arithmetic mean of the reductions, as in the paper) — over
+    // the surviving benchmarks; omitted if every benchmark failed.
     let n = rows.len() as f64;
-    rows.push(Table5Row {
-        name: "AVG".into(),
-        vs_normal_pct: rows.iter().map(|r| r.vs_normal_pct).sum::<f64>() / n,
-        vs_best_predicated_pct: rows.iter().map(|r| r.vs_best_predicated_pct).sum::<f64>() / n,
-        best_predicated: "-",
-        vs_best_pct: rows.iter().map(|r| r.vs_best_pct).sum::<f64>() / n,
-        best: "-",
-    });
+    if !rows.is_empty() {
+        rows.push(Table5Row {
+            name: "AVG".into(),
+            vs_normal_pct: rows.iter().map(|r| r.vs_normal_pct).sum::<f64>() / n,
+            vs_best_predicated_pct: rows.iter().map(|r| r.vs_best_predicated_pct).sum::<f64>() / n,
+            best_predicated: "-",
+            vs_best_pct: rows.iter().map(|r| r.vs_best_pct).sum::<f64>() / n,
+            best: "-",
+        });
+    }
     rows
 }

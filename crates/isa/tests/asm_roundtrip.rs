@@ -60,7 +60,7 @@ fn compiled_workload_binaries_roundtrip() {
     use wishbranch_core::profile_on;
     use wishbranch_workloads::{suite, InputSet};
     for bench in suite(20) {
-        let profile = profile_on(&bench, InputSet::B);
+        let profile = profile_on(&bench, InputSet::B).expect("profile");
         for variant in [BinaryVariant::NormalBranch, BinaryVariant::WishJumpJoinLoop] {
             let bin = compile(&bench.module, &profile, variant, &CompileOptions::default());
             let text = disasm(&bin.program);

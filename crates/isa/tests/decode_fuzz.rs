@@ -1,10 +1,13 @@
 //! Decode robustness: arbitrary 64-bit words must either decode cleanly or
 //! return a typed error — never panic — and everything that decodes must
 //! re-encode to a word that decodes to the same instruction (canonical
-//! round trip).
+//! round trip). The legacy decoder (wish hints ignored, paper §3.4) is
+//! held to the same standard and must agree with the hint-honouring
+//! decoder on everything but the hint bits.
 
 use proptest::prelude::*;
-use wishbranch_isa::encode::{decode, encode};
+use wishbranch_isa::encode::{decode, decode_with_options, encode, EncodeError};
+use wishbranch_isa::{Gpr, Insn};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(2048))]
@@ -12,6 +15,15 @@ proptest! {
     #[test]
     fn decode_never_panics(word in any::<u64>()) {
         let _ = decode(word);
+    }
+
+    #[test]
+    fn legacy_decode_never_panics_and_drops_every_hint(word in any::<u64>()) {
+        // A machine without wish support must decode any word a wish
+        // machine accepts — and must never see a wish branch.
+        if let Ok(insn) = decode_with_options(word, true) {
+            prop_assert!(insn.wish.is_none(), "legacy decode leaked a wish hint: {insn}");
+        }
     }
 
     #[test]
@@ -24,9 +36,69 @@ proptest! {
     }
 
     #[test]
+    fn decode_is_deterministic(word in any::<u64>()) {
+        prop_assert_eq!(decode(word), decode(word));
+    }
+
+    #[test]
+    fn legacy_decode_agrees_modulo_hints(word in any::<u64>()) {
+        // Whenever the wish-aware decoder accepts a word, the legacy
+        // decoder accepts it too and produces the same µop minus hints.
+        if let Ok(insn) = decode(word) {
+            let legacy = decode_with_options(word, true)
+                .expect("hint-dropping must not invent new decode errors");
+            let mut dehinted = insn;
+            dehinted.wish = None;
+            prop_assert_eq!(legacy, dehinted);
+        }
+    }
+
+    #[test]
+    fn legacy_decode_rescues_reserved_wish_type(word in any::<u64>()) {
+        // The only word class where the decoders may disagree on Ok-ness
+        // is the reserved wtype: the legacy decoder never inspects it.
+        if decode(word).is_err() && decode_with_options(word, true).is_ok() {
+            prop_assert_eq!(
+                decode(word),
+                Err(wishbranch_isa::encode::DecodeError::BadWishType)
+            );
+        }
+    }
+
+    #[test]
     fn display_of_decoded_is_nonempty(word in any::<u64>()) {
         if let Ok(insn) = decode(word) {
             prop_assert!(!insn.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn decode_errors_display_nonempty(word in any::<u64>()) {
+        if let Err(e) = decode(word) {
+            prop_assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn out_of_range_offsets_are_typed_errors(offset in any::<i32>()) {
+        // Load/store offsets occupy a signed 31-bit field; i32 extremes
+        // must come back as EncodeError, never a panic or silent wrap.
+        let insn = Insn::load(Gpr::new(1), Gpr::new(2), offset);
+        match encode(&insn) {
+            Ok(word) => {
+                let back = decode(word).expect("encoded word must decode");
+                prop_assert_eq!(insn, back, "in-range offset must round-trip");
+            }
+            Err(e) => {
+                prop_assert_eq!(e, EncodeError::ImmOutOfRange(i64::from(offset)));
+                prop_assert!(!e.to_string().is_empty());
+                let bound = 1i64 << 30;
+                let v = i64::from(offset);
+                prop_assert!(
+                    v >= bound || v < -bound,
+                    "typed error only outside the 31-bit field: {v}"
+                );
+            }
         }
     }
 }

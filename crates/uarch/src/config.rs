@@ -146,4 +146,16 @@ impl MachineConfig {
         self.pipeline_depth = depth;
         self
     }
+
+    /// The same machine with a different per-job cycle budget. Exhausting
+    /// the budget is a typed [`SimError::CycleLimitExceeded`] outcome from
+    /// [`Simulator::run`], not a panic.
+    ///
+    /// [`SimError::CycleLimitExceeded`]: crate::SimError::CycleLimitExceeded
+    /// [`Simulator::run`]: crate::Simulator::run
+    #[must_use]
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self
+    }
 }

@@ -45,7 +45,7 @@ fn emit_region(f: &mut FunctionBuilder, rng: &mut StdRng, depth: u32, counter: &
         match rng.gen_range(0..10) {
             0..=2 if depth > 0 => {
                 let lhs = r(rng.gen_range(1..9));
-                let op = [CmpOp::Lt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne][rng.gen_range(0..4)];
+                let op = [CmpOp::Lt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne][rng.gen_range(0..4usize)];
                 let (t, el, j) = (f.new_block(), f.new_block(), f.new_block());
                 f.branch(op, lhs, Operand::imm(rng.gen_range(-5..6)), t, el);
                 f.select(el);
@@ -79,7 +79,7 @@ fn emit_straight(f: &mut FunctionBuilder, rng: &mut StdRng) {
     match rng.gen_range(0..4) {
         0 => {
             let (d, s) = (r(rng.gen_range(1..9)), r(rng.gen_range(1..9)));
-            let op = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::Mul][rng.gen_range(0..4)];
+            let op = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::Mul][rng.gen_range(0..4usize)];
             f.alu(op, d, s, Operand::Imm(rng.gen_range(-7..8)));
         }
         1 => f.movi(r(rng.gen_range(1..9)), rng.gen_range(-99..99)),
@@ -92,12 +92,12 @@ fn emit_straight(f: &mut FunctionBuilder, rng: &mut StdRng) {
 fn random_config(seed: u64) -> MachineConfig {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
     let mut cfg = MachineConfig::default();
-    cfg.fetch_width = [2, 4, 8][rng.gen_range(0..3)];
-    cfg.max_cond_branches_per_cycle = [1, 2, 3][rng.gen_range(0..3)];
-    cfg.rob_size = [16, 48, 128, 512][rng.gen_range(0..4)];
-    cfg.issue_width = [2, 4, 8][rng.gen_range(0..3)];
+    cfg.fetch_width = [2, 4, 8][rng.gen_range(0..3usize)];
+    cfg.max_cond_branches_per_cycle = [1, 2, 3][rng.gen_range(0..3usize)];
+    cfg.rob_size = [16, 48, 128, 512][rng.gen_range(0..4usize)];
+    cfg.issue_width = [2, 4, 8][rng.gen_range(0..3usize)];
     cfg.retire_width = cfg.issue_width;
-    cfg.pipeline_depth = [3, 10, 30][rng.gen_range(0..3)];
+    cfg.pipeline_depth = [3, 10, 30][rng.gen_range(0..3usize)];
     cfg.pred_mechanism = if rng.gen_bool(0.5) {
         PredMechanism::CStyle
     } else {
@@ -106,7 +106,7 @@ fn random_config(seed: u64) -> MachineConfig {
     cfg.wish_enabled = rng.gen_bool(0.8);
     cfg.dhp_enabled = rng.gen_bool(0.5);
     cfg.predicate_prediction = rng.gen_bool(0.5);
-    cfg.mem.max_outstanding_misses = [0, 1, 4][rng.gen_range(0..3)];
+    cfg.mem.max_outstanding_misses = [0, 1, 4][rng.gen_range(0..3usize)];
     if rng.gen_bool(0.5) {
         // Tiny caches: stress miss paths.
         cfg.mem.icache = CacheConfig {

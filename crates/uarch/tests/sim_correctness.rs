@@ -91,7 +91,7 @@ fn gen_region(f: &mut FunctionBuilder, rng: &mut StdRng, depth: u32, next_counte
         if depth > 0 && c < 3 {
             // if/else
             let lhs = r(rng.gen_range(1..9));
-            let op = [CmpOp::Lt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne][rng.gen_range(0..4)];
+            let op = [CmpOp::Lt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne][rng.gen_range(0..4usize)];
             let then_b = f.new_block();
             let else_b = f.new_block();
             let join = f.new_block();
@@ -129,7 +129,7 @@ fn emit_straight(f: &mut FunctionBuilder, rng: &mut StdRng) {
     match rng.gen_range(0..4) {
         0 => {
             let (d, s) = (r(rng.gen_range(1..9)), r(rng.gen_range(1..9)));
-            let op = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::Mul][rng.gen_range(0..4)];
+            let op = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::Mul][rng.gen_range(0..4usize)];
             f.alu(op, d, s, Operand::Imm(rng.gen_range(-7..8)));
         }
         1 => f.movi(r(rng.gen_range(1..9)), rng.gen_range(-100..100)),

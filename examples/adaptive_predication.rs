@@ -24,13 +24,19 @@ fn main() {
     );
 
     for bench in [gap(scale), bzip2(scale), mcf(scale / 2)] {
-        let normal = compile_variant(&bench, BinaryVariant::NormalBranch, &ec);
-        let pred = compile_variant(&bench, BinaryVariant::BaseMax, &ec);
-        let wish = compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, &ec);
+        let normal =
+            compile_variant(&bench, BinaryVariant::NormalBranch, &ec).expect("compile");
+        let pred = compile_variant(&bench, BinaryVariant::BaseMax, &ec).expect("compile");
+        let wish =
+            compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, &ec).expect("compile");
         for input in InputSet::ALL {
-            let base = simulate(&normal.program, &bench, input, &ec.machine).stats.cycles as f64;
-            let p = simulate(&pred.program, &bench, input, &ec.machine).stats.cycles as f64 / base;
-            let w = simulate(&wish.program, &bench, input, &ec.machine).stats.cycles as f64 / base;
+            let cycles = |program| {
+                simulate(program, &bench, input, &ec.machine).expect("simulate").stats.cycles
+                    as f64
+            };
+            let base = cycles(&normal.program);
+            let p = cycles(&pred.program) / base;
+            let w = cycles(&wish.program) / base;
             let winner = if w <= p.min(1.0) {
                 "wish"
             } else if p < 1.0 {

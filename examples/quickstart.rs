@@ -19,7 +19,7 @@ fn main() {
 
     let mut normal_cycles = None;
     for variant in BinaryVariant::ALL {
-        let out = run_binary(&bench, variant, InputSet::B, &ec);
+        let out = run_binary(&bench, variant, InputSet::B, &ec).expect("verified run");
         let s = &out.sim.stats;
         if variant == BinaryVariant::NormalBranch {
             normal_cycles = Some(s.cycles);
@@ -36,7 +36,8 @@ fn main() {
         );
     }
     if let Some(base) = normal_cycles {
-        let wish = run_binary(&bench, BinaryVariant::WishJumpJoinLoop, InputSet::B, &ec);
+        let wish = run_binary(&bench, BinaryVariant::WishJumpJoinLoop, InputSet::B, &ec)
+            .expect("verified run");
         println!(
             "\nwish jump/join/loop binary speedup over normal branches: {:.1}%",
             (base as f64 - wish.sim.stats.cycles as f64) * 100.0 / base as f64

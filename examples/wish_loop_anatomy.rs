@@ -20,10 +20,17 @@ fn main() {
     );
 
     for bench in [vpr(scale), parser(scale), bzip2(scale)] {
-        let normal = compile_variant(&bench, BinaryVariant::NormalBranch, &ec);
-        let base = simulate(&normal.program, &bench, input, &ec.machine).stats.cycles;
-        let wjl = compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, &ec);
-        let s = simulate(&wjl.program, &bench, input, &ec.machine).stats;
+        let normal =
+            compile_variant(&bench, BinaryVariant::NormalBranch, &ec).expect("compile");
+        let base = simulate(&normal.program, &bench, input, &ec.machine)
+            .expect("simulate")
+            .stats
+            .cycles;
+        let wjl =
+            compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, &ec).expect("compile");
+        let s = simulate(&wjl.program, &bench, input, &ec.machine)
+            .expect("simulate")
+            .stats;
         println!(
             "{:<10} {:>10} {:>11} {:>11} {:>9} {:>12} {:>11.1}%",
             bench.name,

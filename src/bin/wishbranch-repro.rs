@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! USAGE: wishbranch-repro [--scale N] [--workers N] [--json] [--quick]
-//!                         [--report-dir DIR] <experiment>...
+//!                         [--report-dir DIR] [--resume] [--strict]
+//!                         [--fault-plan SPEC] <experiment>...
 //!        wishbranch-repro trace <bench> <variant> [--cycles A..B] [--scale N]
 //!        wishbranch-repro --list
 //!
@@ -23,8 +24,22 @@
 //! * `--json` — one `wishbranch.report/v1` JSON object per experiment on
 //!   stdout (one per line);
 //! * `--report-dir DIR` — write `DIR/<id>.json` and `DIR/<id>.csv` per
-//!   experiment plus `DIR/summary.json` (engine + phase timing), while
+//!   experiment plus `DIR/summary.json` (engine + phase timing + failure
+//!   table) and an incremental job journal `DIR/journal.jsonl`, while
 //!   still printing the chosen stdout format.
+//!
+//! Failure handling: a job that panics, diverges, or blows its cycle
+//! budget becomes an explicit gap in the affected figure, listed in the
+//! failure table — it never takes the sweep down. `--resume` (requires
+//! `--report-dir`) replays completed jobs from `DIR/journal.jsonl`
+//! bit-identically instead of re-simulating them. `--strict` turns any
+//! failed job into exit code 3. `--fault-plan SPEC` (or the
+//! `WISHBRANCH_FAULT_PLAN` environment variable) injects deterministic
+//! faults for testing, e.g. `panic@3,diverge@7,budget@2,abort@10` — job
+//! indices are global submission order.
+//!
+//! Exit codes: 0 success, 1 fatal error, 2 usage, 3 `--strict` with
+//! failed jobs, 4 sweep aborted.
 //!
 //! `trace` compiles one benchmark into one variant (labels as printed in
 //! the figures: `normal BASE-DEF BASE-MAX wish-jj wish-jjl wish-adaptive`)
@@ -33,18 +48,24 @@
 
 use wishbranch_compiler::BinaryVariant;
 use wishbranch_core::{
-    summary_json, sweep_summary_table, trace_binary, Experiment, ExperimentConfig, SweepRunner,
+    failure_table, summary_json_with_failures, sweep_summary_table, trace_binary, Experiment,
+    ExperimentConfig, FaultPlan, SweepRunner,
 };
 use wishbranch_uarch::render_trace;
 use wishbranch_workloads::{suite, InputSet};
 
+/// Environment variable consulted when `--fault-plan` is absent.
+const FAULT_PLAN_ENV: &str = "WISHBRANCH_FAULT_PLAN";
+
 fn usage() -> ! {
     let ids: Vec<&str> = Experiment::ALL.iter().map(|e| e.id()).collect();
     eprintln!(
-        "USAGE: wishbranch-repro [--scale N] [--workers N] [--json] [--quick] [--report-dir DIR] <experiment>...\n\
+        "USAGE: wishbranch-repro [--scale N] [--workers N] [--json] [--quick] [--report-dir DIR]\n\
+                                 [--resume] [--strict] [--fault-plan SPEC] <experiment>...\n\
                 wishbranch-repro trace <bench> <variant> [--cycles A..B] [--scale N]\n\
                 wishbranch-repro --list\n\
-         experiments: {} all",
+         experiments: {} all\n\
+         exit codes: 0 ok, 1 fatal, 2 usage, 3 strict w/ failures, 4 aborted",
         ids.join(" ")
     );
     std::process::exit(2)
@@ -60,8 +81,11 @@ fn main() {
     let mut scale = 4000;
     let mut json = false;
     let mut quick = false;
+    let mut strict = false;
+    let mut resume = false;
     let mut workers: Option<usize> = None;
     let mut report_dir: Option<std::path::PathBuf> = None;
+    let mut fault_spec: Option<String> = None;
     let mut wanted: Vec<Experiment> = Vec::new();
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
@@ -82,8 +106,13 @@ fn main() {
             }
             "--json" => json = true,
             "--quick" => quick = true,
+            "--strict" => strict = true,
+            "--resume" => resume = true,
             "--report-dir" => {
                 report_dir = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
+            "--fault-plan" => {
+                fault_spec = Some(args.next().unwrap_or_else(|| usage()));
             }
             "--list" => {
                 let ids: Vec<&str> = Experiment::ALL.iter().map(|e| e.id()).collect();
@@ -100,6 +129,10 @@ fn main() {
     if wanted.is_empty() {
         usage();
     }
+    if resume && report_dir.is_none() {
+        eprintln!("wishbranch-repro: --resume requires --report-dir (the journal lives there)");
+        std::process::exit(2);
+    }
     let ec = if quick {
         ExperimentConfig::quick(scale.min(500))
     } else {
@@ -107,14 +140,29 @@ fn main() {
     };
     // One runner for every requested experiment: figures share the profile
     // and compile caches, and `all` keeps the pool busy end to end.
-    let runner = match workers {
+    let mut runner = match workers {
         Some(n) => SweepRunner::with_workers(&ec, n),
         None => SweepRunner::new(&ec),
     };
+    if let Some(spec) = fault_spec.or_else(|| std::env::var(FAULT_PLAN_ENV).ok()) {
+        match FaultPlan::parse(&spec) {
+            Ok(plan) => runner.set_fault_plan(plan),
+            Err(e) => fatal(&format!("bad fault plan {spec:?}: {e}")),
+        }
+    }
 
     if let Some(dir) = &report_dir {
         std::fs::create_dir_all(dir)
             .unwrap_or_else(|e| fatal(&format!("cannot create {}: {e}", dir.display())));
+        let journal = dir.join("journal.jsonl");
+        match runner.attach_journal(&journal, resume) {
+            Ok(replayed) => {
+                if resume && !json {
+                    println!("resuming: {replayed} completed jobs loaded from journal");
+                }
+            }
+            Err(e) => fatal(&format!("cannot open {}: {e}", journal.display())),
+        }
     }
 
     for exp in wanted {
@@ -128,13 +176,34 @@ fn main() {
         } else {
             println!("{}", report.render());
         }
+        if runner.aborted() {
+            break;
+        }
     }
     let summary = runner.summary();
+    let failures = runner.failures();
     if let Some(dir) = &report_dir {
-        write_file(&dir.join("summary.json"), &summary_json(&summary));
+        write_file(
+            &dir.join("summary.json"),
+            &summary_json_with_failures(&summary, &failures),
+        );
     }
     if !json {
         println!("{}", sweep_summary_table(&summary));
+        if !failures.is_empty() {
+            println!("\n{}", failure_table(&failures));
+        }
+    }
+    if runner.aborted() {
+        eprintln!("wishbranch-repro: sweep aborted; reports are incomplete (resume with --resume)");
+        std::process::exit(4);
+    }
+    if strict && !failures.is_empty() {
+        eprintln!(
+            "wishbranch-repro: --strict: {} job(s) failed",
+            failures.len()
+        );
+        std::process::exit(3);
     }
 }
 
@@ -204,7 +273,8 @@ fn trace_main(args: &[String]) {
             ))
         });
     let ec = ExperimentConfig::paper(scale);
-    let (result, trace) = trace_binary(bench, variant, InputSet::B, &ec);
+    let (result, trace) = trace_binary(bench, variant, InputSet::B, &ec)
+        .unwrap_or_else(|e| fatal(&format!("trace failed: {e}")));
     let events: Vec<_> = match cycles {
         Some((lo, hi)) => trace
             .into_iter()

@@ -13,7 +13,7 @@ use wishbranch_workloads::{suite, InputSet};
 #[test]
 fn compiled_binaries_roundtrip_through_encoding() {
     for bench in suite(30) {
-        let profile = profile_on(&bench, InputSet::B);
+        let profile = profile_on(&bench, InputSet::B).expect("profile");
         for variant in [BinaryVariant::NormalBranch, BinaryVariant::WishJumpJoinLoop] {
             let bin = compile(&bench.module, &profile, variant, &CompileOptions::default());
             for (i, insn) in bin.program.insns().iter().enumerate() {
@@ -33,7 +33,7 @@ fn wish_binary_runs_correctly_with_hints_ignored() {
     // without wish support), and check the architectural result is
     // unchanged.
     for bench in suite(30) {
-        let profile = profile_on(&bench, InputSet::B);
+        let profile = profile_on(&bench, InputSet::B).expect("profile");
         let bin = compile(
             &bench.module,
             &profile,

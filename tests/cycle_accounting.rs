@@ -41,8 +41,9 @@ fn identity_holds_for_every_benchmark_and_variant() {
     let ec = ExperimentConfig::quick(SCALE);
     for bench in suite(SCALE) {
         for variant in BinaryVariant::ALL {
-            let bin = compile_variant(&bench, variant, &ec);
-            let res = simulate(&bin.program, &bench, InputSet::B, &ec.machine);
+            let bin = compile_variant(&bench, variant, &ec).expect("compile");
+            let res =
+                simulate(&bin.program, &bench, InputSet::B, &ec.machine).expect("simulate");
             assert_identities(&format!("{} {variant:?}", bench.name), &res.stats);
         }
     }
@@ -52,9 +53,10 @@ fn identity_holds_for_every_benchmark_and_variant() {
 fn identity_holds_for_the_adaptive_extension_binary() {
     let ec = ExperimentConfig::quick(SCALE);
     for bench in suite(SCALE) {
-        let bin = compile_adaptive_variant(&bench, &[InputSet::A, InputSet::C], &ec);
+        let bin =
+            compile_adaptive_variant(&bench, &[InputSet::A, InputSet::C], &ec).expect("compile");
         for input in InputSet::ALL {
-            let res = simulate(&bin.program, &bench, input, &ec.machine);
+            let res = simulate(&bin.program, &bench, input, &ec.machine).expect("simulate");
             assert_identities(&format!("{} adaptive {input}", bench.name), &res.stats);
         }
     }
@@ -95,9 +97,10 @@ fn identity_holds_across_machine_configurations() {
     // engine-equivalence tests.
     for bench in [&benches[0], &benches[benches.len() - 1]] {
         for variant in [BinaryVariant::NormalBranch, BinaryVariant::WishJumpJoinLoop] {
-            let bin = compile_variant(bench, variant, &ec);
+            let bin = compile_variant(bench, variant, &ec).expect("compile");
             for (name, machine) in machine_variants() {
-                let res = simulate(&bin.program, bench, InputSet::B, &machine);
+                let res =
+                    simulate(&bin.program, bench, InputSet::B, &machine).expect("simulate");
                 assert_identities(&format!("{} {variant:?} {name}", bench.name), &res.stats);
             }
         }
@@ -109,8 +112,8 @@ fn hot_sites_surface_the_flushiest_branches() {
     let ec = ExperimentConfig::quick(SCALE);
     let benches = suite(SCALE);
     let bench = &benches[0];
-    let bin = compile_variant(bench, BinaryVariant::NormalBranch, &ec);
-    let res = simulate(&bin.program, bench, InputSet::B, &ec.machine);
+    let bin = compile_variant(bench, BinaryVariant::NormalBranch, &ec).expect("compile");
+    let res = simulate(&bin.program, bench, InputSet::B, &ec.machine).expect("simulate");
     assert!(res.stats.flushes > 0, "normal binary must mispredict sometimes");
     let top = res.stats.top_sites(5);
     assert!(!top.is_empty(), "flushes must be attributed to sites");

@@ -42,13 +42,13 @@ proptest! {
         let runner = SweepRunner::new(&ec);
         let job = SweepJob::standard(0, variant, InputSet::B, &ec).with_compile(opts.clone());
 
-        let (first, first_hit) = runner.binary(&job);
+        let (first, first_hit) = runner.binary(&job).expect("compile");
         prop_assert!(!first_hit, "first request must be a miss");
-        let (second, second_hit) = runner.binary(&job);
+        let (second, second_hit) = runner.binary(&job).expect("compile");
         prop_assert!(second_hit, "second request must be a hit");
 
         let bench = &suite(ec.scale)[0];
-        let profile = profile_on(bench, ec.train_input);
+        let profile = profile_on(bench, ec.train_input).expect("profile");
         let fresh = compile(&bench.module, &profile, variant, &opts);
         prop_assert_eq!(&*second, &fresh, "cached binary differs from fresh compile");
         prop_assert_eq!(&*first, &fresh);

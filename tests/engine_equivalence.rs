@@ -28,8 +28,12 @@ fn parallel_results_are_bit_identical_to_serial() {
     let benches = suite(ec.scale);
     let jobs = reduced_jobs(&ec, benches.len());
 
-    let parallel = SweepRunner::with_workers(&ec, 4).run(jobs.clone());
-    let serial = SweepRunner::with_workers(&ec, 1).run(jobs.clone());
+    let parallel = SweepRunner::with_workers(&ec, 4)
+        .run(jobs.clone())
+        .expect("fault-free parallel sweep");
+    let serial = SweepRunner::with_workers(&ec, 1)
+        .run(jobs.clone())
+        .expect("fault-free serial sweep");
     assert_eq!(parallel.len(), serial.len());
 
     for (i, (p, job)) in parallel.iter().zip(&jobs).enumerate() {
@@ -43,7 +47,8 @@ fn parallel_results_are_bit_identical_to_serial() {
 
         // Against the original cache-free serial spine: stats and final
         // memory image.
-        let reference = run_binary(&benches[job.bench], job.variant, job.input, &ec);
+        let reference =
+            run_binary(&benches[job.bench], job.variant, job.input, &ec).expect("serial spine");
         assert_eq!(
             p.outcome.sim.stats, reference.sim.stats,
             "job {i}: engine stats diverge from the uncached serial spine"
@@ -146,7 +151,7 @@ proptest! {
         }
 
         let expect: Vec<_> = jobs.iter().map(job_key).collect();
-        let results = SweepRunner::with_workers(&ec, 4).run(jobs);
+        let results = SweepRunner::with_workers(&ec, 4).run(jobs).expect("fault-free sweep");
         let got: Vec<_> = results.iter().map(|r| job_key(&r.job)).collect();
         prop_assert_eq!(got, expect);
     }

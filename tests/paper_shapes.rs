@@ -93,9 +93,10 @@ fn figure12_wish_branches_win_on_average() {
 fn mcf_predication_pathology_and_wish_rescue() {
     let ec = quick();
     let bench = mcf(150);
-    let normal = run_binary(&bench, BinaryVariant::NormalBranch, InputSet::B, &ec);
-    let max = run_binary(&bench, BinaryVariant::BaseMax, InputSet::B, &ec);
-    let wjjl = run_binary(&bench, BinaryVariant::WishJumpJoinLoop, InputSet::B, &ec);
+    let normal = run_binary(&bench, BinaryVariant::NormalBranch, InputSet::B, &ec).expect("run");
+    let max = run_binary(&bench, BinaryVariant::BaseMax, InputSet::B, &ec).expect("run");
+    let wjjl =
+        run_binary(&bench, BinaryVariant::WishJumpJoinLoop, InputSet::B, &ec).expect("run");
     let n = normal.sim.stats.cycles as f64;
     assert!(
         max.sim.stats.cycles as f64 > n * 1.2,
@@ -150,13 +151,13 @@ fn table5_average_positive_vs_normal() {
 
 #[test]
 fn every_benchmark_every_input_architecturally_verified() {
-    // `simulate` panics on architectural divergence, so completing this
-    // sweep is itself the assertion.
+    // `simulate` reports architectural divergence as a typed error, so a
+    // clean `expect` across the sweep is itself the assertion.
     let ec = ExperimentConfig::quick(60);
     for bench in suite(60) {
         for input in InputSet::ALL {
             for variant in [BinaryVariant::NormalBranch, BinaryVariant::WishJumpJoinLoop] {
-                let out = run_binary(&bench, variant, input, &ec);
+                let out = run_binary(&bench, variant, input, &ec).expect("verified run");
                 assert!(out.sim.stats.cycles > 0);
             }
         }
@@ -171,14 +172,19 @@ fn adaptive_extension_never_loses_to_wjl_on_average() {
     let mut adaptive_sum = 0.0;
     let mut n = 0.0;
     for bench in suite(800) {
-        let normal = compile_variant(&bench, BinaryVariant::NormalBranch, &ec);
-        let wjl = compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, &ec);
-        let adaptive = compile_adaptive_variant(&bench, &[InputSet::A, InputSet::C], &ec);
+        let normal =
+            compile_variant(&bench, BinaryVariant::NormalBranch, &ec).expect("compile");
+        let wjl =
+            compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, &ec).expect("compile");
+        let adaptive = compile_adaptive_variant(&bench, &[InputSet::A, InputSet::C], &ec)
+            .expect("compile");
         for input in InputSet::ALL {
-            let base = simulate(&normal.program, &bench, input, &ec.machine).stats.cycles as f64;
-            wjl_sum += simulate(&wjl.program, &bench, input, &ec.machine).stats.cycles as f64 / base;
-            adaptive_sum +=
-                simulate(&adaptive.program, &bench, input, &ec.machine).stats.cycles as f64 / base;
+            let cycles = |program| {
+                simulate(program, &bench, input, &ec.machine).expect("simulate").stats.cycles as f64
+            };
+            let base = cycles(&normal.program);
+            wjl_sum += cycles(&wjl.program) / base;
+            adaptive_sum += cycles(&adaptive.program) / base;
             n += 1.0;
         }
     }

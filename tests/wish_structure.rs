@@ -13,7 +13,8 @@ use wishbranch_workloads::suite;
 fn wish_branch_directions_are_structurally_sound() {
     let ec = ExperimentConfig::quick(30);
     for bench in suite(30) {
-        let bin = compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, &ec);
+        let bin =
+            compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, &ec).expect("compile");
         for (i, insn) in bin.program.insns().iter().enumerate() {
             let Some(w) = insn.wish else { continue };
             let target = insn
@@ -60,6 +61,7 @@ fn per_benchmark_wish_fingerprints() {
     ];
     for bench in suite(30) {
         let s = compile_variant(&bench, BinaryVariant::WishJumpJoinLoop, &ec)
+            .expect("compile")
             .program
             .static_stats();
         if let Some(&(_, has_loops)) = expect_loops.iter().find(|(n, _)| *n == bench.name) {
@@ -93,7 +95,8 @@ fn stats_accounting_is_coherent() {
     use wishbranch_workloads::InputSet;
     let ec = ExperimentConfig::quick(60);
     for bench in suite(60) {
-        let out = run_binary(&bench, BinaryVariant::WishJumpJoinLoop, InputSet::B, &ec);
+        let out =
+            run_binary(&bench, BinaryVariant::WishJumpJoinLoop, InputSet::B, &ec).expect("run");
         let s = &out.sim.stats;
         assert!(
             s.fetched_uops >= s.retired_uops,
