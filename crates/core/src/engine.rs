@@ -251,6 +251,11 @@ pub struct SweepSummary {
     pub simulate_time: Duration,
     /// Time spent verifying retired state against the reference machine.
     pub verify_time: Duration,
+    /// Simulated cycles across all executed jobs (journal hits excluded —
+    /// they spend no simulator time).
+    pub sim_cycles: u64,
+    /// Retired µops across all executed jobs (journal hits excluded).
+    pub sim_uops: u64,
 }
 
 impl SweepSummary {
@@ -273,6 +278,26 @@ impl SweepSummary {
             return 0.0;
         }
         self.compile_hits as f64 / total as f64
+    }
+
+    /// Simulator throughput: simulated cycles per host-second of
+    /// simulate-phase time. Zero when nothing was simulated.
+    #[must_use]
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.simulate_time.is_zero() {
+            return 0.0;
+        }
+        self.sim_cycles as f64 / self.simulate_time.as_secs_f64()
+    }
+
+    /// Simulator throughput: retired µops per host-second of
+    /// simulate-phase time. Zero when nothing was simulated.
+    #[must_use]
+    pub fn uops_per_sec(&self) -> f64 {
+        if self.simulate_time.is_zero() {
+            return 0.0;
+        }
+        self.sim_uops as f64 / self.simulate_time.as_secs_f64()
     }
 }
 
@@ -326,6 +351,8 @@ pub struct SweepRunner {
     compile_nanos: AtomicU64,
     simulate_nanos: AtomicU64,
     verify_nanos: AtomicU64,
+    sim_cycles: AtomicU64,
+    sim_uops: AtomicU64,
 }
 
 /// Worker count: `WISHBRANCH_WORKERS` if set and positive, else the
@@ -393,6 +420,8 @@ impl SweepRunner {
             compile_nanos: AtomicU64::new(0),
             simulate_nanos: AtomicU64::new(0),
             verify_nanos: AtomicU64::new(0),
+            sim_cycles: AtomicU64::new(0),
+            sim_uops: AtomicU64::new(0),
         }
     }
 
@@ -684,6 +713,11 @@ impl SweepRunner {
             .fetch_add(simulate.as_nanos() as u64, Ordering::Relaxed);
         self.verify_nanos
             .fetch_add(verify.as_nanos() as u64, Ordering::Relaxed);
+        // Throughput numerators: only genuinely simulated work counts
+        // (journal hits return long before this point).
+        self.sim_cycles.fetch_add(sim.stats.cycles, Ordering::Relaxed);
+        self.sim_uops
+            .fetch_add(sim.stats.retired_uops, Ordering::Relaxed);
         Ok(JobResult {
             job: job.clone(),
             outcome: RunOutcome {
@@ -840,6 +874,8 @@ impl SweepRunner {
             compile_time: Duration::from_nanos(self.compile_nanos.load(Ordering::Relaxed)),
             simulate_time: Duration::from_nanos(self.simulate_nanos.load(Ordering::Relaxed)),
             verify_time: Duration::from_nanos(self.verify_nanos.load(Ordering::Relaxed)),
+            sim_cycles: self.sim_cycles.load(Ordering::Relaxed),
+            sim_uops: self.sim_uops.load(Ordering::Relaxed),
         }
     }
 }

@@ -75,7 +75,9 @@ pub use render::{
     bar_chart, failure_table, fig11_table, fig13_table, sweep_summary_table, sweep_table,
     table4_table, table5_table, Table,
 };
-pub use report::{json_escape, summary_json, summary_json_with_failures, Report, ReportData};
+pub use report::{
+    json_escape, summary_json, summary_json_with_failures, throughput_json, Report, ReportData,
+};
 pub use tables::{table4, table5, Table4Row, Table5Row};
 
 /// Everything most experiment drivers need, in one import:

@@ -274,6 +274,14 @@ pub fn sweep_summary_table(summary: &SweepSummary) -> Table {
         "phase: verify".into(),
         format!("{:.2}s", summary.verify_time.as_secs_f64()),
     ]);
+    t.push_row(vec![
+        "sim throughput (cycles/s)".into(),
+        format!("{:.0}", summary.cycles_per_sec()),
+    ]);
+    t.push_row(vec![
+        "sim throughput (uops/s)".into(),
+        format!("{:.0}", summary.uops_per_sec()),
+    ]);
     t
 }
 

@@ -512,7 +512,9 @@ fn push_csv_row(out: &mut String, cells: &[String]) {
 
 /// Serializes a [`SweepSummary`] to one `wishbranch.summary/v1` JSON
 /// object: job counts (including failures, retries and journal hits),
-/// cache statistics, timing and the per-phase host-time breakdown.
+/// cache statistics, timing, the per-phase host-time breakdown, and the
+/// simulator-throughput block (simulated cycles / retired µops per
+/// host-second of simulate-phase time; journal hits contribute nothing).
 #[must_use]
 pub fn summary_json(s: &SweepSummary) -> String {
     format!(
@@ -521,7 +523,9 @@ pub fn summary_json(s: &SweepSummary) -> String {
          \"profile_cache\":{{\"hits\":{},\"misses\":{}}},\
          \"compile_cache\":{{\"hits\":{},\"misses\":{}}},\
          \"job_time_s\":{},\"wall_time_s\":{},\"parallel_speedup\":{},\
-         \"phase_time_s\":{{\"profile\":{},\"compile\":{},\"simulate\":{},\"verify\":{}}}}}",
+         \"phase_time_s\":{{\"profile\":{},\"compile\":{},\"simulate\":{},\"verify\":{}}},\
+         \"sim_throughput\":{{\"sim_cycles\":{},\"retired_uops\":{},\
+         \"cycles_per_sec\":{},\"uops_per_sec\":{}}}}}",
         s.jobs,
         s.workers,
         s.failed,
@@ -538,6 +542,35 @@ pub fn summary_json(s: &SweepSummary) -> String {
         jf(s.compile_time.as_secs_f64()),
         jf(s.simulate_time.as_secs_f64()),
         jf(s.verify_time.as_secs_f64()),
+        s.sim_cycles,
+        s.sim_uops,
+        jf(s.cycles_per_sec()),
+        jf(s.uops_per_sec()),
+    )
+}
+
+/// Serializes a [`SweepSummary`] to the `wishbranch.throughput/v1`
+/// document the `perf-smoke` gate consumes (`BENCH_sim_throughput.json`):
+/// simulator throughput (cycles/s, µops/s over simulate-phase time), the
+/// raw numerators, and the per-phase host wall-clock.
+#[must_use]
+pub fn throughput_json(s: &SweepSummary) -> String {
+    format!(
+        "{{\"schema\":\"wishbranch.throughput/v1\",\"jobs\":{},\
+         \"sim_cycles\":{},\"retired_uops\":{},\
+         \"cycles_per_sec\":{},\"uops_per_sec\":{},\
+         \"phase_wall_s\":{{\"profile\":{},\"compile\":{},\"simulate\":{},\
+         \"verify\":{},\"total\":{}}}}}",
+        s.jobs,
+        s.sim_cycles,
+        s.sim_uops,
+        jf(s.cycles_per_sec()),
+        jf(s.uops_per_sec()),
+        jf(s.profile_time.as_secs_f64()),
+        jf(s.compile_time.as_secs_f64()),
+        jf(s.simulate_time.as_secs_f64()),
+        jf(s.verify_time.as_secs_f64()),
+        jf(s.wall_time.as_secs_f64()),
     )
 }
 

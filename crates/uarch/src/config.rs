@@ -131,6 +131,17 @@ impl Default for MachineConfig {
 }
 
 impl MachineConfig {
+    /// Front-end fetch-queue capacity implied by this configuration:
+    /// `fetch_width` µops per decode stage, across `pipeline_depth` stages
+    /// plus two slack stages. The formula floors at 2 entries
+    /// (`fetch_width ≥ 1`, depth ≥ 0), so a literal 1-entry queue is not
+    /// expressible. The simulator caches this per run — it must not change
+    /// while a simulation is in flight.
+    #[must_use]
+    pub fn fetch_queue_cap(&self) -> usize {
+        self.fetch_width * (self.pipeline_depth as usize + 2)
+    }
+
     /// The default machine with a different instruction window (ROB) size —
     /// the Fig. 14 sweep.
     #[must_use]

@@ -6,11 +6,34 @@
 //! resolution compares the predicted direction with the architectural one
 //! and flushes (or, for wish branches in low-confidence mode, deliberately
 //! does not flush) per §3.5.4 of the paper.
+//!
+//! # Hot-path organization
+//!
+//! The per-cycle loop is event-driven rather than scan-driven, with three
+//! load-bearing structures (all asserted bit-identical to the historical
+//! scan implementation by `tests/golden_figures.rs`):
+//!
+//! * **Pre-decoded µop cache** ([`PcInfo`], built once per program in
+//!   [`Simulator::new`]): per-PC static facts — decoded source/destination
+//!   registers, branch class, I-cache line, select-µop expandability, and
+//!   the static DHP hammock plan — so `fetch`/`fetch_one`/`rename_into_rob`
+//!   never re-derive them per dynamic instruction.
+//! * **Flat state tables**: the predicate-elimination buffer, cmp2
+//!   pairings, wish-loop last-prediction buffer, predicate-value PHT and
+//!   per-PC hot-site counters are direct-indexed arrays (by predicate
+//!   register or PC) instead of hash maps.
+//! * **Wakeup lists**: `issue` pops a ready min-heap fed by completion
+//!   events and per-producer waiter lists ([`WaiterList`]) instead of
+//!   walking the whole ROB; `resolve_branches` walks only the in-flight
+//!   unresolved branches; the oldest-unexecuted-store limit comes from a
+//!   store queue. Dependence lists live in a reused scratch buffer during
+//!   rename and become per-entry counters — no per-µop allocation.
 
 use crate::config::{MachineConfig, OracleConfig, PredMechanism};
 use crate::emu::{SpecEmulator, StepInfo};
 use crate::stats::{HotSiteCounts, LoopExitClass, SimStats, WishClassCounts};
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::error::Error;
 use std::fmt;
 use wishbranch_bpred::{
@@ -55,6 +78,41 @@ pub struct SimResult {
     pub final_preds: [bool; NUM_PREDS],
     /// Final (retired) memory, sorted.
     pub final_mem: std::collections::BTreeMap<u64, i64>,
+}
+
+/// Static per-PC information, pre-decoded once per program at
+/// [`Simulator::new`] — the decoded-µop cache. Everything here is a pure
+/// function of the program text and the machine configuration.
+#[derive(Clone, Copy, Debug)]
+struct PcInfo {
+    insn: Insn,
+    /// I-cache line of this pc's instruction address.
+    line: u64,
+    is_branch: bool,
+    is_cond_branch: bool,
+    is_halt: bool,
+    is_cmp2: bool,
+    /// This µop defines at least one predicate register
+    /// (predicate-prediction eligibility).
+    defines_pred: bool,
+    def_gpr: Option<Gpr>,
+    def_preds: [Option<PredReg>; 2],
+    gpr_srcs: [Option<Gpr>; 2],
+    pred_srcs: [Option<PredReg>; 2],
+    /// Static part of the select-µop expansion test: a guarded non-branch
+    /// µop with a destination.
+    select_expandable: bool,
+}
+
+/// The static part of a DHP guard-injection plan for a conditional branch
+/// (everything in [`DhpState::GuardFall`] except the captured condition
+/// value, which is architectural and read at fetch).
+#[derive(Clone, Copy, Debug)]
+struct DhpPlan {
+    pred: PredReg,
+    negated: bool,
+    until: u32,
+    then: Option<(u32, u32, Option<u32>)>,
 }
 
 /// Dynamic-hammock-predication fetch state: which region is currently
@@ -162,12 +220,68 @@ enum Role {
     Select,
 }
 
+/// Inline capacity of a [`WaiterList`]; spills go to a pooled `Vec`.
+const WAITERS_INLINE: usize = 4;
+
+/// Consumers waiting on one producer's completion, in ascending ROB-id
+/// order (ids only grow between flushes, and a flush truncates the tail).
+/// Small-buffer inline; the rare spill vectors are recycled through
+/// `Simulator::waiter_pool` across flushes so steady state allocates
+/// nothing per µop.
+#[derive(Clone, Debug, Default)]
+struct WaiterList {
+    len: u32,
+    inline: [u64; WAITERS_INLINE],
+    spill: Vec<u64>,
+}
+
+impl WaiterList {
+    fn push(&mut self, id: u64) {
+        let l = self.len as usize;
+        if l < WAITERS_INLINE {
+            self.inline[l] = id;
+        } else {
+            self.spill.push(id);
+        }
+        self.len += 1;
+    }
+
+    /// The next `push` would land in the spill vector.
+    fn will_spill(&self) -> bool {
+        self.len as usize >= WAITERS_INLINE
+    }
+
+    /// Drops waiters with id > `boundary` (flush squash). The list is
+    /// ascending, so squashed ids form the tail.
+    fn truncate_above(&mut self, boundary: u64) {
+        while self.len > 0 {
+            let l = (self.len - 1) as usize;
+            let last = if l < WAITERS_INLINE {
+                self.inline[l]
+            } else {
+                self.spill[l - WAITERS_INLINE]
+            };
+            if last <= boundary {
+                break;
+            }
+            if l >= WAITERS_INLINE {
+                self.spill.pop();
+            }
+            self.len -= 1;
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 struct RobEntry {
     id: u64,
     f: FetchedUop,
     role: Role,
-    deps: Vec<u64>,
+    /// Producers this entry still waits on (wakeup-driven; counted at
+    /// dispatch, decremented by completion events and retirement).
+    unready: u32,
+    /// Entries to wake when this one's result becomes value-ready.
+    waiters: WaiterList,
     issued: bool,
     done: bool,
     ready_cycle: u64,
@@ -182,8 +296,16 @@ struct RobEntry {
 /// via [`Simulator::preload_mem`]/[`Simulator::preload_reg`], then
 /// [`Simulator::run`].
 pub struct Simulator<'p> {
+    /// Kept for the lifetime tie; all per-PC reads go through `pcs`.
+    #[allow(dead_code)]
     program: &'p Program,
+    /// Pre-decoded static info per pc (same length as `program`).
+    pcs: Vec<PcInfo>,
+    /// Static DHP hammock plans per pc (all `None` unless `dhp_enabled`).
+    dhp_plans: Vec<Option<DhpPlan>>,
     cfg: MachineConfig,
+    /// Cached [`MachineConfig::fetch_queue_cap`].
+    fetch_queue_cap: usize,
     cycle: u64,
     emu: SpecEmulator,
     mem: MemoryHierarchy,
@@ -210,15 +332,25 @@ pub struct Simulator<'p> {
     /// current cycle.
     cyc_retired_guard_false: bool,
     mode: Mode,
-    /// §3.5.3 buffer: predicate register → predicted value.
-    pred_elim: HashMap<u8, bool>,
-    /// Decode-time cmp2 pairing: reg → complement partner.
-    cmp2_partner: HashMap<u8, u8>,
-    /// §3.5.4 buffer: static wish-loop pc → (last predicted direction, seq).
-    loop_last_pred: HashMap<u32, (bool, u64)>,
+    /// §3.5.3 buffer: predicted value per predicate register.
+    pred_elim: [Option<bool>; NUM_PREDS],
+    /// Live entries in `pred_elim` (emptiness without a scan).
+    pred_elim_live: u32,
+    /// Decode-time cmp2 pairing: complement partner per predicate register.
+    cmp2_partner: [Option<u8>; NUM_PREDS],
+    /// §3.5.4 buffer, indexed by static wish-loop pc:
+    /// (last predicted direction, seq).
+    loop_last_pred: Vec<Option<(bool, u64)>>,
+    /// The pcs of wish-loop branches (the only populated slots of
+    /// `loop_last_pred` — drives the flush-time purge).
+    wish_loop_pcs: Vec<u32>,
     dhp: DhpState,
-    /// Per-PC two-bit counters for the predicate-prediction baseline.
-    pred_value_pht: HashMap<u32, u8>,
+    /// Per-PC two-bit counters for the predicate-prediction baseline
+    /// (initialized to 2, the historical `or_insert(2)` default).
+    pred_value_pht: Vec<u8>,
+    /// Per-PC hot-site counters (flat during the run; folded into
+    /// `SimStats::hot_sites` once at the end).
+    hot_sites: Vec<HotSiteCounts>,
     /// The confidence estimator's own history register: resolved outcomes
     /// of retired wish branches. Using non-speculative outcome history
     /// (rather than the fetch-direction GHR, which contains forced
@@ -229,6 +361,24 @@ pub struct Simulator<'p> {
     next_rob_id: u64,
     fe_queue: VecDeque<FetchedUop>,
     rob: VecDeque<RobEntry>,
+    // Wakeup-driven scheduling state. Invariants (checked against the
+    // historical full-ROB scans by the golden-equivalence tests):
+    // `ready` holds exactly the unissued entries whose registered
+    // dependences are all value-ready; `events` holds one (ready_cycle, id)
+    // per issued entry; `unresolved` holds the dispatch-ordered ids of
+    // un-resolved Whole branches / predicate checks; `store_queue` holds
+    // dispatch-ordered store ids with the executed prefix popped.
+    ready: BinaryHeap<Reverse<u64>>,
+    events: BinaryHeap<Reverse<(u64, u64)>>,
+    unresolved: Vec<u64>,
+    store_queue: VecDeque<u64>,
+    /// Scratch: ready loads blocked behind an older store this cycle.
+    blocked_loads: Vec<u64>,
+    /// Scratch: the dependence list being built during rename (reused for
+    /// every µop — dependences become counters at registration).
+    dep_scratch: Vec<u64>,
+    /// Recycled spill vectors for [`WaiterList`].
+    waiter_pool: Vec<Vec<u64>>,
     gpr_prod: [Option<u64>; NUM_GPRS],
     pred_prod: [Option<u64>; NUM_PREDS],
     stats: SimStats,
@@ -245,9 +395,45 @@ impl<'p> Simulator<'p> {
         let btb = Btb::new(cfg.btb);
         let jrs = JrsConfidence::new(cfg.jrs);
         let loop_pred = cfg.wish_loop_predictor.map(LoopPredictor::new);
+        let n = program.len();
+        let line_bytes = cfg.mem.icache.line_bytes as u64;
+        let mut pcs = Vec::with_capacity(n);
+        let mut dhp_plans = vec![None; n];
+        let mut wish_loop_pcs = Vec::new();
+        for pc in 0..n as u32 {
+            let insn = *program.get(pc).expect("pc < program.len()");
+            let def_preds = insn.def_preds();
+            let is_branch = insn.is_branch();
+            let info = PcInfo {
+                insn,
+                line: insn_addr(pc) / line_bytes,
+                is_branch,
+                is_cond_branch: insn.is_conditional_branch(),
+                is_halt: matches!(insn.kind, InsnKind::Halt),
+                is_cmp2: matches!(insn.kind, InsnKind::Cmp2 { .. }),
+                defines_pred: def_preds[0].is_some(),
+                def_gpr: insn.def_gpr(),
+                def_preds,
+                gpr_srcs: insn.gpr_srcs(),
+                pred_srcs: insn.pred_srcs(),
+                select_expandable: insn.guard.is_some()
+                    && !is_branch
+                    && (insn.def_gpr().is_some() || def_preds[0].is_some()),
+            };
+            if info.is_cond_branch && insn.wish == Some(WishType::Loop) {
+                wish_loop_pcs.push(pc);
+            }
+            if cfg.dhp_enabled && info.is_cond_branch {
+                dhp_plans[pc as usize] = dhp_plan_static(program, cfg.dhp_max_block, pc, &insn);
+            }
+            pcs.push(info);
+        }
         Simulator {
             fetch_pc: program.entry(),
             program,
+            pcs,
+            dhp_plans,
+            fetch_queue_cap: cfg.fetch_queue_cap(),
             cycle: 0,
             emu: SpecEmulator::new(),
             mem,
@@ -265,16 +451,26 @@ impl<'p> Simulator<'p> {
             cyc_retired_useful: false,
             cyc_retired_guard_false: false,
             mode: Mode::Normal,
-            pred_elim: HashMap::new(),
-            cmp2_partner: HashMap::new(),
-            loop_last_pred: HashMap::new(),
+            pred_elim: [None; NUM_PREDS],
+            pred_elim_live: 0,
+            cmp2_partner: [None; NUM_PREDS],
+            loop_last_pred: vec![None; n],
+            wish_loop_pcs,
             dhp: DhpState::Off,
-            pred_value_pht: HashMap::new(),
+            pred_value_pht: vec![2; n],
+            hot_sites: vec![HotSiteCounts::default(); n],
             conf_history: 0,
             next_seq: 1,
             next_rob_id: 1,
             fe_queue: VecDeque::new(),
             rob: VecDeque::new(),
+            ready: BinaryHeap::new(),
+            events: BinaryHeap::new(),
+            unresolved: Vec::new(),
+            store_queue: VecDeque::new(),
+            blocked_loads: Vec::new(),
+            dep_scratch: Vec::new(),
+            waiter_pool: Vec::new(),
             gpr_prod: [None; NUM_GPRS],
             pred_prod: [None; NUM_PREDS],
             stats: SimStats::default(),
@@ -304,6 +500,13 @@ impl<'p> Simulator<'p> {
         insn: &Insn,
         extra: u64,
     ) {
+        // Every call site pre-guards with `self.trace.is_some()`: the
+        // non-tracing path must pay nothing for disasm formatting or
+        // event allocation.
+        debug_assert!(
+            self.trace.is_some(),
+            "trace_event called without an active trace"
+        );
         let cycle = self.cycle;
         if let Some(t) = self.trace.as_mut() {
             t.push(crate::trace::TraceEvent {
@@ -327,7 +530,9 @@ impl<'p> Simulator<'p> {
         self.emu.regs[reg.index()] = value;
     }
 
-    /// Runs to `halt` retirement.
+    /// Runs to `halt` retirement. The accumulated statistics move into the
+    /// returned [`SimResult`]; a second `run` on the same simulator would
+    /// observe them reset.
     ///
     /// # Errors
     ///
@@ -381,11 +586,19 @@ impl<'p> Simulator<'p> {
         self.stats.icache = ic;
         self.stats.l1d = l1;
         self.stats.l2 = l2;
+        // Fold the flat per-PC counters into the reported map. Every
+        // touched row was incremented at least once, so keeping only
+        // non-default rows reproduces the historical on-demand map exactly.
+        for (pc, c) in self.hot_sites.iter().enumerate() {
+            if *c != HotSiteCounts::default() {
+                self.stats.hot_sites.insert(pc as u32, *c);
+            }
+        }
         Ok(SimResult {
-            stats: self.stats.clone(),
+            stats: std::mem::take(&mut self.stats),
             final_regs: self.emu.regs,
             final_preds: self.emu.preds,
-            final_mem: self.emu.mem.iter().map(|(&k, &v)| (k, v)).collect(),
+            final_mem: self.emu.mem.sorted_entries().into_iter().collect(),
         })
     }
 
@@ -401,7 +614,7 @@ impl<'p> Simulator<'p> {
                 StallReason::IMiss => self.stats.fetch_idle_imiss += 1,
                 StallReason::Redirect => self.stats.fetch_idle_redirect += 1,
             }
-        } else if self.fe_queue.len() >= self.fetch_queue_cap() {
+        } else if self.fe_queue.len() >= self.fetch_queue_cap {
             self.stats.fetch_idle_queue_full += 1;
         } else {
             // An I-miss stall armed during this cycle's own fetch attempt
@@ -452,13 +665,60 @@ impl<'p> Simulator<'p> {
         }
     }
 
-    fn fetch_queue_cap(&self) -> usize {
-        self.cfg.fetch_width * (self.cfg.pipeline_depth as usize + 2)
+    /// Per-PC hot-site row.
+    fn site(&mut self, pc: u32) -> &mut HotSiteCounts {
+        &mut self.hot_sites[pc as usize]
     }
 
-    /// Per-PC hot-site row (created on first touch).
-    fn site(&mut self, pc: u32) -> &mut HotSiteCounts {
-        self.stats.hot_sites.entry(pc).or_default()
+    // ------------------------------------------------------------- wakeup
+
+    /// Returns the spill vector to the pool (keeps steady-state waiter
+    /// registration allocation-free).
+    fn recycle_spill(&mut self, w: WaiterList) {
+        if w.spill.capacity() > 0 {
+            let mut s = w.spill;
+            s.clear();
+            self.waiter_pool.push(s);
+        }
+    }
+
+    /// Wakes every waiter in the list (their producer became value-ready).
+    fn wake_list(&mut self, w: WaiterList) {
+        let n = w.len as usize;
+        for i in 0..n.min(WAITERS_INLINE) {
+            self.dec_unready(w.inline[i]);
+        }
+        for i in WAITERS_INLINE..n {
+            self.dec_unready(w.spill[i - WAITERS_INLINE]);
+        }
+        self.recycle_spill(w);
+    }
+
+    /// A completion event fired for `id`: wake its registered waiters.
+    fn wake(&mut self, id: u64) {
+        let Some(front) = self.rob.front() else {
+            return; // producer retired with the rest of the window
+        };
+        if id < front.id {
+            return; // retired: its waiters were already woken at retire
+        }
+        let idx = (id - front.id) as usize;
+        debug_assert!(idx < self.rob.len(), "events are purged on flush");
+        let w = std::mem::take(&mut self.rob[idx].waiters);
+        self.wake_list(w);
+    }
+
+    /// One of `id`'s producers became value-ready.
+    fn dec_unready(&mut self, id: u64) {
+        let front_id = self.rob.front().expect("waiters are live entries").id;
+        let idx = (id - front_id) as usize;
+        let e = &mut self.rob[idx];
+        debug_assert!(e.unready > 0, "each registration decrements once");
+        debug_assert!(!e.issued, "issued entries had no outstanding deps");
+        e.unready -= 1;
+        if e.unready == 0 {
+            self.ready.push(Reverse(id));
+        }
     }
 
     // ----------------------------------------------------------------- retire
@@ -473,7 +733,18 @@ impl<'p> Simulator<'p> {
             if head.f.insn.is_branch() && !head.resolved {
                 break;
             }
-            let entry = self.rob.pop_front().expect("checked non-empty");
+            // Non-branch predicate checks always resolve before they can
+            // retire: resolution runs first each cycle with the same
+            // readiness condition.
+            debug_assert!(
+                head.resolved || head.role != Role::Whole || head.f.pred_check.is_none(),
+                "pred checks resolve before retiring"
+            );
+            let mut entry = self.rob.pop_front().expect("checked non-empty");
+            // Wake consumers still waiting on this producer (its completion
+            // event may only fire later this cycle, after retire).
+            let waiters = std::mem::take(&mut entry.waiters);
+            self.wake_list(waiters);
             retired += 1;
             self.retire_entry(&entry);
             if self.halted {
@@ -501,17 +772,9 @@ impl<'p> Simulator<'p> {
             // Neither predication overhead nor select-µop overhead.
             self.cyc_retired_useful = true;
         }
-        // Clear rename-map references to this entry.
-        for m in self.gpr_prod.iter_mut() {
-            if *m == Some(e.id) {
-                *m = None;
-            }
-        }
-        for m in self.pred_prod.iter_mut() {
-            if *m == Some(e.id) {
-                *m = None;
-            }
-        }
+        // Rename-map references to this entry are left in place: every
+        // reader treats a producer id below the ROB head as architecturally
+        // ready, and retired ids are never recycled.
         self.emu.commit_through(e.f.seq);
 
         if let InsnKind::Halt = e.f.insn.kind {
@@ -523,7 +786,7 @@ impl<'p> Simulator<'p> {
         if e.f.pred_check.is_some() {
             self.stats.pred_value_predictions += 1;
             if let Some(actual) = e.f.info.pred_values[0] {
-                let c = self.pred_value_pht.entry(e.f.pc).or_insert(2);
+                let c = &mut self.pred_value_pht[e.f.pc as usize];
                 if actual {
                     *c = (*c + 1).min(3);
                 } else {
@@ -590,9 +853,9 @@ impl<'p> Simulator<'p> {
                 // Drop the front-end loop buffer entry once the loop branch
                 // retires ("fetched but not yet retired", §3.5.4).
                 if insn.wish == Some(WishType::Loop) {
-                    if let Some(&(_, seq)) = self.loop_last_pred.get(&e.f.pc) {
+                    if let Some((_, seq)) = self.loop_last_pred[e.f.pc as usize] {
                         if seq == e.f.seq {
-                            self.loop_last_pred.remove(&e.f.pc);
+                            self.loop_last_pred[e.f.pc as usize] = None;
                         }
                     }
                 }
@@ -618,29 +881,29 @@ impl<'p> Simulator<'p> {
     // ---------------------------------------------------------- resolution
 
     fn resolve_branches(&mut self) {
-        // Oldest-first; a flush truncates everything younger, so the scan
-        // restarts after each flush.
-        'outer: loop {
-            for idx in 0..self.rob.len() {
-                let e = &self.rob[idx];
-                if e.resolved
-                    || !e.done
-                    || e.ready_cycle > self.cycle
-                    || e.role != Role::Whole
-                    || !(e.f.insn.is_branch() || e.f.pred_check.is_some())
-                {
-                    continue;
-                }
-                let flushed = if e.f.pred_check.is_some() {
-                    self.resolve_pred_check(idx)
-                } else {
-                    self.resolve_one(idx)
-                };
-                if flushed {
-                    continue 'outer;
-                }
+        // Walk only the in-flight unresolved branches / predicate checks,
+        // oldest first (the list is in dispatch order). Resolution is
+        // out-of-order: a younger completed branch resolves while an older
+        // incomplete one stays pending. A flush truncates everything
+        // younger — including the list's own tail — so the walk simply
+        // continues; the already-examined prefix cannot have changed.
+        let mut i = 0;
+        while i < self.unresolved.len() {
+            let id = self.unresolved[i];
+            let front_id = self.rob.front().expect("unresolved entries are live").id;
+            debug_assert!(id >= front_id, "unresolved entries never retire first");
+            let idx = (id - front_id) as usize;
+            let e = &self.rob[idx];
+            if !e.done || e.ready_cycle > self.cycle {
+                i += 1;
+                continue;
             }
-            break;
+            self.unresolved.remove(i);
+            if e.f.pred_check.is_some() {
+                self.resolve_pred_check(idx);
+            } else {
+                self.resolve_one(idx);
+            }
         }
     }
 
@@ -711,7 +974,7 @@ impl<'p> Simulator<'p> {
                     } else {
                         // Over-iteration: late-exit vs no-exit via the
                         // front-end last-prediction buffer.
-                        let last = self.loop_last_pred.get(&e.f.pc).copied();
+                        let last = self.loop_last_pred[e.f.pc as usize];
                         match last {
                             Some((false, _)) => {
                                 e.loop_class = Some(LoopExitClass::LateExit);
@@ -740,13 +1003,17 @@ impl<'p> Simulator<'p> {
         let e = &self.rob[idx];
         let seq = e.f.seq;
         let flush_pc = e.f.pc;
+        let boundary = e.id;
         let br = e.f.br.expect("flush source is a branch");
         let is_cond = e.f.insn.is_conditional_branch();
         let actual_taken = e.f.info.actual_taken;
 
         // Squash younger ROB entries and the whole front-end queue.
         let squashed_rob = self.rob.len() - (idx + 1);
-        self.rob.truncate(idx + 1);
+        while self.rob.len() > idx + 1 {
+            let dead = self.rob.pop_back().expect("length checked");
+            self.recycle_spill(dead.waiters);
+        }
         let squashed_total = squashed_rob as u64 + self.fe_queue.len() as u64;
         self.stats.squashed_uops += squashed_total;
         self.fe_queue.clear();
@@ -759,26 +1026,35 @@ impl<'p> Simulator<'p> {
         }
         // Keep ROB ids contiguous (dep lookups index by id − front.id):
         // squashed ids are recycled — nothing can reference them, since
-        // surviving entries only depend on older ids and the rename maps
-        // are rebuilt below.
+        // surviving entries only depend on older ids, the rename maps are
+        // rebuilt below, and the scheduling structures are purged here.
         self.next_rob_id = self.rob.back().map_or(self.next_rob_id, |e| e.id + 1);
+        self.ready.retain(|&Reverse(id)| id <= boundary);
+        self.events.retain(|&Reverse((_, id))| id <= boundary);
+        while self.store_queue.back().is_some_and(|&id| id > boundary) {
+            self.store_queue.pop_back();
+        }
+        let keep = self.unresolved.partition_point(|&id| id <= boundary);
+        self.unresolved.truncate(keep);
 
-        // Rebuild rename maps from the surviving entries.
+        // Rebuild rename maps from the surviving entries, dropping their
+        // squashed waiters along the way.
         self.gpr_prod = [None; NUM_GPRS];
         self.pred_prod = [None; NUM_PREDS];
-        let entries: Vec<(u64, Insn, Role, bool)> = self
-            .rob
-            .iter()
-            .map(|e| (e.id, e.f.insn, e.role, e.f.insn.is_branch()))
-            .collect();
-        for (id, insn, role, _) in entries {
+        for i in 0..self.rob.len() {
+            let (id, pc, role) = {
+                let e = &mut self.rob[i];
+                e.waiters.truncate_above(boundary);
+                (e.id, e.f.pc, e.role)
+            };
             if role == Role::Compute {
                 continue; // temps are invisible to the rename map
             }
-            if let Some(d) = insn.def_gpr() {
+            let info = &self.pcs[pc as usize];
+            if let Some(d) = info.def_gpr {
                 self.gpr_prod[d.index()] = Some(id);
             }
-            for p in insn.def_preds().into_iter().flatten() {
+            for p in info.def_preds.into_iter().flatten() {
                 if !p.is_hardwired_true() {
                     self.pred_prod[p.index()] = Some(id);
                 }
@@ -796,11 +1072,18 @@ impl<'p> Simulator<'p> {
         }
         // Invalidate speculative front-end structures (§3.5.3: the buffer
         // is reset on a branch misprediction).
-        self.pred_elim.clear();
-        self.cmp2_partner.clear();
+        self.pred_elim = [None; NUM_PREDS];
+        self.pred_elim_live = 0;
+        self.cmp2_partner = [None; NUM_PREDS];
         self.mode = Mode::Normal;
         self.dhp = DhpState::Off;
-        self.loop_last_pred.retain(|_, &mut (_, s)| s <= seq);
+        for &pc in &self.wish_loop_pcs {
+            if let Some((_, s)) = self.loop_last_pred[pc as usize] {
+                if s > seq {
+                    self.loop_last_pred[pc as usize] = None;
+                }
+            }
+        }
         if let (Some(lp), Some(ltok)) = (self.loop_pred.as_mut(), br.loop_token) {
             lp.repair(flush_pc, &ltok, actual_taken);
         }
@@ -816,53 +1099,60 @@ impl<'p> Simulator<'p> {
 
     // -------------------------------------------------------------- issue
 
-    fn dep_ready(&self, dep: u64) -> bool {
+    /// Whether the store `id` has executed (its cache access happened).
+    /// Executed stores never revert — retirement and further cycles only
+    /// strengthen this.
+    fn store_executed(&self, id: u64) -> bool {
         let Some(front) = self.rob.front() else {
-            return true;
+            return true; // retired
         };
-        if dep < front.id {
-            return true; // producer retired
+        if id < front.id {
+            return true; // retired
         }
-        let idx = (dep - front.id) as usize;
-        match self.rob.get(idx) {
-            Some(p) => p.done && p.ready_cycle <= self.cycle,
-            None => true,
-        }
+        let e = &self.rob[(id - front.id) as usize];
+        e.done && e.ready_cycle <= self.cycle
     }
 
     fn issue(&mut self) {
-        // One pass to find the oldest not-yet-executed store (for
-        // conservative load/store ordering).
-        let mut oldest_pending_store: Option<u64> = None;
-        for e in &self.rob {
-            if e.f.insn.is_mem()
-                && matches!(e.f.insn.kind, InsnKind::Store { .. })
-                && !(e.done && e.ready_cycle <= self.cycle)
-            {
-                oldest_pending_store = Some(e.id);
+        // Fire the completion events due this cycle, waking dependents.
+        // Latencies are ≥ 1, so nothing issued *this* cycle completes this
+        // cycle — draining up-front is exhaustive.
+        while let Some(&Reverse((ready_cycle, id))) = self.events.peek() {
+            if ready_cycle > self.cycle {
+                break;
+            }
+            self.events.pop();
+            self.wake(id);
+        }
+        // Oldest not-yet-executed store (conservative load/store ordering).
+        // The executed prefix is popped for good; the front is the limit
+        // for the whole cycle, exactly like the historical single scan.
+        while let Some(&sid) = self.store_queue.front() {
+            if self.store_executed(sid) {
+                self.store_queue.pop_front();
+            } else {
                 break;
             }
         }
+        let store_limit = self.store_queue.front().copied();
 
         let mut issued = 0;
-        for idx in 0..self.rob.len() {
-            if issued >= self.cfg.issue_width {
-                break;
-            }
+        debug_assert!(self.blocked_loads.is_empty());
+        while issued < self.cfg.issue_width {
+            let Some(&Reverse(id)) = self.ready.peek() else { break };
+            self.ready.pop();
+            let front_id = self.rob.front().expect("ready entries are live").id;
+            let idx = (id - front_id) as usize;
             let e = &self.rob[idx];
-            if e.issued {
+            debug_assert!(!e.issued && e.unready == 0);
+            if matches!(e.f.insn.kind, InsnKind::Load { .. })
+                && store_limit.is_some_and(|limit| id > limit)
+            {
+                // Wait for older stores to execute. Blocked loads consume
+                // no issue bandwidth (the scan this heap replaces skipped
+                // them without counting).
+                self.blocked_loads.push(id);
                 continue;
-            }
-            if !e.deps.iter().all(|&d| self.dep_ready(d)) {
-                continue;
-            }
-            let is_load = matches!(e.f.insn.kind, InsnKind::Load { .. });
-            if is_load {
-                if let Some(limit) = oldest_pending_store {
-                    if e.id > limit {
-                        continue; // wait for older stores to execute
-                    }
-                }
             }
             let lat = self.exec_latency(idx);
             if self.trace.is_some() {
@@ -876,7 +1166,12 @@ impl<'p> Simulator<'p> {
             e.issued = true;
             e.done = true;
             e.ready_cycle = self.cycle + lat;
+            self.events.push(Reverse((e.ready_cycle, id)));
             issued += 1;
+        }
+        // Blocked loads stay ready; they compete again next cycle.
+        while let Some(id) = self.blocked_loads.pop() {
+            self.ready.push(Reverse(id));
         }
     }
 
@@ -938,10 +1233,8 @@ impl<'p> Simulator<'p> {
 
     fn rob_slots_needed(&self, f: &FetchedUop) -> usize {
         if self.cfg.pred_mechanism == PredMechanism::SelectUop
-            && f.insn.guard.is_some()
             && f.guard_pred_elim.is_none()
-            && !f.insn.is_branch()
-            && (f.insn.def_gpr().is_some() || f.insn.def_preds()[0].is_some())
+            && self.pcs[f.pc as usize].select_expandable
         {
             2
         } else {
@@ -949,17 +1242,52 @@ impl<'p> Simulator<'p> {
         }
     }
 
-    fn push_rob(&mut self, f: FetchedUop, role: Role, deps: Vec<u64>) -> u64 {
+    /// Pushes one ROB entry whose dependences are in `dep_scratch`:
+    /// registers it as a waiter on each not-yet-ready producer (duplicates
+    /// register — and later decrement — once each, so no dedup is needed)
+    /// and enrolls it in the scheduling lists it belongs to.
+    fn push_rob(&mut self, f: FetchedUop, role: Role) -> u64 {
         if self.trace.is_some() {
             self.trace_event(crate::trace::TraceKind::Dispatch, f.seq, f.pc, &f.insn, 0);
         }
         let id = self.next_rob_id;
         self.next_rob_id += 1;
+        let mut unready = 0u32;
+        let front_id = self.rob.front().map(|e| e.id);
+        let scratch = std::mem::take(&mut self.dep_scratch);
+        for &d in &scratch {
+            let Some(fid) = front_id else {
+                continue; // empty window: every producer retired
+            };
+            if d < fid {
+                continue; // producer retired
+            }
+            let idx = (d - fid) as usize;
+            let value_ready = match self.rob.get(idx) {
+                Some(p) => p.done && p.ready_cycle <= self.cycle,
+                None => true,
+            };
+            if value_ready {
+                continue;
+            }
+            let p = &mut self.rob[idx];
+            if p.waiters.will_spill() && p.waiters.spill.capacity() == 0 {
+                if let Some(v) = self.waiter_pool.pop() {
+                    p.waiters.spill = v;
+                }
+            }
+            p.waiters.push(id);
+            unready += 1;
+        }
+        self.dep_scratch = scratch;
+        let is_store = matches!(f.insn.kind, InsnKind::Store { .. });
+        let unresolved = role == Role::Whole && (f.insn.is_branch() || f.pred_check.is_some());
         self.rob.push_back(RobEntry {
             id,
             f,
             role,
-            deps,
+            unready,
+            waiters: WaiterList::default(),
             issued: false,
             done: false,
             ready_cycle: 0,
@@ -967,6 +1295,15 @@ impl<'p> Simulator<'p> {
             loop_class: None,
             mispredicted: false,
         });
+        if unready == 0 {
+            self.ready.push(Reverse(id));
+        }
+        if is_store {
+            self.store_queue.push_back(id);
+        }
+        if unresolved {
+            self.unresolved.push(id);
+        }
         id
     }
 
@@ -992,7 +1329,7 @@ impl<'p> Simulator<'p> {
                             assert!(idx < self.rob.len(), "producer id {id} front {} len {}", front.id, self.rob.len());
                             let p = &self.rob[idx];
                             if let Some(predicted) = p.f.pred_check {
-                                let defs = p.f.insn.def_preds();
+                                let defs = self.pcs[p.f.pc as usize].def_preds;
                                 if defs[0] == Some(g) {
                                     return GuardPlan::Known(predicted);
                                 }
@@ -1009,62 +1346,58 @@ impl<'p> Simulator<'p> {
         }
     }
 
-    fn rename_into_rob(&mut self, f: FetchedUop) {
-        let oracles = self.cfg.oracles;
-        let insn = f.insn;
-        let select_expand = self.rob_slots_needed(&f) == 2;
-        let guard = self.guard_dep(&f, &oracles);
-
-        // Data-source dependences (registers + predicate sources).
-        let mut src_deps: Vec<u64> = Vec::new();
-        for r in insn.gpr_srcs().into_iter().flatten() {
+    /// Appends the data-source dependences (registers + predicate sources)
+    /// to `dep_scratch`.
+    fn push_src_deps(&mut self, info: &PcInfo, oracles: &OracleConfig) {
+        for r in info.gpr_srcs.into_iter().flatten() {
             if let Some(id) = self.gpr_prod[r.index()] {
-                src_deps.push(id);
+                self.dep_scratch.push(id);
             }
         }
-        for p in insn.pred_srcs().into_iter().flatten() {
+        for p in info.pred_srcs.into_iter().flatten() {
             // §3.5.3: the elimination buffer satisfies predicate *data*
             // sources of non-branch µops too (e.g. the re-ANDing `pand`s in
             // predicated arms) — but never a branch's own condition, which
             // must still be verified.
-            let eliminated = !insn.is_branch()
+            let eliminated = !info.is_branch
                 && self.pred_elim_active()
-                && self.pred_elim.contains_key(&(p.index() as u8));
-            if oracles.no_pred_dependencies && !insn.is_branch() {
+                && self.pred_elim[p.index()].is_some();
+            if oracles.no_pred_dependencies && !info.is_branch {
                 continue;
             }
             if eliminated {
                 continue;
             }
             if let Some(id) = self.pred_prod[p.index()] {
-                src_deps.push(id);
+                self.dep_scratch.push(id);
             }
         }
+    }
 
-        // Hardware-injected (DHP) guard dependence.
-        let mut hw_guard_deps: Vec<u64> = Vec::new();
-        if let Some((p, _)) = f.hw_guard {
-            if !oracles.no_pred_dependencies {
-                if let Some(id) = self.pred_prod[p.index()] {
-                    hw_guard_deps.push(id);
-                }
+    /// Appends the old-destination dependences (C-style reads the old
+    /// value) to `dep_scratch`.
+    fn push_old_dest_deps(&mut self, info: &PcInfo) {
+        if let Some(d) = info.def_gpr {
+            if let Some(id) = self.gpr_prod[d.index()] {
+                self.dep_scratch.push(id);
             }
         }
+        for p in info.def_preds.into_iter().flatten() {
+            if let Some(id) = self.pred_prod[p.index()] {
+                self.dep_scratch.push(id);
+            }
+        }
+    }
 
-        // Old-destination dependences (C-style reads the old value).
-        let mut old_dest_deps: Vec<u64> = Vec::new();
-        if (insn.guard.is_some() || f.hw_guard.is_some()) && !oracles.no_pred_dependencies {
-            if let Some(d) = insn.def_gpr() {
-                if let Some(id) = self.gpr_prod[d.index()] {
-                    old_dest_deps.push(id);
-                }
-            }
-            for p in insn.def_preds().into_iter().flatten() {
-                if let Some(id) = self.pred_prod[p.index()] {
-                    old_dest_deps.push(id);
-                }
-            }
-        }
+    fn rename_into_rob(&mut self, f: FetchedUop) {
+        let oracles = self.cfg.oracles;
+        let info = self.pcs[f.pc as usize];
+        let select_expand = self.rob_slots_needed(&f) == 2;
+        let guard = self.guard_dep(&f, &oracles);
+        // Old-destination reads exist only for guarded µops outside the
+        // NO-PRED-DEP oracle (the historical outer gate on that list).
+        let wants_old_dest =
+            (f.insn.guard.is_some() || f.hw_guard.is_some()) && !oracles.no_pred_dependencies;
 
         // A µop whose guard is *known* false at rename (oracle knob or the
         // §3.5.3 elimination buffer) is a pure NOP: it must not become the
@@ -1076,10 +1409,10 @@ impl<'p> Simulator<'p> {
             if known_false {
                 return;
             }
-            if let Some(d) = insn.def_gpr() {
+            if let Some(d) = info.def_gpr {
                 sim.gpr_prod[d.index()] = Some(id);
             }
-            for p in insn.def_preds().into_iter().flatten() {
+            for p in info.def_preds.into_iter().flatten() {
                 if !p.is_hardwired_true() {
                     sim.pred_prod[p.index()] = Some(id);
                 }
@@ -1088,50 +1421,68 @@ impl<'p> Simulator<'p> {
 
         if select_expand {
             // Compute part: sources only, no guard, no old destination.
-            let compute_id = self.push_rob(f, Role::Compute, src_deps);
+            self.dep_scratch.clear();
+            self.push_src_deps(&info, &oracles);
+            let compute_id = self.push_rob(f, Role::Compute);
             // Select part: compute result + guard + old destination.
-            let mut deps = vec![compute_id];
+            self.dep_scratch.clear();
+            self.dep_scratch.push(compute_id);
             match guard {
-                GuardPlan::Wait(id) => deps.push(id),
+                GuardPlan::Wait(id) => self.dep_scratch.push(id),
                 GuardPlan::None | GuardPlan::Ready | GuardPlan::Known(_) => {}
             }
-            deps.extend(old_dest_deps);
-            deps.dedup();
-            let select_id = self.push_rob(f, Role::Select, deps);
+            if wants_old_dest {
+                self.push_old_dest_deps(&info);
+            }
+            let select_id = self.push_rob(f, Role::Select);
             update_maps(self, select_id);
             return;
         }
 
         // C-style single µop (or a non-expandable guarded store/branch).
-        let mut deps = hw_guard_deps;
-        match guard {
-            GuardPlan::Wait(id) => {
-                deps.push(id);
-                deps.extend(src_deps);
-                deps.extend(old_dest_deps);
-            }
-            GuardPlan::Known(true) => deps.extend(src_deps),
-            GuardPlan::Known(false) => {
-                if !oracles.no_pred_dependencies {
-                    deps.extend(old_dest_deps);
-                }
-            }
-            GuardPlan::None | GuardPlan::Ready => {
-                deps.extend(src_deps);
-                deps.extend(old_dest_deps);
-                if matches!(guard, GuardPlan::Ready) {
-                    // guard value architecturally ready (producer retired)
+        self.dep_scratch.clear();
+        // Hardware-injected (DHP) guard dependence.
+        if let Some((p, _)) = f.hw_guard {
+            if !oracles.no_pred_dependencies {
+                if let Some(id) = self.pred_prod[p.index()] {
+                    self.dep_scratch.push(id);
                 }
             }
         }
-        deps.sort_unstable();
-        deps.dedup();
-        let id = self.push_rob(f, Role::Whole, deps);
+        match guard {
+            GuardPlan::Wait(id) => {
+                self.dep_scratch.push(id);
+                self.push_src_deps(&info, &oracles);
+                if wants_old_dest {
+                    self.push_old_dest_deps(&info);
+                }
+            }
+            GuardPlan::Known(true) => self.push_src_deps(&info, &oracles),
+            GuardPlan::Known(false) => {
+                if wants_old_dest {
+                    self.push_old_dest_deps(&info);
+                }
+            }
+            GuardPlan::None | GuardPlan::Ready => {
+                self.push_src_deps(&info, &oracles);
+                if wants_old_dest {
+                    self.push_old_dest_deps(&info);
+                }
+            }
+        }
+        let id = self.push_rob(f, Role::Whole);
         update_maps(self, id);
     }
 
     fn pred_elim_active(&self) -> bool {
-        matches!(self.mode, Mode::HighConf) && !self.pred_elim.is_empty()
+        matches!(self.mode, Mode::HighConf) && self.pred_elim_live > 0
+    }
+
+    fn pred_elim_insert(&mut self, index: usize, value: bool) {
+        if self.pred_elim[index].is_none() {
+            self.pred_elim_live += 1;
+        }
+        self.pred_elim[index] = Some(value);
     }
 
     // -------------------------------------------------------------- fetch
@@ -1140,7 +1491,7 @@ impl<'p> Simulator<'p> {
         if self.fetch_blocked || self.cycle < self.fetch_stall_until {
             return;
         }
-        let queue_cap = self.cfg.fetch_width * (self.cfg.pipeline_depth as usize + 2);
+        let queue_cap = self.fetch_queue_cap;
         let mut budget = self.cfg.fetch_width;
         let mut cond_budget = self.cfg.max_cond_branches_per_cycle;
         while budget > 0 && self.fe_queue.len() < queue_cap {
@@ -1154,16 +1505,18 @@ impl<'p> Simulator<'p> {
                     self.mode = Mode::Normal;
                 }
             }
-            let Some(&insn) = self.program.get(self.fetch_pc) else {
+            let Some(info) = self.pcs.get(self.fetch_pc as usize) else {
                 // Wrong-path fetch escaped the image; wait for the flush.
                 self.fetch_blocked = true;
                 return;
             };
+            let insn = info.insn;
+            let line = info.line;
+            let is_cond_branch = info.is_cond_branch;
+            let is_halt = info.is_halt;
             // I-cache.
-            let addr = insn_addr(self.fetch_pc);
-            let line = addr / self.cfg.mem.icache.line_bytes as u64;
             if self.fetch_line != Some(line) {
-                let lat = self.mem.fetch_access_at(addr, self.cycle);
+                let lat = self.mem.fetch_access_at(insn_addr(self.fetch_pc), self.cycle);
                 self.fetch_line = Some(line);
                 if lat > self.cfg.mem.icache.latency {
                     self.fetch_stall_until = self.cycle + lat;
@@ -1215,7 +1568,7 @@ impl<'p> Simulator<'p> {
                 }
                 DhpState::Off => {}
             }
-            if insn.is_conditional_branch() {
+            if is_cond_branch {
                 if cond_budget == 0 {
                     return; // next cycle
                 }
@@ -1224,7 +1577,6 @@ impl<'p> Simulator<'p> {
             let fetched = self.fetch_one(pc, insn);
             budget -= 1;
             let taken_redirect = fetched.info.followed_next != pc + 1;
-            let halted_here = matches!(insn.kind, InsnKind::Halt);
             self.fetch_pc = fetched.info.followed_next;
 
             // NO-FETCH oracle: guard-false µops vanish before taking any
@@ -1241,7 +1593,7 @@ impl<'p> Simulator<'p> {
             self.stats.fetched_uops += 1;
             self.fe_queue.push_back(fetched);
 
-            if halted_here {
+            if is_halt {
                 self.fetch_blocked = true;
                 return;
             }
@@ -1261,9 +1613,7 @@ impl<'p> Simulator<'p> {
         // Predicate-dependency elimination lookup (before this µop's own
         // writes invalidate entries).
         let guard_pred_elim = match insn.guard {
-            Some(g) if self.pred_elim_active() && !insn.is_branch() => {
-                self.pred_elim.get(&(g.index() as u8)).copied()
-            }
+            Some(g) if self.pred_elim_active() && !insn.is_branch() => self.pred_elim[g.index()],
             _ => None,
         };
 
@@ -1374,10 +1724,10 @@ impl<'p> Simulator<'p> {
         // for the flush its verification may trigger.
         let mut pred_check = None;
         if self.cfg.predicate_prediction
-            && insn.def_preds()[0].is_some()
+            && self.pcs[pc as usize].defines_pred
             && br_meta.is_none()
         {
-            let counter = *self.pred_value_pht.entry(pc).or_insert(2);
+            let counter = self.pred_value_pht[pc as usize];
             pred_check = Some(counter >= 2);
             br_meta = Some(BrMeta {
                 predicted_taken: false,
@@ -1397,7 +1747,7 @@ impl<'p> Simulator<'p> {
         let info = self.emu.exec(seq, pc, &insn, forced_next, hw_guard_ok);
 
         // Front-end table maintenance after the µop is "decoded".
-        self.note_pred_writes(&insn);
+        self.note_pred_writes(pc);
 
         if self.trace.is_some() {
             self.trace_event(crate::trace::TraceKind::Fetch, seq, pc, &insn, 0);
@@ -1444,7 +1794,7 @@ impl<'p> Simulator<'p> {
             // on a low-confidence prediction of an eligible hammock, force
             // not-taken, inject guards, and never flush.
             if self.cfg.dhp_enabled && self.dhp == DhpState::Off {
-                if let Some(plan) = self.dhp_region(pc, insn) {
+                if let Some(plan) = self.dhp_region(pc) {
                     let low = if self.cfg.oracles.perfect_confidence {
                         let actual = self.emu.peek_cond(insn).expect("cond branch");
                         bp_dir != actual
@@ -1556,7 +1906,7 @@ impl<'p> Simulator<'p> {
             }
         }
         if wtype == WishType::Loop {
-            self.loop_last_pred.insert(pc, (final_dir, self.next_seq - 1));
+            self.loop_last_pred[pc as usize] = Some((final_dir, self.next_seq - 1));
             if matches!(self.mode, Mode::HighConf) && !final_dir {
                 // Predicted loop exit in high-confidence mode: the loop is
                 // done (Fig. 8's "wish loop is exited").
@@ -1579,130 +1929,51 @@ impl<'p> Simulator<'p> {
             return;
         };
         let value = if sense { predicted_dir } else { !predicted_dir };
-        self.pred_elim.insert(pred.index() as u8, value);
-        if let Some(&partner) = self.cmp2_partner.get(&(pred.index() as u8)) {
-            self.pred_elim.insert(partner, !value);
+        self.pred_elim_insert(pred.index(), value);
+        if let Some(partner) = self.cmp2_partner[pred.index()] {
+            self.pred_elim_insert(partner as usize, !value);
         }
     }
 
     /// Decode-time predicate bookkeeping: cmp2 pairings, and invalidation
     /// of elimination-buffer entries when their register is redefined
     /// (§3.5.3).
-    fn note_pred_writes(&mut self, insn: &Insn) {
-        if let InsnKind::Cmp2 { dst_t, dst_f, .. } = insn.kind {
-            self.cmp2_partner
-                .insert(dst_t.index() as u8, dst_f.index() as u8);
-            self.cmp2_partner
-                .insert(dst_f.index() as u8, dst_t.index() as u8);
+    fn note_pred_writes(&mut self, pc: u32) {
+        let info = &self.pcs[pc as usize];
+        let def_preds = info.def_preds;
+        let is_cmp2 = info.is_cmp2;
+        if is_cmp2 {
+            let t = def_preds[0].expect("cmp2 defines two predicates").index();
+            let f = def_preds[1].expect("cmp2 defines two predicates").index();
+            self.cmp2_partner[t] = Some(f as u8);
+            self.cmp2_partner[f] = Some(t as u8);
         }
-        for p in insn.def_preds().into_iter().flatten() {
-            self.pred_elim.remove(&(p.index() as u8));
-            if !matches!(insn.kind, InsnKind::Cmp2 { .. }) {
-                self.cmp2_partner.remove(&(p.index() as u8));
+        for p in def_preds.into_iter().flatten() {
+            if self.pred_elim[p.index()].take().is_some() {
+                self.pred_elim_live -= 1;
+            }
+            if !is_cmp2 {
+                self.cmp2_partner[p.index()] = None;
             }
         }
-        if matches!(self.mode, Mode::HighConf) && self.pred_elim.is_empty() {
+        if matches!(self.mode, Mode::HighConf) && self.pred_elim_live == 0 {
             self.mode = Mode::Normal;
         }
     }
 
-    /// Checks whether the branch at `pc` guards a DHP-eligible hammock and
-    /// returns the guard-injection plan. Eligibility: forward branch, arms
-    /// within `dhp_max_block` µops, arms free of control flow (hardware
-    /// cannot re-converge across nested branches). Three layouts are
-    /// recognized, matching what compilers actually emit:
-    ///
-    /// 1. skip-triangle — `br → J; B…; J:` (guard B);
-    /// 2. contiguous diamond — `br → T; B…; jmp J; T: C…; J:`;
-    /// 3. far-taken diamond — `br → T; B…; J: …  T: C…; jmp J` (the taken
-    ///    arm laid out out-of-line, jumping back to the join).
-    fn dhp_region(&self, pc: u32, insn: &Insn) -> Option<DhpState> {
-        let InsnKind::Branch {
-            kind: BranchKind::Cond { pred, sense },
-            target,
-        } = insn.kind
-        else {
-            return None;
-        };
-        let max = self.cfg.dhp_max_block;
-        let straight = |lo: u32, hi: u32| {
-            lo <= hi
-                && hi - lo <= max
-                && (lo..hi).all(|i| {
-                    self.program
-                        .get(i)
-                        .is_some_and(|x| !x.is_branch() && !matches!(x.kind, InsnKind::Halt))
-                })
-        };
-        if target <= pc + 1 {
-            return None;
-        }
-        // The fall-through arm executes when the branch is NOT taken:
-        // guard value = !(pred == sense)  ⇒  (pred, negated = sense).
-        // Capture the condition register's architectural value now — the
-        // guarded arms may redefine the register itself.
-        let cond = self.emu.preds[pred.index()];
-        // Layout 2: contiguous diamond (trailing jump inside the region).
-        if target >= 2 && target - (pc + 1) >= 2 {
-            if let Some(last) = self.program.get(target - 1) {
-                if let InsnKind::Branch {
-                    kind: BranchKind::Uncond,
-                    target: join,
-                } = last.kind
-                {
-                    if join > target
-                        && straight(pc + 1, target - 1)
-                        && straight(target, join)
-                    {
-                        return Some(DhpState::GuardFall {
-                            pred,
-                            negated: sense,
-                            cond,
-                            until: target - 1,
-                            then: Some((target, join, None)),
-                        });
-                    }
-                }
-            }
-        }
-        // Layout 3: far-taken diamond. Scan the taken arm for its trailing
-        // jump back into the fall-through region.
-        let mut k = target;
-        while k - target <= max {
-            let Some(x) = self.program.get(k) else { break };
-            if let InsnKind::Branch { kind, target: join } = x.kind {
-                if matches!(kind, BranchKind::Uncond)
-                    && join > pc
-                    && join <= target
-                    && straight(pc + 1, join)
-                    && straight(target, k)
-                {
-                    return Some(DhpState::GuardFall {
-                        pred,
-                        negated: sense,
-                        cond,
-                        until: join,
-                        then: Some((target, k, Some(join))),
-                    });
-                }
-                break;
-            }
-            if matches!(x.kind, InsnKind::Halt) {
-                break;
-            }
-            k += 1;
-        }
-        // Layout 1: skip-triangle.
-        if straight(pc + 1, target) {
-            return Some(DhpState::GuardFall {
-                pred,
-                negated: sense,
-                cond,
-                until: target,
-                then: None,
-            });
-        }
-        None
+    /// The DHP guard-injection state for the conditional branch at `pc`,
+    /// if it guards an eligible hammock: the static plan comes from the
+    /// pre-decoded table, the condition register's architectural value is
+    /// captured now — the guarded arms may redefine the register itself.
+    fn dhp_region(&self, pc: u32) -> Option<DhpState> {
+        let plan = self.dhp_plans[pc as usize]?;
+        Some(DhpState::GuardFall {
+            pred: plan.pred,
+            negated: plan.negated,
+            cond: self.emu.preds[plan.pred.index()],
+            until: plan.until,
+            then: plan.then,
+        })
     }
 
     fn btb_note(
@@ -1723,6 +1994,95 @@ impl<'p> Simulator<'p> {
             }
         }
     }
+}
+
+/// Checks whether the branch at `pc` guards a DHP-eligible hammock and
+/// returns the static guard-injection plan. Eligibility: forward branch,
+/// arms within `max` µops, arms free of control flow (hardware cannot
+/// re-converge across nested branches). Three layouts are recognized,
+/// matching what compilers actually emit:
+///
+/// 1. skip-triangle — `br → J; B…; J:` (guard B);
+/// 2. contiguous diamond — `br → T; B…; jmp J; T: C…; J:`;
+/// 3. far-taken diamond — `br → T; B…; J: …  T: C…; jmp J` (the taken
+///    arm laid out out-of-line, jumping back to the join).
+fn dhp_plan_static(program: &Program, max: u32, pc: u32, insn: &Insn) -> Option<DhpPlan> {
+    let InsnKind::Branch {
+        kind: BranchKind::Cond { pred, sense },
+        target,
+    } = insn.kind
+    else {
+        return None;
+    };
+    let straight = |lo: u32, hi: u32| {
+        lo <= hi
+            && hi - lo <= max
+            && (lo..hi).all(|i| {
+                program
+                    .get(i)
+                    .is_some_and(|x| !x.is_branch() && !matches!(x.kind, InsnKind::Halt))
+            })
+    };
+    if target <= pc + 1 {
+        return None;
+    }
+    // The fall-through arm executes when the branch is NOT taken:
+    // guard value = !(pred == sense)  ⇒  (pred, negated = sense).
+    // Layout 2: contiguous diamond (trailing jump inside the region).
+    if target >= 2 && target - (pc + 1) >= 2 {
+        if let Some(last) = program.get(target - 1) {
+            if let InsnKind::Branch {
+                kind: BranchKind::Uncond,
+                target: join,
+            } = last.kind
+            {
+                if join > target && straight(pc + 1, target - 1) && straight(target, join) {
+                    return Some(DhpPlan {
+                        pred,
+                        negated: sense,
+                        until: target - 1,
+                        then: Some((target, join, None)),
+                    });
+                }
+            }
+        }
+    }
+    // Layout 3: far-taken diamond. Scan the taken arm for its trailing
+    // jump back into the fall-through region.
+    let mut k = target;
+    while k - target <= max {
+        let Some(x) = program.get(k) else { break };
+        if let InsnKind::Branch { kind, target: join } = x.kind {
+            if matches!(kind, BranchKind::Uncond)
+                && join > pc
+                && join <= target
+                && straight(pc + 1, join)
+                && straight(target, k)
+            {
+                return Some(DhpPlan {
+                    pred,
+                    negated: sense,
+                    until: join,
+                    then: Some((target, k, Some(join))),
+                });
+            }
+            break;
+        }
+        if matches!(x.kind, InsnKind::Halt) {
+            break;
+        }
+        k += 1;
+    }
+    // Layout 1: skip-triangle.
+    if straight(pc + 1, target) {
+        return Some(DhpPlan {
+            pred,
+            negated: sense,
+            until: target,
+            then: None,
+        });
+    }
+    None
 }
 
 /// Why the fetch stage is stalled (`fetch_stall_until` armed).

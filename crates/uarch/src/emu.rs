@@ -1,7 +1,7 @@
 //! The speculative front-end emulator: architectural state along the
 //! *fetched* path, with an undo log for pipeline flushes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use wishbranch_isa::{BranchKind, Gpr, Insn, InsnKind, PredReg, NUM_GPRS, NUM_PREDS};
 
 /// What one fetched µop did, as seen by the emulator.
@@ -34,15 +34,134 @@ enum Undo {
     Nothing,
 }
 
+/// Log of a data-memory word: 2^PAGE_BITS words per page.
+const PAGE_BITS: u32 = 8;
+const PAGE_WORDS: usize = 1 << PAGE_BITS;
+const PRESENT_WORDS: usize = PAGE_WORDS / 64;
+
+/// One page of speculative data memory. `present` tracks which words have
+/// ever been stored to (and not rolled back): a word that is absent reads
+/// as 0 for loads, but is *omitted* from the final-state dump, exactly
+/// like the `HashMap` this store replaced. Absent words are kept zeroed so
+/// the load path never has to consult the bitmap.
+#[derive(Clone, Debug)]
+struct Page {
+    number: u64,
+    present: [u64; PRESENT_WORDS],
+    words: [i64; PAGE_WORDS],
+}
+
+/// Paged flat store for speculative data memory. Loads and stores resolve
+/// to a direct array access after a one-entry last-page cache (hit for the
+/// overwhelmingly common same-page access streams) or a page-table lookup.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PagedMem {
+    pages: Vec<Box<Page>>,
+    /// Page number → slot in `pages`.
+    index: HashMap<u64, u32>,
+    /// Last page touched: (page number, slot).
+    last: Option<(u64, u32)>,
+}
+
+impl PagedMem {
+    fn slot(&mut self, page_no: u64) -> Option<u32> {
+        if let Some((n, s)) = self.last {
+            if n == page_no {
+                return Some(s);
+            }
+        }
+        let s = *self.index.get(&page_no)?;
+        self.last = Some((page_no, s));
+        Some(s)
+    }
+
+    fn slot_or_create(&mut self, page_no: u64) -> u32 {
+        if let Some(s) = self.slot(page_no) {
+            return s;
+        }
+        let s = u32::try_from(self.pages.len()).expect("page count fits u32");
+        self.pages.push(Box::new(Page {
+            number: page_no,
+            present: [0; PRESENT_WORDS],
+            words: [0; PAGE_WORDS],
+        }));
+        self.index.insert(page_no, s);
+        self.last = Some((page_no, s));
+        s
+    }
+
+    /// Value at `addr`, defaulting to 0 when never stored (the pre-paging
+    /// behavior of `HashMap::get(..).unwrap_or(0)`).
+    pub(crate) fn load(&mut self, addr: u64) -> i64 {
+        match self.slot(addr >> PAGE_BITS) {
+            Some(s) => self.pages[s as usize].words[addr as usize & (PAGE_WORDS - 1)],
+            None => 0,
+        }
+    }
+
+    /// Value at `addr` if a store to it is live, else `None`.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn get(&self, addr: u64) -> Option<i64> {
+        let s = *self.index.get(&(addr >> PAGE_BITS))?;
+        let p = &self.pages[s as usize];
+        let o = addr as usize & (PAGE_WORDS - 1);
+        (p.present[o / 64] & (1 << (o % 64)) != 0).then(|| p.words[o])
+    }
+
+    /// Stores `v` at `addr`, returning the previous live value (the undo
+    /// record) — `None` when the word was absent.
+    pub(crate) fn insert(&mut self, addr: u64, v: i64) -> Option<i64> {
+        let s = self.slot_or_create(addr >> PAGE_BITS) as usize;
+        let p = &mut self.pages[s];
+        let o = addr as usize & (PAGE_WORDS - 1);
+        let bit = 1u64 << (o % 64);
+        let old = (p.present[o / 64] & bit != 0).then(|| p.words[o]);
+        p.present[o / 64] |= bit;
+        p.words[o] = v;
+        old
+    }
+
+    /// Marks `addr` absent again (rollback of a first-touch store). The
+    /// word is re-zeroed so loads keep reading 0 without a bitmap check.
+    pub(crate) fn remove(&mut self, addr: u64) {
+        if let Some(s) = self.slot(addr >> PAGE_BITS) {
+            let p = &mut self.pages[s as usize];
+            let o = addr as usize & (PAGE_WORDS - 1);
+            p.present[o / 64] &= !(1u64 << (o % 64));
+            p.words[o] = 0;
+        }
+    }
+
+    /// Every live (address, value) pair in ascending address order.
+    pub(crate) fn sorted_entries(&self) -> Vec<(u64, i64)> {
+        let mut pages: Vec<&Page> = self.pages.iter().map(|b| &**b).collect();
+        pages.sort_unstable_by_key(|p| p.number);
+        let mut out = Vec::new();
+        for p in pages {
+            for (w, &mask) in p.present.iter().enumerate() {
+                let mut bits = mask;
+                while bits != 0 {
+                    let o = w * 64 + bits.trailing_zeros() as usize;
+                    out.push(((p.number << PAGE_BITS) | o as u64, p.words[o]));
+                    bits &= bits - 1;
+                }
+            }
+        }
+        out
+    }
+}
+
 /// Architectural state along the fetched path. Every fetched µop is
 /// executed here at fetch time; a flush unwinds to the offending branch.
 #[derive(Clone, Debug)]
 pub(crate) struct SpecEmulator {
     pub regs: [i64; NUM_GPRS],
     pub preds: [bool; NUM_PREDS],
-    pub mem: HashMap<u64, i64>,
-    /// (sequence number, undo record) per executed µop, in order.
-    log: Vec<(u64, Undo)>,
+    pub mem: PagedMem,
+    /// (sequence number, undo record) per executed µop, in order. A deque:
+    /// retire drains from the front (`commit_through`), flushes unwind from
+    /// the back (`rollback_after`) — both ends stay O(1) per record.
+    log: VecDeque<(u64, Undo)>,
 }
 
 impl SpecEmulator {
@@ -52,8 +171,8 @@ impl SpecEmulator {
         SpecEmulator {
             regs: [0; NUM_GPRS],
             preds,
-            mem: HashMap::new(),
-            log: Vec::new(),
+            mem: PagedMem::default(),
+            log: VecDeque::new(),
         }
     }
 
@@ -69,22 +188,22 @@ impl SpecEmulator {
     }
 
     fn write_reg(&mut self, seq: u64, r: Gpr, v: i64) {
-        self.log.push((seq, Undo::Reg(r.index() as u8, self.regs[r.index()])));
+        self.log.push_back((seq, Undo::Reg(r.index() as u8, self.regs[r.index()])));
         self.regs[r.index()] = v;
     }
 
     fn write_pred(&mut self, seq: u64, p: PredReg, v: bool) {
         if p.is_hardwired_true() {
-            self.log.push((seq, Undo::Nothing));
+            self.log.push_back((seq, Undo::Nothing));
             return;
         }
-        self.log.push((seq, Undo::Pred(p.index() as u8, self.preds[p.index()])));
+        self.log.push_back((seq, Undo::Pred(p.index() as u8, self.preds[p.index()])));
         self.preds[p.index()] = v;
     }
 
     fn write_mem(&mut self, seq: u64, addr: u64, v: i64) {
         let old = self.mem.insert(addr, v);
-        self.log.push((seq, Undo::Mem(addr, old)));
+        self.log.push_back((seq, Undo::Mem(addr, old)));
     }
 
     /// Peeks the direction a conditional branch would take right now
@@ -132,7 +251,7 @@ impl SpecEmulator {
         };
         if !guard_true {
             // Architectural NOP (C-style: the old destination value is kept).
-            self.log.push((seq, Undo::Nothing));
+            self.log.push_back((seq, Undo::Nothing));
             info.followed_next = forced_next.unwrap_or(fall);
             // A guard-false branch architecturally falls through.
             info.actual_next = fall;
@@ -193,7 +312,7 @@ impl SpecEmulator {
             }
             InsnKind::Load { dst, base, offset } => {
                 let addr = self.reg(base).wrapping_add(i64::from(offset)) as u64;
-                let v = self.mem.get(&addr).copied().unwrap_or(0);
+                let v = self.mem.load(addr);
                 self.write_reg(seq, dst, v);
                 info.mem_addr = Some(addr);
             }
@@ -209,11 +328,11 @@ impl SpecEmulator {
                     BranchKind::Cond { pred, sense } => {
                         info.actual_taken = self.preds[pred.index()] == sense;
                         info.actual_next = if info.actual_taken { target } else { fall };
-                        self.log.push((seq, Undo::Nothing));
+                        self.log.push_back((seq, Undo::Nothing));
                     }
                     BranchKind::Uncond => {
                         info.actual_next = target;
-                        self.log.push((seq, Undo::Nothing));
+                        self.log.push_back((seq, Undo::Nothing));
                     }
                     BranchKind::Call => {
                         self.write_reg(seq, Gpr::LINK, i64::from(fall));
@@ -221,11 +340,11 @@ impl SpecEmulator {
                     }
                     BranchKind::Ret => {
                         info.actual_next = self.reg(Gpr::LINK) as u32;
-                        self.log.push((seq, Undo::Nothing));
+                        self.log.push_back((seq, Undo::Nothing));
                     }
                     BranchKind::Indirect { target: reg } => {
                         info.actual_next = self.reg(reg) as u32;
-                        self.log.push((seq, Undo::Nothing));
+                        self.log.push_back((seq, Undo::Nothing));
                     }
                 }
                 info.followed_next = forced_next.unwrap_or(info.actual_next);
@@ -233,9 +352,9 @@ impl SpecEmulator {
             }
             InsnKind::Halt => {
                 info.halted = true;
-                self.log.push((seq, Undo::Nothing));
+                self.log.push_back((seq, Undo::Nothing));
             }
-            InsnKind::Nop => self.log.push((seq, Undo::Nothing)),
+            InsnKind::Nop => self.log.push_back((seq, Undo::Nothing)),
         }
         info.followed_next = forced_next.unwrap_or(fall);
         info
@@ -244,11 +363,11 @@ impl SpecEmulator {
     /// Unwinds every µop with sequence number strictly greater than
     /// `keep_seq`, restoring the state right after `keep_seq` executed.
     pub(crate) fn rollback_after(&mut self, keep_seq: u64) {
-        while let Some(&(seq, _)) = self.log.last() {
+        while let Some(&(seq, _)) = self.log.back() {
             if seq <= keep_seq {
                 break;
             }
-            let (_, undo) = self.log.pop().expect("checked non-empty");
+            let (_, undo) = self.log.pop_back().expect("checked non-empty");
             match undo {
                 Undo::Reg(i, old) => self.regs[i as usize] = old,
                 Undo::Pred(i, old) => self.preds[i as usize] = old,
@@ -256,7 +375,7 @@ impl SpecEmulator {
                     self.mem.insert(addr, old);
                 }
                 Undo::Mem(addr, None) => {
-                    self.mem.remove(&addr);
+                    self.mem.remove(addr);
                 }
                 Undo::Nothing => {}
             }
@@ -266,9 +385,12 @@ impl SpecEmulator {
     /// Drops undo records for µops with sequence ≤ `seq` (they have
     /// retired and can never be rolled back). Keeps the log bounded.
     pub(crate) fn commit_through(&mut self, seq: u64) {
-        // The log is ordered by seq; find the first entry to keep.
-        let keep_from = self.log.partition_point(|&(s, _)| s <= seq);
-        self.log.drain(..keep_from);
+        while let Some(&(s, _)) = self.log.front() {
+            if s > seq {
+                break;
+            }
+            self.log.pop_front();
+        }
     }
 }
 
@@ -302,14 +424,14 @@ mod tests {
         e.regs[2] = 0x100;
         e.exec(1, 0, &Insn::mov_imm(r(3), 7), None, None);
         e.exec(2, 1, &Insn::store(r(3), r(2), 0), None, None);
-        assert_eq!(e.mem.get(&0x100), Some(&7));
+        assert_eq!(e.mem.get(0x100), Some(7));
         e.exec(3, 2, &Insn::mov_imm(r(3), 9), None, None);
         e.exec(4, 3, &Insn::store(r(3), r(2), 0), None, None);
-        assert_eq!(e.mem.get(&0x100), Some(&9));
+        assert_eq!(e.mem.get(0x100), Some(9));
         e.rollback_after(2);
-        assert_eq!(e.mem.get(&0x100), Some(&7));
+        assert_eq!(e.mem.get(0x100), Some(7));
         e.rollback_after(1);
-        assert_eq!(e.mem.get(&0x100), None);
+        assert_eq!(e.mem.get(0x100), None);
     }
 
     #[test]
@@ -357,5 +479,22 @@ mod tests {
         assert!(e.log.len() <= 10);
         e.rollback_after(95);
         assert_eq!(e.regs[1], 95);
+    }
+
+    #[test]
+    fn paged_mem_dump_is_sorted_and_tracks_presence() {
+        let mut m = PagedMem::default();
+        // Spread across pages, inserted out of order.
+        assert_eq!(m.insert(0x10_000, 1), None);
+        assert_eq!(m.insert(0x3, -4), None);
+        assert_eq!(m.insert(0x3, 5), Some(-4));
+        assert_eq!(m.insert(0x1ff, 9), None); // last word of page 1
+        assert_eq!(m.load(0x3), 5);
+        assert_eq!(m.load(0x4), 0); // absent word of a live page
+        assert_eq!(m.load(0x999_999), 0); // absent page
+        m.remove(0x1ff);
+        assert_eq!(m.get(0x1ff), None);
+        assert_eq!(m.load(0x1ff), 0);
+        assert_eq!(m.sorted_entries(), vec![(0x3, 5), (0x10_000, 1)]);
     }
 }

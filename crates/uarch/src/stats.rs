@@ -205,7 +205,9 @@ pub struct SimStats {
     /// Single-cause attribution of every cycle (`total() == cycles`).
     pub cycle_accounting: CycleAccounting,
     /// Per-PC flush / flush-avoided / guard-false counters. Deterministic
-    /// (BTreeMap) so parallel and serial runs stay bit-identical.
+    /// (BTreeMap) so parallel and serial runs stay bit-identical. During a
+    /// run the simulator counts into a flat per-PC array and folds the
+    /// touched rows in here once at the end.
     pub hot_sites: BTreeMap<u32, HotSiteCounts>,
     /// I-cache statistics.
     pub icache: CacheStats,

@@ -1,6 +1,11 @@
 //! Optional pipeline event tracing (off by default): every fetch,
 //! dispatch, issue, retirement, squash and flush as a typed event stream —
 //! the debugging view ("pipeview") every out-of-order simulator needs.
+//!
+//! Tracing is strictly pay-for-use: every `trace_event` call site in the
+//! core is pre-guarded by `trace.is_some()` (and the helper itself
+//! debug-asserts it), so the non-tracing hot path performs no event
+//! allocation or disassembly formatting whatsoever.
 
 use std::fmt;
 

@@ -107,6 +107,39 @@ fn identity_holds_across_machine_configurations() {
     }
 }
 
+/// The accounting identity at extreme fetch-queue sizes. The queue
+/// capacity is `fetch_width × (pipeline_depth + 2)` (see
+/// [`MachineConfig::fetch_queue_cap`]), which floors at 2 entries —
+/// `fetch_width ≥ 1`, `depth ≥ 0` — so a literal 1-entry queue is not
+/// expressible; the achievable extremes are a 2-entry queue
+/// (width 1, depth 0) and a 512-entry queue (width 8, depth 62). A tiny
+/// queue back-pressures fetch constantly (`fetch_idle_queue_full`), a
+/// huge one never does; every cycle must still be attributed exactly once
+/// either way.
+#[test]
+fn identity_holds_at_extreme_fetch_queue_sizes() {
+    let ec = ExperimentConfig::quick(SCALE);
+    let benches = suite(SCALE);
+    let mut tiny = ec.machine.clone();
+    tiny.fetch_width = 1;
+    tiny.pipeline_depth = 0;
+    assert_eq!(tiny.fetch_queue_cap(), 2);
+    let mut huge = ec.machine.clone();
+    huge.fetch_width = 8;
+    huge.pipeline_depth = 62;
+    assert_eq!(huge.fetch_queue_cap(), 512);
+    for bench in [&benches[0], &benches[benches.len() - 1]] {
+        for variant in [BinaryVariant::NormalBranch, BinaryVariant::WishJumpJoinLoop] {
+            let bin = compile_variant(bench, variant, &ec).expect("compile");
+            for (name, machine) in [("queue2", &tiny), ("queue512", &huge)] {
+                let res =
+                    simulate(&bin.program, bench, InputSet::B, machine).expect("simulate");
+                assert_identities(&format!("{} {variant:?} {name}", bench.name), &res.stats);
+            }
+        }
+    }
+}
+
 #[test]
 fn hot_sites_surface_the_flushiest_branches() {
     let ec = ExperimentConfig::quick(SCALE);

@@ -11,9 +11,14 @@
 //! compiler, simulator, or workloads — rerun the paper-scale sweep and
 //! update both this snapshot and EXPERIMENTS.md if the change is intended.
 
+use proptest::prelude::*;
+use wishbranch_compiler::BinaryVariant;
 use wishbranch_core::{
-    Experiment, ExperimentConfig, FigureData, Report, ReportData, SweepRunner,
+    compile_adaptive_variant, compile_variant, simulate, Experiment, ExperimentConfig, FigureData,
+    Report, ReportData, SweepRunner,
 };
+use wishbranch_uarch::{MachineConfig, PredMechanism, SimResult};
+use wishbranch_workloads::{suite, InputSet};
 
 const SCALE: i32 = 150;
 
@@ -106,4 +111,244 @@ fn figure_10_and_12_headline_averages_match_snapshot() {
         "wish loops must add benefit over jump/join alone"
     );
     assert!(wjjl < 1.0, "wish-jjl must beat the normal-branch binary");
+}
+
+// ---------------------------------------------------------------------------
+// Randomized old-vs-new simulator equivalence.
+//
+// The hot-path overhaul (pre-decoded µop cache, flat state tables, wakeup
+// lists) must not move a single architected number. These fingerprints were
+// generated with the pre-overhaul simulator over a seeded random matrix of
+// benchmark × variant × machine-config jobs; the rewritten simulator must
+// reproduce every `SimResult` — stats, cycle accounting, hot-site table and
+// final architectural state — byte for byte.
+//
+// To regenerate after an *intended* architected change:
+//   cargo test --release --test golden_figures regenerate_random_job_goldens -- --ignored --nocapture
+
+/// Scale for the randomized jobs (small: the matrix runs many machines).
+const RJ_SCALE: i32 = 40;
+
+/// Number of randomized jobs in the golden matrix.
+const RJ_CASES: u64 = 24;
+
+/// Pre-overhaul `SimResult` fingerprints, one per randomized job.
+const RJ_GOLDEN: [u64; RJ_CASES as usize] = [
+    0xd9bd_81d0_f5f3_6d33,
+    0x7a29_d3d9_9eee_4c9c,
+    0x92f6_ad70_f4b5_1782,
+    0xc972_5c86_cf8b_ccb9,
+    0x768f_b5ab_dcd2_e6aa,
+    0xac76_cac9_ed00_b71f,
+    0xf751_bd5a_2a1e_bbcc,
+    0x29e7_d0b0_7418_dfe9,
+    0x0306_3a37_ba34_3964,
+    0xd765_7f74_abab_f03d,
+    0x213f_61fc_5f75_9037,
+    0x9fba_2bd1_9e0e_8bac,
+    0xb123_158c_84d6_7e52,
+    0x01ab_c847_5a77_6cb6,
+    0x4f94_6c24_c135_d768,
+    0x00e0_ce56_389d_4041,
+    0x9540_4fa5_7960_240a,
+    0x60fc_5c40_ffc2_19c4,
+    0xbb81_67fb_9ed1_af03,
+    0xe3f5_98d3_d9cc_e828,
+    0xab41_005d_7bbe_4f90,
+    0x077f_c5d1_2e46_9411,
+    0xf632_42a1_bb9c_e9df,
+    0xf6f7_00b1_16e1_3774,
+];
+
+/// splitmix64: the deterministic stream the job matrix is drawn from.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a-64 over a canonical byte serialization of a whole [`SimResult`]:
+/// every stats field in declaration order, the cycle-accounting rows, the
+/// hot-site table, cache stats, and the final architectural state.
+fn fingerprint(r: &SimResult) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut put = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    let s = &r.stats;
+    for v in [
+        s.cycles,
+        s.retired_uops,
+        s.retired_guard_false,
+        s.retired_select_uops,
+        s.retired_cond_branches,
+        s.flushes,
+        s.retired_mispredicted,
+        s.flushes_avoided,
+        s.fetched_uops,
+        s.fetch_idle_cycles,
+        s.fetch_idle_imiss,
+        s.fetch_idle_redirect,
+        s.fetch_idle_queue_full,
+        s.fetch_idle_blocked,
+        s.dispatch_idle_cycles,
+        s.retire_idle_cycles,
+        s.squashed_uops,
+        s.dhp_predications,
+        s.dhp_flushes_avoided,
+        s.pred_value_predictions,
+        s.pred_value_mispredictions,
+    ] {
+        put(v);
+    }
+    for w in [&s.wish_jumps, &s.wish_joins, &s.wish_loops] {
+        put(w.high_correct);
+        put(w.high_mispredicted);
+        put(w.low_correct);
+        put(w.low_mispredicted);
+    }
+    put(s.loop_early_exits);
+    put(s.loop_late_exits);
+    put(s.loop_no_exits);
+    for (_, v) in s.cycle_accounting.rows() {
+        put(v);
+    }
+    for (&pc, c) in &s.hot_sites {
+        put(u64::from(pc));
+        put(c.flushes);
+        put(c.flushes_avoided);
+        put(c.guard_false_uops);
+    }
+    for c in [&s.icache, &s.l1d, &s.l2] {
+        put(c.hits);
+        put(c.misses);
+        put(c.probes);
+    }
+    for &v in &r.final_regs {
+        put(v as u64);
+    }
+    for &p in &r.final_preds {
+        put(u64::from(p));
+    }
+    for (&a, &v) in &r.final_mem {
+        put(a);
+        put(v as u64);
+    }
+    h
+}
+
+/// One randomized job drawn from the splitmix64 stream: a benchmark, a
+/// binary variant (including the adaptive extension), an input set, and a
+/// machine configuration spanning every mechanism the simulator models.
+fn random_job(case: u64) -> (usize, Option<BinaryVariant>, InputSet, MachineConfig) {
+    let mut st = 0x5eed_c0de_u64 ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut pick = |n: u64| splitmix64(&mut st) % n;
+
+    let bench = pick(9) as usize; // the suite has nine benchmarks
+    // None = the adaptive extension binary (compiled from several profiles).
+    let variant = match pick(6) {
+        0 => Some(BinaryVariant::NormalBranch),
+        1 => Some(BinaryVariant::BaseDef),
+        2 => Some(BinaryVariant::BaseMax),
+        3 => Some(BinaryVariant::WishJumpJoin),
+        4 => Some(BinaryVariant::WishJumpJoinLoop),
+        _ => None,
+    };
+    let input = [InputSet::A, InputSet::B, InputSet::C][pick(3) as usize];
+
+    let mut m = MachineConfig {
+        pipeline_depth: [5, 10, 30][pick(3) as usize],
+        rob_size: [32, 64, 128, 512][pick(4) as usize],
+        fetch_width: [4, 8][pick(2) as usize],
+        ..MachineConfig::default()
+    };
+    m.max_cond_branches_per_cycle = [2, 3][pick(2) as usize];
+    if pick(2) == 0 {
+        m.pred_mechanism = PredMechanism::SelectUop;
+    }
+    if pick(4) == 0 {
+        m.wish_enabled = false;
+    }
+    match pick(5) {
+        0 => m.oracles.perfect_confidence = true,
+        1 => m.oracles.perfect_branch_prediction = true,
+        2 => m.oracles.no_pred_dependencies = true,
+        3 => {
+            m.oracles.no_pred_dependencies = true;
+            m.oracles.no_false_predicate_fetch = true;
+        }
+        _ => {}
+    }
+    if pick(4) == 0 {
+        m.dhp_enabled = true;
+    }
+    if pick(4) == 0 && !m.dhp_enabled {
+        m.predicate_prediction = true;
+    }
+    if pick(3) == 0 {
+        m.wish_loop_predictor = Some(Default::default());
+    }
+    if pick(3) == 0 {
+        m.mem.max_outstanding_misses = 2;
+    }
+    (bench, variant, input, m)
+}
+
+/// Runs one randomized job through the full suite spine (profile →
+/// compile → simulate → verify) and fingerprints the verified result.
+fn run_random_job(case: u64) -> u64 {
+    let (bench_idx, variant, input, machine) = random_job(case);
+    let ec = ExperimentConfig::quick(RJ_SCALE);
+    let benches = suite(RJ_SCALE);
+    let bench = &benches[bench_idx];
+    let bin = match variant {
+        Some(v) => compile_variant(bench, v, &ec).expect("compile"),
+        None => compile_adaptive_variant(bench, &[InputSet::A, InputSet::C], &ec)
+            .expect("compile adaptive"),
+    };
+    let result = simulate(&bin.program, bench, input, &machine).expect("simulate + verify");
+    fingerprint(&result)
+}
+
+/// Exhaustive check: every randomized job must reproduce its pre-overhaul
+/// fingerprint exactly (stats, cycle accounting, hot sites, final state).
+#[test]
+fn randomized_jobs_are_bit_identical_to_pre_overhaul_goldens() {
+    for case in 0..RJ_CASES {
+        let got = run_random_job(case);
+        assert_eq!(
+            got, RJ_GOLDEN[case as usize],
+            "case {case} ({:?}): SimResult diverged from the pre-overhaul simulator",
+            random_job(case)
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property flavor of the same check: a randomly sampled job from the
+    /// golden matrix stays byte-identical to its pre-overhaul fingerprint
+    /// (and, being run twice across the two tests, doubles as a
+    /// determinism check).
+    #[test]
+    fn sampled_random_job_matches_pre_overhaul_golden(case in 0u64..RJ_CASES) {
+        prop_assert_eq!(run_random_job(case), RJ_GOLDEN[case as usize]);
+    }
+}
+
+/// Regeneration helper (ignored): prints the golden array for pasting.
+#[test]
+#[ignore = "golden generator, run manually with --nocapture"]
+fn regenerate_random_job_goldens() {
+    println!("const RJ_GOLDEN: [u64; RJ_CASES as usize] = [");
+    for case in 0..RJ_CASES {
+        println!("    {:#018x},", run_random_job(case));
+    }
+    println!("];");
 }

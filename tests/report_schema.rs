@@ -206,9 +206,20 @@ fn summary_json_matches_schema_snapshot() {
         "\"phase_time_s\":{\"profile\":",
         "\"simulate\":",
         "\"verify\":",
+        "\"sim_throughput\":{\"sim_cycles\":",
+        "\"retired_uops\":",
+        "\"cycles_per_sec\":",
+        "\"uops_per_sec\":",
     ] {
         assert!(json.contains(key), "summary JSON missing {key}");
     }
+    // The throughput numerators are real simulated work, and the rates
+    // are consistent with the recorded simulate-phase time.
+    let s = runner.summary();
+    assert!(s.sim_cycles > 0, "{s:?}");
+    assert!(s.sim_uops > 0, "{s:?}");
+    assert!(s.cycles_per_sec() > 0.0, "{s:?}");
+    assert!(s.uops_per_sec() > 0.0, "{s:?}");
 }
 
 #[test]
