@@ -49,7 +49,7 @@ use crate::error::{FaultKind, FaultPlan, JobError, JobFailure};
 use crate::experiment::{
     profile_on, simulate_unverified, verify_retired_state, ExperimentConfig, RunOutcome,
 };
-use crate::journal::{fnv1a64, JournalWriter};
+use crate::journal::{fnv1a64, JournalError, JournalWriter};
 use wishbranch_compiler::{compile, compile_adaptive, BinaryVariant, CompileOptions, CompiledBinary};
 use wishbranch_ir::Profile;
 use wishbranch_uarch::MachineConfig;
@@ -334,6 +334,9 @@ pub struct SweepRunner {
     fault_plan: FaultPlan,
     aborted: AtomicBool,
     retry_limit: u32,
+    /// Lockstep-oracle mode (`--oracle`): every job's retired stream is
+    /// replayed through [`wishbranch_isa::LockstepOracle`].
+    oracle: bool,
     wall_budget: Option<Duration>,
     journal: Mutex<Option<JournalState>>,
     failures: Mutex<Vec<JobFailure>>,
@@ -403,6 +406,7 @@ impl SweepRunner {
             fault_plan: FaultPlan::new(),
             aborted: AtomicBool::new(false),
             retry_limit: 1,
+            oracle: false,
             wall_budget: None,
             journal: Mutex::new(None),
             failures: Mutex::new(Vec::new()),
@@ -456,12 +460,40 @@ impl SweepRunner {
         self.retry_limit = retries;
     }
 
+    /// Enables lockstep-oracle mode (`--oracle`): every job's simulation
+    /// replays its retired-instruction stream through the in-order
+    /// reference oracle ([`crate::simulate_lockstep`]); a divergence
+    /// surfaces as that job's [`JobError::VerifyDivergence`] — a failed
+    /// cell, gap-rendered like any other — instead of poisoning the sweep.
+    pub fn set_oracle(&mut self, on: bool) {
+        self.oracle = on;
+    }
+
     /// Sets a per-job wall-clock budget. The budget is checked *between*
     /// phases and after completion — never mid-simulation, which would
     /// break determinism — so an overrunning job still finishes its work
     /// but reports [`JobError::WallBudgetExceeded`] instead of a result.
     pub fn set_wall_budget(&mut self, budget: Option<Duration>) {
         self.wall_budget = budget;
+    }
+
+    /// The run-identity fingerprint stamped into this runner's journal
+    /// header: an FNV-1a-64 hash over the experiment scale, machine
+    /// configuration, compile options (floats by bit pattern) and
+    /// training input. Deliberately *excludes* the fault plan, worker
+    /// count and retry limit — none of those change what a job computes,
+    /// and a kill-then-resume cycle legitimately resumes without
+    /// re-injecting the fault that killed it.
+    #[must_use]
+    pub fn run_fingerprint(&self) -> u64 {
+        let fingerprint = format!(
+            "{}|{:?}|{:?}|{:?}",
+            self.ec.scale,
+            self.ec.machine,
+            OptionsKey::new(&self.ec.compile),
+            self.ec.train_input,
+        );
+        fnv1a64(fingerprint.as_bytes())
     }
 
     /// Attaches the sweep journal at `path`: every subsequently completed
@@ -472,17 +504,23 @@ impl SweepRunner {
     ///
     /// # Errors
     ///
-    /// I/O errors opening (or, when resuming, reading) the journal file.
-    /// Unparseable journal *content* is never an error — corrupt or torn
-    /// lines are skipped and their jobs simply re-run.
-    pub fn attach_journal(&self, path: &Path, resume: bool) -> std::io::Result<usize> {
+    /// [`JournalError::RunMismatch`] when the journal exists but was
+    /// written under a different [`run_fingerprint`](Self::run_fingerprint)
+    /// — resuming it would silently replay results from a different
+    /// configuration or scale. [`JournalError::Io`] for real I/O failures
+    /// opening or reading the file. Unparseable journal *content* is never
+    /// an error — corrupt or torn lines are skipped and their jobs simply
+    /// re-run.
+    pub fn attach_journal(&self, path: &Path, resume: bool) -> Result<usize, JournalError> {
+        // Open (and fingerprint-check) first: a stale journal must be
+        // refused before a single outcome is loaded from it.
+        let writer = JournalWriter::open(path, self.run_fingerprint())?;
         let resume_map = if resume {
             crate::journal::load(path)?
         } else {
             HashMap::new()
         };
         let loaded = resume_map.len();
-        let writer = JournalWriter::open(path)?;
         *lock_unpoisoned(&self.journal) = Some(JournalState {
             writer,
             resume: resume_map,
@@ -690,7 +728,11 @@ impl SweepRunner {
             &job.machine
         };
         let t1 = Instant::now();
-        let mut sim = simulate_unverified(&binary.program, bench, job.input, machine)?;
+        let mut sim = if self.oracle {
+            crate::simulate_lockstep(&binary.program, bench, job.input, machine)?
+        } else {
+            simulate_unverified(&binary.program, bench, job.input, machine)?
+        };
         let simulate = t1.elapsed();
         if fault == Some(FaultKind::Diverge) {
             sim.final_mem.insert(u64::MAX, i64::MIN);

@@ -194,6 +194,66 @@ pub fn simulate_unverified(
     })
 }
 
+/// Simulates `program` with the retired-instruction stream enabled and
+/// replays every retirement through the lockstep reference oracle
+/// ([`wishbranch_isa::LockstepOracle`]): the committed PC chain, guard
+/// values, every register/predicate/memory write, and the legality of
+/// forced (non-architectural) wish/DHP directions are checked µop by µop,
+/// and the first divergent retirement is reported with full context. The
+/// run is then anchored twice: the oracle's final state must match the
+/// simulator's retired state, and the independent functional reference
+/// machine must agree on retired memory.
+///
+/// The NO-FETCH limit study (`no_false_predicate_fetch`) omits guard-false
+/// µops from the pipeline entirely, so its retired stream is not a
+/// contiguous architectural walk; lockstep replay is skipped for that
+/// oracle machine (the final-state verification still runs).
+///
+/// # Errors
+///
+/// [`JobError::CycleBudgetExceeded`] on budget exhaustion,
+/// [`JobError::VerifyDivergence`] naming the first divergent retirement
+/// (or final-state mismatch).
+pub fn simulate_lockstep(
+    program: &Program,
+    bench: &Benchmark,
+    input: InputSet,
+    machine: &MachineConfig,
+) -> Result<SimResult, JobError> {
+    let inputs = (bench.input_fn)(input);
+    let mut sim = Simulator::new(program, machine.clone());
+    for &(a, v) in &inputs {
+        sim.preload_mem(a, v);
+    }
+    let lockstep = !machine.oracles.no_false_predicate_fetch;
+    if lockstep {
+        sim.enable_retire_log();
+    }
+    let result = sim.run().map_err(|e| match e {
+        SimError::CycleLimitExceeded { limit } => JobError::CycleBudgetExceeded { limit },
+    })?;
+    if lockstep {
+        let records = sim.take_retire_log();
+        let mut oracle = wishbranch_isa::LockstepOracle::new(program);
+        for &(a, v) in &inputs {
+            oracle.preload_mem(a, v);
+        }
+        let label = format!("{} {input}", bench.name);
+        for record in &records {
+            oracle.step(record).map_err(|d| JobError::VerifyDivergence {
+                detail: format!("{label}: lockstep {d}"),
+            })?;
+        }
+        oracle
+            .finish(&result.final_regs, &result.final_preds, &result.final_mem)
+            .map_err(|d| JobError::VerifyDivergence {
+                detail: format!("{label}: lockstep {d}"),
+            })?;
+    }
+    verify_retired_state(program, bench, input, &result)?;
+    Ok(result)
+}
+
 /// Checks a simulation's retired memory state against the functional
 /// reference machine (always-on architectural verification — cheap next
 /// to the cycle sim).
@@ -316,6 +376,20 @@ mod tests {
                     "{} {variant}: did too little work",
                     bench.name
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn lockstep_oracle_validates_every_variant() {
+        let ec = ExperimentConfig::quick(30);
+        for bench in suite(30) {
+            for variant in BinaryVariant::ALL {
+                let bin = compile_variant(&bench, variant, &ec).expect("compile");
+                simulate_lockstep(&bin.program, &bench, InputSet::B, &ec.machine)
+                    .unwrap_or_else(|e| {
+                        panic!("{} {variant}: lockstep diverged: {e}", bench.name)
+                    });
             }
         }
     }

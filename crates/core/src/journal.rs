@@ -8,8 +8,17 @@
 //! One JSON object per line. The first line is a header:
 //!
 //! ```json
-//! {"schema":"wishbranch.journal/v1"}
+//! {"schema":"wishbranch.journal/v1","run":1234567890123456789}
 //! ```
+//!
+//! `run` is the sweep's **run-identity fingerprint**: an FNV-1a-64 hash
+//! over the experiment scale, machine configuration, compile options and
+//! training input (but *not* the fault plan — a kill-then-resume cycle
+//! legitimately resumes without re-injecting the faults that killed it).
+//! Attaching a journal whose header fingerprint differs from the current
+//! run's — e.g. `--resume` after editing `--scale` — is refused with a
+//! typed [`JournalError::RunMismatch`] instead of silently replaying
+//! results that no longer describe the requested experiment.
 //!
 //! Every other line is one completed job:
 //!
@@ -353,10 +362,86 @@ pub fn decode_entry(line: &str) -> Option<(u64, RunOutcome)> {
     Some((key, outcome))
 }
 
-/// The journal's header line (no trailing newline).
+/// The journal's header line (no trailing newline). `run` is the
+/// run-identity fingerprint of the sweep that owns this journal: a
+/// journal is only replayable into the exact configuration that wrote
+/// it, and the header is what lets a resume check that before serving a
+/// single stale outcome.
 #[must_use]
-pub fn header_line() -> String {
-    format!("{{\"schema\":\"{JOURNAL_SCHEMA}\"}}")
+pub fn header_line(run: u64) -> String {
+    format!("{{\"schema\":\"{JOURNAL_SCHEMA}\",\"run\":{run}}}")
+}
+
+/// Parses the run-identity fingerprint out of a journal header line.
+/// Returns `None` for record lines, malformed headers, and headers from
+/// before fingerprints existed (which carry no `run` field).
+#[must_use]
+pub fn decode_header_run(line: &str) -> Option<u64> {
+    let rest = line
+        .trim()
+        .strip_prefix("{\"schema\":\"")?
+        .strip_prefix(JOURNAL_SCHEMA)?;
+    let rest = rest.strip_prefix("\",\"run\":")?;
+    rest.strip_suffix('}')?.parse().ok()
+}
+
+/// Why a journal could not be attached.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The file exists but was written by a different run configuration
+    /// (or predates run fingerprints), so replaying it would silently
+    /// serve stale results. `found` is `None` for pre-fingerprint or
+    /// unreadable headers.
+    RunMismatch {
+        /// The fingerprint of the attaching run.
+        expected: u64,
+        /// The fingerprint stamped in the journal header, if any.
+        found: Option<u64>,
+    },
+    /// A genuine I/O failure opening, reading, or creating the file.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::RunMismatch { expected, found } => {
+                match found {
+                    Some(found) => write!(
+                        f,
+                        "journal was written by a different run configuration \
+                         (fingerprint {found:#018x}, this run is {expected:#018x})"
+                    )?,
+                    None => write!(
+                        f,
+                        "journal has no run fingerprint (pre-fingerprint format); \
+                         this run is {expected:#018x}"
+                    )?,
+                }
+                write!(
+                    f,
+                    "; refusing to reuse it — rerun with the original \
+                     --scale/--quick flags, or delete the journal to start fresh"
+                )
+            }
+            JournalError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            JournalError::RunMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> JournalError {
+        JournalError::Io(e)
+    }
 }
 
 /// Loads every parseable record from a journal file. A later record for
@@ -393,19 +478,37 @@ pub struct JournalWriter {
 }
 
 impl JournalWriter {
-    /// Opens (or creates) the journal at `path` for appending.
+    /// Opens (or creates) the journal at `path` for appending. A new
+    /// file is stamped with `run` in its header; an existing file must
+    /// carry the *same* fingerprint — appending a second run's records
+    /// under the first run's header is exactly the stale-journal bug the
+    /// fingerprint exists to prevent.
     ///
     /// # Errors
     ///
-    /// I/O errors opening or creating the file.
-    pub fn open(path: &Path) -> std::io::Result<JournalWriter> {
+    /// [`JournalError::RunMismatch`] when the existing header's
+    /// fingerprint differs from `run` (or is absent/unreadable);
+    /// [`JournalError::Io`] for real I/O failures.
+    pub fn open(path: &Path, run: u64) -> Result<JournalWriter, JournalError> {
         let is_new = !path.exists();
+        if !is_new {
+            let file = std::fs::File::open(path)?;
+            let mut first = String::new();
+            std::io::BufReader::new(file).read_line(&mut first)?;
+            let found = decode_header_run(&first);
+            if found != Some(run) {
+                return Err(JournalError::RunMismatch {
+                    expected: run,
+                    found,
+                });
+            }
+        }
         let mut file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(path)?;
         if is_new {
-            writeln!(file, "{}", header_line())?;
+            writeln!(file, "{}", header_line(run))?;
             file.flush()?;
         }
         Ok(JournalWriter { file })
@@ -488,7 +591,7 @@ mod tests {
 
     #[test]
     fn corrupt_and_foreign_lines_are_skipped() {
-        assert!(decode_entry(&header_line()).is_none());
+        assert!(decode_entry(&header_line(42)).is_none());
         assert!(decode_entry("").is_none());
         assert!(decode_entry("{\"key\":12,\"v\":1,\"data\":[1,2,3").is_none());
         assert!(decode_entry("{\"key\":12,\"v\":99,\"data\":[]}").is_none());
@@ -508,7 +611,7 @@ mod tests {
 
         let mut outcome = sample_outcome();
         {
-            let mut w = JournalWriter::open(&path).unwrap();
+            let mut w = JournalWriter::open(&path, 42).unwrap();
             w.append(1, &outcome).unwrap();
             outcome.sim.stats.cycles = 999;
             w.append(1, &outcome).unwrap();
@@ -525,7 +628,50 @@ mod tests {
         assert_eq!(map[&1].sim.stats.cycles, 999, "last duplicate wins");
         assert!(map.get(&3).is_none(), "torn line skipped");
         let first = std::fs::read_to_string(&path).unwrap();
-        assert!(first.starts_with(&header_line()));
+        assert!(first.starts_with(&header_line(42)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn header_run_fingerprint_round_trips() {
+        assert_eq!(decode_header_run(&header_line(0)), Some(0));
+        assert_eq!(decode_header_run(&header_line(u64::MAX)), Some(u64::MAX));
+        // Record lines and pre-fingerprint headers carry no run.
+        assert_eq!(decode_header_run(&encode_entry(1, &sample_outcome())), None);
+        assert_eq!(
+            decode_header_run("{\"schema\":\"wishbranch.journal/v1\"}"),
+            None
+        );
+        assert_eq!(decode_header_run("garbage"), None);
+    }
+
+    #[test]
+    fn reopening_with_a_different_run_fingerprint_is_refused() {
+        let dir = std::env::temp_dir().join(format!("wb-journal-run-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        drop(JournalWriter::open(&path, 7).unwrap());
+        // Same fingerprint reopens fine (the kill-then-resume path).
+        drop(JournalWriter::open(&path, 7).unwrap());
+        // A different fingerprint is a typed refusal, not an I/O error.
+        let err = JournalWriter::open(&path, 8).unwrap_err();
+        match err {
+            JournalError::RunMismatch { expected, found } => {
+                assert_eq!(expected, 8);
+                assert_eq!(found, Some(7));
+            }
+            JournalError::Io(e) => panic!("expected RunMismatch, got Io: {e}"),
+        }
+
+        // A legacy header without a fingerprint is also refused.
+        std::fs::write(&path, "{\"schema\":\"wishbranch.journal/v1\"}\n").unwrap();
+        let err = JournalWriter::open(&path, 7).unwrap_err();
+        assert!(
+            matches!(err, JournalError::RunMismatch { found: None, .. }),
+            "legacy header must refuse with found=None: {err}"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

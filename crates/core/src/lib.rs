@@ -50,6 +50,7 @@ pub mod journal;
 mod render;
 mod report;
 mod tables;
+mod validate;
 
 pub use ablation::{
     confidence_threshold_sweep, loop_predictor_comparison, mshr_sweep, wish_threshold_sweep,
@@ -61,10 +62,11 @@ pub use engine::{
     WORKERS_ENV,
 };
 pub use error::{FaultKind, FaultPlan, JobError, JobFailure};
+pub use journal::JournalError;
 pub use experiment::{
     compile_adaptive_variant, compile_variant, profile_on, run_binary, simulate,
-    simulate_unverified, trace_binary, verify_retired_state, ExperimentConfig, RunOutcome,
-    DEFAULT_STEP_BUDGET,
+    simulate_lockstep, simulate_unverified, trace_binary, verify_retired_state, ExperimentConfig,
+    RunOutcome, DEFAULT_STEP_BUDGET,
 };
 pub use figures::{
     figure1, figure10, figure11, figure12, figure13, figure14, figure15, figure16, figure2,
@@ -79,6 +81,9 @@ pub use report::{
     json_escape, summary_json, summary_json_with_failures, throughput_json, Report, ReportData,
 };
 pub use tables::{table4, table5, Table4Row, Table5Row};
+pub use validate::{
+    fuzz_lockstep, shrink_case, validate_suite, FuzzCase, FuzzOutcome, FuzzReport, ValidateReport,
+};
 
 /// Everything most experiment drivers need, in one import:
 /// `use wishbranch_core::prelude::*;`.

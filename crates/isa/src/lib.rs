@@ -41,10 +41,12 @@ pub mod asm;
 pub mod encode;
 pub mod exec;
 mod insn;
+pub mod oracle;
 mod program;
 mod regs;
 
 pub use insn::{AluOp, BranchKind, CmpOp, Insn, InsnKind, Operand, PredOp, WishType};
+pub use oracle::{Divergence, LockstepOracle, RetireRecord};
 pub use program::{Label, Program, ProgramBuilder, StaticStats, Symbol};
 pub use regs::{Gpr, PredReg, NUM_GPRS, NUM_PREDS};
 

@@ -384,6 +384,8 @@ pub struct Simulator<'p> {
     stats: SimStats,
     halted: bool,
     trace: Option<Vec<crate::trace::TraceEvent>>,
+    /// Retired-instruction stream for the lockstep oracle (off by default).
+    retire_log: Option<Vec<wishbranch_isa::RetireRecord>>,
 }
 
 impl<'p> Simulator<'p> {
@@ -476,6 +478,7 @@ impl<'p> Simulator<'p> {
             stats: SimStats::default(),
             halted: false,
             trace: None,
+            retire_log: None,
             cfg,
         }
     }
@@ -490,6 +493,21 @@ impl<'p> Simulator<'p> {
     /// Takes the collected trace (empty if tracing was never enabled).
     pub fn take_trace(&mut self) -> Vec<crate::trace::TraceEvent> {
         self.trace.take().unwrap_or_default()
+    }
+
+    /// Enables the retired-instruction stream for differential validation
+    /// against [`wishbranch_isa::LockstepOracle`]. Call before
+    /// [`Simulator::run`]; collect with [`Simulator::take_retire_log`].
+    /// Like tracing, the log observes retirement and never changes timing.
+    pub fn enable_retire_log(&mut self) {
+        self.retire_log = Some(Vec::new());
+    }
+
+    /// Takes the collected retired stream (empty if never enabled). One
+    /// record per retired architectural µop in commit order; select-µop
+    /// `Compute` halves are folded into their `Select` records.
+    pub fn take_retire_log(&mut self) -> Vec<wishbranch_isa::RetireRecord> {
+        self.retire_log.take().unwrap_or_default()
     }
 
     fn trace_event(
@@ -757,6 +775,40 @@ impl<'p> Simulator<'p> {
         if self.trace.is_some() {
             self.trace_event(crate::trace::TraceKind::Retire, e.f.seq, e.f.pc, &e.f.insn, 0);
         }
+        if let Some(log) = self.retire_log.as_mut() {
+            // One record per architectural µop: under select expansion the
+            // Select half carries the µop's committed effects; the Compute
+            // half is implementation detail.
+            if e.role != Role::Compute {
+                let info = &e.f.info;
+                let defs = e.f.insn.def_preds();
+                let mut pred_writes = [None, None];
+                for slot in 0..2 {
+                    if let (Some(p), Some(v)) = (defs[slot], info.pred_values[slot]) {
+                        pred_writes[slot] = Some((p.index() as u8, v));
+                    }
+                }
+                log.push(wishbranch_isa::RetireRecord {
+                    seq: e.f.seq,
+                    pc: e.f.pc,
+                    next_pc: info.followed_next,
+                    guard_true: info.guard_true,
+                    taken: info.actual_taken,
+                    forced: info.followed_next != info.actual_next,
+                    wish: e.f.insn.wish,
+                    dhp: e.f.br.is_some_and(|b| b.dhp),
+                    hw_guard: e.f.hw_guard.is_some(),
+                    reg_write: info.reg_write,
+                    pred_writes,
+                    mem_write: if info.is_store {
+                        info.mem_addr.zip(info.store_value)
+                    } else {
+                        None
+                    },
+                    halted: info.halted,
+                });
+            }
+        }
         self.stats.retired_uops += 1;
         if e.role == Role::Select {
             self.stats.retired_select_uops += 1;
@@ -995,6 +1047,10 @@ impl<'p> Simulator<'p> {
         }
         self.stats.flushes += 1;
         self.site(site_pc).flushes += 1;
+        // The flush steers fetch back onto the architectural path: this
+        // branch retires having followed `actual_next`, not the squashed
+        // prediction it was fetched with.
+        self.rob[idx].f.info.followed_next = actual_next;
         self.flush_after(idx, actual_next);
         true
     }
@@ -1855,12 +1911,9 @@ impl<'p> Simulator<'p> {
                     }
                     WishType::Loop => {
                         // Predicate not predicted; direction still comes
-                        // from the predictor.
+                        // from the predictor. The "wish loop is exited"
+                        // mode edge is applied uniformly below.
                         meta.conf_high = Some(false);
-                        if loop_pc == Some(pc) && !final_dir {
-                            // "wish loop is exited" (Fig. 8).
-                            self.mode = Mode::Normal;
-                        }
                     }
                 }
                 // The branch operates under low-confidence mode (§3.5.4:
@@ -1907,10 +1960,20 @@ impl<'p> Simulator<'p> {
         }
         if wtype == WishType::Loop {
             self.loop_last_pred[pc as usize] = Some((final_dir, self.next_seq - 1));
-            if matches!(self.mode, Mode::HighConf) && !final_dir {
-                // Predicted loop exit in high-confidence mode: the loop is
-                // done (Fig. 8's "wish loop is exited").
-                self.mode = Mode::Normal;
+            // Fig. 8's "wish loop is exited": a not-taken prediction ends
+            // this loop's mode no matter when it arrives — including a
+            // *first* prediction that is already not-taken (a predicted
+            // zero-trip loop, whose body is never fetched). The branch
+            // itself still recovers under the mode it was fetched in
+            // (`meta.fetch_mode`).
+            if !final_dir {
+                match self.mode {
+                    Mode::HighConf => self.mode = Mode::Normal,
+                    Mode::LowConf {
+                        loop_pc: Some(lp), ..
+                    } if lp == pc => self.mode = Mode::Normal,
+                    _ => {}
+                }
             }
         }
         (final_dir, Some(token))

@@ -24,6 +24,11 @@ pub(crate) struct StepInfo {
     pub halted: bool,
     /// Values written to predicate registers (for `cmp2`, `[t, f]`).
     pub pred_values: [Option<bool>; 2],
+    /// GPR written (index, value) with a TRUE guard — ALU/mov/load results
+    /// and a call's link-register write. Feeds the retirement oracle.
+    pub reg_write: Option<(u8, i64)>,
+    /// Value stored by a TRUE-guard store (address is in `mem_addr`).
+    pub store_value: Option<i64>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -123,13 +128,32 @@ impl PagedMem {
 
     /// Marks `addr` absent again (rollback of a first-touch store). The
     /// word is re-zeroed so loads keep reading 0 without a bitmap check.
+    /// A page whose last live word is removed is reclaimed — without this,
+    /// long fuzz runs that roll back first-touch stores to ever-new pages
+    /// grow the page table monotonically.
     pub(crate) fn remove(&mut self, addr: u64) {
-        if let Some(s) = self.slot(addr >> PAGE_BITS) {
+        let page_no = addr >> PAGE_BITS;
+        if let Some(s) = self.slot(page_no) {
             let p = &mut self.pages[s as usize];
             let o = addr as usize & (PAGE_WORDS - 1);
             p.present[o / 64] &= !(1u64 << (o % 64));
             p.words[o] = 0;
+            if p.present.iter().all(|&m| m == 0) {
+                self.pages.swap_remove(s as usize);
+                self.index.remove(&page_no);
+                if let Some(moved) = self.pages.get(s as usize) {
+                    self.index.insert(moved.number, s);
+                }
+                // The cache may point at the dead page or the moved one.
+                self.last = None;
+            }
         }
+    }
+
+    /// Number of live pages in the table.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn page_count(&self) -> usize {
+        self.pages.len()
     }
 
     /// Every live (address, value) pair in ascending address order.
@@ -248,6 +272,8 @@ impl SpecEmulator {
             is_store: false,
             halted: false,
             pred_values: [None, None],
+            reg_write: None,
+            store_value: None,
         };
         if !guard_true {
             // Architectural NOP (C-style: the old destination value is kept).
@@ -266,8 +292,12 @@ impl SpecEmulator {
             } => {
                 let v = op.apply(self.reg(src1), self.operand(src2));
                 self.write_reg(seq, dst, v);
+                info.reg_write = Some((dst.index() as u8, v));
             }
-            InsnKind::MovImm { dst, imm } => self.write_reg(seq, dst, imm),
+            InsnKind::MovImm { dst, imm } => {
+                self.write_reg(seq, dst, imm);
+                info.reg_write = Some((dst.index() as u8, imm));
+            }
             InsnKind::Cmp {
                 op,
                 dst,
@@ -315,6 +345,7 @@ impl SpecEmulator {
                 let v = self.mem.load(addr);
                 self.write_reg(seq, dst, v);
                 info.mem_addr = Some(addr);
+                info.reg_write = Some((dst.index() as u8, v));
             }
             InsnKind::Store { src, base, offset } => {
                 let addr = self.reg(base).wrapping_add(i64::from(offset)) as u64;
@@ -322,6 +353,7 @@ impl SpecEmulator {
                 self.write_mem(seq, addr, v);
                 info.mem_addr = Some(addr);
                 info.is_store = true;
+                info.store_value = Some(v);
             }
             InsnKind::Branch { kind, target } => {
                 match kind {
@@ -336,6 +368,7 @@ impl SpecEmulator {
                     }
                     BranchKind::Call => {
                         self.write_reg(seq, Gpr::LINK, i64::from(fall));
+                        info.reg_write = Some((Gpr::LINK.index() as u8, i64::from(fall)));
                         info.actual_next = target;
                     }
                     BranchKind::Ret => {
@@ -496,5 +529,54 @@ mod tests {
         assert_eq!(m.get(0x1ff), None);
         assert_eq!(m.load(0x1ff), 0);
         assert_eq!(m.sorted_entries(), vec![(0x3, 5), (0x10_000, 1)]);
+    }
+
+    #[test]
+    fn empty_pages_are_reclaimed_on_remove() {
+        let mut m = PagedMem::default();
+        assert_eq!(m.page_count(), 0);
+        m.insert(0x3, 1); // page 0
+        m.insert(0x10_000, 2); // page 0x100
+        m.insert(0x10_001, 3); // same page
+        m.insert(0x20_000, 4); // page 0x200
+        assert_eq!(m.page_count(), 3);
+        // Removing one of two live words keeps the page.
+        m.remove(0x10_001);
+        assert_eq!(m.page_count(), 3);
+        // Removing the last live word reclaims the page.
+        m.remove(0x10_000);
+        assert_eq!(m.page_count(), 2);
+        // Removing the middle slot exercises the swap_remove index fixup:
+        // the moved page must remain addressable.
+        m.remove(0x3);
+        assert_eq!(m.page_count(), 1);
+        assert_eq!(m.get(0x20_000), Some(4));
+        assert_eq!(m.load(0x20_000), 4);
+        m.remove(0x20_000);
+        assert_eq!(m.page_count(), 0);
+        assert_eq!(m.sorted_entries(), vec![]);
+        // A reclaimed page can be repopulated.
+        m.insert(0x10_000, 9);
+        assert_eq!(m.get(0x10_000), Some(9));
+        assert_eq!(m.page_count(), 1);
+    }
+
+    #[test]
+    fn full_rollback_restores_page_count() {
+        let mut e = SpecEmulator::new();
+        let pre = e.mem.page_count();
+        // First-touch stores to several fresh pages, all speculative.
+        for (s, page) in (1u64..=6).zip([0x1u64, 0x2, 0x3, 0x4, 0x5, 0x6]) {
+            e.regs[2] = (page << 12) as i64;
+            e.exec(s * 2 - 1, 0, &Insn::mov_imm(r(3), s as i64), None, None);
+            e.exec(s * 2, 1, &Insn::store(r(3), r(2), 0), None, None);
+        }
+        assert!(e.mem.page_count() > pre);
+        e.rollback_after(0);
+        assert_eq!(
+            e.mem.page_count(),
+            pre,
+            "rollback of first-touch stores must reclaim their pages"
+        );
     }
 }

@@ -245,10 +245,12 @@ impl SimStats {
     }
 
     /// Scales a count to "per one million retired µops" (Figs. 11/13).
+    /// With no retired µops the rate is undefined, not zero: NaN here is
+    /// the explicit-gap marker that `jf`/`cf` render as `null`/empty.
     #[must_use]
     pub fn per_million_uops(&self, count: u64) -> f64 {
         if self.retired_uops == 0 {
-            0.0
+            f64::NAN
         } else {
             count as f64 * 1.0e6 / self.retired_uops as f64
         }

@@ -221,6 +221,91 @@ fn constant_trip_wish_loop_is_high_confidence_and_cheap() {
     );
 }
 
+/// A frequently zero-trip wish loop (random trips 0..=3) followed by an
+/// easy always-taken wish jump, inside an outer loop.
+fn zero_trip_loop_then_easy_jump_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    let outer = b.label("OUTER");
+    let wloop = b.label("WLOOP");
+    let then_arm = b.label("THEN");
+    let join = b.label("JOIN");
+    let exit = b.label("EXIT");
+
+    b.push(Insn::mov_imm(r(19), DATA));
+    b.push(Insn::mov_imm(r(20), 0));
+    b.bind(outer);
+    // trip = data[i & 1023] & 3 — zero on a quarter of the passes.
+    b.push(Insn::alu(AluOp::And, r(2), r(20), Operand::imm(1023)));
+    b.push(Insn::alu(AluOp::Shl, r(2), r(2), Operand::imm(3)));
+    b.push(Insn::alu(AluOp::Add, r(2), r(2), Operand::reg(19)));
+    b.push(Insn::load(r(4), r(2), 0));
+    b.push(Insn::alu(AluOp::And, r(4), r(4), Operand::imm(3)));
+    b.push(Insn::mov_imm(r(21), 0));
+    // Header test (Fig. 4b shape, but p15 can already be false on entry:
+    // a zero-trip pass never takes the wish-loop branch at all).
+    b.push(Insn::cmp(CmpOp::Lt, p(15), r(21), Operand::reg(4)));
+    b.bind(wloop);
+    b.push(Insn::alu(AluOp::Add, r(9), r(9), Operand::imm(1)).guarded(p(15)));
+    b.push(Insn::alu(AluOp::Add, r(21), r(21), Operand::imm(1)).guarded(p(15)));
+    b.push(Insn::cmp(CmpOp::Lt, p(15), r(21), Operand::reg(4)).guarded(p(15)));
+    b.push_cond_branch(p(15), true, wloop, Some(WishType::Loop));
+    // Easy diamond: i >= 0 is always true, so the jump is always taken
+    // and quickly becomes high confidence — unless the front end is still
+    // stuck in the zero-trip loop's low-confidence mode.
+    b.push(Insn::cmp2(CmpOp::Ge, p(1), p(2), r(20), Operand::imm(0)));
+    b.push_cond_branch(p(1), true, then_arm, Some(WishType::Jump));
+    b.push(Insn::alu(AluOp::Add, r(8), r(8), Operand::imm(7)).guarded(p(2)));
+    b.push_cond_branch(p(2), true, join, Some(WishType::Join));
+    b.bind(then_arm);
+    b.push(Insn::alu(AluOp::Sub, r(10), r(10), Operand::imm(3)).guarded(p(1)));
+    b.bind(join);
+    b.push(Insn::alu(AluOp::Add, r(20), r(20), Operand::imm(1)));
+    b.push(Insn::cmp(CmpOp::Lt, p(3), r(20), Operand::imm(N)));
+    b.push_cond_branch(p(3), true, outer, None);
+    b.bind(exit);
+    b.push(Insn::store(r(9), r(19), 16384));
+    b.push(Insn::store(r(8), r(19), 16392));
+    b.push(Insn::store(r(10), r(19), 16400));
+    b.push(Insn::halt());
+    b.build()
+}
+
+#[test]
+fn zero_trip_wish_loop_releases_low_confidence_mode() {
+    // A predicted zero-trip wish loop takes Fig. 8's "wish loop is
+    // exited" edge immediately: its body is never fetched, so the front
+    // end must not stay in the loop's low-confidence mode and predicate
+    // the easy wish jump that follows it.
+    let prog = zero_trip_loop_then_easy_jump_program();
+    let mem: Vec<(u64, i64)> = (0..1024u64)
+        .map(|i| {
+            let h = i.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 13;
+            (DATA as u64 + i * 8, (h & 0xff) as i64)
+        })
+        .collect();
+    let s = run(&prog, &mem).stats;
+    // The random 0..=3 trip counts keep the loop itself low confidence…
+    let loops_low = s.wish_loops.low_correct + s.wish_loops.low_mispredicted;
+    assert!(
+        loops_low > s.wish_loops.total() / 2,
+        "random-trip loop must stay mostly low confidence: {:?}",
+        s.wish_loops
+    );
+    // …but the always-taken jump must be judged on its own confidence,
+    // not forced not-taken by a loop whose body never ran.
+    let jumps_high = s.wish_jumps.high_correct + s.wish_jumps.high_mispredicted;
+    assert!(
+        jumps_high > (N as u64) * 8 / 10,
+        "easy jump must be mostly high confidence after zero-trip loops: {:?}",
+        s.wish_jumps
+    );
+    assert!(
+        s.wish_joins.total() < (N as u64) / 4,
+        "high-confidence taken jumps must skip their joins: {}",
+        s.wish_joins.total()
+    );
+}
+
 #[test]
 fn fig3c_code_runs_on_wishless_hardware() {
     // §3.4: the same binary must execute correctly with wish support off.

@@ -4,7 +4,9 @@
 //! ```text
 //! USAGE: wishbranch-repro [--scale N] [--workers N] [--json] [--quick]
 //!                         [--report-dir DIR] [--resume] [--strict]
-//!                         [--fault-plan SPEC] <experiment>...
+//!                         [--oracle] [--fault-plan SPEC] <experiment>...
+//!        wishbranch-repro validate [--scale N] [--quick] [--input A|B|C]
+//!                                  [--fuzz N] [--seed S] [--repro-out FILE]
 //!        wishbranch-repro trace <bench> <variant> [--cycles A..B] [--scale N]
 //!        wishbranch-repro --list
 //!
@@ -38,8 +40,18 @@
 //! faults for testing, e.g. `panic@3,diverge@7,budget@2,abort@10` — job
 //! indices are global submission order.
 //!
-//! Exit codes: 0 success, 1 fatal error, 2 usage, 3 `--strict` with
-//! failed jobs, 4 sweep aborted.
+//! Differential validation: `--oracle` replays every job's retired
+//! instruction stream through the lockstep in-order reference oracle —
+//! a divergence is that job's typed `verify_divergence` failure (a gap,
+//! like any other). The `validate` subcommand runs the whole suite ×
+//! every variant under the oracle, or (`--fuzz N`) seeded random
+//! programs × random machine configurations with automatic shrinking of
+//! the first divergence to a minimal reproducer.
+//!
+//! Exit codes: 0 success, 1 fatal error, 2 usage (including `--resume`
+//! against a journal written by a different configuration or scale),
+//! 3 `--strict` with failed jobs or `validate` with divergences, 4 sweep
+//! aborted.
 //!
 //! `trace` compiles one benchmark into one variant (labels as printed in
 //! the figures: `normal BASE-DEF BASE-MAX wish-jj wish-jjl wish-adaptive`)
@@ -48,8 +60,9 @@
 
 use wishbranch_compiler::BinaryVariant;
 use wishbranch_core::{
-    failure_table, summary_json_with_failures, sweep_summary_table, trace_binary, Experiment,
-    ExperimentConfig, FaultPlan, SweepRunner,
+    failure_table, fuzz_lockstep, summary_json_with_failures, sweep_summary_table, trace_binary,
+    validate_suite, Experiment, ExperimentConfig, FaultPlan, FuzzOutcome, JournalError,
+    SweepRunner,
 };
 use wishbranch_uarch::render_trace;
 use wishbranch_workloads::{suite, InputSet};
@@ -61,11 +74,14 @@ fn usage() -> ! {
     let ids: Vec<&str> = Experiment::ALL.iter().map(|e| e.id()).collect();
     eprintln!(
         "USAGE: wishbranch-repro [--scale N] [--workers N] [--json] [--quick] [--report-dir DIR]\n\
-                                 [--resume] [--strict] [--fault-plan SPEC] <experiment>...\n\
+                                 [--resume] [--strict] [--oracle] [--fault-plan SPEC] <experiment>...\n\
+                wishbranch-repro validate [--scale N] [--quick] [--input A|B|C]\n\
+                                          [--fuzz N] [--seed S] [--repro-out FILE]\n\
                 wishbranch-repro trace <bench> <variant> [--cycles A..B] [--scale N]\n\
                 wishbranch-repro --list\n\
          experiments: {} all\n\
-         exit codes: 0 ok, 1 fatal, 2 usage, 3 strict w/ failures, 4 aborted",
+         exit codes: 0 ok, 1 fatal, 2 usage (incl. stale journal), 3 strict/validate failures,\n\
+                     4 aborted",
         ids.join(" ")
     );
     std::process::exit(2)
@@ -77,12 +93,17 @@ fn main() {
         trace_main(&args[1..]);
         return;
     }
+    if args.first().map(String::as_str) == Some("validate") {
+        validate_main(&args[1..]);
+        return;
+    }
 
     let mut scale = 4000;
     let mut json = false;
     let mut quick = false;
     let mut strict = false;
     let mut resume = false;
+    let mut oracle = false;
     let mut workers: Option<usize> = None;
     let mut report_dir: Option<std::path::PathBuf> = None;
     let mut fault_spec: Option<String> = None;
@@ -108,6 +129,7 @@ fn main() {
             "--quick" => quick = true,
             "--strict" => strict = true,
             "--resume" => resume = true,
+            "--oracle" => oracle = true,
             "--report-dir" => {
                 report_dir = Some(args.next().unwrap_or_else(|| usage()).into());
             }
@@ -144,6 +166,9 @@ fn main() {
         Some(n) => SweepRunner::with_workers(&ec, n),
         None => SweepRunner::new(&ec),
     };
+    if oracle {
+        runner.set_oracle(true);
+    }
     if let Some(spec) = fault_spec.or_else(|| std::env::var(FAULT_PLAN_ENV).ok()) {
         match FaultPlan::parse(&spec) {
             Ok(plan) => runner.set_fault_plan(plan),
@@ -160,6 +185,13 @@ fn main() {
                 if resume && !json {
                     println!("resuming: {replayed} completed jobs loaded from journal");
                 }
+            }
+            // A stale journal is an invocation problem (wrong flags for
+            // this journal), not an internal failure: exit 2 like any
+            // other usage error so scripts can distinguish it.
+            Err(e @ JournalError::RunMismatch { .. }) => {
+                eprintln!("wishbranch-repro: {}: {e}", journal.display());
+                std::process::exit(2);
             }
             Err(e) => fatal(&format!("cannot open {}: {e}", journal.display())),
         }
@@ -219,6 +251,123 @@ fn write_file(path: &std::path::Path, contents: &str) {
 fn fatal(msg: &str) -> ! {
     eprintln!("wishbranch-repro: {msg}");
     std::process::exit(1)
+}
+
+/// `wishbranch-repro validate [--scale N] [--quick] [--input A|B|C]
+/// [--fuzz N] [--seed S] [--repro-out FILE]`
+///
+/// Without `--fuzz`: runs every suite benchmark through every binary
+/// variant with the lockstep retirement oracle attached — exit 0 when
+/// every retirement matches the in-order reference, 3 on any divergence.
+///
+/// With `--fuzz N`: generates N seeded random programs × random machine
+/// configurations, checks each in lockstep, and on the first divergence
+/// shrinks it to a minimal reproducer (printed, and written to
+/// `--repro-out FILE` when given) before exiting 3.
+fn validate_main(args: &[String]) {
+    let mut scale = 200;
+    let mut quick = false;
+    let mut input = InputSet::B;
+    let mut fuzz: Option<usize> = None;
+    let mut seed: u64 = 0x5EED;
+    let mut repro_out: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--quick" => quick = true,
+            "--input" => {
+                input = match it.next().map(String::as_str) {
+                    Some("A") | Some("a") => InputSet::A,
+                    Some("B") | Some("b") => InputSet::B,
+                    Some("C") | Some("c") => InputSet::C,
+                    _ => usage(),
+                };
+            }
+            "--fuzz" => {
+                fuzz = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| parse_seed(s))
+                    .unwrap_or_else(|| usage());
+            }
+            "--repro-out" => {
+                repro_out = Some(it.next().unwrap_or_else(|| usage()).into());
+            }
+            _ => usage(),
+        }
+    }
+
+    if let Some(count) = fuzz {
+        let report = fuzz_lockstep(seed, count);
+        println!(
+            "fuzz: seed {seed:#x}, {} cases checked, {} skipped (compile-out or cycle budget)",
+            report.cases, report.skipped
+        );
+        match report.outcome {
+            FuzzOutcome::Clean => println!("fuzz: clean — no divergence"),
+            FuzzOutcome::Diverged {
+                case,
+                minimized,
+                detail,
+            } => {
+                eprintln!("fuzz: DIVERGENCE: {detail}");
+                eprintln!("fuzz: minimized repro ({} instructions):", minimized.insn_count());
+                eprintln!("{}", minimized.describe());
+                if let Some(path) = &repro_out {
+                    let body = format!(
+                        "# wishbranch lockstep divergence (seed {seed:#x})\n# {detail}\n\n\
+                         ## minimized ({} instructions)\n{}\n## original case\n{}",
+                        minimized.insn_count(),
+                        minimized.describe(),
+                        case.describe()
+                    );
+                    write_file(path, &body);
+                    eprintln!("fuzz: repro written to {}", path.display());
+                }
+                std::process::exit(3);
+            }
+        }
+    } else {
+        let ec = if quick {
+            ExperimentConfig::quick(scale.min(500))
+        } else {
+            ExperimentConfig::paper(scale)
+        };
+        let report = validate_suite(&ec, input);
+        for (label, detail) in &report.failures {
+            eprintln!("validate: FAIL {label}: {detail}");
+        }
+        println!(
+            "validate: {} jobs (suite x every variant, input {input}), {} divergent",
+            report.jobs,
+            report.failures.len()
+        );
+        if !report.passed() {
+            std::process::exit(3);
+        }
+    }
+}
+
+/// Parses a fuzz seed: decimal, or hex with an `0x` prefix.
+fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
 }
 
 /// `wishbranch-repro trace <bench> <variant> [--cycles A..B] [--scale N]`

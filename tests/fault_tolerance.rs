@@ -8,7 +8,7 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 use wishbranch_compiler::BinaryVariant;
 use wishbranch_core::{
-    Experiment, ExperimentConfig, FaultKind, FaultPlan, SweepJob, SweepRunner,
+    Experiment, ExperimentConfig, FaultKind, FaultPlan, JournalError, SweepJob, SweepRunner,
 };
 use wishbranch_workloads::{suite, InputSet};
 
@@ -208,6 +208,41 @@ fn aborted_sweep_resumes_from_journal_into_byte_identical_reports() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+#[test]
+fn resume_with_a_changed_scale_is_refused() {
+    let dir = scratch_dir("stale_resume");
+    let journal = dir.join("journal.jsonl");
+
+    // Journal a couple of completed jobs at scale 30.
+    let ec = ExperimentConfig::quick(30);
+    let runner = SweepRunner::with_workers(&ec, 2);
+    runner
+        .attach_journal(&journal, false)
+        .expect("attach journal");
+    let jobs: Vec<SweepJob> = reduced_jobs(&ec).into_iter().take(2).collect();
+    runner.run(jobs).expect("jobs complete");
+
+    // The identical configuration resumes fine (the kill-then-resume path).
+    let replayed = SweepRunner::with_workers(&ec, 2)
+        .attach_journal(&journal, true)
+        .expect("same-config resume");
+    assert_eq!(replayed, 2);
+
+    // A changed scale must be a typed refusal — never a silent replay of
+    // scale-30 results into a scale-31 report.
+    let stale = SweepRunner::with_workers(&ExperimentConfig::quick(31), 2);
+    let err = stale
+        .attach_journal(&journal, true)
+        .expect_err("stale resume must be refused");
+    assert!(matches!(err, JournalError::RunMismatch { .. }), "{err}");
+    assert!(
+        err.to_string().contains("different run configuration"),
+        "the refusal must say why: {err}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 fn repro(args: &[&str]) -> std::process::Output {
     Command::new(env!("CARGO_BIN_EXE_wishbranch-repro"))
         .args(args)
@@ -283,6 +318,26 @@ fn cli_fault_injection_exit_codes_and_kill_then_resume() {
     assert!(summary.contains("\"failed\":0"), "{summary}");
     assert!(!summary.contains("\"journal_hits\":0"), "{summary}");
     assert!(summary.contains("\"failures\":[]"), "{summary}");
+
+    // --resume after a scale change is refused as a usage error (exit 2):
+    // the journal no longer describes the requested experiment.
+    let stale = repro(&[
+        "--quick",
+        "--scale",
+        "40",
+        "--workers",
+        "2",
+        "--report-dir",
+        resume_dir.to_str().unwrap(),
+        "--resume",
+        "fig10",
+    ]);
+    assert_eq!(stale.status.code(), Some(2), "{stale:?}");
+    let stderr = String::from_utf8_lossy(&stale.stderr);
+    assert!(
+        stderr.contains("different run configuration"),
+        "the refusal must say why:\n{stderr}"
+    );
 
     std::fs::remove_dir_all(&base).ok();
 }

@@ -223,6 +223,42 @@ fn summary_json_matches_schema_snapshot() {
 }
 
 #[test]
+fn undefined_rates_render_as_gaps_not_zeros() {
+    // A run with zero retired µops has no defined per-million rate: the
+    // stats layer must answer NaN (the gap marker), never a fake 0 that
+    // downstream averaging would silently absorb.
+    let empty = wishbranch_uarch::SimStats::default();
+    assert!(empty.per_million_uops(0).is_nan());
+    assert!(empty.per_million_uops(7).is_nan());
+
+    // And the Fig. 11/13 emitters must carry that NaN through as an
+    // explicit gap: JSON `null`, empty CSV cell.
+    let report = Report {
+        id: "fig11".into(),
+        title: "confidence".into(),
+        data: ReportData::Confidence(vec![wishbranch_core::Fig11Row {
+            name: "gap-bench".into(),
+            low_mispredicted: f64::NAN,
+            low_correct: 1.5,
+            high_mispredicted: f64::NAN,
+            high_correct: 2.0,
+        }]),
+    };
+    let json = report.to_json();
+    assert_valid_json(&json);
+    assert!(
+        json.contains("\"low_mispredicted\":null") && json.contains("\"high_mispredicted\":null"),
+        "NaN rates must serialize as null: {json}"
+    );
+    assert!(json.contains("\"low_correct\":1.500000"));
+    let csv = report.to_csv();
+    assert!(
+        csv.contains("gap-bench,,1.500000,,2.000000"),
+        "NaN rates must be empty CSV cells: {csv}"
+    );
+}
+
+#[test]
 fn every_experiment_id_has_a_unique_report_id() {
     // The catalog id is the `--report-dir` file stem; it must match the
     // report's own id so files land where `--list` says they will.
