@@ -1,0 +1,16 @@
+//! Regenerates the Fig. 14-style memory-latency sweep on the non-blocking
+//! hierarchy (finite MSHRs, future-cycle fills, store-to-load forwarding).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wishbranch_bench::{emit_report, paper_runner, print_sweep_summary, register_kernel};
+use wishbranch_core::Experiment;
+
+fn bench(c: &mut Criterion) {
+    let runner = paper_runner();
+    emit_report(&Experiment::Fig14Mem.run(&runner));
+    print_sweep_summary(&runner);
+    register_kernel(c, "fig14_mem_latency");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -28,6 +28,9 @@ pub enum Experiment {
     Fig13,
     /// Fig. 14 — instruction-window sweep.
     Fig14,
+    /// Extension — Fig. 14-style memory-latency sweep on the non-blocking
+    /// hierarchy (finite MSHRs, store-to-load forwarding).
+    Fig14Mem,
     /// Fig. 15 — pipeline-depth sweep.
     Fig15,
     /// Fig. 16 — less-accurate branch predictor.
@@ -46,7 +49,7 @@ pub enum Experiment {
 
 impl Experiment {
     /// Every experiment, in presentation order.
-    pub const ALL: [Experiment; 14] = [
+    pub const ALL: [Experiment; 15] = [
         Experiment::Fig1,
         Experiment::Fig2,
         Experiment::Fig10,
@@ -54,6 +57,7 @@ impl Experiment {
         Experiment::Fig12,
         Experiment::Fig13,
         Experiment::Fig14,
+        Experiment::Fig14Mem,
         Experiment::Fig15,
         Experiment::Fig16,
         Experiment::Tab4,
@@ -74,6 +78,7 @@ impl Experiment {
             Experiment::Fig12 => "fig12",
             Experiment::Fig13 => "fig13",
             Experiment::Fig14 => "fig14",
+            Experiment::Fig14Mem => "fig14_mem_latency",
             Experiment::Fig15 => "fig15",
             Experiment::Fig16 => "fig16",
             Experiment::Tab4 => "tab4",
@@ -116,6 +121,14 @@ impl Experiment {
                 data: ReportData::ParamSweep {
                     param: "window".into(),
                     rows: figures::figure14(runner),
+                },
+            },
+            Experiment::Fig14Mem => Report {
+                id: "fig14_mem_latency".into(),
+                title: "Fig.14-mem: memory-latency sweep, non-blocking hierarchy".into(),
+                data: ReportData::ParamSweep {
+                    param: "mem_latency".into(),
+                    rows: figures::figure14_mem_latency(runner),
                 },
             },
             Experiment::Fig15 => Report {

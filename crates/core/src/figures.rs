@@ -522,6 +522,107 @@ pub fn figure15(runner: &SweepRunner) -> Vec<SweepRow> {
     sweep(runner, machines)
 }
 
+/// **Extension (Fig. 14-style)** — memory-latency sensitivity with the
+/// non-blocking hierarchy enabled (finite MSHRs, future-cycle fills,
+/// store-to-load forwarding). Sweeps the minimum main-memory latency and
+/// compares predicated code (`BASE-MAX`), wish branches and a
+/// perfect-branch-prediction ceiling (`PERFECT-CBP`), each normalized to
+/// the normal-branch binary at the same latency.
+///
+/// The mechanism that makes the sweep interesting: predicated code
+/// serializes every guarded µop behind its predicate, and predicates are
+/// routinely computed from loads — so when a predicate misses, the whole
+/// hammock waits out the full (growing) memory latency, while branch-based
+/// code predicts past it and keeps the window full of misses that overlap
+/// in the finite MSHR files. Wish branches fall back to the branch in
+/// high-confidence regions, so their advantage over always-predicated
+/// `BASE-MAX` widens as memory latency grows (the
+/// `figure14_mem_latency_wish_advantage_grows_with_latency` shape test
+/// pins this).
+#[must_use]
+pub fn figure14_mem_latency(runner: &SweepRunner) -> Vec<SweepRow> {
+    let ec = runner.config().clone();
+    let input = ec.train_input;
+    let nbench = runner.benches().len();
+    let series = ["BASE-MAX", "wish-jjl (real-conf)", "PERFECT-CBP"];
+
+    let points: Vec<(u64, MachineConfig)> = [50u64, 100, 200, 400]
+        .into_iter()
+        .map(|lat| {
+            let mut m = ec.machine.clone();
+            m.mem.realistic = true;
+            m.mem.store_forwarding = true;
+            m.mem.l1_mshrs = 4;
+            m.mem.l2_mshrs = 8;
+            m.mem.memory_latency = lat;
+            (lat, m)
+        })
+        .collect();
+
+    let mut jobs = Vec::new();
+    for (_, machine) in &points {
+        for b in 0..nbench {
+            // Baseline and the two contenders share the machine; the
+            // PERFECT-CBP ceiling is the normal-branch binary with the
+            // branch-prediction oracle on.
+            jobs.push(
+                SweepJob::standard(b, BinaryVariant::NormalBranch, input, &ec)
+                    .with_machine(machine.clone()),
+            );
+            jobs.push(
+                SweepJob::standard(b, BinaryVariant::BaseMax, input, &ec)
+                    .with_machine(machine.clone()),
+            );
+            jobs.push(
+                SweepJob::standard(b, BinaryVariant::WishJumpJoinLoop, input, &ec)
+                    .with_machine(machine.clone()),
+            );
+            let mut perfect = machine.clone();
+            perfect.oracles.perfect_branch_prediction = true;
+            jobs.push(
+                SweepJob::standard(b, BinaryVariant::NormalBranch, input, &ec)
+                    .with_machine(perfect),
+            );
+        }
+    }
+    let cycles = run_cycles(runner, jobs);
+
+    let jobs_per_point = nbench * 4;
+    points
+        .iter()
+        .zip(cycles.chunks_exact(jobs_per_point))
+        .map(|(&(param, _), point)| {
+            let mut rows = Vec::new();
+            for (b, chunk) in point.chunks_exact(4).enumerate() {
+                let baseline = chunk[0];
+                rows.push(NormalizedRow {
+                    name: runner.benches()[b].name.into(),
+                    values: chunk[1..].iter().map(|&c| ratio(c, baseline)).collect(),
+                });
+            }
+            append_averages(&mut rows);
+            let avg = rows
+                .iter()
+                .find(|r| r.name == "AVG")
+                .expect("averages appended")
+                .values
+                .clone();
+            let avg_nomcf = rows
+                .iter()
+                .find(|r| r.name == "AVGnomcf")
+                .expect("averages appended")
+                .values
+                .clone();
+            SweepRow {
+                param,
+                series: series.iter().map(|&l| l.into()).collect(),
+                avg,
+                avg_nomcf,
+            }
+        })
+        .collect()
+}
+
 /// **Extension** — the §3.6/§7 input-dependence-aware compiler
 /// ([`wishbranch_compiler::compile_adaptive`]) vs the paper's wish
 /// jump/join/loop binary, evaluated across *all three* input sets. The

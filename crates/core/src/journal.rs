@@ -32,7 +32,9 @@
 //!   compile cache key) and the full machine configuration. Two jobs
 //!   collide only if they would also share every cache key, in which case
 //!   their results are bit-identical by the engine's determinism contract.
-//! * `v` — the payload layout version (this file documents version 1).
+//! * `v` — the payload layout version (this file documents version 2;
+//!   version-1 journals — written before the non-blocking-hierarchy
+//!   counters existed — are treated as absent and their jobs re-run).
 //! * `data` — the whole [`RunOutcome`] flattened into one integer array
 //!   (every journaled quantity is an integer: counters, registers,
 //!   predicate bits, memory words). The layout is fixed by
@@ -63,7 +65,7 @@ use wishbranch_uarch::{CycleAccounting, HotSiteCounts, SimResult, SimStats, Wish
 pub const JOURNAL_SCHEMA: &str = "wishbranch.journal/v1";
 
 /// Payload layout version of the `data` array.
-const LAYOUT_VERSION: u64 = 1;
+const LAYOUT_VERSION: u64 = 2;
 
 /// FNV-1a 64-bit over a byte string — the journal's job-key hash.
 #[must_use]
@@ -89,7 +91,7 @@ fn push_cache(out: &mut Vec<i128>, c: &CacheStats) {
     out.extend([i128::from(c.hits), i128::from(c.misses), i128::from(c.probes)]);
 }
 
-/// Flattens a [`RunOutcome`] into the version-1 integer layout.
+/// Flattens a [`RunOutcome`] into the version-2 integer layout.
 #[must_use]
 pub fn encode_outcome(o: &RunOutcome) -> Vec<i128> {
     let s = &o.sim.stats;
@@ -116,6 +118,9 @@ pub fn encode_outcome(o: &RunOutcome) -> Vec<i128> {
         s.dhp_flushes_avoided,
         s.pred_value_predictions,
         s.pred_value_mispredictions,
+        s.store_forwards,
+        s.load_replays,
+        s.mshr_full_stalls,
     ] {
         out.push(i128::from(v));
     }
@@ -138,6 +143,8 @@ pub fn encode_outcome(o: &RunOutcome) -> Vec<i128> {
         a.fetch_imiss,
         a.fetch_redirect,
         a.frontend_fill,
+        a.mshr_full,
+        a.miss_pending,
     ] {
         out.push(i128::from(v));
     }
@@ -218,7 +225,7 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Rebuilds a [`RunOutcome`] from the version-1 integer layout. Returns
+/// Rebuilds a [`RunOutcome`] from the version-2 integer layout. Returns
 /// `None` on any length or range mismatch (the caller treats the entry as
 /// absent and re-runs the job).
 #[must_use]
@@ -246,6 +253,9 @@ pub fn decode_outcome(data: &[i128]) -> Option<RunOutcome> {
     s.dhp_flushes_avoided = c.u64()?;
     s.pred_value_predictions = c.u64()?;
     s.pred_value_mispredictions = c.u64()?;
+    s.store_forwards = c.u64()?;
+    s.load_replays = c.u64()?;
+    s.mshr_full_stalls = c.u64()?;
     s.wish_jumps = c.wish()?;
     s.wish_joins = c.wish()?;
     s.wish_loops = c.wish()?;
@@ -262,6 +272,8 @@ pub fn decode_outcome(data: &[i128]) -> Option<RunOutcome> {
         fetch_imiss: c.u64()?,
         fetch_redirect: c.u64()?,
         frontend_fill: c.u64()?,
+        mshr_full: c.u64()?,
+        miss_pending: c.u64()?,
     };
     let hot = c.usize()?;
     for _ in 0..hot {

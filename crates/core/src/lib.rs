@@ -69,7 +69,8 @@ pub use experiment::{
     RunOutcome, DEFAULT_STEP_BUDGET,
 };
 pub use figures::{
-    figure1, figure10, figure11, figure12, figure13, figure14, figure15, figure16, figure2,
+    figure1, figure10, figure11, figure12, figure13, figure14, figure14_mem_latency, figure15,
+    figure16, figure2,
     figure_adaptive, figure_dhp, figure_predicate_prediction, Fig11Row, Fig13Row, Fig1Row,
     Fig2Row, FigureData, NormalizedRow, SweepRow,
 };
@@ -82,7 +83,8 @@ pub use report::{
 };
 pub use tables::{table4, table5, Table4Row, Table5Row};
 pub use validate::{
-    fuzz_lockstep, shrink_case, validate_suite, FuzzCase, FuzzOutcome, FuzzReport, ValidateReport,
+    fuzz_lockstep, fuzz_lockstep_hierarchy, shrink_case, validate_suite,
+    validate_suite_hierarchy, FuzzCase, FuzzOutcome, FuzzReport, ValidateReport,
 };
 
 /// Everything most experiment drivers need, in one import:

@@ -556,6 +556,65 @@ pub fn fuzz_lockstep(seed: u64, count: usize) -> FuzzReport {
     }
 }
 
+/// Switches a machine onto the non-blocking memory hierarchy with modest
+/// MSHR files, store-to-load forwarding and a small stride prefetcher —
+/// the configuration the hierarchy validation lanes run under. Tight caps
+/// on purpose: contention paths (coalescing, `MshrFull` retries, replays)
+/// are exactly what the oracle should exercise.
+fn enable_hierarchy(machine: &mut MachineConfig) {
+    machine.mem.realistic = true;
+    machine.mem.store_forwarding = true;
+    machine.mem.l1_mshrs = 4;
+    machine.mem.l2_mshrs = 8;
+    machine.mem.prefetch_entries = 16;
+}
+
+/// [`fuzz_lockstep`] with the non-blocking hierarchy enabled on every
+/// generated machine. The override happens *after* [`gen_case`] so the
+/// seeded draw stream — and therefore the flat-model fuzz corpus — is
+/// untouched: case `i` here runs the same program, inputs and variant as
+/// case `i` of the flat run, only the memory model differs. Timing-only
+/// mechanisms must never change architectural results, so any divergence
+/// is a hierarchy bug.
+#[must_use]
+pub fn fuzz_lockstep_hierarchy(seed: u64, count: usize) -> FuzzReport {
+    let mut skipped = 0usize;
+    for index in 0..count {
+        let mut case = gen_case(seed, index as u64);
+        enable_hierarchy(&mut case.machine);
+        // Future-cycle fills stretch runtimes; keep the budget generous so
+        // long-latency cases stay judgeable rather than skipped.
+        case.machine.max_cycles = 8_000_000;
+        let Some(program) = compile_case(&case) else {
+            skipped += 1;
+            continue;
+        };
+        match lockstep_program(&program, &case, None) {
+            Err(()) => skipped += 1,
+            Ok(None) => {}
+            Ok(Some(detail)) => {
+                // The case carries its (hierarchy-enabled) machine, so the
+                // shrinker reproduces under the same memory model.
+                let minimized = shrink_case(&case, &mut check_case);
+                return FuzzReport {
+                    cases: index + 1,
+                    skipped,
+                    outcome: FuzzOutcome::Diverged {
+                        case: Box::new(case),
+                        minimized: Box::new(minimized),
+                        detail,
+                    },
+                };
+            }
+        }
+    }
+    FuzzReport {
+        cases: count,
+        skipped,
+        outcome: FuzzOutcome::Clean,
+    }
+}
+
 /// Minimizes a diverging case by delta-debugging: whole regions, then
 /// individual ops, then structural simplifications (diamond → straight
 /// line, loop-trip reduction), then configuration fields (variant,
@@ -721,6 +780,18 @@ pub fn validate_suite(ec: &ExperimentConfig, input: InputSet) -> ValidateReport 
         }
     }
     ValidateReport { jobs, failures }
+}
+
+/// [`validate_suite`] with the non-blocking hierarchy enabled: the same
+/// 9 workloads × 5 variants, lockstep-checked under finite MSHRs,
+/// future-cycle fills, store-to-load forwarding and stride prefetch. The
+/// memory model only moves timing, so the oracle must still report zero
+/// divergences.
+#[must_use]
+pub fn validate_suite_hierarchy(ec: &ExperimentConfig, input: InputSet) -> ValidateReport {
+    let mut ec = ec.clone();
+    enable_hierarchy(&mut ec.machine);
+    validate_suite(&ec, input)
 }
 
 #[cfg(test)]

@@ -145,6 +145,56 @@ impl Cache {
         self.sets[set].iter().any(|l| l.tag == tag)
     }
 
+    /// Pure presence check: no statistics, no LRU update, no allocation.
+    /// The non-blocking hierarchy uses it to route an access (hit, coalesce,
+    /// MSHR allocate, or refuse) *before* committing any state change, so a
+    /// refused access (`MshrFull`) can be retried without perturbing
+    /// counters or replacement state.
+    #[must_use]
+    pub fn contains(&self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        self.sets[set].iter().any(|l| l.tag == tag)
+    }
+
+    /// Demand lookup for the non-blocking hierarchy: counts a hit or a
+    /// miss and refreshes LRU on a hit, but — unlike [`Cache::access`] —
+    /// never allocates. On a miss the line arrives later via
+    /// [`Cache::install`] when its MSHR fill completes.
+    pub fn lookup(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.tag == tag) {
+            self.tick += 1;
+            line.lru = self.tick;
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Installs the line holding `addr` (MSHR fill completion). Does not
+    /// count as an access; idempotent if the line is already present
+    /// (refreshes its LRU position, as a fill would).
+    pub fn install(&mut self, addr: u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.cfg.ways;
+        let (set, tag) = self.set_and_tag(addr);
+        let set_vec = &mut self.sets[set];
+        if let Some(line) = set_vec.iter_mut().find(|l| l.tag == tag) {
+            line.lru = tick;
+        } else if set_vec.len() < ways {
+            set_vec.push(Line { tag, lru: tick });
+        } else {
+            let victim = set_vec
+                .iter_mut()
+                .min_by_key(|l| l.lru)
+                .expect("set is non-empty");
+            *victim = Line { tag, lru: tick };
+        }
+    }
+
     /// Hit latency in cycles.
     #[must_use]
     pub fn latency(&self) -> u64 {

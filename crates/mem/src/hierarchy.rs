@@ -1,6 +1,16 @@
-//! The two-level hierarchy of Table 2 glued together as a latency model.
+//! The two-level hierarchy of Table 2, in two selectable timing models:
+//!
+//! * the historical **flat latency model** (`realistic = false`, the
+//!   default): an access returns its total latency and the line fills
+//!   immediately;
+//! * the **non-blocking model** (`realistic = true`): per-level finite
+//!   [`MshrFile`]s with same-line miss coalescing, fills that land at a
+//!   future cycle, and an optional [`StridePrefetcher`] — see
+//!   [`MemoryHierarchy::data_access_nonblocking`].
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::mshr::MshrFile;
+use crate::prefetch::StridePrefetcher;
 
 /// Configuration of the full memory hierarchy. Defaults are Table 2's.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -13,11 +23,30 @@ pub struct MemConfig {
     pub l2: CacheConfig,
     /// Minimum main-memory latency in cycles.
     pub memory_latency: u64,
-    /// Maximum outstanding memory-level misses (MSHRs). `0` = unlimited —
-    /// the paper's table does not bound MLP, so unlimited is the default;
-    /// finite values queue excess misses behind the oldest outstanding one
-    /// (see the `abl_mshr` study).
+    /// Maximum outstanding memory-level misses in the *flat* model. `0` =
+    /// unlimited — the paper's table does not bound MLP, so unlimited is
+    /// the default; finite values queue excess misses behind the oldest
+    /// outstanding one (see the `abl_mshr` study). Ignored when
+    /// [`MemConfig::realistic`] is on (the per-level MSHR files take over).
     pub max_outstanding_misses: usize,
+    /// Selects the cycle-driven non-blocking data-side model: finite
+    /// per-level MSHRs, miss coalescing on cache lines, future-cycle fills
+    /// and (optionally) stride prefetching. Default **off** — the flat
+    /// model is the golden baseline.
+    pub realistic: bool,
+    /// L1D MSHR entries in the non-blocking model (`0` = unlimited).
+    pub l1_mshrs: usize,
+    /// L2 MSHR entries in the non-blocking model (`0` = unlimited).
+    pub l2_mshrs: usize,
+    /// Enables store-to-load forwarding through the core's store queue:
+    /// a load fully covered by an older in-flight store gets its value at
+    /// L1-hit latency; partial overlap conservatively replays. Default
+    /// **off**.
+    pub store_forwarding: bool,
+    /// Stride-prefetcher table entries (`0` = off, the default). Only
+    /// active in the non-blocking model — prefetches allocate MSHRs and
+    /// are dropped silently when none is free.
+    pub prefetch_entries: usize,
 }
 
 impl Default for MemConfig {
@@ -43,8 +72,27 @@ impl Default for MemConfig {
             },
             memory_latency: 300,
             max_outstanding_misses: 0,
+            realistic: false,
+            l1_mshrs: 8,
+            l2_mshrs: 16,
+            store_forwarding: false,
+            prefetch_entries: 0,
         }
     }
+}
+
+/// What the non-blocking hierarchy did with a demand access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessOutcome {
+    /// Data available after `latency` cycles (L1 hit).
+    Ready(u64),
+    /// The line is (now) being filled; data available at the absolute
+    /// cycle carried here — either a newly allocated miss or a coalesced
+    /// hit on an already-pending fill.
+    Pending(u64),
+    /// Every MSHR the access needed is busy. Nothing was changed (no
+    /// stats, no LRU, no allocation): retry next cycle.
+    MshrFull,
 }
 
 /// I-cache + L1D + unified L2 + memory, as a pure latency model.
@@ -63,6 +111,11 @@ pub struct MemoryHierarchy {
     /// construction: each new miss completes no earlier than the previous
     /// when the MSHRs are saturated).
     outstanding: Vec<u64>,
+    realistic: bool,
+    l1_mshrs: MshrFile,
+    l2_mshrs: MshrFile,
+    prefetcher: StridePrefetcher,
+    prefetch_fills: u64,
 }
 
 impl MemoryHierarchy {
@@ -80,7 +133,167 @@ impl MemoryHierarchy {
             memory_latency: cfg.memory_latency,
             max_outstanding: cfg.max_outstanding_misses,
             outstanding: Vec::new(),
+            realistic: cfg.realistic,
+            l1_mshrs: MshrFile::new(cfg.l1_mshrs),
+            l2_mshrs: MshrFile::new(cfg.l2_mshrs),
+            prefetcher: StridePrefetcher::new(if cfg.realistic {
+                cfg.prefetch_entries
+            } else {
+                0
+            }),
+            prefetch_fills: 0,
         }
+    }
+
+    /// Whether the non-blocking model is active.
+    #[must_use]
+    pub fn realistic(&self) -> bool {
+        self.realistic
+    }
+
+    /// Byte address → line address under the (shared) 64 B line geometry.
+    fn line_of(&self, addr: u64) -> u64 {
+        addr / self.l1d.line_bytes() as u64
+    }
+
+    /// Retires every MSHR fill that completed by `now`, installing the
+    /// lines into their level. L2 first so a line finishing both levels at
+    /// the same cycle lands bottom-up.
+    fn drain_fills(&mut self, now: u64) {
+        let line_bytes = self.l1d.line_bytes() as u64;
+        let l2 = &mut self.l2;
+        self.l2_mshrs.drain(now, |line| l2.install(line * line_bytes));
+        let l1d = &mut self.l1d;
+        self.l1_mshrs.drain(now, |line| l1d.install(line * line_bytes));
+    }
+
+    /// Any data-side fill still outstanding at `now`? (Drives the
+    /// `miss-pending` cycle-accounting cause.)
+    #[must_use]
+    pub fn fill_pending_at(&self, now: u64) -> bool {
+        self.l1_mshrs.busy(now) || self.l2_mshrs.busy(now)
+    }
+
+    /// Demand access through the non-blocking model. Routes the access —
+    /// L1 hit, coalesce onto a pending fill, allocate new fill(s), or
+    /// refuse ([`AccessOutcome::MshrFull`]) — committing state *only* on
+    /// the paths that accept it, so a refused access can be retried
+    /// verbatim. `pc` identifies the load/store for the stride
+    /// prefetcher.
+    pub fn data_access_nonblocking(
+        &mut self,
+        addr: u64,
+        _is_write: bool,
+        pc: u64,
+        now: u64,
+    ) -> AccessOutcome {
+        debug_assert!(self.realistic);
+        self.drain_fills(now);
+        let line = self.line_of(addr);
+        if self.l1d.contains(addr) {
+            self.l1d.lookup(addr);
+            self.train_prefetcher(pc, addr, now);
+            return AccessOutcome::Ready(self.l1d.latency());
+        }
+        if let Some(fill_at) = self.l1_mshrs.pending(line) {
+            self.l1_mshrs.note_coalesced();
+            return AccessOutcome::Pending(fill_at);
+        }
+        // The access needs a fresh L1 MSHR (and possibly an L2 one);
+        // refuse before touching any counter if either is unavailable.
+        if self.l1_mshrs.is_full() {
+            return AccessOutcome::MshrFull;
+        }
+        let l1_l2 = self.l1d.latency() + self.l2.latency();
+        if self.l2.contains(addr) {
+            self.l1d.lookup(addr); // counts the L1 miss
+            self.l2.lookup(addr); // counts the L2 hit, refreshes LRU
+            let fill_at = now + l1_l2;
+            let ok = self.l1_mshrs.try_allocate(line, fill_at);
+            debug_assert!(ok);
+            self.train_prefetcher(pc, addr, now);
+            return AccessOutcome::Pending(fill_at);
+        }
+        if let Some(l2_fill) = self.l2_mshrs.pending(line) {
+            // Coalesce at L2: the line arrives there at `l2_fill` and is
+            // forwarded up to L1 on the same cycle.
+            self.l2_mshrs.note_coalesced();
+            self.l1d.lookup(addr); // counts the L1 miss
+            let fill_at = l2_fill.max(now + l1_l2);
+            let ok = self.l1_mshrs.try_allocate(line, fill_at);
+            debug_assert!(ok);
+            return AccessOutcome::Pending(fill_at);
+        }
+        if self.l2_mshrs.is_full() {
+            return AccessOutcome::MshrFull;
+        }
+        self.l1d.lookup(addr); // counts the L1 miss
+        self.l2.lookup(addr); // counts the L2 miss
+        let fill_at = now + l1_l2 + self.memory_latency;
+        let ok = self.l2_mshrs.try_allocate(line, fill_at);
+        debug_assert!(ok);
+        let ok = self.l1_mshrs.try_allocate(line, fill_at);
+        debug_assert!(ok);
+        self.train_prefetcher(pc, addr, now);
+        AccessOutcome::Pending(fill_at)
+    }
+
+    /// Trains the stride table on a demand access and, when it predicts,
+    /// converts the prediction into a line fill through the normal MSHR
+    /// path. Prefetches never refuse — when no MSHR is free they are
+    /// dropped — and never touch demand hit/miss counters.
+    fn train_prefetcher(&mut self, pc: u64, addr: u64, now: u64) {
+        if !self.prefetcher.enabled() {
+            return;
+        }
+        let Some(target) = self.prefetcher.train(pc, addr) else {
+            return;
+        };
+        let line = self.line_of(target);
+        if line == self.line_of(addr)
+            || self.l1d.contains(target)
+            || self.l1_mshrs.pending(line).is_some()
+            || self.l1_mshrs.is_full()
+        {
+            return;
+        }
+        let l1_l2 = self.l1d.latency() + self.l2.latency();
+        if self.l2.contains(target) {
+            self.l1_mshrs.try_allocate(line, now + l1_l2);
+        } else if let Some(l2_fill) = self.l2_mshrs.pending(line) {
+            self.l1_mshrs.try_allocate(line, l2_fill.max(now + l1_l2));
+        } else if !self.l2_mshrs.is_full() {
+            let fill_at = now + l1_l2 + self.memory_latency;
+            self.l2_mshrs.try_allocate(line, fill_at);
+            self.l1_mshrs.try_allocate(line, fill_at);
+        } else {
+            return;
+        }
+        self.prefetch_fills += 1;
+    }
+
+    /// (L1, L2) MSHR occupancy right now — test/diagnostic hook.
+    #[must_use]
+    pub fn mshr_occupancy(&self) -> (usize, usize) {
+        (self.l1_mshrs.occupancy(), self.l2_mshrs.occupancy())
+    }
+
+    /// Misses that coalesced onto an already-pending fill, per level.
+    #[must_use]
+    pub fn coalesced_misses(&self) -> (u64, u64) {
+        (self.l1_mshrs.coalesced(), self.l2_mshrs.coalesced())
+    }
+
+    /// Accesses refused with [`AccessOutcome::MshrFull`], per level.
+    #[must_use]
+    pub fn mshr_rejections(&self) -> (u64, u64) {
+        (self.l1_mshrs.rejected(), self.l2_mshrs.rejected())
+    }
+
+    /// Prefetch fills issued into the MSHRs.
+    #[must_use]
+    pub fn prefetch_fills(&self) -> u64 {
+        self.prefetch_fills
     }
 
     /// Accounts one memory-level miss issued at `now`, returning its
@@ -239,6 +452,94 @@ mod mshr_tests {
         // Once time passes, MSHRs free up.
         let d = m.data_access_at(0x40_0000, false, 2000);
         assert_eq!(d, 308);
+    }
+
+    #[test]
+    fn nonblocking_cold_miss_fills_at_full_latency() {
+        let cfg = MemConfig {
+            realistic: true,
+            ..MemConfig::default()
+        };
+        let mut m = MemoryHierarchy::new(cfg);
+        match m.data_access_nonblocking(0x4000, false, 1, 0) {
+            AccessOutcome::Pending(fill) => assert_eq!(fill, 2 + 6 + 300),
+            other => panic!("cold miss must be pending: {other:?}"),
+        }
+        // Same line before the fill: coalesced, same fill cycle, one MSHR.
+        match m.data_access_nonblocking(0x4008, false, 2, 10) {
+            AccessOutcome::Pending(fill) => assert_eq!(fill, 308),
+            other => panic!("same-line miss must coalesce: {other:?}"),
+        }
+        assert_eq!(m.mshr_occupancy(), (1, 1));
+        assert_eq!(m.coalesced_misses().0, 1);
+        // After the fill lands the line is resident.
+        match m.data_access_nonblocking(0x4000, false, 1, 308) {
+            AccessOutcome::Ready(lat) => assert_eq!(lat, 2),
+            other => panic!("filled line must hit: {other:?}"),
+        }
+        assert_eq!(m.mshr_occupancy(), (0, 0));
+    }
+
+    #[test]
+    fn nonblocking_refuses_when_mshrs_full_without_side_effects() {
+        let cfg = MemConfig {
+            realistic: true,
+            l1_mshrs: 2,
+            ..MemConfig::default()
+        };
+        let mut m = MemoryHierarchy::new(cfg);
+        assert!(matches!(m.data_access_nonblocking(0x1000, false, 1, 0), AccessOutcome::Pending(_)));
+        assert!(matches!(m.data_access_nonblocking(0x2000, false, 2, 0), AccessOutcome::Pending(_)));
+        let stats_before = m.stats();
+        assert_eq!(m.data_access_nonblocking(0x3000, false, 3, 0), AccessOutcome::MshrFull);
+        assert_eq!(m.stats(), stats_before, "a refused access must not count");
+        assert_eq!(m.mshr_occupancy().0, 2);
+        // Once the fills land, the refused access goes through.
+        assert!(matches!(
+            m.data_access_nonblocking(0x3000, false, 3, 400),
+            AccessOutcome::Pending(_)
+        ));
+    }
+
+    #[test]
+    fn nonblocking_l2_hit_fills_fast() {
+        let cfg = MemConfig {
+            realistic: true,
+            ..MemConfig::default()
+        };
+        let mut m = MemoryHierarchy::new(cfg);
+        m.fetch_access(0x8000); // fills the L2 line via the I-side
+        match m.data_access_nonblocking(0x8000, false, 1, 100) {
+            AccessOutcome::Pending(fill) => assert_eq!(fill, 100 + 2 + 6),
+            other => panic!("L2 hit must fill at L1+L2 latency: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stride_prefetcher_hides_the_next_line() {
+        let cfg = MemConfig {
+            realistic: true,
+            prefetch_entries: 16,
+            ..MemConfig::default()
+        };
+        let mut m = MemoryHierarchy::new(cfg);
+        // A constant 64-byte stride from one PC; let each fill land before
+        // the next access so training sees clean demand hits/misses.
+        let mut now = 0;
+        for i in 0..8u64 {
+            m.data_access_nonblocking(0x10_0000 + i * 64, false, 7, now);
+            now += 400;
+        }
+        assert!(m.prefetch_fills() > 0, "a unit-stride stream must trigger prefetches");
+        // The line after the last access should already be resident or
+        // pending thanks to the prefetcher.
+        match m.data_access_nonblocking(0x10_0000 + 8 * 64, false, 7, now) {
+            AccessOutcome::Ready(_) => {}
+            AccessOutcome::Pending(fill) => {
+                assert!(fill < now + 308, "prefetched line must fill early: {fill} vs {now}");
+            }
+            AccessOutcome::MshrFull => panic!("prefetch must not exhaust MSHRs here"),
+        }
     }
 
     #[test]

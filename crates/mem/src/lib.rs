@@ -9,11 +9,24 @@
 //! * 300-cycle minimum memory latency;
 //! * 64 B lines, LRU replacement everywhere.
 //!
-//! The model is a *latency* model: an access returns the number of cycles
-//! until its data is available, and fills happen immediately. Bank
-//! conflicts, MSHR occupancy and bus contention are not modelled (see
+//! Two data-side timing models share this geometry:
+//!
+//! * the **flat latency model** (default): an access returns the number of
+//!   cycles until its data is available and the line fills immediately —
+//!   misses block nothing and memory-level parallelism is unbounded
+//!   (optionally capped by the `max_outstanding_misses` queueing knob of
+//!   the `abl_mshr` study);
+//! * the **non-blocking model** ([`MemConfig::realistic`]): per-level
+//!   finite MSHR files ([`MshrFile`]) with same-line miss coalescing,
+//!   fills that land at a future cycle instead of instantly, an
+//!   [`AccessOutcome::MshrFull`] refusal when every MSHR is busy, and an
+//!   optional per-PC [`StridePrefetcher`].
+//!
+//! Bank conflicts and bus contention are still not modelled (see
 //! DESIGN.md); the 4:1 core-to-memory frequency ratio and 32 banks of the
 //! paper's table are folded into the flat 300-cycle memory latency.
+//! Store-to-load forwarding ([`MemConfig::store_forwarding`]) is enforced
+//! by the core's store queue, which owns the in-flight store addresses.
 //!
 //! # Example
 //!
@@ -26,12 +39,30 @@
 //! assert!(cold > warm);
 //! assert_eq!(warm, 2); // L1 hit
 //! ```
+//!
+//! The non-blocking model instead reports *when* the data arrives:
+//!
+//! ```
+//! use wishbranch_mem::{AccessOutcome, MemConfig, MemoryHierarchy};
+//!
+//! let mut cfg = MemConfig::default();
+//! cfg.realistic = true;
+//! let mut mem = MemoryHierarchy::new(cfg);
+//! match mem.data_access_nonblocking(0x1000, false, /*pc=*/ 1, /*now=*/ 0) {
+//!     AccessOutcome::Pending(fill_at) => assert_eq!(fill_at, 2 + 6 + 300),
+//!     other => panic!("cold miss: {other:?}"),
+//! }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cache;
 mod hierarchy;
+mod mshr;
+mod prefetch;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
-pub use hierarchy::{MemConfig, MemoryHierarchy};
+pub use hierarchy::{AccessOutcome, MemConfig, MemoryHierarchy};
+pub use mshr::{MshrEntry, MshrFile};
+pub use prefetch::StridePrefetcher;

@@ -1,0 +1,185 @@
+//! Miss-status holding registers: the bookkeeping that makes a cache
+//! level non-blocking.
+//!
+//! Each outstanding line fill occupies one [`MshrFile`] entry from the
+//! cycle the miss is issued until its fill cycle has passed. Further
+//! misses to the same line *coalesce* onto the existing entry (they get
+//! the same fill cycle and consume no extra entry). When every entry is
+//! busy the cache cannot accept a new miss: the access is refused and the
+//! core must retry — surfaced upstream as the `mshr-full` stall cause.
+
+/// One in-flight line fill.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MshrEntry {
+    /// Line address (byte address of the line / line size).
+    pub line: u64,
+    /// Absolute cycle at which the fill completes and the line becomes
+    /// resident.
+    pub fill_at: u64,
+}
+
+/// A finite file of miss-status holding registers for one cache level.
+///
+/// A capacity of `0` means *unlimited* — the historical default of the
+/// flat latency model, where memory-level parallelism is unbounded.
+#[derive(Clone, Debug)]
+pub struct MshrFile {
+    cap: usize,
+    entries: Vec<MshrEntry>,
+    coalesced: u64,
+    rejected: u64,
+}
+
+impl MshrFile {
+    /// An empty file with `cap` entries (`0` = unlimited).
+    #[must_use]
+    pub fn new(cap: usize) -> MshrFile {
+        MshrFile {
+            cap,
+            entries: Vec::new(),
+            coalesced: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Configured capacity (`0` = unlimited).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Entries currently in flight.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether a new (non-coalescing) miss would be refused.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.cap != 0 && self.entries.len() >= self.cap
+    }
+
+    /// Fill cycle of the in-flight entry for `line`, if any. A hit here is
+    /// a coalesced miss: the caller piggybacks on the existing fill.
+    #[must_use]
+    pub fn pending(&self, line: u64) -> Option<u64> {
+        self.entries.iter().find(|e| e.line == line).map(|e| e.fill_at)
+    }
+
+    /// Records that an access coalesced onto an existing entry.
+    pub fn note_coalesced(&mut self) {
+        self.coalesced += 1;
+    }
+
+    /// Allocates an entry for `line` filling at `fill_at`. Returns `false`
+    /// (and changes nothing) when the file is full. Must not be called for
+    /// a line that is already pending — coalesce via [`MshrFile::pending`]
+    /// instead.
+    pub fn try_allocate(&mut self, line: u64, fill_at: u64) -> bool {
+        debug_assert!(
+            self.pending(line).is_none(),
+            "line {line:#x} already pending — coalesce, don't allocate"
+        );
+        if self.is_full() {
+            self.rejected += 1;
+            return false;
+        }
+        self.entries.push(MshrEntry { line, fill_at });
+        true
+    }
+
+    /// Retires every entry whose fill has completed by `now`, invoking
+    /// `install(line)` for each in `(fill_at, line)` order. The tie-break
+    /// on the line address (not allocation order) makes the resulting
+    /// cache state invariant under permuted same-cycle access order.
+    pub fn drain(&mut self, now: u64, mut install: impl FnMut(u64)) {
+        if self.entries.iter().all(|e| e.fill_at > now) {
+            return;
+        }
+        let mut done: Vec<MshrEntry> = Vec::new();
+        self.entries.retain(|e| {
+            if e.fill_at <= now {
+                done.push(*e);
+                false
+            } else {
+                true
+            }
+        });
+        done.sort_by_key(|e| (e.fill_at, e.line));
+        for e in done {
+            install(e.line);
+        }
+    }
+
+    /// Any fill still outstanding at `now` (i.e. completing strictly later)?
+    #[must_use]
+    pub fn busy(&self, now: u64) -> bool {
+        self.entries.iter().any(|e| e.fill_at > now)
+    }
+
+    /// Misses that coalesced onto an existing entry.
+    #[must_use]
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced
+    }
+
+    /// Misses refused because the file was full.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_bounds_occupancy() {
+        let mut m = MshrFile::new(2);
+        assert!(m.try_allocate(1, 10));
+        assert!(m.try_allocate(2, 12));
+        assert!(m.is_full());
+        assert!(!m.try_allocate(3, 14), "third allocation must be refused");
+        assert_eq!(m.occupancy(), 2);
+        assert_eq!(m.rejected(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_is_unlimited() {
+        let mut m = MshrFile::new(0);
+        for line in 0..100 {
+            assert!(m.try_allocate(line, 10 + line));
+        }
+        assert!(!m.is_full());
+        assert_eq!(m.occupancy(), 100);
+    }
+
+    #[test]
+    fn drain_retires_in_fill_time_then_line_order() {
+        let mut m = MshrFile::new(0);
+        m.try_allocate(7, 20);
+        m.try_allocate(3, 10);
+        m.try_allocate(9, 10);
+        m.try_allocate(1, 30);
+        let mut order = Vec::new();
+        m.drain(20, |line| order.push(line));
+        assert_eq!(order, vec![3, 9, 7]);
+        assert_eq!(m.occupancy(), 1);
+        assert!(m.busy(20));
+        m.drain(30, |line| order.push(line));
+        assert_eq!(order, vec![3, 9, 7, 1]);
+        assert!(!m.busy(30));
+    }
+
+    #[test]
+    fn pending_reports_fill_cycle() {
+        let mut m = MshrFile::new(4);
+        m.try_allocate(5, 42);
+        assert_eq!(m.pending(5), Some(42));
+        assert_eq!(m.pending(6), None);
+        m.drain(42, |_| {});
+        assert_eq!(m.pending(5), None);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the MSHR file and the non-blocking hierarchy:
+//! occupancy never exceeds the configured cap, `0` still means unlimited,
+//! same-line misses coalesce onto one entry, and fill ordering is
+//! deterministic under permuted access order.
+
+use proptest::prelude::*;
+use wishbranch_mem::{AccessOutcome, MemConfig, MemoryHierarchy, MshrFile};
+
+proptest! {
+    /// Under any interleaving of allocations and time advances, occupancy
+    /// never exceeds a finite cap, and a refused allocation changes
+    /// nothing.
+    #[test]
+    fn occupancy_never_exceeds_cap(
+        cap in 1usize..6,
+        ops in proptest::collection::vec((0u64..32, 1u64..40), 1..120),
+    ) {
+        let mut m = MshrFile::new(cap);
+        let mut now = 0u64;
+        for (line, dt) in ops {
+            now += dt / 8; // advance time sometimes, by small steps
+            m.drain(now, |_| {});
+            if m.pending(line).is_none() {
+                let before = m.occupancy();
+                let ok = m.try_allocate(line, now + 100);
+                prop_assert_eq!(ok, before < cap, "allocation iff below cap");
+                if !ok {
+                    prop_assert_eq!(m.occupancy(), before);
+                }
+            }
+            prop_assert!(m.occupancy() <= cap, "occupancy {} > cap {}", m.occupancy(), cap);
+        }
+    }
+
+    /// A cap of 0 means unlimited: no allocation is ever refused.
+    #[test]
+    fn zero_cap_is_unlimited(lines in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut m = MshrFile::new(0);
+        for line in lines {
+            if m.pending(line).is_none() {
+                prop_assert!(m.try_allocate(line, 1_000_000), "unlimited file must accept");
+            }
+            prop_assert!(!m.is_full());
+        }
+    }
+
+    /// Any number of same-line misses through the hierarchy consume exactly
+    /// one MSHR per level and all see the same fill cycle.
+    #[test]
+    fn same_line_misses_coalesce_onto_one_mshr(
+        offsets in proptest::collection::vec(0u64..64, 2..20),
+        base in 0u64..1024,
+    ) {
+        let cfg = MemConfig { realistic: true, ..MemConfig::default() };
+        let mut m = MemoryHierarchy::new(cfg);
+        let line_base = 0x10_0000 + base * 64;
+        let mut fill = None;
+        for (i, off) in offsets.iter().enumerate() {
+            match m.data_access_nonblocking(line_base + off, false, i as u64, 0) {
+                AccessOutcome::Pending(f) => {
+                    if let Some(prev) = fill {
+                        prop_assert_eq!(f, prev, "coalesced fills must share the fill cycle");
+                    }
+                    fill = Some(f);
+                }
+                other => prop_assert!(false, "cold same-line access must be pending: {:?}", other),
+            }
+            prop_assert_eq!(m.mshr_occupancy(), (1, 1), "one line → one MSHR per level");
+        }
+    }
+
+    /// Draining is deterministic and invariant under permuted allocation
+    /// order: whatever order distinct-line misses were allocated in, fills
+    /// retire sorted by (fill_at, line).
+    #[test]
+    fn fill_order_is_invariant_under_permutation(
+        entries in proptest::collection::vec((0u64..1000, 10u64..50), 2..30),
+        seed in any::<u64>(),
+    ) {
+        // Dedupe lines (coalescing forbids duplicate pending lines).
+        let mut seen = std::collections::BTreeMap::new();
+        for (line, fill) in entries {
+            seen.entry(line).or_insert(fill);
+        }
+        let canonical: Vec<(u64, u64)> = seen.into_iter().collect();
+        // A deterministic permutation from the seed (Fisher–Yates with
+        // splitmix64 draws).
+        let mut permuted = canonical.clone();
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for i in (1..permuted.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            permuted.swap(i, j);
+        }
+        let drain_order = |order: &[(u64, u64)]| {
+            let mut m = MshrFile::new(0);
+            for &(line, fill) in order {
+                assert!(m.try_allocate(line, fill));
+            }
+            let mut out = Vec::new();
+            m.drain(u64::MAX, |line| out.push(line));
+            out
+        };
+        let a = drain_order(&canonical);
+        let b = drain_order(&permuted);
+        prop_assert_eq!(a, b, "fill order must not depend on allocation order");
+    }
+}
+
+/// The cap also bounds the hierarchy end-to-end: a burst of distinct-line
+/// misses is throttled to the configured L1 MSHR count, and the refused
+/// remainder goes through once fills land.
+#[test]
+fn hierarchy_occupancy_respects_l1_cap() {
+    let cfg = MemConfig {
+        realistic: true,
+        l1_mshrs: 3,
+        ..MemConfig::default()
+    };
+    let mut m = MemoryHierarchy::new(cfg);
+    let mut accepted = 0;
+    let mut refused = 0;
+    for k in 0..10u64 {
+        match m.data_access_nonblocking(0x20_0000 + k * 4096, false, k, 0) {
+            AccessOutcome::Pending(_) => accepted += 1,
+            AccessOutcome::MshrFull => refused += 1,
+            AccessOutcome::Ready(_) => panic!("cold lines cannot hit"),
+        }
+        assert!(m.mshr_occupancy().0 <= 3);
+    }
+    assert_eq!((accepted, refused), (3, 7));
+    // After the fills complete every refused line can allocate again.
+    for k in 3..6u64 {
+        assert!(matches!(
+            m.data_access_nonblocking(0x20_0000 + k * 4096, false, k, 1000),
+            AccessOutcome::Pending(_)
+        ));
+    }
+}

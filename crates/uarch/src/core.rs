@@ -43,7 +43,7 @@ use wishbranch_bpred::{
 use wishbranch_isa::{
     insn_addr, BranchKind, Gpr, Insn, InsnKind, PredReg, Program, WishType, NUM_GPRS, NUM_PREDS,
 };
-use wishbranch_mem::MemoryHierarchy;
+use wishbranch_mem::{AccessOutcome, MemoryHierarchy};
 
 /// Errors from [`Simulator::run`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -331,6 +331,9 @@ pub struct Simulator<'p> {
     /// Set by `retire_entry` when a guard-false µop retires in the
     /// current cycle.
     cyc_retired_guard_false: bool,
+    /// Set by `issue` when a ready load/store was refused an MSHR this
+    /// cycle (non-blocking hierarchy; drives the `mshr-full` cause).
+    cyc_mshr_stalled: bool,
     mode: Mode,
     /// §3.5.3 buffer: predicted value per predicate register.
     pred_elim: [Option<bool>; NUM_PREDS],
@@ -452,6 +455,7 @@ impl<'p> Simulator<'p> {
             last_flush_cycle: None,
             cyc_retired_useful: false,
             cyc_retired_guard_false: false,
+            cyc_mshr_stalled: false,
             mode: Mode::Normal,
             pred_elim: [None; NUM_PREDS],
             pred_elim_live: 0,
@@ -571,6 +575,7 @@ impl<'p> Simulator<'p> {
             let retired_before = self.stats.retired_uops;
             self.cyc_retired_useful = false;
             self.cyc_retired_guard_false = false;
+            self.cyc_mshr_stalled = false;
             self.retire();
             let retired_any = self.stats.retired_uops != retired_before;
             if !retired_any {
@@ -657,9 +662,18 @@ impl<'p> Simulator<'p> {
             return;
         }
         if !self.rob.is_empty() {
-            // Something is in flight but the head cannot retire yet.
-            if self.rob.len() >= self.cfg.rob_size {
+            // Something is in flight but the head cannot retire yet. The
+            // two memory causes only fire under the non-blocking
+            // hierarchy: `cyc_mshr_stalled` is set when an issue was
+            // refused this cycle, and `fill_pending_at` is true while a
+            // line fill is still in flight. Both stay false under the
+            // flat model, so its attribution is unchanged.
+            if self.cyc_mshr_stalled {
+                acc.mshr_full += 1;
+            } else if self.rob.len() >= self.cfg.rob_size {
                 acc.rob_stall += 1;
+            } else if self.mem.fill_pending_at(self.cycle) {
+                acc.miss_pending += 1;
             } else {
                 acc.exec_wait += 1;
             }
@@ -1204,13 +1218,35 @@ impl<'p> Simulator<'p> {
             if matches!(e.f.insn.kind, InsnKind::Load { .. })
                 && store_limit.is_some_and(|limit| id > limit)
             {
-                // Wait for older stores to execute. Blocked loads consume
-                // no issue bandwidth (the scan this heap replaces skipped
+                // An older store has not executed. With forwarding on, a
+                // load fully covered by the youngest older overlapping
+                // store issues anyway and takes the store's value (the
+                // forward happens in `exec_latency`); partial overlap and
+                // no-match wait conservatively. Blocked loads consume no
+                // issue bandwidth (the scan this heap replaces skipped
                 // them without counting).
+                match self.forward_state(idx) {
+                    ForwardState::Forward => {}
+                    ForwardState::PartialOverlap => {
+                        self.stats.load_replays += 1;
+                        self.blocked_loads.push(id);
+                        continue;
+                    }
+                    ForwardState::NoMatch => {
+                        self.blocked_loads.push(id);
+                        continue;
+                    }
+                }
+            }
+            let Some(lat) = self.exec_latency(idx) else {
+                // Every MSHR the access needed is busy: retry next cycle
+                // without consuming issue bandwidth (mirrors blocked
+                // loads; the `mshr-full` cause picks the cycle up).
+                self.cyc_mshr_stalled = true;
+                self.stats.mshr_full_stalls += 1;
                 self.blocked_loads.push(id);
                 continue;
-            }
-            let lat = self.exec_latency(idx);
+            };
             if self.trace.is_some() {
                 let (seq, pc, insn) = {
                     let e = &self.rob[idx];
@@ -1231,16 +1267,20 @@ impl<'p> Simulator<'p> {
         }
     }
 
-    fn exec_latency(&mut self, idx: usize) -> u64 {
+    /// Execution latency of the entry at `idx`, or `None` when a memory
+    /// access could not be accepted this cycle (non-blocking hierarchy,
+    /// every needed MSHR busy) — the caller retries next cycle.
+    fn exec_latency(&mut self, idx: usize) -> Option<u64> {
         let e = &self.rob[idx];
         let guard_true = e.f.info.guard_true;
         let role = e.role;
+        let pc = u64::from(e.f.pc);
         match e.f.insn.kind {
-            InsnKind::Alu { op, .. } => match op {
+            InsnKind::Alu { op, .. } => Some(match op {
                 wishbranch_isa::AluOp::Mul => self.cfg.mul_latency,
                 wishbranch_isa::AluOp::Div => self.cfg.div_latency,
                 _ => 1,
-            },
+            }),
             InsnKind::Load { .. } => {
                 // C-style guard-false loads are register moves; the
                 // select-µop compute part always accesses the cache.
@@ -1251,21 +1291,101 @@ impl<'p> Simulator<'p> {
                 };
                 if accesses_mem {
                     if let Some(addr) = e.f.info.mem_addr {
-                        return 1 + self.mem.data_access_at(addr, false, self.cycle);
+                        if self.cfg.mem.store_forwarding
+                            && matches!(self.forward_state(idx), ForwardState::Forward)
+                        {
+                            // Full overlap with the youngest older
+                            // in-flight store: the value comes straight
+                            // from the store queue at L1-hit latency, no
+                            // cache access, no MSHR.
+                            self.stats.store_forwards += 1;
+                            return Some(1 + self.cfg.mem.l1d.latency);
+                        }
+                        if self.mem.realistic() {
+                            return match self.mem.data_access_nonblocking(
+                                addr, false, pc, self.cycle,
+                            ) {
+                                AccessOutcome::Ready(lat) => Some(1 + lat),
+                                AccessOutcome::Pending(fill) => {
+                                    Some(1 + fill.saturating_sub(self.cycle).max(1))
+                                }
+                                AccessOutcome::MshrFull => None,
+                            };
+                        }
+                        return Some(1 + self.mem.data_access_at(addr, false, self.cycle));
                     }
                 }
-                1
+                Some(1)
             }
             InsnKind::Store { .. } => {
                 if guard_true && role != Role::Select {
                     if let Some(addr) = e.f.info.mem_addr {
-                        self.mem.data_access_at(addr, true, self.cycle);
+                        if self.mem.realistic() {
+                            // Write-allocate: the store needs an MSHR on a
+                            // miss like a load, but completes in one cycle
+                            // once accepted (the fill continues behind it).
+                            if matches!(
+                                self.mem.data_access_nonblocking(addr, true, pc, self.cycle),
+                                AccessOutcome::MshrFull
+                            ) {
+                                return None;
+                            }
+                        } else {
+                            self.mem.data_access_at(addr, true, self.cycle);
+                        }
                     }
                 }
-                1
+                Some(1)
             }
-            _ => 1,
+            _ => Some(1),
         }
+    }
+
+    /// Store-to-load-forwarding verdict for the load at `idx`: scan older
+    /// in-flight stores youngest-first; the first one whose 8-byte window
+    /// overlaps the load decides. Full overlap with ready store data
+    /// forwards; partial overlap (or full overlap with the store's data
+    /// not yet ready) conservatively waits.
+    fn forward_state(&self, idx: usize) -> ForwardState {
+        if !self.cfg.mem.store_forwarding {
+            return ForwardState::NoMatch;
+        }
+        let e = &self.rob[idx];
+        let accesses_mem = match e.role {
+            Role::Whole => e.f.info.guard_true,
+            Role::Compute => true,
+            Role::Select => false,
+        };
+        let Some(la) = e.f.info.mem_addr else {
+            return ForwardState::NoMatch;
+        };
+        if !accesses_mem {
+            return ForwardState::NoMatch;
+        }
+        let id = e.id;
+        let front_id = self.rob.front().expect("idx is live").id;
+        for &sid in self.store_queue.iter().rev() {
+            if sid >= id {
+                continue; // younger than the load
+            }
+            let s = &self.rob[(sid - front_id) as usize];
+            // Guard-false and select-placeholder stores write nothing.
+            if !s.f.info.guard_true || s.role == Role::Select {
+                continue;
+            }
+            let Some(sa) = s.f.info.mem_addr else { continue };
+            if sa == la {
+                if s.issued || s.unready == 0 {
+                    return ForwardState::Forward;
+                }
+                // Store data not ready yet: wait for it.
+                return ForwardState::NoMatch;
+            }
+            if sa < la + 8 && la < sa + 8 {
+                return ForwardState::PartialOverlap;
+            }
+        }
+        ForwardState::NoMatch
     }
 
     // ----------------------------------------------------------- dispatch
@@ -2155,6 +2275,20 @@ enum StallReason {
     IMiss,
     /// Redirect bubble: post-flush resteer or BTB-miss target bubble.
     Redirect,
+}
+
+/// Store-to-load-forwarding verdict for a ready load (see
+/// `Simulator::forward_state`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ForwardState {
+    /// Fully covered by the youngest older overlapping store whose data
+    /// is ready: take the value from the store queue at L1-hit latency.
+    Forward,
+    /// Partially covered: conservative replay — wait until the store
+    /// drains and read from the cache.
+    PartialOverlap,
+    /// No older in-flight store overlaps (or forwarding is off).
+    NoMatch,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

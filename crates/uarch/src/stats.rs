@@ -81,6 +81,14 @@ pub struct CycleAccounting {
     /// Nothing retired, ROB empty, µops in flight in the front-end queue
     /// (initial pipeline fill or end-of-program drain).
     pub frontend_fill: u64,
+    /// Nothing retired and a ready load/store could not issue because
+    /// every MSHR it needed was busy (non-blocking hierarchy only; always
+    /// zero under the flat latency model).
+    pub mshr_full: u64,
+    /// Nothing retired, the window is not full, and at least one line fill
+    /// is still outstanding: the core is waiting on memory (non-blocking
+    /// hierarchy only; always zero under the flat latency model).
+    pub miss_pending: u64,
 }
 
 impl CycleAccounting {
@@ -97,12 +105,15 @@ impl CycleAccounting {
             + self.fetch_imiss
             + self.fetch_redirect
             + self.frontend_fill
+            + self.mshr_full
+            + self.miss_pending
     }
 
     /// `(category name, cycles)` rows in a stable order, for rendering and
-    /// machine-readable reports.
+    /// machine-readable reports. The two non-blocking-hierarchy causes
+    /// come last so the legacy nine keep their historical positions.
     #[must_use]
-    pub fn rows(&self) -> [(&'static str, u64); 9] {
+    pub fn rows(&self) -> [(&'static str, u64); 11] {
         [
             ("useful_retire", self.useful_retire),
             ("guard_false_retire", self.guard_false_retire),
@@ -113,6 +124,8 @@ impl CycleAccounting {
             ("fetch_imiss", self.fetch_imiss),
             ("fetch_redirect", self.fetch_redirect),
             ("frontend_fill", self.frontend_fill),
+            ("mshr_full", self.mshr_full),
+            ("miss_pending", self.miss_pending),
         ]
     }
 }
@@ -190,6 +203,15 @@ pub struct SimStats {
     pub pred_value_predictions: u64,
     /// Predicate-value mispredictions (each one flushes).
     pub pred_value_mispredictions: u64,
+    /// Loads whose value was forwarded from an older in-flight store
+    /// (store-to-load forwarding; zero when the knob is off).
+    pub store_forwards: u64,
+    /// Cycles a ready load stayed blocked on a *partially* overlapping
+    /// older store (conservative replay; zero when forwarding is off).
+    pub load_replays: u64,
+    /// Issue attempts refused because the memory hierarchy had no free
+    /// MSHR (each refused µop retries; zero under the flat model).
+    pub mshr_full_stalls: u64,
     /// Wish jump dynamics by confidence class (retired only).
     pub wish_jumps: WishClassCounts,
     /// Wish join dynamics by confidence class (retired only).

@@ -99,6 +99,65 @@ fn hard_to_predict_branch_accrues_flush_recovery_and_hot_site() {
     );
 }
 
+/// 16 independent cold loads, 4 KiB apart (distinct lines and sets).
+fn scattered_load_program() -> Program {
+    let mut insns = vec![Insn::mov_imm(r(1), 0x2_0000)];
+    for k in 0..16u8 {
+        insns.push(Insn::load(r(2 + k % 8), r(1), i32::from(k) * 4096));
+    }
+    insns.push(Insn::halt());
+    Program::from_insns(insns)
+}
+
+#[test]
+fn tight_mshr_files_accrue_mshr_full_cycles() {
+    let mut cfg = MachineConfig::default();
+    cfg.mem.realistic = true;
+    cfg.mem.l1_mshrs = 1;
+    cfg.mem.l2_mshrs = 1;
+    let res = run(&scattered_load_program(), cfg);
+    assert_identities(&res);
+    let acc = res.stats.cycle_accounting;
+    assert!(
+        acc.mshr_full > 0,
+        "16 misses against 1 MSHR must stall on allocation: {acc:?}"
+    );
+    assert!(
+        res.stats.mshr_full_stalls > 0,
+        "refused issues must be counted"
+    );
+}
+
+#[test]
+fn outstanding_fills_accrue_miss_pending_cycles() {
+    let mut cfg = MachineConfig::default();
+    cfg.mem.realistic = true;
+    let res = run(&scattered_load_program(), cfg);
+    assert_identities(&res);
+    let acc = res.stats.cycle_accounting;
+    assert!(
+        acc.miss_pending > 0,
+        "cycles spent waiting on in-flight fills must be attributed: {acc:?}"
+    );
+    assert_eq!(
+        acc.mshr_full, 0,
+        "default MSHR files are ample for 16 misses: {acc:?}"
+    );
+}
+
+#[test]
+fn flat_model_never_reports_hierarchy_causes() {
+    let res = run(&scattered_load_program(), MachineConfig::default());
+    assert_identities(&res);
+    let acc = res.stats.cycle_accounting;
+    assert_eq!(
+        (acc.mshr_full, acc.miss_pending),
+        (0, 0),
+        "hierarchy causes are structurally zero under the flat model: {acc:?}"
+    );
+    assert_eq!(res.stats.mshr_full_stalls, 0);
+}
+
 #[test]
 fn top_sites_ranks_by_activity_and_truncates() {
     let (prog, _, _) = alternating_branch_loop(50);

@@ -205,6 +205,104 @@ fn icache_misses_stall_fetch() {
 
 use wishbranch_isa::BranchKind;
 
+/// Builds the store-to-load-forwarding scenario: a slow store (data behind
+/// a div chain) pins the store queue, a fast store to `0x3000` issues but
+/// stays queued behind it, and a younger load of `load_offset` from the
+/// fast store's address then hits the conservative-disambiguation wall.
+/// With forwarding on, full overlap resolves from the queue.
+fn stlf_program(load_offset: i32) -> Program {
+    let mut insns = vec![
+        Insn::mov_imm(r(1), 0x3000),
+        Insn::mov_imm(r(5), 0x4000),
+        Insn::mov_imm(r(2), 1 << 20),
+    ];
+    // Serial div chain: the slow store's data arrives late, keeping it
+    // unexecuted at the store-queue head for a long time.
+    for _ in 0..4 {
+        insns.push(Insn::alu(AluOp::Div, r(2), r(2), Operand::imm(2)));
+    }
+    insns.push(Insn::store(r(2), r(5), 0)); // slow store, unexecuted
+    insns.push(Insn::mov_imm(r(3), 42));
+    insns.push(Insn::store(r(3), r(1), 0)); // fast store, queued behind it
+    insns.push(Insn::load(r(4), r(1), load_offset));
+    insns.push(Insn::alu(AluOp::Add, r(6), r(4), Operand::imm(1))); // dependent
+    insns.push(Insn::halt());
+    Program::from_insns(insns)
+}
+
+#[test]
+fn full_overlap_store_forwards_at_l1_latency() {
+    let mut fwd_cfg = ideal_mem_cfg();
+    fwd_cfg.mem.realistic = true;
+    fwd_cfg.mem.store_forwarding = true;
+    let mut nofwd_cfg = ideal_mem_cfg();
+    nofwd_cfg.mem.realistic = true;
+    let prog = stlf_program(0);
+    let fwd = run(&prog, fwd_cfg, &[]);
+    let nofwd = run(&prog, nofwd_cfg, &[]);
+    assert!(fwd.stats.store_forwards >= 1, "full overlap must forward");
+    assert_eq!(nofwd.stats.store_forwards, 0, "knob off must never forward");
+    // Identical architectural outcome, strictly better timing: the load
+    // no longer waits for the div chain to release the store queue.
+    assert_eq!(fwd.final_regs, nofwd.final_regs);
+    assert_eq!(fwd.final_regs[6], 43, "forwarded value must be the store's");
+    assert!(
+        fwd.stats.cycles < nofwd.stats.cycles,
+        "forwarding must beat conservative waiting: {} vs {} cycles",
+        fwd.stats.cycles,
+        nofwd.stats.cycles
+    );
+}
+
+#[test]
+fn partial_overlap_replays_instead_of_forwarding() {
+    let mut cfg = ideal_mem_cfg();
+    cfg.mem.realistic = true;
+    cfg.mem.store_forwarding = true;
+    // The load's 8-byte window overlaps the store's but the addresses
+    // differ: forwarding would need byte merging, so the load replays.
+    let res = run(&stlf_program(4), cfg, &[]);
+    assert_eq!(res.stats.store_forwards, 0, "partial overlap must not forward");
+    assert!(
+        res.stats.load_replays > 0,
+        "partial overlap must be counted as replay cycles"
+    );
+}
+
+#[test]
+fn squashed_wrong_path_store_never_forwards() {
+    use wishbranch_isa::{CmpOp, PredReg, ProgramBuilder};
+    // The branch condition is FALSE but a cold predictor guesses taken, so
+    // the wrong path — which stores 99 to the load's address — is fetched
+    // and then squashed. The correct-path load must read memory (7), not
+    // the squashed store's data, and no forward may be recorded.
+    let mut b = ProgramBuilder::new();
+    let wrong = b.label("wrong");
+    let done = b.label("done");
+    b.push(Insn::mov_imm(r(1), 0x3000));
+    b.push(Insn::mov_imm(r(2), 99));
+    b.push(Insn::cmp(CmpOp::Ne, PredReg::new(1), r(1), Operand::imm(0x3000)));
+    b.push_cond_branch(PredReg::new(1), true, wrong, None);
+    // Correct path (fall-through after the flush):
+    b.push(Insn::load(r(3), r(1), 0));
+    b.push_jump(done);
+    b.bind(wrong);
+    b.push(Insn::store(r(2), r(1), 0));
+    b.bind(done);
+    b.push(Insn::halt());
+    let mut cfg = ideal_mem_cfg();
+    cfg.mem.realistic = true;
+    cfg.mem.store_forwarding = true;
+    let res = run(&b.build(), cfg, &[(0x3000, 7)]);
+    assert!(res.stats.flushes >= 1, "the branch must mispredict");
+    assert_eq!(
+        res.stats.store_forwards, 0,
+        "a squashed store must never forward past the flush boundary"
+    );
+    assert_eq!(res.final_regs[3], 7, "the load must read memory, not the squashed store");
+    assert_eq!(res.final_mem.get(&0x3000), Some(&7), "the squashed store must not commit");
+}
+
 #[test]
 fn dependence_chains_are_enforced_across_flushes() {
     // Regression test: ROB ids must stay contiguous after a flush, or

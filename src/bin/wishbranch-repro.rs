@@ -5,7 +5,7 @@
 //! USAGE: wishbranch-repro [--scale N] [--workers N] [--json] [--quick]
 //!                         [--report-dir DIR] [--resume] [--strict]
 //!                         [--oracle] [--fault-plan SPEC] <experiment>...
-//!        wishbranch-repro validate [--scale N] [--quick] [--input A|B|C]
+//!        wishbranch-repro validate [--scale N] [--quick] [--input A|B|C] [--hierarchy]
 //!                                  [--fuzz N] [--seed S] [--repro-out FILE]
 //!        wishbranch-repro trace <bench> <variant> [--cycles A..B] [--scale N]
 //!        wishbranch-repro --list
@@ -60,9 +60,9 @@
 
 use wishbranch_compiler::BinaryVariant;
 use wishbranch_core::{
-    failure_table, fuzz_lockstep, summary_json_with_failures, sweep_summary_table, trace_binary,
-    validate_suite, Experiment, ExperimentConfig, FaultPlan, FuzzOutcome, JournalError,
-    SweepRunner,
+    failure_table, fuzz_lockstep, fuzz_lockstep_hierarchy, summary_json_with_failures,
+    sweep_summary_table, trace_binary, validate_suite, validate_suite_hierarchy, Experiment,
+    ExperimentConfig, FaultPlan, FuzzOutcome, JournalError, SweepRunner,
 };
 use wishbranch_uarch::render_trace;
 use wishbranch_workloads::{suite, InputSet};
@@ -75,7 +75,7 @@ fn usage() -> ! {
     eprintln!(
         "USAGE: wishbranch-repro [--scale N] [--workers N] [--json] [--quick] [--report-dir DIR]\n\
                                  [--resume] [--strict] [--oracle] [--fault-plan SPEC] <experiment>...\n\
-                wishbranch-repro validate [--scale N] [--quick] [--input A|B|C]\n\
+                wishbranch-repro validate [--scale N] [--quick] [--input A|B|C] [--hierarchy]\n\
                                           [--fuzz N] [--seed S] [--repro-out FILE]\n\
                 wishbranch-repro trace <bench> <variant> [--cycles A..B] [--scale N]\n\
                 wishbranch-repro --list\n\
@@ -271,6 +271,7 @@ fn validate_main(args: &[String]) {
     let mut fuzz: Option<usize> = None;
     let mut seed: u64 = 0x5EED;
     let mut repro_out: Option<std::path::PathBuf> = None;
+    let mut hierarchy = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -306,15 +307,22 @@ fn validate_main(args: &[String]) {
             "--repro-out" => {
                 repro_out = Some(it.next().unwrap_or_else(|| usage()).into());
             }
+            "--hierarchy" => hierarchy = true,
             _ => usage(),
         }
     }
 
     if let Some(count) = fuzz {
-        let report = fuzz_lockstep(seed, count);
+        let report = if hierarchy {
+            fuzz_lockstep_hierarchy(seed, count)
+        } else {
+            fuzz_lockstep(seed, count)
+        };
         println!(
-            "fuzz: seed {seed:#x}, {} cases checked, {} skipped (compile-out or cycle budget)",
-            report.cases, report.skipped
+            "fuzz: seed {seed:#x}{}, {} cases checked, {} skipped (compile-out or cycle budget)",
+            if hierarchy { ", non-blocking hierarchy" } else { "" },
+            report.cases,
+            report.skipped
         );
         match report.outcome {
             FuzzOutcome::Clean => println!("fuzz: clean — no divergence"),
@@ -346,13 +354,18 @@ fn validate_main(args: &[String]) {
         } else {
             ExperimentConfig::paper(scale)
         };
-        let report = validate_suite(&ec, input);
+        let report = if hierarchy {
+            validate_suite_hierarchy(&ec, input)
+        } else {
+            validate_suite(&ec, input)
+        };
         for (label, detail) in &report.failures {
             eprintln!("validate: FAIL {label}: {detail}");
         }
         println!(
-            "validate: {} jobs (suite x every variant, input {input}), {} divergent",
+            "validate: {} jobs (suite x every variant, input {input}{}), {} divergent",
             report.jobs,
+            if hierarchy { ", non-blocking hierarchy" } else { "" },
             report.failures.len()
         );
         if !report.passed() {

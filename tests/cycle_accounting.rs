@@ -64,7 +64,10 @@ fn identity_holds_for_the_adaptive_extension_binary() {
 
 /// The machine configurations the figures sweep over: select-µop
 /// predication, oracle knobs, dynamic hammock predication, predicate
-/// prediction and a bounded-MSHR memory system.
+/// prediction, a bounded-MSHR flat memory system, and the non-blocking
+/// hierarchy (with forwarding, prefetch, and starvation-tight MSHR files —
+/// the configurations that can produce the `mshr_full` / `miss_pending`
+/// causes).
 fn machine_variants() -> Vec<(&'static str, MachineConfig)> {
     let base = ExperimentConfig::quick(SCALE).machine;
     let mut out = Vec::new();
@@ -83,9 +86,23 @@ fn machine_variants() -> Vec<(&'static str, MachineConfig)> {
     let mut m = base.clone();
     m.predicate_prediction = true;
     out.push(("predpred", m));
-    let mut m = base;
+    let mut m = base.clone();
     m.mem.max_outstanding_misses = 2;
     out.push(("mshr2", m));
+    let mut m = base.clone();
+    m.mem.realistic = true;
+    m.mem.store_forwarding = true;
+    out.push(("hierarchy-stlf", m));
+    let mut m = base.clone();
+    m.mem.realistic = true;
+    m.mem.store_forwarding = true;
+    m.mem.prefetch_entries = 16;
+    out.push(("hierarchy-prefetch", m));
+    let mut m = base;
+    m.mem.realistic = true;
+    m.mem.l1_mshrs = 1;
+    m.mem.l2_mshrs = 1;
+    out.push(("hierarchy-tight-mshr", m));
     out
 }
 

@@ -215,7 +215,27 @@ fn fingerprint(r: &SimResult) -> u64 {
     put(s.loop_early_exits);
     put(s.loop_late_exits);
     put(s.loop_no_exits);
-    for (_, v) in s.cycle_accounting.rows() {
+    // The nine flat-model accounting causes, explicitly — NOT rows(), so
+    // adding hierarchy-only causes (mshr_full/miss_pending, zero for every
+    // golden job because the knobs default off) cannot silently shift the
+    // hash. The assert pins that precondition.
+    let a = &s.cycle_accounting;
+    assert_eq!(
+        (a.mshr_full, a.miss_pending),
+        (0, 0),
+        "golden jobs run the flat memory model; hierarchy causes must be zero"
+    );
+    for v in [
+        a.useful_retire,
+        a.guard_false_retire,
+        a.select_uop_retire,
+        a.exec_wait,
+        a.rob_stall,
+        a.flush_recovery,
+        a.fetch_imiss,
+        a.fetch_redirect,
+        a.frontend_fill,
+    ] {
         put(v);
     }
     for (&pc, c) in &s.hot_sites {

@@ -3,7 +3,10 @@
 //! scale small enough for debug builds.
 
 use wishbranch_compiler::BinaryVariant;
-use wishbranch_core::{figure12, figure2, run_binary, table4, table5, ExperimentConfig, SweepRunner};
+use wishbranch_core::{
+    figure12, figure14_mem_latency, figure2, run_binary, table4, table5, ExperimentConfig,
+    SweepRunner,
+};
 use wishbranch_workloads::{mcf, suite, InputSet};
 
 fn quick() -> ExperimentConfig {
@@ -86,6 +89,44 @@ fn figure12_wish_branches_win_on_average() {
     assert!(
         wjjl_perf <= wjjl + 0.01,
         "perfect confidence must not hurt: {wjjl_perf:.3} vs {wjjl:.3}"
+    );
+}
+
+#[test]
+fn figure14_mem_latency_wish_advantage_grows_with_latency() {
+    let rows = figure14_mem_latency(&quick_runner());
+    assert_eq!(rows.len(), 4, "four latency points");
+    for r in &rows {
+        let series: Vec<&str> = r.series.iter().map(String::as_str).collect();
+        assert_eq!(series, ["BASE-MAX", "wish-jjl (real-conf)", "PERFECT-CBP"]);
+        // Perfect branch prediction is the ceiling at every latency.
+        assert!(
+            r.avg[2] < r.avg[0].min(r.avg[1]),
+            "PERFECT-CBP must beat both contenders at latency {}: {:?}",
+            r.param,
+            r.avg
+        );
+    }
+    // The experiment's claim: wish branches' advantage over predication
+    // (predicated code serializes load-dependent predicates that branches
+    // speculate past, and its guard-false work competes for MSHRs) widens
+    // as memory latency grows — strictly, on the mcf-free mean the paper
+    // prefers, and end-to-end on the full mean.
+    let adv: Vec<f64> = rows.iter().map(|r| r.avg_nomcf[0] - r.avg_nomcf[1]).collect();
+    for pair in adv.windows(2) {
+        assert!(
+            pair[1] > pair[0],
+            "wish advantage over BASE-MAX must grow with latency: {adv:?}"
+        );
+    }
+    let adv_full: Vec<f64> = rows.iter().map(|r| r.avg[0] - r.avg[1]).collect();
+    assert!(
+        adv_full.last() > adv_full.first(),
+        "advantage must grow across the sweep on the full mean too: {adv_full:?}"
+    );
+    assert!(
+        *adv.last().unwrap() > 0.0,
+        "at the longest latency wish branches must beat predication outright: {adv:?}"
     );
 }
 
