@@ -4,17 +4,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use wishbranch_bench::{emit_report, paper_runner, print_sweep_summary, register_kernel};
-use wishbranch_core::{confidence_threshold_sweep, Report};
+use wishbranch_core::Experiment;
 
 fn bench(c: &mut Criterion) {
     let runner = paper_runner();
-    let points = confidence_threshold_sweep(&runner, &[2, 5, 9, 13, 15]);
-    emit_report(&Report::ablation(
-        "abl_confidence",
-        "Ablation: JRS threshold vs avg wish-jjl exec time (normalized to normal)",
-        "threshold",
-        points,
-    ));
+    emit_report(&Experiment::AblConfidence.run(&runner));
     print_sweep_summary(&runner);
     register_kernel(c, "abl_confidence");
 }

@@ -4,17 +4,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use wishbranch_bench::{emit_report, paper_runner, print_sweep_summary, register_kernel};
-use wishbranch_core::{mshr_sweep, Report};
+use wishbranch_core::Experiment;
 
 fn bench(c: &mut Criterion) {
     let runner = paper_runner();
-    let points = mshr_sweep(&runner, &[0, 32, 8, 2]);
-    emit_report(&Report::ablation(
-        "abl_mshr",
-        "Ablation: MSHRs vs avg wish-jjl exec time (normalized; 0 = unlimited)",
-        "mshrs",
-        points,
-    ));
+    emit_report(&Experiment::AblMshr.run(&runner));
     print_sweep_summary(&runner);
     register_kernel(c, "abl_mshr");
 }

@@ -3,17 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use wishbranch_bench::{emit_report, paper_runner, print_sweep_summary, register_kernel};
-use wishbranch_core::{wish_threshold_sweep, Report};
+use wishbranch_core::Experiment;
 
 fn bench(c: &mut Criterion) {
     let runner = paper_runner();
-    let points = wish_threshold_sweep(&runner, &[0, 3, 5, 9, 15]);
-    emit_report(&Report::ablation(
-        "abl_thresholds",
-        "Ablation: wish-jump threshold N vs avg wish-jjl exec time (normalized)",
-        "N",
-        points,
-    ));
+    emit_report(&Experiment::AblThresholds.run(&runner));
     print_sweep_summary(&runner);
     register_kernel(c, "abl_thresholds");
 }

@@ -73,6 +73,7 @@ fn wjl_points(
 /// estimator is essential"). Low thresholds trust the predictor too much
 /// (high-confidence mispredictions flush); high thresholds predicate too
 /// much (overhead without benefit).
+#[deprecated(note = "run `Experiment::AblConfidence` through the Experiment catalog (or a typed SweepRequest via run_request) instead; this free-function entry point will be removed next release")]
 #[must_use]
 pub fn confidence_threshold_sweep(
     runner: &SweepRunner,
@@ -93,6 +94,7 @@ pub fn confidence_threshold_sweep(
 /// Sweeps the number of MSHRs (outstanding memory misses): bounding MLP
 /// magnifies predication's serialization pathologies (mcf) and shrinks the
 /// normal binary's ability to hide flush latency. `0` = unlimited.
+#[deprecated(note = "run `Experiment::AblMshr` through the Experiment catalog (or a typed SweepRequest via run_request) instead; this free-function entry point will be removed next release")]
 #[must_use]
 pub fn mshr_sweep(runner: &SweepRunner, mshrs: &[usize]) -> Vec<AblationPoint> {
     let ec = runner.config();
@@ -113,6 +115,7 @@ pub fn mshr_sweep(runner: &SweepRunner, mshrs: &[usize]) -> Vec<AblationPoint> {
 /// Each N is a distinct compile-cache key, so the sweep deliberately
 /// compiles fresh binaries per point (the engine's cache keys on the full
 /// compile options).
+#[deprecated(note = "run `Experiment::AblThresholds` through the Experiment catalog (or a typed SweepRequest via run_request) instead; this free-function entry point will be removed next release")]
 #[must_use]
 pub fn wish_threshold_sweep(runner: &SweepRunner, ns: &[usize]) -> Vec<AblationPoint> {
     let ec = runner.config();

@@ -6,6 +6,7 @@
 //! the set of experiment names, their titles and their payload kinds live
 //! in exactly one place.
 
+use crate::ablation;
 use crate::engine::SweepRunner;
 use crate::figures;
 use crate::report::{Report, ReportData};
@@ -45,11 +46,17 @@ pub enum Experiment {
     Dhp,
     /// Extension — predicate prediction comparison.
     PredPred,
+    /// Ablation — JRS confidence-threshold sweep.
+    AblConfidence,
+    /// Ablation — MSHR-count sweep on the non-blocking hierarchy.
+    AblMshr,
+    /// Ablation — compiler wish-jump threshold N sweep.
+    AblThresholds,
 }
 
 impl Experiment {
     /// Every experiment, in presentation order.
-    pub const ALL: [Experiment; 15] = [
+    pub const ALL: [Experiment; 18] = [
         Experiment::Fig1,
         Experiment::Fig2,
         Experiment::Fig10,
@@ -65,6 +72,9 @@ impl Experiment {
         Experiment::Adaptive,
         Experiment::Dhp,
         Experiment::PredPred,
+        Experiment::AblConfidence,
+        Experiment::AblMshr,
+        Experiment::AblThresholds,
     ];
 
     /// The stable id used by the CLI and as the `--report-dir` file stem.
@@ -86,6 +96,9 @@ impl Experiment {
             Experiment::Adaptive => "adaptive",
             Experiment::Dhp => "dhp",
             Experiment::PredPred => "predpred",
+            Experiment::AblConfidence => "abl_confidence",
+            Experiment::AblMshr => "abl_mshr",
+            Experiment::AblThresholds => "abl_thresholds",
         }
     }
 
@@ -99,6 +112,7 @@ impl Experiment {
     /// [`Report`]. Figure titles come from the figure itself; the other
     /// kinds carry fixed titles.
     #[must_use]
+    #[allow(deprecated)] // the catalog is the blessed caller of the old entry points
     pub fn run(self, runner: &SweepRunner) -> Report {
         match self {
             Experiment::Fig1 => Report::figure("fig1", figures::figure1(runner)),
@@ -156,6 +170,24 @@ impl Experiment {
             Experiment::PredPred => {
                 Report::figure("predpred", figures::figure_predicate_prediction(runner))
             }
+            Experiment::AblConfidence => Report::ablation(
+                "abl_confidence",
+                "Ablation: JRS threshold vs avg wish-jjl exec time (normalized to normal)",
+                "threshold",
+                ablation::confidence_threshold_sweep(runner, &[2, 5, 9, 13, 15]),
+            ),
+            Experiment::AblMshr => Report::ablation(
+                "abl_mshr",
+                "Ablation: MSHRs vs avg wish-jjl exec time (normalized; 0 = unlimited)",
+                "mshrs",
+                ablation::mshr_sweep(runner, &[0, 32, 8, 2]),
+            ),
+            Experiment::AblThresholds => Report::ablation(
+                "abl_thresholds",
+                "Ablation: wish-jump threshold N vs avg wish-jjl exec time (normalized)",
+                "N",
+                ablation::wish_threshold_sweep(runner, &[0, 3, 5, 9, 15]),
+            ),
         }
     }
 }

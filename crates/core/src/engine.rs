@@ -50,6 +50,7 @@ use crate::experiment::{
     profile_on, simulate_unverified, verify_retired_state, ExperimentConfig, RunOutcome,
 };
 use crate::journal::{fnv1a64, JournalError, JournalWriter};
+use crate::store::ArtifactStore;
 use wishbranch_compiler::{compile, compile_adaptive, BinaryVariant, CompileOptions, CompiledBinary};
 use wishbranch_ir::Profile;
 use wishbranch_uarch::MachineConfig;
@@ -202,6 +203,9 @@ pub struct JobResult {
     /// Whether the whole outcome was served from an attached sweep
     /// journal (`--resume`) instead of being executed.
     pub journal_hit: bool,
+    /// Whether the whole outcome was served from an attached
+    /// content-addressed [`ArtifactStore`] instead of being executed.
+    pub store_hit: bool,
 }
 
 /// Per-phase wall-clock breakdown of one job. `acquire` covers the
@@ -239,6 +243,13 @@ pub struct SweepSummary {
     pub retries: u64,
     /// Jobs served bit-identically from an attached sweep journal.
     pub journal_hits: u64,
+    /// Jobs served bit-identically from an attached content-addressed
+    /// artifact store (identical work done earlier, possibly by another
+    /// run or tenant).
+    pub store_hits: u64,
+    /// Jobs that consulted an attached artifact store and missed (and so
+    /// were executed, then written back).
+    pub store_misses: u64,
     /// Sum of per-job wall-clock times (the serial cost of the work).
     pub job_time: Duration,
     /// End-to-end wall-clock time spent inside [`SweepRunner::try_run`].
@@ -307,6 +318,11 @@ impl SweepSummary {
 type ProfileCell = Arc<OnceLock<Result<Arc<Profile>, JobError>>>;
 type BinaryCell = Arc<OnceLock<Result<Arc<CompiledBinary>, JobError>>>;
 
+/// A job-completion hook (see [`SweepRunner::set_observer`]): called with
+/// the job's stable key and its successful result, from worker threads,
+/// in completion order.
+pub type JobObserver = Arc<dyn Fn(u64, &JobResult) + Send + Sync>;
+
 /// An attached sweep journal: the append handle plus the outcomes loaded
 /// for `--resume` (empty when not resuming).
 struct JournalState {
@@ -339,6 +355,15 @@ pub struct SweepRunner {
     oracle: bool,
     wall_budget: Option<Duration>,
     journal: Mutex<Option<JournalState>>,
+    /// Content-addressed outcome store shared across runs and tenants
+    /// (`None` when not serving). Consulted after the journal, before
+    /// execution; written back on every fresh success.
+    store: Option<Arc<ArtifactStore>>,
+    /// Completion hook: fires once per successful job with its key and
+    /// result — on fresh executions, journal hits *and* store hits — so a
+    /// streaming consumer sees every job exactly once even across a
+    /// kill-and-resume cycle.
+    observer: Option<JobObserver>,
     failures: Mutex<Vec<JobFailure>>,
     profile_hits: AtomicU64,
     profile_misses: AtomicU64,
@@ -348,6 +373,8 @@ pub struct SweepRunner {
     failed: AtomicU64,
     retries: AtomicU64,
     journal_hits: AtomicU64,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
     job_time_nanos: AtomicU64,
     wall_nanos: AtomicU64,
     profile_nanos: AtomicU64,
@@ -409,6 +436,8 @@ impl SweepRunner {
             oracle: false,
             wall_budget: None,
             journal: Mutex::new(None),
+            store: None,
+            observer: None,
             failures: Mutex::new(Vec::new()),
             profile_hits: AtomicU64::new(0),
             profile_misses: AtomicU64::new(0),
@@ -418,6 +447,8 @@ impl SweepRunner {
             failed: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             journal_hits: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
+            store_misses: AtomicU64::new(0),
             job_time_nanos: AtomicU64::new(0),
             wall_nanos: AtomicU64::new(0),
             profile_nanos: AtomicU64::new(0),
@@ -475,6 +506,25 @@ impl SweepRunner {
     /// but reports [`JobError::WallBudgetExceeded`] instead of a result.
     pub fn set_wall_budget(&mut self, budget: Option<Duration>) {
         self.wall_budget = budget;
+    }
+
+    /// Attaches a content-addressed [`ArtifactStore`]: before executing a
+    /// job (and after the journal lookup) the store is consulted under
+    /// the job's [`job_key`](Self::job_key); a hit is returned
+    /// bit-identically as a [`JobResult::store_hit`] and appended to the
+    /// local journal so resume stays complete. Every fresh success is
+    /// written back. Lookup order is journal → store → execute.
+    pub fn attach_store(&mut self, store: Arc<ArtifactStore>) {
+        self.store = Some(store);
+    }
+
+    /// Installs a completion observer: called once per successful job
+    /// with `(job_key, &result)`, on every success path — fresh
+    /// execution, journal hit, store hit — in completion order. Streaming
+    /// consumers (the serve protocol) rely on journal hits re-firing
+    /// after a resume so a client stream stays gap-free.
+    pub fn set_observer(&mut self, observer: JobObserver) {
+        self.observer = Some(observer);
     }
 
     /// The run-identity fingerprint stamped into this runner's journal
@@ -674,14 +724,39 @@ impl SweepRunner {
         if let Some(outcome) = self.journal_lookup(job) {
             self.jobs_run.fetch_add(1, Ordering::Relaxed);
             self.journal_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(JobResult {
+            let done = JobResult {
                 job: job.clone(),
                 outcome,
                 wall: Duration::ZERO,
                 phases: JobPhases::default(),
                 compile_cache_hit: true,
                 journal_hit: true,
-            });
+                store_hit: false,
+            };
+            self.notify(&done);
+            return Ok(done);
+        }
+        if let Some(store) = &self.store {
+            let key = self.job_key(job);
+            if let Some(outcome) = store.get(key) {
+                self.jobs_run.fetch_add(1, Ordering::Relaxed);
+                self.store_hits.fetch_add(1, Ordering::Relaxed);
+                // Append to the local journal so a later resume of this
+                // run is complete without consulting the store.
+                self.journal_append(job, &outcome);
+                let done = JobResult {
+                    job: job.clone(),
+                    outcome,
+                    wall: Duration::ZERO,
+                    phases: JobPhases::default(),
+                    compile_cache_hit: true,
+                    journal_hit: false,
+                    store_hit: true,
+                };
+                self.notify(&done);
+                return Ok(done);
+            }
+            self.store_misses.fetch_add(1, Ordering::Relaxed);
         }
         let mut attempts = 0u32;
         loop {
@@ -697,6 +772,14 @@ impl SweepRunner {
             match result {
                 Ok(done) => {
                     self.journal_append(job, &done.outcome);
+                    if let Some(store) = &self.store {
+                        if let Err(e) = store.put(self.job_key(job), &done.outcome) {
+                            // Store write failure degrades the cache (warn),
+                            // never the sweep — same contract as the journal.
+                            eprintln!("warning: artifact-store write failed: {e}");
+                        }
+                    }
+                    self.notify(&done);
                     return Ok(done);
                 }
                 Err(error) if error.retryable() && attempts <= self.retry_limit => {
@@ -775,7 +858,15 @@ impl SweepRunner {
             },
             compile_cache_hit,
             journal_hit: false,
+            store_hit: false,
         })
+    }
+
+    /// Fires the completion observer, if one is installed.
+    fn notify(&self, done: &JobResult) {
+        if let Some(observer) = &self.observer {
+            observer(self.job_key(&done.job), done);
+        }
     }
 
     /// The journaled outcome for a job, if a journal is attached in
@@ -910,6 +1001,8 @@ impl SweepRunner {
             failed: self.failed.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             journal_hits: self.journal_hits.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            store_misses: self.store_misses.load(Ordering::Relaxed),
             job_time: Duration::from_nanos(self.job_time_nanos.load(Ordering::Relaxed)),
             wall_time: Duration::from_nanos(self.wall_nanos.load(Ordering::Relaxed)),
             profile_time: Duration::from_nanos(self.profile_nanos.load(Ordering::Relaxed)),

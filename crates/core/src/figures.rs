@@ -114,6 +114,7 @@ fn ratio(num: Option<u64>, den: Option<u64>) -> f64 {
 /// on the training input only; the spread across inputs is the paper's
 /// motivation ("the performance of predicated execution is highly dependent
 /// on the run-time input set").
+#[deprecated(note = "run `Experiment::Fig1` through the Experiment catalog (or a typed SweepRequest via run_request) instead; this free-function entry point will be removed next release")]
 #[must_use]
 pub fn figure1(runner: &SweepRunner) -> FigureData {
     let ec = runner.config().clone();
@@ -148,6 +149,7 @@ pub fn figure1(runner: &SweepRunner) -> FigureData {
 /// predicate dependencies ideally removed (NO-DEPEND), with useless
 /// instructions also removed (NO-DEPEND + NO-FETCH), and the normal binary
 /// under perfect conditional branch prediction (PERFECT-CBP).
+#[deprecated(note = "run `Experiment::Fig2` through the Experiment catalog (or a typed SweepRequest via run_request) instead; this free-function entry point will be removed next release")]
 #[must_use]
 pub fn figure2(runner: &SweepRunner) -> FigureData {
     let ec = runner.config().clone();
@@ -244,6 +246,7 @@ fn comparison_figure(
 
 /// **Fig. 10** — wish jump/join binaries vs the predicated baselines, with
 /// the real and a perfect confidence estimator.
+#[deprecated(note = "run `Experiment::Fig10` through the Experiment catalog (or a typed SweepRequest via run_request) instead; this free-function entry point will be removed next release")]
 #[must_use]
 pub fn figure10(runner: &SweepRunner) -> FigureData {
     comparison_figure(
@@ -260,6 +263,7 @@ pub fn figure10(runner: &SweepRunner) -> FigureData {
 }
 
 /// **Fig. 12** — adds wish loops.
+#[deprecated(note = "run `Experiment::Fig12` through the Experiment catalog (or a typed SweepRequest via run_request) instead; this free-function entry point will be removed next release")]
 #[must_use]
 pub fn figure12(runner: &SweepRunner) -> FigureData {
     comparison_figure(
@@ -278,6 +282,7 @@ pub fn figure12(runner: &SweepRunner) -> FigureData {
 
 /// **Fig. 16** — the Fig. 12 comparison on a machine using the select-µop
 /// mechanism instead of C-style conditional expressions (§5.3.3).
+#[deprecated(note = "run `Experiment::Fig16` through the Experiment catalog (or a typed SweepRequest via run_request) instead; this free-function entry point will be removed next release")]
 #[must_use]
 pub fn figure16(runner: &SweepRunner) -> FigureData {
     let mut machine = runner.config().machine.clone();
@@ -314,6 +319,7 @@ pub struct Fig11Row {
 
 /// **Fig. 11** — the confidence-estimate breakdown for wish jumps + joins
 /// in the wish jump/join binary.
+#[deprecated(note = "run `Experiment::Fig11` through the Experiment catalog (or a typed SweepRequest via run_request) instead; this free-function entry point will be removed next release")]
 #[must_use]
 pub fn figure11(runner: &SweepRunner) -> Vec<Fig11Row> {
     let ec = runner.config().clone();
@@ -375,6 +381,7 @@ pub struct Fig13Row {
 }
 
 /// **Fig. 13** — the wish-loop breakdown in the wish jump/join/loop binary.
+#[deprecated(note = "run `Experiment::Fig13` through the Experiment catalog (or a typed SweepRequest via run_request) instead; this free-function entry point will be removed next release")]
 #[must_use]
 pub fn figure13(runner: &SweepRunner) -> Vec<Fig13Row> {
     let ec = runner.config().clone();
@@ -500,6 +507,7 @@ fn sweep(runner: &SweepRunner, machines: Vec<(u64, MachineConfig)>) -> Vec<Sweep
 }
 
 /// **Fig. 14** — instruction-window sweep (128/256/512 entries).
+#[deprecated(note = "run `Experiment::Fig14` through the Experiment catalog (or a typed SweepRequest via run_request) instead; this free-function entry point will be removed next release")]
 #[must_use]
 pub fn figure14(runner: &SweepRunner) -> Vec<SweepRow> {
     let ec = runner.config();
@@ -512,6 +520,7 @@ pub fn figure14(runner: &SweepRunner) -> Vec<SweepRow> {
 
 /// **Fig. 15** — pipeline-depth sweep (10/20/30 stages) at a 256-entry
 /// window, as in the paper.
+#[deprecated(note = "run `Experiment::Fig15` through the Experiment catalog (or a typed SweepRequest via run_request) instead; this free-function entry point will be removed next release")]
 #[must_use]
 pub fn figure15(runner: &SweepRunner) -> Vec<SweepRow> {
     let ec = runner.config();
@@ -539,6 +548,7 @@ pub fn figure15(runner: &SweepRunner) -> Vec<SweepRow> {
 /// `BASE-MAX` widens as memory latency grows (the
 /// `figure14_mem_latency_wish_advantage_grows_with_latency` shape test
 /// pins this).
+#[deprecated(note = "run `Experiment::Fig14Mem` through the Experiment catalog (or a typed SweepRequest via run_request) instead; this free-function entry point will be removed next release")]
 #[must_use]
 pub fn figure14_mem_latency(runner: &SweepRunner) -> Vec<SweepRow> {
     let ec = runner.config().clone();
@@ -628,6 +638,7 @@ pub fn figure14_mem_latency(runner: &SweepRunner) -> Vec<SweepRow> {
 /// jump/join/loop binary, evaluated across *all three* input sets. The
 /// adaptive compiler trains on inputs A and C; the fixed heuristics train
 /// on the experiment's training input as usual.
+#[deprecated(note = "run `Experiment::Adaptive` through the Experiment catalog (or a typed SweepRequest via run_request) instead; this free-function entry point will be removed next release")]
 #[must_use]
 pub fn figure_adaptive(runner: &SweepRunner) -> FigureData {
     let ec = runner.config().clone();
@@ -679,6 +690,7 @@ pub fn figure_adaptive(runner: &SweepRunner) -> FigureData {
 /// The paper argues wish branches beat DHP because the compiler converts
 /// complex regions and loops that fetch-time hardware cannot; the wish rows
 /// should therefore win wherever loops or large regions matter.
+#[deprecated(note = "run `Experiment::Dhp` through the Experiment catalog (or a typed SweepRequest via run_request) instead; this free-function entry point will be removed next release")]
 #[must_use]
 pub fn figure_dhp(runner: &SweepRunner) -> FigureData {
     let ec = runner.config().clone();
@@ -735,6 +747,7 @@ pub fn figure_dhp(runner: &SweepRunner) -> FigureData {
 /// prediction removes predication's execution delay but still fetches the
 /// useless instructions and flushes on hard predicates — the two costs
 /// wish branches avoid.
+#[deprecated(note = "run `Experiment::PredPred` through the Experiment catalog (or a typed SweepRequest via run_request) instead; this free-function entry point will be removed next release")]
 #[must_use]
 pub fn figure_predicate_prediction(runner: &SweepRunner) -> FigureData {
     let ec = runner.config().clone();

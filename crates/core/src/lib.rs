@@ -47,19 +47,24 @@ mod error;
 mod experiment;
 mod figures;
 pub mod journal;
+pub mod minijson;
 mod render;
 mod report;
+mod request;
+mod serve;
+mod store;
 mod tables;
 mod validate;
 
+#[allow(deprecated)]
 pub use ablation::{
     confidence_threshold_sweep, loop_predictor_comparison, mshr_sweep, wish_threshold_sweep,
     AblationPoint, LoopPredictorComparison,
 };
 pub use catalog::Experiment;
 pub use engine::{
-    default_workers, JobPhases, JobResult, SweepJob, SweepRunner, SweepSummary, TrainSpec,
-    WORKERS_ENV,
+    default_workers, JobObserver, JobPhases, JobResult, SweepJob, SweepRunner, SweepSummary,
+    TrainSpec, WORKERS_ENV,
 };
 pub use error::{FaultKind, FaultPlan, JobError, JobFailure};
 pub use journal::JournalError;
@@ -68,6 +73,7 @@ pub use experiment::{
     simulate_lockstep, simulate_unverified, trace_binary, verify_retired_state, ExperimentConfig,
     RunOutcome, DEFAULT_STEP_BUDGET,
 };
+#[allow(deprecated)]
 pub use figures::{
     figure1, figure10, figure11, figure12, figure13, figure14, figure14_mem_latency, figure15,
     figure16, figure2,
@@ -81,6 +87,16 @@ pub use render::{
 pub use report::{
     json_escape, summary_json, summary_json_with_failures, throughput_json, Report, ReportData,
 };
+pub use request::{
+    parse_input_set, run_request, Budgets, RequestError, SweepRequest, SweepResponse,
+    FAULT_PLAN_ENV, REQUEST_SCHEMA,
+};
+pub use serve::{
+    client_stream, serve_forever, worker_main, ResponseLine, ServeConfig, Server, RESPONSE_SCHEMA,
+    WORKER_SPEC_SCHEMA,
+};
+pub use store::ArtifactStore;
+#[allow(deprecated)]
 pub use tables::{table4, table5, Table4Row, Table5Row};
 pub use validate::{
     fuzz_lockstep, fuzz_lockstep_hierarchy, shrink_case, validate_suite,
@@ -95,6 +111,8 @@ pub mod prelude {
     pub use crate::error::{FaultKind, FaultPlan, JobError, JobFailure};
     pub use crate::experiment::{run_binary, trace_binary, ExperimentConfig};
     pub use crate::report::{summary_json, Report, ReportData};
+    pub use crate::request::{run_request, SweepRequest, SweepResponse};
+    pub use crate::store::ArtifactStore;
     pub use wishbranch_compiler::BinaryVariant;
     pub use wishbranch_workloads::{suite, InputSet};
 }

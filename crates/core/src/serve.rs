@@ -1,0 +1,910 @@
+//! Sweep-as-a-service: a long-running server that accepts
+//! `wishbranch.request/v1` documents over local TCP from many concurrent
+//! clients, admits them under per-tenant simulated-cycle budgets, shards
+//! each request across a bounded pool of worker *processes*, and streams
+//! per-job results back as `wishbranch.response/v1` JSONL lines as they
+//! land.
+//!
+//! ## Protocol
+//!
+//! A client connects, writes one request line, and reads response lines
+//! until the connection closes:
+//!
+//! ```text
+//! → {"schema":"wishbranch.request/v1","tenant":"alice","experiments":["fig10"],...}
+//! ← {"schema":"wishbranch.response/v1","type":"accepted","tenant":"alice","fingerprint":123}
+//! ← {"schema":"wishbranch.response/v1","type":"job","experiment":"fig10","key":K,
+//!    "entry":{"key":K,"v":2,"data":[...]}}        (one per job, as it lands)
+//! ← {"schema":"wishbranch.response/v1","type":"report","experiment":"fig10",
+//!    "report":{"schema":"wishbranch.report/v1",...}}
+//! ← {"schema":"wishbranch.response/v1","type":"done","jobs":N,...,"failures":[...]}
+//! ```
+//!
+//! A refused request gets a single `rejected` line (typed `kind` +
+//! human-readable `reason`) and the connection closes. Each `job` line
+//! embeds a verbatim `wishbranch.journal/v1` entry, so clients reuse the
+//! journal codec ([`journal::decode_entry`](crate::journal::decode_entry))
+//! to recover full bit-identical [`RunOutcome`](crate::RunOutcome)s.
+//!
+//! ## Sharding and crash recovery
+//!
+//! One shard = one experiment of the request. Each shard runs in a worker
+//! process (`wishbranch-repro --worker`, fed one
+//! `wishbranch.workerspec/v1` line on stdin), bounded by
+//! [`ServeConfig::max_procs`] process slots across all connections. Every
+//! shard journals to its own per-connection file; if a worker dies
+//! mid-shard (crash, `kill -9`, injected abort), the server respawns it
+//! in resume mode — completed jobs replay bit-identically from the
+//! journal and re-announce through the stream, the server deduplicates by
+//! job key, and the client sees a complete, gap-free, duplicate-free
+//! stream. Respawns strip the request's fault plan, mirroring the CLI's
+//! kill-then-resume contract (a resume legitimately does not re-inject
+//! the fault that killed the run).
+//!
+//! ## Admission and billing
+//!
+//! Tenants named in [`ServeConfig::tenant_budgets`] are admitted until
+//! their accumulated simulated cycles reach the budget; the next request
+//! is `rejected` with kind `cycle_budget_exceeded` (the same stable kind
+//! string as the per-job typed error). Journal and artifact-store hits
+//! bill zero cycles — tenants pay only for simulation actually executed.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+use crate::error::FaultPlan;
+use crate::journal::encode_entry;
+use crate::minijson::JsonValue;
+use crate::report::json_escape;
+use crate::request::SweepRequest;
+use crate::store::ArtifactStore;
+
+/// Schema tag on every response line.
+pub const RESPONSE_SCHEMA: &str = "wishbranch.response/v1";
+
+/// Schema tag on the one-line spec a worker process reads from stdin.
+pub const WORKER_SPEC_SCHEMA: &str = "wishbranch.workerspec/v1";
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Server configuration: where worker processes come from, where state
+/// lives, and who may spend how much.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// The binary to fork/exec per shard (run with `--worker`); normally
+    /// the server's own executable.
+    pub worker_exe: PathBuf,
+    /// Root for per-connection shard journals
+    /// (`<state_dir>/conn-N/<experiment>/journal.jsonl`).
+    pub state_dir: PathBuf,
+    /// Content-addressed artifact store shared by every worker, run and
+    /// tenant; `None` disables the store.
+    pub store_dir: Option<PathBuf>,
+    /// Maximum worker processes alive at once, across all connections.
+    pub max_procs: usize,
+    /// Per-tenant simulated-cycle budgets. Tenants not named here are
+    /// unmetered.
+    pub tenant_budgets: HashMap<String, u64>,
+    /// How many times a dead worker is respawned (in journal-resume mode)
+    /// before its shard is reported failed.
+    pub max_respawns: u32,
+}
+
+impl ServeConfig {
+    /// A config with defaults: 4 process slots, 2 respawns, no store, no
+    /// budgets.
+    #[must_use]
+    pub fn new(worker_exe: impl Into<PathBuf>, state_dir: impl Into<PathBuf>) -> ServeConfig {
+        ServeConfig {
+            worker_exe: worker_exe.into(),
+            state_dir: state_dir.into(),
+            store_dir: None,
+            max_procs: 4,
+            tenant_budgets: HashMap::new(),
+            max_respawns: 2,
+        }
+    }
+}
+
+/// A counting semaphore bounding live worker processes.
+struct Slots {
+    free: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Slots {
+    fn new(n: usize) -> Slots {
+        Slots {
+            free: Mutex::new(n.max(1)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut free = lock(&self.free);
+        while *free == 0 {
+            free = self.cv.wait(free).unwrap_or_else(PoisonError::into_inner);
+        }
+        *free -= 1;
+    }
+
+    fn release(&self) {
+        *lock(&self.free) += 1;
+        self.cv.notify_one();
+    }
+}
+
+/// State shared by every connection thread.
+struct Shared {
+    cfg: ServeConfig,
+    /// Simulated cycles spent so far, per tenant.
+    ledger: Mutex<HashMap<String, u64>>,
+    slots: Slots,
+    conn_seq: AtomicU64,
+}
+
+/// The sweep server: one [`bind`](Server::bind), then [`run`](Server::run)
+/// forever. Each accepted connection is one request, handled on its own
+/// thread; shards compete for the shared process-slot pool.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// Aggregated statistics of one finished shard, lifted from the worker's
+/// `done` line.
+#[derive(Clone, Debug, Default)]
+struct ShardStats {
+    jobs: u64,
+    failed: u64,
+    store_hits: u64,
+    store_misses: u64,
+    profile_misses: u64,
+    compile_misses: u64,
+    sim_cycles: u64,
+    /// The raw contents of the shard's `failures` array (no brackets).
+    failures_raw: String,
+}
+
+impl Server {
+    /// Binds the server to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral
+    /// port) and creates the state directory.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors binding the socket or creating `state_dir`.
+    pub fn bind(addr: &str, cfg: ServeConfig) -> io::Result<Server> {
+        std::fs::create_dir_all(&cfg.state_dir)?;
+        if let Some(store_dir) = &cfg.store_dir {
+            std::fs::create_dir_all(store_dir)?;
+        }
+        let listener = TcpListener::bind(addr)?;
+        let slots = Slots::new(cfg.max_procs);
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                cfg,
+                ledger: Mutex::new(HashMap::new()),
+                slots,
+                conn_seq: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// The socket's local address could not be read.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts connections forever, one handler thread per connection.
+    ///
+    /// # Errors
+    ///
+    /// A fatal accept-loop I/O error (per-connection errors are contained
+    /// in their handler threads).
+    pub fn run(&self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            let stream = stream?;
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || handle_connection(&shared, stream));
+        }
+        Ok(())
+    }
+}
+
+/// Binds to `addr`, prints one `listening on <addr>` line to stdout
+/// (flushed, so wrappers can scrape the port), and serves forever.
+///
+/// # Errors
+///
+/// Bind or accept-loop I/O errors.
+pub fn serve_forever(addr: &str, cfg: ServeConfig) -> io::Result<()> {
+    let server = Server::bind(addr, cfg)?;
+    println!("listening on {}", server.local_addr()?);
+    io::stdout().flush()?;
+    server.run()
+}
+
+/// A line writer shared by every shard of one connection. Once a write
+/// fails (client went away) further writes are skipped; workers still
+/// finish so the journal and store stay complete.
+struct ConnWriter {
+    stream: TcpStream,
+    dead: bool,
+}
+
+impl ConnWriter {
+    fn send(&mut self, line: &str) {
+        if self.dead {
+            return;
+        }
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        if self.stream.write_all(&buf).is_err() {
+            self.dead = true;
+        }
+    }
+}
+
+fn rejected_line(kind: &str, reason: &str) -> String {
+    format!(
+        "{{\"schema\":\"{RESPONSE_SCHEMA}\",\"type\":\"rejected\",\"kind\":\"{}\",\"reason\":\"{}\"}}",
+        json_escape(kind),
+        json_escape(reason)
+    )
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let mut reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = ConnWriter {
+        stream,
+        dead: false,
+    };
+    let mut line = String::new();
+    if reader.read_line(&mut line).is_err() || line.trim().is_empty() {
+        return;
+    }
+    let req = match SweepRequest::parse(line.trim()) {
+        Ok(req) => req,
+        Err(e) => {
+            writer.send(&rejected_line(e.kind(), &e.to_string()));
+            return;
+        }
+    };
+    // Admission: a metered tenant whose ledger has reached its budget is
+    // refused before any work starts.
+    if let Some(&budget) = shared.cfg.tenant_budgets.get(&req.tenant) {
+        let spent = lock(&shared.ledger).get(&req.tenant).copied().unwrap_or(0);
+        if spent >= budget {
+            writer.send(&rejected_line(
+                "cycle_budget_exceeded",
+                &format!(
+                    "tenant {:?} has spent {spent} of {budget} budgeted simulated cycles",
+                    req.tenant
+                ),
+            ));
+            return;
+        }
+    }
+    writer.send(&format!(
+        "{{\"schema\":\"{RESPONSE_SCHEMA}\",\"type\":\"accepted\",\"tenant\":\"{}\",\"fingerprint\":{}}}",
+        json_escape(&req.tenant),
+        req.fingerprint()
+    ));
+    let conn = shared.conn_seq.fetch_add(1, Ordering::SeqCst);
+    let conn_dir = shared.cfg.state_dir.join(format!("conn-{conn:06}"));
+    let writer = Mutex::new(writer);
+    let seen = Mutex::new(HashSet::new());
+    // One shard per experiment, all in flight at once; the process-slot
+    // semaphore (shared across connections) bounds real concurrency.
+    let results: Vec<Result<ShardStats, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = req
+            .experiments
+            .iter()
+            .map(|exp| {
+                let mut shard_req = req.clone();
+                shard_req.experiments = vec![*exp];
+                let conn_dir = &conn_dir;
+                let writer = &writer;
+                let seen = &seen;
+                scope.spawn(move || run_shard(shared, conn_dir, shard_req, seen, writer))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                Err(_) => Err("shard thread panicked".to_string()),
+            })
+            .collect()
+    });
+    // Synthesize the request-level `done` line from the shard summaries.
+    let mut total = ShardStats::default();
+    let mut failure_items: Vec<String> = Vec::new();
+    for (exp, result) in req.experiments.iter().zip(results) {
+        match result {
+            Ok(stats) => {
+                total.jobs += stats.jobs;
+                total.failed += stats.failed;
+                total.store_hits += stats.store_hits;
+                total.store_misses += stats.store_misses;
+                total.profile_misses += stats.profile_misses;
+                total.compile_misses += stats.compile_misses;
+                total.sim_cycles += stats.sim_cycles;
+                if !stats.failures_raw.is_empty() {
+                    failure_items.push(stats.failures_raw);
+                }
+            }
+            Err(reason) => {
+                total.failed += 1;
+                failure_items.push(format!(
+                    "{{\"index\":0,\"kind\":\"shard_failed\",\"job\":\"{}\",\"error\":\"{}\",\"attempts\":0}}",
+                    json_escape(exp.id()),
+                    json_escape(&reason)
+                ));
+            }
+        }
+    }
+    lock(&shared.ledger)
+        .entry(req.tenant.clone())
+        .and_modify(|spent| *spent += total.sim_cycles)
+        .or_insert(total.sim_cycles);
+    lock(&writer).send(&format!(
+        "{{\"schema\":\"{RESPONSE_SCHEMA}\",\"type\":\"done\",\"jobs\":{},\"failed\":{},\
+         \"store_hits\":{},\"store_misses\":{},\"profile_misses\":{},\"compile_misses\":{},\
+         \"sim_cycles\":{},\"failures\":[{}]}}",
+        total.jobs,
+        total.failed,
+        total.store_hits,
+        total.store_misses,
+        total.profile_misses,
+        total.compile_misses,
+        total.sim_cycles,
+        failure_items.join(",")
+    ));
+}
+
+/// Runs one shard to completion: spawn a worker, forward its stream,
+/// respawn in resume mode if it dies before finishing.
+fn run_shard(
+    shared: &Shared,
+    conn_dir: &Path,
+    mut shard_req: SweepRequest,
+    seen: &Mutex<HashSet<u64>>,
+    writer: &Mutex<ConnWriter>,
+) -> Result<ShardStats, String> {
+    let exp_id = shard_req.experiments[0].id();
+    let shard_dir = conn_dir.join(exp_id);
+    std::fs::create_dir_all(&shard_dir).map_err(|e| format!("creating shard dir: {e}"))?;
+    let journal_path = shard_dir.join("journal.jsonl");
+    let mut attempt = 0u32;
+    loop {
+        let resume = attempt > 0;
+        if resume {
+            // Mirror the CLI's kill-then-resume contract: a resume does
+            // not re-inject the fault that killed the previous attempt.
+            shard_req.fault_plan = Some(FaultPlan::new());
+        }
+        shared.slots.acquire();
+        let outcome = spawn_and_stream(
+            &shared.cfg,
+            &journal_path,
+            resume,
+            &shard_req,
+            seen,
+            writer,
+        );
+        shared.slots.release();
+        match outcome {
+            Ok(Some(stats)) => return Ok(stats),
+            Ok(None) => {
+                attempt += 1;
+                if attempt > shared.cfg.max_respawns {
+                    return Err(format!(
+                        "worker for {exp_id} died {attempt} times without completing its shard"
+                    ));
+                }
+            }
+            Err(e) => return Err(format!("worker for {exp_id}: {e}")),
+        }
+    }
+}
+
+/// The one-line `wishbranch.workerspec/v1` document a worker reads on
+/// stdin. The request rides along as an escaped string, so the worker
+/// reuses [`SweepRequest::parse`] verbatim.
+fn worker_spec_line(
+    journal: &Path,
+    store: Option<&Path>,
+    resume: bool,
+    req: &SweepRequest,
+) -> String {
+    let store_field = match store {
+        Some(p) => format!("\"{}\"", json_escape(&p.display().to_string())),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"schema\":\"{WORKER_SPEC_SCHEMA}\",\"journal\":\"{}\",\"store\":{},\"resume\":{},\"request\":\"{}\"}}",
+        json_escape(&journal.display().to_string()),
+        store_field,
+        resume,
+        json_escape(&req.to_json())
+    )
+}
+
+/// Spawns one worker process and forwards its stream. Returns
+/// `Ok(Some(stats))` when the worker finished its shard (printed `done`),
+/// `Ok(None)` when it died early (caller respawns), `Err` on spawn/pipe
+/// failures.
+fn spawn_and_stream(
+    cfg: &ServeConfig,
+    journal_path: &Path,
+    resume: bool,
+    shard_req: &SweepRequest,
+    seen: &Mutex<HashSet<u64>>,
+    writer: &Mutex<ConnWriter>,
+) -> io::Result<Option<ShardStats>> {
+    let mut child = Command::new(&cfg.worker_exe)
+        .arg("--worker")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()?;
+    {
+        let mut stdin = child.stdin.take().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::BrokenPipe, "worker stdin unavailable")
+        })?;
+        let mut spec = worker_spec_line(journal_path, cfg.store_dir.as_deref(), resume, shard_req);
+        spec.push('\n');
+        stdin.write_all(spec.as_bytes())?;
+        // Dropping stdin closes it: the worker sees EOF after the spec.
+    }
+    let stdout = child.stdout.take().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::BrokenPipe, "worker stdout unavailable")
+    })?;
+    let mut stats = None;
+    for line in BufReader::new(stdout).lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break, // pipe died with the worker
+        };
+        match line_type(&line) {
+            Some("job") => {
+                // Deduplicate across respawns: journal replays re-announce
+                // completed jobs, the client must see each key exactly once.
+                if let Some(key) = job_line_key(&line) {
+                    if lock(seen).insert(key) {
+                        lock(writer).send(&line);
+                    }
+                }
+            }
+            Some("report") => lock(writer).send(&line),
+            Some("done") => stats = parse_shard_done(&line),
+            _ => {} // stray worker output; never forwarded
+        }
+    }
+    let _ = child.wait();
+    Ok(stats)
+}
+
+/// The `type` of one of *our* response lines (emitter-controlled format:
+/// `schema` first, `type` second).
+fn line_type(line: &str) -> Option<&str> {
+    let rest = line.strip_prefix(&format!(
+        "{{\"schema\":\"{RESPONSE_SCHEMA}\",\"type\":\""
+    ))?;
+    rest.split('"').next()
+}
+
+/// The top-level `"key":` of a job line (field order is fixed:
+/// `experiment`, `key`, `entry` — the first match is the top-level one).
+fn job_line_key(line: &str) -> Option<u64> {
+    let idx = line.find("\"key\":")?;
+    let digits: String = line[idx + 6..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+fn parse_shard_done(line: &str) -> Option<ShardStats> {
+    let doc = JsonValue::parse(line).ok()?;
+    let field = |name: &str| doc.get(name).and_then(JsonValue::as_u64);
+    let failures_raw = {
+        let start = line.find("\"failures\":[")? + "\"failures\":[".len();
+        let end = line.rfind(']')?;
+        line.get(start..end)?.to_string()
+    };
+    Some(ShardStats {
+        jobs: field("jobs")?,
+        failed: field("failed")?,
+        store_hits: field("store_hits")?,
+        store_misses: field("store_misses")?,
+        profile_misses: field("profile_misses")?,
+        compile_misses: field("compile_misses")?,
+        sim_cycles: field("sim_cycles")?,
+        failures_raw,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Worker mode
+// ---------------------------------------------------------------------------
+
+/// The body of `wishbranch-repro --worker`: reads one
+/// `wishbranch.workerspec/v1` line from stdin, runs the embedded request
+/// with journal + artifact store attached, and prints protocol lines
+/// (`job` per completed job, `report` per experiment, one shard `done`)
+/// to stdout. Returns the process exit code: 0 done, 4 aborted mid-shard
+/// (the server respawns in resume mode), 2 on a bad spec.
+#[must_use]
+pub fn worker_main() -> i32 {
+    let mut spec_line = String::new();
+    if io::stdin().read_line(&mut spec_line).is_err() {
+        eprintln!("worker: failed reading spec from stdin");
+        return 2;
+    }
+    match worker_run(spec_line.trim()) {
+        Ok(aborted) => {
+            if aborted {
+                4
+            } else {
+                0
+            }
+        }
+        Err(msg) => {
+            eprintln!("worker: {msg}");
+            2
+        }
+    }
+}
+
+/// Runs one worker spec. `Ok(true)` means the shard aborted mid-run.
+fn worker_run(spec_line: &str) -> Result<bool, String> {
+    let spec = JsonValue::parse(spec_line).map_err(|e| format!("bad spec JSON: {e}"))?;
+    match spec.get("schema").and_then(JsonValue::as_str) {
+        Some(WORKER_SPEC_SCHEMA) => {}
+        other => return Err(format!("bad spec schema {other:?}")),
+    }
+    let journal_path = spec
+        .get("journal")
+        .and_then(JsonValue::as_str)
+        .ok_or("spec missing \"journal\"")?
+        .to_string();
+    let store_path = spec
+        .get("store")
+        .and_then(JsonValue::as_str)
+        .map(str::to_string);
+    let resume = spec
+        .get("resume")
+        .and_then(JsonValue::as_bool)
+        .unwrap_or(false);
+    let request_text = spec
+        .get("request")
+        .and_then(JsonValue::as_str)
+        .ok_or("spec missing \"request\"")?;
+    let req = SweepRequest::parse(request_text).map_err(|e| format!("bad request: {e}"))?;
+    let mut runner = req.build_runner().map_err(|e| e.to_string())?;
+    if let Some(path) = store_path {
+        let store = ArtifactStore::open(path).map_err(|e| format!("opening store: {e}"))?;
+        runner.attach_store(Arc::new(store));
+    }
+    // The observer streams every completed job — fresh, journal hit or
+    // store hit — as a protocol line. Stdout is line-buffered through the
+    // runtime lock, so concurrent workers' println!s never interleave
+    // within a line.
+    let current_exp = Arc::new(Mutex::new(String::new()));
+    let label = Arc::clone(&current_exp);
+    runner.set_observer(Arc::new(move |key, result| {
+        println!(
+            "{{\"schema\":\"{RESPONSE_SCHEMA}\",\"type\":\"job\",\"experiment\":\"{}\",\"key\":{key},\"entry\":{}}}",
+            json_escape(&lock(&label)),
+            encode_entry(key, &result.outcome)
+        );
+    }));
+    runner
+        .attach_journal(Path::new(&journal_path), resume)
+        .map_err(|e| format!("attaching journal: {e}"))?;
+    for exp in &req.experiments {
+        *lock(&current_exp) = exp.id().to_string();
+        let report = exp.run(&runner);
+        if runner.aborted() {
+            return Ok(true);
+        }
+        println!(
+            "{{\"schema\":\"{RESPONSE_SCHEMA}\",\"type\":\"report\",\"experiment\":\"{}\",\"report\":{}}}",
+            json_escape(exp.id()),
+            report.to_json()
+        );
+    }
+    let s = runner.summary();
+    let failure_items: Vec<String> = runner
+        .failures()
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"index\":{},\"kind\":\"{}\",\"job\":\"{}\",\"error\":\"{}\",\"attempts\":{}}}",
+                f.index,
+                json_escape(f.error.kind()),
+                json_escape(&format!(
+                    "bench{} {} @{}",
+                    f.job.bench,
+                    f.job.variant.label(),
+                    f.job.input.label()
+                )),
+                json_escape(&f.error.to_string()),
+                f.attempts
+            )
+        })
+        .collect();
+    println!(
+        "{{\"schema\":\"{RESPONSE_SCHEMA}\",\"type\":\"done\",\"jobs\":{},\"failed\":{},\
+         \"store_hits\":{},\"store_misses\":{},\"profile_misses\":{},\"compile_misses\":{},\
+         \"sim_cycles\":{},\"failures\":[{}]}}",
+        s.jobs,
+        s.failed,
+        s.store_hits,
+        s.store_misses,
+        s.profile_misses,
+        s.compile_misses,
+        s.sim_cycles,
+        failure_items.join(",")
+    );
+    Ok(false)
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// One parsed `wishbranch.response/v1` line.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ResponseLine {
+    /// The request was admitted; results follow.
+    Accepted {
+        /// The admitted tenant.
+        tenant: String,
+        /// The canonical-request fingerprint the server computed.
+        fingerprint: u64,
+    },
+    /// The request was refused; the connection closes after this line.
+    Rejected {
+        /// Stable error discriminator (e.g. `cycle_budget_exceeded`).
+        kind: String,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// One completed job.
+    Job {
+        /// The experiment this job belongs to.
+        experiment: String,
+        /// The job's stable key ([`SweepRunner::job_key`](crate::SweepRunner::job_key)).
+        key: u64,
+        /// The verbatim `wishbranch.journal/v1` entry (decode with
+        /// [`journal::decode_entry`](crate::journal::decode_entry)).
+        entry: String,
+    },
+    /// One experiment's finished `wishbranch.report/v1` document.
+    Report {
+        /// The experiment id.
+        experiment: String,
+        /// The verbatim report JSON.
+        report: String,
+    },
+    /// The request finished; aggregate statistics.
+    Done {
+        /// Jobs completed across all shards.
+        jobs: u64,
+        /// Jobs that failed after retries.
+        failed: u64,
+        /// Jobs served from the shared artifact store.
+        store_hits: u64,
+        /// Jobs that consulted the store and missed.
+        store_misses: u64,
+        /// Profiling runs actually executed.
+        profile_misses: u64,
+        /// Compiles actually executed.
+        compile_misses: u64,
+        /// Simulated cycles billed to the tenant.
+        sim_cycles: u64,
+        /// The raw JSON `failures` array (same element shape as the
+        /// summary document's failure table).
+        failures: String,
+    },
+}
+
+impl ResponseLine {
+    /// Parses one response line.
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformation, if the line is not a
+    /// well-formed response line.
+    pub fn parse(line: &str) -> Result<ResponseLine, String> {
+        let doc = JsonValue::parse(line).map_err(|e| format!("bad response JSON: {e}"))?;
+        match doc.get("schema").and_then(JsonValue::as_str) {
+            Some(RESPONSE_SCHEMA) => {}
+            other => return Err(format!("bad response schema {other:?}")),
+        }
+        let text = |name: &str| {
+            doc.get(name)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("response line missing {name:?}"))
+        };
+        let num = |name: &str| {
+            doc.get(name)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("response line missing {name:?}"))
+        };
+        // `entry`/`report`/`failures` payloads are returned as verbatim
+        // substrings; each is the final field of its line, so the payload
+        // runs to the closing brace.
+        let tail_after = |marker: &str| {
+            let start = line.find(marker).map(|i| i + marker.len())?;
+            line.get(start..line.len() - 1).map(str::to_string)
+        };
+        match doc.get("type").and_then(JsonValue::as_str) {
+            Some("accepted") => Ok(ResponseLine::Accepted {
+                tenant: text("tenant")?,
+                fingerprint: num("fingerprint")?,
+            }),
+            Some("rejected") => Ok(ResponseLine::Rejected {
+                kind: text("kind")?,
+                reason: text("reason")?,
+            }),
+            Some("job") => Ok(ResponseLine::Job {
+                experiment: text("experiment")?,
+                key: num("key")?,
+                entry: tail_after("\"entry\":").ok_or("job line missing entry payload")?,
+            }),
+            Some("report") => Ok(ResponseLine::Report {
+                experiment: text("experiment")?,
+                report: tail_after("\"report\":").ok_or("report line missing payload")?,
+            }),
+            Some("done") => Ok(ResponseLine::Done {
+                jobs: num("jobs")?,
+                failed: num("failed")?,
+                store_hits: num("store_hits")?,
+                store_misses: num("store_misses")?,
+                profile_misses: num("profile_misses")?,
+                compile_misses: num("compile_misses")?,
+                sim_cycles: num("sim_cycles")?,
+                failures: {
+                    let raw = tail_after("\"failures\":[").ok_or("done line missing failures")?;
+                    raw.strip_suffix(']').map(str::to_string).unwrap_or(raw)
+                },
+            }),
+            other => Err(format!("unknown response type {other:?}")),
+        }
+    }
+}
+
+/// An open response stream: iterate to receive parsed lines as the server
+/// streams them. Parse failures surface as `InvalidData` I/O errors.
+pub struct ResponseStream {
+    lines: std::io::Lines<BufReader<TcpStream>>,
+}
+
+impl Iterator for ResponseStream {
+    type Item = io::Result<(String, ResponseLine)>;
+
+    /// The next `(raw line, parsed line)` pair — raw is kept so clients
+    /// can persist or diff verbatim protocol bytes.
+    fn next(&mut self) -> Option<io::Result<(String, ResponseLine)>> {
+        let line = match self.lines.next()? {
+            Ok(line) => line,
+            Err(e) => return Some(Err(e)),
+        };
+        match ResponseLine::parse(&line) {
+            Ok(parsed) => Some(Ok((line, parsed))),
+            Err(msg) => Some(Err(io::Error::new(io::ErrorKind::InvalidData, msg))),
+        }
+    }
+}
+
+/// Connects to a server, submits `req`, and returns the response stream.
+/// The canonical client one-liner:
+///
+/// ```no_run
+/// use wishbranch_core::{client_stream, Experiment, SweepRequest};
+/// for line in client_stream("127.0.0.1:7005", &SweepRequest::new(vec![Experiment::Fig10]))? {
+///     println!("{}", line?.0);
+/// }
+/// # Ok::<(), std::io::Error>(())
+/// ```
+///
+/// # Errors
+///
+/// Connection or request-write I/O errors.
+pub fn client_stream(addr: &str, req: &SweepRequest) -> io::Result<ResponseStream> {
+    let mut stream = TcpStream::connect(addr)?;
+    let mut line = req.to_json();
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    stream.flush()?;
+    Ok(ResponseStream {
+        lines: BufReader::new(stream).lines(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Experiment;
+
+    #[test]
+    fn response_lines_round_trip() {
+        let cases = [
+            format!(
+                "{{\"schema\":\"{RESPONSE_SCHEMA}\",\"type\":\"accepted\",\"tenant\":\"a\",\"fingerprint\":7}}"
+            ),
+            rejected_line("cycle_budget_exceeded", "over budget"),
+            format!(
+                "{{\"schema\":\"{RESPONSE_SCHEMA}\",\"type\":\"job\",\"experiment\":\"fig10\",\"key\":9,\"entry\":{{\"key\":9,\"v\":2,\"data\":[1,2]}}}}"
+            ),
+            format!(
+                "{{\"schema\":\"{RESPONSE_SCHEMA}\",\"type\":\"report\",\"experiment\":\"fig10\",\"report\":{{\"schema\":\"wishbranch.report/v1\"}}}}"
+            ),
+            format!(
+                "{{\"schema\":\"{RESPONSE_SCHEMA}\",\"type\":\"done\",\"jobs\":3,\"failed\":0,\
+                 \"store_hits\":1,\"store_misses\":2,\"profile_misses\":0,\"compile_misses\":0,\
+                 \"sim_cycles\":42,\"failures\":[]}}"
+            ),
+        ];
+        for line in &cases {
+            let parsed = ResponseLine::parse(line).expect(line);
+            match parsed {
+                ResponseLine::Job { key, ref entry, .. } => {
+                    assert_eq!(key, 9);
+                    assert_eq!(entry, "{\"key\":9,\"v\":2,\"data\":[1,2]}");
+                }
+                ResponseLine::Report { ref report, .. } => {
+                    assert_eq!(report, "{\"schema\":\"wishbranch.report/v1\"}");
+                }
+                ResponseLine::Done { sim_cycles, .. } => assert_eq!(sim_cycles, 42),
+                _ => {}
+            }
+        }
+        assert!(ResponseLine::parse("{\"schema\":\"nope\"}").is_err());
+    }
+
+    #[test]
+    fn worker_spec_embeds_a_parseable_request() {
+        let req = SweepRequest::new(vec![Experiment::Fig10]);
+        let spec = worker_spec_line(Path::new("/tmp/j.jsonl"), None, true, &req);
+        let doc = JsonValue::parse(&spec).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some(WORKER_SPEC_SCHEMA)
+        );
+        assert_eq!(doc.get("resume").and_then(JsonValue::as_bool), Some(true));
+        assert!(doc.get("store").is_some_and(|v| v.as_str().is_none()));
+        let embedded = doc.get("request").and_then(JsonValue::as_str).unwrap();
+        assert_eq!(SweepRequest::parse(embedded).unwrap(), req);
+    }
+
+    #[test]
+    fn job_lines_classify_and_key() {
+        let line = format!(
+            "{{\"schema\":\"{RESPONSE_SCHEMA}\",\"type\":\"job\",\"experiment\":\"fig10\",\"key\":18446744073709551615,\"entry\":{{\"key\":18446744073709551615,\"v\":2,\"data\":[]}}}}"
+        );
+        assert_eq!(line_type(&line), Some("job"));
+        assert_eq!(job_line_key(&line), Some(u64::MAX));
+        assert_eq!(line_type("{\"schema\":\"x\"}"), None);
+    }
+}

@@ -1,0 +1,214 @@
+//! Content-addressed on-disk store for finished job outcomes.
+//!
+//! The address of an outcome is the engine's 64-bit job-identity key
+//! ([`SweepRunner::job_key`](crate::SweepRunner::job_key)): an FNV-1a-64
+//! fingerprint over everything that determines a job's result —
+//! benchmark, variant, input set, training spec, compile options,
+//! machine configuration and scale. Two jobs with the same key produce
+//! bit-identical outcomes (the engine's determinism contract), so a hit
+//! can be returned without re-running profile, compile *or* simulation,
+//! across runs and across tenants.
+//!
+//! ## Layout
+//!
+//! One file per outcome, fanned out by the top key byte to keep
+//! directories small:
+//!
+//! ```text
+//! store/
+//!   ab/
+//!     abcdef0123456789.json     # one journal-format entry line
+//! ```
+//!
+//! Each file holds exactly one `wishbranch.journal/v1` entry line
+//! ([`journal::encode_entry`](crate::journal::encode_entry)), so the
+//! store and the journal share one codec and one versioning story.
+//! Writes go through a same-directory temp file + atomic rename, so a
+//! concurrent reader sees either nothing or a complete entry — never a
+//! torn file. Unreadable or mismatched entries are treated as absent
+//! (the store is a cache; the journal is the ledger).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::experiment::RunOutcome;
+use crate::journal::{decode_entry, encode_entry};
+
+/// Monotonic discriminator so concurrent writers in one process never
+/// collide on a temp-file name (the pid disambiguates across processes).
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A content-addressed store of finished job outcomes rooted at one
+/// directory. Cheap to clone-by-reference (`Arc<ArtifactStore>`); all
+/// methods take `&self` and are safe to call from many threads and many
+/// processes at once.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    root: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if necessary) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the root directory.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<ArtifactStore> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(ArtifactStore { root })
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The path an outcome with this key lives at.
+    #[must_use]
+    pub fn path_for(&self, key: u64) -> PathBuf {
+        self.root
+            .join(format!("{:02x}", (key >> 56) as u8))
+            .join(format!("{key:016x}.json"))
+    }
+
+    /// Looks up the outcome stored under `key`. Missing, unreadable and
+    /// key-mismatched files all read as `None` — corruption degrades to
+    /// a cache miss, never an error.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<RunOutcome> {
+        let text = fs::read_to_string(self.path_for(key)).ok()?;
+        let (stored_key, outcome) = decode_entry(text.trim_end())?;
+        if stored_key != key {
+            return None;
+        }
+        Some(outcome)
+    }
+
+    /// Stores `outcome` under `key`, atomically (temp file + rename in
+    /// the destination directory). Last writer wins; since addresses are
+    /// content-derived, racing writers are writing identical bytes.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the fan-out directory or writing the file.
+    pub fn put(&self, key: u64, outcome: &RunOutcome) -> io::Result<()> {
+        let dest = self.path_for(key);
+        let dir = dest.parent().expect("store paths always have a parent");
+        fs::create_dir_all(dir)?;
+        let temp = dir.join(format!(
+            ".{key:016x}.{}.{}.tmp",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut line = encode_entry(key, outcome);
+        line.push('\n');
+        fs::write(&temp, line)?;
+        match fs::rename(&temp, &dest) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&temp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Counts the entries currently in the store (a full directory walk;
+    /// intended for tests and status reporting, not hot paths).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        let Ok(buckets) = fs::read_dir(&self.root) else {
+            return 0;
+        };
+        for bucket in buckets.flatten() {
+            let Ok(files) = fs::read_dir(bucket.path()) else {
+                continue;
+            };
+            n += files
+                .flatten()
+                .filter(|f| {
+                    f.path()
+                        .extension()
+                        .is_some_and(|ext| ext == "json")
+                })
+                .count();
+        }
+        n
+    }
+
+    /// True when the store holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SweepJob, SweepRunner};
+    use crate::experiment::ExperimentConfig;
+    use wishbranch_compiler::BinaryVariant;
+    use wishbranch_workloads::InputSet;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "wishbranch-store-{tag}-{}-{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn one_outcome() -> (u64, RunOutcome) {
+        let ec = ExperimentConfig::quick(20);
+        let runner = SweepRunner::with_workers(&ec, 1);
+        let job = SweepJob::standard(0, BinaryVariant::NormalBranch, InputSet::A, &ec);
+        let key = runner.job_key(&job);
+        let outcome = runner
+            .try_run(vec![job])
+            .pop()
+            .unwrap()
+            .expect("quick job runs")
+            .outcome;
+        (key, outcome)
+    }
+
+    #[test]
+    fn put_get_round_trips_bit_identically() {
+        let root = temp_root("roundtrip");
+        let store = ArtifactStore::open(&root).unwrap();
+        let (key, outcome) = one_outcome();
+        assert!(store.get(key).is_none());
+        store.put(key, &outcome).unwrap();
+        let back = store.get(key).expect("stored outcome");
+        assert_eq!(
+            crate::journal::encode_outcome(&back),
+            crate::journal::encode_outcome(&outcome),
+            "store round trip must be bit-identical"
+        );
+        assert_eq!(store.len(), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corruption_reads_as_miss() {
+        let root = temp_root("corrupt");
+        let store = ArtifactStore::open(&root).unwrap();
+        let (key, outcome) = one_outcome();
+        store.put(key, &outcome).unwrap();
+        fs::write(store.path_for(key), "{\"key\":not json").unwrap();
+        assert!(store.get(key).is_none(), "torn file must read as a miss");
+        // A file stored under the wrong address is also a miss.
+        let other = key.wrapping_add(1);
+        fs::create_dir_all(store.path_for(other).parent().unwrap()).unwrap();
+        fs::write(store.path_for(other), encode_entry(key, &outcome)).unwrap();
+        assert!(store.get(other).is_none(), "key mismatch must read as a miss");
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -33,6 +33,7 @@ pub struct Table4Row {
 }
 
 /// **Table 4** — simulated benchmark characteristics.
+#[deprecated(note = "run `Experiment::Tab4` through the Experiment catalog (or a typed SweepRequest via run_request) instead; this free-function entry point will be removed next release")]
 #[must_use]
 pub fn table4(runner: &SweepRunner) -> Vec<Table4Row> {
     let ec = runner.config().clone();
@@ -105,6 +106,7 @@ pub struct Table5Row {
 /// The paper stresses this comparison is *unrealistically generous to the
 /// baseline*: it assumes the compiler could know at compile time which
 /// binary wins at run time.
+#[deprecated(note = "run `Experiment::Tab5` through the Experiment catalog (or a typed SweepRequest via run_request) instead; this free-function entry point will be removed next release")]
 #[must_use]
 pub fn table5(runner: &SweepRunner) -> Vec<Table5Row> {
     let ec = runner.config().clone();

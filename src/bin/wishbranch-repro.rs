@@ -1,24 +1,29 @@
 //! `wishbranch-repro` — regenerate any table or figure of the paper from
-//! the command line.
+//! the command line, locally or against a sweep server.
 //!
 //! ```text
 //! USAGE: wishbranch-repro [--scale N] [--workers N] [--json] [--quick]
 //!                         [--report-dir DIR] [--resume] [--strict]
-//!                         [--oracle] [--fault-plan SPEC] <experiment>...
+//!                         [--oracle] [--fault-plan SPEC] [--tenant T]
+//!                         [--train A|B|C] [--budget-cycles N]
+//!                         [--budget-wall-ms N] <experiment>...
+//!        wishbranch-repro serve [--addr HOST:PORT] [--state-dir DIR] [--store DIR]
+//!                               [--max-procs N] [--max-respawns N]
+//!                               [--tenant-budget TENANT=CYCLES]...
+//!        wishbranch-repro client --addr HOST:PORT [sweep flags] <experiment>...
 //!        wishbranch-repro validate [--scale N] [--quick] [--input A|B|C] [--hierarchy]
 //!                                  [--fuzz N] [--seed S] [--repro-out FILE]
 //!        wishbranch-repro trace <bench> <variant> [--cycles A..B] [--scale N]
 //!        wishbranch-repro --list
-//!
-//! Experiments: fig1 fig2 fig10 fig11 fig12 fig13 fig14 fig15 fig16
-//!              tab4 tab5 adaptive dhp predpred all
 //! ```
 //!
-//! Every experiment runs through one shared [`SweepRunner`], so `all`
-//! compiles each binary exactly once across every figure and fans the
-//! simulations out over the worker pool (`--workers`, or the
-//! `WISHBRANCH_WORKERS` environment variable, defaulting to the machine's
-//! available parallelism).
+//! Every invocation first builds a typed `wishbranch.request/v1`
+//! [`SweepRequest`] — the same validation, env-precedence and
+//! runner-construction path whether the sweep runs in-process (default),
+//! is submitted to a server (`client`), or arrives over a socket
+//! (`serve`). Worker count resolves explicit `--workers` →
+//! `WISHBRANCH_WORKERS` → available parallelism; the fault plan resolves
+//! explicit `--fault-plan` → `WISHBRANCH_FAULT_PLAN` → none.
 //!
 //! Output modes:
 //!
@@ -40,6 +45,16 @@
 //! faults for testing, e.g. `panic@3,diverge@7,budget@2,abort@10` — job
 //! indices are global submission order.
 //!
+//! Serving: `serve` runs the multi-tenant sweep server (see
+//! `wishbranch_core::serve`) — requests stream back as
+//! `wishbranch.response/v1` JSONL, shards run in worker processes
+//! (respawned from the journal if killed), finished outcomes land in the
+//! shared content-addressed artifact store (`--store`), and tenants named
+//! by `--tenant-budget` are admitted until their simulated-cycle budget
+//! is spent. `client` submits one request and prints the stream;
+//! `--report-dir` additionally writes each streamed report payload.
+//! (`--worker` is the internal per-shard entry point the server forks.)
+//!
 //! Differential validation: `--oracle` replays every job's retired
 //! instruction stream through the lockstep in-order reference oracle —
 //! a divergence is that job's typed `verify_divergence` failure (a gap,
@@ -48,10 +63,10 @@
 //! programs × random machine configurations with automatic shrinking of
 //! the first divergence to a minimal reproducer.
 //!
-//! Exit codes: 0 success, 1 fatal error, 2 usage (including `--resume`
-//! against a journal written by a different configuration or scale),
-//! 3 `--strict` with failed jobs or `validate` with divergences, 4 sweep
-//! aborted.
+//! Exit codes: 0 success, 1 fatal error (including a rejected `client`
+//! request), 2 usage (including `--resume` against a journal written by a
+//! different configuration or scale), 3 `--strict` with failed jobs or
+//! `validate` with divergences, 4 sweep aborted.
 //!
 //! `trace` compiles one benchmark into one variant (labels as printed in
 //! the figures: `normal BASE-DEF BASE-MAX wish-jj wish-jjl wish-adaptive`)
@@ -60,129 +75,163 @@
 
 use wishbranch_compiler::BinaryVariant;
 use wishbranch_core::{
-    failure_table, fuzz_lockstep, fuzz_lockstep_hierarchy, summary_json_with_failures,
-    sweep_summary_table, trace_binary, validate_suite, validate_suite_hierarchy, Experiment,
-    ExperimentConfig, FaultPlan, FuzzOutcome, JournalError, SweepRunner,
+    client_stream, failure_table, fuzz_lockstep, fuzz_lockstep_hierarchy, parse_input_set,
+    serve_forever, summary_json_with_failures, sweep_summary_table, trace_binary, validate_suite,
+    validate_suite_hierarchy, worker_main, Experiment, ExperimentConfig, FaultPlan, FuzzOutcome,
+    JournalError, ResponseLine, ServeConfig, SweepRequest,
 };
 use wishbranch_uarch::render_trace;
 use wishbranch_workloads::{suite, InputSet};
-
-/// Environment variable consulted when `--fault-plan` is absent.
-const FAULT_PLAN_ENV: &str = "WISHBRANCH_FAULT_PLAN";
 
 fn usage() -> ! {
     let ids: Vec<&str> = Experiment::ALL.iter().map(|e| e.id()).collect();
     eprintln!(
         "USAGE: wishbranch-repro [--scale N] [--workers N] [--json] [--quick] [--report-dir DIR]\n\
-                                 [--resume] [--strict] [--oracle] [--fault-plan SPEC] <experiment>...\n\
+                                 [--resume] [--strict] [--oracle] [--fault-plan SPEC]\n\
+                                 [--tenant T] [--train A|B|C] [--budget-cycles N]\n\
+                                 [--budget-wall-ms N] <experiment>...\n\
+                wishbranch-repro serve [--addr HOST:PORT] [--state-dir DIR] [--store DIR]\n\
+                                       [--max-procs N] [--max-respawns N]\n\
+                                       [--tenant-budget TENANT=CYCLES]...\n\
+                wishbranch-repro client --addr HOST:PORT [sweep flags] <experiment>...\n\
                 wishbranch-repro validate [--scale N] [--quick] [--input A|B|C] [--hierarchy]\n\
                                           [--fuzz N] [--seed S] [--repro-out FILE]\n\
                 wishbranch-repro trace <bench> <variant> [--cycles A..B] [--scale N]\n\
                 wishbranch-repro --list\n\
          experiments: {} all\n\
-         exit codes: 0 ok, 1 fatal, 2 usage (incl. stale journal), 3 strict/validate failures,\n\
-                     4 aborted",
+         exit codes: 0 ok, 1 fatal/rejected, 2 usage (incl. stale journal),\n\
+                     3 strict/validate failures, 4 aborted",
         ids.join(" ")
     );
     std::process::exit(2)
 }
 
+/// Flags that stay on this side of the request boundary: how results are
+/// presented and persisted locally, never part of the request itself.
+#[derive(Default)]
+struct LocalOpts {
+    json: bool,
+    strict: bool,
+    resume: bool,
+    report_dir: Option<std::path::PathBuf>,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("trace") {
-        trace_main(&args[1..]);
-        return;
+    match args.first().map(String::as_str) {
+        Some("trace") => return trace_main(&args[1..]),
+        Some("validate") => return validate_main(&args[1..]),
+        Some("serve") => return serve_main(&args[1..]),
+        Some("client") => return client_main(&args[1..]),
+        // Internal: one server shard (spec arrives on stdin).
+        Some("--worker") => std::process::exit(worker_main()),
+        _ => {}
     }
-    if args.first().map(String::as_str) == Some("validate") {
-        validate_main(&args[1..]);
-        return;
-    }
+    let (req, opts) = parse_sweep_args(args);
+    run_local(&req, &opts);
+}
 
-    let mut scale = 4000;
-    let mut json = false;
-    let mut quick = false;
-    let mut strict = false;
-    let mut resume = false;
-    let mut oracle = false;
-    let mut workers: Option<usize> = None;
-    let mut report_dir: Option<std::path::PathBuf> = None;
-    let mut fault_spec: Option<String> = None;
-    let mut wanted: Vec<Experiment> = Vec::new();
-    let mut args = args.into_iter();
-    while let Some(arg) = args.next() {
+/// Parses the shared sweep flags into the typed request (what to run)
+/// plus the local presentation options (how to show/persist it). The CLI,
+/// the `client` subcommand and — via [`SweepRequest::parse`] — the server
+/// all funnel through the same request validation.
+fn parse_sweep_args(args: Vec<String>) -> (SweepRequest, LocalOpts) {
+    let mut req = SweepRequest::new(Vec::new());
+    let mut opts = LocalOpts::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
         match arg.as_str() {
             "--scale" => {
-                scale = args
+                req.scale = it
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
             }
             "--workers" => {
-                workers = Some(
-                    args.next()
+                req.workers = Some(
+                    it.next()
                         .and_then(|s| s.parse().ok())
                         .filter(|&n| n > 0)
                         .unwrap_or_else(|| usage()),
                 );
             }
-            "--json" => json = true,
-            "--quick" => quick = true,
-            "--strict" => strict = true,
-            "--resume" => resume = true,
-            "--oracle" => oracle = true,
+            "--json" => opts.json = true,
+            "--quick" => req.quick = true,
+            "--strict" => opts.strict = true,
+            "--resume" => opts.resume = true,
+            "--oracle" => req.oracle = true,
             "--report-dir" => {
-                report_dir = Some(args.next().unwrap_or_else(|| usage()).into());
+                opts.report_dir = Some(it.next().unwrap_or_else(|| usage()).into());
             }
             "--fault-plan" => {
-                fault_spec = Some(args.next().unwrap_or_else(|| usage()));
+                let spec = it.next().unwrap_or_else(|| usage());
+                match FaultPlan::parse(&spec) {
+                    Ok(plan) => req.fault_plan = Some(plan),
+                    Err(e) => fatal(&format!("bad fault plan {spec:?}: {e}")),
+                }
+            }
+            "--tenant" => {
+                req.tenant = it.next().unwrap_or_else(|| usage());
+            }
+            "--train" => {
+                req.train = it
+                    .next()
+                    .and_then(|s| parse_input_set(&s))
+                    .map(Some)
+                    .unwrap_or_else(|| usage());
+            }
+            "--budget-cycles" => {
+                req.budgets.cycles = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--budget-wall-ms" => {
+                req.budgets.wall_ms = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
             }
             "--list" => {
                 let ids: Vec<&str> = Experiment::ALL.iter().map(|e| e.id()).collect();
                 println!("{} all", ids.join(" "));
-                return;
+                std::process::exit(0);
             }
-            "all" => wanted.extend(Experiment::ALL),
+            "all" => req.experiments.extend(Experiment::ALL),
             e => match Experiment::from_id(e) {
-                Some(exp) => wanted.push(exp),
+                Some(exp) => req.experiments.push(exp),
                 None => usage(),
             },
         }
     }
-    if wanted.is_empty() {
+    if req.experiments.is_empty() {
         usage();
     }
-    if resume && report_dir.is_none() {
+    (req, opts)
+}
+
+/// The in-process sweep path: one shared runner built from the request,
+/// experiments in order, reports + journal + summary exactly as before.
+fn run_local(req: &SweepRequest, opts: &LocalOpts) {
+    if opts.resume && opts.report_dir.is_none() {
         eprintln!("wishbranch-repro: --resume requires --report-dir (the journal lives there)");
         std::process::exit(2);
     }
-    let ec = if quick {
-        ExperimentConfig::quick(scale.min(500))
-    } else {
-        ExperimentConfig::paper(scale)
-    };
     // One runner for every requested experiment: figures share the profile
     // and compile caches, and `all` keeps the pool busy end to end.
-    let mut runner = match workers {
-        Some(n) => SweepRunner::with_workers(&ec, n),
-        None => SweepRunner::new(&ec),
-    };
-    if oracle {
-        runner.set_oracle(true);
-    }
-    if let Some(spec) = fault_spec.or_else(|| std::env::var(FAULT_PLAN_ENV).ok()) {
-        match FaultPlan::parse(&spec) {
-            Ok(plan) => runner.set_fault_plan(plan),
-            Err(e) => fatal(&format!("bad fault plan {spec:?}: {e}")),
-        }
-    }
+    let runner = req
+        .build_runner()
+        .unwrap_or_else(|e| fatal(&e.to_string()));
 
-    if let Some(dir) = &report_dir {
+    if let Some(dir) = &opts.report_dir {
         std::fs::create_dir_all(dir)
             .unwrap_or_else(|e| fatal(&format!("cannot create {}: {e}", dir.display())));
         let journal = dir.join("journal.jsonl");
-        match runner.attach_journal(&journal, resume) {
+        match runner.attach_journal(&journal, opts.resume) {
             Ok(replayed) => {
-                if resume && !json {
+                if opts.resume && !opts.json {
                     println!("resuming: {replayed} completed jobs loaded from journal");
                 }
             }
@@ -197,13 +246,13 @@ fn main() {
         }
     }
 
-    for exp in wanted {
+    for exp in &req.experiments {
         let report = exp.run(&runner);
-        if let Some(dir) = &report_dir {
+        if let Some(dir) = &opts.report_dir {
             write_file(&dir.join(format!("{}.json", report.id)), &report.to_json());
             write_file(&dir.join(format!("{}.csv", report.id)), &report.to_csv());
         }
-        if json {
+        if opts.json {
             println!("{}", report.to_json());
         } else {
             println!("{}", report.render());
@@ -214,13 +263,13 @@ fn main() {
     }
     let summary = runner.summary();
     let failures = runner.failures();
-    if let Some(dir) = &report_dir {
+    if let Some(dir) = &opts.report_dir {
         write_file(
             &dir.join("summary.json"),
             &summary_json_with_failures(&summary, &failures),
         );
     }
-    if !json {
+    if !opts.json {
         println!("{}", sweep_summary_table(&summary));
         if !failures.is_empty() {
             println!("\n{}", failure_table(&failures));
@@ -230,11 +279,114 @@ fn main() {
         eprintln!("wishbranch-repro: sweep aborted; reports are incomplete (resume with --resume)");
         std::process::exit(4);
     }
-    if strict && !failures.is_empty() {
+    if opts.strict && !failures.is_empty() {
         eprintln!(
             "wishbranch-repro: --strict: {} job(s) failed",
             failures.len()
         );
+        std::process::exit(3);
+    }
+}
+
+/// `wishbranch-repro serve` — run the multi-tenant sweep server until
+/// killed. Workers are forked from this same executable.
+fn serve_main(args: &[String]) {
+    let mut addr = "127.0.0.1:7905".to_string();
+    let mut state_dir = std::path::PathBuf::from("serve-state");
+    let mut store_dir: Option<std::path::PathBuf> = None;
+    let mut max_procs = 4usize;
+    let mut max_respawns = 2u32;
+    let mut tenant_budgets = std::collections::HashMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().unwrap_or_else(|| usage()).clone(),
+            "--state-dir" => state_dir = it.next().unwrap_or_else(|| usage()).into(),
+            "--store" => store_dir = Some(it.next().unwrap_or_else(|| usage()).into()),
+            "--max-procs" => {
+                max_procs = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--max-respawns" => {
+                max_respawns = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--tenant-budget" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                let Some((tenant, cycles)) = spec.split_once('=') else {
+                    usage();
+                };
+                let Ok(cycles) = cycles.parse::<u64>() else {
+                    usage();
+                };
+                tenant_budgets.insert(tenant.to_string(), cycles);
+            }
+            _ => usage(),
+        }
+    }
+    let worker_exe = std::env::current_exe()
+        .unwrap_or_else(|e| fatal(&format!("cannot locate own executable: {e}")));
+    let mut cfg = ServeConfig::new(worker_exe, state_dir);
+    cfg.store_dir = store_dir;
+    cfg.max_procs = max_procs;
+    cfg.max_respawns = max_respawns;
+    cfg.tenant_budgets = tenant_budgets;
+    if let Err(e) = serve_forever(&addr, cfg) {
+        fatal(&format!("serve: {e}"));
+    }
+}
+
+/// `wishbranch-repro client --addr HOST:PORT [sweep flags] <experiment>...`
+/// — submit one request and print the response stream; `--report-dir`
+/// additionally writes each streamed `wishbranch.report/v1` payload to
+/// `DIR/<id>.json`.
+fn client_main(args: &[String]) {
+    let mut addr: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--addr" {
+            addr = Some(it.next().unwrap_or_else(|| usage()).clone());
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    let Some(addr) = addr else {
+        usage();
+    };
+    let (req, opts) = parse_sweep_args(rest);
+    if let Some(dir) = &opts.report_dir {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| fatal(&format!("cannot create {}: {e}", dir.display())));
+    }
+    let stream =
+        client_stream(&addr, &req).unwrap_or_else(|e| fatal(&format!("connect {addr}: {e}")));
+    let mut rejected = false;
+    let mut failed = 0u64;
+    for item in stream {
+        let (raw, parsed) = item.unwrap_or_else(|e| fatal(&format!("stream: {e}")));
+        println!("{raw}");
+        match parsed {
+            ResponseLine::Rejected { .. } => rejected = true,
+            ResponseLine::Report { experiment, report } => {
+                if let Some(dir) = &opts.report_dir {
+                    write_file(&dir.join(format!("{experiment}.json")), &report);
+                }
+            }
+            ResponseLine::Done { failed: f, .. } => failed = f,
+            _ => {}
+        }
+    }
+    if rejected {
+        std::process::exit(1);
+    }
+    if opts.strict && failed > 0 {
+        eprintln!("wishbranch-repro: --strict: {failed} job(s) failed");
         std::process::exit(3);
     }
 }
@@ -283,12 +435,10 @@ fn validate_main(args: &[String]) {
             }
             "--quick" => quick = true,
             "--input" => {
-                input = match it.next().map(String::as_str) {
-                    Some("A") | Some("a") => InputSet::A,
-                    Some("B") | Some("b") => InputSet::B,
-                    Some("C") | Some("c") => InputSet::C,
-                    _ => usage(),
-                };
+                input = it
+                    .next()
+                    .and_then(|s| parse_input_set(s))
+                    .unwrap_or_else(|| usage());
             }
             "--fuzz" => {
                 fuzz = Some(

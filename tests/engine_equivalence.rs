@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use wishbranch_compiler::BinaryVariant;
-use wishbranch_core::{figure12, run_binary, ExperimentConfig, SweepJob, SweepRunner};
+use wishbranch_core::{run_binary, Experiment, ExperimentConfig, ReportData, SweepJob, SweepRunner};
 use wishbranch_workloads::{suite, InputSet};
 
 /// The reduced sweep the equivalence tests run: two benchmarks (the first
@@ -93,7 +93,10 @@ fn measured_parallelism() -> f64 {
 fn quick_scale_figure_sweep_parallel_speedup_and_cache_hits() {
     let ec = ExperimentConfig::quick(60);
     let runner = SweepRunner::with_workers(&ec, 4);
-    let fig = figure12(&runner);
+    let fig = match Experiment::Fig12.run(&runner).data {
+        ReportData::Figure(fig) => fig,
+        other => panic!("Fig12 did not return a figure: {other:?}"),
+    };
     assert!(fig.rows.iter().any(|r| r.name == "AVG"));
 
     let summary = runner.summary();

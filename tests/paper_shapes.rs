@@ -4,8 +4,7 @@
 
 use wishbranch_compiler::BinaryVariant;
 use wishbranch_core::{
-    figure12, figure14_mem_latency, figure2, run_binary, table4, table5, ExperimentConfig,
-    SweepRunner,
+    run_binary, Experiment, ExperimentConfig, ReportData, SweepRunner,
 };
 use wishbranch_workloads::{mcf, suite, InputSet};
 
@@ -20,6 +19,16 @@ fn quick_runner() -> SweepRunner {
     SweepRunner::new(&quick())
 }
 
+/// Runs a catalog experiment and unwraps its figure payload — the typed
+/// route every external caller takes now that the free functions are
+/// deprecated.
+fn figure_of(exp: Experiment, runner: &SweepRunner) -> wishbranch_core::FigureData {
+    match exp.run(runner).data {
+        ReportData::Figure(fig) => fig,
+        other => panic!("{exp:?} did not return a figure: {other:?}"),
+    }
+}
+
 fn row<'a>(fig: &'a wishbranch_core::FigureData, name: &str) -> &'a [f64] {
     &fig
         .rows
@@ -31,7 +40,7 @@ fn row<'a>(fig: &'a wishbranch_core::FigureData, name: &str) -> &'a [f64] {
 
 #[test]
 fn figure2_oracle_ordering_holds() {
-    let fig = figure2(&quick_runner());
+    let fig = figure_of(Experiment::Fig2, &quick_runner());
     // Removing overhead can only help: BASE-MAX ≥ NO-DEPEND ≥ NO-DEPEND+NO-FETCH.
     for r in &fig.rows {
         let (base, no_dep, no_dep_no_fetch) = (r.values[0], r.values[1], r.values[2]);
@@ -61,7 +70,7 @@ fn figure2_oracle_ordering_holds() {
 
 #[test]
 fn figure12_wish_branches_win_on_average() {
-    let fig = figure12(&quick_runner());
+    let fig = figure_of(Experiment::Fig12, &quick_runner());
     let avg = row(&fig, "AVG");
     let series: Vec<&str> = fig.series.iter().map(String::as_str).collect();
     assert_eq!(
@@ -94,7 +103,10 @@ fn figure12_wish_branches_win_on_average() {
 
 #[test]
 fn figure14_mem_latency_wish_advantage_grows_with_latency() {
-    let rows = figure14_mem_latency(&quick_runner());
+    let rows = match Experiment::Fig14Mem.run(&quick_runner()).data {
+        ReportData::ParamSweep { rows, .. } => rows,
+        other => panic!("Fig14Mem did not return a sweep: {other:?}"),
+    };
     assert_eq!(rows.len(), 4, "four latency points");
     for r in &rows {
         let series: Vec<&str> = r.series.iter().map(String::as_str).collect();
@@ -154,7 +166,10 @@ fn mcf_predication_pathology_and_wish_rescue() {
 
 #[test]
 fn table4_is_consistent() {
-    let rows = table4(&quick_runner());
+    let rows = match Experiment::Tab4.run(&quick_runner()).data {
+        ReportData::Benchmarks(rows) => rows,
+        other => panic!("Tab4 did not return benchmark rows: {other:?}"),
+    };
     assert_eq!(rows.len(), 9);
     for r in &rows {
         assert!(r.dynamic_uops > 1000, "{}: too little work", r.name);
@@ -177,7 +192,10 @@ fn table4_is_consistent() {
 
 #[test]
 fn table5_average_positive_vs_normal() {
-    let rows = table5(&quick_runner());
+    let rows = match Experiment::Tab5.run(&quick_runner()).data {
+        ReportData::BestBinary(rows) => rows,
+        other => panic!("Tab5 did not return best-binary rows: {other:?}"),
+    };
     let avg = rows.iter().find(|r| r.name == "AVG").unwrap();
     assert!(
         avg.vs_normal_pct > 0.0,

@@ -1,0 +1,89 @@
+//! Golden snapshot of the typed request schema (`wishbranch.request/v1`),
+//! sibling of `report_schema.rs`: the server, the CLI and any downstream
+//! tooling all speak this envelope, so key names and the canonical field
+//! order are API — a failure here means bumping the schema version, not
+//! drifting the emitter.
+
+use wishbranch_core::{Experiment, FaultPlan, RequestError, SweepRequest};
+use wishbranch_workloads::InputSet;
+
+#[test]
+fn canonical_json_is_a_parse_fixed_point() {
+    let mut req = SweepRequest::new(vec![Experiment::Fig10, Experiment::Tab5]);
+    req.tenant = "team-a".into();
+    req.scale = 800;
+    req.quick = true;
+    req.workers = Some(3);
+    req.oracle = true;
+    req.train = Some(InputSet::C);
+    req.window = Some(256);
+    req.depth = Some(20);
+    req.wish_jump_threshold = Some(7);
+    req.wish_loop_body_max = Some(40);
+    req.fault_plan = Some(FaultPlan::parse("panic@3,abort@9").unwrap());
+    req.budgets.cycles = Some(5_000_000);
+    req.budgets.wall_ms = Some(60_000);
+
+    let json = req.to_json();
+    // Golden envelope: schema tag first, then the identity fields in
+    // canonical order.
+    assert!(
+        json.starts_with("{\"schema\":\"wishbranch.request/v1\",\"tenant\":\"team-a\","),
+        "envelope drifted: {json}"
+    );
+    assert!(json.contains("\"experiments\":[\"fig10\",\"tab5\"]"));
+    assert!(json.contains("\"train\":\"C\""));
+    assert!(json.contains("\"fault_plan\":\"panic@3,abort@9\""));
+    assert!(json.contains("\"budgets\":{\"cycles\":5000000,\"wall_ms\":60000}"));
+
+    // Round trip: parse(to_json()) == identity, and the canonical form is
+    // a fixed point (serializing the parse reproduces it byte for byte).
+    let back = SweepRequest::parse(&json).expect("canonical JSON parses");
+    assert_eq!(back, req);
+    assert_eq!(back.to_json(), json);
+
+    // The fingerprint is a pure function of the canonical form.
+    assert_eq!(back.fingerprint(), req.fingerprint());
+    let mut other = req.clone();
+    other.scale = 801;
+    assert_ne!(other.fingerprint(), req.fingerprint());
+}
+
+#[test]
+fn defaults_round_trip_minimally() {
+    let req = SweepRequest::new(vec![Experiment::Fig12]);
+    let json = req.to_json();
+    let back = SweepRequest::parse(&json).expect("default request parses");
+    assert_eq!(back, req);
+    assert_eq!(back.tenant, "local");
+    assert_eq!(back.scale, 4000);
+    assert_eq!(back.workers, None);
+    assert_eq!(back.budgets.cycles, None);
+}
+
+#[test]
+fn parse_rejects_garbage_with_typed_errors() {
+    let cases: [(&str, &str); 5] = [
+        ("not json at all", "bad_json"),
+        ("{\"schema\":\"wishbranch.request/v2\",\"experiments\":[\"fig10\"]}", "bad_schema"),
+        ("{\"schema\":\"wishbranch.request/v1\",\"experiments\":[\"fig99\"]}", "unknown_experiment"),
+        ("{\"schema\":\"wishbranch.request/v1\",\"experiments\":[]}", "no_experiments"),
+        (
+            "{\"schema\":\"wishbranch.request/v1\",\"experiments\":[\"fig10\"],\"bogus\":1}",
+            "bad_field",
+        ),
+    ];
+    for (input, kind) in cases {
+        let err = SweepRequest::parse(input).expect_err(input);
+        assert_eq!(err.kind(), kind, "wrong error kind for {input}: {err}");
+    }
+}
+
+#[test]
+fn validate_catches_unrunnable_requests() {
+    let mut req = SweepRequest::new(vec![]);
+    assert!(matches!(req.validate(), Err(RequestError::NoExperiments)));
+    req.experiments.push(Experiment::Fig10);
+    req.workers = Some(0);
+    assert!(matches!(req.validate(), Err(RequestError::BadField { .. })));
+}
