@@ -250,6 +250,9 @@ pub struct SweepSummary {
     /// Jobs that consulted an attached artifact store and missed (and so
     /// were executed, then written back).
     pub store_misses: u64,
+    /// Corrupt store entries quarantined (renamed to `<key>.corrupt`) by
+    /// the attached store; each also counts as one store miss.
+    pub store_quarantined: u64,
     /// Sum of per-job wall-clock times (the serial cost of the work).
     pub job_time: Duration,
     /// End-to-end wall-clock time spent inside [`SweepRunner::try_run`].
@@ -1003,6 +1006,7 @@ impl SweepRunner {
             journal_hits: self.journal_hits.load(Ordering::Relaxed),
             store_hits: self.store_hits.load(Ordering::Relaxed),
             store_misses: self.store_misses.load(Ordering::Relaxed),
+            store_quarantined: self.store.as_ref().map_or(0, |s| s.quarantined()),
             job_time: Duration::from_nanos(self.job_time_nanos.load(Ordering::Relaxed)),
             wall_time: Duration::from_nanos(self.wall_nanos.load(Ordering::Relaxed)),
             profile_time: Duration::from_nanos(self.profile_nanos.load(Ordering::Relaxed)),

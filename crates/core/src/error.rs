@@ -291,6 +291,167 @@ impl FaultPlan {
     }
 }
 
+/// A deterministic serve-layer fault to inject at one global job index.
+/// Where [`FaultKind`] models *job* failures inside the engine,
+/// `ChaosKind` models *infrastructure* failures around it: hung worker
+/// processes, torn protocol writes, stalled clients and corrupted store
+/// artifacts. The resilience layer must absorb every one of them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChaosKind {
+    /// The worker process hangs after announcing this job: heartbeats
+    /// stop, output goes silent, and the process never exits. The server
+    /// must detect the dead heartbeat, kill the worker, and respawn it in
+    /// resume mode.
+    Hang,
+    /// The worker writes only a prefix of this job's protocol line (no
+    /// newline) and then dies — a crash mid-write. The server must drop
+    /// the torn line and recover the job from the respawned worker's
+    /// journal replay.
+    TornLine,
+    /// The *client* stops reading the response stream after this many
+    /// lines. Honored by chaos-test clients (a server cannot make a
+    /// client stall); the server's write timeout must keep its handler
+    /// thread from being pinned.
+    StallClient,
+    /// The worker corrupts this job's artifact-store entry after writing
+    /// it. The next reader must quarantine the corrupt file, treat it as
+    /// a miss, and re-execute.
+    CorruptStore,
+}
+
+impl ChaosKind {
+    /// The spec keyword (`hang` / `torn-line` / `stall-client` /
+    /// `corrupt-store`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ChaosKind::Hang => "hang",
+            ChaosKind::TornLine => "torn-line",
+            ChaosKind::StallClient => "stall-client",
+            ChaosKind::CorruptStore => "corrupt-store",
+        }
+    }
+
+    /// Whether this fault is injected inside the worker process (as
+    /// opposed to [`ChaosKind::StallClient`], which only a client can
+    /// enact).
+    #[must_use]
+    pub fn is_worker_side(self) -> bool {
+        !matches!(self, ChaosKind::StallClient)
+    }
+}
+
+/// [`FaultPlan`]'s serve-layer sibling: a deterministic map from global
+/// job indices (worker-local completion order) to injected infrastructure
+/// faults. Like `FaultPlan`, construction and parsing never consult the
+/// clock or ambient randomness, so a chaos run reproduces exactly — the
+/// *timing* of kills and respawns varies with the host, but the set of
+/// injected faults, and therefore the final reports and journals, do not.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ChaosPlan {
+    faults: BTreeMap<u64, ChaosKind>,
+}
+
+impl ChaosPlan {
+    /// An empty plan (injects nothing).
+    #[must_use]
+    pub fn new() -> ChaosPlan {
+        ChaosPlan::default()
+    }
+
+    /// Adds a fault at the given job index (builder style).
+    #[must_use]
+    pub fn inject(mut self, index: u64, kind: ChaosKind) -> ChaosPlan {
+        self.faults.insert(index, kind);
+        self
+    }
+
+    /// Parses a spec like `"hang@3,torn-line@7,stall-client@2,corrupt-store@5"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending clause on malformed input.
+    pub fn parse(spec: &str) -> Result<ChaosPlan, String> {
+        let mut plan = ChaosPlan::new();
+        for clause in spec.split(',').filter(|c| !c.trim().is_empty()) {
+            let clause = clause.trim();
+            let (kind, index) = clause
+                .split_once('@')
+                .ok_or_else(|| format!("bad chaos clause {clause:?} (want kind@index)"))?;
+            let kind = match kind {
+                "hang" => ChaosKind::Hang,
+                "torn-line" => ChaosKind::TornLine,
+                "stall-client" => ChaosKind::StallClient,
+                "corrupt-store" => ChaosKind::CorruptStore,
+                other => {
+                    return Err(format!(
+                        "unknown chaos kind {other:?} (want hang|torn-line|stall-client|corrupt-store)"
+                    ))
+                }
+            };
+            let index: u64 = index
+                .parse()
+                .map_err(|_| format!("bad chaos index {index:?} in {clause:?}"))?;
+            plan.faults.insert(index, kind);
+        }
+        Ok(plan)
+    }
+
+    /// The canonical spec string (`parse` ∘ `to_spec` is the identity).
+    #[must_use]
+    pub fn to_spec(&self) -> String {
+        let clauses: Vec<String> = self
+            .iter()
+            .map(|(i, k)| format!("{}@{i}", k.label()))
+            .collect();
+        clauses.join(",")
+    }
+
+    /// Only the worker-side clauses (everything but `stall-client`), as a
+    /// spec string — what the server propagates into a worker spec.
+    #[must_use]
+    pub fn worker_spec(&self) -> String {
+        let clauses: Vec<String> = self
+            .iter()
+            .filter(|(_, k)| k.is_worker_side())
+            .map(|(i, k)| format!("{}@{i}", k.label()))
+            .collect();
+        clauses.join(",")
+    }
+
+    /// The first `stall-client` index, if the plan has one (the line
+    /// count after which a chaos client stops reading).
+    #[must_use]
+    pub fn stall_after(&self) -> Option<u64> {
+        self.iter()
+            .find(|(_, k)| *k == ChaosKind::StallClient)
+            .map(|(i, _)| i)
+    }
+
+    /// The fault injected at a job index, if any.
+    #[must_use]
+    pub fn fault_at(&self, index: u64) -> Option<ChaosKind> {
+        self.faults.get(&index).copied()
+    }
+
+    /// Number of planned faults.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The planned `(index, kind)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, ChaosKind)> + '_ {
+        self.faults.iter().map(|(&i, &k)| (i, k))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,6 +491,28 @@ mod tests {
         assert!(!JobError::ProfileFault("x".into()).retryable());
         assert!(!JobError::VerifyDivergence { detail: "x".into() }.retryable());
         assert!(!JobError::Aborted.retryable());
+    }
+
+    #[test]
+    fn chaos_plan_parses_splits_and_round_trips() {
+        let plan =
+            ChaosPlan::parse("hang@3, torn-line@7 ,stall-client@2,corrupt-store@5").unwrap();
+        assert_eq!(plan.fault_at(3), Some(ChaosKind::Hang));
+        assert_eq!(plan.fault_at(7), Some(ChaosKind::TornLine));
+        assert_eq!(plan.fault_at(2), Some(ChaosKind::StallClient));
+        assert_eq!(plan.fault_at(5), Some(ChaosKind::CorruptStore));
+        assert_eq!(plan.fault_at(4), None);
+        assert_eq!(plan.len(), 4);
+        // Canonical spec round trip.
+        assert_eq!(ChaosPlan::parse(&plan.to_spec()).unwrap(), plan);
+        // The worker spec drops the client-side clause; stall_after keeps it.
+        assert_eq!(plan.worker_spec(), "hang@3,corrupt-store@5,torn-line@7");
+        assert_eq!(plan.stall_after(), Some(2));
+        assert!(ChaosPlan::parse("explode@1").is_err());
+        assert!(ChaosPlan::parse("hang@x").is_err());
+        assert!(ChaosPlan::parse("hang").is_err());
+        assert!(ChaosPlan::parse("").unwrap().is_empty());
+        assert_eq!(ChaosPlan::new().stall_after(), None);
     }
 
     #[test]

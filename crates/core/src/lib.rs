@@ -66,7 +66,7 @@ pub use engine::{
     default_workers, JobObserver, JobPhases, JobResult, SweepJob, SweepRunner, SweepSummary,
     TrainSpec, WORKERS_ENV,
 };
-pub use error::{FaultKind, FaultPlan, JobError, JobFailure};
+pub use error::{ChaosKind, ChaosPlan, FaultKind, FaultPlan, JobError, JobFailure};
 pub use journal::JournalError;
 pub use experiment::{
     compile_adaptive_variant, compile_variant, profile_on, run_binary, simulate,
@@ -92,8 +92,9 @@ pub use request::{
     FAULT_PLAN_ENV, REQUEST_SCHEMA,
 };
 pub use serve::{
-    client_stream, serve_forever, worker_main, ResponseLine, ServeConfig, Server, RESPONSE_SCHEMA,
-    WORKER_SPEC_SCHEMA,
+    client_stream, client_stream_resilient, respawn_backoff, serve_forever, worker_main,
+    ResilientStream, ResponseLine, ResponseStream, ServeConfig, Server, DEFAULT_RECONNECTS,
+    RESPONSE_SCHEMA, WORKER_SPEC_SCHEMA,
 };
 pub use store::ArtifactStore;
 #[allow(deprecated)]

@@ -522,7 +522,7 @@ pub fn summary_json(s: &SweepSummary) -> String {
          \"failed\":{},\"retries\":{},\"journal_hits\":{},\
          \"profile_cache\":{{\"hits\":{},\"misses\":{}}},\
          \"compile_cache\":{{\"hits\":{},\"misses\":{}}},\
-         \"artifact_store\":{{\"hits\":{},\"misses\":{}}},\
+         \"artifact_store\":{{\"hits\":{},\"misses\":{},\"quarantined\":{}}},\
          \"job_time_s\":{},\"wall_time_s\":{},\"parallel_speedup\":{},\
          \"phase_time_s\":{{\"profile\":{},\"compile\":{},\"simulate\":{},\"verify\":{}}},\
          \"sim_throughput\":{{\"sim_cycles\":{},\"retired_uops\":{},\
@@ -538,6 +538,7 @@ pub fn summary_json(s: &SweepSummary) -> String {
         s.compile_misses,
         s.store_hits,
         s.store_misses,
+        s.store_quarantined,
         jf(s.job_time.as_secs_f64()),
         jf(s.wall_time.as_secs_f64()),
         jf(s.parallel_speedup()),
@@ -675,7 +676,7 @@ mod tests {
         assert!(j.contains("\"failed\":0"));
         assert!(j.contains("\"retries\":0"));
         assert!(j.contains("\"journal_hits\":0"));
-        assert!(j.contains("\"artifact_store\":{\"hits\":0,\"misses\":0}"));
+        assert!(j.contains("\"artifact_store\":{\"hits\":0,\"misses\":0,\"quarantined\":0}"));
     }
 
     #[test]

@@ -47,6 +47,9 @@ static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
 #[derive(Debug)]
 pub struct ArtifactStore {
     root: PathBuf,
+    /// Corrupt entries quarantined by this handle (renamed to
+    /// `<key>.corrupt` on first detection, so they are never re-parsed).
+    quarantined: AtomicU64,
 }
 
 impl ArtifactStore {
@@ -58,7 +61,10 @@ impl ArtifactStore {
     pub fn open(root: impl Into<PathBuf>) -> io::Result<ArtifactStore> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(ArtifactStore { root })
+        Ok(ArtifactStore {
+            root,
+            quarantined: AtomicU64::new(0),
+        })
     }
 
     /// The store's root directory.
@@ -77,15 +83,38 @@ impl ArtifactStore {
 
     /// Looks up the outcome stored under `key`. Missing, unreadable and
     /// key-mismatched files all read as `None` — corruption degrades to
-    /// a cache miss, never an error.
+    /// a cache miss, never an error. A corrupt or key-mismatched file is
+    /// additionally *quarantined* on first detection: renamed to
+    /// `<key>.corrupt` next to the original, so later lookups see a plain
+    /// miss instead of re-parsing the same broken bytes, and the next
+    /// fresh execution's [`put`](Self::put) writes a clean entry at the
+    /// original address.
     #[must_use]
     pub fn get(&self, key: u64) -> Option<RunOutcome> {
-        let text = fs::read_to_string(self.path_for(key)).ok()?;
-        let (stored_key, outcome) = decode_entry(text.trim_end())?;
-        if stored_key != key {
-            return None;
+        let path = self.path_for(key);
+        let text = fs::read_to_string(&path).ok()?;
+        match decode_entry(text.trim_end()) {
+            Some((stored_key, outcome)) if stored_key == key => Some(outcome),
+            _ => {
+                self.quarantine(&path);
+                None
+            }
         }
-        Some(outcome)
+    }
+
+    /// Moves a corrupt entry aside (best effort — a racing writer may
+    /// have already replaced or quarantined it) and counts it.
+    fn quarantine(&self, path: &Path) {
+        if fs::rename(path, path.with_extension("corrupt")).is_ok() {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Corrupt entries this handle has quarantined (renamed to
+    /// `<key>.corrupt`) so far.
+    #[must_use]
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
     }
 
     /// Stores `outcome` under `key`, atomically (temp file + rename in
@@ -197,18 +226,36 @@ mod tests {
     }
 
     #[test]
-    fn corruption_reads_as_miss() {
+    fn corruption_reads_as_miss_and_is_quarantined() {
         let root = temp_root("corrupt");
         let store = ArtifactStore::open(&root).unwrap();
         let (key, outcome) = one_outcome();
         store.put(key, &outcome).unwrap();
         fs::write(store.path_for(key), "{\"key\":not json").unwrap();
         assert!(store.get(key).is_none(), "torn file must read as a miss");
-        // A file stored under the wrong address is also a miss.
+        // First detection quarantines: the broken file moves aside so the
+        // next lookup is a plain miss, never a re-parse of the same bytes.
+        assert_eq!(store.quarantined(), 1);
+        assert!(!store.path_for(key).exists(), "corrupt file must move aside");
+        let aside = store.path_for(key).with_extension("corrupt");
+        assert!(aside.exists(), "quarantined file must be preserved");
+        assert!(store.get(key).is_none(), "second lookup is a plain miss");
+        assert_eq!(store.quarantined(), 1, "a plain miss quarantines nothing");
+        // A file stored under the wrong address is quarantined the same way.
         let other = key.wrapping_add(1);
         fs::create_dir_all(store.path_for(other).parent().unwrap()).unwrap();
         fs::write(store.path_for(other), encode_entry(key, &outcome)).unwrap();
         assert!(store.get(other).is_none(), "key mismatch must read as a miss");
+        assert_eq!(store.quarantined(), 2);
+        // The next fresh execution rewrites the original address cleanly.
+        store.put(key, &outcome).unwrap();
+        let back = store.get(key).expect("rewritten entry");
+        assert_eq!(
+            crate::journal::encode_outcome(&back),
+            crate::journal::encode_outcome(&outcome),
+            "rewrite after quarantine must be bit-identical"
+        );
+        assert!(aside.exists(), "rewrite leaves the quarantined copy for forensics");
         let _ = fs::remove_dir_all(&root);
     }
 }

@@ -75,10 +75,11 @@
 
 use wishbranch_compiler::BinaryVariant;
 use wishbranch_core::{
-    client_stream, failure_table, fuzz_lockstep, fuzz_lockstep_hierarchy, parse_input_set,
-    serve_forever, summary_json_with_failures, sweep_summary_table, trace_binary, validate_suite,
-    validate_suite_hierarchy, worker_main, Experiment, ExperimentConfig, FaultPlan, FuzzOutcome,
-    JournalError, ResponseLine, ServeConfig, SweepRequest,
+    client_stream, client_stream_resilient, failure_table, fuzz_lockstep,
+    fuzz_lockstep_hierarchy, parse_input_set, summary_json_with_failures, sweep_summary_table,
+    trace_binary, validate_suite, validate_suite_hierarchy, worker_main, ChaosPlan, Experiment,
+    ExperimentConfig, FaultPlan, FuzzOutcome, JournalError, ResponseLine, ServeConfig, Server,
+    SweepRequest,
 };
 use wishbranch_uarch::render_trace;
 use wishbranch_workloads::{suite, InputSet};
@@ -93,7 +94,12 @@ fn usage() -> ! {
                 wishbranch-repro serve [--addr HOST:PORT] [--state-dir DIR] [--store DIR]\n\
                                        [--max-procs N] [--max-respawns N]\n\
                                        [--tenant-budget TENANT=CYCLES]...\n\
-                wishbranch-repro client --addr HOST:PORT [sweep flags] <experiment>...\n\
+                                       [--heartbeat-ms N] [--liveness-timeout-ms N]\n\
+                                       [--read-timeout-ms N] [--write-timeout-ms N]\n\
+                                       [--deadline-factor N] [--max-request-bytes N]\n\
+                                       [--chaos-plan SPEC]\n\
+                wishbranch-repro client --addr HOST:PORT [--reconnect N]\n\
+                                        [sweep flags] <experiment>...\n\
                 wishbranch-repro validate [--scale N] [--quick] [--input A|B|C] [--hierarchy]\n\
                                           [--fuzz N] [--seed S] [--repro-out FILE]\n\
                 wishbranch-repro trace <bench> <variant> [--cycles A..B] [--scale N]\n\
@@ -288,8 +294,32 @@ fn run_local(req: &SweepRequest, opts: &LocalOpts) {
     }
 }
 
+/// Set by the SIGTERM handler; a watcher thread turns it into a graceful
+/// server drain (stop accepting, finish in-flight shards, exit 0).
+static SIGTERM_RECEIVED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_sig: i32) {
+    SIGTERM_RECEIVED.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
+
 /// `wishbranch-repro serve` — run the multi-tenant sweep server until
-/// killed. Workers are forked from this same executable.
+/// killed (SIGTERM drains gracefully: in-flight shards finish and their
+/// journals flush before exit). Workers are forked from this same
+/// executable.
 fn serve_main(args: &[String]) {
     let mut addr = "127.0.0.1:7905".to_string();
     let mut state_dir = std::path::PathBuf::from("serve-state");
@@ -297,6 +327,8 @@ fn serve_main(args: &[String]) {
     let mut max_procs = 4usize;
     let mut max_respawns = 2u32;
     let mut tenant_budgets = std::collections::HashMap::new();
+    let mut overrides: Vec<(&str, u64)> = Vec::new();
+    let mut chaos_plan = ChaosPlan::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -326,6 +358,19 @@ fn serve_main(args: &[String]) {
                 };
                 tenant_budgets.insert(tenant.to_string(), cycles);
             }
+            key @ ("--heartbeat-ms" | "--liveness-timeout-ms" | "--read-timeout-ms"
+            | "--write-timeout-ms" | "--deadline-factor" | "--max-request-bytes") => {
+                let value = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                overrides.push((key, value));
+            }
+            "--chaos-plan" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                chaos_plan = ChaosPlan::parse(spec)
+                    .unwrap_or_else(|e| fatal(&format!("--chaos-plan: {e}")));
+            }
             _ => usage(),
         }
     }
@@ -336,22 +381,69 @@ fn serve_main(args: &[String]) {
     cfg.max_procs = max_procs;
     cfg.max_respawns = max_respawns;
     cfg.tenant_budgets = tenant_budgets;
-    if let Err(e) = serve_forever(&addr, cfg) {
+    cfg.chaos_plan = chaos_plan;
+    for (key, value) in overrides {
+        match key {
+            "--heartbeat-ms" => cfg.heartbeat_ms = value,
+            "--liveness-timeout-ms" => cfg.liveness_timeout_ms = value,
+            "--read-timeout-ms" => cfg.read_timeout_ms = value,
+            "--write-timeout-ms" => cfg.write_timeout_ms = value,
+            "--deadline-factor" => cfg.shard_deadline_factor = value,
+            "--max-request-bytes" => cfg.max_request_bytes = value as usize,
+            _ => unreachable!(),
+        }
+    }
+    let server = std::sync::Arc::new(
+        Server::bind(&addr, cfg).unwrap_or_else(|e| fatal(&format!("serve: {e}"))),
+    );
+    match server.local_addr() {
+        Ok(local) => {
+            use std::io::Write as _;
+            println!("listening on {local}");
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => fatal(&format!("serve: {e}")),
+    }
+    install_sigterm_handler();
+    {
+        let server = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || loop {
+            if SIGTERM_RECEIVED.load(std::sync::atomic::Ordering::SeqCst) {
+                let _ = server.shutdown();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        });
+    }
+    if let Err(e) = server.run() {
         fatal(&format!("serve: {e}"));
     }
+    // run() only returns after a drain: every in-flight shard finished
+    // and flushed its journal.
+    eprintln!("wishbranch-repro: serve: drained, exiting");
 }
 
-/// `wishbranch-repro client --addr HOST:PORT [sweep flags] <experiment>...`
-/// — submit one request and print the response stream; `--report-dir`
-/// additionally writes each streamed `wishbranch.report/v1` payload to
-/// `DIR/<id>.json`.
+/// `wishbranch-repro client --addr HOST:PORT [--reconnect N]
+/// [sweep flags] <experiment>...` — submit one request and print the
+/// response stream; `--report-dir` additionally writes each streamed
+/// `wishbranch.report/v1` payload to `DIR/<id>.json` plus a
+/// `DIR/summary.json` combining the server's `stats` and `done` lines.
+/// `--reconnect N` survives up to N dropped connections by re-submitting
+/// the same fingerprinted request and merging the streams (gap-free,
+/// duplicate-free).
 fn client_main(args: &[String]) {
     let mut addr: Option<String> = None;
+    let mut reconnects = 0u32;
     let mut rest: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if arg == "--addr" {
             addr = Some(it.next().unwrap_or_else(|| usage()).clone());
+        } else if arg == "--reconnect" {
+            reconnects = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| usage());
         } else {
             rest.push(arg.clone());
         }
@@ -364,10 +456,22 @@ fn client_main(args: &[String]) {
         std::fs::create_dir_all(dir)
             .unwrap_or_else(|e| fatal(&format!("cannot create {}: {e}", dir.display())));
     }
-    let stream =
-        client_stream(&addr, &req).unwrap_or_else(|e| fatal(&format!("connect {addr}: {e}")));
+    let stream: Box<dyn Iterator<Item = std::io::Result<(String, ResponseLine)>>> =
+        if reconnects > 0 {
+            Box::new(
+                client_stream_resilient(&addr, &req, reconnects)
+                    .unwrap_or_else(|e| fatal(&format!("connect {addr}: {e}"))),
+            )
+        } else {
+            Box::new(
+                client_stream(&addr, &req)
+                    .unwrap_or_else(|e| fatal(&format!("connect {addr}: {e}"))),
+            )
+        };
     let mut rejected = false;
     let mut failed = 0u64;
+    let mut stats_raw: Option<String> = None;
+    let mut done_raw: Option<String> = None;
     for item in stream {
         let (raw, parsed) = item.unwrap_or_else(|e| fatal(&format!("stream: {e}")));
         println!("{raw}");
@@ -378,9 +482,23 @@ fn client_main(args: &[String]) {
                     write_file(&dir.join(format!("{experiment}.json")), &report);
                 }
             }
-            ResponseLine::Done { failed: f, .. } => failed = f,
+            ResponseLine::Stats { .. } => stats_raw = Some(raw),
+            ResponseLine::Done { failed: f, .. } => {
+                failed = f;
+                done_raw = Some(raw);
+            }
             _ => {}
         }
+    }
+    if let (Some(dir), Some(done)) = (&opts.report_dir, &done_raw) {
+        write_file(
+            &dir.join("summary.json"),
+            &format!(
+                "{{\"schema\":\"wishbranch.served_summary/v1\",\"stats\":{},\"done\":{}}}",
+                stats_raw.as_deref().unwrap_or("null"),
+                done
+            ),
+        );
     }
     if rejected {
         std::process::exit(1);

@@ -200,6 +200,7 @@ fn summary_json_matches_schema_snapshot() {
         "\"workers\":",
         "\"profile_cache\":{\"hits\":",
         "\"compile_cache\":{\"hits\":",
+        "\"quarantined\":",
         "\"job_time_s\":",
         "\"wall_time_s\":",
         "\"parallel_speedup\":",

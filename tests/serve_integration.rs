@@ -29,6 +29,9 @@ struct Outcome {
     rejected: Option<(String, String)>,
     job_keys: Vec<u64>,
     reports: Vec<(String, String)>,
+    /// `(respawns, hung_killed, deadline_kills, rejected_requests)` from
+    /// the server's `stats` line.
+    stats: Option<(u64, u64, u64, u64)>,
     done: Option<(u64, u64, u64, u64, u64, u64, u64)>,
 }
 
@@ -38,6 +41,7 @@ fn drive(addr: &str, req: &SweepRequest) -> Outcome {
         rejected: None,
         job_keys: Vec::new(),
         reports: Vec::new(),
+        stats: None,
         done: None,
     };
     for item in client_stream(addr, req).expect("connect") {
@@ -47,6 +51,17 @@ fn drive(addr: &str, req: &SweepRequest) -> Outcome {
             ResponseLine::Rejected { kind, reason } => out.rejected = Some((kind, reason)),
             ResponseLine::Job { key, .. } => out.job_keys.push(key),
             ResponseLine::Report { experiment, report } => out.reports.push((experiment, report)),
+            ResponseLine::Heartbeat { .. } => {
+                panic!("heartbeats are server-internal, never streamed to clients")
+            }
+            ResponseLine::Stats {
+                respawns,
+                hung_killed,
+                deadline_kills,
+                rejected_requests,
+            } => {
+                out.stats = Some((respawns, hung_killed, deadline_kills, rejected_requests));
+            }
             ResponseLine::Done {
                 jobs,
                 failed,
@@ -85,12 +100,10 @@ fn served_sweeps_are_bit_identical_cached_and_crash_safe() {
     cfg.tenant_budgets.insert("broke".into(), 1);
     let server = Arc::new(Server::bind("127.0.0.1:0", cfg).expect("bind"));
     let addr = server.local_addr().expect("local addr").to_string();
-    {
+    let run_handle = {
         let server = Arc::clone(&server);
-        std::thread::spawn(move || {
-            let _ = server.run();
-        });
-    }
+        std::thread::spawn(move || server.run())
+    };
 
     // The ground truth: the same typed request through the in-process
     // engine.
@@ -130,10 +143,12 @@ fn served_sweeps_are_bit_identical_cached_and_crash_safe() {
     let third = drive(&addr, &faulty);
     let (_, failed3, _, _, _, _, _) = third.done.expect("done line after respawn");
     assert_eq!(failed3, 0, "the injected kill must not surface as a job failure");
+    let (respawns3, _, _, _) = third.stats.expect("stats line precedes done");
+    assert!(respawns3 >= 1, "the stats line records the respawn");
     let third_keys: HashSet<u64> = third.job_keys.iter().copied().collect();
     assert_eq!(third_keys.len(), third.job_keys.len(), "no duplicate jobs across respawn");
     assert_eq!(third_keys, expected_keys, "gap-free: same job set as the clean run");
-    assert_eq!(third.reports, [("fig10".to_string(), local_json)]);
+    assert_eq!(third.reports, [("fig10".to_string(), local_json.clone())]);
 
     // 4. The budgeted tenant comes back: its first run spent real cycles
     //    against a budget of 1, so admission now refuses it outright.
@@ -143,6 +158,26 @@ fn served_sweeps_are_bit_identical_cached_and_crash_safe() {
     assert_eq!(kind, "cycle_budget_exceeded");
     assert!(reason.contains("broke"), "rejection names the tenant: {reason}");
     assert!(fourth.job_keys.is_empty() && fourth.done.is_none());
+
+    // 5. Graceful drain: a request in flight when shutdown begins still
+    //    completes (handlers are drained, not killed), `run` returns, and
+    //    nothing needs a force-kill.
+    let inflight = {
+        let addr = addr.clone();
+        std::thread::spawn(move || drive(&addr, &base_request("t5")))
+    };
+    // Let the in-flight request get accepted before the drain starts.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    server.shutdown().expect("shutdown");
+    let fifth = inflight.join().expect("in-flight client");
+    assert!(fifth.accepted, "the drained request was accepted before shutdown");
+    let (_, failed5, _, _, _, _, _) = fifth.done.expect("drain lets the stream finish");
+    assert_eq!(failed5, 0);
+    assert_eq!(fifth.reports, [("fig10".to_string(), local_json)]);
+    run_handle
+        .join()
+        .expect("accept thread")
+        .expect("run returns cleanly after a drain");
 
     let _ = std::fs::remove_dir_all(&dir);
 }
