@@ -10,7 +10,7 @@ use wishbranch_compiler::{compile, BinaryVariant, CompileOptions, CompiledBinary
 use wishbranch_ir::{Interpreter, Profile};
 use wishbranch_isa::exec::Machine;
 use wishbranch_isa::Program;
-use wishbranch_uarch::{MachineConfig, SimError, SimResult, Simulator};
+use wishbranch_uarch::{MachineConfig, SimError, SimResult, SimScratch, Simulator};
 use wishbranch_workloads::{Benchmark, InputSet};
 
 /// Step budget for the IR profiling interpreter and the functional
@@ -184,14 +184,36 @@ pub fn simulate_unverified(
     input: InputSet,
     machine: &MachineConfig,
 ) -> Result<SimResult, JobError> {
+    simulate_unverified_pooled(program, bench, input, machine, &mut SimScratch::default())
+}
+
+/// [`simulate_unverified`] with caller-owned scratch buffers: the
+/// simulator is built with [`Simulator::with_scratch`] and recycled back
+/// into `scratch` afterwards, so a worker running many jobs back to back
+/// reuses its large allocations (decoded µops, ROB, queues) instead of
+/// reallocating them per job. Bit-identical to the unpooled path.
+///
+/// # Errors
+///
+/// [`JobError::CycleBudgetExceeded`] if the simulation exhausts the
+/// machine's cycle budget.
+pub fn simulate_unverified_pooled(
+    program: &Program,
+    bench: &Benchmark,
+    input: InputSet,
+    machine: &MachineConfig,
+    scratch: &mut SimScratch,
+) -> Result<SimResult, JobError> {
     let inputs = (bench.input_fn)(input);
-    let mut sim = Simulator::new(program, machine.clone());
+    let mut sim = Simulator::with_scratch(program, machine.clone(), scratch);
     for &(a, v) in &inputs {
         sim.preload_mem(a, v);
     }
-    sim.run().map_err(|e| match e {
+    let run = sim.run().map_err(|e| match e {
         SimError::CycleLimitExceeded { limit } => JobError::CycleBudgetExceeded { limit },
-    })
+    });
+    sim.recycle(scratch);
+    run
 }
 
 /// Simulates `program` with the retired-instruction stream enabled and
@@ -220,8 +242,24 @@ pub fn simulate_lockstep(
     input: InputSet,
     machine: &MachineConfig,
 ) -> Result<SimResult, JobError> {
+    simulate_lockstep_pooled(program, bench, input, machine, &mut SimScratch::default())
+}
+
+/// [`simulate_lockstep`] with caller-owned scratch buffers (see
+/// [`simulate_unverified_pooled`]). Bit-identical to the unpooled path.
+///
+/// # Errors
+///
+/// As [`simulate_lockstep`].
+pub fn simulate_lockstep_pooled(
+    program: &Program,
+    bench: &Benchmark,
+    input: InputSet,
+    machine: &MachineConfig,
+    scratch: &mut SimScratch,
+) -> Result<SimResult, JobError> {
     let inputs = (bench.input_fn)(input);
-    let mut sim = Simulator::new(program, machine.clone());
+    let mut sim = Simulator::with_scratch(program, machine.clone(), scratch);
     for &(a, v) in &inputs {
         sim.preload_mem(a, v);
     }
@@ -229,29 +267,55 @@ pub fn simulate_lockstep(
     if lockstep {
         sim.enable_retire_log();
     }
-    let result = sim.run().map_err(|e| match e {
+    let run = sim.run().map_err(|e| match e {
         SimError::CycleLimitExceeded { limit } => JobError::CycleBudgetExceeded { limit },
-    })?;
+    });
+    let records = if lockstep { sim.take_retire_log() } else { Vec::new() };
+    sim.recycle(scratch);
+    let result = run?;
     if lockstep {
-        let records = sim.take_retire_log();
-        let mut oracle = wishbranch_isa::LockstepOracle::new(program);
-        for &(a, v) in &inputs {
-            oracle.preload_mem(a, v);
-        }
-        let label = format!("{} {input}", bench.name);
-        for record in &records {
-            oracle.step(record).map_err(|d| JobError::VerifyDivergence {
-                detail: format!("{label}: lockstep {d}"),
-            })?;
-        }
-        oracle
-            .finish(&result.final_regs, &result.final_preds, &result.final_mem)
-            .map_err(|d| JobError::VerifyDivergence {
-                detail: format!("{label}: lockstep {d}"),
-            })?;
+        lockstep_check(program, bench, input, &result, &records)?;
     }
     verify_retired_state(program, bench, input, &result)?;
     Ok(result)
+}
+
+/// Replays a retired-instruction stream through the lockstep reference
+/// oracle and anchors the oracle's final state against the simulator's
+/// retired state. This is the oracle half of [`simulate_lockstep`],
+/// factored out so the batched engine path can run it against a retire
+/// log collected by a [`wishbranch_uarch::BatchSimulator`] lane. Callers
+/// are responsible for skipping it for the NO-FETCH limit machine
+/// (`no_false_predicate_fetch`), whose retired stream is not a contiguous
+/// architectural walk.
+///
+/// # Errors
+///
+/// [`JobError::VerifyDivergence`] naming the first divergent retirement
+/// or final-state mismatch.
+pub fn lockstep_check(
+    program: &Program,
+    bench: &Benchmark,
+    input: InputSet,
+    result: &SimResult,
+    records: &[wishbranch_isa::RetireRecord],
+) -> Result<(), JobError> {
+    let inputs = (bench.input_fn)(input);
+    let mut oracle = wishbranch_isa::LockstepOracle::new(program);
+    for &(a, v) in &inputs {
+        oracle.preload_mem(a, v);
+    }
+    let label = format!("{} {input}", bench.name);
+    for record in records {
+        oracle.step(record).map_err(|d| JobError::VerifyDivergence {
+            detail: format!("{label}: lockstep {d}"),
+        })?;
+    }
+    oracle
+        .finish(&result.final_regs, &result.final_preds, &result.final_mem)
+        .map_err(|d| JobError::VerifyDivergence {
+            detail: format!("{label}: lockstep {d}"),
+        })
 }
 
 /// Checks a simulation's retired memory state against the functional

@@ -88,7 +88,7 @@ pub use report::{
     json_escape, summary_json, summary_json_with_failures, throughput_json, Report, ReportData,
 };
 pub use request::{
-    parse_input_set, run_request, Budgets, RequestError, SweepRequest, SweepResponse,
+    parse_input_set, run_request, Budgets, RequestError, SweepRequest, SweepResponse, BATCH_ENV,
     FAULT_PLAN_ENV, REQUEST_SCHEMA,
 };
 pub use serve::{

@@ -52,6 +52,11 @@ pub const REQUEST_SCHEMA: &str = "wishbranch.request/v1";
 /// (moved here from the CLI binary so served requests honor it too).
 pub const FAULT_PLAN_ENV: &str = "WISHBRANCH_FAULT_PLAN";
 
+/// Environment variable consulted when a request carries no `batch`
+/// width. Same precedence chain as `workers` / `fault_plan`: explicit
+/// field, then environment, then the default (1, batching off).
+pub const BATCH_ENV: &str = "WISHBRANCH_BATCH";
+
 /// Per-request execution budgets. Both reuse the engine's typed
 /// budget machinery: an exhausted cycle budget surfaces as
 /// [`JobError::CycleBudgetExceeded`](crate::JobError::CycleBudgetExceeded)
@@ -84,6 +89,11 @@ pub struct SweepRequest {
     pub workers: Option<usize>,
     /// Replay every retired stream through the lockstep oracle.
     pub oracle: bool,
+    /// Lockstep batch width: jobs sharing a compiled binary are simulated
+    /// as lanes of one [`wishbranch_uarch::BatchSimulator`] group of up
+    /// to this many lanes, bit-identically to the scalar path. `None`
+    /// falls back to [`BATCH_ENV`], then 1 (batching off).
+    pub batch: Option<usize>,
     /// Explicit deterministic fault plan; `None` falls back to
     /// [`FAULT_PLAN_ENV`], then no injected faults.
     pub fault_plan: Option<FaultPlan>,
@@ -175,6 +185,7 @@ impl SweepRequest {
             quick: false,
             workers: None,
             oracle: false,
+            batch: None,
             fault_plan: None,
             train: None,
             window: None,
@@ -201,6 +212,9 @@ impl SweepRequest {
         if self.workers == Some(0) {
             return Err(bad_field("workers", "must be a positive integer"));
         }
+        if self.batch == Some(0) {
+            return Err(bad_field("batch", "must be a positive integer"));
+        }
         Ok(())
     }
 
@@ -210,6 +224,29 @@ impl SweepRequest {
     #[must_use]
     pub fn resolved_workers(&self) -> usize {
         self.workers.unwrap_or_else(default_workers)
+    }
+
+    /// The lockstep batch width this request resolves to: the explicit
+    /// field, else a parsed [`BATCH_ENV`], else 1 (batching off).
+    ///
+    /// # Errors
+    ///
+    /// [`RequestError::BadField`] when the environment variable is set
+    /// but not a positive integer (an explicit field never consults it).
+    pub fn resolved_batch(&self) -> Result<usize, RequestError> {
+        if let Some(width) = self.batch {
+            return Ok(width);
+        }
+        match std::env::var(BATCH_ENV) {
+            Ok(value) => match value.parse::<usize>() {
+                Ok(width) if width > 0 => Ok(width),
+                _ => Err(bad_field(
+                    BATCH_ENV,
+                    format!("bad batch width {value:?}: want a positive integer"),
+                )),
+            },
+            Err(_) => Ok(1),
+        }
     }
 
     /// The fault plan this request resolves to: the explicit field, else
@@ -276,6 +313,7 @@ impl SweepRequest {
         let ec = self.experiment_config();
         let mut runner = SweepRunner::with_workers(&ec, self.resolved_workers());
         runner.set_oracle(self.oracle);
+        runner.set_batch(self.resolved_batch()?);
         runner.set_fault_plan(fault_plan);
         runner.set_wall_budget(self.budgets.wall_ms.map(Duration::from_millis));
         Ok(runner)
@@ -310,6 +348,9 @@ impl SweepRequest {
             out.push_str(&format!(",\"workers\":{w}"));
         }
         out.push_str(&format!(",\"oracle\":{}", self.oracle));
+        if let Some(width) = self.batch {
+            out.push_str(&format!(",\"batch\":{width}"));
+        }
         if let Some(plan) = &self.fault_plan {
             let spec: Vec<String> = plan
                 .iter()
@@ -424,6 +465,14 @@ impl SweepRequest {
                     req.oracle = value
                         .as_bool()
                         .ok_or_else(|| bad_field("oracle", "must be a boolean"))?;
+                }
+                "batch" => {
+                    req.batch = Some(
+                        value
+                            .as_u64()
+                            .and_then(|v| usize::try_from(v).ok())
+                            .ok_or_else(|| bad_field("batch", "must be a non-negative integer"))?,
+                    );
                 }
                 "fault_plan" => {
                     let spec = value
@@ -610,6 +659,7 @@ mod tests {
             quick: true,
             workers: Some(4),
             oracle: true,
+            batch: Some(8),
             fault_plan: Some(
                 FaultPlan::new()
                     .inject(3, FaultKind::Panic)
@@ -647,6 +697,7 @@ mod tests {
         assert_eq!(req.scale, 4000);
         assert!(!req.quick);
         assert_eq!(req.workers, None);
+        assert_eq!(req.batch, None);
         assert_eq!(req.budgets, Budgets::default());
     }
 
@@ -667,6 +718,10 @@ mod tests {
             ),
             (
                 "{\"schema\":\"wishbranch.request/v1\",\"experiments\":[\"fig10\"],\"workers\":0}",
+                "bad_field",
+            ),
+            (
+                "{\"schema\":\"wishbranch.request/v1\",\"experiments\":[\"fig10\"],\"batch\":0}",
                 "bad_field",
             ),
             (

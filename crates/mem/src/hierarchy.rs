@@ -174,6 +174,21 @@ impl MemoryHierarchy {
         self.l1_mshrs.busy(now) || self.l2_mshrs.busy(now)
     }
 
+    /// Earliest cycle strictly after `now` at which
+    /// [`MemoryHierarchy::fill_pending_at`] can change value — the next
+    /// data-side fill expiry. `None` while no fill is outstanding (the
+    /// predicate then stays `false` until a new miss is issued).
+    #[must_use]
+    pub fn next_fill_change_after(&self, now: u64) -> Option<u64> {
+        match (
+            self.l1_mshrs.next_fill_after(now),
+            self.l2_mshrs.next_fill_after(now),
+        ) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
     /// Demand access through the non-blocking model. Routes the access —
     /// L1 hit, coalesce onto a pending fill, allocate new fill(s), or
     /// refuse ([`AccessOutcome::MshrFull`]) — committing state *only* on

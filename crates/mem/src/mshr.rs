@@ -118,6 +118,15 @@ impl MshrFile {
         self.entries.iter().any(|e| e.fill_at > now)
     }
 
+    /// Earliest fill completing strictly after `now`, if any — the next
+    /// cycle at which [`MshrFile::busy`] can change value. (Entries only
+    /// leave the file via [`MshrFile::drain`], so between accesses the
+    /// `busy` predicate is a pure function of `now` and this threshold.)
+    #[must_use]
+    pub fn next_fill_after(&self, now: u64) -> Option<u64> {
+        self.entries.iter().map(|e| e.fill_at).filter(|&f| f > now).min()
+    }
+
     /// Misses that coalesced onto an existing entry.
     #[must_use]
     pub fn coalesced(&self) -> u64 {

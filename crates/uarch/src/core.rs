@@ -30,6 +30,7 @@
 //!   rename and become per-entry counters — no per-µop allocation.
 
 use crate::config::{MachineConfig, OracleConfig, PredMechanism};
+use crate::decode::{DecodedProgram, PcInfo};
 use crate::emu::{SpecEmulator, StepInfo};
 use crate::stats::{HotSiteCounts, LoopExitClass, SimStats, WishClassCounts};
 use std::cmp::Reverse;
@@ -80,45 +81,10 @@ pub struct SimResult {
     pub final_mem: std::collections::BTreeMap<u64, i64>,
 }
 
-/// Static per-PC information, pre-decoded once per program at
-/// [`Simulator::new`] — the decoded-µop cache. Everything here is a pure
-/// function of the program text and the machine configuration.
-#[derive(Clone, Copy, Debug)]
-struct PcInfo {
-    insn: Insn,
-    /// I-cache line of this pc's instruction address.
-    line: u64,
-    is_branch: bool,
-    is_cond_branch: bool,
-    is_halt: bool,
-    is_cmp2: bool,
-    /// This µop defines at least one predicate register
-    /// (predicate-prediction eligibility).
-    defines_pred: bool,
-    def_gpr: Option<Gpr>,
-    def_preds: [Option<PredReg>; 2],
-    gpr_srcs: [Option<Gpr>; 2],
-    pred_srcs: [Option<PredReg>; 2],
-    /// Static part of the select-µop expansion test: a guarded non-branch
-    /// µop with a destination.
-    select_expandable: bool,
-}
-
-/// The static part of a DHP guard-injection plan for a conditional branch
-/// (everything in [`DhpState::GuardFall`] except the captured condition
-/// value, which is architectural and read at fetch).
-#[derive(Clone, Copy, Debug)]
-struct DhpPlan {
-    pred: PredReg,
-    negated: bool,
-    until: u32,
-    then: Option<(u32, u32, Option<u32>)>,
-}
-
 /// Dynamic-hammock-predication fetch state: which region is currently
 /// being fetched under an injected guard.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum DhpState {
+pub(crate) enum DhpState {
     Off,
     /// Guarding the fall-through arm. At `until`, either stop (triangle) or
     /// redirect into the taken arm (`then` = (taken_start, taken_until,
@@ -146,7 +112,7 @@ enum DhpState {
 
 /// Front-end mode of Fig. 8.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Mode {
+pub(crate) enum Mode {
     Normal,
     HighConf,
     /// Low-confidence mode. For wish jumps/joins, `exit_target` is the
@@ -160,33 +126,33 @@ enum Mode {
 
 /// Branch metadata captured at fetch.
 #[derive(Clone, Copy, Debug)]
-struct BrMeta {
+pub(crate) struct BrMeta {
     /// Direction fetch followed (conditional branches).
-    predicted_taken: bool,
+    pub(crate) predicted_taken: bool,
     /// pc fetch continued at.
-    predicted_next: u32,
+    pub(crate) predicted_next: u32,
     /// Hybrid predictor token (conditional branches, non-oracle).
-    bp_token: Option<HybridToken>,
+    pub(crate) bp_token: Option<HybridToken>,
     /// What the direction predictor said before any wish-branch forcing.
-    predictor_said_taken: bool,
+    pub(crate) predictor_said_taken: bool,
     /// GHR before this branch's speculative update.
-    ghr_checkpoint: u64,
+    pub(crate) ghr_checkpoint: u64,
     /// GHR value used to index the confidence estimator.
-    conf_ghr: u64,
+    pub(crate) conf_ghr: u64,
     /// RAS state after this branch's own push/pop.
-    ras_checkpoint: RasCheckpoint,
+    pub(crate) ras_checkpoint: RasCheckpoint,
     /// Confidence estimate for wish branches (None = not a wish branch or
     /// hardware disabled).
-    conf_high: Option<bool>,
+    pub(crate) conf_high: Option<bool>,
     /// Mode the front end was in when this branch was fetched (§3.5.4
     /// footnote: recovery checks the mode at fetch, not at resolution).
-    fetch_mode: Mode,
+    pub(crate) fetch_mode: Mode,
     /// Specialized wish-loop predictor token, when that predictor is
     /// enabled and produced this prediction.
-    loop_token: Option<LoopToken>,
+    pub(crate) loop_token: Option<LoopToken>,
     /// This branch was dynamically hammock-predicated (DHP): both arms are
     /// in the pipeline under hardware guards, so it never flushes.
-    dhp: bool,
+    pub(crate) dhp: bool,
 }
 
 /// One fetched µop.
@@ -211,7 +177,7 @@ struct FetchedUop {
 
 /// Role of a ROB entry under the select-µop mechanism.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Role {
+pub(crate) enum Role {
     /// The whole architectural µop (C-style, or unguarded).
     Whole,
     /// Select-µop expansion: the unguarded compute part.
@@ -221,7 +187,7 @@ enum Role {
 }
 
 /// Inline capacity of a [`WaiterList`]; spills go to a pooled `Vec`.
-const WAITERS_INLINE: usize = 4;
+pub(crate) const WAITERS_INLINE: usize = 4;
 
 /// Consumers waiting on one producer's completion, in ascending ROB-id
 /// order (ids only grow between flushes, and a flush truncates the tail).
@@ -229,14 +195,14 @@ const WAITERS_INLINE: usize = 4;
 /// `Simulator::waiter_pool` across flushes so steady state allocates
 /// nothing per µop.
 #[derive(Clone, Debug, Default)]
-struct WaiterList {
-    len: u32,
-    inline: [u64; WAITERS_INLINE],
-    spill: Vec<u64>,
+pub(crate) struct WaiterList {
+    pub(crate) len: u32,
+    pub(crate) inline: [u64; WAITERS_INLINE],
+    pub(crate) spill: Vec<u64>,
 }
 
 impl WaiterList {
-    fn push(&mut self, id: u64) {
+    pub(crate) fn push(&mut self, id: u64) {
         let l = self.len as usize;
         if l < WAITERS_INLINE {
             self.inline[l] = id;
@@ -247,13 +213,13 @@ impl WaiterList {
     }
 
     /// The next `push` would land in the spill vector.
-    fn will_spill(&self) -> bool {
+    pub(crate) fn will_spill(&self) -> bool {
         self.len as usize >= WAITERS_INLINE
     }
 
     /// Drops waiters with id > `boundary` (flush squash). The list is
     /// ascending, so squashed ids form the tail.
-    fn truncate_above(&mut self, boundary: u64) {
+    pub(crate) fn truncate_above(&mut self, boundary: u64) {
         while self.len > 0 {
             let l = (self.len - 1) as usize;
             let last = if l < WAITERS_INLINE {
@@ -296,13 +262,12 @@ struct RobEntry {
 /// via [`Simulator::preload_mem`]/[`Simulator::preload_reg`], then
 /// [`Simulator::run`].
 pub struct Simulator<'p> {
-    /// Kept for the lifetime tie; all per-PC reads go through `pcs`.
+    /// Kept for the lifetime tie; all per-PC reads go through `decoded`.
     #[allow(dead_code)]
     program: &'p Program,
-    /// Pre-decoded static info per pc (same length as `program`).
-    pcs: Vec<PcInfo>,
-    /// Static DHP hammock plans per pc (all `None` unless `dhp_enabled`).
-    dhp_plans: Vec<Option<DhpPlan>>,
+    /// Pre-decoded static per-PC tables (µop cache, DHP plans, wish-loop
+    /// PC set).
+    decoded: DecodedProgram,
     cfg: MachineConfig,
     /// Cached [`MachineConfig::fetch_queue_cap`].
     fetch_queue_cap: usize,
@@ -344,9 +309,6 @@ pub struct Simulator<'p> {
     /// §3.5.4 buffer, indexed by static wish-loop pc:
     /// (last predicted direction, seq).
     loop_last_pred: Vec<Option<(bool, u64)>>,
-    /// The pcs of wish-loop branches (the only populated slots of
-    /// `loop_last_pred` — drives the flush-time purge).
-    wish_loop_pcs: Vec<u32>,
     dhp: DhpState,
     /// Per-PC two-bit counters for the predicate-prediction baseline
     /// (initialized to 2, the historical `or_insert(2)` default).
@@ -391,53 +353,67 @@ pub struct Simulator<'p> {
     retire_log: Option<Vec<wishbranch_isa::RetireRecord>>,
 }
 
+/// Reusable simulator buffers: a worker thread keeps one `SimScratch` and
+/// threads it through consecutive [`Simulator::with_scratch`] /
+/// [`Simulator::recycle`] pairs so back-to-back jobs reuse the decoded-µop
+/// tables, ROB/front-end queues and scheduling heaps instead of
+/// reallocating them per job. Purely an allocation cache: a simulator
+/// built from a scratch pool is bit-identical to one built fresh.
+#[derive(Default)]
+pub struct SimScratch {
+    decoded: DecodedProgram,
+    loop_last_pred: Vec<Option<(bool, u64)>>,
+    pred_value_pht: Vec<u8>,
+    hot_sites: Vec<HotSiteCounts>,
+    fe_queue: VecDeque<FetchedUop>,
+    rob: VecDeque<RobEntry>,
+    ready: BinaryHeap<Reverse<u64>>,
+    events: BinaryHeap<Reverse<(u64, u64)>>,
+    unresolved: Vec<u64>,
+    store_queue: VecDeque<u64>,
+    blocked_loads: Vec<u64>,
+    dep_scratch: Vec<u64>,
+    waiter_pool: Vec<Vec<u64>>,
+}
+
 impl<'p> Simulator<'p> {
     /// Creates a simulator over `program` with cold predictors and caches.
     #[must_use]
     pub fn new(program: &'p Program, cfg: MachineConfig) -> Simulator<'p> {
+        let mut scratch = SimScratch::default();
+        Simulator::with_scratch(program, cfg, &mut scratch)
+    }
+
+    /// Like [`Simulator::new`], but reuses the buffer allocations held in
+    /// `scratch` (emptied by a prior [`Simulator::recycle`]). Simulation
+    /// results are bit-identical either way.
+    #[must_use]
+    pub fn with_scratch(
+        program: &'p Program,
+        cfg: MachineConfig,
+        scratch: &mut SimScratch,
+    ) -> Simulator<'p> {
         let mem = MemoryHierarchy::new(cfg.mem);
         let bp = HybridPredictor::new(cfg.bpred);
         let btb = Btb::new(cfg.btb);
         let jrs = JrsConfidence::new(cfg.jrs);
         let loop_pred = cfg.wish_loop_predictor.map(LoopPredictor::new);
         let n = program.len();
-        let line_bytes = cfg.mem.icache.line_bytes as u64;
-        let mut pcs = Vec::with_capacity(n);
-        let mut dhp_plans = vec![None; n];
-        let mut wish_loop_pcs = Vec::new();
-        for pc in 0..n as u32 {
-            let insn = *program.get(pc).expect("pc < program.len()");
-            let def_preds = insn.def_preds();
-            let is_branch = insn.is_branch();
-            let info = PcInfo {
-                insn,
-                line: insn_addr(pc) / line_bytes,
-                is_branch,
-                is_cond_branch: insn.is_conditional_branch(),
-                is_halt: matches!(insn.kind, InsnKind::Halt),
-                is_cmp2: matches!(insn.kind, InsnKind::Cmp2 { .. }),
-                defines_pred: def_preds[0].is_some(),
-                def_gpr: insn.def_gpr(),
-                def_preds,
-                gpr_srcs: insn.gpr_srcs(),
-                pred_srcs: insn.pred_srcs(),
-                select_expandable: insn.guard.is_some()
-                    && !is_branch
-                    && (insn.def_gpr().is_some() || def_preds[0].is_some()),
-            };
-            if info.is_cond_branch && insn.wish == Some(WishType::Loop) {
-                wish_loop_pcs.push(pc);
-            }
-            if cfg.dhp_enabled && info.is_cond_branch {
-                dhp_plans[pc as usize] = dhp_plan_static(program, cfg.dhp_max_block, pc, &insn);
-            }
-            pcs.push(info);
-        }
+        let mut decoded = std::mem::take(&mut scratch.decoded);
+        decoded.rebuild(program, &cfg);
+        let mut loop_last_pred = std::mem::take(&mut scratch.loop_last_pred);
+        loop_last_pred.clear();
+        loop_last_pred.resize(n, None);
+        let mut pred_value_pht = std::mem::take(&mut scratch.pred_value_pht);
+        pred_value_pht.clear();
+        pred_value_pht.resize(n, 2);
+        let mut hot_sites = std::mem::take(&mut scratch.hot_sites);
+        hot_sites.clear();
+        hot_sites.resize(n, HotSiteCounts::default());
         Simulator {
             fetch_pc: program.entry(),
             program,
-            pcs,
-            dhp_plans,
+            decoded,
             fetch_queue_cap: cfg.fetch_queue_cap(),
             cycle: 0,
             emu: SpecEmulator::new(),
@@ -460,23 +436,22 @@ impl<'p> Simulator<'p> {
             pred_elim: [None; NUM_PREDS],
             pred_elim_live: 0,
             cmp2_partner: [None; NUM_PREDS],
-            loop_last_pred: vec![None; n],
-            wish_loop_pcs,
+            loop_last_pred,
             dhp: DhpState::Off,
-            pred_value_pht: vec![2; n],
-            hot_sites: vec![HotSiteCounts::default(); n],
+            pred_value_pht,
+            hot_sites,
             conf_history: 0,
             next_seq: 1,
             next_rob_id: 1,
-            fe_queue: VecDeque::new(),
-            rob: VecDeque::new(),
-            ready: BinaryHeap::new(),
-            events: BinaryHeap::new(),
-            unresolved: Vec::new(),
-            store_queue: VecDeque::new(),
-            blocked_loads: Vec::new(),
-            dep_scratch: Vec::new(),
-            waiter_pool: Vec::new(),
+            fe_queue: std::mem::take(&mut scratch.fe_queue),
+            rob: std::mem::take(&mut scratch.rob),
+            ready: std::mem::take(&mut scratch.ready),
+            events: std::mem::take(&mut scratch.events),
+            unresolved: std::mem::take(&mut scratch.unresolved),
+            store_queue: std::mem::take(&mut scratch.store_queue),
+            blocked_loads: std::mem::take(&mut scratch.blocked_loads),
+            dep_scratch: std::mem::take(&mut scratch.dep_scratch),
+            waiter_pool: std::mem::take(&mut scratch.waiter_pool),
             gpr_prod: [None; NUM_GPRS],
             pred_prod: [None; NUM_PREDS],
             stats: SimStats::default(),
@@ -485,6 +460,32 @@ impl<'p> Simulator<'p> {
             retire_log: None,
             cfg,
         }
+    }
+
+    /// Returns this simulator's buffers to `scratch` for the next
+    /// [`Simulator::with_scratch`] on the same worker.
+    pub fn recycle(mut self, scratch: &mut SimScratch) {
+        self.fe_queue.clear();
+        self.rob.clear();
+        self.ready.clear();
+        self.events.clear();
+        self.unresolved.clear();
+        self.store_queue.clear();
+        self.blocked_loads.clear();
+        self.dep_scratch.clear();
+        scratch.decoded = self.decoded;
+        scratch.loop_last_pred = self.loop_last_pred;
+        scratch.pred_value_pht = self.pred_value_pht;
+        scratch.hot_sites = self.hot_sites;
+        scratch.fe_queue = self.fe_queue;
+        scratch.rob = self.rob;
+        scratch.ready = self.ready;
+        scratch.events = self.events;
+        scratch.unresolved = self.unresolved;
+        scratch.store_queue = self.store_queue;
+        scratch.blocked_loads = self.blocked_loads;
+        scratch.dep_scratch = self.dep_scratch;
+        scratch.waiter_pool = self.waiter_pool;
     }
 
     /// Enables pipeline event tracing (see [`crate::trace`]). Call before
@@ -1120,7 +1121,7 @@ impl<'p> Simulator<'p> {
             if role == Role::Compute {
                 continue; // temps are invisible to the rename map
             }
-            let info = &self.pcs[pc as usize];
+            let info = &self.decoded.pcs[pc as usize];
             if let Some(d) = info.def_gpr {
                 self.gpr_prod[d.index()] = Some(id);
             }
@@ -1147,7 +1148,8 @@ impl<'p> Simulator<'p> {
         self.cmp2_partner = [None; NUM_PREDS];
         self.mode = Mode::Normal;
         self.dhp = DhpState::Off;
-        for &pc in &self.wish_loop_pcs {
+        for i in 0..self.decoded.wish_loop_pcs.len() {
+            let pc = self.decoded.wish_loop_pcs[i];
             if let Some((_, s)) = self.loop_last_pred[pc as usize] {
                 if s > seq {
                     self.loop_last_pred[pc as usize] = None;
@@ -1410,7 +1412,7 @@ impl<'p> Simulator<'p> {
     fn rob_slots_needed(&self, f: &FetchedUop) -> usize {
         if self.cfg.pred_mechanism == PredMechanism::SelectUop
             && f.guard_pred_elim.is_none()
-            && self.pcs[f.pc as usize].select_expandable
+            && self.decoded.pcs[f.pc as usize].select_expandable
         {
             2
         } else {
@@ -1505,7 +1507,7 @@ impl<'p> Simulator<'p> {
                             assert!(idx < self.rob.len(), "producer id {id} front {} len {}", front.id, self.rob.len());
                             let p = &self.rob[idx];
                             if let Some(predicted) = p.f.pred_check {
-                                let defs = self.pcs[p.f.pc as usize].def_preds;
+                                let defs = self.decoded.pcs[p.f.pc as usize].def_preds;
                                 if defs[0] == Some(g) {
                                     return GuardPlan::Known(predicted);
                                 }
@@ -1567,7 +1569,7 @@ impl<'p> Simulator<'p> {
 
     fn rename_into_rob(&mut self, f: FetchedUop) {
         let oracles = self.cfg.oracles;
-        let info = self.pcs[f.pc as usize];
+        let info = self.decoded.pcs[f.pc as usize];
         let select_expand = self.rob_slots_needed(&f) == 2;
         let guard = self.guard_dep(&f, &oracles);
         // Old-destination reads exist only for guarded µops outside the
@@ -1681,7 +1683,7 @@ impl<'p> Simulator<'p> {
                     self.mode = Mode::Normal;
                 }
             }
-            let Some(info) = self.pcs.get(self.fetch_pc as usize) else {
+            let Some(info) = self.decoded.pcs.get(self.fetch_pc as usize) else {
                 // Wrong-path fetch escaped the image; wait for the flush.
                 self.fetch_blocked = true;
                 return;
@@ -1900,7 +1902,7 @@ impl<'p> Simulator<'p> {
         // for the flush its verification may trigger.
         let mut pred_check = None;
         if self.cfg.predicate_prediction
-            && self.pcs[pc as usize].defines_pred
+            && self.decoded.pcs[pc as usize].defines_pred
             && br_meta.is_none()
         {
             let counter = self.pred_value_pht[pc as usize];
@@ -2122,7 +2124,7 @@ impl<'p> Simulator<'p> {
     /// of elimination-buffer entries when their register is redefined
     /// (§3.5.3).
     fn note_pred_writes(&mut self, pc: u32) {
-        let info = &self.pcs[pc as usize];
+        let info = &self.decoded.pcs[pc as usize];
         let def_preds = info.def_preds;
         let is_cmp2 = info.is_cmp2;
         if is_cmp2 {
@@ -2149,7 +2151,7 @@ impl<'p> Simulator<'p> {
     /// pre-decoded table, the condition register's architectural value is
     /// captured now — the guarded arms may redefine the register itself.
     fn dhp_region(&self, pc: u32) -> Option<DhpState> {
-        let plan = self.dhp_plans[pc as usize]?;
+        let plan = self.decoded.dhp_plans[pc as usize]?;
         Some(DhpState::GuardFall {
             pred: plan.pred,
             negated: plan.negated,
@@ -2179,98 +2181,9 @@ impl<'p> Simulator<'p> {
     }
 }
 
-/// Checks whether the branch at `pc` guards a DHP-eligible hammock and
-/// returns the static guard-injection plan. Eligibility: forward branch,
-/// arms within `max` µops, arms free of control flow (hardware cannot
-/// re-converge across nested branches). Three layouts are recognized,
-/// matching what compilers actually emit:
-///
-/// 1. skip-triangle — `br → J; B…; J:` (guard B);
-/// 2. contiguous diamond — `br → T; B…; jmp J; T: C…; J:`;
-/// 3. far-taken diamond — `br → T; B…; J: …  T: C…; jmp J` (the taken
-///    arm laid out out-of-line, jumping back to the join).
-fn dhp_plan_static(program: &Program, max: u32, pc: u32, insn: &Insn) -> Option<DhpPlan> {
-    let InsnKind::Branch {
-        kind: BranchKind::Cond { pred, sense },
-        target,
-    } = insn.kind
-    else {
-        return None;
-    };
-    let straight = |lo: u32, hi: u32| {
-        lo <= hi
-            && hi - lo <= max
-            && (lo..hi).all(|i| {
-                program
-                    .get(i)
-                    .is_some_and(|x| !x.is_branch() && !matches!(x.kind, InsnKind::Halt))
-            })
-    };
-    if target <= pc + 1 {
-        return None;
-    }
-    // The fall-through arm executes when the branch is NOT taken:
-    // guard value = !(pred == sense)  ⇒  (pred, negated = sense).
-    // Layout 2: contiguous diamond (trailing jump inside the region).
-    if target >= 2 && target - (pc + 1) >= 2 {
-        if let Some(last) = program.get(target - 1) {
-            if let InsnKind::Branch {
-                kind: BranchKind::Uncond,
-                target: join,
-            } = last.kind
-            {
-                if join > target && straight(pc + 1, target - 1) && straight(target, join) {
-                    return Some(DhpPlan {
-                        pred,
-                        negated: sense,
-                        until: target - 1,
-                        then: Some((target, join, None)),
-                    });
-                }
-            }
-        }
-    }
-    // Layout 3: far-taken diamond. Scan the taken arm for its trailing
-    // jump back into the fall-through region.
-    let mut k = target;
-    while k - target <= max {
-        let Some(x) = program.get(k) else { break };
-        if let InsnKind::Branch { kind, target: join } = x.kind {
-            if matches!(kind, BranchKind::Uncond)
-                && join > pc
-                && join <= target
-                && straight(pc + 1, join)
-                && straight(target, k)
-            {
-                return Some(DhpPlan {
-                    pred,
-                    negated: sense,
-                    until: join,
-                    then: Some((target, k, Some(join))),
-                });
-            }
-            break;
-        }
-        if matches!(x.kind, InsnKind::Halt) {
-            break;
-        }
-        k += 1;
-    }
-    // Layout 1: skip-triangle.
-    if straight(pc + 1, target) {
-        return Some(DhpPlan {
-            pred,
-            negated: sense,
-            until: target,
-            then: None,
-        });
-    }
-    None
-}
-
 /// Why the fetch stage is stalled (`fetch_stall_until` armed).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum StallReason {
+pub(crate) enum StallReason {
     /// I-cache miss in flight.
     IMiss,
     /// Redirect bubble: post-flush resteer or BTB-miss target bubble.
@@ -2280,7 +2193,7 @@ enum StallReason {
 /// Store-to-load-forwarding verdict for a ready load (see
 /// `Simulator::forward_state`).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum ForwardState {
+pub(crate) enum ForwardState {
     /// Fully covered by the youngest older overlapping store whose data
     /// is ready: take the value from the store queue at L1-hit latency.
     Forward,
@@ -2292,7 +2205,7 @@ enum ForwardState {
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum GuardPlan {
+pub(crate) enum GuardPlan {
     /// Unguarded.
     None,
     /// Guarded; producer already retired (value architecturally ready).

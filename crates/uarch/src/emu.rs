@@ -31,12 +31,15 @@ pub(crate) struct StepInfo {
     pub store_value: Option<i64>,
 }
 
+// µops that touch no architectural state (branches, nops, guard-false
+// µops) log nothing at all: `rollback_after` and `commit_through` are
+// keyed purely on sequence numbers, never on record positions, so gaps
+// in the log are harmless and the common no-write case stays free.
 #[derive(Clone, Copy, Debug)]
 enum Undo {
     Reg(u8, i64),
     Pred(u8, bool),
     Mem(u64, Option<i64>),
-    Nothing,
 }
 
 /// Log of a data-memory word: 2^PAGE_BITS words per page.
@@ -218,7 +221,6 @@ impl SpecEmulator {
 
     fn write_pred(&mut self, seq: u64, p: PredReg, v: bool) {
         if p.is_hardwired_true() {
-            self.log.push_back((seq, Undo::Nothing));
             return;
         }
         self.log.push_back((seq, Undo::Pred(p.index() as u8, self.preds[p.index()])));
@@ -277,7 +279,6 @@ impl SpecEmulator {
         };
         if !guard_true {
             // Architectural NOP (C-style: the old destination value is kept).
-            self.log.push_back((seq, Undo::Nothing));
             info.followed_next = forced_next.unwrap_or(fall);
             // A guard-false branch architecturally falls through.
             info.actual_next = fall;
@@ -360,11 +361,9 @@ impl SpecEmulator {
                     BranchKind::Cond { pred, sense } => {
                         info.actual_taken = self.preds[pred.index()] == sense;
                         info.actual_next = if info.actual_taken { target } else { fall };
-                        self.log.push_back((seq, Undo::Nothing));
                     }
                     BranchKind::Uncond => {
                         info.actual_next = target;
-                        self.log.push_back((seq, Undo::Nothing));
                     }
                     BranchKind::Call => {
                         self.write_reg(seq, Gpr::LINK, i64::from(fall));
@@ -373,21 +372,16 @@ impl SpecEmulator {
                     }
                     BranchKind::Ret => {
                         info.actual_next = self.reg(Gpr::LINK) as u32;
-                        self.log.push_back((seq, Undo::Nothing));
                     }
                     BranchKind::Indirect { target: reg } => {
                         info.actual_next = self.reg(reg) as u32;
-                        self.log.push_back((seq, Undo::Nothing));
                     }
                 }
                 info.followed_next = forced_next.unwrap_or(info.actual_next);
                 return info;
             }
-            InsnKind::Halt => {
-                info.halted = true;
-                self.log.push_back((seq, Undo::Nothing));
-            }
-            InsnKind::Nop => self.log.push_back((seq, Undo::Nothing)),
+            InsnKind::Halt => info.halted = true,
+            InsnKind::Nop => {}
         }
         info.followed_next = forced_next.unwrap_or(fall);
         info
@@ -410,7 +404,6 @@ impl SpecEmulator {
                 Undo::Mem(addr, None) => {
                     self.mem.remove(addr);
                 }
-                Undo::Nothing => {}
             }
         }
     }

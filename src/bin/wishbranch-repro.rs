@@ -2,8 +2,8 @@
 //! the command line, locally or against a sweep server.
 //!
 //! ```text
-//! USAGE: wishbranch-repro [--scale N] [--workers N] [--json] [--quick]
-//!                         [--report-dir DIR] [--resume] [--strict]
+//! USAGE: wishbranch-repro [--scale N] [--workers N] [--batch N] [--json]
+//!                         [--quick] [--report-dir DIR] [--resume] [--strict]
 //!                         [--oracle] [--fault-plan SPEC] [--tenant T]
 //!                         [--train A|B|C] [--budget-cycles N]
 //!                         [--budget-wall-ms N] <experiment>...
@@ -23,7 +23,10 @@
 //! is submitted to a server (`client`), or arrives over a socket
 //! (`serve`). Worker count resolves explicit `--workers` →
 //! `WISHBRANCH_WORKERS` → available parallelism; the fault plan resolves
-//! explicit `--fault-plan` → `WISHBRANCH_FAULT_PLAN` → none.
+//! explicit `--fault-plan` → `WISHBRANCH_FAULT_PLAN` → none; the lockstep
+//! batch width resolves explicit `--batch` → `WISHBRANCH_BATCH` → 1
+//! (batching off). Batched lanes are bit-identical to scalar runs — the
+//! knob only changes throughput.
 //!
 //! Output modes:
 //!
@@ -87,10 +90,10 @@ use wishbranch_workloads::{suite, InputSet};
 fn usage() -> ! {
     let ids: Vec<&str> = Experiment::ALL.iter().map(|e| e.id()).collect();
     eprintln!(
-        "USAGE: wishbranch-repro [--scale N] [--workers N] [--json] [--quick] [--report-dir DIR]\n\
-                                 [--resume] [--strict] [--oracle] [--fault-plan SPEC]\n\
-                                 [--tenant T] [--train A|B|C] [--budget-cycles N]\n\
-                                 [--budget-wall-ms N] <experiment>...\n\
+        "USAGE: wishbranch-repro [--scale N] [--workers N] [--batch N] [--json] [--quick]\n\
+                                 [--report-dir DIR] [--resume] [--strict] [--oracle]\n\
+                                 [--fault-plan SPEC] [--tenant T] [--train A|B|C]\n\
+                                 [--budget-cycles N] [--budget-wall-ms N] <experiment>...\n\
                 wishbranch-repro serve [--addr HOST:PORT] [--state-dir DIR] [--store DIR]\n\
                                        [--max-procs N] [--max-respawns N]\n\
                                        [--tenant-budget TENANT=CYCLES]...\n\
@@ -155,6 +158,14 @@ fn parse_sweep_args(args: Vec<String>) -> (SweepRequest, LocalOpts) {
             }
             "--workers" => {
                 req.workers = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--batch" => {
+                req.batch = Some(
                     it.next()
                         .and_then(|s| s.parse().ok())
                         .filter(|&n| n > 0)

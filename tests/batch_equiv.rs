@@ -1,0 +1,386 @@
+//! Batched-vs-scalar bit-equivalence: every lane of a
+//! [`BatchSimulator`] must produce a `SimResult` **equal** to the scalar
+//! [`Simulator`] run with the same program, machine configuration and
+//! input — stats, cycle accounting, hot sites, cache counters and final
+//! architectural state. The batch engine changes only the *layout* of
+//! in-flight state (slot arena, slim ROB, shared decode tables); any
+//! observable divergence is a bug.
+//!
+//! The job matrix deliberately mixes benchmarks, binary variants, inputs
+//! and machine configs — including hierarchy-on (`realistic`) and
+//! hierarchy-off `MemConfig`s inside one batch, which the lane engine must
+//! handle directly (the `SweepRunner` planner additionally splits such
+//! groups, but the engine itself cannot require it).
+
+use proptest::prelude::*;
+use wishbranch_compiler::BinaryVariant;
+use wishbranch_core::{compile_variant, ExperimentConfig};
+use wishbranch_isa::Program;
+use wishbranch_uarch::{
+    BatchLaneSpec, BatchSimulator, MachineConfig, PredMechanism, SimResult, Simulator,
+};
+use wishbranch_workloads::{suite, InputSet};
+
+const SCALE: i32 = 40;
+
+/// splitmix64: deterministic stream for the job matrix.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One lane drawn from the stream: bench index, variant, input, machine.
+fn random_lane(st: &mut u64) -> (usize, BinaryVariant, InputSet, MachineConfig) {
+    let mut pick = |n: u64| splitmix64(st) % n;
+    let bench = pick(9) as usize;
+    let variant = [
+        BinaryVariant::NormalBranch,
+        BinaryVariant::BaseDef,
+        BinaryVariant::BaseMax,
+        BinaryVariant::WishJumpJoin,
+        BinaryVariant::WishJumpJoinLoop,
+    ][pick(5) as usize];
+    let input = [InputSet::A, InputSet::B, InputSet::C][pick(3) as usize];
+    let mut m = MachineConfig {
+        pipeline_depth: [5, 10, 30][pick(3) as usize],
+        rob_size: [32, 128, 512][pick(3) as usize],
+        ..MachineConfig::default()
+    };
+    if pick(2) == 0 {
+        m.pred_mechanism = PredMechanism::SelectUop;
+    }
+    match pick(5) {
+        0 => m.oracles.perfect_confidence = true,
+        1 => m.oracles.perfect_branch_prediction = true,
+        2 => m.oracles.no_pred_dependencies = true,
+        3 => {
+            m.oracles.no_pred_dependencies = true;
+            m.oracles.no_false_predicate_fetch = true;
+        }
+        _ => {}
+    }
+    if pick(4) == 0 {
+        m.dhp_enabled = true;
+    }
+    if pick(4) == 0 && !m.dhp_enabled {
+        m.predicate_prediction = true;
+    }
+    if pick(3) == 0 {
+        m.wish_loop_predictor = Some(Default::default());
+    }
+    // Mix memory models inside one batch: flat, flat+finite-MSHR queue,
+    // and the full non-blocking hierarchy.
+    match pick(3) {
+        0 => {}
+        1 => m.mem.max_outstanding_misses = 2,
+        _ => m.mem.realistic = true,
+    }
+    (bench, variant, input, m)
+}
+
+/// Scalar reference run for one lane spec.
+fn scalar_run(program: &Program, cfg: &MachineConfig, preload: &[(u64, i64)]) -> SimResult {
+    let mut sim = Simulator::new(program, cfg.clone());
+    for &(a, v) in preload {
+        sim.preload_mem(a, v);
+    }
+    sim.run().expect("scalar lane halts")
+}
+
+/// Builds a batch of `lanes` lanes from the seeded stream and asserts
+/// every lane's result equals its scalar reference.
+fn check_batch(seed: u64, lanes: usize) {
+    let ec = ExperimentConfig::quick(SCALE);
+    let benches = suite(SCALE);
+    let mut st = 0xba7c_4_u64 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+
+    let mut jobs = Vec::with_capacity(lanes);
+    for _ in 0..lanes {
+        jobs.push(random_lane(&mut st));
+    }
+    // Compile each distinct (bench, variant) once: lanes sharing a program
+    // must share one `&Program` so the batch decode cache can unify them.
+    let mut bins: Vec<((usize, BinaryVariant), Program)> = Vec::new();
+    for &(b, v, _, _) in &jobs {
+        if !bins.iter().any(|(k, _)| *k == (b, v)) {
+            let bin = compile_variant(&benches[b], v, &ec).expect("compile");
+            bins.push(((b, v), bin.program));
+        }
+    }
+    let lookup = |b: usize, v: BinaryVariant| -> &Program {
+        &bins.iter().find(|(k, _)| *k == (b, v)).expect("compiled").1
+    };
+
+    let specs: Vec<BatchLaneSpec> = jobs
+        .iter()
+        .map(|&(b, v, input, ref cfg)| BatchLaneSpec {
+            program: lookup(b, v),
+            cfg: cfg.clone(),
+            preload_mem: (benches[b].input_fn)(input),
+            retire_log: false,
+        })
+        .collect();
+    let mut batch = BatchSimulator::new(&specs);
+    let results = batch.run();
+    assert_eq!(results.len(), lanes);
+
+    for (i, (&(b, v, input, ref cfg), got)) in jobs.iter().zip(&results).enumerate() {
+        let preload = (benches[b].input_fn)(input);
+        let want = scalar_run(lookup(b, v), cfg, &preload);
+        let got = got.as_ref().unwrap_or_else(|e| {
+            panic!("lane {i} ({:?} {v:?} {input}): batch lane failed: {e}", benches[b].name)
+        });
+        assert_eq!(
+            *got, want,
+            "lane {i} ({:?} {v:?} {input} cfg {cfg:?}): batched result diverged from scalar",
+            benches[b].name
+        );
+    }
+}
+
+/// Exhaustive sweep over seeds × batch sizes (covers size-1 batches, odd
+/// sizes, and mixed-model compositions).
+#[test]
+fn batched_lanes_are_bit_identical_to_scalar() {
+    for (seed, lanes) in [(0, 1), (1, 2), (2, 3), (3, 5), (4, 8)] {
+        check_batch(seed, lanes);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Property flavor: random seed, random batch size.
+    #[test]
+    fn sampled_batch_matches_scalar(seed in 0u64..1000, lanes in 1usize..9) {
+        check_batch(seed, lanes);
+    }
+}
+
+/// A straggler lane (100× the work of its batchmates) must neither
+/// perturb the other lanes' results nor serialize their completion path:
+/// short lanes leave the active set while the straggler keeps running.
+#[test]
+fn straggler_lane_stays_bit_identical() {
+    // The trip count is baked into the program text, so the straggler is
+    // the same benchmark compiled at 100× the scale — a second program in
+    // the same batch (lanes need not share one).
+    let ec_short = ExperimentConfig::quick(SCALE);
+    let ec_long = ExperimentConfig::quick(SCALE * 100);
+    let benches_short = suite(SCALE);
+    let benches_long = suite(SCALE * 100);
+    let bench = 0;
+    let bin = compile_variant(&benches_short[bench], BinaryVariant::WishJumpJoin, &ec_short)
+        .expect("compile");
+    let bin_long = compile_variant(&benches_long[bench], BinaryVariant::WishJumpJoin, &ec_long)
+        .expect("compile long");
+    let cfg = MachineConfig::default();
+
+    let short_in = (benches_short[bench].input_fn)(InputSet::A);
+    let long_in = (benches_long[bench].input_fn)(InputSet::A);
+    let mut specs = Vec::new();
+    for (program, preload) in [
+        (&bin.program, &short_in),
+        (&bin_long.program, &long_in),
+        (&bin.program, &short_in),
+        (&bin.program, &short_in),
+    ] {
+        specs.push(BatchLaneSpec {
+            program,
+            cfg: cfg.clone(),
+            preload_mem: preload.clone(),
+            retire_log: false,
+        });
+    }
+    let mut batch = BatchSimulator::new(&specs);
+    let results = batch.run();
+
+    let want_short = scalar_run(&bin.program, &cfg, &short_in);
+    let want_long = scalar_run(&bin_long.program, &cfg, &long_in);
+    assert!(
+        want_long.stats.cycles >= want_short.stats.cycles * 20,
+        "straggler must dominate: {} vs {}",
+        want_long.stats.cycles,
+        want_short.stats.cycles
+    );
+    for (i, want) in [&want_short, &want_long, &want_short, &want_short]
+        .into_iter()
+        .enumerate()
+    {
+        assert_eq!(
+            results[i].as_ref().expect("lane halts"),
+            want,
+            "lane {i} diverged"
+        );
+    }
+}
+
+/// Per-lane fault isolation at the engine level: a lane that exhausts its
+/// cycle budget errors alone; its batchmates still produce exact results.
+#[test]
+fn faulting_lane_gaps_only_its_own_cell() {
+    let ec = ExperimentConfig::quick(SCALE);
+    let benches = suite(SCALE);
+    let bin = compile_variant(&benches[0], BinaryVariant::BaseDef, &ec).expect("compile");
+    let good_cfg = MachineConfig::default();
+    let starved_cfg = MachineConfig::default().with_max_cycles(8);
+    let preload = (benches[0].input_fn)(InputSet::B);
+
+    let specs: Vec<BatchLaneSpec> = [&good_cfg, &starved_cfg, &good_cfg]
+        .into_iter()
+        .map(|cfg| BatchLaneSpec {
+            program: &bin.program,
+            cfg: cfg.clone(),
+            preload_mem: preload.clone(),
+            retire_log: false,
+        })
+        .collect();
+    let mut batch = BatchSimulator::new(&specs);
+    let results = batch.run();
+
+    let want = scalar_run(&bin.program, &good_cfg, &preload);
+    assert_eq!(results[0].as_ref().expect("lane 0 halts"), &want);
+    assert!(results[1].is_err(), "starved lane must report its limit");
+    assert_eq!(results[2].as_ref().expect("lane 2 halts"), &want);
+}
+
+/// The batched retire log (lockstep-oracle food) must equal the scalar
+/// engine's record for record.
+#[test]
+fn batched_retire_log_matches_scalar() {
+    let ec = ExperimentConfig::quick(SCALE);
+    let benches = suite(SCALE);
+    let bin =
+        compile_variant(&benches[2], BinaryVariant::WishJumpJoinLoop, &ec).expect("compile");
+    let cfg = MachineConfig::default();
+    let preload = (benches[2].input_fn)(InputSet::C);
+
+    let specs = vec![
+        BatchLaneSpec {
+            program: &bin.program,
+            cfg: cfg.clone(),
+            preload_mem: preload.clone(),
+            retire_log: true,
+        },
+        BatchLaneSpec {
+            program: &bin.program,
+            cfg: cfg.clone(),
+            preload_mem: preload.clone(),
+            retire_log: false,
+        },
+    ];
+    let mut batch = BatchSimulator::new(&specs);
+    let results = batch.run();
+    let batched_log = batch.take_retire_log(0);
+
+    let mut scalar = Simulator::new(&bin.program, cfg.clone());
+    for &(a, v) in &preload {
+        scalar.preload_mem(a, v);
+    }
+    scalar.enable_retire_log();
+    let want = scalar.run().expect("halts");
+    let scalar_log = scalar.take_retire_log();
+
+    assert_eq!(results[0].as_ref().expect("halts"), &want);
+    assert_eq!(batched_log.len(), scalar_log.len(), "retire stream length");
+    for (i, (g, w)) in batched_log.iter().zip(&scalar_log).enumerate() {
+        assert_eq!(g, w, "retire record {i} diverged");
+    }
+    assert!(
+        batch.take_retire_log(1).is_empty(),
+        "lanes that didn't ask for a log must not pay for one"
+    );
+}
+
+/// Raw engine throughput probe (ignored; run in release):
+/// `cargo test --release --test batch_equiv raw_speedup -- --ignored --nocapture`
+/// Replays the fig10 job matrix (9 benches × 5 variants) scalar and
+/// batched-per-bench and prints the µops/s ratio.
+/// Process CPU seconds (utime + stime) from /proc/self/stat — immune to
+/// host steal time, which dwarfs the effect being measured on shared VMs.
+fn cpu_seconds() -> f64 {
+    let stat = std::fs::read_to_string("/proc/self/stat").expect("linux procfs");
+    // utime/stime are fields 14/15 (1-indexed); the comm field may contain
+    // spaces but is parenthesized, so split after the last closing paren.
+    let rest = stat.rsplit_once(')').map_or(stat.as_str(), |(_, r)| r);
+    let mut it = rest.split_ascii_whitespace();
+    let utime: f64 = it.nth(11).expect("utime").parse().expect("number");
+    let stime: f64 = it.next().expect("stime").parse().expect("number");
+    (utime + stime) / 100.0
+}
+
+#[test]
+#[ignore = "perf probe, run manually in release"]
+fn raw_speedup_probe() {
+    use std::time::Instant;
+    let scale = std::env::var("PROBE_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let ec = ExperimentConfig::paper(scale);
+    let benches = suite(scale);
+    // fig10 composition: per bench, NormalBranch + BASE-DEF + BASE-MAX +
+    // wish-jj under real and perfect confidence.
+    let variants = [
+        (BinaryVariant::NormalBranch, false),
+        (BinaryVariant::BaseDef, false),
+        (BinaryVariant::BaseMax, false),
+        (BinaryVariant::WishJumpJoin, false),
+        (BinaryVariant::WishJumpJoin, true),
+    ];
+    let mut groups = Vec::new();
+    for b in &benches {
+        let mut lanes = Vec::new();
+        for &(v, perf_conf) in &variants {
+            let bin = compile_variant(b, v, &ec).expect("compile");
+            let mut m = ec.machine.clone();
+            m.oracles.perfect_confidence = perf_conf;
+            lanes.push((bin.program, m, (b.input_fn)(ec.train_input)));
+        }
+        groups.push(lanes);
+    }
+
+    let t0 = Instant::now();
+    let c0 = cpu_seconds();
+    let mut scalar_uops = 0u64;
+    for lanes in &groups {
+        for (p, m, preload) in lanes {
+            let r = scalar_run(p, m, preload);
+            scalar_uops += r.stats.retired_uops;
+        }
+    }
+    let scalar_cpu = cpu_seconds() - c0;
+    let scalar_wall = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let c1 = cpu_seconds();
+    let mut batch_uops = 0u64;
+    for lanes in &groups {
+        let specs: Vec<BatchLaneSpec> = lanes
+            .iter()
+            .map(|(p, m, preload)| BatchLaneSpec {
+                program: p,
+                cfg: m.clone(),
+                preload_mem: preload.clone(),
+                retire_log: false,
+            })
+            .collect();
+        let mut batch = BatchSimulator::new(&specs);
+        for r in batch.run() {
+            batch_uops += r.expect("halts").stats.retired_uops;
+        }
+    }
+    let batch_cpu = cpu_seconds() - c1;
+    let batch_wall = t1.elapsed().as_secs_f64();
+    assert_eq!(scalar_uops, batch_uops, "same work both ways");
+    let s = scalar_uops as f64 / scalar_wall;
+    let b = batch_uops as f64 / batch_wall;
+    println!(
+        "scalar {s:.0} uops/s ({scalar_wall:.2}s) | batched {b:.0} uops/s ({batch_wall:.2}s) | ratio {:.2}x",
+        b / s
+    );
+    println!(
+        "cpu-time: scalar {scalar_cpu:.2}s | batched {batch_cpu:.2}s | ratio {:.2}x",
+        scalar_cpu / batch_cpu
+    );
+}

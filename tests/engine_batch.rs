@@ -1,0 +1,138 @@
+//! Engine-level batching contract: a [`SweepRunner`] with a batch width
+//! above 1 groups compatible jobs into lockstep [`BatchSimulator`] lanes,
+//! and every observable output — `SimResult`s, compile reports, summary
+//! cache counters, failure isolation — is bit-identical to the scalar
+//! path. Batching is a throughput knob, never a semantics knob.
+
+use wishbranch_compiler::BinaryVariant;
+use wishbranch_core::{ExperimentConfig, FaultKind, FaultPlan, SweepJob, SweepRunner};
+use wishbranch_workloads::InputSet;
+
+/// A sweep shaped like the real figure grids: few binaries, many machine
+/// points per binary — exactly what the batch planner groups. Machine
+/// variation inside one group mixes ROB sizes and memory models
+/// (hierarchy-on, finite MSHRs, flat) so lanes of one batch exercise
+/// genuinely different timing behavior.
+fn batchable_jobs(ec: &ExperimentConfig) -> Vec<SweepJob> {
+    let mut jobs = Vec::new();
+    for bench in [0, 3] {
+        for variant in [BinaryVariant::NormalBranch, BinaryVariant::WishJumpJoin] {
+            for (i, input) in InputSet::ALL.into_iter().enumerate() {
+                for k in 0..3usize {
+                    let mut machine = ec.machine.clone();
+                    match (i + k) % 3 {
+                        0 => machine = machine.with_window(48),
+                        1 => machine.mem.max_outstanding_misses = 2,
+                        _ => machine.mem.realistic = true,
+                    }
+                    jobs.push(
+                        SweepJob::standard(bench, variant, input, ec).with_machine(machine),
+                    );
+                }
+            }
+        }
+    }
+    jobs
+}
+
+fn runner(ec: &ExperimentConfig, workers: usize, batch: usize) -> SweepRunner {
+    let mut r = SweepRunner::with_workers(ec, workers);
+    r.set_batch(batch);
+    r
+}
+
+#[test]
+fn batched_sweep_is_bit_identical_to_scalar() {
+    let ec = ExperimentConfig::quick(40);
+    let jobs = batchable_jobs(&ec);
+
+    let scalar = runner(&ec, 2, 1).run(jobs.clone()).expect("scalar sweep");
+    let batched_runner = runner(&ec, 2, 8);
+    let batched = batched_runner.run(jobs.clone()).expect("batched sweep");
+
+    assert_eq!(scalar.len(), batched.len());
+    for (i, (s, b)) in scalar.iter().zip(&batched).enumerate() {
+        assert_eq!(
+            s.outcome.sim, b.outcome.sim,
+            "job {i}: batched SimResult diverges from scalar"
+        );
+        assert_eq!(s.outcome.report, b.outcome.report, "job {i}: report diverges");
+        assert_eq!(
+            s.outcome.static_stats, b.outcome.static_stats,
+            "job {i}: static stats diverge"
+        );
+        assert!(!b.journal_hit && !b.store_hit);
+    }
+
+    // The batch planner actually batched: 4 compile groups × 9 jobs at
+    // width 8 → four chunks of 8 plus four singletons on the scalar path.
+    let sb = batched_runner.summary();
+    assert_eq!(sb.batch_size, 8);
+    assert!(
+        sb.batched_jobs >= 32,
+        "expected most jobs batched, got {}",
+        sb.batched_jobs
+    );
+    assert_eq!(sb.jobs, jobs.len() as u64);
+    assert_eq!(sb.failed, 0);
+    assert!(sb.sim_uops > 0 && sb.simulate_time.as_nanos() > 0);
+}
+
+#[test]
+fn batched_oracle_mode_matches_scalar() {
+    let ec = ExperimentConfig::quick(30);
+    let mut jobs = Vec::new();
+    for input in InputSet::ALL {
+        for _ in 0..2 {
+            jobs.push(SweepJob::standard(1, BinaryVariant::WishJumpJoinLoop, input, &ec));
+        }
+    }
+
+    let mut scalar_runner = runner(&ec, 1, 1);
+    scalar_runner.set_oracle(true);
+    let scalar = scalar_runner.run(jobs.clone()).expect("scalar oracle sweep");
+
+    let mut batched_runner = runner(&ec, 1, 6);
+    batched_runner.set_oracle(true);
+    let batched = batched_runner.run(jobs).expect("batched oracle sweep");
+
+    for (s, b) in scalar.iter().zip(&batched) {
+        assert_eq!(s.outcome.sim, b.outcome.sim);
+    }
+    assert!(batched_runner.summary().batched_jobs == 6);
+}
+
+#[test]
+fn fault_injected_job_stays_isolated_under_batching() {
+    let ec = ExperimentConfig::quick(30);
+    let jobs: Vec<SweepJob> = InputSet::ALL
+        .into_iter()
+        .flat_map(|input| {
+            (0..2).map(move |_| input)
+        })
+        .map(|input| SweepJob::standard(0, BinaryVariant::BaseDef, input, &ec))
+        .collect();
+
+    // Reference: fault-free batched run.
+    let clean = runner(&ec, 2, 8).run(jobs.clone()).expect("clean sweep");
+
+    // Same sweep with job 2 panicking: that cell fails, every other cell
+    // stays bit-identical, and batching stays on for the rest.
+    let mut faulty_runner = runner(&ec, 2, 8);
+    faulty_runner.set_fault_plan(FaultPlan::new().inject(2, FaultKind::Panic));
+    faulty_runner.set_retry_limit(0);
+    let faulty = faulty_runner.try_run(jobs);
+
+    for (i, (c, f)) in clean.iter().zip(&faulty).enumerate() {
+        if i == 2 {
+            let failure = f.as_ref().expect_err("injected panic must fail job 2");
+            assert_eq!(failure.index, 2);
+        } else {
+            let ok = f.as_ref().expect("non-faulted jobs succeed");
+            assert_eq!(c.outcome.sim, ok.outcome.sim, "job {i} diverges beside a fault");
+        }
+    }
+    let summary = faulty_runner.summary();
+    assert_eq!(summary.failed, 1);
+    assert!(summary.batched_jobs > 0, "remaining jobs still batched");
+}

@@ -211,6 +211,8 @@ fn summary_json_matches_schema_snapshot() {
         "\"retired_uops\":",
         "\"cycles_per_sec\":",
         "\"uops_per_sec\":",
+        "\"batch\":{\"size\":",
+        "\"batched_jobs\":",
     ] {
         assert!(json.contains(key), "summary JSON missing {key}");
     }
@@ -221,6 +223,27 @@ fn summary_json_matches_schema_snapshot() {
     assert!(s.sim_uops > 0, "{s:?}");
     assert!(s.cycles_per_sec() > 0.0, "{s:?}");
     assert!(s.uops_per_sec() > 0.0, "{s:?}");
+    // Batching was off for this runner: the dimension is still present,
+    // reporting width 1 and zero batched jobs.
+    assert!(json.contains("\"batch\":{\"size\":1,\"batched_jobs\":0}"), "{json}");
+}
+
+#[test]
+fn batched_runner_reports_batch_dimension() {
+    let ec = ExperimentConfig::quick(40);
+    let mut runner = SweepRunner::with_workers(&ec, 2);
+    runner.set_batch(4);
+    let _ = Experiment::Fig10.run(&runner);
+    let s = runner.summary();
+    assert_eq!(s.batch_size, 4);
+    assert!(s.batched_jobs > 0, "fig10 grid must produce batched lanes: {s:?}");
+    let json = summary_json(&s);
+    assert_valid_json(&json);
+    assert!(json.contains("\"batch\":{\"size\":4,\"batched_jobs\":"), "{json}");
+    let tj = wishbranch_core::throughput_json(&s);
+    assert_valid_json(&tj);
+    assert!(tj.contains("\"batch_size\":4"), "{tj}");
+    assert!(tj.contains("\"batched_jobs\":"), "{tj}");
 }
 
 #[test]

@@ -4,7 +4,8 @@
 //! cases across tests would race under the parallel test harness.
 
 use wishbranch_core::{
-    default_workers, Experiment, FaultKind, FaultPlan, SweepRequest, FAULT_PLAN_ENV, WORKERS_ENV,
+    default_workers, Experiment, FaultKind, FaultPlan, SweepRequest, BATCH_ENV, FAULT_PLAN_ENV,
+    WORKERS_ENV,
 };
 
 #[test]
@@ -71,6 +72,36 @@ fn explicit_beats_env_beats_default() {
         "the error names the env var: {err}"
     );
 
+    // --- batch width -----------------------------------------------------
+    std::env::remove_var(BATCH_ENV);
+    assert_eq!(
+        req(&|_| {}).resolved_batch().expect("no env, no field"),
+        1,
+        "default batch width is 1 (batching off)"
+    );
+
+    std::env::set_var(BATCH_ENV, "8");
+    assert_eq!(req(&|_| {}).resolved_batch().unwrap(), 8, "env fills an unset field");
+    assert_eq!(
+        req(&|r| r.batch = Some(4)).resolved_batch().unwrap(),
+        4,
+        "an explicit batch width beats the env"
+    );
+
+    std::env::set_var(BATCH_ENV, "0");
+    let err = req(&|_| {})
+        .resolved_batch()
+        .expect_err("a non-positive env batch width is a typed error");
+    assert_eq!(err.kind(), "bad_field");
+    assert!(err.to_string().contains(BATCH_ENV), "the error names the env var: {err}");
+
+    std::env::set_var(BATCH_ENV, "lots");
+    let err = req(&|_| {})
+        .resolved_batch()
+        .expect_err("an unparseable env batch width is a typed error");
+    assert_eq!(err.kind(), "bad_field");
+
     std::env::remove_var(WORKERS_ENV);
     std::env::remove_var(FAULT_PLAN_ENV);
+    std::env::remove_var(BATCH_ENV);
 }
