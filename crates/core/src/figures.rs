@@ -560,10 +560,14 @@ pub fn figure14_mem_latency(runner: &SweepRunner) -> Vec<SweepRow> {
         .into_iter()
         .map(|lat| {
             let mut m = ec.machine.clone();
-            m.mem.realistic = true;
-            m.mem.store_forwarding = true;
-            m.mem.l1_mshrs = 4;
-            m.mem.l2_mshrs = 8;
+            // The non-blocking preset (I-MSHRs, instruction prefetch,
+            // write buffer, data ports) minus the data-side stride
+            // prefetcher: the experiment isolates how raw latency
+            // punishes serialized predicate loads, and a stride engine
+            // that streams them in would measure the prefetcher instead.
+            // Only the swept memory latency varies per point.
+            m.mem = wishbranch_mem::MemConfig::realistic_preset();
+            m.mem.prefetch_entries = 0;
             m.mem.memory_latency = lat;
             (lat, m)
         })

@@ -32,9 +32,11 @@
 //!   compile cache key) and the full machine configuration. Two jobs
 //!   collide only if they would also share every cache key, in which case
 //!   their results are bit-identical by the engine's determinism contract.
-//! * `v` — the payload layout version (this file documents version 2;
-//!   version-1 journals — written before the non-blocking-hierarchy
-//!   counters existed — are treated as absent and their jobs re-run).
+//! * `v` — the payload layout version (this file documents version 3,
+//!   which added the I-side/write-buffer/port counters and the
+//!   `imiss-pending`/`writebuf-full` accounting causes; version-1 and -2
+//!   journals — written before those counters existed — are treated as
+//!   absent and their jobs re-run).
 //! * `data` — the whole [`RunOutcome`] flattened into one integer array
 //!   (every journaled quantity is an integer: counters, registers,
 //!   predicate bits, memory words). The layout is fixed by
@@ -65,7 +67,7 @@ use wishbranch_uarch::{CycleAccounting, HotSiteCounts, SimResult, SimStats, Wish
 pub const JOURNAL_SCHEMA: &str = "wishbranch.journal/v1";
 
 /// Payload layout version of the `data` array.
-const LAYOUT_VERSION: u64 = 2;
+const LAYOUT_VERSION: u64 = 3;
 
 /// FNV-1a 64-bit over a byte string — the journal's job-key hash.
 #[must_use]
@@ -91,7 +93,7 @@ fn push_cache(out: &mut Vec<i128>, c: &CacheStats) {
     out.extend([i128::from(c.hits), i128::from(c.misses), i128::from(c.probes)]);
 }
 
-/// Flattens a [`RunOutcome`] into the version-2 integer layout.
+/// Flattens a [`RunOutcome`] into the version-3 integer layout.
 #[must_use]
 pub fn encode_outcome(o: &RunOutcome) -> Vec<i128> {
     let s = &o.sim.stats;
@@ -121,6 +123,9 @@ pub fn encode_outcome(o: &RunOutcome) -> Vec<i128> {
         s.store_forwards,
         s.load_replays,
         s.mshr_full_stalls,
+        s.port_conflict_stalls,
+        s.writebuf_full_stalls,
+        s.wrong_path_fills,
     ] {
         out.push(i128::from(v));
     }
@@ -145,6 +150,8 @@ pub fn encode_outcome(o: &RunOutcome) -> Vec<i128> {
         a.frontend_fill,
         a.mshr_full,
         a.miss_pending,
+        a.imiss_pending,
+        a.writebuf_full,
     ] {
         out.push(i128::from(v));
     }
@@ -225,7 +232,7 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Rebuilds a [`RunOutcome`] from the version-2 integer layout. Returns
+/// Rebuilds a [`RunOutcome`] from the version-3 integer layout. Returns
 /// `None` on any length or range mismatch (the caller treats the entry as
 /// absent and re-runs the job).
 #[must_use]
@@ -256,6 +263,9 @@ pub fn decode_outcome(data: &[i128]) -> Option<RunOutcome> {
     s.store_forwards = c.u64()?;
     s.load_replays = c.u64()?;
     s.mshr_full_stalls = c.u64()?;
+    s.port_conflict_stalls = c.u64()?;
+    s.writebuf_full_stalls = c.u64()?;
+    s.wrong_path_fills = c.u64()?;
     s.wish_jumps = c.wish()?;
     s.wish_joins = c.wish()?;
     s.wish_loops = c.wish()?;
@@ -274,6 +284,8 @@ pub fn decode_outcome(data: &[i128]) -> Option<RunOutcome> {
         frontend_fill: c.u64()?,
         mshr_full: c.u64()?,
         miss_pending: c.u64()?,
+        imiss_pending: c.u64()?,
+        writebuf_full: c.u64()?,
     };
     let hot = c.usize()?;
     for _ in 0..hot {

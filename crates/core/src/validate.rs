@@ -556,17 +556,16 @@ pub fn fuzz_lockstep(seed: u64, count: usize) -> FuzzReport {
     }
 }
 
-/// Switches a machine onto the non-blocking memory hierarchy with modest
-/// MSHR files, store-to-load forwarding and a small stride prefetcher —
+/// Switches a machine onto the full non-blocking memory hierarchy — the
+/// realistic preset: modest MSHR files on both sides (data and
+/// instruction), store-to-load forwarding, stride and next-line
+/// instruction prefetch, a finite write buffer and limited data ports —
 /// the configuration the hierarchy validation lanes run under. Tight caps
-/// on purpose: contention paths (coalescing, `MshrFull` retries, replays)
-/// are exactly what the oracle should exercise.
+/// on purpose: contention paths (coalescing, `MshrFull` / `PortBusy` /
+/// `WriteBufFull` retries, replays, wrong-path fill cancellation) are
+/// exactly what the oracle should exercise.
 fn enable_hierarchy(machine: &mut MachineConfig) {
-    machine.mem.realistic = true;
-    machine.mem.store_forwarding = true;
-    machine.mem.l1_mshrs = 4;
-    machine.mem.l2_mshrs = 8;
-    machine.mem.prefetch_entries = 16;
+    machine.mem = wishbranch_mem::MemConfig::realistic_preset();
 }
 
 /// [`fuzz_lockstep`] with the non-blocking hierarchy enabled on every

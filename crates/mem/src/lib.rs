@@ -17,14 +17,18 @@
 //!   (optionally capped by the `max_outstanding_misses` queueing knob of
 //!   the `abl_mshr` study);
 //! * the **non-blocking model** ([`MemConfig::realistic`]): per-level
-//!   finite MSHR files ([`MshrFile`]) with same-line miss coalescing,
-//!   fills that land at a future cycle instead of instantly, an
-//!   [`AccessOutcome::MshrFull`] refusal when every MSHR is busy, and an
-//!   optional per-PC [`StridePrefetcher`].
+//!   finite MSHR files ([`MshrFile`]) on the I-cache, L1D and L2, with
+//!   same-line miss coalescing, fills that land at a future cycle instead
+//!   of instantly, an [`AccessOutcome::MshrFull`] refusal when every MSHR
+//!   is busy, an optional per-PC [`StridePrefetcher`] plus next-line
+//!   instruction prefetch, an asynchronous [`WriteBuffer`] for executed
+//!   stores ([`MemConfig::write_buffer_entries`]) and a per-cycle
+//!   data-port limit ([`MemConfig::data_ports`]).
 //!
-//! Bank conflicts and bus contention are still not modelled (see
-//! DESIGN.md); the 4:1 core-to-memory frequency ratio and 32 banks of the
-//! paper's table are folded into the flat 300-cycle memory latency.
+//! Bus contention is still not modelled (see DESIGN.md); port/bank
+//! conflicts are approximated by the single-bank `data_ports` limit, and
+//! the 4:1 core-to-memory frequency ratio and 32 banks of the paper's
+//! table are folded into the flat 300-cycle memory latency.
 //! Store-to-load forwarding ([`MemConfig::store_forwarding`]) is enforced
 //! by the core's store queue, which owns the in-flight store addresses.
 //!
@@ -61,8 +65,10 @@ mod cache;
 mod hierarchy;
 mod mshr;
 mod prefetch;
+mod writebuf;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
-pub use hierarchy::{AccessOutcome, MemConfig, MemoryHierarchy};
+pub use hierarchy::{AccessOutcome, MemConfig, MemoryHierarchy, StoreOutcome};
 pub use mshr::{MshrEntry, MshrFile};
 pub use prefetch::StridePrefetcher;
+pub use writebuf::WriteBuffer;

@@ -127,6 +127,17 @@ impl MshrFile {
         self.entries.iter().map(|e| e.fill_at).filter(|&f| f > now).min()
     }
 
+    /// Cancels every *still-pending* entry (fill strictly after `now`)
+    /// whose line satisfies `cancel`, returning how many were dropped.
+    /// Entries whose fill already completed are kept for the next
+    /// [`MshrFile::drain`] — a landed fill cannot be recalled. Used to
+    /// squash wrong-path instruction fills on a pipeline flush.
+    pub fn cancel_pending_if(&mut self, now: u64, mut cancel: impl FnMut(u64) -> bool) -> u64 {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.fill_at <= now || !cancel(e.line));
+        (before - self.entries.len()) as u64
+    }
+
     /// Misses that coalesced onto an existing entry.
     #[must_use]
     pub fn coalesced(&self) -> u64 {
@@ -180,6 +191,21 @@ mod tests {
         m.drain(30, |line| order.push(line));
         assert_eq!(order, vec![3, 9, 7, 1]);
         assert!(!m.busy(30));
+    }
+
+    #[test]
+    fn cancel_drops_only_pending_matching_entries() {
+        let mut m = MshrFile::new(0);
+        m.try_allocate(1, 10); // completed by now=20: must survive
+        m.try_allocate(2, 50); // pending, matches: cancelled
+        m.try_allocate(3, 60); // pending, spared by the predicate
+        let dropped = m.cancel_pending_if(20, |line| line != 3);
+        assert_eq!(dropped, 1);
+        assert_eq!(m.pending(2), None);
+        assert_eq!(m.pending(3), Some(60));
+        let mut installed = Vec::new();
+        m.drain(20, |line| installed.push(line));
+        assert_eq!(installed, vec![1], "a landed fill still installs");
     }
 
     #[test]

@@ -131,6 +131,7 @@ fn hierarchy_occupancy_respects_l1_cap() {
             AccessOutcome::Pending(_) => accepted += 1,
             AccessOutcome::MshrFull => refused += 1,
             AccessOutcome::Ready(_) => panic!("cold lines cannot hit"),
+            AccessOutcome::PortBusy => panic!("ports are unlimited here"),
         }
         assert!(m.mshr_occupancy().0 <= 3);
     }

@@ -35,8 +35,8 @@
 
 use crate::config::{MachineConfig, OracleConfig, PredMechanism};
 use crate::core::{
-    BrMeta, DhpState, ForwardState, GuardPlan, Mode, Role, SimError, SimResult, StallReason,
-    WaiterList, WAITERS_INLINE,
+    fetch_line_gate, BrMeta, DhpState, ForwardState, GuardPlan, Mode, Role, SimError, SimResult,
+    StallReason, WaiterList, WAITERS_INLINE,
 };
 use crate::decode::{DecodeKey, DecodedProgram, PcInfo, EC_DIV, EC_LOAD, EC_MUL, EC_UNIT};
 use crate::emu::{SpecEmulator, StepInfo};
@@ -51,7 +51,7 @@ use wishbranch_bpred::{
 use wishbranch_isa::{
     insn_addr, BranchKind, Gpr, Insn, InsnKind, PredReg, Program, WishType, NUM_GPRS, NUM_PREDS,
 };
-use wishbranch_mem::{AccessOutcome, MemoryHierarchy};
+use wishbranch_mem::{AccessOutcome, MemoryHierarchy, StoreOutcome};
 
 /// One lane of a batch: a program reference, its machine configuration,
 /// the input memory image, and whether the retired-instruction stream
@@ -169,6 +169,7 @@ struct Lane {
     cyc_retired_useful: bool,
     cyc_retired_guard_false: bool,
     cyc_mshr_stalled: bool,
+    cyc_writebuf_stalled: bool,
     mode: Mode,
     pred_elim: [Option<bool>; NUM_PREDS],
     pred_elim_live: u32,
@@ -248,6 +249,7 @@ impl Lane {
             cyc_retired_useful: false,
             cyc_retired_guard_false: false,
             cyc_mshr_stalled: false,
+            cyc_writebuf_stalled: false,
             mode: Mode::Normal,
             pred_elim: [None; NUM_PREDS],
             pred_elim_live: 0,
@@ -319,6 +321,7 @@ impl Lane {
             self.cyc_retired_useful = false;
             self.cyc_retired_guard_false = false;
             self.cyc_mshr_stalled = false;
+            self.cyc_writebuf_stalled = false;
             self.retire(&d);
             let retired_any = self.stats.retired_uops != retired_before;
             if !retired_any {
@@ -354,6 +357,7 @@ impl Lane {
         self.stats.icache = ic;
         self.stats.l1d = l1;
         self.stats.l2 = l2;
+        self.stats.wrong_path_fills = self.mem.wrong_path_fills();
         for (pc, c) in self.hot_sites.iter().enumerate() {
             if *c != HotSiteCounts::default() {
                 self.stats.hot_sites.insert(pc as u32, *c);
@@ -399,6 +403,8 @@ impl Lane {
         if !self.rob.is_empty() {
             if self.cyc_mshr_stalled {
                 acc.mshr_full += 1;
+            } else if self.cyc_writebuf_stalled {
+                acc.writebuf_full += 1;
             } else if self.rob.len() >= self.cfg.rob_size {
                 acc.rob_stall += 1;
             } else if self.mem.fill_pending_at(self.cycle) {
@@ -417,7 +423,13 @@ impl Lane {
             && self.fetch_stall_reason == StallReason::IMiss
             && !self.fetch_blocked
         {
-            acc.fetch_imiss += 1;
+            // Mirrors the scalar split: non-blocking I-fills in flight get
+            // their own cause, flat I-miss stalls keep `fetch_imiss`.
+            if self.mem.ifill_pending_at(self.cycle) {
+                acc.imiss_pending += 1;
+            } else {
+                acc.fetch_imiss += 1;
+            }
         } else if !self.fe_queue.is_empty() || self.fetch_blocked {
             acc.frontend_fill += 1;
         } else {
@@ -549,7 +561,15 @@ impl Lane {
             && self.fetch_stall_reason == StallReason::IMiss
             && !self.fetch_blocked
         {
-            acc.fetch_imiss += k;
+            // The split predicate is constant across the inert window: the
+            // wake cycle never exceeds `fetch_stall_until`, which is the
+            // demand I-fill's arrival — the I-MSHR entry stays busy (and
+            // under the flat model stays absent) for every skipped cycle.
+            if self.mem.ifill_pending_at(self.cycle) {
+                acc.imiss_pending += k;
+            } else {
+                acc.fetch_imiss += k;
+            }
         } else if !self.fe_queue.is_empty() || self.fetch_blocked {
             acc.frontend_fill += k;
         } else {
@@ -1142,7 +1162,10 @@ impl Lane {
             lp.repair(flush_pc, &ltok, actual_taken);
         }
 
-        // Redirect fetch.
+        // Redirect fetch. Pending wrong-path I-fills (other lines than the
+        // resume target's) are cancelled before the resteer.
+        self.mem
+            .squash_wrong_path_ifills(self.cycle, insn_addr(resume_pc));
         self.fetch_pc = resume_pc;
         self.fetch_blocked = false;
         self.fetch_line = None;
@@ -1220,8 +1243,10 @@ impl Lane {
                 }
             }
             let Some(lat) = self.exec_latency(d, idx) else {
-                self.cyc_mshr_stalled = true;
-                self.stats.mshr_full_stalls += 1;
+                // The memory access could not be accepted this cycle —
+                // MSHRs, write buffer or ports all busy; `exec_latency`
+                // recorded which. Retry next cycle without consuming
+                // issue bandwidth (mirrors blocked loads).
                 self.blocked_loads.push(id);
                 continue;
             };
@@ -1292,7 +1317,15 @@ impl Lane {
                             AccessOutcome::Pending(fill) => {
                                 Some(1 + fill.saturating_sub(self.cycle).max(1))
                             }
-                            AccessOutcome::MshrFull => None,
+                            AccessOutcome::MshrFull => {
+                                self.cyc_mshr_stalled = true;
+                                self.stats.mshr_full_stalls += 1;
+                                None
+                            }
+                            AccessOutcome::PortBusy => {
+                                self.stats.port_conflict_stalls += 1;
+                                None
+                            }
                         };
                     }
                     return Some(1 + self.mem.data_access_at(addr, false, self.cycle));
@@ -1304,11 +1337,30 @@ impl Lane {
             if guard_true && role != Role::Select {
                 if let Some(addr) = mem_addr {
                     if self.mem.realistic() {
-                        if matches!(
-                            self.mem.data_access_nonblocking(addr, true, u64::from(pc), self.cycle),
-                            AccessOutcome::MshrFull
-                        ) {
-                            return None;
+                        // Write-allocate: the store needs an MSHR on a
+                        // miss like a load, plus (when enabled) a free
+                        // write-buffer entry to drain through. Once
+                        // accepted it completes in one cycle — the drain
+                        // continues asynchronously behind it.
+                        match self
+                            .mem
+                            .store_access_nonblocking(addr, u64::from(pc), self.cycle)
+                        {
+                            StoreOutcome::Accepted => {}
+                            StoreOutcome::WriteBufFull => {
+                                self.cyc_writebuf_stalled = true;
+                                self.stats.writebuf_full_stalls += 1;
+                                return None;
+                            }
+                            StoreOutcome::MshrFull => {
+                                self.cyc_mshr_stalled = true;
+                                self.stats.mshr_full_stalls += 1;
+                                return None;
+                            }
+                            StoreOutcome::PortBusy => {
+                                self.stats.port_conflict_stalls += 1;
+                                return None;
+                            }
                         }
                     } else {
                         self.mem.data_access_at(addr, true, self.cycle);
@@ -1659,14 +1711,17 @@ impl Lane {
                 return;
             };
             // I-cache.
-            if self.fetch_line != Some(info.line) {
-                let lat = self.mem.fetch_access_at(insn_addr(self.fetch_pc), self.cycle);
-                self.fetch_line = Some(info.line);
-                if lat > self.cfg.mem.icache.latency {
-                    self.fetch_stall_until = self.cycle + lat;
-                    self.fetch_stall_reason = StallReason::IMiss;
-                    return;
-                }
+            if !fetch_line_gate(
+                &mut self.mem,
+                &mut self.fetch_line,
+                &mut self.fetch_stall_until,
+                &mut self.fetch_stall_reason,
+                self.cfg.mem.icache.latency,
+                self.fetch_pc,
+                info.line,
+                self.cycle,
+            ) {
+                return;
             }
 
             let pc = self.fetch_pc;

@@ -44,7 +44,7 @@ use wishbranch_bpred::{
 use wishbranch_isa::{
     insn_addr, BranchKind, Gpr, Insn, InsnKind, PredReg, Program, WishType, NUM_GPRS, NUM_PREDS,
 };
-use wishbranch_mem::{AccessOutcome, MemoryHierarchy};
+use wishbranch_mem::{AccessOutcome, MemoryHierarchy, StoreOutcome};
 
 /// Errors from [`Simulator::run`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -299,6 +299,10 @@ pub struct Simulator<'p> {
     /// Set by `issue` when a ready load/store was refused an MSHR this
     /// cycle (non-blocking hierarchy; drives the `mshr-full` cause).
     cyc_mshr_stalled: bool,
+    /// Set by `issue` when a ready store was refused a write-buffer entry
+    /// this cycle (non-blocking hierarchy; drives the `writebuf-full`
+    /// cause).
+    cyc_writebuf_stalled: bool,
     mode: Mode,
     /// §3.5.3 buffer: predicted value per predicate register.
     pred_elim: [Option<bool>; NUM_PREDS],
@@ -432,6 +436,7 @@ impl<'p> Simulator<'p> {
             cyc_retired_useful: false,
             cyc_retired_guard_false: false,
             cyc_mshr_stalled: false,
+            cyc_writebuf_stalled: false,
             mode: Mode::Normal,
             pred_elim: [None; NUM_PREDS],
             pred_elim_live: 0,
@@ -577,6 +582,7 @@ impl<'p> Simulator<'p> {
             self.cyc_retired_useful = false;
             self.cyc_retired_guard_false = false;
             self.cyc_mshr_stalled = false;
+            self.cyc_writebuf_stalled = false;
             self.retire();
             let retired_any = self.stats.retired_uops != retired_before;
             if !retired_any {
@@ -610,6 +616,7 @@ impl<'p> Simulator<'p> {
         self.stats.icache = ic;
         self.stats.l1d = l1;
         self.stats.l2 = l2;
+        self.stats.wrong_path_fills = self.mem.wrong_path_fills();
         // Fold the flat per-PC counters into the reported map. Every
         // touched row was incremented at least once, so keeping only
         // non-default rows reproduces the historical on-demand map exactly.
@@ -671,6 +678,8 @@ impl<'p> Simulator<'p> {
             // flat model, so its attribution is unchanged.
             if self.cyc_mshr_stalled {
                 acc.mshr_full += 1;
+            } else if self.cyc_writebuf_stalled {
+                acc.writebuf_full += 1;
             } else if self.rob.len() >= self.cfg.rob_size {
                 acc.rob_stall += 1;
             } else if self.mem.fill_pending_at(self.cycle) {
@@ -690,7 +699,14 @@ impl<'p> Simulator<'p> {
             && self.fetch_stall_reason == StallReason::IMiss
             && !self.fetch_blocked
         {
-            acc.fetch_imiss += 1;
+            // Non-blocking I-side stalls (an I-fill in flight in the
+            // I-MSHRs) get their own cause; flat-model I-miss stalls keep
+            // the historical `fetch_imiss` attribution.
+            if self.mem.ifill_pending_at(self.cycle) {
+                acc.imiss_pending += 1;
+            } else {
+                acc.fetch_imiss += 1;
+            }
         } else if !self.fe_queue.is_empty() || self.fetch_blocked {
             acc.frontend_fill += 1;
         } else {
@@ -1160,7 +1176,12 @@ impl<'p> Simulator<'p> {
             lp.repair(flush_pc, &ltok, actual_taken);
         }
 
-        // Redirect fetch.
+        // Redirect fetch. In the non-blocking model the wrong-path
+        // instruction fills still in flight are cancelled (except the
+        // resume line's, which the redirected fetch coalesces onto) —
+        // see `MemoryHierarchy::squash_wrong_path_ifills`. No-op flat.
+        self.mem
+            .squash_wrong_path_ifills(self.cycle, insn_addr(resume_pc));
         self.fetch_pc = resume_pc;
         self.fetch_blocked = false;
         self.fetch_line = None;
@@ -1241,11 +1262,10 @@ impl<'p> Simulator<'p> {
                 }
             }
             let Some(lat) = self.exec_latency(idx) else {
-                // Every MSHR the access needed is busy: retry next cycle
-                // without consuming issue bandwidth (mirrors blocked
-                // loads; the `mshr-full` cause picks the cycle up).
-                self.cyc_mshr_stalled = true;
-                self.stats.mshr_full_stalls += 1;
+                // The memory access could not be accepted this cycle —
+                // MSHRs, write buffer or ports all busy; `exec_latency`
+                // recorded which. Retry next cycle without consuming
+                // issue bandwidth (mirrors blocked loads).
                 self.blocked_loads.push(id);
                 continue;
             };
@@ -1311,7 +1331,15 @@ impl<'p> Simulator<'p> {
                                 AccessOutcome::Pending(fill) => {
                                     Some(1 + fill.saturating_sub(self.cycle).max(1))
                                 }
-                                AccessOutcome::MshrFull => None,
+                                AccessOutcome::MshrFull => {
+                                    self.cyc_mshr_stalled = true;
+                                    self.stats.mshr_full_stalls += 1;
+                                    None
+                                }
+                                AccessOutcome::PortBusy => {
+                                    self.stats.port_conflict_stalls += 1;
+                                    None
+                                }
                             };
                         }
                         return Some(1 + self.mem.data_access_at(addr, false, self.cycle));
@@ -1324,13 +1352,26 @@ impl<'p> Simulator<'p> {
                     if let Some(addr) = e.f.info.mem_addr {
                         if self.mem.realistic() {
                             // Write-allocate: the store needs an MSHR on a
-                            // miss like a load, but completes in one cycle
-                            // once accepted (the fill continues behind it).
-                            if matches!(
-                                self.mem.data_access_nonblocking(addr, true, pc, self.cycle),
-                                AccessOutcome::MshrFull
-                            ) {
-                                return None;
+                            // miss like a load, plus (when enabled) a free
+                            // write-buffer entry to drain through. Once
+                            // accepted it completes in one cycle — the
+                            // drain continues asynchronously behind it.
+                            match self.mem.store_access_nonblocking(addr, pc, self.cycle) {
+                                StoreOutcome::Accepted => {}
+                                StoreOutcome::WriteBufFull => {
+                                    self.cyc_writebuf_stalled = true;
+                                    self.stats.writebuf_full_stalls += 1;
+                                    return None;
+                                }
+                                StoreOutcome::MshrFull => {
+                                    self.cyc_mshr_stalled = true;
+                                    self.stats.mshr_full_stalls += 1;
+                                    return None;
+                                }
+                                StoreOutcome::PortBusy => {
+                                    self.stats.port_conflict_stalls += 1;
+                                    return None;
+                                }
                             }
                         } else {
                             self.mem.data_access_at(addr, true, self.cycle);
@@ -1693,14 +1734,17 @@ impl<'p> Simulator<'p> {
             let is_cond_branch = info.is_cond_branch;
             let is_halt = info.is_halt;
             // I-cache.
-            if self.fetch_line != Some(line) {
-                let lat = self.mem.fetch_access_at(insn_addr(self.fetch_pc), self.cycle);
-                self.fetch_line = Some(line);
-                if lat > self.cfg.mem.icache.latency {
-                    self.fetch_stall_until = self.cycle + lat;
-                    self.fetch_stall_reason = StallReason::IMiss;
-                    return;
-                }
+            if !fetch_line_gate(
+                &mut self.mem,
+                &mut self.fetch_line,
+                &mut self.fetch_stall_until,
+                &mut self.fetch_stall_reason,
+                self.cfg.mem.icache.latency,
+                self.fetch_pc,
+                line,
+                self.cycle,
+            ) {
+                return;
             }
 
             let pc = self.fetch_pc;
@@ -2188,6 +2232,66 @@ pub(crate) enum StallReason {
     IMiss,
     /// Redirect bubble: post-flush resteer or BTB-miss target bubble.
     Redirect,
+}
+
+/// Shared fetch-stage I-cache gate used by both the scalar and the batched
+/// core: given the line the next µop lives on, decide whether fetch can
+/// proceed this cycle and arm the I-miss stall if not.
+///
+/// Under the flat model this is the legacy behaviour: access the I-cache,
+/// latch the line, and stall for the returned latency when it exceeds an
+/// L1-I hit. Under the non-blocking model the access goes through the
+/// I-side MSHRs: a `Pending` fill stalls fetch until the fill cycle (the
+/// line is latched so the post-fill resume does not re-access), and an
+/// `MshrFull` refusal retries next cycle without latching — no request
+/// was issued, so the retry must re-access.
+///
+/// Returns `true` when the line is available and fetch may consume the
+/// µop this cycle.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fetch_line_gate(
+    mem: &mut MemoryHierarchy,
+    fetch_line: &mut Option<u64>,
+    fetch_stall_until: &mut u64,
+    fetch_stall_reason: &mut StallReason,
+    icache_hit_latency: u64,
+    fetch_pc: u32,
+    line: u64,
+    cycle: u64,
+) -> bool {
+    if *fetch_line == Some(line) {
+        return true;
+    }
+    if mem.realistic() {
+        match mem.fetch_access_nonblocking(insn_addr(fetch_pc), cycle) {
+            AccessOutcome::Ready(_) => {
+                *fetch_line = Some(line);
+                true
+            }
+            AccessOutcome::Pending(fill_at) => {
+                *fetch_line = Some(line);
+                *fetch_stall_until = fill_at;
+                *fetch_stall_reason = StallReason::IMiss;
+                false
+            }
+            AccessOutcome::MshrFull | AccessOutcome::PortBusy => {
+                // No request left the fetch stage: retry next cycle.
+                *fetch_stall_until = cycle + 1;
+                *fetch_stall_reason = StallReason::IMiss;
+                false
+            }
+        }
+    } else {
+        let lat = mem.fetch_access_at(insn_addr(fetch_pc), cycle);
+        *fetch_line = Some(line);
+        if lat > icache_hit_latency {
+            *fetch_stall_until = cycle + lat;
+            *fetch_stall_reason = StallReason::IMiss;
+            false
+        } else {
+            true
+        }
+    }
 }
 
 /// Store-to-load-forwarding verdict for a ready load (see

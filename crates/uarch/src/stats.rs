@@ -89,6 +89,15 @@ pub struct CycleAccounting {
     /// is still outstanding: the core is waiting on memory (non-blocking
     /// hierarchy only; always zero under the flat latency model).
     pub miss_pending: u64,
+    /// Nothing retired, ROB empty, fetch stalled on an I-miss whose fill
+    /// is still in flight in the I-MSHRs (non-blocking hierarchy only;
+    /// always zero under the flat latency model, whose I-miss stalls stay
+    /// in `fetch_imiss`).
+    pub imiss_pending: u64,
+    /// Nothing retired and a ready store could not issue because the
+    /// write buffer had no free entry (non-blocking hierarchy with
+    /// `write_buffer_entries` > 0 only; always zero otherwise).
+    pub writebuf_full: u64,
 }
 
 impl CycleAccounting {
@@ -107,13 +116,15 @@ impl CycleAccounting {
             + self.frontend_fill
             + self.mshr_full
             + self.miss_pending
+            + self.imiss_pending
+            + self.writebuf_full
     }
 
     /// `(category name, cycles)` rows in a stable order, for rendering and
-    /// machine-readable reports. The two non-blocking-hierarchy causes
-    /// come last so the legacy nine keep their historical positions.
+    /// machine-readable reports. The non-blocking-hierarchy causes come
+    /// last so the legacy nine keep their historical positions.
     #[must_use]
-    pub fn rows(&self) -> [(&'static str, u64); 11] {
+    pub fn rows(&self) -> [(&'static str, u64); 13] {
         [
             ("useful_retire", self.useful_retire),
             ("guard_false_retire", self.guard_false_retire),
@@ -126,6 +137,8 @@ impl CycleAccounting {
             ("frontend_fill", self.frontend_fill),
             ("mshr_full", self.mshr_full),
             ("miss_pending", self.miss_pending),
+            ("imiss_pending", self.imiss_pending),
+            ("writebuf_full", self.writebuf_full),
         ]
     }
 }
@@ -212,6 +225,15 @@ pub struct SimStats {
     /// Issue attempts refused because the memory hierarchy had no free
     /// MSHR (each refused µop retries; zero under the flat model).
     pub mshr_full_stalls: u64,
+    /// Issue attempts refused because every data-cache port was taken
+    /// this cycle (`MemConfig::data_ports`; zero when unlimited).
+    pub port_conflict_stalls: u64,
+    /// Store issues refused because the asynchronous write buffer was
+    /// full (`MemConfig::write_buffer_entries`; zero when disabled).
+    pub writebuf_full_stalls: u64,
+    /// In-flight instruction fills cancelled as wrong-path on pipeline
+    /// squashes (non-blocking hierarchy only).
+    pub wrong_path_fills: u64,
     /// Wish jump dynamics by confidence class (retired only).
     pub wish_jumps: WishClassCounts,
     /// Wish join dynamics by confidence class (retired only).

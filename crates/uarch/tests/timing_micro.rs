@@ -304,6 +304,174 @@ fn squashed_wrong_path_store_never_forwards() {
 }
 
 #[test]
+fn finite_write_buffer_backpressures_store_bursts() {
+    // 8 independent stores to distinct cold lines. With an unbounded
+    // write path every store completes in a cycle and the program ends in
+    // tens of cycles; with a 2-entry write buffer the third store is
+    // refused until a drain (a full memory round trip) completes, and the
+    // refusals are attributed to the `writebuf_full` cause.
+    let build = || {
+        let mut insns = vec![Insn::mov_imm(r(1), 0x50000), Insn::mov_imm(r(2), 7)];
+        for k in 0..8i32 {
+            insns.push(Insn::store(r(2), r(1), k * 512));
+        }
+        insns.push(Insn::halt());
+        Program::from_insns(insns)
+    };
+    let mut unlimited = MachineConfig::default();
+    unlimited.mem.realistic = true;
+    let mut bounded = MachineConfig::default();
+    bounded.mem.realistic = true;
+    bounded.mem.write_buffer_entries = 2;
+    let fast = run(&build(), unlimited, &[]);
+    let slow = run(&build(), bounded, &[]);
+    assert_eq!(fast.stats.writebuf_full_stalls, 0, "disabled buffer never refuses");
+    assert!(
+        slow.stats.writebuf_full_stalls > 0,
+        "a 2-entry buffer must refuse the store burst"
+    );
+    assert!(
+        slow.stats.cycle_accounting.writebuf_full > 0,
+        "refused cycles must be attributed: {:?}",
+        slow.stats.cycle_accounting
+    );
+    assert!(
+        slow.stats.cycles > fast.stats.cycles + 200,
+        "stores must wait for drains: {} vs {} cycles",
+        slow.stats.cycles,
+        fast.stats.cycles
+    );
+    assert_eq!(fast.final_mem, slow.final_mem, "timing-only change");
+}
+
+#[test]
+fn instruction_prefetch_hides_straight_line_imiss() {
+    // 512 straight-line adds span 64 I-cache lines. Under the non-blocking
+    // I-side, next-line prefetch overlaps each demand fill with its
+    // successor's, so the prefetching machine finishes well ahead of the
+    // same machine with prefetch disabled — and the fill-wait cycles are
+    // attributed to `imiss_pending`, not the flat `fetch_imiss`.
+    let build = || {
+        let mut insns = Vec::new();
+        for _ in 0..512 {
+            insns.push(Insn::alu(AluOp::Add, r(2), r(2), Operand::imm(1)));
+        }
+        insns.push(Insn::halt());
+        Program::from_insns(insns)
+    };
+    let mut pref = MachineConfig::default();
+    pref.mem.realistic = true;
+    let mut nopref = MachineConfig::default();
+    nopref.mem.realistic = true;
+    nopref.mem.iprefetch = false;
+    let with_pref = run(&build(), pref, &[]);
+    let without = run(&build(), nopref, &[]);
+    assert!(
+        with_pref.stats.cycles < without.stats.cycles,
+        "next-line prefetch must hide I-fills: {} vs {} cycles",
+        with_pref.stats.cycles,
+        without.stats.cycles
+    );
+    for res in [&with_pref, &without] {
+        assert!(
+            res.stats.cycle_accounting.imiss_pending > 0,
+            "non-blocking I-fill waits must be attributed: {:?}",
+            res.stats.cycle_accounting
+        );
+    }
+}
+
+#[test]
+fn single_data_port_serializes_same_cycle_accesses() {
+    // 64 independent warm-ish loads. With unlimited ports they issue at
+    // machine width; with one data port every additional same-cycle access
+    // is refused (`port_conflict_stalls`) and retried, stretching the run
+    // by roughly the access count.
+    let build = || {
+        let mut insns = vec![Insn::mov_imm(r(1), 0x60000)];
+        for k in 0..64i32 {
+            insns.push(Insn::load(r(2 + (k % 8) as u8), r(1), k * 8));
+        }
+        insns.push(Insn::halt());
+        Program::from_insns(insns)
+    };
+    let mut unlimited = ideal_mem_cfg();
+    unlimited.mem.realistic = true;
+    let mut one_port = ideal_mem_cfg();
+    one_port.mem.realistic = true;
+    one_port.mem.data_ports = 1;
+    let fast = run(&build(), unlimited, &[]);
+    let slow = run(&build(), one_port, &[]);
+    assert_eq!(fast.stats.port_conflict_stalls, 0, "0 ports means unlimited");
+    assert!(
+        slow.stats.port_conflict_stalls > 0,
+        "one port must refuse same-cycle accesses"
+    );
+    assert!(
+        slow.stats.cycles > fast.stats.cycles + 32,
+        "one port must serialize the burst: {} vs {} cycles",
+        slow.stats.cycles,
+        fast.stats.cycles
+    );
+    assert_eq!(fast.final_regs, slow.final_regs, "timing-only change");
+}
+
+/// Regression for the fetch-line/squash interaction, both models.
+///
+/// A cold predictor guesses the forward branch taken, so fetch runs off to
+/// a far, cold line and starts an I-fill; the branch is actually
+/// not-taken, so the fill is wrong-path. Under the flat model the flush
+/// simply forgives the remaining stall (fills are instantaneous by
+/// contract) and nothing is left in flight. Under the non-blocking model
+/// the fill sits in the I-MSHRs; the flush must cancel it (counted in
+/// `wrong_path_fills`) rather than let fetch resume stalled on a line it
+/// will never use.
+#[test]
+fn flush_cancels_wrong_path_instruction_fills() {
+    use wishbranch_isa::{CmpOp, PredReg, ProgramBuilder};
+    let build = || {
+        let mut b = ProgramBuilder::new();
+        let far = b.label("far");
+        let done = b.label("done");
+        b.push(Insn::mov_imm(r(1), 1));
+        // Condition FALSE, but a cold bimodal predictor guesses taken.
+        b.push(Insn::cmp(CmpOp::Ne, PredReg::new(1), r(1), Operand::imm(1)));
+        b.push_cond_branch(PredReg::new(1), true, far, None);
+        b.push(Insn::mov_imm(r(2), 7)); // correct path
+        b.push_jump(done);
+        // Pad the wrong-path target onto a distant, never-warmed line.
+        for _ in 0..256 {
+            b.push(Insn::alu(AluOp::Add, r(3), r(3), Operand::imm(1)));
+        }
+        b.bind(far);
+        b.push(Insn::mov_imm(r(2), 99)); // wrong path
+        b.bind(done);
+        b.push(Insn::halt());
+        b.build()
+    };
+    let flat = run(&build(), MachineConfig::default(), &[]);
+    let mut cfg = MachineConfig::default();
+    cfg.mem.realistic = true;
+    let realistic = run(&build(), cfg, &[]);
+    for res in [&flat, &realistic] {
+        assert!(res.stats.flushes >= 1, "the branch must mispredict");
+        assert_eq!(res.final_regs[2], 7, "the fall-through path is architectural");
+    }
+    assert_eq!(flat.stats.wrong_path_fills, 0, "the flat model has no fills to cancel");
+    // The program-entry cold I-miss costs one ~308-cycle round trip; a
+    // second, unforgiven wrong-path stall would cost another.
+    assert!(
+        flat.stats.cycles < 500,
+        "flat flush must forgive the wrong-path I-miss stall: {} cycles",
+        flat.stats.cycles
+    );
+    assert!(
+        realistic.stats.wrong_path_fills >= 1,
+        "the squashed I-fill must be cancelled and counted"
+    );
+}
+
+#[test]
 fn dependence_chains_are_enforced_across_flushes() {
     // Regression test: ROB ids must stay contiguous after a flush, or
     // dependence lookups index the wrong entry and post-flush chains

@@ -72,11 +72,26 @@ fn random_lane(st: &mut u64) -> (usize, BinaryVariant, InputSet, MachineConfig) 
         m.wish_loop_predictor = Some(Default::default());
     }
     // Mix memory models inside one batch: flat, flat+finite-MSHR queue,
-    // and the full non-blocking hierarchy.
+    // and the full non-blocking hierarchy with its I-side, write-buffer
+    // and port knobs rolled independently.
     match pick(3) {
         0 => {}
         1 => m.mem.max_outstanding_misses = 2,
-        _ => m.mem.realistic = true,
+        _ => {
+            m.mem.realistic = true;
+            if pick(2) == 0 {
+                m.mem.write_buffer_entries = [2, 4][pick(2) as usize];
+            }
+            if pick(2) == 0 {
+                m.mem.data_ports = [1, 2][pick(2) as usize];
+            }
+            if pick(2) == 0 {
+                m.mem.iprefetch = false;
+            }
+            if pick(3) == 0 {
+                m.mem.i_mshrs = 1;
+            }
+        }
     }
     (bench, variant, input, m)
 }
@@ -157,6 +172,83 @@ proptest! {
     #[test]
     fn sampled_batch_matches_scalar(seed in 0u64..1000, lanes in 1usize..9) {
         check_batch(seed, lanes);
+    }
+}
+
+/// Focused I-miss equivalence: a code footprint spanning many cold
+/// I-cache lines, simulated under every I-side hierarchy configuration
+/// (non-blocking fetch, prefetch off, a starved 1-entry I-MSHR file, the
+/// full realistic preset) in one batch. Each lane must equal its scalar
+/// reference — including the `imiss_pending` accounting rows the
+/// fast-forward path bulk-applies — and the hierarchy lanes must actually
+/// exercise non-blocking I-fill stalls.
+#[test]
+fn imiss_heavy_lanes_are_bit_identical_to_scalar() {
+    use wishbranch_isa::{AluOp, CmpOp, Gpr, Insn, Operand, PredReg, ProgramBuilder};
+    let r = Gpr::new;
+    // Two passes over 2 KB of straight-line code: pass one cold-misses
+    // every line (with a mispredictable exit branch at the bottom), pass
+    // two hits — both models' I-paths get exercised, warm and cold.
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    let done = b.label("done");
+    b.push(Insn::mov_imm(r(1), 0));
+    b.bind(top);
+    for _ in 0..512 {
+        b.push(Insn::alu(AluOp::Add, r(2), r(2), Operand::imm(1)));
+    }
+    b.push(Insn::alu(AluOp::Add, r(1), r(1), Operand::imm(1)));
+    b.push(Insn::cmp(CmpOp::Eq, PredReg::new(1), r(1), Operand::imm(2)));
+    b.push_cond_branch(PredReg::new(1), true, done, None);
+    b.push_branch_to(Insn::branch(wishbranch_isa::BranchKind::Uncond, 0), top);
+    b.bind(done);
+    b.push(Insn::halt());
+    let program = b.build();
+
+    let mut cfgs = Vec::new();
+    let mut m = MachineConfig::default();
+    m.mem.realistic = true;
+    cfgs.push(("nonblocking", m));
+    let mut m = MachineConfig::default();
+    m.mem.realistic = true;
+    m.mem.iprefetch = false;
+    cfgs.push(("no-iprefetch", m));
+    let mut m = MachineConfig::default();
+    m.mem.realistic = true;
+    m.mem.i_mshrs = 1;
+    cfgs.push(("tight-imshr", m));
+    let mut m = MachineConfig::default();
+    m.mem = wishbranch_mem::MemConfig::realistic_preset();
+    cfgs.push(("realistic-preset", m));
+    cfgs.push(("flat", MachineConfig::default()));
+
+    let specs: Vec<BatchLaneSpec> = cfgs
+        .iter()
+        .map(|(_, cfg)| BatchLaneSpec {
+            program: &program,
+            cfg: cfg.clone(),
+            preload_mem: Vec::new(),
+            retire_log: false,
+        })
+        .collect();
+    let mut batch = BatchSimulator::new(&specs);
+    let results = batch.run();
+    for ((name, cfg), got) in cfgs.iter().zip(&results) {
+        let want = scalar_run(&program, cfg, &[]);
+        if cfg.mem.realistic {
+            assert!(
+                want.stats.cycle_accounting.imiss_pending > 0,
+                "{name}: the footprint must produce non-blocking I-fill stalls: {:?}",
+                want.stats.cycle_accounting
+            );
+        } else {
+            assert_eq!(want.stats.cycle_accounting.imiss_pending, 0, "{name}");
+        }
+        assert_eq!(
+            got.as_ref().expect("lane halts"),
+            &want,
+            "{name}: batched result diverged from scalar"
+        );
     }
 }
 

@@ -98,11 +98,27 @@ fn machine_variants() -> Vec<(&'static str, MachineConfig)> {
     m.mem.store_forwarding = true;
     m.mem.prefetch_entries = 16;
     out.push(("hierarchy-prefetch", m));
-    let mut m = base;
+    let mut m = base.clone();
     m.mem.realistic = true;
     m.mem.l1_mshrs = 1;
     m.mem.l2_mshrs = 1;
     out.push(("hierarchy-tight-mshr", m));
+    // The full realistic preset: I-MSHRs, next-line instruction prefetch,
+    // a finite write buffer and limited data ports — the configurations
+    // that can produce the `imiss_pending` / `writebuf_full` causes.
+    let mut m = base.clone();
+    m.mem = wishbranch_mem::MemConfig::realistic_preset();
+    out.push(("hierarchy-realistic-preset", m));
+    let mut m = base.clone();
+    m.mem.realistic = true;
+    m.mem.write_buffer_entries = 2;
+    m.mem.data_ports = 1;
+    out.push(("hierarchy-writebuf-ports", m));
+    let mut m = base;
+    m.mem.realistic = true;
+    m.mem.i_mshrs = 1;
+    m.mem.iprefetch = false;
+    out.push(("hierarchy-tight-imshr", m));
     out
 }
 

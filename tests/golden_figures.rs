@@ -262,6 +262,189 @@ fn fingerprint(r: &SimResult) -> u64 {
     h
 }
 
+// ---------------------------------------------------------------------------
+// Second golden lane: the same job matrix with the non-blocking memory
+// hierarchy on.
+//
+// The flat lane above pins the default model byte-for-byte; this lane pins
+// `MemConfig::realistic_preset()` (I-MSHRs, next-line instruction
+// prefetch, finite write buffer, limited data ports, store forwarding,
+// stride prefetch) with per-case knob variation, so a timing change
+// anywhere in the hierarchy path — MSHR allocation, fill ordering, port
+// arbitration, write-buffer drains, wrong-path cancellation — moves a
+// committed fingerprint. The hierarchy fingerprint hashes the FULL
+// 13-cause accounting split plus the hierarchy-only counters the flat
+// fingerprint deliberately excludes.
+//
+// To regenerate after an *intended* timing change:
+//   cargo test --release --test golden_figures regenerate_hierarchy_job_goldens -- --ignored --nocapture
+
+/// Hierarchy-on `SimResult` fingerprints, one per randomized job.
+const RH_GOLDEN: [u64; RJ_CASES as usize] = [
+    0xfa03_c0fa_8edf_e68c,
+    0x3405_98db_2b39_8850,
+    0xe05b_6f53_ce24_c64b,
+    0xab13_a85c_f671_6ceb,
+    0x0323_c44f_efd3_2790,
+    0x28ae_65f9_b6ad_b5bd,
+    0x41fa_e690_e817_41a3,
+    0x22a3_0472_0494_dbf8,
+    0x302b_843e_81eb_9a4e,
+    0xbc6a_5430_69dc_2275,
+    0x9d1a_d5c8_abca_bf3b,
+    0x45c1_2d04_691e_8bec,
+    0x539e_9edc_9767_227b,
+    0x30a7_01e1_27e4_9de0,
+    0xb4ff_3b1a_005f_391c,
+    0xe87c_0bb4_cddc_acc4,
+    0xabef_c0b2_b370_258c,
+    0x2d73_fadc_6c63_a459,
+    0x7514_01aa_7a88_2619,
+    0xa321_cb34_62bb_1d52,
+    0xaf58_f5c6_663d_e7b5,
+    0x5841_6535_cb3e_a1ae,
+    0xf6d3_5cb8_43a3_e664,
+    0x4fdf_32ee_5ff3_51ed,
+];
+
+/// FNV-1a-64 over the flat fingerprint's serialization PLUS the full
+/// 13-row cycle-accounting split and the hierarchy-only counters
+/// (`mshr_full_stalls`, `writebuf_full_stalls`, `port_conflict_stalls`,
+/// `wrong_path_fills`, `store_forwards`, `load_replays`) — everything the
+/// non-blocking model can move.
+fn fingerprint_hierarchy(r: &SimResult) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut put = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    let s = &r.stats;
+    for v in [
+        s.cycles,
+        s.retired_uops,
+        s.retired_guard_false,
+        s.retired_select_uops,
+        s.retired_cond_branches,
+        s.flushes,
+        s.retired_mispredicted,
+        s.flushes_avoided,
+        s.fetched_uops,
+        s.fetch_idle_cycles,
+        s.fetch_idle_imiss,
+        s.fetch_idle_redirect,
+        s.fetch_idle_queue_full,
+        s.fetch_idle_blocked,
+        s.dispatch_idle_cycles,
+        s.retire_idle_cycles,
+        s.squashed_uops,
+        s.store_forwards,
+        s.load_replays,
+        s.mshr_full_stalls,
+        s.writebuf_full_stalls,
+        s.port_conflict_stalls,
+        s.wrong_path_fills,
+    ] {
+        put(v);
+    }
+    for (_, v) in s.cycle_accounting.rows() {
+        put(v);
+    }
+    for (&pc, c) in &s.hot_sites {
+        put(u64::from(pc));
+        put(c.flushes);
+        put(c.flushes_avoided);
+        put(c.guard_false_uops);
+    }
+    for c in [&s.icache, &s.l1d, &s.l2] {
+        put(c.hits);
+        put(c.misses);
+        put(c.probes);
+    }
+    for &v in &r.final_regs {
+        put(v as u64);
+    }
+    for &p in &r.final_preds {
+        put(u64::from(p));
+    }
+    for (&a, &v) in &r.final_mem {
+        put(a);
+        put(v as u64);
+    }
+    h
+}
+
+/// The hierarchy-lane job: the flat lane's job with the memory model
+/// swapped for the realistic preset, then per-case knob variation drawn
+/// from an independent stream — every new knob gets exercised at several
+/// values across the 24 cases.
+fn random_hierarchy_job(case: u64) -> (usize, Option<BinaryVariant>, InputSet, MachineConfig) {
+    let (bench, variant, input, mut m) = random_job(case);
+    m.mem = wishbranch_mem::MemConfig::realistic_preset();
+    let mut st = 0x43ac_4e5e_u64 ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut pick = |n: u64| splitmix64(&mut st) % n;
+    m.mem.write_buffer_entries = [0, 2, 4][pick(3) as usize];
+    m.mem.data_ports = [0, 1, 2][pick(3) as usize];
+    if pick(3) == 0 {
+        m.mem.iprefetch = false;
+    }
+    m.mem.i_mshrs = [1, 4][pick(2) as usize];
+    if pick(3) == 0 {
+        m.mem.l1_mshrs = 2;
+    }
+    if pick(3) == 0 {
+        m.mem.prefetch_entries = 0;
+    }
+    if pick(4) == 0 {
+        m.mem.store_forwarding = false;
+    }
+    (bench, variant, input, m)
+}
+
+/// Runs one hierarchy-lane job through the full suite spine and
+/// fingerprints the verified result.
+fn run_hierarchy_job(case: u64) -> u64 {
+    let (bench_idx, variant, input, machine) = random_hierarchy_job(case);
+    let ec = ExperimentConfig::quick(RJ_SCALE);
+    let benches = suite(RJ_SCALE);
+    let bench = &benches[bench_idx];
+    let bin = match variant {
+        Some(v) => compile_variant(bench, v, &ec).expect("compile"),
+        None => compile_adaptive_variant(bench, &[InputSet::A, InputSet::C], &ec)
+            .expect("compile adaptive"),
+    };
+    let result = simulate(&bin.program, bench, input, &machine).expect("simulate + verify");
+    fingerprint_hierarchy(&result)
+}
+
+/// Every hierarchy-lane job must reproduce its committed fingerprint
+/// exactly — the non-blocking model's timing is pinned as tightly as the
+/// flat model's.
+#[test]
+fn randomized_hierarchy_jobs_are_bit_identical_to_goldens() {
+    for case in 0..RJ_CASES {
+        let got = run_hierarchy_job(case);
+        assert_eq!(
+            got,
+            RH_GOLDEN[case as usize],
+            "case {case} ({:?}): hierarchy SimResult diverged from its golden",
+            random_hierarchy_job(case)
+        );
+    }
+}
+
+/// Regeneration helper (ignored): prints the hierarchy golden array.
+#[test]
+#[ignore = "golden generator, run manually with --nocapture"]
+fn regenerate_hierarchy_job_goldens() {
+    println!("const RH_GOLDEN: [u64; RJ_CASES as usize] = [");
+    for case in 0..RJ_CASES {
+        println!("    {:#018x},", run_hierarchy_job(case));
+    }
+    println!("];");
+}
+
 /// One randomized job drawn from the splitmix64 stream: a benchmark, a
 /// binary variant (including the adaptive extension), an input set, and a
 /// machine configuration spanning every mechanism the simulator models.

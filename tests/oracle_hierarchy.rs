@@ -1,9 +1,11 @@
-//! Oracle regression for the non-blocking memory hierarchy: MSHRs,
-//! future-cycle fills, store-to-load forwarding and stride prefetch are
-//! *timing-only* mechanisms, so with the hierarchy enabled (a) the
-//! lockstep oracle must still report zero divergences across the whole
-//! suite × variant matrix, and (b) every run must retire exactly the
-//! architectural state the flat-latency model retires.
+//! Oracle regression for the non-blocking memory hierarchy: MSHRs (data
+//! and instruction side), future-cycle fills, store-to-load forwarding,
+//! stride and next-line instruction prefetch, the asynchronous write
+//! buffer and the data-port limit are *timing-only* mechanisms, so with
+//! the hierarchy enabled (a) the lockstep oracle must still report zero
+//! divergences across the whole suite × variant matrix, and (b) every run
+//! must retire exactly the architectural state the flat-latency model
+//! retires.
 
 use wishbranch_compiler::BinaryVariant;
 use wishbranch_core::{
@@ -14,15 +16,13 @@ use wishbranch_workloads::{suite, InputSet};
 
 const SCALE: i32 = 40;
 
-/// The hierarchy configuration under test: forwarding on, tight-ish MSHR
-/// files and a stride prefetcher, so the contended paths actually run.
+/// The hierarchy configuration under test: the realistic preset —
+/// forwarding on, tight-ish MSHR files on both sides, prefetchers, a
+/// finite write buffer and limited data ports — so the contended paths
+/// actually run.
 fn hierarchy_machine(base: &MachineConfig) -> MachineConfig {
     let mut m = base.clone();
-    m.mem.realistic = true;
-    m.mem.store_forwarding = true;
-    m.mem.l1_mshrs = 4;
-    m.mem.l2_mshrs = 8;
-    m.mem.prefetch_entries = 16;
+    m.mem = wishbranch_mem::MemConfig::realistic_preset();
     m
 }
 
